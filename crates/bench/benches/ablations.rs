@@ -1,0 +1,194 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Each target prints a small comparison table (the ablation's
+//! *result*) and measures the runtime of the ablated configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dagsched_bench::bench_corpus;
+use dagsched_core::{Hlfet, Hu, Mcp, Mh, Scheduler};
+use dagsched_dag::{levels, topo};
+use dagsched_experiments::corpus::CorpusEntry;
+use dagsched_sim::evaluate::timed_schedule_by_priority;
+use dagsched_sim::{Clique, Clustering, Hypercube, Machine, Mesh2D, ProcId, Ring};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn corpus() -> &'static Vec<CorpusEntry> {
+    static CORPUS: OnceLock<Vec<CorpusEntry>> = OnceLock::new();
+    CORPUS.get_or_init(bench_corpus)
+}
+
+fn mean_makespan(s: &dyn Scheduler, machine: &dyn Machine) -> f64 {
+    let c = corpus();
+    let total: u64 = c
+        .iter()
+        .map(|e| s.schedule(&e.graph, machine).makespan())
+        .sum();
+    total as f64 / c.len() as f64
+}
+
+/// MCP append (the paper's Figure 9 pseudocode) vs insertion
+/// scheduling (Wu & Gajski's original refinement).
+fn ablation_mcp_insertion(c: &mut Criterion) {
+    let append = mean_makespan(&Mcp::default(), &Clique);
+    let insertion = mean_makespan(&Mcp::with_insertion(), &Clique);
+    println!(
+        "\nablation_mcp_insertion: mean makespan append {append:.1} vs insertion {insertion:.1}"
+    );
+    c.bench_function("ablation_mcp_append", |b| {
+        b.iter(|| black_box(mean_makespan(&Mcp::default(), &Clique)))
+    });
+    c.bench_function("ablation_mcp_insertion", |b| {
+        b.iter(|| black_box(mean_makespan(&Mcp::with_insertion(), &Clique)))
+    });
+}
+
+/// How much of HU's deficit is the comm-oblivious *placement* rather
+/// than the computation-only *priority*? HLFET keeps HU's priority but
+/// places comm-aware.
+fn ablation_hu_comm_aware(c: &mut Criterion) {
+    let hu = mean_makespan(&Hu, &Clique);
+    let hlfet = mean_makespan(&Hlfet, &Clique);
+    let mh = mean_makespan(&Mh, &Clique);
+    println!(
+        "\nablation_hu_comm_aware: mean makespan HU {hu:.1} vs HLFET {hlfet:.1} (comm-aware placement) vs MH {mh:.1} (comm-aware priority too)"
+    );
+    c.bench_function("ablation_hu_oblivious", |b| {
+        b.iter(|| black_box(mean_makespan(&Hu, &Clique)))
+    });
+    c.bench_function("ablation_hlfet_aware", |b| {
+        b.iter(|| black_box(mean_makespan(&Hlfet, &Clique)))
+    });
+}
+
+/// Cluster materialization order: descending b-level (the default)
+/// vs plain topological position.
+fn ablation_cluster_order(c: &mut Criterion) {
+    let entries = corpus();
+    let run = |by_blevel: bool| -> f64 {
+        let mut total = 0u64;
+        for e in entries {
+            let g = &e.graph;
+            // A fixed two-cluster split (by topo parity) isolates the
+            // ordering effect from the clustering decision.
+            let order = topo::positions(g.topo_order(), g.num_nodes());
+            let assignment: Vec<ProcId> = g
+                .nodes()
+                .map(|v| ProcId((order[v.index()] % 2) as u32))
+                .collect();
+            let priority: Vec<u64> = if by_blevel {
+                levels::blevels_with_comm(g)
+            } else {
+                let n = g.num_nodes();
+                g.nodes().map(|v| (n - order[v.index()]) as u64).collect()
+            };
+            total += timed_schedule_by_priority(g, &Clique, &assignment, &priority)
+                .expect("priority orders cannot deadlock")
+                .makespan();
+        }
+        total as f64 / entries.len() as f64
+    };
+    println!(
+        "\nablation_cluster_order: mean makespan b-level {:.1} vs topological {:.1}",
+        run(true),
+        run(false)
+    );
+    c.bench_function("ablation_cluster_order_blevel", |b| {
+        b.iter(|| black_box(run(true)))
+    });
+    c.bench_function("ablation_cluster_order_topo", |b| {
+        b.iter(|| black_box(run(false)))
+    });
+}
+
+/// MH on the paper's clique vs hop-priced topologies.
+fn ablation_mh_topology(c: &mut Criterion) {
+    let machines: Vec<(&str, Box<dyn Machine>)> = vec![
+        ("clique", Box::new(Clique)),
+        ("ring8", Box::new(Ring::new(8))),
+        ("mesh3x3", Box::new(Mesh2D::new(3, 3))),
+        ("hypercube3", Box::new(Hypercube::new(3))),
+    ];
+    println!("\nablation_mh_topology: mean makespan per machine");
+    for (name, m) in &machines {
+        println!("  {name:<12} {:.1}", mean_makespan(&Mh, m.as_ref()));
+    }
+    c.bench_function("ablation_mh_clique", |b| {
+        b.iter(|| black_box(mean_makespan(&Mh, &Clique)))
+    });
+    c.bench_function("ablation_mh_mesh", |b| {
+        b.iter(|| black_box(mean_makespan(&Mh, &Mesh2D::new(3, 3))))
+    });
+}
+
+/// Assumption 4 relaxed: ideal multicast vs single-send-port
+/// contention, re-timing MH's and CLANS's corpus schedules.
+fn ablation_contention(c: &mut Criterion) {
+    use dagsched_core::Clans;
+    let entries = corpus();
+    let run = |scheduler: &dyn Scheduler, contended: bool| -> f64 {
+        let mut total = 0u64;
+        for e in entries {
+            let s = scheduler.schedule(&e.graph, &Clique);
+            total += if contended {
+                dagsched_sim::event::simulate_with_send_contention(&e.graph, &Clique, &s, None)
+                    .makespan
+            } else {
+                s.makespan()
+            };
+        }
+        total as f64 / entries.len() as f64
+    };
+    println!(
+        "\nablation_contention: MH ideal {:.1} vs contended {:.1}; CLANS ideal {:.1} vs contended {:.1}",
+        run(&Mh, false),
+        run(&Mh, true),
+        run(&Clans, false),
+        run(&Clans, true),
+    );
+    c.bench_function("ablation_contention_mh", |b| {
+        b.iter(|| black_box(run(&Mh, true)))
+    });
+    c.bench_function("ablation_contention_clans", |b| {
+        b.iter(|| black_box(run(&Clans, true)))
+    });
+}
+
+/// Serial vs singleton clustering: the two trivial baselines bounding
+/// every heuristic.
+fn ablation_trivial_clusterings(c: &mut Criterion) {
+    let entries = corpus();
+    let run = |serial: bool| -> f64 {
+        let mut total = 0u64;
+        for e in entries {
+            let n = e.graph.num_nodes();
+            let cl = if serial {
+                Clustering::serial(n)
+            } else {
+                Clustering::singletons(n)
+            };
+            total += cl.materialize(&e.graph, &Clique).unwrap().makespan();
+        }
+        total as f64 / entries.len() as f64
+    };
+    println!(
+        "\nablation_trivial: mean makespan serial {:.1} vs fully-parallel {:.1}",
+        run(true),
+        run(false)
+    );
+    c.bench_function("ablation_serial_clustering", |b| {
+        b.iter(|| black_box(run(true)))
+    });
+    c.bench_function("ablation_singleton_clustering", |b| {
+        b.iter(|| black_box(run(false)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_mcp_insertion, ablation_hu_comm_aware,
+              ablation_cluster_order, ablation_mh_topology,
+              ablation_contention, ablation_trivial_clusterings
+}
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Runtime scaling of every component with graph size — the paper's
+//! complexity discussion made measurable: DSC is O((v+e) log v), MCP
+//! O(v² log v), CLANS O(n³) (the clan parse), and the substrates
+//! (closure, decomposition, generation) have their own costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dagsched_clans::ParseTree;
+use dagsched_core::{BandSelector, Clans, Dsc, DscFast, Dsh, Hu, Mcp, Mh, Scheduler};
+use dagsched_dag::closure::Closure;
+use dagsched_dag::Dag;
+use dagsched_gen::pdg::{generate, PdgSpec};
+use dagsched_gen::{GranularityBand, WeightRange};
+use dagsched_sim::Clique;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const SIZES: [usize; 4] = [25, 50, 100, 200];
+
+fn graph_of(n: usize) -> Dag {
+    let mut rng = StdRng::seed_from_u64(n as u64);
+    generate(
+        &PdgSpec {
+            nodes: n,
+            anchor: 3,
+            weights: WeightRange::new(20, 100),
+            band: GranularityBand::Medium,
+        },
+        &mut rng,
+    )
+}
+
+fn scaling_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_runtime");
+    group.sample_size(10);
+    for n in SIZES {
+        let g = graph_of(n);
+        let cases: Vec<(&str, Box<dyn Scheduler>)> = vec![
+            ("CLANS", Box::new(Clans)),
+            ("DSC", Box::new(Dsc)),
+            ("DSC-F", Box::new(DscFast)),
+            ("MCP", Box::new(Mcp::default())),
+            ("MH", Box::new(Mh)),
+            ("HU", Box::new(Hu)),
+            ("SELECT", Box::new(BandSelector::default())),
+        ];
+        for (name, s) in cases {
+            group.bench_with_input(BenchmarkId::new(name, n), &g, |b, g| {
+                b.iter(|| black_box(s.schedule(black_box(g), &Clique)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn scaling_duplication(c: &mut Criterion) {
+    // DSH is not a `Scheduler` (it returns a DupSchedule), so it gets
+    // its own scaling group.
+    let mut group = c.benchmark_group("dsh_runtime");
+    group.sample_size(10);
+    for n in SIZES {
+        let g = graph_of(n);
+        group.bench_with_input(BenchmarkId::new("DSH", n), &g, |b, g| {
+            b.iter(|| black_box(Dsh.schedule(black_box(g), &Clique)))
+        });
+    }
+    group.finish();
+}
+
+fn scaling_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_runtime");
+    group.sample_size(10);
+    for n in SIZES {
+        let g = graph_of(n);
+        group.bench_with_input(BenchmarkId::new("closure", n), &g, |b, g| {
+            b.iter(|| black_box(Closure::new(black_box(g))))
+        });
+        group.bench_with_input(BenchmarkId::new("clan_parse", n), &g, |b, g| {
+            b.iter(|| black_box(ParseTree::decompose(black_box(g))))
+        });
+        group.bench_with_input(BenchmarkId::new("blevels", n), &g, |b, g| {
+            b.iter(|| black_box(dagsched_dag::levels::blevels_with_comm(black_box(g))))
+        });
+        group.bench_with_input(BenchmarkId::new("generate", n), &n, |b, &n| {
+            b.iter(|| black_box(graph_of(n)))
+        });
+    }
+    group.finish();
+}
+
+fn scaling_parallel_map(c: &mut Criterion) {
+    // The work-stealing substrate against inline execution, on the
+    // kind of load the corpus runner produces.
+    let graphs: Vec<Dag> = (0..64).map(|i| graph_of(30 + (i % 3) * 10)).collect();
+    let mut group = c.benchmark_group("par_map_corpus_eval");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let total: u64 = graphs
+                .iter()
+                .map(|g| Mcp::default().schedule(g, &Clique).makespan())
+                .sum();
+            black_box(total)
+        })
+    });
+    group.bench_function("work_stealing", |b| {
+        b.iter(|| {
+            let spans = dagsched_par::par_map(&graphs, |_, g| {
+                Mcp::default().schedule(g, &Clique).makespan()
+            });
+            black_box(spans.iter().sum::<u64>())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = scaling_schedulers, scaling_duplication, scaling_substrates, scaling_parallel_map
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! One bench target per paper table and figure.
+//!
+//! Each target (a) regenerates the table/figure on a reduced corpus
+//! and prints it once — so `cargo bench -p dagsched-bench` reproduces
+//! every row the paper reports — and (b) measures the time of the
+//! aggregation plus the scheduling work that feeds it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dagsched_bench::{bench_corpus, bench_results, heuristics};
+use dagsched_experiments::figures;
+use dagsched_experiments::runner::evaluate_graph;
+use dagsched_experiments::tables;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn results() -> &'static Vec<dagsched_experiments::GraphResult> {
+    static RESULTS: OnceLock<Vec<dagsched_experiments::GraphResult>> = OnceLock::new();
+    RESULTS.get_or_init(|| {
+        let corpus = bench_corpus();
+        bench_results(&corpus)
+    })
+}
+
+macro_rules! table_bench {
+    ($fn_name:ident, $bench_name:literal, $builder:path) => {
+        fn $fn_name(c: &mut Criterion) {
+            let r = results();
+            // Print the regenerated table once per bench invocation.
+            println!("\n{}", $builder(r).to_markdown());
+            c.bench_function($bench_name, |b| {
+                b.iter(|| black_box($builder(black_box(r))))
+            });
+        }
+    };
+}
+
+table_bench!(t2, "table2_speedup_lt1", tables::table2);
+table_bench!(t3, "table3_fig1_nrpt", tables::table3);
+table_bench!(t4, "table4_fig2_speedup", tables::table4);
+table_bench!(t5, "table5_fig3_efficiency", tables::table5);
+table_bench!(t6, "table6_nwr_lt1", tables::table6);
+table_bench!(t7, "table7_fig4_nrpt", tables::table7);
+table_bench!(t8, "table8_fig5_speedup", tables::table8);
+table_bench!(t9, "table9_fig6_efficiency", tables::table9);
+table_bench!(t10, "table10_anchor_lt1", tables::table10);
+table_bench!(t11, "table11_anchor_nrpt", tables::table11);
+
+macro_rules! figure_bench {
+    ($fn_name:ident, $bench_name:literal, $builder:path) => {
+        fn $fn_name(c: &mut Criterion) {
+            let r = results();
+            println!("\n{}", $builder(r).render(12));
+            c.bench_function($bench_name, |b| {
+                b.iter(|| black_box($builder(black_box(r))))
+            });
+        }
+    };
+}
+
+figure_bench!(f1, "figure1_nrpt_vs_granularity", figures::figure1);
+figure_bench!(f2, "figure2_speedup_vs_granularity", figures::figure2);
+figure_bench!(f3, "figure3_efficiency_vs_granularity", figures::figure3);
+figure_bench!(f4, "figure4_nrpt_vs_nwr", figures::figure4);
+figure_bench!(f5, "figure5_speedup_vs_nwr", figures::figure5);
+figure_bench!(f6, "figure6_efficiency_vs_nwr", figures::figure6);
+
+/// The end-to-end cost of one corpus graph through all five
+/// heuristics — the unit of work behind every table.
+fn evaluate_one(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let hs = heuristics();
+    let entry = &corpus[corpus.len() / 2];
+    c.bench_function("evaluate_one_graph_five_heuristics", |b| {
+        b.iter(|| black_box(evaluate_graph(black_box(entry), &hs)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = t2, t3, t4, t5, t6, t7, t8, t9, t10, t11,
+              f1, f2, f3, f4, f5, f6, evaluate_one
+}
+criterion_main!(benches);

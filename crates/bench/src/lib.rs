@@ -1,0 +1,41 @@
+//! Shared helpers for the criterion benches: reduced corpora and
+//! fixed graph sets, built once per process.
+
+use dagsched_core::{paper_heuristics, Scheduler};
+use dagsched_experiments::corpus::{generate_corpus, CorpusEntry, CorpusSpec};
+use dagsched_experiments::runner::{run_corpus, GraphResult};
+
+/// A reduced corpus for the table benches: same 60-set structure as
+/// the paper, 2 graphs per set, smaller graphs — enough to regenerate
+/// every row with the right shape while keeping `cargo bench` fast.
+pub fn bench_corpus() -> Vec<CorpusEntry> {
+    let spec = CorpusSpec {
+        graphs_per_set: 2,
+        nodes: 30..=50,
+        ..Default::default()
+    };
+    generate_corpus(&spec)
+}
+
+/// Runs the five paper heuristics over [`bench_corpus`].
+pub fn bench_results(corpus: &[CorpusEntry]) -> Vec<GraphResult> {
+    run_corpus(corpus, &paper_heuristics())
+}
+
+/// The five paper heuristics.
+pub fn heuristics() -> Vec<Box<dyn Scheduler>> {
+    paper_heuristics()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_corpus_has_the_table1_structure() {
+        let corpus = bench_corpus();
+        assert_eq!(corpus.len(), 120);
+        let results = bench_results(&corpus);
+        assert_eq!(results.len(), 120);
+    }
+}

@@ -1,0 +1,465 @@
+//! The clan decomposition algorithm (see the crate docs for the
+//! construction and its correctness argument).
+
+use crate::tree::{Clan, ClanId, ClanKind, ParseTree};
+use dagsched_dag::bitset::BitSet;
+use dagsched_dag::closure::Closure;
+use dagsched_dag::{Dag, NodeId};
+
+/// Decomposes `g` into its clan parse tree.
+pub(crate) fn decompose(g: &Dag) -> ParseTree {
+    let n = g.num_nodes();
+    if n == 0 {
+        return ParseTree {
+            clans: Vec::new(),
+            root: None,
+            node_leaf: Vec::new(),
+        };
+    }
+    let closure = Closure::new(g);
+    let mut b = Builder {
+        n,
+        closure: &closure,
+        clans: Vec::new(),
+        node_leaf: vec![ClanId(0); n],
+    };
+    let all: Vec<u32> = (0..n as u32).collect();
+    let root = b.build(all, None);
+    ParseTree {
+        clans: b.clans,
+        root: Some(root),
+        node_leaf: b.node_leaf,
+    }
+}
+
+struct Builder<'a> {
+    n: usize,
+    closure: &'a Closure,
+    clans: Vec<Clan>,
+    node_leaf: Vec<ClanId>,
+}
+
+impl Builder<'_> {
+    /// True iff the two graph nodes are comparable (one reaches the
+    /// other).
+    #[inline]
+    fn related(&self, a: u32, b: u32) -> bool {
+        self.closure.reaches(NodeId(a), NodeId(b)) || self.closure.reaches(NodeId(b), NodeId(a))
+    }
+
+    /// Allocates the clan record for `set` (parent-first so that
+    /// descending ids are a bottom-up order), then classifies it and
+    /// recurses into the children.
+    fn build(&mut self, set: Vec<u32>, parent: Option<ClanId>) -> ClanId {
+        let id = ClanId(self.clans.len() as u32);
+        let members = BitSet::from_iter_with_len(self.n, set.iter().map(|&v| v as usize));
+        self.clans.push(Clan {
+            kind: ClanKind::Leaf, // patched below
+            members,
+            children: Vec::new(),
+            node: None,
+            parent,
+        });
+
+        if set.len() == 1 {
+            let v = NodeId(set[0]);
+            self.clans[id.index()].node = Some(v);
+            self.node_leaf[v.index()] = id;
+            return id;
+        }
+
+        // 1. Independent: components of the comparability graph.
+        let comp = components(&set, |a, b| self.related(a, b));
+        if comp.len() > 1 {
+            return self.finish(id, ClanKind::Independent, sort_groups(comp));
+        }
+
+        // 2. Linear: components of the incomparability graph, totally
+        //    ordered by ancestry (a theorem for partial orders).
+        let mut blocks = components(&set, |a, b| !self.related(a, b));
+        if blocks.len() > 1 {
+            blocks.sort_by(|x, y| {
+                let (a, b) = (x[0], y[0]);
+                if self.closure.reaches(NodeId(a), NodeId(b)) {
+                    std::cmp::Ordering::Less
+                } else {
+                    debug_assert!(
+                        self.closure.reaches(NodeId(b), NodeId(a)),
+                        "blocks of a linear clan must be pairwise comparable"
+                    );
+                    std::cmp::Ordering::Greater
+                }
+            });
+            #[cfg(debug_assertions)]
+            self.assert_uniform_orientation(&blocks);
+            return self.finish(id, ClanKind::Linear, blocks);
+        }
+
+        // 3. Primitive: children are the maximal proper strong clans —
+        //    the classes of u ≡ v  ⇔  module-closure({u,v}) ≠ set.
+        let classes = self.primitive_classes(&set);
+        self.finish(id, ClanKind::Primitive, sort_groups(classes))
+    }
+
+    fn finish(&mut self, id: ClanId, kind: ClanKind, groups: Vec<Vec<u32>>) -> ClanId {
+        let children: Vec<ClanId> = groups
+            .into_iter()
+            .map(|grp| self.build(grp, Some(id)))
+            .collect();
+        let c = &mut self.clans[id.index()];
+        c.kind = kind;
+        c.children = children;
+        id
+    }
+
+    #[cfg(debug_assertions)]
+    fn assert_uniform_orientation(&self, blocks: &[Vec<u32>]) {
+        for w in blocks.windows(2) {
+            for &a in &w[0] {
+                for &b in &w[1] {
+                    debug_assert!(
+                        self.closure.reaches(NodeId(a), NodeId(b)),
+                        "linear blocks must be uniformly oriented"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Partition of a primitive `set` into the classes of the
+    /// equivalence `u ≡ v ⇔ M(u, v) ⊊ set`, where `M` is the smallest
+    /// module (clan) containing both. Classes are extracted
+    /// representative by representative: `class(u) = {u} ∪ {v : M(u,v) ⊊ set}`.
+    fn primitive_classes(&self, set: &[u32]) -> Vec<Vec<u32>> {
+        let k = set.len();
+        let mut assigned = vec![false; k];
+        let mut classes: Vec<Vec<u32>> = Vec::new();
+        for i in 0..k {
+            if assigned[i] {
+                continue;
+            }
+            let mut class = vec![set[i]];
+            assigned[i] = true;
+            for j in i + 1..k {
+                if assigned[j] {
+                    continue;
+                }
+                if self.module_closure_is_proper(set, i, j) {
+                    class.push(set[j]);
+                    assigned[j] = true;
+                }
+            }
+            classes.push(class);
+        }
+        // Theory guarantees a primitive clan of size ≥ 2 has ≥ 2
+        // children; fall back to singletons if that is ever violated
+        // so the recursion always terminates.
+        if classes.len() <= 1 && k > 1 {
+            debug_assert!(false, "primitive clan produced a single class");
+            return set.iter().map(|&v| vec![v]).collect();
+        }
+        classes
+    }
+
+    /// Grows the smallest module containing `set[i]` and `set[j]` by
+    /// repeatedly absorbing every outside element whose relation to
+    /// some member differs from its relation to the seed. Returns
+    /// whether the fixpoint is a *proper* subset of `set`.
+    fn module_closure_is_proper(&self, set: &[u32], i: usize, j: usize) -> bool {
+        let k = set.len();
+        let mut in_m = vec![false; k];
+        in_m[i] = true;
+        in_m[j] = true;
+        let mut size = 2usize;
+        // rel_to_seed[z] caches relation(set[z], seed); an outside z
+        // joins the module the moment its relation to any member
+        // deviates from that reference.
+        let seed = set[i];
+        let rel = |a: u32, b: u32| self.closure.relation(NodeId(a), NodeId(b));
+        let rel_to_seed: Vec<_> = set
+            .iter()
+            .map(|&z| if z == seed { None } else { Some(rel(z, seed)) })
+            .collect();
+        let mut queue = vec![j];
+        while let Some(w) = queue.pop() {
+            let wv = set[w];
+            if wv == seed {
+                continue;
+            }
+            for z in 0..k {
+                if in_m[z] || set[z] == wv {
+                    continue;
+                }
+                if rel(set[z], wv) != rel_to_seed[z].expect("z != seed") {
+                    in_m[z] = true;
+                    size += 1;
+                    if size == k {
+                        return false; // blew up to the whole set
+                    }
+                    queue.push(z);
+                }
+            }
+        }
+        size < k
+    }
+}
+
+/// Connected components of the graph on `set` whose edges are the
+/// pairs accepted by `adj`. O(k²) pair scans with a union-find.
+fn components(set: &[u32], adj: impl Fn(u32, u32) -> bool) -> Vec<Vec<u32>> {
+    let k = set.len();
+    let mut uf = UnionFind::new(k);
+    for i in 0..k {
+        for j in i + 1..k {
+            if uf.find(i) != uf.find(j) && adj(set[i], set[j]) {
+                uf.union(i, j);
+            }
+        }
+    }
+    let mut groups: std::collections::BTreeMap<usize, Vec<u32>> = Default::default();
+    for (i, &v) in set.iter().enumerate() {
+        groups.entry(uf.find(i)).or_default().push(v);
+    }
+    groups.into_values().collect()
+}
+
+/// Deterministic group order: ascending by smallest member.
+fn sort_groups(mut groups: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
+    for grp in &mut groups {
+        grp.sort_unstable();
+    }
+    groups.sort_by_key(|grp| grp[0]);
+    groups
+}
+
+struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            let gp = self.parent[self.parent[x] as usize];
+            self.parent[x] = gp;
+            x = gp as usize;
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_dag::DagBuilder;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn build(edges: &[(u32, u32)], nodes: u32) -> Dag {
+        let mut b = DagBuilder::new();
+        for _ in 0..nodes {
+            b.add_node(1);
+        }
+        for &(s, d) in edges {
+            b.add_edge(n(s), n(d), 1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let t = ParseTree::decompose(&DagBuilder::new().build().unwrap());
+        assert!(t.root().is_none());
+        assert_eq!(t.num_clans(), 0);
+        assert_eq!(t.height(), 0);
+        assert_eq!(t.render(), "");
+    }
+
+    #[test]
+    fn single_node() {
+        let t = ParseTree::decompose(&build(&[], 1));
+        let r = t.root().unwrap();
+        assert_eq!(t.clan(r).kind, ClanKind::Leaf);
+        assert_eq!(t.clan(r).node, Some(n(0)));
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.render(), "0");
+    }
+
+    #[test]
+    fn chain_is_linear() {
+        let t = ParseTree::decompose(&build(&[(0, 1), (1, 2), (2, 3)], 4));
+        assert_eq!(t.render(), "L(0, 1, 2, 3)");
+    }
+
+    #[test]
+    fn antichain_is_independent() {
+        let t = ParseTree::decompose(&build(&[], 3));
+        assert_eq!(t.render(), "I(0, 1, 2)");
+    }
+
+    #[test]
+    fn fig16_structure() {
+        // The paper's Figure 16: C1={3,4} linear, C2={2,{3,4}}
+        // independent, C3 = {1, C2, 5} linear (0-based: nodes 0..4).
+        let g = build(&[(0, 1), (0, 2), (2, 3), (1, 4), (3, 4)], 5);
+        let t = ParseTree::decompose(&g);
+        assert_eq!(t.render(), "L(0, I(1, L(2, 3)), 4)");
+        assert_eq!(t.kind_counts(), (2, 1, 0));
+        assert_eq!(t.height(), 4);
+    }
+
+    #[test]
+    fn n_poset_is_primitive() {
+        // a→c, b→c, b→d: the classic smallest primitive partial order.
+        let t = ParseTree::decompose(&build(&[(0, 2), (1, 2), (1, 3)], 4));
+        let r = t.root().unwrap();
+        assert_eq!(t.clan(r).kind, ClanKind::Primitive);
+        assert_eq!(t.clan(r).children.len(), 4);
+        assert_eq!(t.render(), "P(0, 1, 2, 3)");
+    }
+
+    #[test]
+    fn primitive_with_composite_child() {
+        // Replace node 0 of the N poset by a two-node chain {0,4}:
+        // the chain is a module and must appear as a linear child.
+        let t = ParseTree::decompose(&build(&[(0, 4), (4, 2), (1, 2), (1, 3)], 5));
+        assert_eq!(t.render(), "P(L(0, 4), 1, 2, 3)");
+    }
+
+    #[test]
+    fn fork_join_nests_linear_over_independent() {
+        // 0 -> {1,2,3} -> 4
+        let t = ParseTree::decompose(&build(&[(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4)], 5));
+        assert_eq!(t.render(), "L(0, I(1, 2, 3), 4)");
+    }
+
+    #[test]
+    fn parallel_chains() {
+        // Two independent 2-chains.
+        let t = ParseTree::decompose(&build(&[(0, 1), (2, 3)], 4));
+        assert_eq!(t.render(), "I(L(0, 1), L(2, 3))");
+    }
+
+    #[test]
+    fn leaves_cover_all_nodes() {
+        let g = build(&[(0, 2), (1, 2), (1, 3), (3, 5), (2, 5), (0, 4)], 6);
+        let t = ParseTree::decompose(&g);
+        for v in g.nodes() {
+            let leaf = t.leaf_of(v);
+            assert_eq!(t.clan(leaf).node, Some(v));
+            assert_eq!(t.clan(leaf).kind, ClanKind::Leaf);
+        }
+        // Root contains everything.
+        assert_eq!(t.clan(t.root().unwrap()).size(), 6);
+    }
+
+    #[test]
+    fn bottom_up_order_is_children_first() {
+        let g = build(&[(0, 1), (0, 2), (2, 3), (1, 4), (3, 4)], 5);
+        let t = ParseTree::decompose(&g);
+        let order = t.bottom_up();
+        let mut seen = vec![false; t.num_clans()];
+        for c in order {
+            for &ch in &t.clan(c).children {
+                assert!(seen[ch.index()]);
+            }
+            seen[c.index()] = true;
+        }
+    }
+
+    #[test]
+    fn deeply_nested_series_parallel_structures() {
+        use dagsched_dag::compose::{parallel, series, task};
+        // L( t, I( L(t,t), I(t,t) ... wait: I inside I flattens ), t )
+        // Build: series(t, parallel(series(t,t), parallel(t,t)… ) —
+        // parallel of parallel flattens in the canonical tree, so use
+        // parallel(series, series) for a true two-level nest.
+        let inner_a = series(&[&task(1), &task(2)], |_, _, _| 1);
+        let inner_b = series(&[&task(3), &task(4), &task(5)], |_, _, _| 1);
+        let mid = parallel(&[&inner_a, &inner_b]);
+        let g = series(&[&task(9), &mid, &task(9)], |_, _, _| 1);
+        let t = ParseTree::decompose(&g);
+        assert_eq!(t.render(), "L(0, I(L(1, 2), L(3, 4, 5)), 6)");
+        assert_eq!(t.kind_counts(), (3, 1, 0));
+        assert_eq!(t.height(), 4);
+    }
+
+    #[test]
+    fn nested_independent_flattens_canonically() {
+        use dagsched_dag::compose::{parallel, task};
+        // parallel(parallel(t,t), t) must parse as one independent
+        // clan with three children — the canonical tree has no
+        // independent-under-independent.
+        let inner = parallel(&[&task(1), &task(2)]);
+        let g = parallel(&[&inner, &task(3)]);
+        let t = ParseTree::decompose(&g);
+        assert_eq!(t.render(), "I(0, 1, 2)");
+    }
+
+    #[test]
+    fn nested_series_flattens_canonically() {
+        use dagsched_dag::compose::{series, task};
+        let inner = series(&[&task(1), &task(2)], |_, _, _| 1);
+        let g = series(&[&inner, &task(3)], |_, _, _| 1);
+        let t = ParseTree::decompose(&g);
+        assert_eq!(t.render(), "L(0, 1, 2)");
+    }
+
+    #[test]
+    fn primitive_nested_inside_series() {
+        use dagsched_dag::compose::{series, task};
+        // The N poset sandwiched between two tasks: the primitive
+        // survives as a child of the outer linear clan.
+        let n_poset = build(&[(0, 2), (1, 2), (1, 3)], 4);
+        let g = series(&[&task(9), &n_poset, &task(9)], |_, _, _| 1);
+        let t = ParseTree::decompose(&g);
+        assert_eq!(t.render(), "L(0, P(1, 2, 3, 4), 5)");
+        assert!(crate::verify::check_tree(&g, &t).is_empty());
+    }
+
+    #[test]
+    fn children_partition_parent() {
+        let g = build(&[(0, 2), (1, 2), (1, 3), (2, 4), (3, 4), (0, 5)], 6);
+        let t = ParseTree::decompose(&g);
+        for id in t.clan_ids() {
+            let c = t.clan(id);
+            if c.kind == ClanKind::Leaf {
+                continue;
+            }
+            let mut union = BitSet::new(g.num_nodes());
+            let mut total = 0;
+            for &ch in &c.children {
+                let m = &t.clan(ch).members;
+                assert!(!union.intersects(m), "children must be disjoint");
+                union.union_with(m);
+                total += m.count();
+            }
+            assert_eq!(union, c.members);
+            assert_eq!(total, c.size());
+        }
+    }
+}

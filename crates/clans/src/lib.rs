@@ -1,0 +1,71 @@
+//! # dagsched-clans — clan decomposition of weighted DAGs
+//!
+//! Implements the graph-decomposition substrate behind the CLANS
+//! scheduler of McCreary & Gill, as described in the appendix of
+//! Khan, McCreary & Jones (ICPP 1994).
+//!
+//! A set of vertices `C` of a DAG `G` is a **clan** iff for all
+//! `x, y ∈ C` and `z ∈ G − C`:
+//!
+//! 1. `z` is an ancestor of `x` iff `z` is an ancestor of `y`, and
+//! 2. `z` is a descendant of `x` iff `z` is a descendant of `y`.
+//!
+//! Equivalently, `C` is a *module* of the three-valued relation
+//! (ancestor / descendant / unrelated) induced by the transitive
+//! closure: every outside vertex relates to all of `C` in the same
+//! way. The strong (non-overlapping) clans form a unique hierarchy —
+//! the **parse tree** — whose internal nodes are:
+//!
+//! * **linear** — children are totally ordered by ancestry and must
+//!   execute sequentially;
+//! * **independent** — children are pairwise unrelated and may
+//!   execute concurrently;
+//! * **primitive** — neither; cannot be decomposed into linear and
+//!   independent parts at this level.
+//!
+//! The decomposition here is the classic quotient construction for
+//! 2-structures, specialized to partial orders:
+//!
+//! 1. if the *comparability* graph on the set is disconnected, the
+//!    components are the children of an independent clan;
+//! 2. otherwise, if the *incomparability* graph is disconnected, its
+//!    components are totally ordered (this is a theorem for partial
+//!    orders) and form the children of a linear clan;
+//! 3. otherwise the clan is primitive and its children are the
+//!    maximal proper strong clans, found by closing node pairs under
+//!    the module property.
+//!
+//! Complexity is O(n³)-ish with small constants (bitset rows), which
+//! matches the paper's note that "the current version of the parse is
+//! O(n³)".
+//!
+//! ```
+//! use dagsched_dag::DagBuilder;
+//! use dagsched_clans::{ParseTree, ClanKind};
+//!
+//! // Figure 16 of the paper: linear( 1, independent( 2, linear(3,4) ), 5 ).
+//! let mut b = DagBuilder::new();
+//! let n: Vec<_> = [10u64, 20, 30, 40, 50].iter().map(|&w| b.add_node(w)).collect();
+//! b.add_edge(n[0], n[1], 4).unwrap();
+//! b.add_edge(n[0], n[2], 3).unwrap();
+//! b.add_edge(n[2], n[3], 5).unwrap();
+//! b.add_edge(n[1], n[4], 4).unwrap();
+//! b.add_edge(n[3], n[4], 6).unwrap();
+//! let g = b.build().unwrap();
+//!
+//! let tree = ParseTree::decompose(&g);
+//! let root = tree.root().unwrap();
+//! assert_eq!(tree.clan(root).kind, ClanKind::Linear);
+//! assert_eq!(tree.clan(root).children.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod decompose;
+pub mod quotient;
+pub mod tree;
+pub mod verify;
+
+pub use quotient::Quotient;
+pub use tree::{Clan, ClanId, ClanKind, ParseTree};

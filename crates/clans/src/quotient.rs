@@ -1,0 +1,169 @@
+//! Quotient graphs of clans.
+//!
+//! For an internal clan, the *quotient* contracts each child to one
+//! macro-node. Because children are clans (outside vertices relate
+//! uniformly to all members), the quotient is well defined: there is
+//! an edge between two macro-nodes iff any member edge crosses them,
+//! and the natural communication weight is the heaviest such edge.
+//! The CLANS scheduler uses quotients to cost primitive clans; they
+//! are also the right granularity for visualizing big parse trees.
+
+use crate::tree::{ClanId, ParseTree};
+use dagsched_dag::{Dag, DagBuilder, NodeId, Weight};
+
+/// The quotient of `clan`'s children in `tree`.
+#[derive(Debug, Clone)]
+pub struct Quotient {
+    /// The quotient DAG: one node per child of the clan, edges are
+    /// the maximal member-to-member edge weights.
+    pub graph: Dag,
+    /// `children[q]` is the child clan contracted into quotient node
+    /// `q`. Quotient node ids follow a topological order of the
+    /// children (ascending by earliest member in `g`'s topological
+    /// order).
+    pub children: Vec<ClanId>,
+}
+
+impl Quotient {
+    /// Builds the quotient of `clan`, weighting each macro-node with
+    /// `node_weight(child)`.
+    ///
+    /// # Panics
+    /// If `clan` is a leaf (leaves have no children to contract).
+    pub fn of(
+        g: &Dag,
+        tree: &ParseTree,
+        clan: ClanId,
+        mut node_weight: impl FnMut(ClanId) -> Weight,
+    ) -> Quotient {
+        let c = tree.clan(clan);
+        assert!(
+            !c.children.is_empty(),
+            "leaves have no quotient; asked for {clan}"
+        );
+        let k = c.children.len();
+
+        // Map members to child slots.
+        let mut child_of: Vec<Option<usize>> = vec![None; g.num_nodes()];
+        for (i, &ch) in c.children.iter().enumerate() {
+            for v in tree.clan(ch).members.iter() {
+                child_of[v] = Some(i);
+            }
+        }
+
+        // Topological order of children via earliest member position.
+        let pos = dagsched_dag::topo::positions(g.topo_order(), g.num_nodes());
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by_key(|&i| {
+            tree.clan(c.children[i])
+                .members
+                .iter()
+                .map(|v| pos[v])
+                .min()
+        });
+
+        let mut qid = vec![0usize; k];
+        let mut b = DagBuilder::with_capacity(k, 2 * k);
+        let mut children = Vec::with_capacity(k);
+        for (q, &i) in order.iter().enumerate() {
+            qid[i] = q;
+            b.add_node(node_weight(c.children[i]));
+            children.push(c.children[i]);
+        }
+
+        let mut best: std::collections::HashMap<(usize, usize), Weight> = Default::default();
+        for e in g.edges() {
+            if let (Some(a), Some(bb)) = (child_of[e.src.index()], child_of[e.dst.index()]) {
+                if a != bb {
+                    let key = (qid[a], qid[bb]);
+                    let w = best.entry(key).or_insert(0);
+                    *w = (*w).max(e.weight);
+                }
+            }
+        }
+        for ((a, d), w) in best {
+            b.add_edge(NodeId(a as u32), NodeId(d as u32), w)
+                .expect("contracted edges are unique");
+        }
+        Quotient {
+            graph: b.build().expect("a quotient of a DAG is a DAG"),
+            children,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::ClanKind;
+    use dagsched_dag::DagBuilder;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn fig16() -> Dag {
+        let mut b = DagBuilder::new();
+        for w in [10u64, 20, 30, 40, 50] {
+            b.add_node(w);
+        }
+        for (s, d, c) in [(0u32, 1, 5u64), (0, 2, 5), (2, 3, 10), (1, 4, 4), (3, 4, 5)] {
+            b.add_edge(n(s), n(d), c).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn root_quotient_of_fig16_is_a_chain() {
+        let g = fig16();
+        let tree = ParseTree::decompose(&g);
+        let root = tree.root().unwrap();
+        let q = Quotient::of(&g, &tree, root, |c| tree.clan(c).size() as u64);
+        // Root is linear(0, I(1, L(2,3)), 4): three macro nodes in a
+        // chain.
+        assert_eq!(q.graph.num_nodes(), 3);
+        assert_eq!(q.graph.num_edges(), 2);
+        assert_eq!(q.graph.sources().len(), 1);
+        assert_eq!(q.graph.sinks().len(), 1);
+        // Edge weights are the maxima of the crossing edges:
+        // node0 → {1,2,3} crosses with weights 5 and 5 → 5;
+        // {1,2,3} → node4 crosses with 4 and 5 → 5.
+        let ws: Vec<u64> = q.graph.edges().iter().map(|e| e.weight).collect();
+        assert_eq!(ws, vec![5, 5]);
+        // Node weights from the callback (member counts 1, 3, 1 in
+        // topological order).
+        assert_eq!(q.graph.node_weights(), &[1, 3, 1]);
+    }
+
+    #[test]
+    fn quotient_of_independent_clan_is_edgeless() {
+        let g = fig16();
+        let tree = ParseTree::decompose(&g);
+        let root = tree.root().unwrap();
+        let ind = tree.clan(root).children[1];
+        assert_eq!(tree.clan(ind).kind, ClanKind::Independent);
+        let q = Quotient::of(&g, &tree, ind, |_| 1);
+        assert_eq!(q.graph.num_nodes(), 2);
+        assert_eq!(q.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn quotient_children_map_back() {
+        let g = fig16();
+        let tree = ParseTree::decompose(&g);
+        let root = tree.root().unwrap();
+        let q = Quotient::of(&g, &tree, root, |_| 1);
+        assert_eq!(q.children.len(), 3);
+        let sizes: Vec<usize> = q.children.iter().map(|&c| tree.clan(c).size()).collect();
+        assert_eq!(sizes, vec![1, 3, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no quotient")]
+    fn leaf_quotient_panics() {
+        let g = fig16();
+        let tree = ParseTree::decompose(&g);
+        let leaf = tree.leaf_of(n(0));
+        let _ = Quotient::of(&g, &tree, leaf, |_| 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! The clan parse tree data structure.
+
+use dagsched_dag::bitset::BitSet;
+use dagsched_dag::{Dag, NodeId};
+use std::fmt;
+
+/// Index of a clan within a [`ParseTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClanId(pub u32);
+
+impl ClanId {
+    /// The clan index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Classification of a clan in the parse tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClanKind {
+    /// A single graph node.
+    Leaf,
+    /// Children are totally ordered by ancestry; they execute
+    /// sequentially. Children are stored in execution order.
+    Linear,
+    /// Children are pairwise unrelated; they may execute concurrently.
+    Independent,
+    /// Neither linear nor independent; children are the maximal proper
+    /// strong clans.
+    Primitive,
+}
+
+/// One clan of the parse tree.
+#[derive(Debug, Clone)]
+pub struct Clan {
+    /// Structural classification.
+    pub kind: ClanKind,
+    /// Graph nodes contained in this clan (non-empty).
+    pub members: BitSet,
+    /// Child clans; empty iff `kind == Leaf`. For linear clans the
+    /// order is the execution (ancestry) order; otherwise ascending by
+    /// smallest member index.
+    pub children: Vec<ClanId>,
+    /// The graph node, for leaves.
+    pub node: Option<NodeId>,
+    /// Parent clan; `None` for the root.
+    pub parent: Option<ClanId>,
+}
+
+impl Clan {
+    /// Number of graph nodes in the clan.
+    pub fn size(&self) -> usize {
+        self.members.count()
+    }
+}
+
+/// The unique hierarchy of strong clans of a DAG.
+///
+/// Construct with [`ParseTree::decompose`]. The tree of the empty
+/// graph has no clans and no root.
+#[derive(Debug, Clone)]
+pub struct ParseTree {
+    pub(crate) clans: Vec<Clan>,
+    pub(crate) root: Option<ClanId>,
+    /// Leaf clan of each graph node.
+    pub(crate) node_leaf: Vec<ClanId>,
+}
+
+impl ParseTree {
+    /// Decomposes `g` into its clan parse tree.
+    pub fn decompose(g: &Dag) -> ParseTree {
+        crate::decompose::decompose(g)
+    }
+
+    /// The root clan (the whole graph), or `None` for the empty graph.
+    #[inline]
+    pub fn root(&self) -> Option<ClanId> {
+        self.root
+    }
+
+    /// Access a clan by id.
+    #[inline]
+    pub fn clan(&self, id: ClanId) -> &Clan {
+        &self.clans[id.index()]
+    }
+
+    /// Total number of clans (leaves included).
+    #[inline]
+    pub fn num_clans(&self) -> usize {
+        self.clans.len()
+    }
+
+    /// Iterator over all clan ids.
+    pub fn clan_ids(&self) -> impl Iterator<Item = ClanId> + '_ {
+        (0..self.clans.len() as u32).map(ClanId)
+    }
+
+    /// The leaf clan holding graph node `v`.
+    #[inline]
+    pub fn leaf_of(&self, v: NodeId) -> ClanId {
+        self.node_leaf[v.index()]
+    }
+
+    /// Clans in bottom-up (children before parents) order.
+    pub fn bottom_up(&self) -> Vec<ClanId> {
+        // Clans are appended parent-first during construction, so the
+        // reverse id order is a valid bottom-up order; assert in debug.
+        let order: Vec<ClanId> = (0..self.clans.len() as u32).rev().map(ClanId).collect();
+        #[cfg(debug_assertions)]
+        {
+            let mut seen = vec![false; self.clans.len()];
+            for &c in &order {
+                for &ch in &self.clans[c.index()].children {
+                    debug_assert!(seen[ch.index()], "child {ch} must precede parent {c}");
+                }
+                seen[c.index()] = true;
+            }
+        }
+        order
+    }
+
+    /// Number of internal clans of each kind
+    /// `(linear, independent, primitive)`.
+    pub fn kind_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for c in &self.clans {
+            match c.kind {
+                ClanKind::Linear => counts.0 += 1,
+                ClanKind::Independent => counts.1 += 1,
+                ClanKind::Primitive => counts.2 += 1,
+                ClanKind::Leaf => {}
+            }
+        }
+        counts
+    }
+
+    /// Height of the tree (1 for a single leaf, 0 when empty).
+    pub fn height(&self) -> usize {
+        fn rec(t: &ParseTree, c: ClanId) -> usize {
+            1 + t
+                .clan(c)
+                .children
+                .iter()
+                .map(|&ch| rec(t, ch))
+                .max()
+                .unwrap_or(0)
+        }
+        self.root.map_or(0, |r| rec(self, r))
+    }
+
+    /// A compact single-line rendering, e.g.
+    /// `L(0, I(1, L(2, 3)), 4)` — useful in tests and examples.
+    pub fn render(&self) -> String {
+        fn rec(t: &ParseTree, c: ClanId, out: &mut String) {
+            let clan = t.clan(c);
+            match clan.kind {
+                ClanKind::Leaf => out.push_str(&clan.node.unwrap().0.to_string()),
+                kind => {
+                    out.push(match kind {
+                        ClanKind::Linear => 'L',
+                        ClanKind::Independent => 'I',
+                        ClanKind::Primitive => 'P',
+                        ClanKind::Leaf => unreachable!(),
+                    });
+                    out.push('(');
+                    for (i, &ch) in clan.children.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        rec(t, ch, out);
+                    }
+                    out.push(')');
+                }
+            }
+        }
+        let mut s = String::new();
+        if let Some(r) = self.root {
+            rec(self, r, &mut s);
+        }
+        s
+    }
+
+    /// Graphviz rendering of the parse tree.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph parsetree {\n  node [shape=box];\n");
+        for id in self.clan_ids() {
+            let c = self.clan(id);
+            let label = match c.kind {
+                ClanKind::Leaf => format!("n{}", c.node.unwrap().0),
+                ClanKind::Linear => "LIN".into(),
+                ClanKind::Independent => "IND".into(),
+                ClanKind::Primitive => "PRIM".into(),
+            };
+            writeln!(out, "  c{} [label=\"{}\"];", id.0, label).unwrap();
+            for &ch in &c.children {
+                writeln!(out, "  c{} -> c{};", id.0, ch.0).unwrap();
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}

@@ -1,0 +1,235 @@
+//! Independent verification of parse trees against the paper's clan
+//! definition — used by tests, property tests and debug assertions.
+
+use crate::tree::{ClanKind, ParseTree};
+use dagsched_dag::bitset::BitSet;
+use dagsched_dag::closure::{Closure, Relation};
+use dagsched_dag::{Dag, NodeId};
+
+/// Checks the paper's clan definition directly: for every `z` outside
+/// `members`, `z` relates (ancestor / descendant / unrelated) the same
+/// way to every member.
+pub fn is_clan(g: &Dag, closure: &Closure, members: &BitSet) -> bool {
+    let mut iter = members.iter();
+    let Some(first) = iter.next() else {
+        return false; // clans are non-empty
+    };
+    let rest: Vec<usize> = iter.collect();
+    for z in 0..g.num_nodes() {
+        if members.contains(z) {
+            continue;
+        }
+        let zref = relation(closure, z, first);
+        for &m in &rest {
+            if relation(closure, z, m) != zref {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn relation(closure: &Closure, a: usize, b: usize) -> Relation {
+    closure.relation(NodeId(a as u32), NodeId(b as u32))
+}
+
+/// Everything that can go wrong with a parse tree, as reported by
+/// [`check_tree`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeViolation {
+    /// A clan's member set fails the clan definition.
+    NotAClan(u32),
+    /// An internal clan's children do not partition its members.
+    BadPartition(u32),
+    /// A linear clan whose children are not totally ordered earliest
+    /// to latest (some cross-pair is not ancestor → descendant).
+    LinearNotOrdered(u32),
+    /// An independent clan with a comparable cross-pair.
+    IndependentNotParallel(u32),
+    /// A leaf clan that is not a single graph node, or an internal
+    /// clan with fewer than two children.
+    Malformed(u32),
+    /// The root does not cover all graph nodes, or a node's leaf
+    /// pointer is wrong.
+    BadCover,
+}
+
+/// Validates every structural invariant of `tree` against `g`.
+/// Returns all violations (empty = valid).
+pub fn check_tree(g: &Dag, tree: &ParseTree) -> Vec<TreeViolation> {
+    let mut violations = Vec::new();
+    let closure = Closure::new(g);
+
+    match tree.root() {
+        None => {
+            if g.num_nodes() != 0 {
+                violations.push(TreeViolation::BadCover);
+            }
+            return violations;
+        }
+        Some(root) => {
+            if tree.clan(root).size() != g.num_nodes() {
+                violations.push(TreeViolation::BadCover);
+            }
+        }
+    }
+
+    for v in g.nodes() {
+        if tree.clan(tree.leaf_of(v)).node != Some(v) {
+            violations.push(TreeViolation::BadCover);
+            break;
+        }
+    }
+
+    for id in tree.clan_ids() {
+        let c = tree.clan(id);
+        if !is_clan(g, &closure, &c.members) {
+            violations.push(TreeViolation::NotAClan(id.0));
+        }
+        match c.kind {
+            ClanKind::Leaf => {
+                if c.size() != 1 || c.node.is_none() || !c.children.is_empty() {
+                    violations.push(TreeViolation::Malformed(id.0));
+                }
+            }
+            kind => {
+                if c.children.len() < 2 || c.node.is_some() {
+                    violations.push(TreeViolation::Malformed(id.0));
+                    continue;
+                }
+                // Children partition the members.
+                let mut union = BitSet::new(g.num_nodes());
+                let mut disjoint = true;
+                for &ch in &c.children {
+                    let m = &tree.clan(ch).members;
+                    if union.intersects(m) {
+                        disjoint = false;
+                    }
+                    union.union_with(m);
+                }
+                if !disjoint || union != c.members {
+                    violations.push(TreeViolation::BadPartition(id.0));
+                }
+                match kind {
+                    ClanKind::Linear if !linear_children_ordered(tree, &closure, id.0) => {
+                        violations.push(TreeViolation::LinearNotOrdered(id.0));
+                    }
+                    ClanKind::Independent
+                        if !independent_children_parallel(tree, &closure, id.0) =>
+                    {
+                        violations.push(TreeViolation::IndependentNotParallel(id.0));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    violations
+}
+
+fn linear_children_ordered(tree: &ParseTree, closure: &Closure, id: u32) -> bool {
+    let c = tree.clan(crate::tree::ClanId(id));
+    for (i, &a) in c.children.iter().enumerate() {
+        for &b in &c.children[i + 1..] {
+            let am: Vec<usize> = tree.clan(a).members.iter().collect();
+            let bm: Vec<usize> = tree.clan(b).members.iter().collect();
+            for &x in &am {
+                for &y in &bm {
+                    if relation(closure, x, y) != Relation::Ancestor {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+fn independent_children_parallel(tree: &ParseTree, closure: &Closure, id: u32) -> bool {
+    let c = tree.clan(crate::tree::ClanId(id));
+    for (i, &a) in c.children.iter().enumerate() {
+        for &b in &c.children[i + 1..] {
+            let am: Vec<usize> = tree.clan(a).members.iter().collect();
+            let bm: Vec<usize> = tree.clan(b).members.iter().collect();
+            for &x in &am {
+                for &y in &bm {
+                    if relation(closure, x, y) != Relation::Unrelated {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_dag::DagBuilder;
+
+    fn build(edges: &[(u32, u32)], nodes: u32) -> Dag {
+        let mut b = DagBuilder::new();
+        for _ in 0..nodes {
+            b.add_node(1);
+        }
+        for &(s, d) in edges {
+            b.add_edge(NodeId(s), NodeId(d), 1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fig16_tree_is_valid() {
+        let g = build(&[(0, 1), (0, 2), (2, 3), (1, 4), (3, 4)], 5);
+        let tree = ParseTree::decompose(&g);
+        assert_eq!(check_tree(&g, &tree), Vec::new());
+    }
+
+    #[test]
+    fn primitive_tree_is_valid() {
+        let g = build(&[(0, 2), (1, 2), (1, 3)], 4);
+        let tree = ParseTree::decompose(&g);
+        assert_eq!(check_tree(&g, &tree), Vec::new());
+    }
+
+    #[test]
+    fn is_clan_accepts_and_rejects() {
+        let g = build(&[(0, 1), (0, 2), (2, 3), (1, 4), (3, 4)], 5);
+        let closure = Closure::new(&g);
+        let clan = BitSet::from_iter_with_len(5, [2usize, 3]);
+        assert!(is_clan(&g, &closure, &clan));
+        let whole = BitSet::full(5);
+        assert!(is_clan(&g, &closure, &whole));
+        let single = BitSet::from_iter_with_len(5, [1usize]);
+        assert!(is_clan(&g, &closure, &single));
+        // {1, 2} is not a clan: node 3 descends from 2 but not from 1.
+        let not = BitSet::from_iter_with_len(5, [1usize, 2]);
+        assert!(!is_clan(&g, &closure, &not));
+        // The empty set is not a clan by convention.
+        assert!(!is_clan(&g, &closure, &BitSet::new(5)));
+    }
+
+    #[test]
+    fn empty_graph_tree_checks_out() {
+        let g = DagBuilder::new().build().unwrap();
+        let tree = ParseTree::decompose(&g);
+        assert!(check_tree(&g, &tree).is_empty());
+    }
+
+    #[test]
+    fn every_family_produces_valid_trees() {
+        let families: Vec<Dag> = vec![
+            build(&[], 1),
+            build(&[], 6),
+            build(&[(0, 1), (1, 2), (2, 3), (3, 4)], 5),
+            build(&[(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4)], 5),
+            build(&[(0, 2), (1, 2), (1, 3), (2, 4), (3, 4), (0, 5)], 6),
+            build(&[(0, 4), (4, 2), (1, 2), (1, 3)], 5),
+        ];
+        for g in families {
+            let tree = ParseTree::decompose(&g);
+            assert_eq!(check_tree(&g, &tree), Vec::new(), "graph {:?}", g);
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! CLANS — clan-based graph decomposition scheduling (McCreary &
+//! Gill), per the paper's appendix A.5 / Figures 15–16.
+//!
+//! The PDG is parsed into its clan parse tree (`dagsched-clans`), then
+//! costs are assigned bottom-up:
+//!
+//! * a **leaf** costs its node weight;
+//! * a **linear** clan executes its children sequentially — cost is
+//!   the sum of the (already decided) child costs;
+//! * an **independent** clan is where the decision happens: either
+//!   *cluster* (serialize all members on the parent's processor, cost
+//!   = total node weight) or *parallelize* (the heaviest child stays
+//!   on the parent's processor; every other child moves to its own
+//!   processor and pays its maximal incoming and outgoing
+//!   cross-boundary edge weights, exactly the `5 + 20 + 4 = 29`
+//!   computation of Figure 16) — whichever is cheaper. Choosing
+//!   *cluster* whenever parallelizing does not strictly win is the
+//!   paper's per-linear-node speedup check;
+//! * a **primitive** clan (possible in the rewired random graphs,
+//!   though never in pure parse-tree graphs) chooses between full
+//!   serialization and placing each child on its own processor, the
+//!   parallel cost estimated by the longest path through the quotient
+//!   of the children.
+//!
+//! Finally the layout is materialized into a schedule, and — the
+//! paper's macro-level guarantee ("CLANS can never produce a speedup
+//! less than 1", §4.1.1) — if the realized makespan exceeds the serial
+//! time the scheduler falls back to the serial schedule.
+
+use crate::scheduler::Scheduler;
+use dagsched_clans::{ClanId, ClanKind, ParseTree};
+use dagsched_dag::bitset::BitSet;
+use dagsched_dag::{topo, Dag, NodeId, Weight};
+use dagsched_sim::{Clustering, Machine, Schedule};
+
+/// The CLANS scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Clans;
+
+/// The resolved layout of one clan: which tasks ride on the parent's
+/// ("main") processor and which groups get processors of their own.
+#[derive(Debug, Clone)]
+struct Plan {
+    /// Estimated execution time under this layout (the paper's
+    /// bottom-up cost).
+    cost: Weight,
+    /// Tasks on the inherited processor.
+    main: Vec<NodeId>,
+    /// Task groups placed on fresh processors.
+    satellites: Vec<Vec<NodeId>>,
+}
+
+impl Scheduler for Clans {
+    fn name(&self) -> &'static str {
+        "CLANS"
+    }
+
+    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+        let n = g.num_nodes();
+        if n == 0 {
+            return Schedule::new(g, vec![]);
+        }
+        let tree = ParseTree::decompose(g);
+        let root = tree.root().expect("non-empty graph has a parse tree root");
+        let ctx = Ctx {
+            g,
+            tree: &tree,
+            topo_pos: topo::positions(g.topo_order(), n),
+        };
+        let plan = ctx.plan(root);
+
+        // Materialize: main = cluster 0, each satellite its own.
+        let mut clustering = Clustering::new(n);
+        let main_cluster = clustering.create_cluster();
+        for &v in &plan.main {
+            clustering.assign(v, main_cluster);
+        }
+        for sat in &plan.satellites {
+            let c = clustering.create_cluster();
+            for &v in sat {
+                clustering.assign(v, c);
+            }
+        }
+        // A machine bound below the cluster count forces serial
+        // fallback too (CLANS targets the paper's unbounded model).
+        let fits = machine
+            .max_procs()
+            .is_none_or(|b| clustering.num_used_clusters() <= b);
+        let parallel = fits.then(|| {
+            clustering
+                .materialize(g, machine)
+                .expect("plans cover every task")
+        });
+
+        // Macro-level speedup check: never slower than serial.
+        let serial_time = g.serial_time();
+        match parallel {
+            Some(s) if s.makespan() <= serial_time => s,
+            _ => Clustering::serial(n)
+                .materialize(g, machine)
+                .expect("serial clustering is always valid"),
+        }
+    }
+}
+
+struct Ctx<'a> {
+    g: &'a Dag,
+    tree: &'a ParseTree,
+    topo_pos: Vec<usize>,
+}
+
+impl Ctx<'_> {
+    fn plan(&self, clan: ClanId) -> Plan {
+        let c = self.tree.clan(clan);
+        match c.kind {
+            ClanKind::Leaf => {
+                let v = c.node.expect("leaf carries its node");
+                Plan {
+                    cost: self.g.node_weight(v),
+                    main: vec![v],
+                    satellites: Vec::new(),
+                }
+            }
+            ClanKind::Linear => {
+                let mut cost = 0;
+                let mut main = Vec::new();
+                let mut satellites = Vec::new();
+                for &ch in &c.children {
+                    let p = self.plan(ch);
+                    cost += p.cost;
+                    main.extend(p.main);
+                    satellites.extend(p.satellites);
+                }
+                Plan {
+                    cost,
+                    main,
+                    satellites,
+                }
+            }
+            ClanKind::Independent => self.plan_independent(clan),
+            ClanKind::Primitive => self.plan_primitive(clan),
+        }
+    }
+
+    /// Total node weight of a clan — its fully serialized cost.
+    fn serial_cost(&self, clan: ClanId) -> Weight {
+        self.tree
+            .clan(clan)
+            .members
+            .iter()
+            .map(|v| self.g.node_weight(NodeId(v as u32)))
+            .sum()
+    }
+
+    /// Members of `clan` in topological order (the serialized layout).
+    fn members_in_topo_order(&self, clan: ClanId) -> Vec<NodeId> {
+        let mut m: Vec<NodeId> = self
+            .tree
+            .clan(clan)
+            .members
+            .iter()
+            .map(|v| NodeId(v as u32))
+            .collect();
+        m.sort_by_key(|v| self.topo_pos[v.index()]);
+        m
+    }
+
+    /// Maximal weight of an edge entering `child` from outside
+    /// `boundary` (the clan making the decision).
+    fn in_comm(&self, child: &BitSet, boundary: &BitSet) -> Weight {
+        let mut best = 0;
+        for v in child.iter() {
+            for e in self.g.in_edges(NodeId(v as u32)) {
+                let ed = self.g.edge(*e);
+                if !boundary.contains(ed.src.index()) {
+                    best = best.max(ed.weight);
+                }
+            }
+        }
+        best
+    }
+
+    /// Maximal weight of an edge leaving `child` toward outside
+    /// `boundary`.
+    fn out_comm(&self, child: &BitSet, boundary: &BitSet) -> Weight {
+        let mut best = 0;
+        for v in child.iter() {
+            for e in self.g.out_edges(NodeId(v as u32)) {
+                let ed = self.g.edge(*e);
+                if !boundary.contains(ed.dst.index()) {
+                    best = best.max(ed.weight);
+                }
+            }
+        }
+        best
+    }
+
+    fn plan_independent(&self, clan: ClanId) -> Plan {
+        let c = self.tree.clan(clan);
+        let plans: Vec<Plan> = c.children.iter().map(|&ch| self.plan(ch)).collect();
+        let cluster_cost = self.serial_cost(clan);
+
+        // Heaviest child inherits the parent's processor (Figure 16:
+        // C₁ "executing on the same processor as the nodes with which
+        // it communicates" pays no boundary communication).
+        let heaviest = plans
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, p)| (p.cost, std::cmp::Reverse(*i)))
+            .map(|(i, _)| i)
+            .expect("independent clans have children");
+        let mut parallel_cost = plans[heaviest].cost;
+        for (i, p) in plans.iter().enumerate() {
+            if i == heaviest {
+                continue;
+            }
+            let members = &self.tree.clan(c.children[i]).members;
+            let adj =
+                p.cost + self.in_comm(members, &c.members) + self.out_comm(members, &c.members);
+            parallel_cost = parallel_cost.max(adj);
+        }
+
+        if parallel_cost < cluster_cost {
+            let mut main = Vec::new();
+            let mut satellites = Vec::new();
+            for (i, p) in plans.into_iter().enumerate() {
+                if i == heaviest {
+                    main = p.main;
+                    satellites.extend(p.satellites);
+                } else {
+                    satellites.push(p.main);
+                    satellites.extend(p.satellites);
+                }
+            }
+            Plan {
+                cost: parallel_cost,
+                main,
+                satellites,
+            }
+        } else {
+            // The paper's speedup check: serialize the whole clan on
+            // the parent's processor.
+            Plan {
+                cost: cluster_cost,
+                main: self.members_in_topo_order(clan),
+                satellites: Vec::new(),
+            }
+        }
+    }
+
+    /// Primitive clans: the parse tree offers no linear/independent
+    /// structure to exploit, so the children (as macro-tasks costed by
+    /// their plans, with the maximal cross edges as communication) are
+    /// scheduled by the comm-aware list scheduler on a macro machine.
+    /// Children sharing a macro processor are clustered together —
+    /// this recovers the partial parallelism that a pure
+    /// all-or-nothing rule would forfeit on the rewired random graphs.
+    /// Full serialization still wins whenever it is cheaper (the
+    /// speedup check).
+    fn plan_primitive(&self, clan: ClanId) -> Plan {
+        let c = self.tree.clan(clan);
+        let plans: Vec<Plan> = c.children.iter().map(|&ch| self.plan(ch)).collect();
+        let serial = self.serial_cost(clan);
+
+        // Quotient DAG over the children: edge i→j with the maximal
+        // member-to-member edge weight; node weight = plan cost.
+        let child_index: std::collections::HashMap<ClanId, usize> = c
+            .children
+            .iter()
+            .enumerate()
+            .map(|(i, &ch)| (ch, i))
+            .collect();
+        let quotient = dagsched_clans::Quotient::of(self.g, self.tree, clan, |ch| {
+            plans[child_index[&ch]].cost
+        });
+        let macro_schedule =
+            crate::listsched::mh::Mh.schedule(&quotient.graph, &dagsched_sim::Clique);
+        let parallel = macro_schedule.makespan();
+
+        if parallel < serial && macro_schedule.num_procs() > 1 {
+            // Group children by macro processor; the heaviest group
+            // inherits the parent's processor.
+            let mut groups: Vec<(Weight, Vec<usize>)> =
+                vec![(0, Vec::new()); macro_schedule.num_procs()];
+            for (q, &ch) in quotient.children.iter().enumerate() {
+                let child = child_index[&ch];
+                let p = macro_schedule.proc_of(NodeId(q as u32)).index();
+                groups[p].0 += plans[child].cost;
+                groups[p].1.push(child);
+            }
+            let main_group = groups
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, (w, _))| (*w, std::cmp::Reverse(*i)))
+                .map(|(i, _)| i)
+                .expect("at least one macro processor");
+            let mut main = Vec::new();
+            let mut satellites = Vec::new();
+            for (gi, (_, children)) in groups.into_iter().enumerate() {
+                let mut cluster = Vec::new();
+                for child in children {
+                    cluster.extend(plans[child].main.iter().copied());
+                    satellites.extend(plans[child].satellites.iter().cloned());
+                }
+                if gi == main_group {
+                    main = cluster;
+                } else if !cluster.is_empty() {
+                    satellites.push(cluster);
+                }
+            }
+            Plan {
+                cost: parallel,
+                main,
+                satellites,
+            }
+        } else {
+            Plan {
+                cost: serial,
+                main: self.members_in_topo_order(clan),
+                satellites: Vec::new(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{coarse_fork_join, fig16, fine_fork_join};
+    use dagsched_sim::{metrics, validate, Clique};
+
+    #[test]
+    fn fig16_reproduces_the_papers_130() {
+        // Figure 16 (C): "Schedule completes in parallel time 130."
+        let g = fig16();
+        let s = Clans.schedule(&g, &Clique);
+        assert!(validate::is_valid(&g, &Clique, &s));
+        assert_eq!(s.makespan(), 130);
+        assert_eq!(s.num_procs(), 2);
+        // Node 1 (paper's node 2) runs alone; the spine stays together.
+        assert_ne!(s.proc_of(NodeId(1)), s.proc_of(NodeId(0)));
+        assert_eq!(s.proc_of(NodeId(2)), s.proc_of(NodeId(0)));
+    }
+
+    #[test]
+    fn never_produces_speedup_below_one() {
+        // The paper's headline CLANS property (§4.1.1 / Table 2).
+        for g in [fig16(), coarse_fork_join(), fine_fork_join()] {
+            let s = Clans.schedule(&g, &Clique);
+            let m = metrics::measures(&g, &s);
+            assert!(m.speedup >= 1.0, "speedup {}", m.speedup);
+        }
+    }
+
+    #[test]
+    fn serializes_fine_grains_entirely() {
+        let g = fine_fork_join();
+        let s = Clans.schedule(&g, &Clique);
+        assert_eq!(s.num_procs(), 1, "100% efficient serial fallback");
+        assert_eq!(s.makespan(), g.serial_time());
+    }
+
+    #[test]
+    fn parallelizes_coarse_grains() {
+        let g = coarse_fork_join();
+        let s = Clans.schedule(&g, &Clique);
+        let m = metrics::measures(&g, &s);
+        assert!(m.speedup > 2.0, "got {}", m.speedup);
+        assert!(validate::is_valid(&g, &Clique, &s));
+    }
+
+    #[test]
+    fn handles_primitive_clans() {
+        // The N poset with coarse weights: primitive at the root.
+        let g = dagsched_gen::pdg::from_lists(
+            &[100, 100, 100, 100],
+            &[(0, 2, 2), (1, 2, 2), (1, 3, 2)],
+        );
+        let s = Clans.schedule(&g, &Clique);
+        assert!(validate::is_valid(&g, &Clique, &s));
+        let m = metrics::measures(&g, &s);
+        assert!(
+            m.speedup > 1.0,
+            "coarse primitive should parallelize, got {}",
+            m.speedup
+        );
+        // And the fine version serializes.
+        let fine =
+            dagsched_gen::pdg::from_lists(&[5, 5, 5, 5], &[(0, 2, 900), (1, 2, 900), (1, 3, 900)]);
+        let s = Clans.schedule(&fine, &Clique);
+        assert_eq!(s.num_procs(), 1);
+        assert_eq!(s.makespan(), fine.serial_time());
+    }
+
+    #[test]
+    fn independent_root_parallelizes_when_free() {
+        let g = dagsched_gen::families::independent(4, 50);
+        let s = Clans.schedule(&g, &Clique);
+        assert_eq!(s.num_procs(), 4);
+        assert_eq!(s.makespan(), 50);
+    }
+
+    #[test]
+    fn chain_is_serial() {
+        let g = dagsched_gen::families::chain(7, 10, 3);
+        let s = Clans.schedule(&g, &Clique);
+        assert_eq!(s.num_procs(), 1);
+        assert_eq!(s.makespan(), 70);
+    }
+
+    #[test]
+    fn single_node_and_empty() {
+        let mut b = dagsched_dag::DagBuilder::new();
+        b.add_node(9);
+        let g = b.build().unwrap();
+        assert_eq!(Clans.schedule(&g, &Clique).makespan(), 9);
+        let empty = dagsched_dag::DagBuilder::new().build().unwrap();
+        assert_eq!(Clans.schedule(&empty, &Clique).makespan(), 0);
+    }
+}

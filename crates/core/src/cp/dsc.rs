@@ -1,0 +1,526 @@
+//! DSC — Dominant Sequence Clustering (Yang & Gerasoulis), per the
+//! paper's appendix A.1 / Figure 7.
+//!
+//! DSC starts from the fully parallel clustering (every task alone)
+//! and examines tasks one at a time in order of
+//! `priority = tlevel + blevel` — the length of the longest path
+//! through the task, i.e. the *dominant sequence* when the task lies
+//! on it. Examining a free task tries to *zero* incoming edges by
+//! appending the task to the cluster of one of its predecessors,
+//! accepting the merge only when it does not increase the task's
+//! start time (the paper's CT1). When a *partially free* task outranks
+//! every free task, the merge is additionally constrained so that the
+//! partially free task's potential start never increases (the paper's
+//! CT2, Yang & Gerasoulis' DSRW warranty).
+//!
+//! The output is a clustering; clusters map one-to-one onto
+//! processors, and the examination order doubles as the per-cluster
+//! execution order, so the final timing is exactly what the algorithm
+//! computed internally (asserted in debug builds).
+
+use crate::scheduler::Scheduler;
+use dagsched_dag::{levels, Dag, NodeId, Weight};
+use dagsched_sim::evaluate::timed_schedule;
+use dagsched_sim::{Clustering, Machine, ProcId, Schedule};
+
+/// Dominant Sequence Clustering.
+///
+/// ```
+/// use dagsched_core::{Dsc, Scheduler};
+/// use dagsched_sim::Clique;
+///
+/// // A chain with heavy communication collapses onto one processor.
+/// let g = dagsched_gen::families::chain(5, 10, 300);
+/// let s = Dsc.schedule(&g, &Clique);
+/// assert_eq!(s.num_procs(), 1);
+/// assert_eq!(s.makespan(), 50);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dsc;
+
+struct State<'a> {
+    g: &'a Dag,
+    blevel: Vec<Weight>,
+    examined: Vec<bool>,
+    start: Vec<Weight>,
+    finish: Vec<Weight>,
+    cluster_of: Vec<Option<u32>>,
+    cluster_last: Vec<Weight>,
+    cluster_tasks: Vec<Vec<NodeId>>,
+    examined_preds: Vec<u32>,
+    /// `max over examined preds (finish + edge weight)` — the task's
+    /// start lower bound on a fresh cluster (the paper's
+    /// `startbound`); exact for free tasks, partial for others.
+    startbound: Vec<Weight>,
+}
+
+impl<'a> State<'a> {
+    fn new(g: &'a Dag) -> Self {
+        let n = g.num_nodes();
+        State {
+            g,
+            blevel: levels::blevels_with_comm(g),
+            examined: vec![false; n],
+            start: vec![0; n],
+            finish: vec![0; n],
+            cluster_of: vec![None; n],
+            cluster_last: Vec::new(),
+            cluster_tasks: Vec::new(),
+            examined_preds: vec![0; n],
+            startbound: vec![0; n],
+        }
+    }
+
+    fn is_free(&self, v: NodeId) -> bool {
+        !self.examined[v.index()] && self.examined_preds[v.index()] as usize == self.g.in_degree(v)
+    }
+
+    fn is_partially_free(&self, v: NodeId) -> bool {
+        !self.examined[v.index()]
+            && self.examined_preds[v.index()] > 0
+            && (self.examined_preds[v.index()] as usize) < self.g.in_degree(v)
+    }
+
+    fn priority(&self, v: NodeId) -> Weight {
+        self.startbound[v.index()] + self.blevel[v.index()]
+    }
+
+    /// Start time of `v` if appended to cluster `c` now (edges from
+    /// members of `c` zeroed).
+    fn st_in_cluster(&self, v: NodeId, c: u32) -> Weight {
+        let arrivals = self
+            .g
+            .preds(v)
+            .filter(|(p, _)| self.examined[p.index()])
+            .map(|(p, w)| {
+                let pc = self.cluster_of[p.index()].expect("examined preds are clustered");
+                self.finish[p.index()] + if pc == c { 0 } else { w }
+            })
+            .max()
+            .unwrap_or(0);
+        arrivals.max(self.cluster_last[c as usize])
+    }
+
+    /// Candidate clusters for `v`: the distinct clusters of its
+    /// examined predecessors, ascending.
+    fn parent_clusters(&self, v: NodeId) -> Vec<u32> {
+        let mut cs: Vec<u32> = self
+            .g
+            .preds(v)
+            .filter(|(p, _)| self.examined[p.index()])
+            .map(|(p, _)| self.cluster_of[p.index()].expect("clustered"))
+            .collect();
+        cs.sort_unstable();
+        cs.dedup();
+        cs
+    }
+
+    /// Commits `v` to cluster `c` at time `st`.
+    fn commit(&mut self, v: NodeId, c: u32, st: Weight) {
+        self.examined[v.index()] = true;
+        self.cluster_of[v.index()] = Some(c);
+        self.start[v.index()] = st;
+        let fin = st + self.g.node_weight(v);
+        self.finish[v.index()] = fin;
+        self.cluster_last[c as usize] = fin;
+        self.cluster_tasks[c as usize].push(v);
+        for (s, w) in self.g.succs(v) {
+            self.examined_preds[s.index()] += 1;
+            // startbound uses full communication (the successor is not
+            // merged yet).
+            self.startbound[s.index()] = self.startbound[s.index()].max(fin + w);
+        }
+    }
+
+    fn new_cluster(&mut self) -> u32 {
+        self.cluster_last.push(0);
+        self.cluster_tasks.push(Vec::new());
+        (self.cluster_last.len() - 1) as u32
+    }
+}
+
+impl Scheduler for Dsc {
+    fn name(&self) -> &'static str {
+        "DSC"
+    }
+
+    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+        let n = g.num_nodes();
+        if n == 0 {
+            return dagsched_sim::Schedule::new(g, vec![]);
+        }
+        let mut st = State::new(g);
+
+        for _ in 0..n {
+            // Highest-priority free and partially free tasks (a scan
+            // keeps the implementation transparent; the corpus sizes
+            // make the O(n²) total negligible).
+            let nf = g
+                .nodes()
+                .filter(|&v| st.is_free(v))
+                .max_by_key(|&v| (st.priority(v), std::cmp::Reverse(v.0)))
+                .expect("a DAG always has a free task while unexamined tasks remain");
+            // The paper's ny: the single highest-priority partially
+            // free task (ties toward the smaller index).
+            let npf = g
+                .nodes()
+                .filter(|&v| st.is_partially_free(v))
+                .max_by_key(|&v| (st.priority(v), std::cmp::Reverse(v.0)));
+
+            let startbound = st.startbound[nf.index()];
+            let candidates = st.parent_clusters(nf);
+            let best = candidates
+                .iter()
+                .map(|&c| (st.st_in_cluster(nf, c), c))
+                .min();
+
+            let constrained = npf.is_some_and(|y| st.priority(y) > st.priority(nf));
+            let accept = match best {
+                // CT1: never increase the task's own start.
+                Some((stc, c)) if stc <= startbound => {
+                    if !constrained {
+                        Some((c, stc))
+                    } else {
+                        // CT2 / DSRW: appending nf to c must not
+                        // increase the potential start of ny (the
+                        // pseudocode's single dominant partially free
+                        // task).
+                        let y = npf.expect("constrained implies ny exists");
+                        let nf_fin = stc + g.node_weight(nf);
+                        let ok = if st.parent_clusters(y).contains(&c) {
+                            let before = st.st_in_cluster(y, c);
+                            let after = before.max(nf_fin);
+                            after <= before.max(st.startbound[y.index()])
+                        } else {
+                            true
+                        };
+                        ok.then_some((c, stc))
+                    }
+                }
+                _ => None,
+            };
+
+            match accept {
+                Some((c, stc)) => st.commit(nf, c, stc),
+                None => {
+                    let c = st.new_cluster();
+                    st.commit(nf, c, startbound);
+                }
+            }
+        }
+
+        finalize(g, machine, st)
+    }
+}
+
+/// Heap-driven DSC with the complexity the paper quotes,
+/// O((v+e) log v): free and partially-free candidates live in lazy
+/// max-heaps instead of being rescanned each round.
+///
+/// * a free task's priority is frozen the moment it becomes free
+///   (all predecessors examined ⇒ its startbound no longer moves), so
+///   free-heap entries are never stale;
+/// * a partially free task's priority only grows; every growth pushes
+///   a fresh entry and peeks discard entries whose stored priority no
+///   longer matches.
+///
+/// Produces **identical schedules** to [`Dsc`] (differential-tested
+/// in the property suite) — same selection rule, same tie-breaks,
+/// same CT1/CT2 decisions — just found faster.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DscFast;
+
+impl Scheduler for DscFast {
+    fn name(&self) -> &'static str {
+        "DSC-F"
+    }
+
+    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let n = g.num_nodes();
+        if n == 0 {
+            return dagsched_sim::Schedule::new(g, vec![]);
+        }
+        let mut st = State::new(g);
+
+        // Max-heaps of (priority, Reverse(node id)).
+        let mut free_heap: BinaryHeap<(Weight, Reverse<u32>)> = g
+            .nodes()
+            .filter(|&v| st.is_free(v))
+            .map(|v| (st.priority(v), Reverse(v.0)))
+            .collect();
+        let mut pfree_heap: BinaryHeap<(Weight, Reverse<u32>)> = BinaryHeap::new();
+
+        for _ in 0..n {
+            let nf = loop {
+                let (prio, Reverse(v)) = free_heap.pop().expect("a free task always exists");
+                let v = NodeId(v);
+                // Free entries go stale only by being examined (their
+                // priority froze when they became free).
+                if !st.examined[v.index()] {
+                    debug_assert_eq!(prio, st.priority(v));
+                    break v;
+                }
+            };
+            // Lazily clean the partially-free head.
+            let npf = loop {
+                match pfree_heap.peek() {
+                    None => break None,
+                    Some(&(prio, Reverse(v))) => {
+                        let v = NodeId(v);
+                        if st.is_partially_free(v) && prio == st.priority(v) {
+                            break Some(v);
+                        }
+                        pfree_heap.pop();
+                    }
+                }
+            };
+
+            let startbound = st.startbound[nf.index()];
+            let candidates = st.parent_clusters(nf);
+            let best = candidates
+                .iter()
+                .map(|&c| (st.st_in_cluster(nf, c), c))
+                .min();
+            let constrained = npf.is_some_and(|y| st.priority(y) > st.priority(nf));
+            let accept = match best {
+                Some((stc, c)) if stc <= startbound => {
+                    if !constrained {
+                        Some((c, stc))
+                    } else {
+                        let y = npf.expect("constrained implies ny exists");
+                        let nf_fin = stc + g.node_weight(nf);
+                        let ok = if st.parent_clusters(y).contains(&c) {
+                            let before = st.st_in_cluster(y, c);
+                            let after = before.max(nf_fin);
+                            after <= before.max(st.startbound[y.index()])
+                        } else {
+                            true
+                        };
+                        ok.then_some((c, stc))
+                    }
+                }
+                _ => None,
+            };
+            match accept {
+                Some((c, stc)) => st.commit(nf, c, stc),
+                None => {
+                    let c = st.new_cluster();
+                    st.commit(nf, c, startbound);
+                }
+            }
+            // Commit bumped the successors' startbounds: requeue them
+            // under their new priorities.
+            for (s, _) in g.succs(nf) {
+                if st.is_free(s) {
+                    free_heap.push((st.priority(s), Reverse(s.0)));
+                } else if st.is_partially_free(s) {
+                    pfree_heap.push((st.priority(s), Reverse(s.0)));
+                }
+            }
+        }
+
+        finalize(g, machine, st)
+    }
+}
+
+/// Turns the DSC clustering into a [`Schedule`]. On the unbounded
+/// clique this replays DSC's own orders and must reproduce its
+/// internal times exactly; on a bounded machine the excess clusters
+/// are first folded together (least-loaded pairs) and re-timed.
+fn finalize(g: &Dag, machine: &dyn Machine, st: State<'_>) -> Schedule {
+    let num_clusters = st.cluster_tasks.len();
+    let within_bound = machine.max_procs().is_none_or(|b| num_clusters <= b);
+    if within_bound {
+        let assignment: Vec<ProcId> = st
+            .cluster_of
+            .iter()
+            .map(|c| ProcId(c.expect("all tasks clustered")))
+            .collect();
+        let schedule = timed_schedule(g, machine, &assignment, &st.cluster_tasks)
+            .expect("DSC examination order is topological");
+        // On the paper's clique the replayed times are exactly what
+        // the algorithm computed internally; hop-priced topologies
+        // re-time with their own costs.
+        #[cfg(debug_assertions)]
+        if machine.name() == "clique" {
+            for v in g.nodes() {
+                debug_assert_eq!(schedule.start_of(v), st.start[v.index()], "{v}");
+            }
+        }
+        return schedule;
+    }
+    // Bounded machine: fold clusters (least-loaded pairs) until they
+    // fit, then re-time.
+    let bound = machine.max_procs().expect("bounded branch").max(1);
+    let mut clustering = Clustering::new(g.num_nodes());
+    for tasks in &st.cluster_tasks {
+        let c = clustering.create_cluster();
+        for &t in tasks {
+            clustering.assign(t, c);
+        }
+    }
+    clustering
+        .fold_to(g, bound)
+        .materialize(g, machine)
+        .expect("folded clustering covers all tasks")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{coarse_fork_join, fig16, fine_fork_join};
+    use dagsched_sim::{metrics, validate, BoundedClique, Clique};
+
+    #[test]
+    fn fig16_schedule_is_valid_and_short() {
+        let g = fig16();
+        let s = Dsc.schedule(&g, &Clique);
+        assert!(validate::is_valid(&g, &Clique, &s));
+        // DSC keeps the dominant sequence 0→2→3→4 in one cluster and
+        // zeroes nothing it shouldn't: parallel time 130 (node 1 off
+        // to the side) or better.
+        assert!(s.makespan() <= 130, "got {}", s.makespan());
+    }
+
+    #[test]
+    fn never_worse_than_fully_parallel() {
+        // DSC starts from the fully parallel clustering and only
+        // accepts start-time-reducing merges, so it can never exceed
+        // the critical path with communication.
+        for g in [fig16(), coarse_fork_join(), fine_fork_join()] {
+            let s = Dsc.schedule(&g, &Clique);
+            assert!(s.makespan() <= dagsched_dag::levels::critical_path_len(&g));
+        }
+    }
+
+    #[test]
+    fn zeroes_chains_completely() {
+        let g = dagsched_gen::families::chain(8, 10, 500);
+        let s = Dsc.schedule(&g, &Clique);
+        assert_eq!(s.num_procs(), 1);
+        assert_eq!(s.makespan(), 80);
+    }
+
+    #[test]
+    fn coarse_fork_join_parallelizes() {
+        let g = coarse_fork_join();
+        let s = Dsc.schedule(&g, &Clique);
+        assert!(validate::is_valid(&g, &Clique, &s));
+        let m = metrics::measures(&g, &s);
+        assert!(m.speedup > 2.0, "got {}", m.speedup);
+    }
+
+    #[test]
+    fn fine_fork_join_collapses_but_can_retard() {
+        // DSC's guarantee is "no worse than fully parallel", not "no
+        // worse than serial" — the Table 2 behaviour. On this fixture
+        // it zeroes down to few clusters.
+        let g = fine_fork_join();
+        let s = Dsc.schedule(&g, &Clique);
+        assert!(validate::is_valid(&g, &Clique, &s));
+        assert!(s.makespan() <= dagsched_dag::levels::critical_path_len(&g));
+    }
+
+    #[test]
+    fn independent_tasks_stay_parallel() {
+        let g = dagsched_gen::families::independent(4, 9);
+        let s = Dsc.schedule(&g, &Clique);
+        assert_eq!(s.num_procs(), 4);
+        assert_eq!(s.makespan(), 9);
+    }
+
+    #[test]
+    fn bounded_machine_folds_clusters() {
+        let g = coarse_fork_join();
+        let m = BoundedClique::new(2);
+        let s = Dsc.schedule(&g, &m);
+        assert!(s.num_procs() <= 2);
+        assert!(validate::is_valid(&g, &m, &s));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = dagsched_dag::DagBuilder::new().build().unwrap();
+        assert_eq!(Dsc.schedule(&g, &Clique).makespan(), 0);
+    }
+
+    #[test]
+    fn fast_dsc_matches_scan_dsc_on_fixtures() {
+        for g in [fig16(), coarse_fork_join(), fine_fork_join()] {
+            let slow = Dsc.schedule(&g, &Clique);
+            let fast = DscFast.schedule(&g, &Clique);
+            assert_eq!(slow, fast);
+        }
+    }
+
+    #[test]
+    fn fast_dsc_matches_on_random_corpus_samples() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for band in dagsched_gen::GranularityBand::ALL {
+            let g = dagsched_gen::pdg::generate(
+                &dagsched_gen::PdgSpec {
+                    nodes: 45,
+                    anchor: 3,
+                    weights: dagsched_gen::WeightRange::new(20, 200),
+                    band,
+                },
+                &mut rng,
+            );
+            let slow = Dsc.schedule(&g, &Clique);
+            let fast = DscFast.schedule(&g, &Clique);
+            assert_eq!(slow, fast, "band {band:?}");
+        }
+    }
+
+    #[test]
+    fn ct1_rejects_merges_that_delay_the_task() {
+        // A(10) → C(200) with comm 1, A → x(10) with comm 5. DSC
+        // examines C before x (higher b-level) and zeroes A→C, making
+        // A's cluster busy until 210. Joining that cluster would start
+        // x at 210; its startbound alone is 15 — CT1 must reject the
+        // merge and open a fresh cluster.
+        use dagsched_dag::DagBuilder;
+        let mut b = DagBuilder::new();
+        let a = b.add_node(10);
+        let c = b.add_node(200);
+        let x = b.add_node(10);
+        b.add_edge(a, c, 1).unwrap();
+        b.add_edge(a, x, 5).unwrap();
+        let g = b.build().unwrap();
+        let s = Dsc.schedule(&g, &Clique);
+        assert!(validate::is_valid(&g, &Clique, &s));
+        assert_eq!(s.proc_of(a), s.proc_of(c), "A→C zeroed");
+        assert_ne!(
+            s.proc_of(x),
+            s.proc_of(a),
+            "x must not join the busy cluster"
+        );
+        assert_eq!(s.start_of(x), 15, "x starts at its startbound");
+        assert_eq!(s.makespan(), 210);
+    }
+
+    #[test]
+    fn merging_zeroes_all_edges_from_the_chosen_cluster() {
+        // Diamond where both parents end up in one cluster: the join
+        // node's merge zeroes both incoming edges at once.
+        use dagsched_dag::DagBuilder;
+        let mut b = DagBuilder::new();
+        let s0 = b.add_node(10);
+        let l = b.add_node(10);
+        let r = b.add_node(10);
+        let j = b.add_node(10);
+        b.add_edge(s0, l, 100).unwrap();
+        b.add_edge(s0, r, 100).unwrap();
+        b.add_edge(l, j, 100).unwrap();
+        b.add_edge(r, j, 100).unwrap();
+        let g = b.build().unwrap();
+        let s = Dsc.schedule(&g, &Clique);
+        assert!(validate::is_valid(&g, &Clique, &s));
+        // With comm 100 ≫ weights, DSC collapses the whole diamond.
+        assert_eq!(s.num_procs(), 1);
+        assert_eq!(s.makespan(), 40);
+    }
+}

@@ -1,0 +1,130 @@
+//! LC — linear clustering (Kim & Browne), an extension scheduler
+//! beyond the paper's five.
+//!
+//! Repeatedly find the heaviest remaining path (node + edge weights),
+//! cluster it whole, and remove it; leftover nodes become singleton
+//! clusters. A classic edge-zeroing baseline whose clusters are always
+//! *linear* (chains), contrasting with DSC's more general merges in
+//! the ablation bench.
+
+use crate::scheduler::Scheduler;
+use dagsched_dag::{Dag, NodeId, Weight};
+use dagsched_sim::{Clustering, Machine, Schedule};
+
+/// Linear clustering.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinearClustering;
+
+impl Scheduler for LinearClustering {
+    fn name(&self) -> &'static str {
+        "LC"
+    }
+
+    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+        let n = g.num_nodes();
+        let mut clustering = Clustering::new(n);
+        let mut remaining = vec![true; n];
+        let mut left = n;
+        while left > 0 {
+            let path = heaviest_remaining_path(g, &remaining);
+            debug_assert!(!path.is_empty());
+            let c = clustering.create_cluster();
+            for &v in &path {
+                clustering.assign(v, c);
+                remaining[v.index()] = false;
+                left -= 1;
+            }
+        }
+        if let Some(bound) = machine.max_procs() {
+            if clustering.num_used_clusters() > bound {
+                clustering = clustering.fold_to(g, bound);
+            }
+        }
+        clustering
+            .materialize(g, machine)
+            .expect("every task was clustered")
+    }
+}
+
+/// The maximal-weight path (node weights + edge weights) within the
+/// still-remaining induced subgraph.
+fn heaviest_remaining_path(g: &Dag, remaining: &[bool]) -> Vec<NodeId> {
+    // Longest-path DP over the (acyclic) remaining subgraph.
+    let mut best_down: Vec<Weight> = vec![0; g.num_nodes()];
+    let mut next: Vec<Option<NodeId>> = vec![None; g.num_nodes()];
+    for &v in g.topo_order().iter().rev() {
+        if !remaining[v.index()] {
+            continue;
+        }
+        let mut best: Option<(Weight, NodeId)> = None;
+        for (s, w) in g.succs(v) {
+            if !remaining[s.index()] {
+                continue;
+            }
+            let cand = w + best_down[s.index()];
+            if best.is_none_or(|(b, bs)| cand > b || (cand == b && s < bs)) {
+                best = Some((cand, s));
+            }
+        }
+        best_down[v.index()] = g.node_weight(v) + best.map_or(0, |(b, _)| b);
+        next[v.index()] = best.map(|(_, s)| s);
+    }
+    let Some(mut cur) = g
+        .nodes()
+        .filter(|v| remaining[v.index()])
+        .min_by_key(|v| (std::cmp::Reverse(best_down[v.index()]), v.0))
+    else {
+        return Vec::new();
+    };
+    let mut path = vec![cur];
+    while let Some(nx) = next[cur.index()] {
+        path.push(nx);
+        cur = nx;
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{coarse_fork_join, fig16, fine_fork_join};
+    use dagsched_sim::{validate, Clique};
+
+    #[test]
+    fn valid_on_fixtures() {
+        for g in [fig16(), coarse_fork_join(), fine_fork_join()] {
+            let s = LinearClustering.schedule(&g, &Clique);
+            assert!(validate::is_valid(&g, &Clique, &s));
+        }
+    }
+
+    #[test]
+    fn chain_becomes_one_cluster() {
+        let g = dagsched_gen::families::chain(6, 10, 100);
+        let s = LinearClustering.schedule(&g, &Clique);
+        assert_eq!(s.num_procs(), 1);
+        assert_eq!(s.makespan(), 60);
+    }
+
+    #[test]
+    fn fig16_clusters_the_dominant_sequence() {
+        let g = fig16();
+        let s = LinearClustering.schedule(&g, &Clique);
+        // CP = 0,2,3,4 in one cluster; node 1 alone.
+        assert_eq!(s.num_procs(), 2);
+        assert_eq!(s.proc_of(NodeId(0)), s.proc_of(NodeId(2)));
+        assert_eq!(s.proc_of(NodeId(0)), s.proc_of(NodeId(4)));
+        assert_ne!(s.proc_of(NodeId(0)), s.proc_of(NodeId(1)));
+        assert_eq!(s.makespan(), 130);
+    }
+
+    #[test]
+    fn fork_join_clusters_are_paths() {
+        let g = coarse_fork_join();
+        let s = LinearClustering.schedule(&g, &Clique);
+        assert!(validate::is_valid(&g, &Clique, &s));
+        // src + one mid + sink in the first cluster, each other mid
+        // alone: 6 processors.
+        assert_eq!(s.num_procs(), 6);
+    }
+}

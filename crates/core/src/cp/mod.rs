@@ -1,0 +1,22 @@
+//! Critical-path heuristics.
+//!
+//! Both DSC and MCP attack the *dominant sequence* — the heaviest
+//! path through the DAG counting node and edge weights — and shorten
+//! it by zeroing communication edges (placing their endpoints
+//! together):
+//!
+//! * [`dsc`] — Dominant Sequence Clustering of Yang & Gerasoulis:
+//!   incremental edge zeroing driven by `tlevel + blevel` priorities
+//!   with the partially-free-node warranty;
+//! * [`mcp`] — Modified Critical Path of Wu & Gajski: ALAP bindings,
+//!   lexicographic node lists, earliest-start placement (append per
+//!   the paper's pseudocode; an insertion variant is provided for the
+//!   ablation bench);
+//! * [`lc`] — linear clustering of Kim & Browne, an extension beyond
+//!   the paper's five: repeatedly cluster the entire current critical
+//!   path.
+
+pub mod dsc;
+pub mod lc;
+pub mod mcp;
+pub mod sarkar;

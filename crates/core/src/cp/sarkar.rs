@@ -1,0 +1,154 @@
+//! SARKAR — Sarkar's edge-zeroing clustering (reference \[1\] of the
+//! paper, where the scheduling problem is the "initialization
+//! pre-pass"), an extension scheduler beyond the compared five.
+//!
+//! Edges are visited in descending weight order; each is tentatively
+//! *zeroed* (its endpoints' clusters merged) and the merge is kept iff
+//! the estimated parallel time does not increase. This is the
+//! canonical O(e·(n+e)) clustering baseline that DSC was designed to
+//! outrun at equal quality.
+
+use crate::scheduler::Scheduler;
+use dagsched_dag::Dag;
+use dagsched_sim::{Clustering, Machine, Schedule};
+
+/// Sarkar's edge-zeroing clustering.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sarkar;
+
+impl Scheduler for Sarkar {
+    fn name(&self) -> &'static str {
+        "SARKAR"
+    }
+
+    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+        let n = g.num_nodes();
+        if n == 0 {
+            return Schedule::new(g, vec![]);
+        }
+        // Cluster membership as a union-find over nodes. No path
+        // compression: a tentative merge must be undoable by resetting
+        // a single parent pointer. Evaluation happens on the paper's
+        // unbounded clique; the final schedule is re-timed on the
+        // actual machine.
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &[u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                x = parent[x as usize];
+            }
+            x
+        }
+        let clustering_of = |parent: &[u32]| -> Clustering {
+            let ids: Vec<u32> = (0..parent.len() as u32).map(|v| find(parent, v)).collect();
+            Clustering::from_assignment(&ids)
+        };
+
+        let eval = dagsched_sim::Clique;
+        let mut best_pt = clustering_of(&parent)
+            .materialize(g, &eval)
+            .expect("complete clustering")
+            .makespan();
+
+        // Descending edge weight, ties toward the lower edge id.
+        let mut edges: Vec<_> = g.edge_ids().collect();
+        edges.sort_by_key(|&e| (std::cmp::Reverse(g.edge(e).weight), e.0));
+
+        for e in edges {
+            let ed = g.edge(e);
+            let (ra, rb) = (find(&parent, ed.src.0), find(&parent, ed.dst.0));
+            if ra == rb {
+                continue; // already zeroed transitively
+            }
+            // Tentative merge, undone by restoring one root pointer.
+            parent[rb as usize] = ra;
+            let pt = clustering_of(&parent)
+                .materialize(g, &eval)
+                .expect("complete clustering")
+                .makespan();
+            if pt <= best_pt {
+                best_pt = pt;
+            } else {
+                parent[rb as usize] = rb; // undo
+            }
+        }
+
+        let mut clustering = clustering_of(&parent);
+        if let Some(bound) = machine.max_procs() {
+            if clustering.num_used_clusters() > bound {
+                clustering = clustering.fold_to(g, bound);
+            }
+        }
+        clustering
+            .materialize(g, machine)
+            .expect("complete clustering")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{coarse_fork_join, fig16, fine_fork_join};
+    use dagsched_dag::levels;
+    use dagsched_sim::{metrics, validate, BoundedClique, Clique};
+
+    #[test]
+    fn valid_on_fixtures() {
+        for g in [fig16(), coarse_fork_join(), fine_fork_join()] {
+            let s = Sarkar.schedule(&g, &Clique);
+            assert!(validate::is_valid(&g, &Clique, &s));
+        }
+    }
+
+    #[test]
+    fn never_worse_than_fully_parallel() {
+        // Sarkar starts from singletons and only accepts improving (or
+        // neutral) merges — the same invariant as DSC.
+        for g in [fig16(), coarse_fork_join(), fine_fork_join()] {
+            let s = Sarkar.schedule(&g, &Clique);
+            assert!(s.makespan() <= levels::critical_path_len(&g));
+        }
+    }
+
+    #[test]
+    fn zeroes_the_heavy_edges_of_fig16() {
+        use dagsched_dag::NodeId;
+        let g = fig16();
+        let s = Sarkar.schedule(&g, &Clique);
+        // The heaviest edge 2→3 (weight 10) is zeroed first and the
+        // chain 2→3→4 ends up clustered; greedy edge order settles at
+        // parallel time 135 ({0,1} | {2,3,4}).
+        assert_eq!(s.proc_of(NodeId(2)), s.proc_of(NodeId(3)));
+        assert_eq!(s.proc_of(NodeId(3)), s.proc_of(NodeId(4)));
+        assert_eq!(s.makespan(), 135);
+    }
+
+    #[test]
+    fn parallelizes_coarse_grains() {
+        let g = coarse_fork_join();
+        let m = metrics::measures(&g, &Sarkar.schedule(&g, &Clique));
+        assert!(m.speedup > 2.0, "got {}", m.speedup);
+    }
+
+    #[test]
+    fn chain_collapses_to_one_cluster() {
+        let g = dagsched_gen::families::chain(6, 10, 100);
+        let s = Sarkar.schedule(&g, &Clique);
+        assert_eq!(s.num_procs(), 1);
+        assert_eq!(s.makespan(), 60);
+    }
+
+    #[test]
+    fn respects_bounds_via_folding() {
+        let g = coarse_fork_join();
+        let m = BoundedClique::new(2);
+        let s = Sarkar.schedule(&g, &m);
+        assert!(s.num_procs() <= 2);
+        assert!(validate::is_valid(&g, &m, &s));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = dagsched_dag::DagBuilder::new().build().unwrap();
+        assert_eq!(Sarkar.schedule(&g, &Clique).makespan(), 0);
+    }
+}

@@ -1,0 +1,312 @@
+//! DSH — a duplication scheduling heuristic in the spirit of
+//! Kruatrachue & Lewis (the paper's reference \[12\], by the same
+//! authors as MH/HU).
+//!
+//! The paper's comparison forbids duplication (assumption 3) because
+//! "duplication adds additional complexity to an already intractable
+//! problem that none of our competing methods use" — while noting that
+//! references \[2, 12, 16\] exploit it to cut communication. This module
+//! provides that excluded dimension as an extension: list scheduling
+//! where, when a task's start on a processor is dominated by a remote
+//! predecessor's message, the predecessor is *re-executed* locally if
+//! that delivers sooner.
+//!
+//! Simplifications versus the original (documented, benign for the
+//! comparison): duplicated copies append to the end of a processor's
+//! timeline rather than filling idle slots, and duplication examines
+//! direct predecessors only (no recursive ancestor chains). Both make
+//! DSH strictly weaker, so any advantage it shows over the non-
+//! duplicating heuristics is a lower bound.
+
+use dagsched_dag::{levels, topo, Dag, NodeId, Weight};
+use dagsched_sim::dup::DupSchedule;
+use dagsched_sim::{Machine, ProcId};
+
+/// The duplication scheduling heuristic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dsh;
+
+#[derive(Debug, Clone, Copy)]
+struct Copy {
+    proc: ProcId,
+    finish: Weight,
+}
+
+/// One candidate placement: the start achieved on a processor plus
+/// the predecessor duplications that achieve it.
+struct Candidate {
+    proc: ProcId,
+    start: Weight,
+    is_new: bool,
+    dups: Vec<(NodeId, Weight)>, // (pred, start of the duplicate)
+}
+
+impl Dsh {
+    /// Schedules `g` with duplication on `machine`.
+    pub fn schedule(&self, g: &Dag, machine: &dyn Machine) -> DupSchedule {
+        let n = g.num_nodes();
+        let priority = levels::blevels_with_comm(g);
+        let order = topo::priority_topo_order(g, &priority);
+
+        let mut copies: Vec<Vec<Copy>> = vec![Vec::new(); n];
+        let mut raw: Vec<Vec<(ProcId, Weight)>> = vec![Vec::new(); n];
+        let mut proc_avail: Vec<Weight> = Vec::new();
+        let can_open = |k: usize| machine.max_procs().is_none_or(|b| k < b);
+
+        for &t in &order {
+            let mut best: Option<Candidate> = None;
+            let existing = proc_avail.len();
+            #[allow(clippy::needless_range_loop)] // pi == existing encodes "open a new processor"
+            for pi in 0..=existing {
+                let is_new = pi == existing;
+                if is_new && !can_open(existing) {
+                    continue;
+                }
+                let proc = ProcId(pi as u32);
+                let avail = if is_new { 0 } else { proc_avail[pi] };
+                let cand = self.evaluate_on(g, machine, &copies, t, proc, avail);
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        (cand.start, cand.is_new as u8, cand.proc.0)
+                            < (b.start, b.is_new as u8, b.proc.0)
+                    }
+                };
+                if better {
+                    best = Some(Candidate {
+                        proc,
+                        is_new,
+                        ..cand
+                    });
+                }
+            }
+            let cand = best.expect("some processor is always available");
+            if cand.is_new {
+                proc_avail.push(0);
+            }
+            // Commit duplications, then the task copy.
+            for &(pred, st) in &cand.dups {
+                let fin = st + g.node_weight(pred);
+                copies[pred.index()].push(Copy {
+                    proc: cand.proc,
+                    finish: fin,
+                });
+                raw[pred.index()].push((cand.proc, st));
+                proc_avail[cand.proc.index()] = fin;
+            }
+            let fin = cand.start + g.node_weight(t);
+            copies[t.index()].push(Copy {
+                proc: cand.proc,
+                finish: fin,
+            });
+            raw[t.index()].push((cand.proc, cand.start));
+            proc_avail[cand.proc.index()] = fin;
+        }
+
+        DupSchedule::new(g, raw)
+    }
+
+    /// Evaluates placing `t` on `proc` (availability `avail`),
+    /// greedily duplicating dominant predecessors while that reduces
+    /// the start.
+    fn evaluate_on(
+        &self,
+        g: &Dag,
+        machine: &dyn Machine,
+        copies: &[Vec<Copy>],
+        t: NodeId,
+        proc: ProcId,
+        avail: Weight,
+    ) -> Candidate {
+        let delivery = |v: NodeId, w: Weight, local: &[(NodeId, Weight)]| -> Weight {
+            // Earliest delivery of v to `proc`, considering committed
+            // copies plus tentative local duplicates.
+            let committed = copies[v.index()]
+                .iter()
+                .map(|c| c.finish + machine.comm_cost(c.proc, proc, w))
+                .min();
+            let dup = local
+                .iter()
+                .find(|(d, _)| *d == v)
+                .map(|&(_, st)| st + g.node_weight(v));
+            match (committed, dup) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => unreachable!("predecessors are scheduled before successors"),
+            }
+        };
+
+        let mut local: Vec<(NodeId, Weight)> = Vec::new();
+        let mut avail = avail;
+        let mut duplicated: std::collections::HashSet<u32> = Default::default();
+        loop {
+            let arrivals: Vec<(Weight, NodeId)> = g
+                .preds(t)
+                .map(|(p, w)| (delivery(p, w, &local), p))
+                .collect();
+            let start = arrivals
+                .iter()
+                .map(|&(a, _)| a)
+                .max()
+                .unwrap_or(0)
+                .max(avail);
+            // The dominant predecessor: latest arrival, strictly after
+            // the processor frees up (otherwise duplication cannot
+            // help) and not already duplicated here.
+            let dominant = arrivals
+                .iter()
+                .filter(|&&(a, p)| a == start && a > avail && !duplicated.contains(&p.0))
+                .map(|&(_, p)| p)
+                .min();
+            let Some(pred) = dominant else {
+                return Candidate {
+                    proc,
+                    start,
+                    is_new: false,
+                    dups: local,
+                };
+            };
+            // Can the predecessor itself run here? Its inputs must be
+            // deliverable from committed copies (single-level rule:
+            // grand-predecessors are not duplicated).
+            let dr = g
+                .preds(pred)
+                .map(|(pp, w)| delivery(pp, w, &local))
+                .max()
+                .unwrap_or(0);
+            let dup_start = dr.max(avail);
+            let dup_finish = dup_start + g.node_weight(pred);
+            // Recompute the start with the duplicate in place.
+            let new_start = arrivals
+                .iter()
+                .map(|&(a, p)| if p == pred { dup_finish } else { a })
+                .max()
+                .unwrap_or(0)
+                .max(dup_finish);
+            // Accept non-worsening duplications: when several remote
+            // predecessors tie at the dominant arrival, each duplicate
+            // alone leaves the max unchanged and only the set of them
+            // lowers it. The loop terminates because every iteration
+            // marks a fresh predecessor.
+            if new_start <= start {
+                duplicated.insert(pred.0);
+                local.push((pred, dup_start));
+                avail = dup_finish;
+            } else {
+                return Candidate {
+                    proc,
+                    start,
+                    is_new: false,
+                    dups: local,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_core_test_helpers::*;
+    use dagsched_sim::Clique;
+
+    /// Local helpers (kept in a mod so the path above reads clearly).
+    mod dagsched_core_test_helpers {
+        pub use crate::fixtures::{coarse_fork_join, fig16, fine_fork_join};
+        pub use crate::listsched::mh::Mh;
+        pub use crate::scheduler::Scheduler;
+    }
+
+    fn fan_out(fan: usize, src_w: u64, task_w: u64, comm: u64) -> Dag {
+        let mut b = dagsched_dag::DagBuilder::new();
+        let s = b.add_node(src_w);
+        for _ in 0..fan {
+            let v = b.add_node(task_w);
+            b.add_edge(s, v, comm).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn schedules_are_valid_with_duplication_semantics() {
+        for g in [
+            fig16(),
+            coarse_fork_join(),
+            fine_fork_join(),
+            fan_out(5, 5, 20, 100),
+        ] {
+            let s = Dsh.schedule(&g, &Clique);
+            let v = s.check(&g, &Clique);
+            assert!(v.is_empty(), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn duplication_unlocks_fan_out_parallelism() {
+        // A tiny source with huge fan-out edges: without duplication
+        // the children either serialize behind the source or pay the
+        // communication; with it every processor re-runs the source.
+        let g = fan_out(6, 5, 50, 1000);
+        let dup = Dsh.schedule(&g, &Clique);
+        assert!(dup.check(&g, &Clique).is_empty());
+        let mh = Mh.schedule(&g, &Clique);
+        assert!(
+            dup.makespan() < mh.makespan(),
+            "DSH {} vs MH {}",
+            dup.makespan(),
+            mh.makespan()
+        );
+        // Fully duplicated source: 6 copies + the original is not
+        // required, but at least one extra copy must exist.
+        assert!(dup.total_copies() > g.num_nodes());
+        // Optimal here: every child starts right after a local source
+        // copy: makespan = 5 + 50.
+        assert_eq!(dup.makespan(), 55);
+    }
+
+    #[test]
+    fn no_duplication_when_it_cannot_help() {
+        // A chain gains nothing from duplication.
+        let g = dagsched_gen::families::chain(6, 10, 50);
+        let s = Dsh.schedule(&g, &Clique);
+        assert!(s.check(&g, &Clique).is_empty());
+        assert_eq!(s.total_copies(), 6);
+        assert_eq!(s.makespan(), 60);
+        assert_eq!(s.num_procs(), 1);
+    }
+
+    #[test]
+    fn never_worse_than_serial_on_fixtures() {
+        for g in [fig16(), coarse_fork_join(), fine_fork_join()] {
+            let s = Dsh.schedule(&g, &Clique);
+            assert!(
+                s.makespan() <= g.serial_time(),
+                "DSH {} vs serial {}",
+                s.makespan(),
+                g.serial_time()
+            );
+        }
+    }
+
+    #[test]
+    fn respects_processor_bounds() {
+        let g = fan_out(6, 5, 50, 1000);
+        let m = dagsched_sim::BoundedClique::new(2);
+        let s = Dsh.schedule(&g, &m);
+        assert!(s.check(&g, &m).is_empty());
+        assert!(s.num_procs() <= 2);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = dagsched_dag::DagBuilder::new().build().unwrap();
+        assert_eq!(Dsh.schedule(&empty, &Clique).makespan(), 0);
+        let mut b = dagsched_dag::DagBuilder::new();
+        b.add_node(7);
+        let g = b.build().unwrap();
+        let s = Dsh.schedule(&g, &Clique);
+        assert_eq!(s.makespan(), 7);
+        assert_eq!(s.total_copies(), 1);
+    }
+}

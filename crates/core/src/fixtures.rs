@@ -1,0 +1,81 @@
+//! Worked-example graphs from the paper's appendix, used across unit
+//! tests, examples and documentation.
+
+use dagsched_dag::{Dag, DagBuilder, NodeId};
+
+/// The 5-task graph of the paper's appendix (Figures 8, 10, 12, 14
+/// and 16 all step through it).
+///
+/// Node weights 10, 20, 30, 40, 50 (paper nodes 1–5; 0-based here).
+/// Edge weights are reconstructed from the level table printed in
+/// Figure 14 — levels 150, 74, 135, 95, 50 pin them to
+/// 0→1 (5), 0→2 (5), 2→3 (10), 1→4 (4), 3→4 (5).
+///
+/// Ground truth used in tests:
+/// * serial time 150, critical path (with comm) 150;
+/// * clan parse tree `L(0, I(1, L(2, 3)), 4)` (paper: C₃ linear over
+///   node 1, C₂ independent, node 5);
+/// * CLANS schedules it in parallel time 130 (Figure 16 C).
+pub fn fig16() -> Dag {
+    let mut b = DagBuilder::new();
+    for w in [10u64, 20, 30, 40, 50] {
+        b.add_node(w);
+    }
+    for (s, d, c) in [(0u32, 1, 5u64), (0, 2, 5), (2, 3, 10), (1, 4, 4), (3, 4, 5)] {
+        b.add_edge(NodeId(s), NodeId(d), c).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// A graph where parallelization is clearly profitable: wide
+/// fork-join with heavy nodes and light edges (very coarse grained).
+pub fn coarse_fork_join() -> Dag {
+    let mut b = DagBuilder::new();
+    let src = b.add_node(50);
+    let mids: Vec<_> = (0..6).map(|_| b.add_node(100)).collect();
+    let snk = b.add_node(50);
+    for &m in &mids {
+        b.add_edge(src, m, 2).unwrap();
+        b.add_edge(m, snk, 2).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// A graph where parallelization is a trap: the same fork-join with
+/// tiny nodes and huge communication (very fine grained). Any
+/// heuristic that spreads it across processors produces speedup < 1.
+pub fn fine_fork_join() -> Dag {
+    let mut b = DagBuilder::new();
+    let src = b.add_node(5);
+    let mids: Vec<_> = (0..6).map(|_| b.add_node(8)).collect();
+    let snk = b.add_node(5);
+    for &m in &mids {
+        b.add_edge(src, m, 500).unwrap();
+        b.add_edge(m, snk, 500).unwrap();
+    }
+    b.build().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_dag::{levels, metrics};
+
+    #[test]
+    fn fig16_ground_truth() {
+        let g = fig16();
+        assert_eq!(g.serial_time(), 150);
+        assert_eq!(levels::critical_path_len(&g), 150);
+        assert_eq!(
+            levels::blevels_with_comm(&g),
+            vec![150, 74, 135, 95, 50],
+            "levels must match the paper's Figure 14 table"
+        );
+    }
+
+    #[test]
+    fn fork_join_granularities_land_in_opposite_bands() {
+        assert!(metrics::granularity(&coarse_fork_join()) > 2.0);
+        assert!(metrics::granularity(&fine_fork_join()) < 0.08);
+    }
+}

@@ -1,0 +1,62 @@
+//! # dagsched-core — the scheduling heuristics
+//!
+//! The primary contribution of Khan, McCreary & Jones (ICPP 1994) is a
+//! *numerical comparison testbed* for static DAG scheduling
+//! heuristics. This crate implements the five heuristics the paper
+//! compares, behind one [`Scheduler`] trait:
+//!
+//! | name | family | module |
+//! |---|---|---|
+//! | CLANS | graph decomposition | [`clans_sched`] |
+//! | DSC | critical path / edge zeroing | [`cp::dsc`] |
+//! | MCP | critical path / ALAP list | [`cp::mcp`] |
+//! | MH | list scheduling, comm-aware | [`listsched::mh`] |
+//! | HU | list scheduling, comm-oblivious | [`listsched::hu`] |
+//!
+//! plus the extension schedulers the paper's §5 calls for ("other
+//! scheduling algorithms need to be added"): ETF, HLFET, DLS, linear
+//! clustering, and a serial baseline.
+//!
+//! All heuristics share the execution model of the paper's §2 (see
+//! `dagsched-sim`): free same-processor communication, edge-weight
+//! cross-processor communication, unbounded homogeneous processors,
+//! no duplication, minimize makespan.
+//!
+//! ```
+//! use dagsched_core::{paper_heuristics, Scheduler};
+//! use dagsched_core::fixtures::fig16;
+//! use dagsched_sim::{validate, Clique};
+//!
+//! let g = fig16();
+//! for h in paper_heuristics() {
+//!     let s = h.schedule(&g, &Clique);
+//!     assert!(validate::is_valid(&g, &Clique, &s), "{}", h.name());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clans_sched;
+pub mod cp;
+pub mod duplication;
+pub mod fixtures;
+pub mod listsched;
+pub mod meta;
+pub mod scheduler;
+pub mod serial;
+
+pub use clans_sched::Clans;
+pub use cp::dsc::{Dsc, DscFast};
+pub use cp::lc::LinearClustering;
+pub use cp::mcp::Mcp;
+pub use cp::sarkar::Sarkar;
+pub use duplication::Dsh;
+pub use listsched::dls::Dls;
+pub use listsched::etf::Etf;
+pub use listsched::hlfet::Hlfet;
+pub use listsched::hu::Hu;
+pub use listsched::mh::Mh;
+pub use meta::{BandSelector, BestOf};
+pub use scheduler::{all_heuristics, paper_heuristics, Scheduler};
+pub use serial::Serial;

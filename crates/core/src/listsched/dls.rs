@@ -1,0 +1,91 @@
+//! DLS — Dynamic Level Scheduling (Sih & Lee), an extension scheduler
+//! beyond the paper's five.
+//!
+//! DLS generalizes static-level list scheduling: at each step it picks
+//! the (ready task, processor) pair maximizing the *dynamic level*
+//! `DL(t, p) = staticLevel(t) − EST(t, p)` — tasks lose urgency as
+//! their best start time slips, which adapts the dispatch order to the
+//! communication actually incurred.
+
+use crate::listsched::PartialSchedule;
+use crate::scheduler::Scheduler;
+use dagsched_dag::{levels, Dag, NodeId};
+use dagsched_sim::{Machine, Schedule};
+
+/// Dynamic Level Scheduling.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dls;
+
+impl Scheduler for Dls {
+    fn name(&self) -> &'static str {
+        "DLS"
+    }
+
+    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+        let level = levels::blevels_computation(g);
+        let mut ps = PartialSchedule::new(g, machine);
+        let mut pending: Vec<u32> = (0..g.num_nodes())
+            .map(|v| g.in_degree(NodeId(v as u32)) as u32)
+            .collect();
+        let mut ready: Vec<NodeId> = g.nodes().filter(|&v| pending[v.index()] == 0).collect();
+
+        while !ready.is_empty() {
+            // Maximize DL = level − EST; ties toward lower start, then
+            // lower index.
+            let mut best: Option<(usize, dagsched_sim::ProcId, u64, i128)> = None;
+            for (k, &t) in ready.iter().enumerate() {
+                let (p, st, _) = ps.best_placement(t);
+                let dl = level[t.index()] as i128 - st as i128;
+                let better = match best {
+                    None => true,
+                    Some((bk, _, bst, bdl)) => {
+                        (std::cmp::Reverse(dl), st, t.0)
+                            < (std::cmp::Reverse(bdl), bst, ready[bk].0)
+                    }
+                };
+                if better {
+                    best = Some((k, p, st, dl));
+                }
+            }
+            let (k, p, st, _) = best.expect("ready list non-empty");
+            let t = ready.swap_remove(k);
+            ps.place(t, p, st);
+            for (s, _) in g.succs(t) {
+                pending[s.index()] -= 1;
+                if pending[s.index()] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        ps.into_schedule()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{coarse_fork_join, fig16, fine_fork_join};
+    use dagsched_sim::{metrics, validate, Clique};
+
+    #[test]
+    fn valid_on_fixtures() {
+        for g in [fig16(), coarse_fork_join(), fine_fork_join()] {
+            let s = Dls.schedule(&g, &Clique);
+            assert!(validate::is_valid(&g, &Clique, &s), "graph failed");
+        }
+    }
+
+    #[test]
+    fn competitive_on_coarse_grains() {
+        let g = coarse_fork_join();
+        let m = metrics::measures(&g, &Dls.schedule(&g, &Clique));
+        assert!(m.speedup > 2.0);
+    }
+
+    #[test]
+    fn never_retards_fine_grains() {
+        let g = fine_fork_join();
+        let m = metrics::measures(&g, &Dls.schedule(&g, &Clique));
+        assert!(m.speedup >= 1.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! HLFET — Highest Level First with Estimated Times (Adam, Chandy &
+//! Dickson), an extension scheduler beyond the paper's five.
+//!
+//! Like HU it prioritizes by the *computation-only* static level, but
+//! unlike HU its placement is communication-aware (earliest actual
+//! start). It isolates how much of HU's deficit comes from the
+//! priority function versus the oblivious placement — the
+//! `ablation_hu_comm_aware` bench builds on it.
+
+use crate::listsched::{release_succs, seed_ready, PartialSchedule, ReadyQueue};
+use crate::scheduler::Scheduler;
+use dagsched_dag::{levels, Dag};
+use dagsched_sim::{Machine, Schedule};
+
+/// Highest Level First with Estimated Times.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hlfet;
+
+impl Scheduler for Hlfet {
+    fn name(&self) -> &'static str {
+        "HLFET"
+    }
+
+    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+        let priority = levels::blevels_computation(g);
+        let mut ps = PartialSchedule::new(g, machine);
+        let mut queue = ReadyQueue::new();
+        let mut pending = seed_ready(g, &priority, &mut queue);
+        while let Some(t) = queue.pop() {
+            let (p, st, _) = ps.best_placement(t);
+            ps.place(t, p, st);
+            release_succs(g, t, &mut pending, &priority, &mut queue);
+        }
+        ps.into_schedule()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{coarse_fork_join, fig16, fine_fork_join};
+    use crate::listsched::hu::Hu;
+    use dagsched_sim::{metrics, validate, Clique};
+
+    #[test]
+    fn valid_on_fixtures() {
+        for g in [fig16(), coarse_fork_join(), fine_fork_join()] {
+            let s = Hlfet.schedule(&g, &Clique);
+            assert!(validate::is_valid(&g, &Clique, &s));
+        }
+    }
+
+    #[test]
+    fn comm_aware_placement_beats_hu_on_fine_grains() {
+        // Same priority as HU, aware placement: HLFET must not retard
+        // the fine-grained fork-join, HU must.
+        let g = fine_fork_join();
+        let hlfet = metrics::measures(&g, &Hlfet.schedule(&g, &Clique));
+        let hu = metrics::measures(&g, &Hu.schedule(&g, &Clique));
+        assert!(hlfet.speedup >= 1.0);
+        assert!(hu.speedup < 1.0);
+        assert!(hlfet.speedup > hu.speedup);
+    }
+}

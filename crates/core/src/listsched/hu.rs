@@ -1,0 +1,158 @@
+//! HU — Hu's classic level algorithm, as modified by Lewis &
+//! El-Rewini for the paper's comparison.
+//!
+//! Per the appendix A.4 / Figure 13: "Find the level for each task and
+//! use it as the task's priority… Find processor with earliest start
+//! time. Assign t to this processor."
+//!
+//! Hu's algorithm predates communication-aware scheduling: the level
+//! is the *computation-only* longest path, and the earliest-start
+//! placement is evaluated as in classical scheduling — i.e. assuming
+//! messages are free. The decisions (assignment and per-processor
+//! order) are then *costed* under the paper's real model, where every
+//! cross-processor edge pays its weight. That obliviousness is what
+//! the paper's tables show: HU retards *every* graph in the finest
+//! granularity class (Table 2: 420/420), uses the most processors
+//! (efficiency ≈ 0, Tables 5/9), and trails the other heuristics by an
+//! order of magnitude in relative parallel time.
+//!
+//! With an unbounded processor pool and free messages, earliest-start
+//! placement makes every task start at its no-comm data-ready time —
+//! maximal spreading. A new processor is opened whenever no existing
+//! processor is idle at that moment (ties reuse the lowest existing
+//! processor), which is exactly classical Hu list scheduling.
+
+use crate::listsched::{release_succs, seed_ready, ReadyQueue};
+use crate::scheduler::Scheduler;
+use dagsched_dag::{levels, Dag, NodeId, Weight};
+use dagsched_sim::evaluate::timed_schedule;
+use dagsched_sim::{Machine, ProcId, Schedule};
+
+/// Hu's communication-oblivious list scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hu;
+
+impl Scheduler for Hu {
+    fn name(&self) -> &'static str {
+        "HU"
+    }
+
+    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+        let n = g.num_nodes();
+        let priority = levels::blevels_computation(g);
+
+        // Phase 1: classical (no-communication) list scheduling to fix
+        // the assignment and per-processor order.
+        let mut queue = ReadyQueue::new();
+        let mut pending = seed_ready(g, &priority, &mut queue);
+        let mut proc_avail: Vec<Weight> = Vec::new();
+        let mut orders: Vec<Vec<NodeId>> = Vec::new();
+        let mut assignment: Vec<ProcId> = vec![ProcId(0); n];
+        let mut finish_nc: Vec<Weight> = vec![0; n]; // no-comm finish times
+        let can_open = |procs: usize| machine.max_procs().is_none_or(|b| procs < b);
+
+        while let Some(t) = queue.pop() {
+            let ready = g
+                .preds(t)
+                .map(|(p, _)| finish_nc[p.index()])
+                .max()
+                .unwrap_or(0);
+            // Earliest no-comm start per processor is max(avail, ready);
+            // the minimum over processors is attained by the least
+            // loaded one.
+            let best_existing = proc_avail
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, &a)| (a, i))
+                .map(|(i, &a)| (i, a.max(ready)));
+            let (proc, start) = match best_existing {
+                Some((i, st)) if st <= ready || !can_open(proc_avail.len()) => (i, st),
+                _ => {
+                    // No idle processor at `ready` and we may open one.
+                    proc_avail.push(0);
+                    orders.push(Vec::new());
+                    (proc_avail.len() - 1, ready)
+                }
+            };
+            assignment[t.index()] = ProcId(proc as u32);
+            orders[proc].push(t);
+            finish_nc[t.index()] = start + g.node_weight(t);
+            proc_avail[proc] = finish_nc[t.index()];
+            release_succs(g, t, &mut pending, &priority, &mut queue);
+        }
+
+        // Phase 2: cost the fixed decisions under the real model.
+        timed_schedule(g, machine, &assignment, &orders)
+            .expect("orders derived from a topological dispatch cannot deadlock")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{coarse_fork_join, fig16, fine_fork_join};
+    use crate::listsched::mh::Mh;
+    use dagsched_sim::{metrics, validate, BoundedClique, Clique};
+
+    #[test]
+    fn schedules_are_valid_under_the_real_model() {
+        for g in [fig16(), coarse_fork_join(), fine_fork_join()] {
+            let s = Hu.schedule(&g, &Clique);
+            assert!(validate::is_valid(&g, &Clique, &s));
+        }
+    }
+
+    #[test]
+    fn oblivious_spreading_retards_fine_grains() {
+        // The paper's Table 2 behaviour: at G < 0.08 HU retards every
+        // graph (speedup < 1) because it spreads tasks as if messages
+        // were free.
+        let g = fine_fork_join();
+        let s = Hu.schedule(&g, &Clique);
+        let m = metrics::measures(&g, &s);
+        assert!(
+            m.speedup < 1.0,
+            "HU must retard fine grains, got {}",
+            m.speedup
+        );
+        assert!(s.num_procs() > 1, "HU spreads regardless of comm");
+    }
+
+    #[test]
+    fn uses_maximal_parallelism_on_coarse_graphs() {
+        let g = coarse_fork_join();
+        let s = Hu.schedule(&g, &Clique);
+        // All 6 middle tasks in parallel -> 6 processors.
+        assert_eq!(s.num_procs(), 6);
+        let m = metrics::measures(&g, &s);
+        assert!(m.speedup > 1.0);
+        // But MH (comm-aware) is at least as good.
+        let mh = metrics::measures(&g, &Mh.schedule(&g, &Clique));
+        assert!(mh.speedup >= m.speedup * 0.99);
+    }
+
+    #[test]
+    fn chain_stays_on_one_processor() {
+        let g = dagsched_gen::families::chain(6, 10, 100);
+        let s = Hu.schedule(&g, &Clique);
+        assert_eq!(s.num_procs(), 1);
+        assert_eq!(s.makespan(), 60);
+    }
+
+    #[test]
+    fn respects_bounded_machines() {
+        let g = coarse_fork_join();
+        let m = BoundedClique::new(2);
+        let s = Hu.schedule(&g, &m);
+        assert!(s.num_procs() <= 2);
+        assert!(validate::is_valid(&g, &m, &s));
+    }
+
+    #[test]
+    fn independent_tasks_each_get_a_processor() {
+        let g = dagsched_gen::families::independent(5, 7);
+        let s = Hu.schedule(&g, &Clique);
+        assert_eq!(s.num_procs(), 5);
+        assert_eq!(s.makespan(), 7);
+    }
+}

@@ -1,0 +1,165 @@
+//! MH — the Mapping Heuristic of El-Rewini & Lewis.
+//!
+//! Per the paper's appendix A.3 / Figure 11:
+//!
+//! * each node's priority is its *level* "as defined by Gerasoulis and
+//!   Yang" — the b-level including communication costs;
+//! * the dispatcher is **event-driven**: when a task completes, its
+//!   satisfied successors enter the free list; all currently free
+//!   tasks are then allocated in level order, each to "the processor
+//!   on which T could start the earliest" (with homogeneous
+//!   processors, starting earliest is finishing earliest).
+//!
+//! The event-driven free list is what distinguishes MH from MCP under
+//! a shared earliest-start placement: MH commits a task as soon as it
+//! becomes free in simulated time, even when a more critical task
+//! will free up a moment later, whereas MCP dispatches strictly in
+//! global ALAP order. MH is also the only heuristic here that is
+//! topology-aware (messages are priced by the machine), though the
+//! paper's experiments — and ours — run it on the fully connected
+//! network where every topology degenerates to the clique.
+//!
+//! The virtual single exit node of Figure 11 exists only to make the
+//! level computation well defined on multi-sink graphs; computing
+//! b-levels directly is equivalent, so no node is materialized.
+
+use crate::listsched::{seed_ready, PartialSchedule, ReadyQueue};
+use crate::scheduler::Scheduler;
+use dagsched_dag::{levels, Dag, NodeId, Weight};
+use dagsched_sim::{Machine, Schedule};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The Mapping Heuristic (comm- and topology-aware, event-driven list
+/// scheduling).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mh;
+
+impl Scheduler for Mh {
+    fn name(&self) -> &'static str {
+        "MH"
+    }
+
+    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+        let priority = levels::blevels_with_comm(g);
+        let mut ps = PartialSchedule::new(g, machine);
+        let mut free = ReadyQueue::new();
+        let mut pending = seed_ready(g, &priority, &mut free);
+        // Completion events: (finish time, task).
+        let mut events: BinaryHeap<Reverse<(Weight, u32)>> = BinaryHeap::new();
+
+        loop {
+            // Allocate every currently free task, highest level first.
+            while let Some(t) = free.pop() {
+                let (p, st, _) = ps.best_placement(t);
+                ps.place(t, p, st);
+                events.push(Reverse((ps.finish_of(t), t.0)));
+            }
+            // Advance to the next completion instant and release all
+            // successors satisfied at that instant.
+            let Some(&Reverse((now, _))) = events.peek() else {
+                break;
+            };
+            while let Some(&Reverse((time, tv))) = events.peek() {
+                if time != now {
+                    break;
+                }
+                events.pop();
+                for (s, _) in g.succs(NodeId(tv)) {
+                    pending[s.index()] -= 1;
+                    if pending[s.index()] == 0 {
+                        free.push(s, priority[s.index()]);
+                    }
+                }
+            }
+        }
+        ps.into_schedule()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{coarse_fork_join, fig16, fine_fork_join};
+    use dagsched_sim::{metrics, validate, BoundedClique, Clique, Ring};
+
+    #[test]
+    fn fig16_schedule_is_valid_and_sensible() {
+        let g = fig16();
+        let s = Mh.schedule(&g, &Clique);
+        assert!(validate::is_valid(&g, &Clique, &s));
+        // MH keeps the critical path 0→2→3→4 local and forks node 1
+        // off; parallel time must not exceed serial.
+        assert!(s.makespan() <= g.serial_time());
+    }
+
+    #[test]
+    fn exploits_coarse_parallelism() {
+        let g = coarse_fork_join();
+        let s = Mh.schedule(&g, &Clique);
+        assert!(validate::is_valid(&g, &Clique, &s));
+        let m = metrics::measures(&g, &s);
+        assert!(
+            m.speedup > 2.0,
+            "coarse fork-join parallelizes well, got {}",
+            m.speedup
+        );
+        assert!(s.num_procs() >= 4);
+    }
+
+    #[test]
+    fn keeps_fine_grain_on_few_processors() {
+        // With comm 500 ≫ node weights, starting anywhere but the data
+        // holder is never earliest: MH serializes and stays ≈ serial.
+        let g = fine_fork_join();
+        let s = Mh.schedule(&g, &Clique);
+        assert!(validate::is_valid(&g, &Clique, &s));
+        assert_eq!(s.num_procs(), 1);
+        assert_eq!(s.makespan(), g.serial_time());
+    }
+
+    #[test]
+    fn event_driven_dispatch_allocates_in_completion_order() {
+        // Two sources: a long one (high level) and a short one whose
+        // successor frees *early*. Event-driven MH must allocate the
+        // early successor before the late one becomes free.
+        let g = dagsched_gen::pdg::from_lists(&[100, 10, 10, 10], &[(0, 3, 1), (1, 2, 1)]);
+        let s = Mh.schedule(&g, &Clique);
+        assert!(validate::is_valid(&g, &Clique, &s));
+        // Task 2 (freed at t=10) starts before task 3 (freed at t=100).
+        assert!(s.start_of(dagsched_dag::NodeId(2)) < s.start_of(dagsched_dag::NodeId(3)));
+    }
+
+    #[test]
+    fn respects_bounded_machines() {
+        let g = coarse_fork_join();
+        for bound in [1usize, 2, 3] {
+            let m = BoundedClique::new(bound);
+            let s = Mh.schedule(&g, &m);
+            assert!(s.num_procs() <= bound);
+            assert!(validate::is_valid(&g, &m, &s));
+        }
+    }
+
+    #[test]
+    fn topology_awareness_prices_hops() {
+        // On a ring the same decisions must still validate under
+        // hop-priced communication.
+        let g = coarse_fork_join();
+        let m = Ring::new(4);
+        let s = Mh.schedule(&g, &m);
+        assert!(validate::is_valid(&g, &m, &s));
+        assert!(s.num_procs() <= 4);
+    }
+
+    #[test]
+    fn single_node_and_empty() {
+        let mut b = dagsched_dag::DagBuilder::new();
+        b.add_node(5);
+        let g = b.build().unwrap();
+        let s = Mh.schedule(&g, &Clique);
+        assert_eq!(s.makespan(), 5);
+        let empty = dagsched_dag::DagBuilder::new().build().unwrap();
+        assert_eq!(Mh.schedule(&empty, &Clique).makespan(), 0);
+    }
+}

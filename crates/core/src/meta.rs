@@ -1,0 +1,142 @@
+//! The paper's motivating application (§5.2): "A parallelizing
+//! compiler will require the best scheduler to be selected … The best
+//! scheduler may be different for different classes of graphs."
+//!
+//! [`BandSelector`] implements exactly that selection rule, using the
+//! study's own conclusion: **granularity** predicts which heuristic
+//! wins. Below the threshold the paper identifies
+//! (`0.08 < G < 0.2` "seems to be a threshold after which all
+//! heuristics perform relatively well") it dispatches to CLANS — "the
+//! scheduler of choice at low granularities" — and above it to MCP,
+//! which "gave good results at high granularities".
+//!
+//! [`BestOf`] is the oracle upper bound: run every candidate and keep
+//! the shortest schedule (what a compiler with unlimited compile-time
+//! budget would do; its parallel time *is* the study's
+//! `BestParallelTime`).
+
+use crate::scheduler::Scheduler;
+use dagsched_dag::{metrics, Dag};
+use dagsched_sim::{Machine, Schedule};
+
+/// Granularity-dispatched meta-scheduler (CLANS below the threshold,
+/// MCP above).
+#[derive(Debug, Clone, Copy)]
+pub struct BandSelector {
+    /// Granularity threshold; the paper's suggested switch point is
+    /// 0.2 (the upper edge of the `0.08 < G < 0.2` band).
+    pub threshold: f64,
+}
+
+impl Default for BandSelector {
+    fn default() -> Self {
+        BandSelector { threshold: 0.2 }
+    }
+}
+
+impl Scheduler for BandSelector {
+    fn name(&self) -> &'static str {
+        "SELECT"
+    }
+
+    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+        if metrics::granularity(g) < self.threshold {
+            crate::clans_sched::Clans.schedule(g, machine)
+        } else {
+            crate::cp::mcp::Mcp::default().schedule(g, machine)
+        }
+    }
+}
+
+/// Oracle meta-scheduler: runs every given candidate and returns the
+/// schedule with the smallest makespan (ties keep the earlier
+/// candidate).
+pub struct BestOf {
+    candidates: Vec<Box<dyn Scheduler>>,
+}
+
+impl BestOf {
+    /// Best-of over an explicit candidate list (must be non-empty).
+    pub fn new(candidates: Vec<Box<dyn Scheduler>>) -> Self {
+        assert!(
+            !candidates.is_empty(),
+            "BestOf needs at least one candidate"
+        );
+        BestOf { candidates }
+    }
+
+    /// Best-of over the paper's five heuristics.
+    pub fn paper() -> Self {
+        BestOf::new(crate::scheduler::paper_heuristics())
+    }
+}
+
+impl Scheduler for BestOf {
+    fn name(&self) -> &'static str {
+        "BEST-OF"
+    }
+
+    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+        self.candidates
+            .iter()
+            .map(|h| h.schedule(g, machine))
+            .min_by_key(Schedule::makespan)
+            .expect("non-empty candidate list")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{coarse_fork_join, fig16, fine_fork_join};
+    use crate::scheduler::paper_heuristics;
+    use dagsched_sim::{validate, Clique};
+
+    #[test]
+    fn selector_dispatches_by_granularity() {
+        // Fine grain → CLANS's serial-safe behaviour.
+        let fine = fine_fork_join();
+        let s = BandSelector::default().schedule(&fine, &Clique);
+        assert_eq!(s.makespan(), fine.serial_time());
+        assert_eq!(s.num_procs(), 1);
+        // Coarse grain → MCP's schedule.
+        let coarse = coarse_fork_join();
+        let sel = BandSelector::default().schedule(&coarse, &Clique);
+        let mcp = crate::cp::mcp::Mcp::default().schedule(&coarse, &Clique);
+        assert_eq!(sel, mcp);
+    }
+
+    #[test]
+    fn selector_is_valid_and_never_retards_fine_grain() {
+        for g in [fig16(), coarse_fork_join(), fine_fork_join()] {
+            let s = BandSelector::default().schedule(&g, &Clique);
+            assert!(validate::is_valid(&g, &Clique, &s));
+        }
+    }
+
+    #[test]
+    fn best_of_matches_the_column_minimum() {
+        let oracle = BestOf::paper();
+        for g in [fig16(), coarse_fork_join(), fine_fork_join()] {
+            let best = oracle.schedule(&g, &Clique).makespan();
+            let min = paper_heuristics()
+                .iter()
+                .map(|h| h.schedule(&g, &Clique).makespan())
+                .min()
+                .unwrap();
+            assert_eq!(best, min);
+        }
+    }
+
+    #[test]
+    fn best_of_on_fig16_is_130() {
+        let s = BestOf::paper().schedule(&fig16(), &Clique);
+        assert_eq!(s.makespan(), 130);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_best_of_panics() {
+        BestOf::new(Vec::new());
+    }
+}

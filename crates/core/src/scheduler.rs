@@ -1,0 +1,69 @@
+//! The [`Scheduler`] trait and heuristic registries.
+
+use dagsched_dag::Dag;
+use dagsched_sim::{Machine, Schedule};
+
+/// A static DAG scheduling heuristic under the paper's model.
+///
+/// Implementations must produce schedules that pass
+/// `dagsched_sim::validate::check` for every valid input DAG — this is
+/// enforced by the workspace property tests.
+pub trait Scheduler: Sync {
+    /// Short upper-case name as used in the paper's tables
+    /// (`"CLANS"`, `"DSC"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Schedules `g` on `machine`.
+    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule;
+}
+
+/// The five heuristics the paper compares, in the paper's column order
+/// (CLANS, DSC, MCP, MH, HU).
+pub fn paper_heuristics() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(crate::clans_sched::Clans),
+        Box::new(crate::cp::dsc::Dsc),
+        Box::new(crate::cp::mcp::Mcp::default()),
+        Box::new(crate::listsched::mh::Mh),
+        Box::new(crate::listsched::hu::Hu),
+    ]
+}
+
+/// Every scheduler in the crate: the five paper heuristics plus the
+/// extensions (ETF, HLFET, DLS, linear clustering, serial baseline).
+pub fn all_heuristics() -> Vec<Box<dyn Scheduler>> {
+    let mut v = paper_heuristics();
+    v.push(Box::new(crate::listsched::etf::Etf));
+    v.push(Box::new(crate::listsched::hlfet::Hlfet));
+    v.push(Box::new(crate::listsched::dls::Dls));
+    v.push(Box::new(crate::cp::lc::LinearClustering));
+    v.push(Box::new(crate::cp::sarkar::Sarkar));
+    v.push(Box::new(crate::serial::Serial));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_match_paper_columns() {
+        let names: Vec<_> = paper_heuristics().iter().map(|h| h.name()).collect();
+        assert_eq!(names, vec!["CLANS", "DSC", "MCP", "MH", "HU"]);
+    }
+
+    #[test]
+    fn all_heuristics_superset() {
+        let all: Vec<_> = all_heuristics().iter().map(|h| h.name()).collect();
+        for n in [
+            "CLANS", "DSC", "MCP", "MH", "HU", "ETF", "HLFET", "DLS", "LC", "SARKAR", "SERIAL",
+        ] {
+            assert!(all.contains(&n), "missing {n}");
+        }
+        // Names are unique.
+        let mut dedup = all.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+    }
+}

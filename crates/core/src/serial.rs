@@ -1,0 +1,55 @@
+//! The serial baseline: everything on one processor.
+
+use crate::scheduler::Scheduler;
+use dagsched_dag::Dag;
+use dagsched_sim::{Clustering, Machine, Schedule};
+
+/// Places every task on a single processor in topological order. Its
+/// makespan is the graph's serial time — the numerator of every
+/// speedup the paper reports, and the fallback CLANS reverts to when
+/// parallelization would retard execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Serial;
+
+impl Scheduler for Serial {
+    fn name(&self) -> &'static str {
+        "SERIAL"
+    }
+
+    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+        Clustering::serial(g.num_nodes())
+            .materialize(g, machine)
+            .expect("the serial clustering is always valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use dagsched_sim::{metrics, validate, Clique};
+
+    #[test]
+    fn serial_makespan_is_serial_time() {
+        for g in [
+            fixtures::fig16(),
+            fixtures::coarse_fork_join(),
+            fixtures::fine_fork_join(),
+        ] {
+            let s = Serial.schedule(&g, &Clique);
+            assert_eq!(s.makespan(), g.serial_time());
+            assert_eq!(s.num_procs(), 1);
+            assert!(validate::is_valid(&g, &Clique, &s));
+            let m = metrics::measures(&g, &s);
+            assert_eq!(m.speedup, 1.0);
+            assert_eq!(m.efficiency, 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = dagsched_dag::DagBuilder::new().build().unwrap();
+        let s = Serial.schedule(&g, &Clique);
+        assert_eq!(s.makespan(), 0);
+    }
+}

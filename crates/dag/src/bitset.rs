@@ -1,0 +1,377 @@
+//! Fixed-capacity bit sets and square bit matrices.
+//!
+//! The transitive closure ([`crate::closure`]) and the clan
+//! decomposition (in `dagsched-clans`) are bulk set-algebra workloads;
+//! packing membership into `u64` words turns the inner loops into
+//! word-wide OR/AND sweeps. This is a deliberately small, dependency-
+//! free implementation rather than pulling in a bitset crate.
+
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-capacity set of `usize` values in `0..len`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set with capacity for values `0..len`.
+    pub fn new(len: usize) -> Self {
+        Self {
+            len,
+            words: vec![0; len.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// A set containing every value in `0..len`.
+    pub fn full(len: usize) -> Self {
+        let mut s = Self::new(len);
+        for i in 0..len {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Builds a set from an iterator of members.
+    pub fn from_iter_with_len(len: usize, it: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = Self::new(len);
+        for i in it {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Capacity (the `len` this set was created with).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts `i`. Panics if `i >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Removes `i` if present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no member is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union. Panics on capacity mismatch.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place intersection. Panics on capacity mismatch.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place difference (`self - other`). Panics on capacity mismatch.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// True iff the sets share at least one member.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// True iff every member of `self` is in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates members in ascending order.
+    pub fn iter(&self) -> BitIter<'_> {
+        BitIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Removes all members.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Ascending iterator over the members of a [`BitSet`].
+pub struct BitIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let tz = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_idx * WORD_BITS + tz)
+    }
+}
+
+/// A square boolean matrix stored as one [`BitSet`]-style row per
+/// index — the representation used for ancestor/descendant closures.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    n: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// An `n × n` all-false matrix.
+    pub fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(WORD_BITS);
+        Self {
+            n,
+            words_per_row,
+            words: vec![0; n * words_per_row],
+        }
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Sets `(row, col)` to true.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize) {
+        debug_assert!(row < self.n && col < self.n);
+        self.words[row * self.words_per_row + col / WORD_BITS] |= 1u64 << (col % WORD_BITS);
+    }
+
+    /// Reads `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        debug_assert!(row < self.n && col < self.n);
+        (self.words[row * self.words_per_row + col / WORD_BITS] >> (col % WORD_BITS)) & 1 == 1
+    }
+
+    /// ORs `src_row` into `dst_row` (row-level reachability merge).
+    pub fn or_row_into(&mut self, src_row: usize, dst_row: usize) {
+        if src_row == dst_row {
+            return;
+        }
+        let w = self.words_per_row;
+        let (lo, hi) = if src_row < dst_row {
+            (src_row, dst_row)
+        } else {
+            (dst_row, src_row)
+        };
+        let (head, tail) = self.words.split_at_mut(hi * w);
+        let a = &head[lo * w..lo * w + w];
+        let b = &mut tail[..w];
+        if src_row < dst_row {
+            for (d, s) in b.iter_mut().zip(a) {
+                *d |= *s;
+            }
+        } else {
+            // src is the `tail` slice, dst the `head` slice: redo with
+            // roles swapped via index math on the original layout.
+            // (Simplest correct path: copy src row first.)
+            let src_copy: Vec<u64> = b.to_vec();
+            let dst = &mut head[lo * w..lo * w + w];
+            for (d, s) in dst.iter_mut().zip(&src_copy) {
+                *d |= *s;
+            }
+        }
+    }
+
+    /// Iterates the true columns of `row` in ascending order.
+    pub fn row_iter(&self, row: usize) -> BitIter<'_> {
+        let w = self.words_per_row;
+        let words = &self.words[row * w..(row + 1) * w];
+        BitIter {
+            words,
+            word_idx: 0,
+            current: words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Number of true cells in `row`.
+    pub fn row_count(&self, row: usize) -> usize {
+        let w = self.words_per_row;
+        self.words[row * w..(row + 1) * w]
+            .iter()
+            .map(|x| x.count_ones() as usize)
+            .sum()
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_map();
+        for r in 0..self.n {
+            d.entry(&r, &self.row_iter(r).collect::<Vec<_>>());
+        }
+        d.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(129);
+        assert_eq!(s.count(), 4);
+        for i in [0, 63, 64, 129] {
+            assert!(s.contains(i));
+        }
+        assert!(!s.contains(1));
+        assert!(!s.contains(500)); // out of range reads as absent
+        s.remove(63);
+        assert!(!s.contains(63));
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn iter_is_ascending_and_complete() {
+        let members = [3usize, 7, 64, 65, 100, 127];
+        let s = BitSet::from_iter_with_len(128, members.iter().copied());
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, members);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet::from_iter_with_len(70, [1, 2, 3, 65]);
+        let b = BitSet::from_iter_with_len(70, [2, 3, 4, 66]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 65, 66]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2, 3]);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 65]);
+        assert!(a.intersects(&b));
+        assert!(i.is_subset(&a));
+        assert!(i.is_subset(&b));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut s = BitSet::full(67);
+        assert_eq!(s.count(), 67);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn disjoint_sets_do_not_intersect() {
+        let a = BitSet::from_iter_with_len(10, [0, 2, 4]);
+        let b = BitSet::from_iter_with_len(10, [1, 3, 5]);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn matrix_set_get() {
+        let mut m = BitMatrix::new(100);
+        m.set(0, 99);
+        m.set(99, 0);
+        m.set(50, 50);
+        assert!(m.get(0, 99));
+        assert!(m.get(99, 0));
+        assert!(m.get(50, 50));
+        assert!(!m.get(0, 98));
+        assert_eq!(m.row_count(0), 1);
+        assert_eq!(m.row_iter(50).collect::<Vec<_>>(), vec![50]);
+    }
+
+    #[test]
+    fn matrix_or_row_forward_and_backward() {
+        let mut m = BitMatrix::new(70);
+        m.set(1, 5);
+        m.set(1, 66);
+        m.or_row_into(1, 3); // forward: src < dst
+        assert!(m.get(3, 5) && m.get(3, 66));
+        m.set(3, 7);
+        m.or_row_into(3, 1); // backward: src > dst
+        assert!(m.get(1, 7));
+        // Self-merge is a no-op.
+        let before = m.clone();
+        m.or_row_into(2, 2);
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn empty_bitset_iter() {
+        let s = BitSet::new(0);
+        assert_eq!(s.iter().count(), 0);
+        let s = BitSet::new(64);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(8).insert(8);
+    }
+}

@@ -1,0 +1,172 @@
+//! Transitive closure and the three-valued ancestor/descendant
+//! relation between nodes.
+//!
+//! The clan decomposition (and several schedulers' sanity checks) need
+//! constant-time answers to "is `u` an ancestor of `v`?". The closure
+//! is computed once per graph in `O(n·m/64)` word operations by
+//! sweeping the reverse topological order and OR-ing descendant rows.
+
+use crate::bitset::BitMatrix;
+use crate::graph::{Dag, NodeId};
+
+/// How two distinct nodes of a DAG relate in the transitive closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// The first node reaches the second (`u` is a proper ancestor of `v`).
+    Ancestor,
+    /// The second node reaches the first (`u` is a proper descendant of `v`).
+    Descendant,
+    /// Neither reaches the other.
+    Unrelated,
+}
+
+/// Precomputed reachability of a [`Dag`].
+#[derive(Debug, Clone)]
+pub struct Closure {
+    /// `desc[u]` row: true at `v` iff `u` properly reaches `v`.
+    desc: BitMatrix,
+    /// `anc[u]` row: true at `v` iff `v` properly reaches `u`.
+    anc: BitMatrix,
+}
+
+impl Closure {
+    /// Computes the closure of `g`.
+    pub fn new(g: &Dag) -> Self {
+        let n = g.num_nodes();
+        let mut desc = BitMatrix::new(n);
+        // Reverse topological sweep: when we process u, every
+        // successor's descendant row is complete.
+        for &u in g.topo_order().iter().rev() {
+            for (s, _) in g.succs(u) {
+                desc.set(u.index(), s.index());
+                desc.or_row_into(s.index(), u.index());
+            }
+        }
+        let mut anc = BitMatrix::new(n);
+        for u in 0..n {
+            for v in desc.row_iter(u) {
+                anc.set(v, u);
+            }
+        }
+        Closure { desc, anc }
+    }
+
+    /// True iff `u` properly reaches `v` (a path of ≥ 1 edge exists).
+    #[inline]
+    pub fn reaches(&self, u: NodeId, v: NodeId) -> bool {
+        self.desc.get(u.index(), v.index())
+    }
+
+    /// The three-valued relation between two *distinct* nodes.
+    ///
+    /// # Panics
+    /// In debug builds if `u == v` (a node is neither its own ancestor
+    /// nor descendant in a DAG — callers must not ask).
+    #[inline]
+    pub fn relation(&self, u: NodeId, v: NodeId) -> Relation {
+        debug_assert_ne!(u, v, "relation is defined for distinct nodes");
+        if self.reaches(u, v) {
+            Relation::Ancestor
+        } else if self.reaches(v, u) {
+            Relation::Descendant
+        } else {
+            Relation::Unrelated
+        }
+    }
+
+    /// Iterates the proper descendants of `u` in ascending index order.
+    pub fn descendants(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.desc.row_iter(u.index()).map(|i| NodeId(i as u32))
+    }
+
+    /// Iterates the proper ancestors of `u` in ascending index order.
+    pub fn ancestors(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.anc.row_iter(u.index()).map(|i| NodeId(i as u32))
+    }
+
+    /// Number of proper descendants of `u`.
+    pub fn num_descendants(&self, u: NodeId) -> usize {
+        self.desc.row_count(u.index())
+    }
+
+    /// Number of proper ancestors of `u`.
+    pub fn num_ancestors(&self, u: NodeId) -> usize {
+        self.anc.row_count(u.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DagBuilder;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn sample() -> Dag {
+        // 0 -> 1 -> 3
+        // 0 -> 2 -> 3 -> 4,  5 isolated
+        let mut b = DagBuilder::new();
+        for _ in 0..6 {
+            b.add_node(1);
+        }
+        for (s, d) in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)] {
+            b.add_edge(n(s), n(d), 1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reachability_matches_paths() {
+        let c = Closure::new(&sample());
+        assert!(c.reaches(n(0), n(4)));
+        assert!(c.reaches(n(0), n(1)));
+        assert!(c.reaches(n(2), n(4)));
+        assert!(!c.reaches(n(1), n(2)));
+        assert!(!c.reaches(n(4), n(0)));
+        assert!(!c.reaches(n(0), n(5)));
+        assert!(!c.reaches(n(0), n(0))); // proper reachability
+    }
+
+    #[test]
+    fn relation_values() {
+        let c = Closure::new(&sample());
+        assert_eq!(c.relation(n(0), n(4)), Relation::Ancestor);
+        assert_eq!(c.relation(n(4), n(0)), Relation::Descendant);
+        assert_eq!(c.relation(n(1), n(2)), Relation::Unrelated);
+        assert_eq!(c.relation(n(5), n(3)), Relation::Unrelated);
+    }
+
+    #[test]
+    fn ancestors_and_descendants_are_duals() {
+        let g = sample();
+        let c = Closure::new(&g);
+        for u in g.nodes() {
+            for v in c.descendants(u) {
+                assert!(c.ancestors(v).any(|a| a == u));
+            }
+        }
+        assert_eq!(c.num_descendants(n(0)), 4);
+        assert_eq!(c.num_ancestors(n(4)), 4);
+        assert_eq!(c.num_ancestors(n(5)), 0);
+        assert_eq!(c.num_descendants(n(5)), 0);
+    }
+
+    #[test]
+    fn diamond_transitivity() {
+        // Regression guard: closure must include multi-hop paths that
+        // exist only through intermediate merges.
+        let mut b = DagBuilder::new();
+        let v: Vec<_> = (0..7).map(|_| b.add_node(1)).collect();
+        // binary in-tree onto 6
+        for (s, d) in [(0, 4), (1, 4), (2, 5), (3, 5), (4, 6), (5, 6)] {
+            b.add_edge(v[s], v[d], 1).unwrap();
+        }
+        let c = Closure::new(&b.build().unwrap());
+        for leaf in 0..4u32 {
+            assert!(c.reaches(n(leaf), n(6)));
+        }
+        assert_eq!(c.num_ancestors(n(6)), 6);
+    }
+}

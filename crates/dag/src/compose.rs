@@ -1,0 +1,147 @@
+//! Series / parallel graph composition.
+//!
+//! The algebra behind series-parallel PDGs (and clan parse trees):
+//! [`parallel`] places graphs side by side; [`series`] runs them in
+//! sequence, joining every sink of one stage to every source of the
+//! next (the complete bipartite junction that makes each stage a clan
+//! of the result). The random parse-tree generator in `dagsched-gen`
+//! is this algebra driven by coin flips.
+
+use crate::graph::{Dag, DagBuilder, NodeId, Weight};
+
+/// Disjoint union: the graphs run side by side with no edges between
+/// them. Node ids of graph `k` are offset by the sizes of graphs
+/// `0..k`. Returns the composed graph.
+pub fn parallel(parts: &[&Dag]) -> Dag {
+    let nodes: usize = parts.iter().map(|g| g.num_nodes()).sum();
+    let edges: usize = parts.iter().map(|g| g.num_edges()).sum();
+    let mut b = DagBuilder::with_capacity(nodes, edges);
+    for g in parts {
+        let base = b.num_nodes() as u32;
+        for &w in g.node_weights() {
+            b.add_node(w);
+        }
+        for e in g.edges() {
+            b.add_edge(NodeId(base + e.src.0), NodeId(base + e.dst.0), e.weight)
+                .expect("offsets keep edges unique");
+        }
+    }
+    b.build().expect("a union of DAGs is a DAG")
+}
+
+/// Sequential composition: stage `k+1` starts after stage `k`. Every
+/// sink of stage `k` is connected to every source of stage `k+1`;
+/// `junction(k, sink, source)` supplies each new edge's weight (the
+/// stage index `k` is the junction between stages `k` and `k+1`, with
+/// sink/source ids local to their stages).
+pub fn series(parts: &[&Dag], mut junction: impl FnMut(usize, NodeId, NodeId) -> Weight) -> Dag {
+    let nodes: usize = parts.iter().map(|g| g.num_nodes()).sum();
+    let mut b = DagBuilder::with_capacity(nodes, nodes * 2);
+    let mut bases = Vec::with_capacity(parts.len());
+    for g in parts {
+        let base = b.num_nodes() as u32;
+        bases.push(base);
+        for &w in g.node_weights() {
+            b.add_node(w);
+        }
+        for e in g.edges() {
+            b.add_edge(NodeId(base + e.src.0), NodeId(base + e.dst.0), e.weight)
+                .expect("offsets keep edges unique");
+        }
+    }
+    for k in 0..parts.len().saturating_sub(1) {
+        for snk in parts[k].sinks() {
+            for src in parts[k + 1].sources() {
+                let w = junction(k, snk, src);
+                b.add_edge(NodeId(bases[k] + snk.0), NodeId(bases[k + 1] + src.0), w)
+                    .expect("junction edges are fresh");
+            }
+        }
+    }
+    b.build().expect("forward junctions preserve acyclicity")
+}
+
+/// A single task as a graph — the unit of the algebra.
+pub fn task(weight: Weight) -> Dag {
+    let mut b = DagBuilder::with_capacity(1, 0);
+    b.add_node(weight);
+    b.build().expect("a single node is a DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use crate::topo;
+
+    #[test]
+    fn task_is_the_unit() {
+        let t = task(7);
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.serial_time(), 7);
+    }
+
+    #[test]
+    fn parallel_is_a_disjoint_union() {
+        let a = task(1);
+        let b2 = series(&[&task(2), &task(3)], |_, _, _| 5);
+        let p = parallel(&[&a, &b2]);
+        assert_eq!(p.num_nodes(), 3);
+        assert_eq!(p.num_edges(), 1);
+        assert_eq!(p.sources().len(), 2);
+        assert_eq!(p.serial_time(), 6);
+        // Offsets preserved the inner edge.
+        assert!(p
+            .succs(crate::graph::NodeId(1))
+            .any(|(d, w)| d.0 == 2 && w == 5));
+    }
+
+    #[test]
+    fn series_joins_sinks_to_sources_completely() {
+        let fork = parallel(&[&task(1), &task(2)]); // two sinks
+        let join = parallel(&[&task(3), &task(4)]); // two sources
+        let g = series(&[&fork, &join], |k, _, _| (k + 1) as u64 * 10);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4); // complete bipartite 2×2
+        assert!(g.edges().iter().all(|e| e.weight == 10));
+        assert_eq!(g.sources().len(), 2);
+        assert_eq!(g.sinks().len(), 2);
+        assert_eq!(topo::height(&g), 2);
+    }
+
+    #[test]
+    fn junction_callback_sees_local_ids_and_stages() {
+        let a = task(1);
+        let b2 = task(2);
+        let c = task(3);
+        let mut calls = Vec::new();
+        let _ = series(&[&a, &b2, &c], |k, snk, src| {
+            calls.push((k, snk.0, src.0));
+            1
+        });
+        assert_eq!(calls, vec![(0, 0, 0), (1, 0, 0)]);
+    }
+
+    #[test]
+    fn fork_join_via_the_algebra() {
+        // series(task, parallel(task×3), task) = fork-join.
+        let mids = parallel(&[&task(10), &task(10), &task(10)]);
+        let g = series(&[&task(5), &mids, &task(5)], |_, _, _| 2);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+        // Each stage is a clan ⇒ the parse is fully series-parallel:
+        // granularity well defined, height 3.
+        assert_eq!(topo::height(&g), 3);
+        assert!(metrics::granularity(&g) > 1.0);
+    }
+
+    #[test]
+    fn empty_parts_compose() {
+        let none = parallel(&[]);
+        assert_eq!(none.num_nodes(), 0);
+        let single = series(&[&task(4)], |_, _, _| 1);
+        assert_eq!(single.num_nodes(), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Graphviz DOT export for PDGs.
+
+use crate::graph::Dag;
+use std::fmt::Write as _;
+
+/// Renders `g` as a Graphviz `digraph`. Node labels show
+/// `index (weight)`, edge labels show the communication cost.
+pub fn to_dot(g: &Dag, name: &str) -> String {
+    let mut out = String::with_capacity(64 + 32 * (g.num_nodes() + g.num_edges()));
+    let safe: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    writeln!(out, "digraph {safe} {{").unwrap();
+    writeln!(out, "  rankdir=TB;").unwrap();
+    writeln!(out, "  node [shape=circle];").unwrap();
+    for v in g.nodes() {
+        writeln!(
+            out,
+            "  n{} [label=\"{}\\n({})\"];",
+            v.0,
+            v.0,
+            g.node_weight(v)
+        )
+        .unwrap();
+    }
+    for e in g.edges() {
+        writeln!(
+            out,
+            "  n{} -> n{} [label=\"{}\"];",
+            e.src.0, e.dst.0, e.weight
+        )
+        .unwrap();
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DagBuilder;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut b = DagBuilder::new();
+        let a = b.add_node(10);
+        let c = b.add_node(20);
+        b.add_edge(a, c, 5).unwrap();
+        let dot = to_dot(&b.build().unwrap(), "demo graph!");
+        assert!(dot.starts_with("digraph demo_graph_ {"));
+        assert!(dot.contains("n0 [label=\"0\\n(10)\"];"));
+        assert!(dot.contains("n1 [label=\"1\\n(20)\"];"));
+        assert!(dot.contains("n0 -> n1 [label=\"5\"];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn empty_graph_is_valid_dot() {
+        let dot = to_dot(&DagBuilder::new().build().unwrap(), "empty");
+        assert!(dot.contains("digraph empty {"));
+        assert!(dot.contains('}'));
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type shared by the DAG substrate.
+
+use std::fmt;
+
+/// Errors produced while building, transforming or parsing DAGs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// An edge refers to a node index that does not exist.
+    NodeOutOfRange {
+        /// The offending node index.
+        index: usize,
+        /// Number of nodes that exist.
+        len: usize,
+    },
+    /// A self-loop `(v, v)` was added; DAGs cannot contain them.
+    SelfLoop(usize),
+    /// The same `(src, dst)` pair was added twice.
+    DuplicateEdge {
+        /// Source node index.
+        src: usize,
+        /// Destination node index.
+        dst: usize,
+    },
+    /// The edge set contains a directed cycle; one witness node on the
+    /// cycle is reported.
+    Cycle(usize),
+    /// A parse error from the plain-text graph format.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::NodeOutOfRange { index, len } => {
+                write!(f, "node index {index} out of range (graph has {len} nodes)")
+            }
+            DagError::SelfLoop(v) => write!(f, "self-loop on node {v} is not allowed in a DAG"),
+            DagError::DuplicateEdge { src, dst } => {
+                write!(f, "duplicate edge ({src} -> {dst})")
+            }
+            DagError::Cycle(v) => write!(f, "edge set contains a cycle through node {v}"),
+            DagError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, DagError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DagError::NodeOutOfRange { index: 7, len: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+        assert!(DagError::SelfLoop(2).to_string().contains("self-loop"));
+        assert!(DagError::DuplicateEdge { src: 1, dst: 2 }
+            .to_string()
+            .contains("duplicate"));
+        assert!(DagError::Cycle(0).to_string().contains("cycle"));
+        let p = DagError::Parse {
+            line: 4,
+            msg: "bad weight".into(),
+        };
+        assert!(p.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&DagError::Cycle(1));
+    }
+}

@@ -1,0 +1,599 @@
+//! Core graph storage: [`Dag`] and [`DagBuilder`].
+//!
+//! A [`Dag`] is immutable once built. Construction happens through
+//! [`DagBuilder`], which checks for self-loops and duplicate edges as
+//! they are added and for cycles at [`DagBuilder::build`] time. The
+//! built graph stores both forward (successor) and reverse
+//! (predecessor) adjacency in CSR form, so every scheduler traversal
+//! is a contiguous slice walk.
+
+use crate::error::{DagError, Result};
+use std::fmt;
+
+/// Task processing times and communication costs, in abstract time
+/// units (the paper's weights are small integers; `u64` keeps every
+/// path-length computation exact).
+pub type Weight = u64;
+
+/// Index of a node (task) in a [`Dag`]. Stored as `u32` to keep hot
+/// per-node tables compact (see the type-size guidance of the Rust
+/// perf book); converts to/from `usize` at use sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Index of an edge (precedence constraint) in a [`Dag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The node index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The edge index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// One directed edge with its communication weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Tail (the task that produces the data).
+    pub src: NodeId,
+    /// Head (the task that consumes the data).
+    pub dst: NodeId,
+    /// Communication cost when `src` and `dst` run on different
+    /// processors; zero cost on the same processor.
+    pub weight: Weight,
+}
+
+/// Mutable graph under construction.
+///
+/// `add_node` returns densely numbered [`NodeId`]s starting at 0.
+/// `add_edge` rejects self-loops and duplicate `(src, dst)` pairs
+/// immediately; cycles are detected by `build`.
+#[derive(Debug, Clone, Default)]
+pub struct DagBuilder {
+    node_weights: Vec<Weight>,
+    edges: Vec<Edge>,
+    /// Sorted on demand for duplicate detection; kept as a flat set of
+    /// `(src, dst)` packed pairs.
+    edge_keys: std::collections::HashSet<(u32, u32)>,
+}
+
+impl DagBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-sized for `nodes` nodes and `edges` edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Self {
+            node_weights: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            edge_keys: std::collections::HashSet::with_capacity(edges),
+        }
+    }
+
+    /// Adds a task with processing time `weight`; returns its id.
+    pub fn add_node(&mut self, weight: Weight) -> NodeId {
+        let id = NodeId(self.node_weights.len() as u32);
+        self.node_weights.push(weight);
+        id
+    }
+
+    /// Adds `count` tasks all with processing time `weight`; returns their ids.
+    pub fn add_nodes(&mut self, count: usize, weight: Weight) -> Vec<NodeId> {
+        (0..count).map(|_| self.add_node(weight)).collect()
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.node_weights.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a precedence edge `src -> dst` with communication cost
+    /// `weight`.
+    ///
+    /// # Errors
+    /// [`DagError::NodeOutOfRange`] if either endpoint was never added,
+    /// [`DagError::SelfLoop`] if `src == dst`,
+    /// [`DagError::DuplicateEdge`] if the pair already exists.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, weight: Weight) -> Result<EdgeId> {
+        let len = self.node_weights.len();
+        for v in [src, dst] {
+            if v.index() >= len {
+                return Err(DagError::NodeOutOfRange {
+                    index: v.index(),
+                    len,
+                });
+            }
+        }
+        if src == dst {
+            return Err(DagError::SelfLoop(src.index()));
+        }
+        if !self.edge_keys.insert((src.0, dst.0)) {
+            return Err(DagError::DuplicateEdge {
+                src: src.index(),
+                dst: dst.index(),
+            });
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { src, dst, weight });
+        Ok(id)
+    }
+
+    /// True if the `(src, dst)` edge already exists.
+    pub fn has_edge(&self, src: NodeId, dst: NodeId) -> bool {
+        self.edge_keys.contains(&(src.0, dst.0))
+    }
+
+    /// Removes the `(src, dst)` edge if present; returns whether one
+    /// was removed. O(m) — intended for generator adjustment passes,
+    /// not hot loops.
+    pub fn remove_edge(&mut self, src: NodeId, dst: NodeId) -> bool {
+        if !self.edge_keys.remove(&(src.0, dst.0)) {
+            return false;
+        }
+        let pos = self
+            .edges
+            .iter()
+            .position(|e| e.src == src && e.dst == dst)
+            .expect("edge_keys and edges agree");
+        self.edges.swap_remove(pos);
+        true
+    }
+
+    /// Overwrites the processing time of `node`.
+    pub fn set_node_weight(&mut self, node: NodeId, weight: Weight) {
+        self.node_weights[node.index()] = weight;
+    }
+
+    /// Reads the current processing time of `node`.
+    pub fn node_weight(&self, node: NodeId) -> Weight {
+        self.node_weights[node.index()]
+    }
+
+    /// Applies `f` to every edge weight (used by the generator's
+    /// granularity-targeting pass).
+    pub fn map_edge_weights(&mut self, mut f: impl FnMut(Weight) -> Weight) {
+        for e in &mut self.edges {
+            e.weight = f(e.weight);
+        }
+    }
+
+    /// Iterates over the edges added so far.
+    pub fn edges(&self) -> impl Iterator<Item = &Edge> {
+        self.edges.iter()
+    }
+
+    /// Validates acyclicity and freezes the graph into CSR form.
+    ///
+    /// # Errors
+    /// [`DagError::Cycle`] naming one node on a directed cycle.
+    pub fn build(self) -> Result<Dag> {
+        let n = self.node_weights.len();
+        let m = self.edges.len();
+
+        // Count degrees.
+        let mut out_deg = vec![0u32; n];
+        let mut in_deg = vec![0u32; n];
+        for e in &self.edges {
+            out_deg[e.src.index()] += 1;
+            in_deg[e.dst.index()] += 1;
+        }
+
+        // CSR offsets (exclusive prefix sums).
+        let mut succ_off = Vec::with_capacity(n + 1);
+        let mut pred_off = Vec::with_capacity(n + 1);
+        let (mut s, mut p) = (0u32, 0u32);
+        for v in 0..n {
+            succ_off.push(s);
+            pred_off.push(p);
+            s += out_deg[v];
+            p += in_deg[v];
+        }
+        succ_off.push(s);
+        pred_off.push(p);
+
+        // Fill adjacency with edge ids.
+        let mut succ_adj = vec![EdgeId(0); m];
+        let mut pred_adj = vec![EdgeId(0); m];
+        let mut succ_fill = succ_off.clone();
+        let mut pred_fill = pred_off.clone();
+        for (i, e) in self.edges.iter().enumerate() {
+            let id = EdgeId(i as u32);
+            let so = &mut succ_fill[e.src.index()];
+            succ_adj[*so as usize] = id;
+            *so += 1;
+            let po = &mut pred_fill[e.dst.index()];
+            pred_adj[*po as usize] = id;
+            *po += 1;
+        }
+
+        let dag = Dag {
+            node_weights: self.node_weights,
+            edges: self.edges,
+            succ_off,
+            pred_off,
+            succ_adj,
+            pred_adj,
+            topo: Vec::new(),
+        };
+
+        // Kahn's algorithm both validates acyclicity and produces the
+        // canonical topological order cached on the graph.
+        let order = dag.kahn_order()?;
+        let mut dag = dag;
+        dag.topo = order;
+        Ok(dag)
+    }
+}
+
+/// Immutable weighted DAG in CSR form.
+///
+/// Nodes are `0..num_nodes()`, edges `0..num_edges()`. A canonical
+/// topological order is computed at build time and exposed through
+/// [`Dag::topo_order`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dag {
+    node_weights: Vec<Weight>,
+    edges: Vec<Edge>,
+    succ_off: Vec<u32>,
+    pred_off: Vec<u32>,
+    succ_adj: Vec<EdgeId>,
+    pred_adj: Vec<EdgeId>,
+    topo: Vec<NodeId>,
+}
+
+impl Dag {
+    /// Number of tasks.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.node_weights.len()
+    }
+
+    /// Number of precedence edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node ids in index order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+
+    /// Iterator over all edge ids in index order.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.num_edges() as u32).map(EdgeId)
+    }
+
+    /// Processing time of `node`.
+    #[inline]
+    pub fn node_weight(&self, node: NodeId) -> Weight {
+        self.node_weights[node.index()]
+    }
+
+    /// All node weights, indexed by node id.
+    #[inline]
+    pub fn node_weights(&self) -> &[Weight] {
+        &self.node_weights
+    }
+
+    /// The edge record for `edge`.
+    #[inline]
+    pub fn edge(&self, edge: EdgeId) -> Edge {
+        self.edges[edge.index()]
+    }
+
+    /// All edges, indexed by edge id.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Edge ids leaving `node`.
+    #[inline]
+    pub fn out_edges(&self, node: NodeId) -> &[EdgeId] {
+        let (a, b) = (self.succ_off[node.index()], self.succ_off[node.index() + 1]);
+        &self.succ_adj[a as usize..b as usize]
+    }
+
+    /// Edge ids entering `node`.
+    #[inline]
+    pub fn in_edges(&self, node: NodeId) -> &[EdgeId] {
+        let (a, b) = (self.pred_off[node.index()], self.pred_off[node.index() + 1]);
+        &self.pred_adj[a as usize..b as usize]
+    }
+
+    /// Successor `(node, edge weight)` pairs of `node`.
+    pub fn succs(&self, node: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        self.out_edges(node).iter().map(|&e| {
+            let ed = self.edge(e);
+            (ed.dst, ed.weight)
+        })
+    }
+
+    /// Predecessor `(node, edge weight)` pairs of `node`.
+    pub fn preds(&self, node: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        self.in_edges(node).iter().map(|&e| {
+            let ed = self.edge(e);
+            (ed.src, ed.weight)
+        })
+    }
+
+    /// Out-degree of `node`.
+    #[inline]
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.out_edges(node).len()
+    }
+
+    /// In-degree of `node`.
+    #[inline]
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.in_edges(node).len()
+    }
+
+    /// Nodes with no predecessors.
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&v| self.in_degree(v) == 0).collect()
+    }
+
+    /// Nodes with no successors.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&v| self.out_degree(v) == 0).collect()
+    }
+
+    /// The cached canonical topological order (smallest-index-first
+    /// Kahn order).
+    #[inline]
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Sum of all node weights — the time a single processor needs,
+    /// the paper's *serial time*.
+    pub fn serial_time(&self) -> Weight {
+        self.node_weights.iter().sum()
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_comm(&self) -> Weight {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    /// Rebuilds a mutable builder with identical contents.
+    pub fn to_builder(&self) -> DagBuilder {
+        let mut b = DagBuilder::with_capacity(self.num_nodes(), self.num_edges());
+        for &w in &self.node_weights {
+            b.add_node(w);
+        }
+        for e in &self.edges {
+            b.add_edge(e.src, e.dst, e.weight)
+                .expect("edges of a valid Dag re-add cleanly");
+        }
+        b
+    }
+
+    /// Kahn topological sort; error names a node on a cycle.
+    pub(crate) fn kahn_order(&self) -> Result<Vec<NodeId>> {
+        let n = self.num_nodes();
+        let mut in_deg: Vec<u32> = (0..n)
+            .map(|v| self.in_degree(NodeId(v as u32)) as u32)
+            .collect();
+        let mut stack: Vec<NodeId> = Vec::with_capacity(n);
+        // Seed with sources in reverse index order so pops yield
+        // ascending indices — a deterministic canonical order.
+        for v in (0..n as u32).rev() {
+            if in_deg[v as usize] == 0 {
+                stack.push(NodeId(v));
+            }
+        }
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            for (s, _) in self.succs(v) {
+                in_deg[s.index()] -= 1;
+                if in_deg[s.index()] == 0 {
+                    stack.push(s);
+                }
+            }
+        }
+        if order.len() != n {
+            let witness = (0..n).find(|&v| in_deg[v] > 0).unwrap_or(0);
+            return Err(DagError::Cycle(witness));
+        }
+        Ok(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        // 0 -> {1,2} -> 3
+        let mut b = DagBuilder::new();
+        let n: Vec<_> = (0..4).map(|i| b.add_node(10 * (i + 1) as Weight)).collect();
+        b.add_edge(n[0], n[1], 1).unwrap();
+        b.add_edge(n[0], n[2], 2).unwrap();
+        b.add_edge(n[1], n[3], 3).unwrap();
+        b.add_edge(n[2], n[3], 4).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_diamond() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.serial_time(), 100);
+        assert_eq!(g.total_comm(), 10);
+        assert_eq!(g.sources(), vec![NodeId(0)]);
+        assert_eq!(g.sinks(), vec![NodeId(3)]);
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.in_degree(NodeId(3)), 2);
+    }
+
+    #[test]
+    fn adjacency_is_consistent_both_directions() {
+        let g = diamond();
+        for e in g.edge_ids() {
+            let ed = g.edge(e);
+            assert!(g.out_edges(ed.src).contains(&e));
+            assert!(g.in_edges(ed.dst).contains(&e));
+        }
+        let succ_total: usize = g.nodes().map(|v| g.out_degree(v)).sum();
+        let pred_total: usize = g.nodes().map(|v| g.in_degree(v)).sum();
+        assert_eq!(succ_total, g.num_edges());
+        assert_eq!(pred_total, g.num_edges());
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = diamond();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.num_nodes()];
+            for (i, &v) in g.topo_order().iter().enumerate() {
+                p[v.index()] = i;
+            }
+            p
+        };
+        for e in g.edges() {
+            assert!(pos[e.src.index()] < pos[e.dst.index()]);
+        }
+    }
+
+    #[test]
+    fn canonical_topo_order_is_deterministic() {
+        let g1 = diamond();
+        let g2 = diamond();
+        assert_eq!(g1.topo_order(), g2.topo_order());
+        assert_eq!(g1.topo_order()[0], NodeId(0));
+        assert_eq!(*g1.topo_order().last().unwrap(), NodeId(3));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = DagBuilder::new();
+        let v = b.add_node(1);
+        assert_eq!(b.add_edge(v, v, 1), Err(DagError::SelfLoop(0)));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let mut b = DagBuilder::new();
+        let u = b.add_node(1);
+        let v = b.add_node(1);
+        b.add_edge(u, v, 1).unwrap();
+        assert_eq!(
+            b.add_edge(u, v, 9),
+            Err(DagError::DuplicateEdge { src: 0, dst: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_node() {
+        let mut b = DagBuilder::new();
+        let u = b.add_node(1);
+        let bogus = NodeId(5);
+        assert!(matches!(
+            b.add_edge(u, bogus, 1),
+            Err(DagError::NodeOutOfRange { index: 5, len: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut b = DagBuilder::new();
+        let n: Vec<_> = (0..3).map(|_| b.add_node(1)).collect();
+        b.add_edge(n[0], n[1], 1).unwrap();
+        b.add_edge(n[1], n[2], 1).unwrap();
+        b.add_edge(n[2], n[0], 1).unwrap();
+        assert!(matches!(b.build(), Err(DagError::Cycle(_))));
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = DagBuilder::new().build().unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.serial_time(), 0);
+        assert!(g.topo_order().is_empty());
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let mut b = DagBuilder::new();
+        b.add_node(42);
+        let g = b.build().unwrap();
+        assert_eq!(g.serial_time(), 42);
+        assert_eq!(g.sources(), g.sinks());
+    }
+
+    #[test]
+    fn remove_edge_roundtrip() {
+        let mut b = DagBuilder::new();
+        let u = b.add_node(1);
+        let v = b.add_node(1);
+        b.add_edge(u, v, 5).unwrap();
+        assert!(b.has_edge(u, v));
+        assert!(b.remove_edge(u, v));
+        assert!(!b.has_edge(u, v));
+        assert!(!b.remove_edge(u, v));
+        // Can re-add after removal.
+        b.add_edge(u, v, 7).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.edge(EdgeId(0)).weight, 7);
+    }
+
+    #[test]
+    fn to_builder_roundtrip() {
+        let g = diamond();
+        let g2 = g.to_builder().build().unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn map_edge_weights_scales() {
+        let mut b = diamond().to_builder();
+        b.map_edge_weights(|w| w * 10);
+        let g = b.build().unwrap();
+        assert_eq!(g.total_comm(), 100);
+    }
+
+    #[test]
+    fn disconnected_components_are_fine() {
+        let mut b = DagBuilder::new();
+        b.add_node(1);
+        b.add_node(2);
+        let g = b.build().unwrap();
+        assert_eq!(g.sources().len(), 2);
+        assert_eq!(g.sinks().len(), 2);
+    }
+}

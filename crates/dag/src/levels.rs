@@ -1,0 +1,267 @@
+//! Path-length labellings: b-levels, t-levels, ALAP times, critical
+//! paths — with and without communication costs.
+//!
+//! These are the shared vocabulary of every heuristic in the paper:
+//!
+//! * DSC's priority is `tlevel + blevel` (both including edge weights);
+//! * MCP binds ALAP times `T_L(v) = CP − blevel(v)`;
+//! * MH's priority is the Gerasoulis/Yang *level* (b-level with
+//!   communication);
+//! * HU's priority is the classic computation-only level.
+
+use crate::graph::{Dag, NodeId, Weight};
+
+/// *Bottom level with communication*: the weight of the heaviest path
+/// from the start of `v` to an exit node, counting node weights
+/// (including `v` itself) and edge weights.
+///
+/// This is the "level" of Gerasoulis & Yang used by DSC and MH.
+pub fn blevels_with_comm(g: &Dag) -> Vec<Weight> {
+    blevels(g, true)
+}
+
+/// *Bottom level without communication*: as [`blevels_with_comm`] but
+/// ignoring edge weights — the classic Hu level.
+pub fn blevels_computation(g: &Dag) -> Vec<Weight> {
+    blevels(g, false)
+}
+
+fn blevels(g: &Dag, with_comm: bool) -> Vec<Weight> {
+    let mut bl = vec![0; g.num_nodes()];
+    for &v in g.topo_order().iter().rev() {
+        let best = g
+            .succs(v)
+            .map(|(s, c)| bl[s.index()] + if with_comm { c } else { 0 })
+            .max()
+            .unwrap_or(0);
+        bl[v.index()] = g.node_weight(v) + best;
+    }
+    bl
+}
+
+/// *Top level with communication*: the weight of the heaviest path
+/// from a source node to the start of `v` (excluding `v`'s own
+/// weight). Sources have t-level 0. This is a node's earliest possible
+/// start when every task sits on its own processor.
+pub fn tlevels_with_comm(g: &Dag) -> Vec<Weight> {
+    tlevels(g, true)
+}
+
+/// *Top level without communication* — edge weights ignored.
+pub fn tlevels_computation(g: &Dag) -> Vec<Weight> {
+    tlevels(g, false)
+}
+
+fn tlevels(g: &Dag, with_comm: bool) -> Vec<Weight> {
+    let mut tl = vec![0; g.num_nodes()];
+    for &v in g.topo_order() {
+        let best = g
+            .preds(v)
+            .map(|(p, c)| tl[p.index()] + g.node_weight(p) + if with_comm { c } else { 0 })
+            .max()
+            .unwrap_or(0);
+        tl[v.index()] = best;
+    }
+    tl
+}
+
+/// The critical path length including communication — the makespan of
+/// the fully parallel (one task per processor) schedule, equal to
+/// `max_v (tlevel(v) + blevel(v))`.
+pub fn critical_path_len(g: &Dag) -> Weight {
+    blevels_with_comm(g).into_iter().max().unwrap_or(0)
+}
+
+/// The critical path length counting only computation (edge weights
+/// zeroed) — the classic lower bound on any schedule's makespan.
+pub fn critical_path_len_computation(g: &Dag) -> Weight {
+    blevels_computation(g).into_iter().max().unwrap_or(0)
+}
+
+/// One maximal-weight source-to-sink path (node weights + edge
+/// weights). Ties break toward smaller node indices so the result is
+/// deterministic. Empty for the empty graph.
+pub fn critical_path(g: &Dag) -> Vec<NodeId> {
+    let bl = blevels_with_comm(g);
+    let Some(mut cur) = g
+        .nodes()
+        .filter(|v| g.in_degree(*v) == 0)
+        .min_by_key(|v| (std::cmp::Reverse(bl[v.index()]), v.0))
+    else {
+        return Vec::new();
+    };
+    let mut path = vec![cur];
+    loop {
+        let next = g
+            .succs(cur)
+            .min_by_key(|&(s, c)| (std::cmp::Reverse(bl[s.index()] + c), s.0))
+            .map(|(s, _)| s);
+        match next {
+            Some(s) => {
+                path.push(s);
+                cur = s;
+            }
+            None => break,
+        }
+    }
+    path
+}
+
+/// ALAP (as-late-as-possible) start times with communication, as used
+/// by MCP: `alap(v) = CP − blevel(v)`. A node on the critical path has
+/// `alap(v) == tlevel(v)`.
+pub fn alap_times(g: &Dag) -> Vec<Weight> {
+    let bl = blevels_with_comm(g);
+    let cp = bl.iter().copied().max().unwrap_or(0);
+    bl.into_iter().map(|b| cp - b).collect()
+}
+
+/// Per-node *slack*: how much a node's start can slip without
+/// stretching the critical path, `CP − (tlevel(v) + blevel(v))`
+/// (equivalently `alap(v) − tlevel(v)`). Critical-path nodes have
+/// slack 0.
+pub fn slacks(g: &Dag) -> Vec<Weight> {
+    let bl = blevels_with_comm(g);
+    let tl = tlevels_with_comm(g);
+    let cp = bl.iter().copied().max().unwrap_or(0);
+    bl.iter().zip(&tl).map(|(&b, &t)| cp - (t + b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DagBuilder;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// The worked example of the paper's appendix (Figures 14/16):
+    /// node weights 10,20,30,40,50 (1-based nodes 1..5); edge weights
+    /// reconstructed from the level table of Figure 14
+    /// (150, 74, 135, 95, 50): 1→2 (5), 1→3 (5), 3→4 (10), 2→5 (4),
+    /// 4→5 (5). Renumbered 0-based here.
+    fn fig16() -> Dag {
+        let mut b = DagBuilder::new();
+        for w in [10u64, 20, 30, 40, 50] {
+            b.add_node(w);
+        }
+        for (s, d, c) in [(0, 1, 5u64), (0, 2, 5), (2, 3, 10), (1, 4, 4), (3, 4, 5)] {
+            b.add_edge(n(s), n(d), c).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fig16_blevels_match_paper_level_table() {
+        // Figure 14 of the paper tabulates the Gerasoulis/Yang levels
+        // for this graph: 150, 74, 135, 95, 50 for nodes 1..5.
+        let g = fig16();
+        let bl = blevels_with_comm(&g);
+        assert_eq!(bl, vec![150, 74, 135, 95, 50]);
+    }
+
+    #[test]
+    fn computation_blevels_ignore_edges() {
+        let g = fig16();
+        let bl = blevels_computation(&g);
+        assert_eq!(bl[4], 50);
+        assert_eq!(bl[3], 90);
+        assert_eq!(bl[2], 120);
+        assert_eq!(bl[1], 70);
+        assert_eq!(bl[0], 130);
+    }
+
+    #[test]
+    fn tlevels() {
+        let g = fig16();
+        let tl = tlevels_with_comm(&g);
+        assert_eq!(tl[0], 0);
+        assert_eq!(tl[1], 10 + 5);
+        assert_eq!(tl[2], 10 + 5);
+        assert_eq!(tl[3], 15 + 30 + 10);
+        assert_eq!(tl[4], (55 + 40 + 5));
+        let tlc = tlevels_computation(&g);
+        assert_eq!(tlc[3], 10 + 30);
+        assert_eq!(tlc[4], 80);
+    }
+
+    #[test]
+    fn critical_path_lengths() {
+        let g = fig16();
+        assert_eq!(critical_path_len(&g), 10 + 5 + 30 + 10 + 40 + 5 + 50);
+        assert_eq!(critical_path_len_computation(&g), 130);
+        // tlevel + blevel is maximized exactly at CP nodes.
+        let tl = tlevels_with_comm(&g);
+        let bl = blevels_with_comm(&g);
+        let cp = critical_path_len(&g);
+        for v in [0usize, 2, 3, 4] {
+            assert_eq!(tl[v] + bl[v], cp, "node {v} lies on the CP");
+        }
+        assert!(tl[1] + bl[1] < cp);
+    }
+
+    #[test]
+    fn critical_path_extraction() {
+        let g = fig16();
+        assert_eq!(critical_path(&g), vec![n(0), n(2), n(3), n(4)]);
+    }
+
+    #[test]
+    fn alap_of_cp_nodes_equals_tlevel() {
+        let g = fig16();
+        let alap = alap_times(&g);
+        let tl = tlevels_with_comm(&g);
+        for v in [0usize, 2, 3, 4] {
+            assert_eq!(alap[v], tl[v]);
+        }
+        // Node 1 has slack: alap = 150 − 74 = 76.
+        assert!(alap[1] > tl[1]);
+        assert_eq!(alap[1], 76);
+    }
+
+    #[test]
+    fn slacks_are_zero_exactly_on_the_critical_path() {
+        let g = fig16();
+        let s = slacks(&g);
+        assert_eq!(s[0], 0);
+        assert_eq!(s[2], 0);
+        assert_eq!(s[3], 0);
+        assert_eq!(s[4], 0);
+        // Node 1: tl 15, bl 74 → slack 150 − 89 = 61.
+        assert_eq!(s[1], 61);
+        // Slack equals alap − tlevel everywhere.
+        let alap = alap_times(&g);
+        let tl = tlevels_with_comm(&g);
+        for v in 0..5 {
+            assert_eq!(s[v], alap[v] - tl[v]);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = DagBuilder::new().build().unwrap();
+        assert_eq!(critical_path_len(&g), 0);
+        assert!(critical_path(&g).is_empty());
+        let mut b = DagBuilder::new();
+        b.add_node(7);
+        let g = b.build().unwrap();
+        assert_eq!(critical_path_len(&g), 7);
+        assert_eq!(critical_path(&g), vec![n(0)]);
+        assert_eq!(alap_times(&g), vec![0]);
+    }
+
+    #[test]
+    fn cp_ties_resolve_deterministically() {
+        // Two identical parallel chains: path must pick node 1 (the
+        // smaller index) at the fork.
+        let mut b = DagBuilder::new();
+        let v: Vec<_> = (0..4).map(|_| b.add_node(10)).collect();
+        b.add_edge(v[0], v[1], 5).unwrap();
+        b.add_edge(v[0], v[2], 5).unwrap();
+        b.add_edge(v[1], v[3], 5).unwrap();
+        b.add_edge(v[2], v[3], 5).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(critical_path(&g), vec![n(0), n(1), n(3)]);
+    }
+}

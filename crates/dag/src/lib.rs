@@ -1,0 +1,69 @@
+//! # dagsched-dag — weighted-DAG substrate
+//!
+//! The foundational data structure of the `dagsched` workspace: a
+//! node- and edge-weighted directed acyclic graph representing a
+//! *Program Dependence Graph* (PDG) in the sense of Khan, McCreary &
+//! Jones (ICPP 1994) — each node is a task with a processing time,
+//! each edge a precedence constraint whose weight is the
+//! communication cost paid when its endpoints run on different
+//! processors.
+//!
+//! The crate provides:
+//!
+//! * [`Dag`] / [`DagBuilder`] — immutable CSR-style graph storage with
+//!   a mutable builder (cycle detection at build time);
+//! * [`topo`] — topological orders and layerings;
+//! * [`bitset`] — fixed-size bit sets and bit matrices used by the
+//!   transitive closure and by the clan decomposition crate;
+//! * [`closure`] — ancestor/descendant transitive closure and the
+//!   three-valued node [`closure::Relation`];
+//! * [`levels`] — b-levels, t-levels, ALAP times and critical paths,
+//!   with and without communication costs;
+//! * [`metrics`] — the paper's graph classification metrics
+//!   (granularity, anchor out-degree, node weight range) and basic
+//!   statistics;
+//! * [`transform`] — transpose, induced subgraphs, virtual
+//!   source/sink augmentation;
+//! * [`dot`] — Graphviz export; [`textio`] — a small plain-text
+//!   format for fixtures and examples.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dagsched_dag::{DagBuilder, metrics};
+//!
+//! // The 5-node graph of Figure 16 in the paper.
+//! let mut b = DagBuilder::new();
+//! let n: Vec<_> = [10u64, 20, 30, 40, 50].iter().map(|&w| b.add_node(w)).collect();
+//! b.add_edge(n[0], n[1], 4).unwrap();
+//! b.add_edge(n[0], n[2], 3).unwrap();
+//! b.add_edge(n[2], n[3], 5).unwrap();
+//! b.add_edge(n[1], n[4], 4).unwrap();
+//! b.add_edge(n[3], n[4], 6).unwrap();
+//! let g = b.build().unwrap();
+//!
+//! assert_eq!(g.num_nodes(), 5);
+//! assert_eq!(g.serial_time(), 150);
+//! assert!(metrics::granularity(&g) > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod closure;
+pub mod compose;
+pub mod dot;
+pub mod error;
+pub mod graph;
+pub mod levels;
+pub mod metrics;
+#[cfg(feature = "serde")]
+mod serde_impls;
+pub mod stg;
+pub mod textio;
+pub mod topo;
+pub mod transform;
+
+pub use error::{DagError, Result};
+pub use graph::{Dag, DagBuilder, EdgeId, NodeId, Weight};

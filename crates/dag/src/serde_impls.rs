@@ -1,0 +1,91 @@
+//! Serde support (feature `serde`).
+//!
+//! A [`Dag`] serializes as its raw construction data — node weights
+//! plus `(src, dst, weight)` edge triples — and re-validates through
+//! [`DagBuilder`] on deserialization, so hand-edited or corrupted
+//! payloads (duplicate edges, cycles, out-of-range endpoints) are
+//! rejected with the builder's error message rather than producing an
+//! inconsistent graph.
+
+use crate::graph::{Dag, DagBuilder, NodeId, Weight};
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// The serialized shape of a [`Dag`].
+#[derive(Serialize, Deserialize)]
+struct RawDag {
+    node_weights: Vec<Weight>,
+    edges: Vec<(u32, u32, Weight)>,
+}
+
+impl Serialize for Dag {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let raw = RawDag {
+            node_weights: self.node_weights().to_vec(),
+            edges: self
+                .edges()
+                .iter()
+                .map(|e| (e.src.0, e.dst.0, e.weight))
+                .collect(),
+        };
+        raw.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Dag {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let raw = RawDag::deserialize(deserializer)?;
+        let mut b = DagBuilder::with_capacity(raw.node_weights.len(), raw.edges.len());
+        for w in raw.node_weights {
+            b.add_node(w);
+        }
+        for (s, d, w) in raw.edges {
+            b.add_edge(NodeId(s), NodeId(d), w)
+                .map_err(D::Error::custom)?;
+        }
+        b.build().map_err(D::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dag {
+        let mut b = DagBuilder::new();
+        let n: Vec<_> = [10u64, 20, 30].iter().map(|&w| b.add_node(w)).collect();
+        b.add_edge(n[0], n[1], 5).unwrap();
+        b.add_edge(n[1], n[2], 7).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let g = sample();
+        let json = serde_json::to_string(&g).unwrap();
+        assert!(json.contains("node_weights"));
+        let back: Dag = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn deserialization_revalidates_cycles() {
+        let json = r#"{"node_weights":[1,1],"edges":[[0,1,1],[1,0,1]]}"#;
+        let err = serde_json::from_str::<Dag>(json).unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn deserialization_revalidates_duplicates_and_ranges() {
+        let dup = r#"{"node_weights":[1,1],"edges":[[0,1,1],[0,1,2]]}"#;
+        assert!(serde_json::from_str::<Dag>(dup)
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate"));
+        let oob = r#"{"node_weights":[1],"edges":[[0,9,1]]}"#;
+        assert!(serde_json::from_str::<Dag>(oob)
+            .unwrap_err()
+            .to_string()
+            .contains("out of range"));
+    }
+}

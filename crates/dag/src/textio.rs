@@ -1,0 +1,203 @@
+//! A minimal plain-text PDG format for fixtures, examples and ad-hoc
+//! experiments.
+//!
+//! ```text
+//! # comment
+//! nodes 5
+//! node 0 10        # node <index> <weight>
+//! node 1 20
+//! ...
+//! edge 0 1 4       # edge <src> <dst> <comm-weight>
+//! ```
+//!
+//! `nodes N` pre-declares the count; `node i w` lines may appear in
+//! any order but every index in `0..N` must be assigned exactly once.
+
+use crate::error::{DagError, Result};
+use crate::graph::{Dag, DagBuilder, NodeId, Weight};
+use std::fmt::Write as _;
+
+/// Serializes `g` in the text format (round-trips through [`parse`]).
+pub fn write(g: &Dag) -> String {
+    let mut out = String::new();
+    writeln!(out, "nodes {}", g.num_nodes()).unwrap();
+    for v in g.nodes() {
+        writeln!(out, "node {} {}", v.0, g.node_weight(v)).unwrap();
+    }
+    for e in g.edges() {
+        writeln!(out, "edge {} {} {}", e.src.0, e.dst.0, e.weight).unwrap();
+    }
+    out
+}
+
+/// Parses the text format into a [`Dag`].
+///
+/// # Errors
+/// [`DagError::Parse`] with a line number for malformed input, plus
+/// the usual build-time errors (duplicate edges, cycles).
+pub fn parse(text: &str) -> Result<Dag> {
+    let mut n: Option<usize> = None;
+    let mut weights: Vec<Option<Weight>> = Vec::new();
+    let mut edges: Vec<(usize, usize, Weight)> = Vec::new();
+
+    let err = |line: usize, msg: &str| DagError::Parse {
+        line,
+        msg: msg.to_string(),
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        match tok.next() {
+            Some("nodes") => {
+                if n.is_some() {
+                    return Err(err(lineno, "duplicate `nodes` declaration"));
+                }
+                let count: usize = tok
+                    .next()
+                    .ok_or_else(|| err(lineno, "`nodes` needs a count"))?
+                    .parse()
+                    .map_err(|_| err(lineno, "invalid node count"))?;
+                n = Some(count);
+                weights = vec![None; count];
+            }
+            Some("node") => {
+                let n = n.ok_or_else(|| err(lineno, "`node` before `nodes`"))?;
+                let i: usize = tok
+                    .next()
+                    .ok_or_else(|| err(lineno, "`node` needs an index"))?
+                    .parse()
+                    .map_err(|_| err(lineno, "invalid node index"))?;
+                let w: Weight = tok
+                    .next()
+                    .ok_or_else(|| err(lineno, "`node` needs a weight"))?
+                    .parse()
+                    .map_err(|_| err(lineno, "invalid node weight"))?;
+                if i >= n {
+                    return Err(err(lineno, "node index out of declared range"));
+                }
+                if weights[i].replace(w).is_some() {
+                    return Err(err(lineno, "node declared twice"));
+                }
+            }
+            Some("edge") => {
+                let mut next_num = |what: &str| -> Result<u64> {
+                    tok.next()
+                        .ok_or_else(|| err(lineno, &format!("`edge` needs {what}")))?
+                        .parse()
+                        .map_err(|_| err(lineno, &format!("invalid {what}")))
+                };
+                let s = next_num("a source")? as usize;
+                let d = next_num("a destination")? as usize;
+                let w = next_num("a weight")?;
+                edges.push((s, d, w));
+            }
+            Some(other) => {
+                return Err(err(lineno, &format!("unknown directive `{other}`")));
+            }
+            None => unreachable!("empty lines were skipped"),
+        }
+    }
+
+    let n = n.ok_or_else(|| err(text.lines().count().max(1), "missing `nodes` declaration"))?;
+    let mut b = DagBuilder::with_capacity(n, edges.len());
+    for (i, w) in weights.iter().enumerate() {
+        let w = w.ok_or_else(|| DagError::Parse {
+            line: 0,
+            msg: format!("node {i} was never declared"),
+        })?;
+        b.add_node(w);
+    }
+    for (s, d, w) in edges {
+        let check = |i: usize| -> Result<NodeId> {
+            if i >= n {
+                Err(DagError::NodeOutOfRange { index: i, len: n })
+            } else {
+                Ok(NodeId(i as u32))
+            }
+        };
+        b.add_edge(check(s)?, check(d)?, w)?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# Figure 16 of the paper
+nodes 5
+node 0 10
+node 1 20
+node 2 30
+node 3 40
+node 4 50
+edge 0 1 4
+edge 0 2 3
+edge 2 3 5
+edge 1 4 4
+edge 3 4 6
+";
+
+    #[test]
+    fn parse_sample() {
+        let g = parse(SAMPLE).unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.serial_time(), 150);
+        assert_eq!(g.node_weight(NodeId(3)), 40);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = parse(SAMPLE).unwrap();
+        let g2 = parse(&write(&g)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let g = parse("\n# hi\nnodes 1\n  node 0 7  # weight seven\n\n").unwrap();
+        assert_eq!(g.serial_time(), 7);
+    }
+
+    #[test]
+    fn error_cases() {
+        // All the ways input can be malformed, each naming its line.
+        let cases: &[(&str, &str)] = &[
+            ("node 0 1", "before `nodes`"),
+            ("nodes 1\nnodes 1", "duplicate"),
+            ("nodes x", "invalid node count"),
+            ("nodes 1\nnode 5 1", "out of declared range"),
+            ("nodes 1\nnode 0 1\nnode 0 2", "twice"),
+            ("nodes 2\nnode 0 1", "never declared"),
+            ("nodes 1\nnode 0 1\nedge 0", "needs a destination"),
+            ("nodes 1\nnode 0 1\nfrobnicate", "unknown directive"),
+            ("", "missing `nodes`"),
+        ];
+        for (text, needle) in cases {
+            let e = parse(text).unwrap_err();
+            assert!(
+                e.to_string().contains(needle),
+                "input {text:?}: expected {needle:?} in {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_out_of_range_is_structural_error() {
+        let e = parse("nodes 1\nnode 0 1\nedge 0 9 1").unwrap_err();
+        assert!(matches!(e, DagError::NodeOutOfRange { index: 9, .. }));
+    }
+
+    #[test]
+    fn cycle_detected_at_build() {
+        let e = parse("nodes 2\nnode 0 1\nnode 1 1\nedge 0 1 1\nedge 1 0 1").unwrap_err();
+        assert!(matches!(e, DagError::Cycle(_)));
+    }
+}

@@ -1,0 +1,180 @@
+//! Topological orders and layerings beyond the canonical order cached
+//! on [`Dag`].
+
+use crate::graph::{Dag, NodeId};
+
+/// Positions of each node in `order`: `pos[v] = i` iff `order[i] == v`.
+pub fn positions(order: &[NodeId], num_nodes: usize) -> Vec<usize> {
+    let mut pos = vec![usize::MAX; num_nodes];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v.index()] = i;
+    }
+    pos
+}
+
+/// True iff `order` is a permutation of all nodes that respects every
+/// edge of `g`.
+pub fn is_topological(g: &Dag, order: &[NodeId]) -> bool {
+    if order.len() != g.num_nodes() {
+        return false;
+    }
+    let pos = positions(order, g.num_nodes());
+    if pos.contains(&usize::MAX) {
+        return false;
+    }
+    g.edges()
+        .iter()
+        .all(|e| pos[e.src.index()] < pos[e.dst.index()])
+}
+
+/// Assigns each node its *depth layer*: sources are layer 0, every
+/// other node is one more than its deepest predecessor. Returns
+/// per-node layers.
+pub fn depth_layers(g: &Dag) -> Vec<usize> {
+    let mut layer = vec![0usize; g.num_nodes()];
+    for &v in g.topo_order() {
+        let l = g
+            .preds(v)
+            .map(|(p, _)| layer[p.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        layer[v.index()] = l;
+    }
+    layer
+}
+
+/// Groups nodes by [`depth_layers`]; `result[l]` lists the nodes of
+/// layer `l` in ascending index order.
+pub fn layering(g: &Dag) -> Vec<Vec<NodeId>> {
+    let layers = depth_layers(g);
+    let depth = layers.iter().copied().max().map_or(0, |d| d + 1);
+    let mut out = vec![Vec::new(); depth];
+    for v in g.nodes() {
+        out[layers[v.index()]].push(v);
+    }
+    out
+}
+
+/// The *height* of the DAG: number of layers (0 for the empty graph).
+pub fn height(g: &Dag) -> usize {
+    layering(g).len()
+}
+
+/// The maximum number of nodes in any single layer — a cheap upper
+/// bound proxy for available parallelism.
+pub fn max_width(g: &Dag) -> usize {
+    layering(g).iter().map(Vec::len).max().unwrap_or(0)
+}
+
+/// A topological order sorted by a per-node priority (descending),
+/// with edge constraints respected: repeatedly emits the ready node of
+/// highest priority. Ties break toward the smaller node index, making
+/// the result deterministic.
+pub fn priority_topo_order(g: &Dag, priority: &[u64]) -> Vec<NodeId> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    assert_eq!(priority.len(), g.num_nodes());
+    let mut in_deg: Vec<u32> = g.nodes().map(|v| g.in_degree(v) as u32).collect();
+    // Max-heap on (priority, Reverse(index)).
+    let mut heap: BinaryHeap<(u64, Reverse<u32>)> = g
+        .nodes()
+        .filter(|&v| in_deg[v.index()] == 0)
+        .map(|v| (priority[v.index()], Reverse(v.0)))
+        .collect();
+    let mut order = Vec::with_capacity(g.num_nodes());
+    while let Some((_, Reverse(vi))) = heap.pop() {
+        let v = NodeId(vi);
+        order.push(v);
+        for (s, _) in g.succs(v) {
+            let d = &mut in_deg[s.index()];
+            *d -= 1;
+            if *d == 0 {
+                heap.push((priority[s.index()], Reverse(s.0)));
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), g.num_nodes());
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DagBuilder;
+
+    fn chain(n: usize) -> Dag {
+        let mut b = DagBuilder::new();
+        let ids: Vec<_> = (0..n).map(|_| b.add_node(1)).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], 1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn diamond() -> Dag {
+        let mut b = DagBuilder::new();
+        let n: Vec<_> = (0..4).map(|_| b.add_node(1)).collect();
+        b.add_edge(n[0], n[1], 1).unwrap();
+        b.add_edge(n[0], n[2], 1).unwrap();
+        b.add_edge(n[1], n[3], 1).unwrap();
+        b.add_edge(n[2], n[3], 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn canonical_order_is_topological() {
+        for g in [chain(5), diamond()] {
+            assert!(is_topological(&g, g.topo_order()));
+        }
+    }
+
+    #[test]
+    fn rejects_non_topological_orders() {
+        let g = chain(3);
+        let rev: Vec<NodeId> = g.topo_order().iter().rev().copied().collect();
+        assert!(!is_topological(&g, &rev));
+        assert!(!is_topological(&g, &g.topo_order()[..2])); // wrong length
+                                                            // Duplicate entries are not a permutation.
+        let dup = vec![NodeId(0), NodeId(0), NodeId(1)];
+        assert!(!is_topological(&g, &dup));
+    }
+
+    #[test]
+    fn chain_layers() {
+        let g = chain(4);
+        assert_eq!(depth_layers(&g), vec![0, 1, 2, 3]);
+        assert_eq!(height(&g), 4);
+        assert_eq!(max_width(&g), 1);
+    }
+
+    #[test]
+    fn diamond_layers() {
+        let g = diamond();
+        assert_eq!(depth_layers(&g), vec![0, 1, 1, 2]);
+        let l = layering(&g);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l[1], vec![NodeId(1), NodeId(2)]);
+        assert_eq!(max_width(&g), 2);
+    }
+
+    #[test]
+    fn empty_graph_layering() {
+        let g = DagBuilder::new().build().unwrap();
+        assert_eq!(height(&g), 0);
+        assert_eq!(max_width(&g), 0);
+    }
+
+    #[test]
+    fn priority_order_prefers_high_priority_ready_nodes() {
+        let g = diamond();
+        // Prefer node 2 over node 1.
+        let order = priority_topo_order(&g, &[0, 1, 9, 0]);
+        assert!(is_topological(&g, &order));
+        let pos = positions(&order, 4);
+        assert!(pos[2] < pos[1]);
+        // Equal priorities break ties toward the smaller index.
+        let order = priority_topo_order(&g, &[0, 5, 5, 0]);
+        let pos = positions(&order, 4);
+        assert!(pos[1] < pos[2]);
+    }
+}

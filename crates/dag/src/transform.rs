@@ -1,0 +1,256 @@
+//! Structural graph transforms used by generators and schedulers.
+
+use crate::graph::{Dag, DagBuilder, NodeId, Weight};
+
+/// The graph with every edge reversed (weights preserved).
+pub fn transpose(g: &Dag) -> Dag {
+    let mut b = DagBuilder::with_capacity(g.num_nodes(), g.num_edges());
+    for &w in g.node_weights() {
+        b.add_node(w);
+    }
+    for e in g.edges() {
+        b.add_edge(e.dst, e.src, e.weight)
+            .expect("transposed edges are unique");
+    }
+    b.build().expect("transpose of a DAG is a DAG")
+}
+
+/// The subgraph induced by `keep` (any iterable of node ids).
+///
+/// Returns the new graph plus the mapping `old -> new` (dense; nodes
+/// not kept map to `None`). Edges between kept nodes survive with
+/// their weights.
+pub fn induced_subgraph(
+    g: &Dag,
+    keep: impl IntoIterator<Item = NodeId>,
+) -> (Dag, Vec<Option<NodeId>>) {
+    let mut map: Vec<Option<NodeId>> = vec![None; g.num_nodes()];
+    let mut b = DagBuilder::new();
+    for v in keep {
+        if map[v.index()].is_none() {
+            map[v.index()] = Some(b.add_node(g.node_weight(v)));
+        }
+    }
+    for e in g.edges() {
+        if let (Some(s), Some(d)) = (map[e.src.index()], map[e.dst.index()]) {
+            b.add_edge(s, d, e.weight)
+                .expect("induced edges are unique");
+        }
+    }
+    (b.build().expect("induced subgraph of a DAG is a DAG"), map)
+}
+
+/// Result of [`with_virtual_terminals`].
+pub struct Augmented {
+    /// The augmented graph.
+    pub graph: Dag,
+    /// Id of the added zero-weight super-source (edges of weight 0 to
+    /// every original source), if one was added.
+    pub source: Option<NodeId>,
+    /// Id of the added zero-weight super-sink, if one was added.
+    pub sink: Option<NodeId>,
+}
+
+/// Adds a zero-weight virtual source and/or sink so the graph has a
+/// unique entry and exit, as MH's algorithm requires ("Insert a single
+/// exit node. Edges to this node are given a weight of 0."). Original
+/// node ids are unchanged; virtual nodes take the next indices.
+///
+/// If the graph already has a unique source (resp. sink), none is
+/// added for that side. The empty graph is returned unchanged.
+pub fn with_virtual_terminals(g: &Dag) -> Augmented {
+    let sources = g.sources();
+    let sinks = g.sinks();
+    let need_src = sources.len() > 1;
+    let need_sink = sinks.len() > 1;
+    if g.num_nodes() == 0 || (!need_src && !need_sink) {
+        return Augmented {
+            graph: g.clone(),
+            source: None,
+            sink: None,
+        };
+    }
+    let mut b = g.to_builder();
+    let src = need_src.then(|| {
+        let s = b.add_node(0);
+        for v in &sources {
+            b.add_edge(s, *v, 0).expect("fresh source edges are unique");
+        }
+        s
+    });
+    let sink = need_sink.then(|| {
+        let t = b.add_node(0);
+        for v in &sinks {
+            b.add_edge(*v, t, 0).expect("fresh sink edges are unique");
+        }
+        t
+    });
+    Augmented {
+        graph: b.build().expect("augmentation preserves acyclicity"),
+        source: src,
+        sink,
+    }
+}
+
+/// The transitive reduction of `g`: removes every edge `(u, v)` that
+/// is implied by a longer path `u → … → v`. Weights of surviving edges
+/// are preserved. Reachability is exactly preserved (checked by the
+/// property suite); note that under the scheduling model a reduced
+/// graph is *not* equivalent in general — a removed edge also removes
+/// its communication cost — so this is a structural tool (generator
+/// cleanup, visualization), not a scheduling transform.
+pub fn transitive_reduction(g: &Dag) -> Dag {
+    let closure = crate::closure::Closure::new(g);
+    let mut b = DagBuilder::with_capacity(g.num_nodes(), g.num_edges());
+    for &w in g.node_weights() {
+        b.add_node(w);
+    }
+    for e in g.edges() {
+        // (u, v) is redundant iff some successor w ≠ v of u reaches v.
+        let redundant = g
+            .succs(e.src)
+            .any(|(w, _)| w != e.dst && closure.reaches(w, e.dst));
+        if !redundant {
+            b.add_edge(e.src, e.dst, e.weight)
+                .expect("subset of unique edges");
+        }
+    }
+    b.build().expect("removing edges preserves acyclicity")
+}
+
+/// Scales every edge weight by the rational `num/den` with
+/// round-to-nearest (used by the generator's granularity targeting).
+/// Weights never round below `min_weight`.
+pub fn scale_edge_weights(g: &Dag, num: u64, den: u64, min_weight: Weight) -> Dag {
+    assert!(den > 0, "scale denominator must be positive");
+    let mut b = g.to_builder();
+    b.map_edge_weights(|w| {
+        (((w as u128 * num as u128) + den as u128 / 2) / den as u128).max(min_weight as u128)
+            as Weight
+    });
+    b.build().expect("scaling weights cannot create cycles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DagBuilder;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn wide() -> Dag {
+        // two sources {0,1} -> 2 -> two sinks {3,4}
+        let mut b = DagBuilder::new();
+        for w in [1u64, 2, 3, 4, 5] {
+            b.add_node(w);
+        }
+        for (s, d, c) in [(0, 2, 10u64), (1, 2, 11), (2, 3, 12), (2, 4, 13)] {
+            b.add_edge(n(s), n(d), c).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn transpose_flips_edges() {
+        let g = wide();
+        let t = transpose(&g);
+        assert_eq!(t.num_nodes(), g.num_nodes());
+        assert_eq!(t.num_edges(), g.num_edges());
+        assert_eq!(t.sources().len(), g.sinks().len());
+        assert!(t.succs(n(2)).any(|(d, c)| d == n(0) && c == 10));
+        // Double transpose is the identity.
+        assert_eq!(transpose(&t), g);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = wide();
+        let (sub, map) = induced_subgraph(&g, [n(0), n(2), n(3)]);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_edges(), 2); // 0->2 and 2->3 survive
+        assert_eq!(map[1], None);
+        assert_eq!(map[4], None);
+        let s0 = map[0].unwrap();
+        let s2 = map[2].unwrap();
+        assert!(sub.succs(s0).any(|(d, c)| d == s2 && c == 10));
+        assert_eq!(sub.node_weight(s2), 3);
+    }
+
+    #[test]
+    fn induced_subgraph_dedups_input() {
+        let g = wide();
+        let (sub, _) = induced_subgraph(&g, [n(0), n(0), n(0)]);
+        assert_eq!(sub.num_nodes(), 1);
+    }
+
+    #[test]
+    fn virtual_terminals_added_when_needed() {
+        let g = wide();
+        let aug = with_virtual_terminals(&g);
+        let (src, sink) = (aug.source.unwrap(), aug.sink.unwrap());
+        assert_eq!(aug.graph.num_nodes(), 7);
+        assert_eq!(aug.graph.node_weight(src), 0);
+        assert_eq!(aug.graph.node_weight(sink), 0);
+        assert_eq!(aug.graph.sources(), vec![src]);
+        assert_eq!(aug.graph.sinks(), vec![sink]);
+        // All virtual edges are zero-cost.
+        for (_, c) in aug.graph.succs(src) {
+            assert_eq!(c, 0);
+        }
+        for e in aug.graph.in_edges(sink) {
+            assert_eq!(aug.graph.edge(*e).weight, 0);
+        }
+    }
+
+    #[test]
+    fn virtual_terminals_noop_on_single_entry_exit() {
+        let mut b = DagBuilder::new();
+        let a = b.add_node(1);
+        let c = b.add_node(1);
+        b.add_edge(a, c, 1).unwrap();
+        let g = b.build().unwrap();
+        let aug = with_virtual_terminals(&g);
+        assert!(aug.source.is_none() && aug.sink.is_none());
+        assert_eq!(aug.graph, g);
+    }
+
+    #[test]
+    fn transitive_reduction_removes_shortcuts() {
+        // Chain 0→1→2 plus shortcut 0→2.
+        let mut b = DagBuilder::new();
+        let v: Vec<_> = (0..3).map(|_| b.add_node(1)).collect();
+        b.add_edge(v[0], v[1], 5).unwrap();
+        b.add_edge(v[1], v[2], 6).unwrap();
+        b.add_edge(v[0], v[2], 7).unwrap();
+        let g = b.build().unwrap();
+        let r = transitive_reduction(&g);
+        assert_eq!(r.num_edges(), 2);
+        assert!(!r.succs(n(0)).any(|(d, _)| d == n(2)));
+        // Surviving weights preserved.
+        assert!(r.succs(n(0)).any(|(d, w)| d == n(1) && w == 5));
+        // Idempotent.
+        assert_eq!(transitive_reduction(&r), r);
+    }
+
+    #[test]
+    fn transitive_reduction_keeps_diamonds() {
+        // Both diamond arms are essential.
+        let g = wide();
+        assert_eq!(transitive_reduction(&g), g);
+    }
+
+    #[test]
+    fn scale_edges_rounds_and_clamps() {
+        let g = wide();
+        let half = scale_edge_weights(&g, 1, 2, 1);
+        // 10->5, 11->6 (round half up), 12->6, 13->7 (round half up: 6.5 -> 7)
+        let ws: Vec<u64> = half.edges().iter().map(|e| e.weight).collect();
+        assert_eq!(ws, vec![5, 6, 6, 7]);
+        let tiny = scale_edge_weights(&g, 1, 1000, 1);
+        assert!(tiny.edges().iter().all(|e| e.weight == 1));
+        let big = scale_edge_weights(&g, 10, 1, 1);
+        assert_eq!(big.total_comm(), g.total_comm() * 10);
+    }
+}

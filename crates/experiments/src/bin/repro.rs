@@ -1,0 +1,254 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [options] all           # full study: Tables 1–11, Figures 1–6
+//! repro [options] table <N>     # one table (1–11)
+//! repro [options] figure <N>    # one figure (1–6)
+//! repro [options] corpus        # Table 1 only (no scheduling)
+//! repro appendix                # the worked appendix example
+//! repro html                   # self-contained HTML report (tables + SVG charts)
+//! repro bounded / kernels / select / duplication / contention / summary / dump
+//!
+//! options:
+//!   --graphs-per-set <N>   graphs per corpus set (default 35 → 2100)
+//!   --seed <N>             master seed (default 0x19940c99)
+//!   --nodes <LO>..<HI>     node count range (default 60..110)
+//!   --csv                  emit tables as CSV instead of markdown
+//! ```
+
+use dagsched_experiments::corpus::CorpusSpec;
+use dagsched_experiments::figures::all_figures;
+use dagsched_experiments::report::{render_appendix_example, Study};
+use dagsched_experiments::tables::{all_tables, table1};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: repro [--graphs-per-set N] [--seed N] [--nodes LO..HI] [--csv] (all | table N | figure N | corpus | appendix | html | spread | rewiring | bounded | kernels | select | duplication | contention | summary | dump)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut spec = CorpusSpec::default();
+    let mut csv = false;
+    let mut command: Vec<&str> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--graphs-per-set" => {
+                spec.graphs_per_set = next_num(&mut it, "--graphs-per-set")? as usize;
+                if spec.graphs_per_set == 0 {
+                    return Err("--graphs-per-set must be positive".into());
+                }
+            }
+            "--seed" => spec.seed = next_num(&mut it, "--seed")?,
+            "--nodes" => {
+                let v = it.next().ok_or("--nodes needs LO..HI")?;
+                let (lo, hi) = v.split_once("..").ok_or("--nodes needs LO..HI")?;
+                let lo: usize = lo.parse().map_err(|_| "bad --nodes low bound")?;
+                let hi: usize = hi.parse().map_err(|_| "bad --nodes high bound")?;
+                if lo == 0 || lo > hi {
+                    return Err("--nodes range must be 1 ≤ LO ≤ HI".into());
+                }
+                spec.nodes = lo..=hi;
+            }
+            "--csv" => csv = true,
+            other => command.push(other),
+        }
+    }
+
+    match command.as_slice() {
+        ["all"] => {
+            eprintln!(
+                "generating {} graphs and running 5 heuristics...",
+                spec.total_graphs()
+            );
+            let study = Study::run(spec);
+            if csv {
+                for t in all_tables(&study.results) {
+                    println!("# Table {}", t.number);
+                    print!("{}", t.to_csv());
+                    println!();
+                }
+            } else {
+                print!("{}", study.render());
+            }
+            Ok(())
+        }
+        ["table", n] => {
+            let n: u32 = n.parse().map_err(|_| "table number must be 1-11")?;
+            if n == 1 {
+                print!("{}", table1(&spec));
+                return Ok(());
+            }
+            if !(2..=11).contains(&n) {
+                return Err("table number must be 1-11".into());
+            }
+            let study = Study::run(spec);
+            let t = all_tables(&study.results)
+                .into_iter()
+                .find(|t| t.number == n)
+                .expect("tables 2-11 exist");
+            if csv {
+                print!("{}", t.to_csv());
+            } else {
+                print!("{}", t.to_markdown());
+            }
+            Ok(())
+        }
+        ["figure", n] => {
+            let n: u32 = n.parse().map_err(|_| "figure number must be 1-6")?;
+            if !(1..=6).contains(&n) {
+                return Err("figure number must be 1-6".into());
+            }
+            let study = Study::run(spec);
+            let f = all_figures(&study.results)
+                .into_iter()
+                .find(|f| f.number == n)
+                .expect("figures 1-6 exist");
+            print!("{}", f.render(14));
+            Ok(())
+        }
+        ["spread"] => {
+            let study = Study::run(spec);
+            print!(
+                "{}",
+                dagsched_experiments::tables::table3_spread(&study.results).to_markdown()
+            );
+            println!();
+            print!(
+                "{}",
+                dagsched_experiments::tables::table4_spread(&study.results).to_markdown()
+            );
+            Ok(())
+        }
+        ["html"] => {
+            eprintln!(
+                "generating {} graphs and rendering the HTML report...",
+                spec.total_graphs()
+            );
+            let study = Study::run(spec);
+            print!("{}", study.render_html());
+            Ok(())
+        }
+        ["corpus"] => {
+            print!("{}", table1(&spec));
+            Ok(())
+        }
+        ["appendix"] => {
+            print!("{}", render_appendix_example());
+            Ok(())
+        }
+        ["bounded"] => {
+            eprintln!(
+                "bounded-processor sweep over {} graphs...",
+                spec.total_graphs()
+            );
+            let corpus = dagsched_experiments::corpus::generate_corpus(&spec);
+            let t = dagsched_experiments::extensions::bounded_processor_study(
+                &corpus,
+                &[1, 2, 4, 8, 16, 0],
+            );
+            if csv {
+                print!("{}", t.to_csv());
+            } else {
+                print!("{}", t.to_markdown());
+            }
+            Ok(())
+        }
+        ["rewiring"] => {
+            let t = dagsched_experiments::extensions::rewiring_study(
+                spec.graphs_per_set.max(4) * 4,
+                spec.seed,
+            );
+            if csv {
+                print!("{}", t.to_csv());
+            } else {
+                print!("{}", t.to_markdown());
+            }
+            Ok(())
+        }
+        ["contention"] => {
+            eprintln!("contention study over {} graphs...", spec.total_graphs());
+            let corpus = dagsched_experiments::corpus::generate_corpus(&spec);
+            let t = dagsched_experiments::extensions::contention_study(&corpus);
+            if csv {
+                print!("{}", t.to_csv());
+            } else {
+                print!("{}", t.to_markdown());
+            }
+            Ok(())
+        }
+        ["duplication"] => {
+            eprintln!("duplication study over {} graphs...", spec.total_graphs());
+            let corpus = dagsched_experiments::corpus::generate_corpus(&spec);
+            let t = dagsched_experiments::extensions::duplication_study(&corpus);
+            if csv {
+                print!("{}", t.to_csv());
+            } else {
+                print!("{}", t.to_markdown());
+            }
+            Ok(())
+        }
+        ["select"] => {
+            eprintln!(
+                "scheduler-selection study over {} graphs...",
+                spec.total_graphs()
+            );
+            let corpus = dagsched_experiments::corpus::generate_corpus(&spec);
+            let t = dagsched_experiments::extensions::selector_study(&corpus);
+            if csv {
+                print!("{}", t.to_csv());
+            } else {
+                print!("{}", t.to_markdown());
+            }
+            Ok(())
+        }
+        ["kernels"] => {
+            let t = dagsched_experiments::extensions::kernel_study();
+            if csv {
+                print!("{}", t.to_csv());
+            } else {
+                print!("{}", t.to_markdown());
+            }
+            Ok(())
+        }
+        ["summary"] => {
+            let study = Study::run(spec);
+            let t = dagsched_experiments::extensions::summary(&study.results);
+            if csv {
+                print!("{}", t.to_csv());
+            } else {
+                print!("{}", t.to_markdown());
+            }
+            Ok(())
+        }
+        ["dump"] => {
+            let study = Study::run(spec);
+            print!(
+                "{}",
+                dagsched_experiments::extensions::dump_csv(&study.results)
+            );
+            Ok(())
+        }
+        [] => Err("missing command".into()),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn next_num<'a>(it: &mut impl Iterator<Item = &'a String>, flag: &str) -> Result<u64, String> {
+    let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+    let v = v.trim();
+    if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map_err(|_| format!("bad value for {flag}"))
+    } else {
+        v.parse().map_err(|_| format!("bad value for {flag}"))
+    }
+}

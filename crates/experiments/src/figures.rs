@@ -1,0 +1,360 @@
+//! Figures 1–6 of the paper: the granularity and node-weight-range
+//! tables plotted as per-heuristic series, with a plain-text chart
+//! renderer for terminal output.
+
+use crate::runner::GraphResult;
+use crate::tables::{self, Table};
+use std::fmt::Write as _;
+
+/// One figure: per-heuristic series over a categorical x-axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    /// Paper figure number (1–6).
+    pub number: u32,
+    /// Caption, mirroring the paper's.
+    pub title: String,
+    /// Category labels along the x-axis.
+    pub x_labels: Vec<String>,
+    /// `(heuristic, y value per category)`.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl Figure {
+    /// Transposes a table into a figure.
+    pub fn from_table(number: u32, title: &str, table: &Table) -> Figure {
+        let x_labels: Vec<String> = table.rows.iter().map(|(l, _)| l.clone()).collect();
+        let series = table
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(c, name)| {
+                let ys: Vec<f64> = table.rows.iter().map(|(_, v)| v[c]).collect();
+                (name.clone(), ys)
+            })
+            .collect();
+        Figure {
+            number,
+            title: title.to_string(),
+            x_labels,
+            series,
+        }
+    }
+
+    /// Renders the series numerically plus an ASCII chart
+    /// (one row per heuristic, `height` rows of resolution).
+    pub fn render(&self, height: usize) -> String {
+        let mut out = String::new();
+        writeln!(out, "Figure {}: {}", self.number, self.title).unwrap();
+        // Series values.
+        write!(out, "{:>24}", "").unwrap();
+        for x in &self.x_labels {
+            write!(out, "{x:>16}").unwrap();
+        }
+        writeln!(out).unwrap();
+        for (name, ys) in &self.series {
+            write!(out, "{name:>24}").unwrap();
+            for y in ys {
+                write!(out, "{y:>16.3}").unwrap();
+            }
+            writeln!(out).unwrap();
+        }
+        // ASCII chart: columns = categories, marks = first letter.
+        let max = self
+            .series
+            .iter()
+            .flat_map(|(_, ys)| ys.iter().copied())
+            .fold(0.0_f64, f64::max)
+            .max(1e-9);
+        let height = height.max(4);
+        let mut grid = vec![vec![b' '; self.x_labels.len() * 8]; height];
+        for (name, ys) in &self.series {
+            let mark = name.as_bytes()[0];
+            for (i, &y) in ys.iter().enumerate() {
+                let row = ((y / max) * (height - 1) as f64).round() as usize;
+                let row = height - 1 - row.min(height - 1);
+                let col = i * 8 + 4;
+                grid[row][col] = match grid[row][col] {
+                    b' ' => mark,
+                    _ => b'*', // collision of series
+                };
+            }
+        }
+        writeln!(out, "  y-max = {max:.3}").unwrap();
+        for row in grid {
+            writeln!(out, "  |{}", String::from_utf8(row).expect("ascii")).unwrap();
+        }
+        writeln!(out, "  +{}", "-".repeat(self.x_labels.len() * 8)).unwrap();
+        out
+    }
+}
+
+impl Figure {
+    /// Renders the figure as a standalone SVG line chart (categorical
+    /// x-axis, one polyline + markers per heuristic, legend on the
+    /// right). Pure string generation.
+    pub fn render_svg(&self, width: u32, height: u32) -> String {
+        use std::fmt::Write as _;
+        let (width, height) = (width.max(320), height.max(200));
+        let (ml, mr, mt, mb) = (52.0, 110.0, 28.0, 42.0);
+        let (pw, ph) = (width as f64 - ml - mr, height as f64 - mt - mb);
+        let max_y = self
+            .series
+            .iter()
+            .flat_map(|(_, ys)| ys.iter().copied())
+            .fold(0.0_f64, f64::max)
+            .max(1e-9);
+        let k = self.x_labels.len().max(1);
+        let x = |i: usize| ml + (i as f64 + 0.5) / k as f64 * pw;
+        let y = |v: f64| mt + (1.0 - v / max_y) * ph;
+        let color = |s: usize| format!("hsl({},65%,45%)", (s * 67) % 360);
+
+        let mut out = String::new();
+        writeln!(
+            out,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+             font-family=\"sans-serif\" font-size=\"11\">"
+        )
+        .unwrap();
+        writeln!(out, "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>").unwrap();
+        writeln!(
+            out,
+            "<text x=\"{}\" y=\"16\" font-size=\"13\">Figure {}: {}</text>",
+            ml,
+            self.number,
+            xml_escape(&self.title)
+        )
+        .unwrap();
+        // Axes.
+        writeln!(
+            out,
+            "<line x1=\"{ml}\" y1=\"{mt}\" x2=\"{ml}\" y2=\"{:.1}\" stroke=\"black\"/>",
+            mt + ph
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "<line x1=\"{ml}\" y1=\"{0:.1}\" x2=\"{1:.1}\" y2=\"{0:.1}\" stroke=\"black\"/>",
+            mt + ph,
+            ml + pw
+        )
+        .unwrap();
+        // Y ticks at 0, max/2, max.
+        for v in [0.0, max_y / 2.0, max_y] {
+            writeln!(
+                out,
+                "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{:.2}</text>",
+                ml - 4.0,
+                y(v) + 4.0,
+                v
+            )
+            .unwrap();
+        }
+        // X labels.
+        for (i, label) in self.x_labels.iter().enumerate() {
+            writeln!(
+                out,
+                "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>",
+                x(i),
+                mt + ph + 16.0,
+                xml_escape(label)
+            )
+            .unwrap();
+        }
+        // Series.
+        for (si, (name, ys)) in self.series.iter().enumerate() {
+            let pts: Vec<String> = ys
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| format!("{:.1},{:.1}", x(i), y(v)))
+                .collect();
+            writeln!(
+                out,
+                "<polyline fill=\"none\" stroke=\"{}\" stroke-width=\"1.6\" points=\"{}\"/>",
+                color(si),
+                pts.join(" ")
+            )
+            .unwrap();
+            for (i, &v) in ys.iter().enumerate() {
+                writeln!(
+                    out,
+                    "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"2.6\" fill=\"{}\"/>",
+                    x(i),
+                    y(v),
+                    color(si)
+                )
+                .unwrap();
+            }
+            let ly = mt + 14.0 * si as f64 + 8.0;
+            writeln!(
+                out,
+                "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"10\" height=\"10\" fill=\"{}\"/>",
+                ml + pw + 12.0,
+                ly - 9.0,
+                color(si)
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "<text x=\"{:.1}\" y=\"{ly:.1}\">{}</text>",
+                ml + pw + 26.0,
+                xml_escape(name)
+            )
+            .unwrap();
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+/// Minimal XML text escaping for SVG/HTML embedding.
+pub(crate) fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Figure 1: average relative parallel time vs granularity (Table 3).
+pub fn figure1(results: &[GraphResult]) -> Figure {
+    Figure::from_table(
+        1,
+        "Average relative parallel time comparison with the increase in granularity",
+        &tables::table3(results),
+    )
+}
+
+/// Figure 2: average speedup vs granularity (Table 4).
+pub fn figure2(results: &[GraphResult]) -> Figure {
+    Figure::from_table(
+        2,
+        "Trend illustrating the increase in speedup with the increase in granularity",
+        &tables::table4(results),
+    )
+}
+
+/// Figure 3: average efficiency vs granularity (Table 5).
+pub fn figure3(results: &[GraphResult]) -> Figure {
+    Figure::from_table(
+        3,
+        "Average efficiency comparison with the increase in granularity",
+        &tables::table5(results),
+    )
+}
+
+/// Figure 4: average relative parallel time vs node weight range (Table 7).
+pub fn figure4(results: &[GraphResult]) -> Figure {
+    Figure::from_table(
+        4,
+        "Average relative parallel time for the given node weight range",
+        &tables::table7(results),
+    )
+}
+
+/// Figure 5: average speedup vs node weight range (Table 8).
+pub fn figure5(results: &[GraphResult]) -> Figure {
+    Figure::from_table(
+        5,
+        "Average speedup for the given node weight range",
+        &tables::table8(results),
+    )
+}
+
+/// Figure 6: average efficiency vs node weight range (Table 9).
+pub fn figure6(results: &[GraphResult]) -> Figure {
+    Figure::from_table(
+        6,
+        "Average efficiency for the given node weight range",
+        &tables::table9(results),
+    )
+}
+
+/// All six figures in paper order.
+pub fn all_figures(results: &[GraphResult]) -> Vec<Figure> {
+    vec![
+        figure1(results),
+        figure2(results),
+        figure3(results),
+        figure4(results),
+        figure5(results),
+        figure6(results),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate_corpus, CorpusSpec};
+    use crate::runner::run_corpus;
+    use dagsched_core::paper_heuristics;
+
+    fn small_results() -> Vec<GraphResult> {
+        let spec = CorpusSpec {
+            graphs_per_set: 1,
+            nodes: 15..=25,
+            ..Default::default()
+        };
+        run_corpus(&generate_corpus(&spec), &paper_heuristics())
+    }
+
+    #[test]
+    fn figures_match_their_tables() {
+        let results = small_results();
+        let f = figure2(&results);
+        let t = tables::table4(&results);
+        assert_eq!(f.x_labels.len(), 5);
+        assert_eq!(f.series.len(), 5);
+        for (name, ys) in &f.series {
+            for (i, (label, _)) in t.rows.iter().enumerate() {
+                assert_eq!(Some(ys[i]), t.value(label, name));
+            }
+        }
+    }
+
+    #[test]
+    fn all_six_figures_render() {
+        let results = small_results();
+        let figs = all_figures(&results);
+        assert_eq!(figs.len(), 6);
+        for (i, f) in figs.iter().enumerate() {
+            assert_eq!(f.number as usize, i + 1);
+            let text = f.render(12);
+            assert!(text.contains(&format!("Figure {}", i + 1)));
+            assert!(text.contains("CLANS"));
+            assert!(text.contains("y-max"));
+        }
+    }
+
+    #[test]
+    fn svg_charts_are_well_formed() {
+        let results = small_results();
+        for f in all_figures(&results) {
+            let svg = f.render_svg(720, 360);
+            assert!(svg.starts_with("<svg"));
+            assert!(svg.trim_end().ends_with("</svg>"));
+            assert_eq!(
+                svg.matches("<polyline").count(),
+                5,
+                "one line per heuristic"
+            );
+            assert!(svg.contains("CLANS"));
+            // Title escaped and embedded.
+            assert!(svg.contains(&format!("Figure {}", f.number)));
+        }
+    }
+
+    #[test]
+    fn xml_escape_covers_the_specials() {
+        assert_eq!(super::xml_escape("a<b>&c"), "a&lt;b&gt;&amp;c");
+    }
+
+    #[test]
+    fn render_handles_all_zero_series() {
+        let f = Figure {
+            number: 9,
+            title: "zeros".into(),
+            x_labels: vec!["a".into(), "b".into()],
+            series: vec![("Z".into(), vec![0.0, 0.0])],
+        };
+        let text = f.render(5);
+        assert!(text.contains("Figure 9"));
+    }
+}

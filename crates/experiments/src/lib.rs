@@ -1,0 +1,47 @@
+//! # dagsched-experiments — the paper's numerical comparison testbed
+//!
+//! Regenerates every table and figure of Khan, McCreary & Jones
+//! (ICPP 1994):
+//!
+//! * [`corpus`] — the 2100-graph corpus of Table 1: 5 granularity
+//!   bands × 4 anchor out-degrees × 3 node weight ranges × 35 graphs;
+//! * [`runner`] — runs the five heuristics over the corpus (in
+//!   parallel via `dagsched-par`) and records the paper's measures;
+//! * [`tables`] — Tables 2–11 as aggregations over the run records;
+//! * [`figures`] — Figures 1–6 (the tables as per-heuristic series,
+//!   with a plain-text chart renderer);
+//! * [`report`] — assembles the whole study into one report.
+//!
+//! The `repro` binary drives everything:
+//!
+//! ```text
+//! repro all                 # full study, all tables & figures
+//! repro table 3             # just Table 3
+//! repro figure 2            # just Figure 2
+//! repro corpus              # Table 1 (corpus composition)
+//! repro appendix            # the worked appendix example
+//! repro html                # self-contained HTML report
+//! repro spread              # Tables 3/4 with mean ± std cells
+//! repro bounded             # extension: bounded-processor sweep
+//! repro kernels             # extension: numerical-kernel study
+//! repro select              # extension: scheduler-selection rule
+//! repro duplication         # extension: task duplication (DSH)
+//! repro contention          # extension: send-port contention
+//! repro summary             # extension: per-heuristic overview
+//! repro dump                # per-graph records as CSV
+//! repro --graphs-per-set 10 --seed 7 all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod extensions;
+pub mod figures;
+pub mod report;
+pub mod runner;
+pub mod tables;
+
+pub use corpus::{generate_corpus, CorpusEntry, CorpusSpec, SetKey};
+pub use runner::{run_corpus, GraphResult, HeuristicOutcome};
+pub use tables::Table;

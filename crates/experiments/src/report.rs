@@ -1,0 +1,193 @@
+//! Assembles the full study — corpus, every table, every figure —
+//! into one report, and renders the paper's worked appendix example.
+
+use crate::corpus::{generate_corpus, CorpusSpec};
+use crate::figures::all_figures;
+use crate::runner::{run_corpus, GraphResult};
+use crate::tables::{all_tables, table1};
+use dagsched_core::paper_heuristics;
+use dagsched_sim::{gantt, metrics, Clique};
+use std::fmt::Write as _;
+
+/// Runs the whole study and renders every table and figure.
+pub struct Study {
+    /// The corpus specification used.
+    pub spec: CorpusSpec,
+    /// Per-graph results.
+    pub results: Vec<GraphResult>,
+}
+
+impl Study {
+    /// Generates the corpus and evaluates the five paper heuristics.
+    pub fn run(spec: CorpusSpec) -> Study {
+        let corpus = generate_corpus(&spec);
+        let results = run_corpus(&corpus, &paper_heuristics());
+        Study { spec, results }
+    }
+
+    /// The full report: Table 1, Tables 2–11, Figures 1–6.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "# Reproduction: A Comparison of Multiprocessor Scheduling Heuristics (ICPP 1994)\n"
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "corpus: {} graphs ({} per set), nodes {:?}, seed {:#x}\n",
+            self.spec.total_graphs(),
+            self.spec.graphs_per_set,
+            self.spec.nodes,
+            self.spec.seed
+        )
+        .unwrap();
+        out.push_str(&table1(&self.spec));
+        out.push('\n');
+        for t in all_tables(&self.results) {
+            out.push_str(&t.to_markdown());
+            out.push('\n');
+        }
+        for f in all_figures(&self.results) {
+            out.push_str(&f.render(14));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Study {
+    /// Renders the whole study as one self-contained HTML document:
+    /// every table as an HTML table, every figure as an inline SVG
+    /// chart, plus the appendix schedules as SVG Gantt charts.
+    pub fn render_html(&self) -> String {
+        let esc = crate::figures::xml_escape;
+        let mut out = String::from(
+            "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+             <title>dagsched reproduction report</title>\
+             <style>body{font-family:sans-serif;max-width:1000px;margin:2em auto;}\
+             table{border-collapse:collapse;margin:0.7em 0;}</style></head><body>\n",
+        );
+        out.push_str(
+            "<h1>Reproduction: A Comparison of Multiprocessor Scheduling Heuristics (ICPP 1994)</h1>\n",
+        );
+        out.push_str(&format!(
+            "<p>corpus: {} graphs ({} per set), nodes {:?}, seed {:#x}</p>\n",
+            self.spec.total_graphs(),
+            self.spec.graphs_per_set,
+            self.spec.nodes,
+            self.spec.seed
+        ));
+        out.push_str("<h2>Tables</h2>\n");
+        for t in all_tables(&self.results) {
+            out.push_str(&t.to_html());
+        }
+        out.push_str("<h2>Figures</h2>\n");
+        for f in all_figures(&self.results) {
+            out.push_str(&f.render_svg(860, 340));
+            out.push('\n');
+        }
+        out.push_str("<h2>Appendix worked example (Figure 16 graph)</h2>\n");
+        let g = dagsched_core::fixtures::fig16();
+        for h in paper_heuristics() {
+            let s = h.schedule(&g, &Clique);
+            let m = metrics::measures(&g, &s);
+            out.push_str(&format!(
+                "<h3>{}</h3><p>parallel time {}, speedup {:.3}, {} processor(s)</p>\n",
+                esc(h.name()),
+                m.parallel_time,
+                m.speedup,
+                m.procs
+            ));
+            out.push_str(&gantt::render_svg(&s));
+        }
+        out.push_str("</body></html>\n");
+        out
+    }
+}
+
+/// Renders the appendix worked example: every heuristic scheduling
+/// the paper's 5-node graph, with Gantt charts (the paper's Figures
+/// 8, 10, 12, 14 and 16).
+pub fn render_appendix_example() -> String {
+    let g = dagsched_core::fixtures::fig16();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# Appendix worked example (paper Figures 8/10/12/14/16)\n"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "graph: 5 tasks (weights 10,20,30,40,50), serial time {}, CP {}\n",
+        g.serial_time(),
+        dagsched_dag::levels::critical_path_len(&g)
+    )
+    .unwrap();
+    for h in paper_heuristics() {
+        let s = h.schedule(&g, &Clique);
+        let m = metrics::measures(&g, &s);
+        writeln!(
+            out,
+            "## {}\nparallel time {}, speedup {:.3}, efficiency {:.3}, {} processor(s)",
+            h.name(),
+            m.parallel_time,
+            m.speedup,
+            m.efficiency,
+            m.procs
+        )
+        .unwrap();
+        out.push_str(&gantt::render(&s, 60));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_study_renders_everything() {
+        let spec = CorpusSpec {
+            graphs_per_set: 1,
+            nodes: 12..=20,
+            ..Default::default()
+        };
+        let study = Study::run(spec);
+        let text = study.render();
+        for t in 1..=11 {
+            assert!(text.contains(&format!("Table {t}")), "missing table {t}");
+        }
+        for f in 1..=6 {
+            assert!(text.contains(&format!("Figure {f}")), "missing figure {f}");
+        }
+    }
+
+    #[test]
+    fn html_report_is_self_contained() {
+        let spec = CorpusSpec {
+            graphs_per_set: 1,
+            nodes: 12..=20,
+            ..Default::default()
+        };
+        let html = Study::run(spec).render_html();
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.trim_end().ends_with("</html>"));
+        for t in 2..=11 {
+            assert!(html.contains(&format!("Table {t}:")), "missing table {t}");
+        }
+        assert_eq!(html.matches("<svg").count(), 6 + 5, "6 figures + 5 gantts");
+        assert!(html.contains("CLANS"));
+    }
+
+    #[test]
+    fn appendix_example_mentions_all_heuristics_and_130() {
+        let text = render_appendix_example();
+        for h in ["CLANS", "DSC", "MCP", "MH", "HU"] {
+            assert!(text.contains(h));
+        }
+        // CLANS achieves the paper's 130-unit schedule.
+        assert!(text.contains("parallel time 130"));
+    }
+}

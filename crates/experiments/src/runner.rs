@@ -1,0 +1,163 @@
+//! Runs heuristics over the corpus and records the paper's measures.
+
+use crate::corpus::{CorpusEntry, SetKey};
+use dagsched_core::Scheduler;
+use dagsched_dag::Weight;
+use dagsched_sim::{metrics, validate, Clique};
+
+/// One heuristic's outcome on one graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeuristicOutcome {
+    /// Heuristic name (paper column).
+    pub name: &'static str,
+    /// Parallel time (makespan).
+    pub parallel_time: Weight,
+    /// `serial / parallel`.
+    pub speedup: f64,
+    /// `speedup / processors`.
+    pub efficiency: f64,
+    /// Processors used.
+    pub procs: usize,
+    /// Normalized relative parallel time against the best heuristic on
+    /// this graph.
+    pub nrpt: f64,
+}
+
+/// All heuristics' outcomes on one graph.
+#[derive(Debug, Clone)]
+pub struct GraphResult {
+    /// The corpus set of the graph.
+    pub key: SetKey,
+    /// Index within the set.
+    pub index: usize,
+    /// Serial time of the graph.
+    pub serial: Weight,
+    /// Measured granularity.
+    pub granularity: f64,
+    /// One outcome per heuristic, in registry order.
+    pub outcomes: Vec<HeuristicOutcome>,
+}
+
+impl GraphResult {
+    /// The outcome of the heuristic called `name`.
+    pub fn outcome(&self, name: &str) -> &HeuristicOutcome {
+        self.outcomes
+            .iter()
+            .find(|o| o.name == name)
+            .unwrap_or_else(|| panic!("no outcome for {name}"))
+    }
+}
+
+/// Evaluates `heuristics` on a single graph under the paper's machine
+/// model (unbounded clique), validating every schedule against the
+/// independent oracle.
+pub fn evaluate_graph(entry: &CorpusEntry, heuristics: &[Box<dyn Scheduler>]) -> GraphResult {
+    let g = &entry.graph;
+    let machine = Clique;
+    let mut parallel_times = Vec::with_capacity(heuristics.len());
+    let mut partial: Vec<(&'static str, metrics::Measures)> = Vec::with_capacity(heuristics.len());
+    for h in heuristics {
+        let s = h.schedule(g, &machine);
+        debug_assert!(
+            validate::is_valid(g, &machine, &s),
+            "{} produced an invalid schedule",
+            h.name()
+        );
+        let m = metrics::measures(g, &s);
+        parallel_times.push(m.parallel_time);
+        partial.push((h.name(), m));
+    }
+    let nrpts = metrics::normalized_relative_pts(&parallel_times);
+    let outcomes = partial
+        .into_iter()
+        .zip(nrpts)
+        .map(|((name, m), nrpt)| HeuristicOutcome {
+            name,
+            parallel_time: m.parallel_time,
+            speedup: m.speedup,
+            efficiency: m.efficiency,
+            procs: m.procs,
+            nrpt,
+        })
+        .collect();
+    GraphResult {
+        key: entry.key,
+        index: entry.index,
+        serial: g.serial_time(),
+        granularity: entry.granularity,
+        outcomes,
+    }
+}
+
+/// Evaluates `heuristics` over the whole corpus, in parallel.
+pub fn run_corpus(corpus: &[CorpusEntry], heuristics: &[Box<dyn Scheduler>]) -> Vec<GraphResult> {
+    dagsched_par::par_map(corpus, |_, entry| evaluate_graph(entry, heuristics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate_corpus, CorpusSpec};
+    use dagsched_core::paper_heuristics;
+
+    fn tiny_run() -> Vec<GraphResult> {
+        let spec = CorpusSpec {
+            graphs_per_set: 1,
+            nodes: 15..=25,
+            ..Default::default()
+        };
+        let corpus = generate_corpus(&spec);
+        run_corpus(&corpus, &paper_heuristics())
+    }
+
+    #[test]
+    fn every_graph_gets_five_outcomes() {
+        let results = tiny_run();
+        assert_eq!(results.len(), 60);
+        for r in &results {
+            assert_eq!(r.outcomes.len(), 5);
+            let names: Vec<_> = r.outcomes.iter().map(|o| o.name).collect();
+            assert_eq!(names, vec!["CLANS", "DSC", "MCP", "MH", "HU"]);
+        }
+    }
+
+    #[test]
+    fn nrpt_has_a_zero_per_graph() {
+        for r in tiny_run() {
+            let min = r
+                .outcomes
+                .iter()
+                .map(|o| o.nrpt)
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(min, 0.0, "best heuristic scores 0 NRPT");
+            for o in &r.outcomes {
+                assert!(o.nrpt >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn clans_never_retards() {
+        for r in tiny_run() {
+            let clans = r.outcome("CLANS");
+            assert!(
+                clans.speedup >= 1.0 - 1e-12,
+                "CLANS speedup {} on {:?} #{}",
+                clans.speedup,
+                r.key,
+                r.index
+            );
+        }
+    }
+
+    #[test]
+    fn speedup_consistency() {
+        for r in tiny_run() {
+            for o in &r.outcomes {
+                let expect = r.serial as f64 / o.parallel_time as f64;
+                assert!((o.speedup - expect).abs() < 1e-9);
+                assert!((o.efficiency - o.speedup / o.procs as f64).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! Tables 2–11 of the paper as aggregations over run records.
+
+use crate::corpus::CorpusSpec;
+use crate::runner::GraphResult;
+use dagsched_gen::spec::{GranularityBand, WeightRange, PAPER_ANCHORS};
+use std::fmt::Write as _;
+
+/// A rendered table: named rows of per-heuristic values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Paper table number (2–11).
+    pub number: u32,
+    /// Caption, mirroring the paper's.
+    pub title: String,
+    /// Header of the row-label column (e.g. `"Granularity"`).
+    pub row_label: String,
+    /// Heuristic column names.
+    pub columns: Vec<String>,
+    /// `(row label, one value per column)`.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// GitHub-flavoured markdown rendering (2 decimal places, like the
+    /// paper).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "**Table {}: {}**", self.number, self.title).unwrap();
+        writeln!(out).unwrap();
+        write!(out, "| {} |", self.row_label).unwrap();
+        for c in &self.columns {
+            write!(out, " {c} |").unwrap();
+        }
+        writeln!(out).unwrap();
+        write!(out, "|---|").unwrap();
+        for _ in &self.columns {
+            write!(out, "---|").unwrap();
+        }
+        writeln!(out).unwrap();
+        for (label, values) in &self.rows {
+            write!(out, "| {label} |").unwrap();
+            for v in values {
+                write!(out, " {v:.2} |").unwrap();
+            }
+            writeln!(out).unwrap();
+        }
+        out
+    }
+
+    /// CSV rendering (full precision).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        write!(out, "{}", self.row_label).unwrap();
+        for c in &self.columns {
+            write!(out, ",{c}").unwrap();
+        }
+        writeln!(out).unwrap();
+        for (label, values) in &self.rows {
+            write!(out, "\"{label}\"").unwrap();
+            for v in values {
+                write!(out, ",{v}").unwrap();
+            }
+            writeln!(out).unwrap();
+        }
+        out
+    }
+
+    /// HTML rendering (for the `repro html` report).
+    pub fn to_html(&self) -> String {
+        let esc = crate::figures::xml_escape;
+        let mut out = String::new();
+        writeln!(out, "<h3>Table {}: {}</h3>", self.number, esc(&self.title)).unwrap();
+        out.push_str("<table border=\"1\" cellspacing=\"0\" cellpadding=\"4\">\n<tr>");
+        write!(out, "<th>{}</th>", esc(&self.row_label)).unwrap();
+        for c in &self.columns {
+            write!(out, "<th>{}</th>", esc(c)).unwrap();
+        }
+        out.push_str("</tr>\n");
+        for (label, values) in &self.rows {
+            write!(out, "<tr><td>{}</td>", esc(label)).unwrap();
+            for v in values {
+                write!(out, "<td align=\"right\">{v:.2}</td>").unwrap();
+            }
+            out.push_str("</tr>\n");
+        }
+        out.push_str("</table>\n");
+        out
+    }
+
+    /// The value at `(row, column)` by labels.
+    pub fn value(&self, row: &str, column: &str) -> Option<f64> {
+        let c = self.columns.iter().position(|x| x == column)?;
+        self.rows
+            .iter()
+            .find(|(l, _)| l == row)
+            .map(|(_, vals)| vals[c])
+    }
+}
+
+fn heuristic_names(results: &[GraphResult]) -> Vec<String> {
+    results
+        .first()
+        .map(|r| r.outcomes.iter().map(|o| o.name.to_string()).collect())
+        .unwrap_or_default()
+}
+
+/// An axis to group the corpus by.
+#[derive(Debug, Clone, Copy)]
+enum Axis {
+    Granularity,
+    WeightRange,
+    Anchor,
+}
+
+/// A labelled row predicate over graph results.
+type RowPredicate = Box<dyn Fn(&GraphResult) -> bool>;
+
+impl Axis {
+    fn rows(&self) -> Vec<(String, RowPredicate)> {
+        match self {
+            Axis::Granularity => GranularityBand::ALL
+                .into_iter()
+                .map(|b| {
+                    let f: RowPredicate = Box::new(move |r: &GraphResult| r.key.band == b);
+                    (b.label().to_string(), f)
+                })
+                .collect(),
+            Axis::WeightRange => WeightRange::PAPER
+                .into_iter()
+                .map(|w| {
+                    let f: RowPredicate = Box::new(move |r: &GraphResult| r.key.weights == w);
+                    (w.label(), f)
+                })
+                .collect(),
+            Axis::Anchor => PAPER_ANCHORS
+                .into_iter()
+                .map(|a| {
+                    let f: RowPredicate = Box::new(move |r: &GraphResult| r.key.anchor == a);
+                    (format!("A = {a}"), f)
+                })
+                .collect(),
+        }
+    }
+
+    fn row_label(&self) -> &'static str {
+        match self {
+            Axis::Granularity => "Granularity",
+            Axis::WeightRange => "Node Weight Range",
+            Axis::Anchor => "Anchor",
+        }
+    }
+}
+
+/// What to aggregate per heuristic within a group.
+#[derive(Debug, Clone, Copy)]
+enum Measure {
+    /// Count of schedules with speedup < 1.
+    RetardCount,
+    /// Mean normalized relative parallel time.
+    MeanNrpt,
+    /// Mean speedup.
+    MeanSpeedup,
+    /// Mean efficiency.
+    MeanEfficiency,
+}
+
+fn aggregate(results: &[GraphResult], axis: Axis, measure: Measure) -> Vec<(String, Vec<f64>)> {
+    let names = heuristic_names(results);
+    axis.rows()
+        .into_iter()
+        .map(|(label, pred)| {
+            let group: Vec<&GraphResult> = results.iter().filter(|r| pred(r)).collect();
+            let values = names
+                .iter()
+                .map(|name| {
+                    let per: Vec<f64> = group
+                        .iter()
+                        .map(|r| {
+                            let o = r.outcome(name);
+                            match measure {
+                                Measure::RetardCount => (o.speedup < 1.0) as u32 as f64,
+                                Measure::MeanNrpt => o.nrpt,
+                                Measure::MeanSpeedup => o.speedup,
+                                Measure::MeanEfficiency => o.efficiency,
+                            }
+                        })
+                        .collect();
+                    match measure {
+                        Measure::RetardCount => per.iter().sum(),
+                        _ => {
+                            if per.is_empty() {
+                                0.0
+                            } else {
+                                per.iter().sum::<f64>() / per.len() as f64
+                            }
+                        }
+                    }
+                })
+                .collect();
+            (label, values)
+        })
+        .collect()
+}
+
+fn make_table(
+    results: &[GraphResult],
+    number: u32,
+    title: &str,
+    axis: Axis,
+    measure: Measure,
+) -> Table {
+    Table {
+        number,
+        title: title.to_string(),
+        row_label: axis.row_label().to_string(),
+        columns: heuristic_names(results),
+        rows: aggregate(results, axis, measure),
+    }
+}
+
+/// Table 1: corpus composition (sets × graph counts) — derived from
+/// the spec rather than the results.
+pub fn table1(spec: &CorpusSpec) -> String {
+    let mut out = String::from("**Table 1: corpus composition**\n\n");
+    out.push_str("| Granularity | Anchor | Node Weight Range | # of Graphs |\n|---|---|---|---|\n");
+    for key in spec.set_keys() {
+        writeln!(
+            out,
+            "| {} | {} | {} | {} |",
+            key.band.label(),
+            key.anchor,
+            key.weights.label(),
+            spec.graphs_per_set
+        )
+        .unwrap();
+    }
+    writeln!(out, "\nTotal graphs: {}", spec.total_graphs()).unwrap();
+    out
+}
+
+/// Table 2: number of schedules with speedup < 1 per granularity band.
+pub fn table2(results: &[GraphResult]) -> Table {
+    make_table(
+        results,
+        2,
+        "Number of graphs for which the heuristics give a speedup of less than 1 (per granularity band)",
+        Axis::Granularity,
+        Measure::RetardCount,
+    )
+}
+
+/// Table 3 / Figure 1: average normalized relative parallel time per
+/// granularity band.
+pub fn table3(results: &[GraphResult]) -> Table {
+    make_table(
+        results,
+        3,
+        "Average normalized relative parallel time per granularity band",
+        Axis::Granularity,
+        Measure::MeanNrpt,
+    )
+}
+
+/// Table 4 / Figure 2: average speedup per granularity band.
+pub fn table4(results: &[GraphResult]) -> Table {
+    make_table(
+        results,
+        4,
+        "Average speedup per granularity band",
+        Axis::Granularity,
+        Measure::MeanSpeedup,
+    )
+}
+
+/// Table 5 / Figure 3: average efficiency per granularity band.
+pub fn table5(results: &[GraphResult]) -> Table {
+    make_table(
+        results,
+        5,
+        "Average efficiency per granularity band",
+        Axis::Granularity,
+        Measure::MeanEfficiency,
+    )
+}
+
+/// Table 6: number of schedules with speedup < 1 per node weight range.
+pub fn table6(results: &[GraphResult]) -> Table {
+    make_table(
+        results,
+        6,
+        "Number of schedules with speedups less than 1 in the given node weight range",
+        Axis::WeightRange,
+        Measure::RetardCount,
+    )
+}
+
+/// Table 7 / Figure 4: average relative parallel time per node weight range.
+pub fn table7(results: &[GraphResult]) -> Table {
+    make_table(
+        results,
+        7,
+        "Average relative parallel time for each heuristic in the given node weight range",
+        Axis::WeightRange,
+        Measure::MeanNrpt,
+    )
+}
+
+/// Table 8 / Figure 5: average speedup per node weight range.
+pub fn table8(results: &[GraphResult]) -> Table {
+    make_table(
+        results,
+        8,
+        "Average speedup for each heuristic in the given node weight range",
+        Axis::WeightRange,
+        Measure::MeanSpeedup,
+    )
+}
+
+/// Table 9 / Figure 6: average efficiency per node weight range.
+pub fn table9(results: &[GraphResult]) -> Table {
+    make_table(
+        results,
+        9,
+        "Average efficiency for each heuristic in the given node weight range",
+        Axis::WeightRange,
+        Measure::MeanEfficiency,
+    )
+}
+
+/// Table 10: number of schedules with speedup < 1 per anchor out-degree.
+pub fn table10(results: &[GraphResult]) -> Table {
+    make_table(
+        results,
+        10,
+        "Number of times each heuristic gives speedup less than 1 for the given anchor out-degree",
+        Axis::Anchor,
+        Measure::RetardCount,
+    )
+}
+
+/// Table 11: average relative parallel time per anchor out-degree.
+pub fn table11(results: &[GraphResult]) -> Table {
+    make_table(
+        results,
+        11,
+        "Normalized average relative parallel time for the given anchor out-degree",
+        Axis::Anchor,
+        Measure::MeanNrpt,
+    )
+}
+
+/// A table of `mean ± std` cells: the statistical-spread companion to
+/// the mean-only paper tables, quantifying how tight each average is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpreadTable {
+    /// Which paper table this is the spread of.
+    pub of_table: u32,
+    /// Caption.
+    pub title: String,
+    /// Row-label header.
+    pub row_label: String,
+    /// Heuristic column names.
+    pub columns: Vec<String>,
+    /// `(row label, (mean, sample std) per column)`.
+    pub rows: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl SpreadTable {
+    /// Markdown rendering with `mean ± std` cells.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "**Spread of Table {}: {}**", self.of_table, self.title).unwrap();
+        writeln!(out).unwrap();
+        write!(out, "| {} |", self.row_label).unwrap();
+        for c in &self.columns {
+            write!(out, " {c} |").unwrap();
+        }
+        writeln!(out).unwrap();
+        write!(out, "|---|").unwrap();
+        for _ in &self.columns {
+            write!(out, "---|").unwrap();
+        }
+        writeln!(out).unwrap();
+        for (label, values) in &self.rows {
+            write!(out, "| {label} |").unwrap();
+            for (m, sd) in values {
+                write!(out, " {m:.2} ± {sd:.2} |").unwrap();
+            }
+            writeln!(out).unwrap();
+        }
+        out
+    }
+}
+
+fn spread(
+    results: &[GraphResult],
+    axis: Axis,
+    per: impl Fn(&crate::runner::HeuristicOutcome) -> f64,
+) -> Vec<(String, Vec<(f64, f64)>)> {
+    let names = heuristic_names(results);
+    axis.rows()
+        .into_iter()
+        .map(|(label, pred)| {
+            let group: Vec<&GraphResult> = results.iter().filter(|r| pred(r)).collect();
+            let values = names
+                .iter()
+                .map(|name| {
+                    let xs: Vec<f64> = group.iter().map(|r| per(r.outcome(name))).collect();
+                    let n = xs.len().max(1) as f64;
+                    let mean = xs.iter().sum::<f64>() / n;
+                    let var = if xs.len() < 2 {
+                        0.0
+                    } else {
+                        xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+                    };
+                    (mean, var.sqrt())
+                })
+                .collect();
+            (label, values)
+        })
+        .collect()
+}
+
+/// Spread (mean ± sample std) of Table 4's speedups per granularity
+/// band.
+pub fn table4_spread(results: &[GraphResult]) -> SpreadTable {
+    SpreadTable {
+        of_table: 4,
+        title: "Speedup per granularity band, with sample standard deviations".to_string(),
+        row_label: "Granularity".to_string(),
+        columns: heuristic_names(results),
+        rows: spread(results, Axis::Granularity, |o| o.speedup),
+    }
+}
+
+/// Spread (mean ± sample std) of Table 3's NRPT per granularity band.
+pub fn table3_spread(results: &[GraphResult]) -> SpreadTable {
+    SpreadTable {
+        of_table: 3,
+        title: "Normalized relative parallel time per granularity band, with sample standard deviations"
+            .to_string(),
+        row_label: "Granularity".to_string(),
+        columns: heuristic_names(results),
+        rows: spread(results, Axis::Granularity, |o| o.nrpt),
+    }
+}
+
+/// All result tables (2–11) in paper order.
+pub fn all_tables(results: &[GraphResult]) -> Vec<Table> {
+    vec![
+        table2(results),
+        table3(results),
+        table4(results),
+        table5(results),
+        table6(results),
+        table7(results),
+        table8(results),
+        table9(results),
+        table10(results),
+        table11(results),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate_corpus, CorpusSpec};
+    use crate::runner::run_corpus;
+    use dagsched_core::paper_heuristics;
+
+    fn small_results() -> Vec<GraphResult> {
+        let spec = CorpusSpec {
+            graphs_per_set: 2,
+            nodes: 15..=25,
+            ..Default::default()
+        };
+        run_corpus(&generate_corpus(&spec), &paper_heuristics())
+    }
+
+    #[test]
+    fn tables_have_expected_shape() {
+        let results = small_results();
+        for t in all_tables(&results) {
+            assert_eq!(t.columns, vec!["CLANS", "DSC", "MCP", "MH", "HU"]);
+            let expected_rows = match t.number {
+                2..=5 => 5,
+                6..=9 => 3,
+                10 | 11 => 4,
+                _ => unreachable!(),
+            };
+            assert_eq!(t.rows.len(), expected_rows, "table {}", t.number);
+        }
+    }
+
+    #[test]
+    fn clans_column_of_table2_is_all_zeros() {
+        let results = small_results();
+        let t = table2(&results);
+        for (label, _) in &t.rows {
+            assert_eq!(t.value(label, "CLANS"), Some(0.0), "row {label}");
+        }
+    }
+
+    #[test]
+    fn retard_counts_sum_consistently_across_axes() {
+        // Tables 2, 6 and 10 count the same events grouped differently;
+        // per-heuristic totals must agree.
+        let results = small_results();
+        let sums = |t: &Table| -> Vec<f64> {
+            (0..t.columns.len())
+                .map(|c| t.rows.iter().map(|(_, v)| v[c]).sum())
+                .collect()
+        };
+        let s2 = sums(&table2(&results));
+        let s6 = sums(&table6(&results));
+        let s10 = sums(&table10(&results));
+        assert_eq!(s2, s6);
+        assert_eq!(s2, s10);
+    }
+
+    #[test]
+    fn markdown_and_csv_render() {
+        let results = small_results();
+        let t = table3(&results);
+        let md = t.to_markdown();
+        assert!(md.contains("**Table 3"));
+        assert!(md.contains("| CLANS |"));
+        assert!(md.contains("G < 0.08"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("Granularity,CLANS,DSC,MCP,MH,HU"));
+        assert_eq!(csv.lines().count(), 6);
+    }
+
+    #[test]
+    fn table1_lists_sixty_sets() {
+        let spec = CorpusSpec::default();
+        let t1 = table1(&spec);
+        assert_eq!(t1.matches("| G < 0.08 |").count(), 12);
+        assert!(t1.contains("Total graphs: 2100"));
+    }
+
+    #[test]
+    fn spread_tables_report_sane_statistics() {
+        let results = small_results();
+        for t in [table4_spread(&results), table3_spread(&results)] {
+            assert_eq!(t.rows.len(), 5);
+            for (label, cells) in &t.rows {
+                for (mean, sd) in cells {
+                    assert!(*sd >= 0.0, "{label}: negative std");
+                    assert!(mean.is_finite(), "{label}: non-finite mean");
+                }
+            }
+            let md = t.to_markdown();
+            assert!(md.contains('±'));
+            assert!(md.contains("Spread of Table"));
+        }
+        // The spread's means agree with the plain table.
+        let t4 = table4(&results);
+        let s4 = table4_spread(&results);
+        for ((l1, plain), (l2, cells)) in t4.rows.iter().zip(&s4.rows) {
+            assert_eq!(l1, l2);
+            for (p, (m, _)) in plain.iter().zip(cells) {
+                assert!((p - m).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn value_lookup() {
+        let results = small_results();
+        let t = table4(&results);
+        assert!(t.value("G < 0.08", "CLANS").is_some());
+        assert!(t.value("nonsense", "CLANS").is_none());
+        assert!(t.value("G < 0.08", "NOPE").is_none());
+    }
+}

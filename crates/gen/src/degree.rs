@@ -1,0 +1,185 @@
+//! Anchor out-degree adjustment — step 2 of the paper's pipeline
+//! (§5.1: "The graphs are then modified by removing and inserting
+//! randomly connected edges to match the given anchor out-degree").
+//!
+//! Each non-sink node's out-degree is pushed toward the target by
+//! deleting random out-edges (never stealing a node's last in-edge)
+//! and inserting edges toward random topologically later nodes (which
+//! can never create a cycle). The resulting mode of the non-sink
+//! out-degrees is the requested anchor whenever enough later targets
+//! exist.
+
+use dagsched_dag::{topo, Dag, DagBuilder, NodeId, Weight};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Rewires `g` so the anchor out-degree (mode over non-sink nodes)
+/// becomes `anchor`. Inserted edges get weights drawn uniformly from
+/// `edge_weights`.
+pub fn adjust_anchor(
+    g: &Dag,
+    anchor: usize,
+    edge_weights: (Weight, Weight),
+    rng: &mut impl Rng,
+) -> Dag {
+    assert!(anchor >= 1, "anchor out-degree must be at least 1");
+    assert!(edge_weights.0 >= 1 && edge_weights.0 <= edge_weights.1);
+    let n = g.num_nodes();
+    if n <= 1 {
+        return g.clone();
+    }
+
+    // Mutable adjacency mirrors.
+    let mut succs: Vec<Vec<(u32, Weight)>> = (0..n)
+        .map(|v| g.succs(NodeId(v as u32)).map(|(d, w)| (d.0, w)).collect())
+        .collect();
+    let mut in_deg: Vec<usize> = (0..n).map(|v| g.in_degree(NodeId(v as u32))).collect();
+
+    // A fixed topological position; inserting edges "forward" in this
+    // order preserves acyclicity regardless of earlier insertions.
+    let pos = topo::positions(g.topo_order(), n);
+    let mut by_pos: Vec<u32> = (0..n as u32).collect();
+    by_pos.sort_by_key(|&v| pos[v as usize]);
+
+    let mut visit: Vec<u32> = (0..n as u32).collect();
+    visit.shuffle(rng);
+    for v in visit {
+        let vi = v as usize;
+        if succs[vi].is_empty() {
+            continue; // sinks stay sinks: the anchor counts non-sinks
+        }
+        // Trim overly branchy nodes.
+        while succs[vi].len() > anchor {
+            // Candidates whose head keeps another in-edge.
+            let removable: Vec<usize> = (0..succs[vi].len())
+                .filter(|&k| in_deg[succs[vi][k].0 as usize] > 1)
+                .collect();
+            let Some(&k) = removable.choose(rng) else {
+                break; // every out-edge is someone's only input
+            };
+            let (head, _) = succs[vi].swap_remove(k);
+            in_deg[head as usize] -= 1;
+        }
+        // Grow underbranchy nodes toward later targets.
+        if succs[vi].len() < anchor {
+            let have: std::collections::HashSet<u32> = succs[vi].iter().map(|&(d, _)| d).collect();
+            let mut candidates: Vec<u32> = by_pos[pos[vi] + 1..]
+                .iter()
+                .copied()
+                .filter(|&u| !have.contains(&u))
+                .collect();
+            candidates.shuffle(rng);
+            for u in candidates {
+                if succs[vi].len() >= anchor {
+                    break;
+                }
+                let w = rng.gen_range(edge_weights.0..=edge_weights.1);
+                succs[vi].push((u, w));
+                in_deg[u as usize] += 1;
+            }
+        }
+    }
+
+    let mut b = DagBuilder::with_capacity(n, succs.iter().map(Vec::len).sum());
+    for &w in g.node_weights() {
+        b.add_node(w);
+    }
+    for (v, out) in succs.iter().enumerate() {
+        for &(d, w) in out {
+            b.add_edge(NodeId(v as u32), NodeId(d), w)
+                .expect("adjacency mirror has no duplicates");
+        }
+    }
+    b.build().expect("forward insertions preserve acyclicity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parsetree::{generate, ParseTreeSpec};
+    use dagsched_dag::metrics;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sp_graph(n: usize, seed: u64) -> Dag {
+        generate(
+            &ParseTreeSpec {
+                nodes: n,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(seed),
+        )
+    }
+
+    #[test]
+    fn hits_the_target_anchor() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for anchor in 2..=5usize {
+            for seed in 0..5u64 {
+                let g = sp_graph(50, seed);
+                let adjusted = adjust_anchor(&g, anchor, (1, 50), &mut rng);
+                assert_eq!(
+                    metrics::anchor_out_degree_nonsink(&adjusted),
+                    anchor,
+                    "anchor {anchor}, seed {seed}"
+                );
+                assert_eq!(adjusted.num_nodes(), g.num_nodes());
+            }
+        }
+    }
+
+    #[test]
+    fn node_weights_untouched() {
+        let g = sp_graph(40, 3);
+        let adjusted = adjust_anchor(&g, 3, (1, 50), &mut StdRng::seed_from_u64(12));
+        assert_eq!(adjusted.node_weights(), g.node_weights());
+    }
+
+    #[test]
+    fn result_is_acyclic_and_preserves_sinks() {
+        // Sinks remain sinks: the pass only rewires branching nodes.
+        let g = sp_graph(60, 4);
+        let sinks_before = g.sinks().len();
+        let adjusted = adjust_anchor(&g, 4, (1, 50), &mut StdRng::seed_from_u64(13));
+        // Build succeeded => acyclic. Sinks can only stay or grow
+        // (trimming may create new sinks is *not* allowed — trimming
+        // stops at out-degree `anchor` ≥ 1).
+        assert!(adjusted.sinks().len() >= sinks_before);
+        for v in g.sinks() {
+            assert_eq!(adjusted.out_degree(v), 0);
+        }
+    }
+
+    #[test]
+    fn never_orphans_a_node() {
+        // No node should lose its last in-edge.
+        let g = sp_graph(60, 5);
+        let sources_before = g.sources().len();
+        let adjusted = adjust_anchor(&g, 2, (1, 50), &mut StdRng::seed_from_u64(14));
+        assert!(adjusted.sources().len() <= sources_before.max(1));
+    }
+
+    #[test]
+    fn tiny_graphs_pass_through() {
+        let g = sp_graph(1, 6);
+        let adjusted = adjust_anchor(&g, 3, (1, 50), &mut StdRng::seed_from_u64(15));
+        assert_eq!(adjusted, g);
+    }
+
+    #[test]
+    fn inserted_edge_weights_in_range() {
+        let g = sp_graph(50, 7);
+        let adjusted = adjust_anchor(&g, 5, (7, 7), &mut StdRng::seed_from_u64(16));
+        // Every edge not shared with the original has weight 7.
+        let orig: std::collections::HashSet<(u32, u32)> =
+            g.edges().iter().map(|e| (e.src.0, e.dst.0)).collect();
+        let mut saw_new = false;
+        for e in adjusted.edges() {
+            if !orig.contains(&(e.src.0, e.dst.0)) {
+                assert_eq!(e.weight, 7);
+                saw_new = true;
+            }
+        }
+        assert!(saw_new, "anchor 5 should force insertions");
+    }
+}

@@ -1,0 +1,283 @@
+//! Deterministic task-graph families.
+//!
+//! The paper's intro motivates scheduling with parallelized numerical
+//! programs; these families provide reproducible stand-ins for those
+//! workloads (Gaussian elimination, FFT butterflies, stencil sweeps)
+//! plus the structural extremes (chains, antichains, fork-join,
+//! trees) used by examples, tests and ablation benches.
+
+use dagsched_dag::{Dag, DagBuilder, NodeId, Weight};
+use rand::Rng;
+
+/// A chain of `n` tasks: `0 → 1 → … → n−1`.
+pub fn chain(n: usize, node_w: Weight, edge_w: Weight) -> Dag {
+    let mut b = DagBuilder::with_capacity(n, n.saturating_sub(1));
+    let ids: Vec<_> = (0..n).map(|_| b.add_node(node_w)).collect();
+    for w in ids.windows(2) {
+        b.add_edge(w[0], w[1], edge_w).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// `n` independent tasks (an antichain).
+pub fn independent(n: usize, node_w: Weight) -> Dag {
+    let mut b = DagBuilder::with_capacity(n, 0);
+    for _ in 0..n {
+        b.add_node(node_w);
+    }
+    b.build().unwrap()
+}
+
+/// Fork-join: one source, `width` parallel middle tasks, one sink.
+pub fn fork_join(width: usize, node_w: Weight, edge_w: Weight) -> Dag {
+    let mut b = DagBuilder::with_capacity(width + 2, 2 * width);
+    let src = b.add_node(node_w);
+    let mids: Vec<_> = (0..width).map(|_| b.add_node(node_w)).collect();
+    let snk = b.add_node(node_w);
+    for &m in &mids {
+        b.add_edge(src, m, edge_w).unwrap();
+        b.add_edge(m, snk, edge_w).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// A complete binary out-tree of `levels` levels (`2^levels − 1`
+/// nodes), root at index 0.
+pub fn binary_out_tree(levels: u32, node_w: Weight, edge_w: Weight) -> Dag {
+    let n = (1usize << levels) - 1;
+    let mut b = DagBuilder::with_capacity(n, n - 1);
+    let ids: Vec<_> = (0..n).map(|_| b.add_node(node_w)).collect();
+    for i in 0..n {
+        for c in [2 * i + 1, 2 * i + 2] {
+            if c < n {
+                b.add_edge(ids[i], ids[c], edge_w).unwrap();
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+/// A complete binary in-tree (reduction) of `levels` levels; sink at
+/// index 0 of the mirrored out-tree — realized by transposing.
+pub fn binary_in_tree(levels: u32, node_w: Weight, edge_w: Weight) -> Dag {
+    dagsched_dag::transform::transpose(&binary_out_tree(levels, node_w, edge_w))
+}
+
+/// The task graph of Gaussian elimination on an `n × n` matrix
+/// (column-oriented: one pivot task per step, one update task per
+/// remaining column): `T_kk → T_kj` and `T_kj → T_(k+1)j`.
+///
+/// Node weights shrink with the remaining submatrix size, like the
+/// real computation.
+pub fn gaussian_elimination(n: usize, unit_w: Weight, edge_w: Weight) -> Dag {
+    assert!(n >= 2);
+    let mut b = DagBuilder::new();
+    // pivot[k] and update[k][j] for j in k+1..n
+    let mut pivot = Vec::with_capacity(n - 1);
+    let mut update = vec![Vec::new(); n - 1];
+    #[allow(clippy::needless_range_loop)] // k drives pivot, update and the weight law together
+    for k in 0..n - 1 {
+        let rem = (n - k) as Weight;
+        pivot.push(b.add_node(unit_w * rem));
+        for _j in k + 1..n {
+            update[k].push(b.add_node(unit_w * rem));
+        }
+    }
+    for k in 0..n - 1 {
+        for (ji, &u) in update[k].iter().enumerate() {
+            b.add_edge(pivot[k], u, edge_w).unwrap();
+            let j = k + 1 + ji;
+            if k + 1 < n - 1 {
+                // Column j feeds step k+1: the pivot column j == k+1
+                // feeds the next pivot; others feed the matching
+                // update task.
+                if j == k + 1 {
+                    b.add_edge(u, pivot[k + 1], edge_w).unwrap();
+                } else {
+                    let next = update[k + 1][j - (k + 2)];
+                    b.add_edge(u, next, edge_w).unwrap();
+                }
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+/// The FFT butterfly task graph over `2^logn` points: `logn + 1`
+/// ranks of `2^logn` tasks; each task feeds its same-index and
+/// butterfly-partner successors.
+pub fn fft(logn: u32, node_w: Weight, edge_w: Weight) -> Dag {
+    let width = 1usize << logn;
+    let ranks = logn as usize + 1;
+    let mut b = DagBuilder::with_capacity(width * ranks, 2 * width * logn as usize);
+    let mut grid = vec![vec![NodeId(0); width]; ranks];
+    for row in grid.iter_mut() {
+        for cell in row.iter_mut() {
+            *cell = b.add_node(node_w);
+        }
+    }
+    for r in 0..ranks - 1 {
+        let stride = width >> (r + 1);
+        for i in 0..width {
+            b.add_edge(grid[r][i], grid[r + 1][i], edge_w).unwrap();
+            b.add_edge(grid[r][i], grid[r + 1][i ^ stride], edge_w)
+                .unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+/// A 2-D wavefront stencil sweep over an `rows × cols` grid: task
+/// `(i, j)` depends on `(i−1, j)` and `(i, j−1)` — the dependence
+/// pattern of Gauss-Seidel / dynamic-programming sweeps.
+pub fn stencil(rows: usize, cols: usize, node_w: Weight, edge_w: Weight) -> Dag {
+    let mut b = DagBuilder::with_capacity(rows * cols, 2 * rows * cols);
+    let idx = |i: usize, j: usize| NodeId((i * cols + j) as u32);
+    for _ in 0..rows * cols {
+        b.add_node(node_w);
+    }
+    for i in 0..rows {
+        for j in 0..cols {
+            if i + 1 < rows {
+                b.add_edge(idx(i, j), idx(i + 1, j), edge_w).unwrap();
+            }
+            if j + 1 < cols {
+                b.add_edge(idx(i, j), idx(i, j + 1), edge_w).unwrap();
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+/// A random layered DAG: `layers` layers of `width` nodes; each node
+/// picks 1–`max_fan` predecessors in the previous layer. A common
+/// synthetic shape that is *not* series-parallel (exercises primitive
+/// clans).
+pub fn layered_random(
+    layers: usize,
+    width: usize,
+    max_fan: usize,
+    node_w: (Weight, Weight),
+    edge_w: (Weight, Weight),
+    rng: &mut impl Rng,
+) -> Dag {
+    assert!(layers >= 1 && width >= 1 && max_fan >= 1);
+    let mut b = DagBuilder::new();
+    let mut prev: Vec<NodeId> = Vec::new();
+    for l in 0..layers {
+        let cur: Vec<NodeId> = (0..width)
+            .map(|_| b.add_node(rng.gen_range(node_w.0..=node_w.1)))
+            .collect();
+        if l > 0 {
+            for &v in &cur {
+                let fan = rng.gen_range(1..=max_fan.min(prev.len()));
+                let mut picks: Vec<usize> = (0..prev.len()).collect();
+                for k in 0..fan {
+                    let swap = rng.gen_range(k..picks.len());
+                    picks.swap(k, swap);
+                    let p = prev[picks[k]];
+                    b.add_edge(p, v, rng.gen_range(edge_w.0..=edge_w.1))
+                        .unwrap();
+                }
+            }
+        }
+        prev = cur;
+    }
+    b.build().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_dag::{levels, topo};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(5, 10, 2);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(topo::height(&g), 5);
+        assert_eq!(levels::critical_path_len(&g), 5 * 10 + 4 * 2);
+    }
+
+    #[test]
+    fn independent_shape() {
+        let g = independent(7, 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(topo::max_width(&g), 7);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let g = fork_join(4, 10, 5);
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+        assert_eq!(levels::critical_path_len(&g), 10 + 5 + 10 + 5 + 10);
+    }
+
+    #[test]
+    fn binary_trees() {
+        let out = binary_out_tree(4, 1, 1);
+        assert_eq!(out.num_nodes(), 15);
+        assert_eq!(out.num_edges(), 14);
+        assert_eq!(out.sources().len(), 1);
+        assert_eq!(out.sinks().len(), 8);
+        let int = binary_in_tree(4, 1, 1);
+        assert_eq!(int.sources().len(), 8);
+        assert_eq!(int.sinks().len(), 1);
+    }
+
+    #[test]
+    fn gaussian_elimination_shape() {
+        let g = gaussian_elimination(4, 2, 5);
+        // Steps k=0,1,2 with 3+2+1 updates + 3 pivots = 9 tasks.
+        assert_eq!(g.num_nodes(), 9);
+        // One source (first pivot), sinks at the last step.
+        assert_eq!(g.sources().len(), 1);
+        assert!(topo::height(&g) >= 5);
+        // Weights shrink with k: first pivot cost 2*4, last 2*2.
+        assert_eq!(g.node_weight(NodeId(0)), 8);
+    }
+
+    #[test]
+    fn fft_shape() {
+        let g = fft(3, 1, 1);
+        assert_eq!(g.num_nodes(), 8 * 4);
+        assert_eq!(g.num_edges(), 8 * 3 * 2);
+        assert_eq!(g.sources().len(), 8);
+        assert_eq!(g.sinks().len(), 8);
+        assert_eq!(topo::height(&g), 4);
+        // Every non-sink has out-degree exactly 2.
+        for v in g.nodes() {
+            let d = g.out_degree(v);
+            assert!(d == 0 || d == 2);
+        }
+    }
+
+    #[test]
+    fn stencil_shape() {
+        let g = stencil(3, 4, 1, 1);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // (cols-1)*rows + (rows-1)*cols
+        assert_eq!(g.sources(), vec![NodeId(0)]);
+        assert_eq!(g.sinks(), vec![NodeId(11)]);
+        assert_eq!(topo::height(&g), 3 + 4 - 1);
+    }
+
+    #[test]
+    fn layered_random_shape() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = layered_random(5, 6, 3, (20, 100), (1, 50), &mut rng);
+        assert_eq!(g.num_nodes(), 30);
+        assert_eq!(topo::height(&g), 5);
+        // Every non-first-layer node has at least one predecessor.
+        assert_eq!(g.sources().len(), 6);
+        // Deterministic per seed.
+        let g2 = layered_random(5, 6, 3, (20, 100), (1, 50), &mut StdRng::seed_from_u64(5));
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,31 @@
+//! # dagsched-gen — random PDG generation and classification
+//!
+//! Reproduces the graph generation pipeline of Khan, McCreary & Jones
+//! (§3, §5.1):
+//!
+//! 1. a **random parse tree** of series (linear) and parallel
+//!    (independent) compositions is grown and realized as a DAG
+//!    ([`parsetree`]);
+//! 2. edges are randomly **removed and inserted** until the *anchor
+//!    out-degree* (the mode of the out-degrees) matches the target
+//!    ([`degree`]);
+//! 3. node weights are drawn from the target **node weight range** and
+//!    edge weights are scaled onto the target **granularity band**
+//!    ([`pdg`]).
+//!
+//! [`spec`] defines the paper's classification bands; [`families`]
+//! adds deterministic task-graph families (fork-join, trees, FFT
+//! butterfly, Gaussian elimination, stencil sweeps, layered random)
+//! used by examples, tests and ablations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod degree;
+pub mod families;
+pub mod parsetree;
+pub mod pdg;
+pub mod spec;
+
+pub use pdg::{generate, PdgSpec};
+pub use spec::{GranularityBand, WeightRange};

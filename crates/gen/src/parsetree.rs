@@ -1,0 +1,239 @@
+//! Random parse-tree (series-parallel) DAG generation — step 1 of the
+//! paper's pipeline (§5.1: "The graph generation system generates
+//! graphs using a random parse tree generator").
+//!
+//! The generator grows a random tree of *linear* (series) and
+//! *independent* (parallel) composition nodes over a given number of
+//! leaves and realizes it as a DAG: parallel children are disjoint,
+//! series children are joined by complete sink→source bipartite edge
+//! sets (which is exactly what makes each subtree a clan).
+
+use dagsched_dag::{Dag, DagBuilder, NodeId, Weight};
+use rand::Rng;
+
+/// Parameters for the parse-tree generator.
+#[derive(Debug, Clone)]
+pub struct ParseTreeSpec {
+    /// Number of task nodes (≥ 1).
+    pub nodes: usize,
+    /// Inclusive node-weight range to draw from.
+    pub node_weights: (Weight, Weight),
+    /// Inclusive edge-weight range to draw from (granularity targeting
+    /// rescales these later).
+    pub edge_weights: (Weight, Weight),
+    /// Probability that an internal composition is *series* rather
+    /// than *parallel* (0.0–1.0).
+    pub series_bias: f64,
+    /// Maximum fan of a composition node (≥ 2).
+    pub max_arity: usize,
+}
+
+impl Default for ParseTreeSpec {
+    fn default() -> Self {
+        Self {
+            nodes: 50,
+            node_weights: (20, 100),
+            edge_weights: (1, 100),
+            series_bias: 0.5,
+            max_arity: 4,
+        }
+    }
+}
+
+/// Generates a random series-parallel DAG per `spec`.
+pub fn generate(spec: &ParseTreeSpec, rng: &mut impl Rng) -> Dag {
+    assert!(spec.nodes >= 1, "need at least one node");
+    assert!(spec.max_arity >= 2, "compositions need arity ≥ 2");
+    assert!(spec.node_weights.0 >= 1 && spec.node_weights.0 <= spec.node_weights.1);
+    assert!(spec.edge_weights.0 >= 1 && spec.edge_weights.0 <= spec.edge_weights.1);
+    let mut b = DagBuilder::with_capacity(spec.nodes, spec.nodes * 2);
+    // Top level is series with probability `series_bias`, like any
+    // other level.
+    let _ = grow(&mut b, spec, rng, spec.nodes);
+    b.build().expect("series-parallel construction is acyclic")
+}
+
+/// Recursively realizes a subtree over `n` leaves; returns the
+/// fragment's (sources, sinks).
+fn grow(
+    b: &mut DagBuilder,
+    spec: &ParseTreeSpec,
+    rng: &mut impl Rng,
+    n: usize,
+) -> (Vec<NodeId>, Vec<NodeId>) {
+    if n == 1 {
+        let w = rng.gen_range(spec.node_weights.0..=spec.node_weights.1);
+        let v = b.add_node(w);
+        return (vec![v], vec![v]);
+    }
+    let arity = rng.gen_range(2..=spec.max_arity.min(n));
+    let parts = random_split(rng, n, arity);
+    let series = rng.gen_bool(spec.series_bias);
+    let mut sources = Vec::new();
+    let mut sinks: Vec<NodeId> = Vec::new();
+    for (i, part) in parts.into_iter().enumerate() {
+        let (part_src, part_snk) = grow(b, spec, rng, part);
+        if series {
+            if i == 0 {
+                sources = part_src;
+            } else {
+                // Complete bipartite junction keeps each side a clan.
+                for &s in &sinks {
+                    for &d in &part_src {
+                        let w = rng.gen_range(spec.edge_weights.0..=spec.edge_weights.1);
+                        b.add_edge(s, d, w).expect("fresh junction edge");
+                    }
+                }
+            }
+            sinks = part_snk;
+        } else {
+            sources.extend(part_src);
+            sinks.extend(part_snk);
+        }
+    }
+    (sources, sinks)
+}
+
+/// Splits `n` into `k ≥ 2` positive parts, uniformly-ish at random.
+fn random_split(rng: &mut impl Rng, n: usize, k: usize) -> Vec<usize> {
+    debug_assert!(k >= 2 && k <= n);
+    // Stars and bars: choose k-1 distinct cut points in 1..n.
+    let mut cuts = Vec::with_capacity(k - 1);
+    while cuts.len() < k - 1 {
+        let c = rng.gen_range(1..n);
+        if !cuts.contains(&c) {
+            cuts.push(c);
+        }
+    }
+    cuts.sort_unstable();
+    let mut parts = Vec::with_capacity(k);
+    let mut prev = 0;
+    for c in cuts {
+        parts.push(c - prev);
+        prev = c;
+    }
+    parts.push(n - prev);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_clans::{ClanKind, ParseTree};
+    use dagsched_dag::metrics;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_node_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 5, 30, 80] {
+            let g = generate(
+                &ParseTreeSpec {
+                    nodes: n,
+                    ..Default::default()
+                },
+                &mut rng,
+            );
+            assert_eq!(g.num_nodes(), n);
+        }
+    }
+
+    #[test]
+    fn weights_respect_ranges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = ParseTreeSpec {
+            nodes: 60,
+            node_weights: (20, 100),
+            edge_weights: (5, 9),
+            ..Default::default()
+        };
+        let g = generate(&spec, &mut rng);
+        assert_eq!(metrics::node_weight_range(&g), {
+            let (lo, hi) = metrics::node_weight_range(&g).unwrap();
+            assert!(lo >= 20 && hi <= 100);
+            Some((lo, hi))
+        });
+        for e in g.edges() {
+            assert!((5..=9).contains(&e.weight));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let spec = ParseTreeSpec {
+            nodes: 40,
+            ..Default::default()
+        };
+        let g1 = generate(&spec, &mut StdRng::seed_from_u64(77));
+        let g2 = generate(&spec, &mut StdRng::seed_from_u64(77));
+        assert_eq!(g1, g2);
+        let g3 = generate(&spec, &mut StdRng::seed_from_u64(78));
+        assert_ne!(g1, g3, "different seeds should differ w.h.p.");
+    }
+
+    #[test]
+    fn output_is_fully_decomposable() {
+        // By construction the parse tree has no primitive clans.
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [5usize, 20, 50] {
+            let g = generate(
+                &ParseTreeSpec {
+                    nodes: n,
+                    ..Default::default()
+                },
+                &mut rng,
+            );
+            let tree = ParseTree::decompose(&g);
+            for id in tree.clan_ids() {
+                assert_ne!(
+                    tree.clan(id).kind,
+                    ClanKind::Primitive,
+                    "series-parallel graphs decompose without primitive clans"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn series_bias_one_yields_a_chain_shape() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let spec = ParseTreeSpec {
+            nodes: 20,
+            series_bias: 1.0,
+            ..Default::default()
+        };
+        let g = generate(&spec, &mut rng);
+        // Pure series composition: single source, single sink, and the
+        // longest path touches every node (a linear parse tree).
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+        assert_eq!(dagsched_dag::topo::height(&g), 20);
+    }
+
+    #[test]
+    fn series_bias_zero_yields_an_antichain() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let spec = ParseTreeSpec {
+            nodes: 20,
+            series_bias: 0.0,
+            ..Default::default()
+        };
+        let g = generate(&spec, &mut rng);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.sources().len(), 20);
+    }
+
+    #[test]
+    fn random_split_properties() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..200 {
+            let n = rng.gen_range(2..50);
+            let k = rng.gen_range(2..=n.min(6));
+            let parts = random_split(&mut rng, n, k);
+            assert_eq!(parts.len(), k);
+            assert_eq!(parts.iter().sum::<usize>(), n);
+            assert!(parts.iter().all(|&p| p >= 1));
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! The full PDG generation pipeline (parse tree → anchor adjustment →
+//! weight assignment → granularity targeting) and its specification.
+
+use crate::degree::adjust_anchor;
+use crate::parsetree::{generate as gen_parsetree, ParseTreeSpec};
+use crate::spec::{GranularityBand, WeightRange};
+use dagsched_dag::{metrics, Dag, DagBuilder, Weight};
+use rand::Rng;
+
+/// Specification of one random PDG, mirroring the paper's three
+/// classification criteria plus a node count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PdgSpec {
+    /// Number of task nodes.
+    pub nodes: usize,
+    /// Target anchor out-degree (mode of the non-sink out-degrees).
+    pub anchor: usize,
+    /// Node weight range.
+    pub weights: WeightRange,
+    /// Target granularity band.
+    pub band: GranularityBand,
+}
+
+impl PdgSpec {
+    /// A convenient mid-corpus default: 50 nodes, anchor 3,
+    /// weights 20–100, medium granularity.
+    pub fn example() -> Self {
+        PdgSpec {
+            nodes: 50,
+            anchor: 3,
+            weights: WeightRange::new(20, 100),
+            band: GranularityBand::Medium,
+        }
+    }
+}
+
+/// Generates one PDG matching `spec`.
+///
+/// The returned graph classifies into the requested band / range /
+/// anchor except in degenerate cases (graphs whose anchor pass cannot
+/// reach the target because the topology ran out of forward targets —
+/// rare at the corpus sizes; the experiments crate re-checks and
+/// re-draws when it matters).
+pub fn generate(spec: &PdgSpec, rng: &mut impl Rng) -> Dag {
+    // 1. Random parse tree with the requested node weights. Initial
+    //    edge weights start near the node weight scale; granularity
+    //    targeting rescales them.
+    let base = ParseTreeSpec {
+        nodes: spec.nodes,
+        node_weights: (spec.weights.lo, spec.weights.hi),
+        edge_weights: (1.max(spec.weights.lo / 2), spec.weights.hi),
+        series_bias: 0.42,
+        max_arity: 8,
+    };
+    let g = gen_parsetree(&base, rng);
+
+    // 2. Anchor out-degree adjustment.
+    let g = adjust_anchor(&g, spec.anchor, base.edge_weights, rng);
+
+    // 3. Granularity targeting.
+    let target = spec.band.sample_target(rng);
+    retarget_granularity(&g, target, spec.band)
+}
+
+/// Rescales every edge weight by the constant factor that moves the
+/// measured granularity onto `target`, iterating a few times to absorb
+/// integer rounding. Returns the best graph found (the one whose
+/// granularity classifies into `band`, or the closest attempt).
+pub fn retarget_granularity(g: &Dag, target: f64, band: GranularityBand) -> Dag {
+    assert!(
+        target.is_finite() && target > 0.0,
+        "target must be positive"
+    );
+    let mut current = g.clone();
+    if current.num_edges() == 0 {
+        return current; // granularity is infinite and immovable
+    }
+    let mut best: Option<(f64, Dag)> = None;
+    for _ in 0..12 {
+        let gran = metrics::granularity(&current);
+        let dist = (gran.ln() - target.ln()).abs();
+        if band.contains(gran) {
+            return current;
+        }
+        match &best {
+            Some((d, _)) if *d <= dist => {}
+            _ => best = Some((dist, current.clone())),
+        }
+        // granularity ∝ 1 / edge-scale, so multiply edges by
+        // gran / target to land on target.
+        let factor = gran / target;
+        let mut b = current.to_builder();
+        b.map_edge_weights(|w| {
+            let scaled = (w as f64 * factor).round();
+            (scaled.max(1.0) as Weight).max(1)
+        });
+        current = b.build().expect("rescaling preserves structure");
+        // If the scale factor rounds to a no-op (all weights already
+        // at the floor), perturb by nudging node-side instead: bail
+        // out — caller keeps the closest attempt.
+        if metrics::granularity(&current) == gran {
+            break;
+        }
+    }
+    let final_gran = metrics::granularity(&current);
+    if band.contains(final_gran) {
+        current
+    } else {
+        match best {
+            Some((d, g_best)) if d < (final_gran.ln() - target.ln()).abs() => g_best,
+            _ => current,
+        }
+    }
+}
+
+/// Samples a node count uniformly from `range` and generates a PDG —
+/// the corpus helper (the paper does not fix a node count; the
+/// reproduction draws 60–110 by default).
+pub fn generate_sized(
+    nodes: std::ops::RangeInclusive<usize>,
+    anchor: usize,
+    weights: WeightRange,
+    band: GranularityBand,
+    rng: &mut impl Rng,
+) -> Dag {
+    let n = rng.gen_range(nodes);
+    generate(
+        &PdgSpec {
+            nodes: n,
+            anchor,
+            weights,
+            band,
+        },
+        rng,
+    )
+}
+
+/// Builds a tiny hand-specified PDG (used in doctests/examples):
+/// weights and edges given explicitly.
+pub fn from_lists(node_weights: &[Weight], edges: &[(u32, u32, Weight)]) -> Dag {
+    let mut b = DagBuilder::with_capacity(node_weights.len(), edges.len());
+    for &w in node_weights {
+        b.add_node(w);
+    }
+    for &(s, d, w) in edges {
+        b.add_edge(dagsched_dag::NodeId(s), dagsched_dag::NodeId(d), w)
+            .expect("explicit edge lists must be well-formed");
+    }
+    b.build().expect("explicit edge lists must be acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_graphs_classify_correctly() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut hits = 0;
+        let mut total = 0;
+        for band in GranularityBand::ALL {
+            for anchor in [2usize, 4] {
+                for weights in [WeightRange::new(20, 100), WeightRange::new(20, 400)] {
+                    let spec = PdgSpec {
+                        nodes: 50,
+                        anchor,
+                        weights,
+                        band,
+                    };
+                    let g = generate(&spec, &mut rng);
+                    total += 1;
+                    let gran = metrics::granularity(&g);
+                    if band.contains(gran) {
+                        hits += 1;
+                    }
+                    // Weight range always holds exactly.
+                    let (lo, hi) = metrics::node_weight_range(&g).unwrap();
+                    assert!(lo >= weights.lo && hi <= weights.hi);
+                    assert_eq!(g.num_nodes(), 50);
+                }
+            }
+        }
+        assert!(
+            hits == total,
+            "granularity targeting missed: {hits}/{total}"
+        );
+    }
+
+    #[test]
+    fn anchor_survives_the_pipeline() {
+        let mut rng = StdRng::seed_from_u64(43);
+        for anchor in 2..=5 {
+            let spec = PdgSpec {
+                nodes: 60,
+                anchor,
+                weights: WeightRange::new(20, 200),
+                band: GranularityBand::Medium,
+            };
+            let g = generate(&spec, &mut rng);
+            assert_eq!(metrics::anchor_out_degree_nonsink(&g), anchor);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = PdgSpec::example();
+        let a = generate(&spec, &mut StdRng::seed_from_u64(9));
+        let b = generate(&spec, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn retarget_moves_granularity_both_ways() {
+        let g = from_lists(&[100, 100, 100, 1], &[(0, 1, 10), (1, 2, 10), (2, 3, 10)]);
+        // Currently G = 10. Move fine:
+        let fine = retarget_granularity(&g, 0.05, GranularityBand::VeryFine);
+        assert!(GranularityBand::VeryFine.contains(metrics::granularity(&fine)));
+        // And back to very coarse:
+        let coarse = retarget_granularity(&fine, 3.0, GranularityBand::VeryCoarse);
+        assert!(GranularityBand::VeryCoarse.contains(metrics::granularity(&coarse)));
+    }
+
+    #[test]
+    fn retarget_handles_edgeless_graphs() {
+        let g = from_lists(&[5, 5], &[]);
+        let out = retarget_granularity(&g, 0.05, GranularityBand::VeryFine);
+        assert_eq!(out, g);
+    }
+
+    #[test]
+    fn generate_sized_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(44);
+        for _ in 0..10 {
+            let g = generate_sized(
+                30..=40,
+                3,
+                WeightRange::new(20, 100),
+                GranularityBand::Coarse,
+                &mut rng,
+            );
+            assert!((30..=40).contains(&g.num_nodes()));
+        }
+    }
+
+    #[test]
+    fn from_lists_builds_exactly() {
+        let g = from_lists(&[1, 2, 3], &[(0, 2, 7)]);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.total_comm(), 7);
+    }
+}

@@ -1,0 +1,229 @@
+//! The paper's graph classification bands (§3).
+
+use rand::Rng;
+
+/// The five granularity bands of §3.1 (half-open intervals, low end
+/// inclusive): `[0, 0.08)`, `[0.08, 0.2)`, `[0.2, 0.8)`, `[0.8, 2.0)`,
+/// `[2.0, ∞)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GranularityBand {
+    /// `G < 0.08` — communication dwarfs computation.
+    VeryFine,
+    /// `0.08 ≤ G < 0.2`.
+    Fine,
+    /// `0.2 ≤ G < 0.8`.
+    Medium,
+    /// `0.8 ≤ G < 2.0`.
+    Coarse,
+    /// `G ≥ 2.0` — the paper's "coarse grained" regime where list
+    /// scheduling is provably within 2× of optimal.
+    VeryCoarse,
+}
+
+impl GranularityBand {
+    /// All bands, finest first (the paper's table row order).
+    pub const ALL: [GranularityBand; 5] = [
+        GranularityBand::VeryFine,
+        GranularityBand::Fine,
+        GranularityBand::Medium,
+        GranularityBand::Coarse,
+        GranularityBand::VeryCoarse,
+    ];
+
+    /// The `[lo, hi)` interval of the band (`hi` may be `∞`).
+    pub fn range(self) -> (f64, f64) {
+        match self {
+            GranularityBand::VeryFine => (0.0, 0.08),
+            GranularityBand::Fine => (0.08, 0.2),
+            GranularityBand::Medium => (0.2, 0.8),
+            GranularityBand::Coarse => (0.8, 2.0),
+            GranularityBand::VeryCoarse => (2.0, f64::INFINITY),
+        }
+    }
+
+    /// True iff granularity `g` falls in this band (`+∞` counts as
+    /// very coarse).
+    pub fn contains(self, g: f64) -> bool {
+        let (lo, hi) = self.range();
+        g >= lo && (g < hi || hi.is_infinite() && g.is_infinite())
+    }
+
+    /// The band containing granularity `g` (`None` for NaN or
+    /// negative values).
+    pub fn classify(g: f64) -> Option<GranularityBand> {
+        if g.is_nan() || g < 0.0 {
+            return None;
+        }
+        Self::ALL.into_iter().find(|b| b.contains(g))
+    }
+
+    /// A generation target inside the band, away from the boundaries
+    /// so integer rounding cannot push the realized granularity out.
+    pub fn sample_target(self, rng: &mut impl Rng) -> f64 {
+        let (lo, hi) = match self {
+            GranularityBand::VeryFine => (0.02, 0.07),
+            GranularityBand::Fine => (0.09, 0.19),
+            GranularityBand::Medium => (0.25, 0.75),
+            GranularityBand::Coarse => (0.9, 1.9),
+            GranularityBand::VeryCoarse => (2.2, 5.0),
+        };
+        rng.gen_range(lo..hi)
+    }
+
+    /// The paper's row label, e.g. `"0.08 < G < 0.2"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            GranularityBand::VeryFine => "G < 0.08",
+            GranularityBand::Fine => "0.08 < G < 0.2",
+            GranularityBand::Medium => "0.2 < G < 0.8",
+            GranularityBand::Coarse => "0.8 < G < 2",
+            GranularityBand::VeryCoarse => "2 < G",
+        }
+    }
+}
+
+/// A node weight range `[lo, hi]` (§3.3). The comparison tables use
+/// `[20, 100]`, `[20, 200]` and `[20, 400]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WeightRange {
+    /// Minimum node weight (inclusive).
+    pub lo: u64,
+    /// Maximum node weight (inclusive).
+    pub hi: u64,
+}
+
+impl WeightRange {
+    /// The paper's three ranges in table order (§3.3 and Tables 6–9).
+    pub const PAPER: [WeightRange; 3] = [
+        WeightRange { lo: 20, hi: 100 },
+        WeightRange { lo: 20, hi: 200 },
+        WeightRange { lo: 20, hi: 400 },
+    ];
+
+    /// Table 1 prints `10–100/200/300` instead (an internal
+    /// inconsistency of the paper); exposed for completeness.
+    pub const TABLE1: [WeightRange; 3] = [
+        WeightRange { lo: 10, hi: 100 },
+        WeightRange { lo: 10, hi: 200 },
+        WeightRange { lo: 10, hi: 300 },
+    ];
+
+    /// Creates a range (`lo ≤ hi`, `lo ≥ 1`).
+    pub fn new(lo: u64, hi: u64) -> Self {
+        assert!(lo >= 1 && lo <= hi, "invalid weight range [{lo}, {hi}]");
+        Self { lo, hi }
+    }
+
+    /// Draws one node weight.
+    pub fn sample(self, rng: &mut impl Rng) -> u64 {
+        rng.gen_range(self.lo..=self.hi)
+    }
+
+    /// True iff `w` lies in the range.
+    pub fn contains(self, w: u64) -> bool {
+        (self.lo..=self.hi).contains(&w)
+    }
+
+    /// Table row label, e.g. `"20 - 100"`.
+    pub fn label(self) -> String {
+        format!("{} - {}", self.lo, self.hi)
+    }
+}
+
+/// The anchor out-degrees of §3.2 / Table 1 (2 through 5).
+pub const PAPER_ANCHORS: [usize; 4] = [2, 3, 4, 5];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bands_partition_the_positive_reals() {
+        for g in [
+            0.0, 0.01, 0.0799, 0.08, 0.15, 0.2, 0.5, 0.8, 1.99, 2.0, 100.0,
+        ] {
+            let hits: Vec<_> = GranularityBand::ALL
+                .into_iter()
+                .filter(|b| b.contains(g))
+                .collect();
+            assert_eq!(hits.len(), 1, "g = {g} hit {hits:?}");
+            assert_eq!(GranularityBand::classify(g), Some(hits[0]));
+        }
+        assert_eq!(GranularityBand::classify(f64::NAN), None);
+        assert_eq!(GranularityBand::classify(-1.0), None);
+        // Infinity is very coarse.
+        assert_eq!(
+            GranularityBand::classify(f64::INFINITY),
+            Some(GranularityBand::VeryCoarse)
+        );
+    }
+
+    #[test]
+    fn boundaries_belong_to_the_upper_band() {
+        assert_eq!(GranularityBand::classify(0.08), Some(GranularityBand::Fine));
+        assert_eq!(
+            GranularityBand::classify(0.2),
+            Some(GranularityBand::Medium)
+        );
+        assert_eq!(
+            GranularityBand::classify(0.8),
+            Some(GranularityBand::Coarse)
+        );
+        assert_eq!(
+            GranularityBand::classify(2.0),
+            Some(GranularityBand::VeryCoarse)
+        );
+    }
+
+    #[test]
+    fn sampled_targets_stay_in_band() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for band in GranularityBand::ALL {
+            for _ in 0..200 {
+                let t = band.sample_target(&mut rng);
+                assert!(band.contains(t), "{band:?} produced {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn weight_range_sampling() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = WeightRange::new(20, 100);
+        let mut lo_seen = u64::MAX;
+        let mut hi_seen = 0;
+        for _ in 0..2000 {
+            let w = r.sample(&mut rng);
+            assert!(r.contains(w));
+            lo_seen = lo_seen.min(w);
+            hi_seen = hi_seen.max(w);
+        }
+        // With 2000 draws we cover the extremes w.h.p.
+        assert_eq!(lo_seen, 20);
+        assert_eq!(hi_seen, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight range")]
+    fn rejects_inverted_range() {
+        WeightRange::new(10, 5);
+    }
+
+    #[test]
+    fn table1_variant_documents_the_papers_inconsistency() {
+        // §3.3 and Tables 6–9 use 20–100/200/400; Table 1 prints
+        // 10–100/200/300. Both are exposed; the study uses PAPER.
+        assert_eq!(WeightRange::TABLE1[0], WeightRange::new(10, 100));
+        assert_eq!(WeightRange::TABLE1[2], WeightRange::new(10, 300));
+        assert_ne!(WeightRange::TABLE1, WeightRange::PAPER);
+    }
+
+    #[test]
+    fn labels_match_paper_rows() {
+        assert_eq!(GranularityBand::VeryFine.label(), "G < 0.08");
+        assert_eq!(WeightRange::PAPER[2].label(), "20 - 400");
+        assert_eq!(PAPER_ANCHORS, [2, 3, 4, 5]);
+    }
+}

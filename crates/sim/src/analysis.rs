@@ -1,0 +1,198 @@
+//! Schedule introspection: where did the time go?
+//!
+//! [`analyze`] decomposes a schedule into the quantities that explain
+//! the paper's tables — how much communication was zeroed by
+//! co-location, how much is actually paid, and how busy the
+//! processors are. The `robustness` example and the `dagsched` CLI
+//! surface these numbers.
+
+use crate::machine::Machine;
+use crate::schedule::Schedule;
+use dagsched_dag::{Dag, Weight};
+
+/// Aggregate facts about one schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// The makespan.
+    pub makespan: Weight,
+    /// Processors used.
+    pub procs: usize,
+    /// Total busy time (sum of task weights — invariant across
+    /// schedules of one graph).
+    pub busy: Weight,
+    /// Total idle processor-time inside the schedule window
+    /// (`makespan × procs − busy`).
+    pub idle: Weight,
+    /// Edges whose endpoints share a processor (zeroed communication).
+    pub local_edges: usize,
+    /// Edges that cross processors.
+    pub cross_edges: usize,
+    /// Communication volume actually paid (sum of `comm_cost` over
+    /// cross edges).
+    pub comm_paid: Weight,
+    /// Communication volume zeroed by co-location (sum of edge
+    /// weights of local edges).
+    pub comm_zeroed: Weight,
+    /// Mean processor utilization (`busy / (makespan × procs)`; 0 for
+    /// empty schedules).
+    pub utilization: f64,
+    /// Per-processor busy time.
+    pub busy_per_proc: Vec<Weight>,
+    /// Total slack across tasks: `start(v) − earliest possible
+    /// arrival(v)` summed — time tasks sat ready but waiting for their
+    /// processor.
+    pub total_wait: Weight,
+}
+
+/// Computes the [`Analysis`] of `s`.
+pub fn analyze(g: &Dag, machine: &dyn Machine, s: &Schedule) -> Analysis {
+    let procs = s.num_procs();
+    let makespan = s.makespan();
+    let busy: Weight = g.node_weights().iter().sum();
+    let mut busy_per_proc = vec![0; procs];
+    for v in g.nodes() {
+        busy_per_proc[s.proc_of(v).index()] += g.node_weight(v);
+    }
+    let (mut local_edges, mut cross_edges) = (0usize, 0usize);
+    let (mut comm_paid, mut comm_zeroed) = (0 as Weight, 0 as Weight);
+    for e in g.edges() {
+        let (ps, pd) = (s.proc_of(e.src), s.proc_of(e.dst));
+        if ps == pd {
+            local_edges += 1;
+            comm_zeroed += e.weight;
+        } else {
+            cross_edges += 1;
+            comm_paid += machine.comm_cost(ps, pd, e.weight);
+        }
+    }
+    let mut total_wait = 0;
+    for v in g.nodes() {
+        let arrival = g
+            .preds(v)
+            .map(|(p, w)| s.finish_of(p) + machine.comm_cost(s.proc_of(p), s.proc_of(v), w))
+            .max()
+            .unwrap_or(0);
+        total_wait += s.start_of(v).saturating_sub(arrival);
+    }
+    let utilization = if makespan == 0 || procs == 0 {
+        0.0
+    } else {
+        busy as f64 / (makespan as f64 * procs as f64)
+    };
+    Analysis {
+        makespan,
+        procs,
+        busy,
+        idle: (makespan * procs as Weight).saturating_sub(busy),
+        local_edges,
+        cross_edges,
+        comm_paid,
+        comm_zeroed,
+        utilization,
+        busy_per_proc,
+        total_wait,
+    }
+}
+
+impl std::fmt::Display for Analysis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "makespan {} on {} proc(s); busy {}, idle {} (utilization {:.1}%)",
+            self.makespan,
+            self.procs,
+            self.busy,
+            self.idle,
+            self.utilization * 100.0
+        )?;
+        write!(
+            f,
+            "edges: {} local (comm {} zeroed), {} cross (comm {} paid); total wait {}",
+            self.local_edges, self.comm_zeroed, self.cross_edges, self.comm_paid, self.total_wait
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Clustering;
+    use crate::machine::Clique;
+    use dagsched_dag::DagBuilder;
+
+    fn sample() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_node(10);
+        let c = b.add_node(20);
+        let d = b.add_node(30);
+        b.add_edge(a, c, 5).unwrap();
+        b.add_edge(a, d, 7).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn serial_schedule_zeroes_everything() {
+        let g = sample();
+        let s = Clustering::serial(3).materialize(&g, &Clique).unwrap();
+        let a = analyze(&g, &Clique, &s);
+        assert_eq!(a.makespan, 60);
+        assert_eq!(a.procs, 1);
+        assert_eq!(a.local_edges, 2);
+        assert_eq!(a.cross_edges, 0);
+        assert_eq!(a.comm_zeroed, 12);
+        assert_eq!(a.comm_paid, 0);
+        assert_eq!(a.idle, 0);
+        assert!((a.utilization - 1.0).abs() < 1e-12);
+        assert_eq!(a.busy_per_proc, vec![60]);
+    }
+
+    #[test]
+    fn parallel_schedule_pays_comm_and_idles() {
+        let g = sample();
+        let s = Clustering::from_assignment(&[0, 0, 1])
+            .materialize(&g, &Clique)
+            .unwrap();
+        let a = analyze(&g, &Clique, &s);
+        // Node 2 starts at 10 + 7 = 17 on p1, ends 47.
+        assert_eq!(a.makespan, 47);
+        assert_eq!(a.cross_edges, 1);
+        assert_eq!(a.comm_paid, 7);
+        assert_eq!(a.comm_zeroed, 5);
+        assert_eq!(a.busy, 60);
+        assert_eq!(a.idle, 47 * 2 - 60);
+        assert_eq!(a.busy_per_proc, vec![30, 30]);
+        // No task waited beyond its data arrival here.
+        assert_eq!(a.total_wait, 0);
+    }
+
+    #[test]
+    fn wait_time_counts_processor_contention() {
+        // Two independent tasks forced onto one processor: the second
+        // waits for the processor, not for data.
+        let mut b = DagBuilder::new();
+        b.add_node(10);
+        b.add_node(10);
+        let g = b.build().unwrap();
+        let s = Clustering::serial(2).materialize(&g, &Clique).unwrap();
+        let a = analyze(&g, &Clique, &s);
+        assert_eq!(a.total_wait, 10);
+    }
+
+    #[test]
+    fn display_renders() {
+        let g = sample();
+        let s = Clustering::serial(3).materialize(&g, &Clique).unwrap();
+        let text = analyze(&g, &Clique, &s).to_string();
+        assert!(text.contains("makespan 60"));
+        assert!(text.contains("zeroed"));
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let g = DagBuilder::new().build().unwrap();
+        let s = crate::schedule::Schedule::new(&g, vec![]);
+        let a = analyze(&g, &Clique, &s);
+        assert_eq!(a.utilization, 0.0);
+        assert_eq!(a.idle, 0);
+    }
+}

@@ -1,0 +1,336 @@
+//! Task clusterings and their materialization into schedules.
+//!
+//! Clustering heuristics (DSC, CLANS, linear clustering) decide a
+//! *partition* of the tasks; turning a partition into a schedule is a
+//! shared, mechanical step: each cluster becomes one processor and
+//! tasks execute in a b-level-priority topological order, starting as
+//! early as data and processor availability allow.
+
+use crate::evaluate::{timed_schedule_by_priority, EvalError};
+use crate::machine::{Machine, ProcId};
+use crate::schedule::Schedule;
+use dagsched_dag::{levels, Dag, NodeId};
+
+/// A partition of the tasks of a [`Dag`] into clusters.
+///
+/// Clusters are created explicitly ([`Clustering::create_cluster`])
+/// and tasks are assigned one by one — mirroring how edge-zeroing
+/// algorithms build their answer. A fully assigned clustering can be
+/// [materialized](Clustering::materialize) into a [`Schedule`].
+///
+/// ```
+/// use dagsched_sim::{Clustering, Clique};
+/// use dagsched_dag::DagBuilder;
+///
+/// let mut b = DagBuilder::new();
+/// let a = b.add_node(10);
+/// let c = b.add_node(20);
+/// b.add_edge(a, c, 100).unwrap();
+/// let g = b.build().unwrap();
+///
+/// // Both tasks together: the heavy edge is zeroed.
+/// let s = Clustering::serial(2).materialize(&g, &Clique).unwrap();
+/// assert_eq!(s.makespan(), 30);
+/// // Apart: the edge weight is paid.
+/// let s = Clustering::singletons(2).materialize(&g, &Clique).unwrap();
+/// assert_eq!(s.makespan(), 130);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    cluster_of: Vec<Option<u32>>,
+    num_clusters: u32,
+}
+
+impl Clustering {
+    /// A clustering of `n` tasks with no clusters and nothing assigned.
+    pub fn new(n: usize) -> Self {
+        Self {
+            cluster_of: vec![None; n],
+            num_clusters: 0,
+        }
+    }
+
+    /// Every task in its own cluster (the fully parallel clustering —
+    /// DSC's starting point).
+    pub fn singletons(n: usize) -> Self {
+        Self {
+            cluster_of: (0..n as u32).map(Some).collect(),
+            num_clusters: n as u32,
+        }
+    }
+
+    /// All tasks in one cluster (the serial clustering).
+    pub fn serial(n: usize) -> Self {
+        Self {
+            cluster_of: vec![Some(0); n],
+            num_clusters: if n == 0 { 0 } else { 1 },
+        }
+    }
+
+    /// Builds from an explicit per-task cluster id vector (ids need
+    /// not be dense).
+    pub fn from_assignment(ids: &[u32]) -> Self {
+        let mut dense: std::collections::HashMap<u32, u32> = Default::default();
+        let mut cluster_of = Vec::with_capacity(ids.len());
+        for &c in ids {
+            let next = dense.len() as u32;
+            cluster_of.push(Some(*dense.entry(c).or_insert(next)));
+        }
+        Self {
+            cluster_of,
+            num_clusters: dense.len() as u32,
+        }
+    }
+
+    /// Creates a fresh empty cluster and returns its id.
+    pub fn create_cluster(&mut self) -> u32 {
+        let id = self.num_clusters;
+        self.num_clusters += 1;
+        id
+    }
+
+    /// Assigns `v` to cluster `c` (re-assignment allowed until
+    /// materialization).
+    pub fn assign(&mut self, v: NodeId, c: u32) {
+        assert!(c < self.num_clusters, "cluster {c} was never created");
+        self.cluster_of[v.index()] = Some(c);
+    }
+
+    /// Cluster of `v`, if assigned.
+    #[inline]
+    pub fn cluster_of(&self, v: NodeId) -> Option<u32> {
+        self.cluster_of[v.index()]
+    }
+
+    /// True when every task has a cluster.
+    pub fn is_complete(&self) -> bool {
+        self.cluster_of.iter().all(Option::is_some)
+    }
+
+    /// Number of *distinct, non-empty* clusters.
+    pub fn num_used_clusters(&self) -> usize {
+        let mut used = std::collections::HashSet::new();
+        for c in self.cluster_of.iter().flatten() {
+            used.insert(*c);
+        }
+        used.len()
+    }
+
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.cluster_of.len()
+    }
+
+    /// True if `u` and `v` share a cluster (false if either is
+    /// unassigned).
+    pub fn same_cluster(&self, u: NodeId, v: NodeId) -> bool {
+        match (self.cluster_of[u.index()], self.cluster_of[v.index()]) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Folds the clustering down to at most `bound` clusters by
+    /// repeatedly merging the two least-loaded (by total task weight)
+    /// clusters — the standard post-pass that adapts an
+    /// unbounded-processor clustering to a bounded machine. Requires a
+    /// complete clustering.
+    pub fn fold_to(&self, g: &Dag, bound: usize) -> Clustering {
+        assert!(bound >= 1, "cannot fold to zero clusters");
+        assert_eq!(self.cluster_of.len(), g.num_nodes());
+        // Gather per-cluster task lists and loads.
+        let mut groups: std::collections::BTreeMap<u32, (u64, Vec<NodeId>)> = Default::default();
+        for (i, c) in self.cluster_of.iter().enumerate() {
+            let c = c.expect("fold_to requires a complete clustering");
+            let v = NodeId(i as u32);
+            let entry = groups.entry(c).or_insert((0, Vec::new()));
+            entry.0 += g.node_weight(v);
+            entry.1.push(v);
+        }
+        let mut merged: Vec<(u64, Vec<NodeId>)> = groups.into_values().collect();
+        while merged.len() > bound {
+            merged.sort_by_key(|(l, _)| *l);
+            let (l0, t0) = merged.remove(0);
+            let (l1, mut t1) = merged.remove(0);
+            let mut tasks = t0;
+            tasks.append(&mut t1);
+            merged.push((l0 + l1, tasks));
+        }
+        let mut out = Clustering::new(g.num_nodes());
+        for (_, tasks) in merged {
+            let c = out.create_cluster();
+            for t in tasks {
+                out.assign(t, c);
+            }
+        }
+        out
+    }
+
+    /// Materializes the clustering into a schedule on `machine`: one
+    /// processor per cluster, tasks ordered by descending
+    /// communication b-level (ties toward smaller index), earliest
+    /// feasible start times.
+    ///
+    /// # Errors
+    /// [`EvalError::BadInput`] if some task is unassigned or the
+    /// machine cannot hold the clusters.
+    pub fn materialize(&self, g: &Dag, machine: &dyn Machine) -> Result<Schedule, EvalError> {
+        if self.cluster_of.len() != g.num_nodes() {
+            return Err(EvalError::BadInput(format!(
+                "clustering covers {} of {} tasks",
+                self.cluster_of.len(),
+                g.num_nodes()
+            )));
+        }
+        let mut assignment = Vec::with_capacity(g.num_nodes());
+        // Densify cluster ids so empty clusters don't count as
+        // processors.
+        let mut dense: std::collections::HashMap<u32, u32> = Default::default();
+        for (i, c) in self.cluster_of.iter().enumerate() {
+            let Some(c) = c else {
+                return Err(EvalError::BadInput(format!("task n{i} is unassigned")));
+            };
+            let next = dense.len() as u32;
+            assignment.push(ProcId(*dense.entry(*c).or_insert(next)));
+        }
+        let priority = levels::blevels_with_comm(g);
+        timed_schedule_by_priority(g, machine, &assignment, &priority)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Clique;
+    use dagsched_dag::DagBuilder;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn fork_join() -> Dag {
+        // 0 -> {1, 2} -> 3; weights 10 each; comm 100 everywhere.
+        let mut b = DagBuilder::new();
+        for _ in 0..4 {
+            b.add_node(10);
+        }
+        for (s, d) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+            b.add_edge(n(s), n(d), 100).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn serial_clustering_matches_serial_time() {
+        let g = fork_join();
+        let s = Clustering::serial(4).materialize(&g, &Clique).unwrap();
+        assert_eq!(s.makespan(), g.serial_time());
+        assert_eq!(s.num_procs(), 1);
+    }
+
+    #[test]
+    fn singleton_clustering_matches_critical_path_with_comm() {
+        let g = fork_join();
+        let s = Clustering::singletons(4).materialize(&g, &Clique).unwrap();
+        assert_eq!(s.makespan(), dagsched_dag::levels::critical_path_len(&g));
+        assert_eq!(s.num_procs(), 4);
+    }
+
+    #[test]
+    fn incremental_building() {
+        let g = fork_join();
+        let mut c = Clustering::new(4);
+        assert!(!c.is_complete());
+        let a = c.create_cluster();
+        let b = c.create_cluster();
+        c.assign(n(0), a);
+        c.assign(n(1), a);
+        c.assign(n(2), b);
+        c.assign(n(3), a);
+        assert!(c.is_complete());
+        assert!(c.same_cluster(n(0), n(1)));
+        assert!(!c.same_cluster(n(1), n(2)));
+        assert_eq!(c.num_used_clusters(), 2);
+        let s = c.materialize(&g, &Clique).unwrap();
+        // Path 0,1,3 local; 2 pays comm both ways:
+        // start(2)=10+100=110, finish=120, arrive at 3: 220;
+        // local chain would allow 3 at 30 but must wait for 2.
+        assert_eq!(s.makespan(), 230);
+    }
+
+    #[test]
+    fn unassigned_task_is_an_error() {
+        let g = fork_join();
+        let mut c = Clustering::new(4);
+        let a = c.create_cluster();
+        for i in 0..3 {
+            c.assign(n(i), a);
+        }
+        assert!(matches!(
+            c.materialize(&g, &Clique),
+            Err(EvalError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn from_assignment_densifies() {
+        let c = Clustering::from_assignment(&[7, 7, 42, 7]);
+        assert_eq!(c.num_used_clusters(), 2);
+        assert!(c.same_cluster(n(0), n(3)));
+        assert!(!c.same_cluster(n(0), n(2)));
+    }
+
+    #[test]
+    fn empty_clusters_do_not_become_processors() {
+        let g = fork_join();
+        let mut c = Clustering::new(4);
+        let _empty = c.create_cluster();
+        let used = c.create_cluster();
+        let _empty2 = c.create_cluster();
+        for i in 0..4 {
+            c.assign(n(i), used);
+        }
+        let s = c.materialize(&g, &Clique).unwrap();
+        assert_eq!(s.num_procs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "never created")]
+    fn assigning_to_unknown_cluster_panics() {
+        let mut c = Clustering::new(2);
+        c.assign(n(0), 3);
+    }
+
+    #[test]
+    fn fold_to_merges_least_loaded_first() {
+        let g = fork_join();
+        // Four singleton clusters with loads 10 each.
+        let c = Clustering::singletons(4);
+        let folded = c.fold_to(&g, 2);
+        assert_eq!(folded.num_used_clusters(), 2);
+        assert!(folded.is_complete());
+        // Folding to 1 is serialization.
+        let serial = c.fold_to(&g, 1);
+        assert_eq!(serial.num_used_clusters(), 1);
+        let s = serial.materialize(&g, &Clique).unwrap();
+        assert_eq!(s.makespan(), g.serial_time());
+        // A bound above the cluster count is a no-op on counts.
+        assert_eq!(c.fold_to(&g, 10).num_used_clusters(), 4);
+    }
+
+    #[test]
+    fn fold_to_respects_load_balance() {
+        // Clusters of load 100, 1, 1: folding to 2 must merge the two
+        // light ones, keeping the heavy one alone.
+        let mut b = DagBuilder::new();
+        let heavy = b.add_node(100);
+        let l1 = b.add_node(1);
+        let l2 = b.add_node(1);
+        let g = b.build().unwrap();
+        let c = Clustering::from_assignment(&[0, 1, 2]);
+        let folded = c.fold_to(&g, 2);
+        assert!(!folded.same_cluster(heavy, l1));
+        assert!(!folded.same_cluster(heavy, l2));
+        assert!(folded.same_cluster(l1, l2));
+    }
+}

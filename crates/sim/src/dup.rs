@@ -1,0 +1,300 @@
+//! Schedules **with task duplication** — the model extension behind
+//! the paper's references [2, 12, 16], excluded from its five-way
+//! comparison by assumption 3 ("duplication adds additional
+//! complexity") and provided here as the natural follow-up.
+//!
+//! A [`DupSchedule`] may run several *copies* of one task on different
+//! processors; a consumer is satisfied by whichever copy of each
+//! predecessor delivers first. Everything else matches the base model:
+//! free same-processor communication, no processor overlap,
+//! makespan objective. Speedup still divides the (unduplicated) serial
+//! time by the makespan — duplication burns processor-time to buy
+//! schedule-time, which shows up in the efficiency metric.
+
+use crate::machine::{Machine, ProcId};
+use crate::schedule::Placement;
+use dagsched_dag::{Dag, NodeId, Weight};
+use std::fmt;
+
+/// A schedule in which each task has one *or more* placements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DupSchedule {
+    copies: Vec<Vec<Placement>>,
+    num_procs: usize,
+    makespan: Weight,
+}
+
+/// A violated constraint of a duplication schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DupViolation {
+    /// A task has no copy at all.
+    Unplaced(NodeId),
+    /// Two copies overlap on one processor.
+    Overlap {
+        /// The processor where the overlap happens.
+        proc: ProcId,
+    },
+    /// A copy starts before every copy of some predecessor can deliver.
+    Precedence {
+        /// The predecessor task.
+        pred: NodeId,
+        /// The violating task.
+        task: NodeId,
+        /// Index of the violating copy.
+        copy: usize,
+    },
+    /// The machine cannot hold that many processors.
+    TooManyProcs {
+        /// Processors used.
+        used: usize,
+        /// Machine bound.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for DupViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DupViolation::Unplaced(v) => write!(f, "task {v} has no copy"),
+            DupViolation::Overlap { proc } => write!(f, "copies overlap on {proc}"),
+            DupViolation::Precedence { pred, task, copy } => {
+                write!(
+                    f,
+                    "copy {copy} of {task} starts before any copy of {pred} delivers"
+                )
+            }
+            DupViolation::TooManyProcs { used, bound } => {
+                write!(f, "{used} processors exceed the bound {bound}")
+            }
+        }
+    }
+}
+
+impl DupSchedule {
+    /// Builds from raw per-task copy lists `(proc, start)`; finish
+    /// times come from the task weights. Processor ids are densified
+    /// order-preservingly.
+    pub fn new(g: &Dag, raw: Vec<Vec<(ProcId, Weight)>>) -> DupSchedule {
+        assert_eq!(raw.len(), g.num_nodes(), "one copy list per task");
+        let mut ids: Vec<u32> = raw.iter().flatten().map(|(p, _)| p.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let dense = |p: u32| ids.binary_search(&p).expect("collected") as u32;
+        let mut makespan = 0;
+        let copies: Vec<Vec<Placement>> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(v, list)| {
+                let w = g.node_weight(NodeId(v as u32));
+                list.into_iter()
+                    .map(|(p, start)| {
+                        let finish = start + w;
+                        makespan = makespan.max(finish);
+                        Placement {
+                            proc: ProcId(dense(p.0)),
+                            start,
+                            finish,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        DupSchedule {
+            copies,
+            num_procs: ids.len(),
+            makespan,
+        }
+    }
+
+    /// All copies of `v`.
+    pub fn copies_of(&self, v: NodeId) -> &[Placement] {
+        &self.copies[v.index()]
+    }
+
+    /// Number of processors used.
+    pub fn num_procs(&self) -> usize {
+        self.num_procs
+    }
+
+    /// Latest finish over all copies.
+    pub fn makespan(&self) -> Weight {
+        self.makespan
+    }
+
+    /// Total copies across tasks (≥ the task count; the excess is the
+    /// duplication volume).
+    pub fn total_copies(&self) -> usize {
+        self.copies.iter().map(Vec::len).sum()
+    }
+
+    /// Earliest time any copy of `v` can deliver to processor `p`.
+    pub fn earliest_delivery(
+        &self,
+        machine: &dyn Machine,
+        v: NodeId,
+        edge_weight: Weight,
+        p: ProcId,
+    ) -> Option<Weight> {
+        self.copies[v.index()]
+            .iter()
+            .map(|c| c.finish + machine.comm_cost(c.proc, p, edge_weight))
+            .min()
+    }
+
+    /// Validates every constraint; empty = valid.
+    pub fn check(&self, g: &Dag, machine: &dyn Machine) -> Vec<DupViolation> {
+        let mut out = Vec::new();
+        if let Some(bound) = machine.max_procs() {
+            if self.num_procs > bound {
+                out.push(DupViolation::TooManyProcs {
+                    used: self.num_procs,
+                    bound,
+                });
+            }
+        }
+        // Overlap per processor.
+        let mut per_proc: Vec<Vec<(Weight, Weight)>> = vec![Vec::new(); self.num_procs];
+        for (v, list) in self.copies.iter().enumerate() {
+            if list.is_empty() {
+                out.push(DupViolation::Unplaced(NodeId(v as u32)));
+            }
+            for c in list {
+                per_proc[c.proc.index()].push((c.start, c.finish));
+            }
+        }
+        for (p, intervals) in per_proc.iter_mut().enumerate() {
+            intervals.sort_unstable();
+            if intervals.windows(2).any(|w| w[0].1 > w[1].0) {
+                out.push(DupViolation::Overlap {
+                    proc: ProcId(p as u32),
+                });
+            }
+        }
+        // Precedence: every copy needs every predecessor delivered.
+        for v in g.nodes() {
+            for (ci, c) in self.copies[v.index()].iter().enumerate() {
+                for (pred, w) in g.preds(v) {
+                    let ok = self
+                        .earliest_delivery(machine, pred, w, c.proc)
+                        .is_some_and(|t| t <= c.start);
+                    if !ok {
+                        out.push(DupViolation::Precedence {
+                            pred,
+                            task: v,
+                            copy: ci,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{BoundedClique, Clique};
+    use dagsched_dag::DagBuilder;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    /// src(5) feeding two tasks (10 each) over comm-100 edges.
+    fn fan_out() -> Dag {
+        let mut b = DagBuilder::new();
+        let s = b.add_node(5);
+        let a = b.add_node(10);
+        let c = b.add_node(10);
+        b.add_edge(s, a, 100).unwrap();
+        b.add_edge(s, c, 100).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn duplication_beats_the_single_copy_optimum() {
+        let g = fan_out();
+        // Without duplication either the children serialize (25) or
+        // one pays comm (105). With the source duplicated, both
+        // children start at 5: makespan 15.
+        let s = DupSchedule::new(
+            &g,
+            vec![
+                vec![(p(0), 0), (p(1), 0)], // both procs run the source
+                vec![(p(0), 5)],
+                vec![(p(1), 5)],
+            ],
+        );
+        assert!(s.check(&g, &Clique).is_empty());
+        assert_eq!(s.makespan(), 15);
+        assert_eq!(s.total_copies(), 4);
+        assert_eq!(s.num_procs(), 2);
+    }
+
+    #[test]
+    fn detects_missing_copy() {
+        let g = fan_out();
+        let s = DupSchedule::new(&g, vec![vec![(p(0), 0)], vec![(p(0), 5)], vec![]]);
+        let v = s.check(&g, &Clique);
+        assert!(v.contains(&DupViolation::Unplaced(n(2))));
+    }
+
+    #[test]
+    fn detects_overlapping_copies() {
+        let g = fan_out();
+        let s = DupSchedule::new(&g, vec![vec![(p(0), 0)], vec![(p(0), 3)], vec![(p(0), 5)]]);
+        let v = s.check(&g, &Clique);
+        assert!(v.iter().any(|x| matches!(x, DupViolation::Overlap { .. })));
+    }
+
+    #[test]
+    fn precedence_satisfied_by_the_nearest_copy() {
+        let g = fan_out();
+        // Child on p1 at start 5 is only legal because p1 has its own
+        // copy of the source; the p0 copy alone would deliver at 105.
+        let s = DupSchedule::new(
+            &g,
+            vec![vec![(p(0), 0), (p(1), 0)], vec![(p(0), 5)], vec![(p(1), 5)]],
+        );
+        assert!(s.check(&g, &Clique).is_empty());
+        // Remove the p1 copy: now the p1 child is premature.
+        let bad = DupSchedule::new(&g, vec![vec![(p(0), 0)], vec![(p(0), 5)], vec![(p(1), 5)]]);
+        let v = bad.check(&g, &Clique);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, DupViolation::Precedence { task, .. } if *task == n(2))));
+    }
+
+    #[test]
+    fn earliest_delivery_picks_the_best_copy() {
+        let g = fan_out();
+        let s = DupSchedule::new(
+            &g,
+            vec![
+                vec![(p(0), 0), (p(1), 20)],
+                vec![(p(0), 5)],
+                vec![(p(1), 120)],
+            ],
+        );
+        // To p0: local copy finishes at 5.
+        assert_eq!(s.earliest_delivery(&Clique, n(0), 100, p(0)), Some(5));
+        // To p1: local (late) copy finishes at 25 beats 5 + 100.
+        assert_eq!(s.earliest_delivery(&Clique, n(0), 100, p(1)), Some(25));
+    }
+
+    #[test]
+    fn processor_bound_checked() {
+        let g = fan_out();
+        let s = DupSchedule::new(
+            &g,
+            vec![vec![(p(0), 0), (p(1), 0)], vec![(p(0), 5)], vec![(p(1), 5)]],
+        );
+        let v = s.check(&g, &BoundedClique::new(1));
+        assert!(v.contains(&DupViolation::TooManyProcs { used: 2, bound: 1 }));
+    }
+}

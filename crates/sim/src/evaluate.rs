@@ -1,0 +1,336 @@
+//! Timing engine: turns *decisions* (an assignment of tasks to
+//! processors plus per-processor execution orders) into a concrete
+//! [`Schedule`] with earliest-possible start times under the
+//! communication model.
+//!
+//! Every clustering heuristic (CLANS, DSC, linear clustering) and the
+//! comm-oblivious HU reuse this back end: they decide *where* and in
+//! *what order*, the engine derives *when*.
+
+use crate::machine::{Machine, ProcId};
+use crate::schedule::Schedule;
+use dagsched_dag::{Dag, NodeId, Weight};
+use std::fmt;
+
+/// Errors from the timing engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The per-processor orders and the DAG precedences contradict
+    /// each other (e.g. a processor is told to run a task before one
+    /// of its predecessors that sits later on the same processor).
+    Deadlock {
+        /// A task that could never become ready.
+        task: NodeId,
+    },
+    /// The inputs are malformed (lengths, duplicate tasks, tasks
+    /// ordered on the wrong processor, processor count exceeding the
+    /// machine's bound).
+    BadInput(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Deadlock { task } => {
+                write!(f, "execution order deadlocks: task {task} can never start")
+            }
+            EvalError::BadInput(msg) => write!(f, "bad scheduling input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Computes the earliest-start schedule for a fixed `assignment`
+/// (per-task processor) and fixed per-processor execution `orders`.
+///
+/// A task starts at the maximum of (a) the finish of the previous task
+/// on its processor and (b) the *data-ready time*
+/// `max over preds (finish(pred) + comm_cost)` — communication
+/// overlaps computation and multicasts do not serialize (assumption 4
+/// of the paper).
+pub fn timed_schedule(
+    g: &Dag,
+    machine: &dyn Machine,
+    assignment: &[ProcId],
+    orders: &[Vec<NodeId>],
+) -> Result<Schedule, EvalError> {
+    let n = g.num_nodes();
+    if assignment.len() != n {
+        return Err(EvalError::BadInput(format!(
+            "assignment covers {} of {} tasks",
+            assignment.len(),
+            n
+        )));
+    }
+    if let Some(maxp) = machine.max_procs() {
+        if orders.len() > maxp {
+            return Err(EvalError::BadInput(format!(
+                "{} processors exceed the machine bound of {maxp}",
+                orders.len()
+            )));
+        }
+    }
+    // Each task appears exactly once, on the processor it is assigned to.
+    let mut seen = vec![false; n];
+    for (p, tasks) in orders.iter().enumerate() {
+        for &t in tasks {
+            if t.index() >= n {
+                return Err(EvalError::BadInput(format!("unknown task {t}")));
+            }
+            if seen[t.index()] {
+                return Err(EvalError::BadInput(format!("task {t} ordered twice")));
+            }
+            seen[t.index()] = true;
+            if assignment[t.index()].index() != p {
+                return Err(EvalError::BadInput(format!(
+                    "task {t} ordered on processor {p} but assigned to {}",
+                    assignment[t.index()]
+                )));
+            }
+        }
+    }
+    if let Some(missing) = seen.iter().position(|s| !s) {
+        return Err(EvalError::BadInput(format!(
+            "task n{missing} missing from the execution orders"
+        )));
+    }
+
+    let mut finish: Vec<Option<Weight>> = vec![None; n];
+    let mut start: Vec<Weight> = vec![0; n];
+    let mut proc_avail: Vec<Weight> = vec![0; orders.len()];
+    let mut next_idx: Vec<usize> = vec![0; orders.len()];
+    let mut pending_preds: Vec<u32> = (0..n)
+        .map(|v| g.in_degree(NodeId(v as u32)) as u32)
+        .collect();
+
+    let mut remaining = n;
+    loop {
+        let mut progressed = false;
+        for p in 0..orders.len() {
+            // A processor may run several consecutive ready tasks per
+            // sweep.
+            while let Some(&t) = orders[p].get(next_idx[p]) {
+                if pending_preds[t.index()] > 0 {
+                    break;
+                }
+                let data_ready = g
+                    .preds(t)
+                    .map(|(pr, w)| {
+                        finish[pr.index()].expect("pred finished")
+                            + machine.comm_cost(assignment[pr.index()], ProcId(p as u32), w)
+                    })
+                    .max()
+                    .unwrap_or(0);
+                let st = data_ready.max(proc_avail[p]);
+                start[t.index()] = st;
+                let fin = st + g.node_weight(t);
+                finish[t.index()] = Some(fin);
+                proc_avail[p] = fin;
+                next_idx[p] += 1;
+                remaining -= 1;
+                progressed = true;
+                for (s, _) in g.succs(t) {
+                    pending_preds[s.index()] -= 1;
+                }
+            }
+        }
+        if remaining == 0 {
+            break;
+        }
+        if !progressed {
+            let stuck = (0..orders.len())
+                .find_map(|p| orders[p].get(next_idx[p]).copied())
+                .expect("some processor is stuck");
+            return Err(EvalError::Deadlock { task: stuck });
+        }
+    }
+
+    let raw: Vec<(ProcId, Weight)> = (0..n).map(|v| (assignment[v], start[v])).collect();
+    Ok(Schedule::new(g, raw))
+}
+
+/// Convenience wrapper: derives deadlock-free per-processor orders
+/// from a single global priority (higher runs earlier among ready
+/// tasks, via a priority topological order) and calls
+/// [`timed_schedule`].
+pub fn timed_schedule_by_priority(
+    g: &Dag,
+    machine: &dyn Machine,
+    assignment: &[ProcId],
+    priority: &[Weight],
+) -> Result<Schedule, EvalError> {
+    let global = dagsched_dag::topo::priority_topo_order(g, priority);
+    let num_procs = assignment.iter().map(|p| p.index() + 1).max().unwrap_or(0);
+    let mut orders: Vec<Vec<NodeId>> = vec![Vec::new(); num_procs];
+    for &v in &global {
+        orders[assignment[v.index()].index()].push(v);
+    }
+    timed_schedule(g, machine, assignment, &orders)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{BoundedClique, Clique};
+    use dagsched_dag::DagBuilder;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    /// 0 -(5)-> 1, 0 -(2)-> 2; weights 10, 20, 30.
+    fn fork() -> Dag {
+        let mut b = DagBuilder::new();
+        for w in [10u64, 20, 30] {
+            b.add_node(w);
+        }
+        b.add_edge(n(0), n(1), 5).unwrap();
+        b.add_edge(n(0), n(2), 2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn same_processor_is_comm_free() {
+        let g = fork();
+        let s =
+            timed_schedule(&g, &Clique, &[p(0), p(0), p(0)], &[vec![n(0), n(1), n(2)]]).unwrap();
+        assert_eq!(s.start_of(n(1)), 10);
+        assert_eq!(s.start_of(n(2)), 30);
+        assert_eq!(s.makespan(), 60);
+    }
+
+    #[test]
+    fn cross_processor_pays_edge_weight() {
+        let g = fork();
+        let s = timed_schedule(
+            &g,
+            &Clique,
+            &[p(0), p(0), p(1)],
+            &[vec![n(0), n(1)], vec![n(2)]],
+        )
+        .unwrap();
+        assert_eq!(s.start_of(n(1)), 10); // local
+        assert_eq!(s.start_of(n(2)), 12); // 10 + comm 2
+        assert_eq!(s.makespan(), 42);
+    }
+
+    #[test]
+    fn processor_serializes_its_tasks() {
+        let g = fork();
+        // Run 2 before 1 on the same processor as 0.
+        let s =
+            timed_schedule(&g, &Clique, &[p(0), p(0), p(0)], &[vec![n(0), n(2), n(1)]]).unwrap();
+        assert_eq!(s.start_of(n(2)), 10);
+        assert_eq!(s.start_of(n(1)), 40);
+        assert_eq!(s.makespan(), 60);
+    }
+
+    #[test]
+    fn data_ready_and_proc_avail_interact() {
+        // Two chains converging on one processor: 0->2 (comm 100),
+        // 1 local. start(2) = max(arrival, proc free).
+        let mut b = DagBuilder::new();
+        for w in [10u64, 50, 5] {
+            b.add_node(w);
+        }
+        b.add_edge(n(0), n(2), 100).unwrap();
+        let g = b.build().unwrap();
+        let s = timed_schedule(
+            &g,
+            &Clique,
+            &[p(0), p(1), p(1)],
+            &[vec![n(0)], vec![n(1), n(2)]],
+        )
+        .unwrap();
+        // arrival of 0's data at P1: 10 + 100 = 110 > finish(1) = 50.
+        assert_eq!(s.start_of(n(2)), 110);
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        // Processor order contradicts precedence: run 1 before 0 on
+        // the same processor.
+        let g = fork();
+        let e = timed_schedule(&g, &Clique, &[p(0), p(0), p(0)], &[vec![n(1), n(0), n(2)]])
+            .unwrap_err();
+        assert_eq!(e, EvalError::Deadlock { task: n(1) });
+    }
+
+    #[test]
+    fn cross_processor_wait_is_not_deadlock() {
+        // P0: [0], P1: [1, 2] where 2 depends on 0 — P1 waits, fine.
+        let g = fork();
+        let s = timed_schedule(
+            &g,
+            &Clique,
+            &[p(0), p(1), p(1)],
+            &[vec![n(0)], vec![n(2), n(1)]],
+        )
+        .unwrap();
+        assert_eq!(s.start_of(n(2)), 12);
+        assert_eq!(s.start_of(n(1)), 42);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        let g = fork();
+        // Task ordered twice.
+        assert!(matches!(
+            timed_schedule(&g, &Clique, &[p(0), p(0), p(0)], &[vec![n(0), n(1), n(1)]]),
+            Err(EvalError::BadInput(_))
+        ));
+        // Task missing.
+        assert!(matches!(
+            timed_schedule(&g, &Clique, &[p(0), p(0), p(0)], &[vec![n(0), n(1)]]),
+            Err(EvalError::BadInput(_))
+        ));
+        // Ordered on the wrong processor.
+        assert!(matches!(
+            timed_schedule(
+                &g,
+                &Clique,
+                &[p(0), p(0), p(1)],
+                &[vec![n(0), n(1), n(2)], vec![]]
+            ),
+            Err(EvalError::BadInput(_))
+        ));
+        // Assignment length mismatch.
+        assert!(matches!(
+            timed_schedule(&g, &Clique, &[p(0)], &[vec![n(0), n(1), n(2)]]),
+            Err(EvalError::BadInput(_))
+        ));
+        // Too many processors for a bounded machine.
+        assert!(matches!(
+            timed_schedule(
+                &g,
+                &BoundedClique::new(1),
+                &[p(0), p(1), p(0)],
+                &[vec![n(0), n(2)], vec![n(1)]]
+            ),
+            Err(EvalError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn priority_wrapper_matches_manual_orders() {
+        let g = fork();
+        let assignment = [p(0), p(1), p(0)];
+        // Priorities: 2 before 1 (both ready after 0).
+        let s = timed_schedule_by_priority(&g, &Clique, &assignment, &[9, 1, 5]).unwrap();
+        let manual =
+            timed_schedule(&g, &Clique, &assignment, &[vec![n(0), n(2)], vec![n(1)]]).unwrap();
+        assert_eq!(s, manual);
+    }
+
+    #[test]
+    fn empty_graph_schedules_trivially() {
+        let g = DagBuilder::new().build().unwrap();
+        let s = timed_schedule(&g, &Clique, &[], &[]).unwrap();
+        assert_eq!(s.makespan(), 0);
+    }
+}

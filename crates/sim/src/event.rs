@@ -1,0 +1,423 @@
+//! A discrete-event execution simulator.
+//!
+//! Given a schedule's *decisions* (processor assignment and per-
+//! processor task order), the simulator actually executes the program:
+//! processors pick up their next task as soon as its input messages
+//! have arrived, messages travel for `comm_cost` time units, and
+//! computation overlaps communication. It serves two purposes:
+//!
+//! 1. **cross-check** — with the nominal task weights, the simulated
+//!    makespan must equal the analytic one from [`crate::evaluate`]
+//!    (tested here and in the property suite);
+//! 2. **robustness experiments** — actual task runtimes can be
+//!    perturbed to ask how brittle each heuristic's schedule is when
+//!    estimates are off (an extension the paper's §5 calls for when it
+//!    asks for DAGs "generated from real serial programs").
+
+use crate::machine::{Machine, ProcId};
+use crate::schedule::Schedule;
+use dagsched_dag::{Dag, NodeId, Weight};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of simulating one execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimReport {
+    /// Observed start time per task.
+    pub start: Vec<Weight>,
+    /// Observed finish time per task.
+    pub finish: Vec<Weight>,
+    /// Observed makespan.
+    pub makespan: Weight,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// A predecessor message for `task` has arrived.
+    Message { task: NodeId },
+    /// The processor finished its running task.
+    Finish { proc: ProcId },
+}
+
+/// Simulates the execution of `schedule`'s decisions on `machine`.
+///
+/// `actual_weights`, when given, replaces the nominal task weights
+/// (same length as the graph; the *assignment and order* still come
+/// from the schedule, as they would in a real run where the schedule
+/// was fixed offline).
+///
+/// ```
+/// use dagsched_sim::{event, Clustering, Clique};
+/// let g = dagsched_gen::families::fork_join(3, 10, 5);
+/// let s = Clustering::serial(g.num_nodes()).materialize(&g, &Clique).unwrap();
+/// // With nominal weights the simulator agrees with the analytic times…
+/// assert_eq!(event::simulate(&g, &Clique, &s, None).makespan, s.makespan());
+/// // …and with doubled runtimes the frozen schedule takes twice as long.
+/// let doubled: Vec<u64> = g.node_weights().iter().map(|w| w * 2).collect();
+/// assert_eq!(event::simulate(&g, &Clique, &s, Some(&doubled)).makespan, 2 * s.makespan());
+/// ```
+pub fn simulate(
+    g: &Dag,
+    machine: &dyn Machine,
+    schedule: &Schedule,
+    actual_weights: Option<&[Weight]>,
+) -> SimReport {
+    let n = g.num_nodes();
+    assert_eq!(schedule.num_tasks(), n, "schedule must cover the graph");
+    if let Some(w) = actual_weights {
+        assert_eq!(w.len(), n, "one actual weight per task");
+    }
+    let weight = |v: NodeId| actual_weights.map_or_else(|| g.node_weight(v), |w| w[v.index()]);
+
+    let num_procs = schedule.num_procs();
+    let mut next_idx = vec![0usize; num_procs];
+    let mut busy = vec![false; num_procs];
+    let mut running: Vec<Option<NodeId>> = vec![None; num_procs];
+    let mut arrived = vec![0u32; n];
+    let need: Vec<u32> = (0..n)
+        .map(|v| g.in_degree(NodeId(v as u32)) as u32)
+        .collect();
+    let mut start = vec![0 as Weight; n];
+    let mut finish = vec![0 as Weight; n];
+    let mut done = vec![false; n];
+
+    let mut queue: BinaryHeap<Reverse<(Weight, Event)>> = BinaryHeap::new();
+
+    // Dispatch helper inlined as a closure is awkward with borrows;
+    // use a small state machine in the loop instead.
+    let mut completed = 0usize;
+
+    // Seed: at time 0 every processor tries to start its first task.
+    let mut dispatch_now: Vec<ProcId> = (0..num_procs as u32).map(ProcId).collect();
+    let mut now: Weight = 0;
+
+    loop {
+        // Dispatch every processor that may be able to start a task at
+        // the current time.
+        while let Some(p) = dispatch_now.pop() {
+            if busy[p.index()] {
+                continue;
+            }
+            let Some(&t) = schedule.tasks_on(p).get(next_idx[p.index()]) else {
+                continue;
+            };
+            if arrived[t.index()] < need[t.index()] {
+                continue;
+            }
+            busy[p.index()] = true;
+            running[p.index()] = Some(t);
+            next_idx[p.index()] += 1;
+            start[t.index()] = now;
+            let fin = now + weight(t);
+            queue.push(Reverse((fin, Event::Finish { proc: p })));
+        }
+
+        let Some(Reverse((time, ev))) = queue.pop() else {
+            break;
+        };
+        debug_assert!(time >= now, "time must not run backwards");
+        now = time;
+        match ev {
+            Event::Message { task } => {
+                arrived[task.index()] += 1;
+                dispatch_now.push(schedule.proc_of(task));
+            }
+            Event::Finish { proc } => {
+                let t = running[proc.index()].take().expect("a task was running");
+                busy[proc.index()] = false;
+                finish[t.index()] = now;
+                done[t.index()] = true;
+                completed += 1;
+                for (s, w) in g.succs(t) {
+                    let arrive = now + machine.comm_cost(proc, schedule.proc_of(s), w);
+                    queue.push(Reverse((arrive, Event::Message { task: s })));
+                }
+                dispatch_now.push(proc);
+            }
+        }
+    }
+
+    assert_eq!(
+        completed, n,
+        "simulation stalled: the schedule's orders deadlock against the DAG"
+    );
+    let makespan = finish.iter().copied().max().unwrap_or(0);
+    SimReport {
+        start,
+        finish,
+        makespan,
+    }
+}
+
+/// Simulates the schedule under **send-port contention**, relaxing
+/// the paper's assumption 4 (which lets a task multicast all its
+/// messages simultaneously): here each processor owns a single send
+/// port, outgoing messages queue on it in (finish time, successor
+/// priority) order, and each occupies the port for its full
+/// communication latency. Local (same-processor) hand-offs stay free.
+///
+/// The *decisions* (assignment + per-processor order) still come from
+/// `schedule`; only the realized times change, so this measures how
+/// much each heuristic's schedule depends on the free-multicast
+/// idealization.
+pub fn simulate_with_send_contention(
+    g: &Dag,
+    machine: &dyn Machine,
+    schedule: &Schedule,
+    actual_weights: Option<&[Weight]>,
+) -> SimReport {
+    let n = g.num_nodes();
+    assert_eq!(schedule.num_tasks(), n, "schedule must cover the graph");
+    if let Some(w) = actual_weights {
+        assert_eq!(w.len(), n, "one actual weight per task");
+    }
+    let weight = |v: NodeId| actual_weights.map_or_else(|| g.node_weight(v), |w| w[v.index()]);
+
+    let num_procs = schedule.num_procs();
+    let mut next_idx = vec![0usize; num_procs];
+    let mut busy = vec![false; num_procs];
+    let mut running: Vec<Option<NodeId>> = vec![None; num_procs];
+    let mut port_free = vec![0 as Weight; num_procs];
+    let mut arrived = vec![0u32; n];
+    let need: Vec<u32> = (0..n)
+        .map(|v| g.in_degree(NodeId(v as u32)) as u32)
+        .collect();
+    let mut start = vec![0 as Weight; n];
+    let mut finish = vec![0 as Weight; n];
+    let mut completed = 0usize;
+
+    let mut queue: BinaryHeap<Reverse<(Weight, Event)>> = BinaryHeap::new();
+    let mut dispatch_now: Vec<ProcId> = (0..num_procs as u32).map(ProcId).collect();
+    let mut now: Weight = 0;
+
+    loop {
+        while let Some(p) = dispatch_now.pop() {
+            if busy[p.index()] {
+                continue;
+            }
+            let Some(&t) = schedule.tasks_on(p).get(next_idx[p.index()]) else {
+                continue;
+            };
+            if arrived[t.index()] < need[t.index()] {
+                continue;
+            }
+            busy[p.index()] = true;
+            running[p.index()] = Some(t);
+            next_idx[p.index()] += 1;
+            start[t.index()] = now;
+            queue.push(Reverse((now + weight(t), Event::Finish { proc: p })));
+        }
+
+        let Some(Reverse((time, ev))) = queue.pop() else {
+            break;
+        };
+        now = time;
+        match ev {
+            Event::Message { task } => {
+                arrived[task.index()] += 1;
+                dispatch_now.push(schedule.proc_of(task));
+            }
+            Event::Finish { proc } => {
+                let t = running[proc.index()].take().expect("a task was running");
+                busy[proc.index()] = false;
+                finish[t.index()] = now;
+                completed += 1;
+                // Serialize outgoing remote messages on the send port,
+                // most urgent successor (earliest scheduled start)
+                // first; local deliveries bypass the port.
+                let mut sends: Vec<(Weight, NodeId, Weight)> = Vec::new();
+                for (s, w) in g.succs(t) {
+                    let dest = schedule.proc_of(s);
+                    let latency = machine.comm_cost(proc, dest, w);
+                    if latency == 0 {
+                        queue.push(Reverse((now, Event::Message { task: s })));
+                    } else {
+                        sends.push((schedule.start_of(s), s, latency));
+                    }
+                }
+                sends.sort_unstable();
+                let mut port = port_free[proc.index()].max(now);
+                for (_, s, latency) in sends {
+                    port += latency;
+                    queue.push(Reverse((port, Event::Message { task: s })));
+                }
+                port_free[proc.index()] = port;
+                dispatch_now.push(proc);
+            }
+        }
+    }
+
+    assert_eq!(
+        completed, n,
+        "simulation stalled: orders deadlock against the DAG"
+    );
+    let makespan = finish.iter().copied().max().unwrap_or(0);
+    SimReport {
+        start,
+        finish,
+        makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Clustering;
+    use crate::machine::Clique;
+    use dagsched_dag::DagBuilder;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn sample() -> Dag {
+        let mut b = DagBuilder::new();
+        for w in [10u64, 20, 30, 40, 50] {
+            b.add_node(w);
+        }
+        for (s, d, c) in [(0u32, 1, 4u64), (0, 2, 3), (2, 3, 5), (1, 4, 4), (3, 4, 6)] {
+            b.add_edge(n(s), n(d), c).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matches_analytic_times_serial() {
+        let g = sample();
+        let s = Clustering::serial(5).materialize(&g, &Clique).unwrap();
+        let r = simulate(&g, &Clique, &s, None);
+        assert_eq!(r.makespan, s.makespan());
+        for v in g.nodes() {
+            assert_eq!(r.start[v.index()], s.start_of(v));
+            assert_eq!(r.finish[v.index()], s.finish_of(v));
+        }
+    }
+
+    #[test]
+    fn matches_analytic_times_parallel() {
+        let g = sample();
+        for clustering in [
+            Clustering::singletons(5),
+            Clustering::from_assignment(&[0, 1, 0, 0, 0]),
+            Clustering::from_assignment(&[0, 1, 2, 2, 1]),
+        ] {
+            let s = clustering.materialize(&g, &Clique).unwrap();
+            let r = simulate(&g, &Clique, &s, None);
+            assert_eq!(r.makespan, s.makespan());
+            for v in g.nodes() {
+                assert_eq!(r.start[v.index()], s.start_of(v), "start of {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn perturbed_weights_shift_the_makespan() {
+        let g = sample();
+        let s = Clustering::serial(5).materialize(&g, &Clique).unwrap();
+        // Everything takes twice as long.
+        let doubled: Vec<u64> = g.node_weights().iter().map(|w| w * 2).collect();
+        let r = simulate(&g, &Clique, &s, Some(&doubled));
+        assert_eq!(r.makespan, 2 * g.serial_time());
+        // A zero-cost run finishes immediately.
+        let zeros = vec![0u64; 5];
+        let r = simulate(&g, &Clique, &s, Some(&zeros));
+        assert_eq!(r.makespan, 0);
+    }
+
+    #[test]
+    fn perturbation_respects_fixed_decisions() {
+        // Slowing down an off-critical-path task can stall a
+        // cross-processor successor — the simulator must show that.
+        let g = sample();
+        let s = Clustering::from_assignment(&[0, 1, 0, 0, 0])
+            .materialize(&g, &Clique)
+            .unwrap();
+        let mut w: Vec<u64> = g.node_weights().to_vec();
+        w[1] = 1000; // node 1 feeds node 4 across processors
+        let r = simulate(&g, &Clique, &s, Some(&w));
+        // node 4 cannot start before node 1 finishes + comm 4.
+        assert!(r.start[4] >= r.finish[1] + 4);
+        assert!(r.makespan > s.makespan());
+    }
+
+    #[test]
+    fn contention_matches_ideal_without_multicasts() {
+        // A chain has one remote send at a time: contention changes
+        // nothing.
+        let g = {
+            let mut b = DagBuilder::new();
+            let v: Vec<_> = (0..4).map(|_| b.add_node(10)).collect();
+            for w in v.windows(2) {
+                b.add_edge(w[0], w[1], 7).unwrap();
+            }
+            b.build().unwrap()
+        };
+        let s = Clustering::singletons(4).materialize(&g, &Clique).unwrap();
+        let ideal = simulate(&g, &Clique, &s, None);
+        let contended = simulate_with_send_contention(&g, &Clique, &s, None);
+        assert_eq!(ideal.makespan, contended.makespan);
+    }
+
+    #[test]
+    fn contention_slows_multicasts() {
+        // One source multicasting to 3 remote children: under
+        // assumption 4 all messages travel in parallel (arrive at
+        // 10 + 50); with a single send port they serialize (arrive at
+        // 60, 110, 160).
+        let mut b = DagBuilder::new();
+        let src = b.add_node(10);
+        let kids: Vec<_> = (0..3).map(|_| b.add_node(5)).collect();
+        for &k in &kids {
+            b.add_edge(src, k, 50).unwrap();
+        }
+        let g = b.build().unwrap();
+        let s = Clustering::singletons(4).materialize(&g, &Clique).unwrap();
+        let ideal = simulate(&g, &Clique, &s, None);
+        assert_eq!(ideal.makespan, 65);
+        let contended = simulate_with_send_contention(&g, &Clique, &s, None);
+        assert_eq!(contended.makespan, 10 + 3 * 50 + 5);
+        // Local hand-offs stay free: all on one processor is
+        // contention-immune.
+        let serial = Clustering::serial(4).materialize(&g, &Clique).unwrap();
+        let c = simulate_with_send_contention(&g, &Clique, &serial, None);
+        assert_eq!(c.makespan, serial.makespan());
+    }
+
+    #[test]
+    fn contention_never_beats_the_ideal_model() {
+        let g = sample();
+        for clustering in [
+            Clustering::singletons(5),
+            Clustering::from_assignment(&[0, 1, 0, 0, 0]),
+            Clustering::from_assignment(&[0, 1, 2, 2, 1]),
+        ] {
+            let s = clustering.materialize(&g, &Clique).unwrap();
+            let ideal = simulate(&g, &Clique, &s, None);
+            let contended = simulate_with_send_contention(&g, &Clique, &s, None);
+            assert!(contended.makespan >= ideal.makespan);
+        }
+    }
+
+    #[test]
+    fn empty_schedule_simulates() {
+        let g = DagBuilder::new().build().unwrap();
+        let s = Schedule::new(&g, vec![]);
+        let r = simulate(&g, &Clique, &s, None);
+        assert_eq!(r.makespan, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlocked_orders_panic() {
+        // Hand-build a schedule whose per-processor order contradicts
+        // the DAG: successor first on the same processor.
+        let mut b = DagBuilder::new();
+        let a = b.add_node(5);
+        let c = b.add_node(5);
+        b.add_edge(a, c, 1).unwrap();
+        let g = b.build().unwrap();
+        // Same processor, successor placed earlier.
+        let s = Schedule::new(&g, vec![(ProcId(0), 10), (ProcId(0), 0)]);
+        simulate(&g, &Clique, &s, None);
+    }
+}

@@ -1,0 +1,164 @@
+//! Plain-text Gantt charts for eyeballing schedules in examples and
+//! reports.
+
+use crate::machine::ProcId;
+use crate::schedule::Schedule;
+use std::fmt::Write as _;
+
+/// Renders `s` as an ASCII Gantt chart, one row per processor, at most
+/// `width` character cells across (time is scaled down to fit).
+///
+/// ```text
+/// P0 |000---11111|
+/// P1 |---2222----|
+///     0        42
+/// ```
+///
+/// Task ids are printed modulo 10 inside their time span; `-` is idle
+/// time.
+pub fn render(s: &Schedule, width: usize) -> String {
+    let width = width.max(10);
+    let span = s.makespan().max(1);
+    let cell = |t: u64| ((t as u128 * width as u128) / span as u128) as usize;
+    let mut out = String::new();
+    for p in 0..s.num_procs() {
+        let mut row = vec!['-'; width];
+        for &t in s.tasks_on(ProcId(p as u32)) {
+            let a = cell(s.start_of(t)).min(width - 1);
+            let b = cell(s.finish_of(t)).clamp(a + 1, width);
+            let ch = char::from_digit(t.0 % 10, 10).unwrap();
+            for c in &mut row[a..b] {
+                *c = ch;
+            }
+        }
+        writeln!(out, "P{p:<3}|{}|", row.iter().collect::<String>()).unwrap();
+    }
+    writeln!(out, "    0{:>w$}", s.makespan(), w = width).unwrap();
+    out
+}
+
+/// Renders `s` as a standalone SVG document (one horizontal lane per
+/// processor, one rectangle per task labelled with its index). Pure
+/// string generation — no graphics dependency.
+pub fn render_svg(s: &Schedule) -> String {
+    const LANE_H: u64 = 28;
+    const PAD: u64 = 4;
+    const LABEL_W: u64 = 44;
+    const CHART_W: f64 = 860.0;
+    let procs = s.num_procs().max(1) as u64;
+    let span = s.makespan().max(1) as f64;
+    let width = LABEL_W as f64 + CHART_W + 8.0;
+    let height = procs * LANE_H + 2 * PAD + 18;
+    let x = |t: u64| LABEL_W as f64 + (t as f64 / span) * CHART_W;
+
+    let mut out = String::with_capacity(1024);
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height}\" \
+         font-family=\"monospace\" font-size=\"11\">\n"
+    ));
+    out.push_str("<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+    for p in 0..s.num_procs() {
+        let y = PAD + p as u64 * LANE_H;
+        out.push_str(&format!(
+            "<text x=\"2\" y=\"{}\" fill=\"black\">P{}</text>\n",
+            y + LANE_H / 2 + 4,
+            p
+        ));
+        for &t in s.tasks_on(crate::machine::ProcId(p as u32)) {
+            let x0 = x(s.start_of(t));
+            let x1 = x(s.finish_of(t)).max(x0 + 1.5);
+            let hue = (t.0 as u64 * 47) % 360;
+            out.push_str(&format!(
+                "<rect x=\"{x0:.1}\" y=\"{}\" width=\"{:.1}\" height=\"{}\" \
+                 fill=\"hsl({hue},60%,70%)\" stroke=\"black\" stroke-width=\"0.5\"/>\n",
+                y + 2,
+                x1 - x0,
+                LANE_H - 4
+            ));
+            if x1 - x0 > 14.0 {
+                out.push_str(&format!(
+                    "<text x=\"{:.1}\" y=\"{}\" fill=\"black\">{}</text>\n",
+                    x0 + 2.0,
+                    y + LANE_H / 2 + 4,
+                    t.0
+                ));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "<text x=\"{LABEL_W}\" y=\"{}\" fill=\"black\">0</text>\n",
+        height - 4
+    ));
+    out.push_str(&format!(
+        "<text x=\"{:.0}\" y=\"{}\" text-anchor=\"end\" fill=\"black\">{}</text>\n",
+        width - 8.0,
+        height - 4,
+        s.makespan()
+    ));
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Clustering;
+    use crate::machine::Clique;
+    use dagsched_dag::{DagBuilder, NodeId};
+
+    #[test]
+    fn renders_rows_per_processor() {
+        let mut b = DagBuilder::new();
+        let a = b.add_node(10);
+        let c = b.add_node(10);
+        b.add_edge(a, c, 5).unwrap();
+        let g = b.build().unwrap();
+        let s = Clustering::from_assignment(&[0, 1])
+            .materialize(&g, &Clique)
+            .unwrap();
+        let chart = render(&s, 40);
+        assert_eq!(chart.lines().count(), 3); // 2 procs + axis
+        assert!(chart.contains("P0"));
+        assert!(chart.contains("P1"));
+        assert!(chart.contains('0'));
+        assert!(chart.contains('1'));
+        assert!(chart.contains(&s.makespan().to_string()));
+    }
+
+    #[test]
+    fn svg_contains_every_task_lane_and_bounds() {
+        let mut b = DagBuilder::new();
+        let a = b.add_node(10);
+        let c = b.add_node(10);
+        b.add_edge(a, c, 5).unwrap();
+        let g = b.build().unwrap();
+        let s = Clustering::from_assignment(&[0, 1])
+            .materialize(&g, &Clique)
+            .unwrap();
+        let svg = render_svg(&s);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 1 + 2); // background + 2 tasks
+        assert!(svg.contains(">P0<") && svg.contains(">P1<"));
+        assert!(svg.contains(&format!(">{}</text>", s.makespan())));
+    }
+
+    #[test]
+    fn svg_of_empty_schedule_is_well_formed() {
+        let g = DagBuilder::new().build().unwrap();
+        let s = crate::schedule::Schedule::new(&g, vec![]);
+        let svg = render_svg(&s);
+        assert!(svg.starts_with("<svg") && svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn zero_length_tasks_still_visible() {
+        let mut b = DagBuilder::new();
+        b.add_node(0);
+        let g = b.build().unwrap();
+        let s = Clustering::serial(1).materialize(&g, &Clique).unwrap();
+        let chart = render(&s, 20);
+        assert!(chart.contains('0'));
+        let _ = NodeId(0);
+    }
+}

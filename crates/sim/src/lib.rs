@@ -1,0 +1,52 @@
+//! # dagsched-sim — machine model, schedules, validation and metrics
+//!
+//! Everything needed to *evaluate* a scheduling heuristic's output
+//! under the execution model of Khan, McCreary & Jones (§2):
+//!
+//! 1. same-processor communication is free; cross-processor
+//!    communication costs the edge weight (uniform [`machine::Clique`];
+//!    hop-cost topologies for MH's general form are also provided);
+//! 2. an arbitrary number of homogeneous processors;
+//! 3. no task duplication;
+//! 4. communication overlaps computation; multicasts do not serialize
+//!    on the sender;
+//! 5. the objective is the schedule makespan (*parallel time*).
+//!
+//! Modules:
+//!
+//! * [`machine`] — communication cost models;
+//! * [`schedule`] — the [`schedule::Schedule`] type;
+//! * [`dup`] — schedules with task duplication (the model extension
+//!   behind the paper's references \[2, 12, 16\]);
+//! * [`analysis`] — where-did-the-time-go schedule introspection;
+//! * [`evaluate`] — computes task start times from an assignment and
+//!   per-processor execution orders (the shared back end of every
+//!   clustering heuristic);
+//! * [`cluster`] — task clusterings and their materialization onto
+//!   processors;
+//! * [`validate`] — independent checking of precedence, communication
+//!   and processor-overlap constraints;
+//! * [`event`] — a discrete-event simulator that executes a schedule
+//!   (with optional runtime perturbation) and cross-checks the
+//!   analytic makespan;
+//! * [`metrics`] — speedup / efficiency / normalized relative
+//!   parallel time;
+//! * [`gantt`] — plain-text and SVG Gantt charts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod cluster;
+pub mod dup;
+pub mod evaluate;
+pub mod event;
+pub mod gantt;
+pub mod machine;
+pub mod metrics;
+pub mod schedule;
+pub mod validate;
+
+pub use cluster::Clustering;
+pub use machine::{BoundedClique, Clique, Hypercube, Machine, Mesh2D, ProcId, Ring};
+pub use schedule::Schedule;

@@ -1,0 +1,292 @@
+//! Communication cost models.
+//!
+//! The paper's model (assumption 1 of §2) is the fully connected
+//! [`Clique`]: any two distinct processors communicate at exactly the
+//! edge weight. MH's original formulation also *maps* tasks onto
+//! concrete interconnection topologies; the hop-cost models here
+//! ([`Ring`], [`Mesh2D`], [`Hypercube`]) let the reproduction exercise
+//! that machinery in ablations while the paper experiments stay on the
+//! clique.
+
+use dagsched_dag::Weight;
+
+/// A processor index. Processors are homogeneous and densely numbered
+/// from zero within a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The processor index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ProcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A communication cost model over homogeneous processors.
+///
+/// # Contract
+/// `comm_cost(p, p, w) == 0` for every processor `p` (same-processor
+/// communication is free, assumption 1 of the paper), and
+/// `comm_cost(_, _, 0) == 0`.
+pub trait Machine: Sync {
+    /// Cost of moving a message of edge-weight `w` from processor
+    /// `from` to processor `to`.
+    fn comm_cost(&self, from: ProcId, to: ProcId, w: Weight) -> Weight;
+
+    /// Upper bound on usable processors; `None` means unbounded (the
+    /// paper's "arbitrary number of homogeneous processors").
+    fn max_procs(&self) -> Option<usize> {
+        None
+    }
+
+    /// Short human-readable name.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's model: fully connected, uniform — cross-processor cost
+/// is exactly the edge weight; unbounded processor pool.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Clique;
+
+impl Machine for Clique {
+    #[inline]
+    fn comm_cost(&self, from: ProcId, to: ProcId, w: Weight) -> Weight {
+        if from == to {
+            0
+        } else {
+            w
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "clique"
+    }
+}
+
+/// A clique with a bounded processor pool — the classic "P identical
+/// machines" setting, used by the bounded-processor extension
+/// schedulers.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedClique {
+    procs: usize,
+}
+
+impl BoundedClique {
+    /// A clique of exactly `procs` processors (`procs ≥ 1`).
+    pub fn new(procs: usize) -> Self {
+        assert!(procs >= 1, "a machine needs at least one processor");
+        Self { procs }
+    }
+}
+
+impl Machine for BoundedClique {
+    #[inline]
+    fn comm_cost(&self, from: ProcId, to: ProcId, w: Weight) -> Weight {
+        if from == to {
+            0
+        } else {
+            w
+        }
+    }
+
+    fn max_procs(&self) -> Option<usize> {
+        Some(self.procs)
+    }
+
+    fn name(&self) -> &'static str {
+        "bounded-clique"
+    }
+}
+
+/// A bidirectional ring of `size` processors: cost is the edge weight
+/// times the hop distance.
+#[derive(Debug, Clone, Copy)]
+pub struct Ring {
+    size: usize,
+}
+
+impl Ring {
+    /// A ring of `size ≥ 1` processors.
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1);
+        Self { size }
+    }
+
+    fn hops(&self, a: usize, b: usize) -> u64 {
+        let d = a.abs_diff(b) % self.size;
+        d.min(self.size - d) as u64
+    }
+}
+
+impl Machine for Ring {
+    fn comm_cost(&self, from: ProcId, to: ProcId, w: Weight) -> Weight {
+        if from == to {
+            0
+        } else {
+            w * self.hops(from.index(), to.index()).max(1)
+        }
+    }
+
+    fn max_procs(&self) -> Option<usize> {
+        Some(self.size)
+    }
+
+    fn name(&self) -> &'static str {
+        "ring"
+    }
+}
+
+/// A `rows × cols` 2-D mesh: cost is the edge weight times the
+/// Manhattan hop distance.
+#[derive(Debug, Clone, Copy)]
+pub struct Mesh2D {
+    rows: usize,
+    cols: usize,
+}
+
+impl Mesh2D {
+    /// A mesh with `rows × cols ≥ 1` processors.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 1 && cols >= 1);
+        Self { rows, cols }
+    }
+
+    fn coords(&self, p: usize) -> (usize, usize) {
+        (p / self.cols, p % self.cols)
+    }
+}
+
+impl Machine for Mesh2D {
+    fn comm_cost(&self, from: ProcId, to: ProcId, w: Weight) -> Weight {
+        if from == to {
+            return 0;
+        }
+        let (r1, c1) = self.coords(from.index());
+        let (r2, c2) = self.coords(to.index());
+        let hops = (r1.abs_diff(r2) + c1.abs_diff(c2)) as u64;
+        w * hops.max(1)
+    }
+
+    fn max_procs(&self) -> Option<usize> {
+        Some(self.rows * self.cols)
+    }
+
+    fn name(&self) -> &'static str {
+        "mesh2d"
+    }
+}
+
+/// A hypercube of dimension `dims` (`2^dims` processors): cost is the
+/// edge weight times the Hamming distance of the processor labels.
+#[derive(Debug, Clone, Copy)]
+pub struct Hypercube {
+    dims: u32,
+}
+
+impl Hypercube {
+    /// A hypercube with `2^dims` processors (`dims ≤ 20` to stay sane).
+    pub fn new(dims: u32) -> Self {
+        assert!(dims <= 20);
+        Self { dims }
+    }
+}
+
+impl Machine for Hypercube {
+    fn comm_cost(&self, from: ProcId, to: ProcId, w: Weight) -> Weight {
+        if from == to {
+            return 0;
+        }
+        let hops = (from.0 ^ to.0).count_ones() as u64;
+        w * hops.max(1)
+    }
+
+    fn max_procs(&self) -> Option<usize> {
+        Some(1usize << self.dims)
+    }
+
+    fn name(&self) -> &'static str {
+        "hypercube"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    #[test]
+    fn clique_costs() {
+        let m = Clique;
+        assert_eq!(m.comm_cost(p(0), p(0), 9), 0);
+        assert_eq!(m.comm_cost(p(0), p(7), 9), 9);
+        assert_eq!(m.comm_cost(p(3), p(1), 9), 9);
+        assert_eq!(m.max_procs(), None);
+    }
+
+    #[test]
+    fn bounded_clique() {
+        let m = BoundedClique::new(4);
+        assert_eq!(m.max_procs(), Some(4));
+        assert_eq!(m.comm_cost(p(1), p(2), 5), 5);
+        assert_eq!(m.comm_cost(p(2), p(2), 5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn bounded_clique_rejects_zero() {
+        BoundedClique::new(0);
+    }
+
+    #[test]
+    fn ring_hop_distance_wraps() {
+        let m = Ring::new(6);
+        assert_eq!(m.comm_cost(p(0), p(1), 2), 2); // 1 hop
+        assert_eq!(m.comm_cost(p(0), p(3), 2), 6); // 3 hops
+        assert_eq!(m.comm_cost(p(0), p(5), 2), 2); // wraps: 1 hop
+        assert_eq!(m.comm_cost(p(4), p(4), 2), 0);
+        assert_eq!(m.max_procs(), Some(6));
+    }
+
+    #[test]
+    fn mesh_manhattan_distance() {
+        let m = Mesh2D::new(3, 4); // procs 0..11
+        assert_eq!(m.comm_cost(p(0), p(1), 3), 3); // adjacent cols
+        assert_eq!(m.comm_cost(p(0), p(4), 3), 3); // adjacent rows
+        assert_eq!(m.comm_cost(p(0), p(11), 3), 3 * 5); // (0,0)->(2,3)
+        assert_eq!(m.comm_cost(p(5), p(5), 3), 0);
+        assert_eq!(m.max_procs(), Some(12));
+    }
+
+    #[test]
+    fn hypercube_hamming_distance() {
+        let m = Hypercube::new(3);
+        assert_eq!(m.max_procs(), Some(8));
+        assert_eq!(m.comm_cost(p(0), p(7), 2), 6); // 3 bits differ
+        assert_eq!(m.comm_cost(p(5), p(4), 2), 2); // 1 bit
+        assert_eq!(m.comm_cost(p(6), p(6), 2), 0);
+    }
+
+    #[test]
+    fn zero_weight_messages_are_free_everywhere() {
+        let machines: Vec<Box<dyn Machine>> = vec![
+            Box::new(Clique),
+            Box::new(BoundedClique::new(3)),
+            Box::new(Ring::new(5)),
+            Box::new(Mesh2D::new(2, 2)),
+            Box::new(Hypercube::new(2)),
+        ];
+        for m in &machines {
+            assert_eq!(m.comm_cost(p(0), p(1), 0), 0, "{}", m.name());
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The paper's performance measures (§4):
+//!
+//! * `Speedup = SerialTime / ParallelTime`
+//! * `Efficiency = Speedup / NumberOfProcessors`
+//! * `NormalizedRelativeParallelTime(X) = PT(X) / BestPT − 1`
+
+use crate::schedule::Schedule;
+use dagsched_dag::{Dag, Weight};
+
+/// The per-graph measures the paper records for one heuristic's
+/// schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measures {
+    /// The schedule's makespan.
+    pub parallel_time: Weight,
+    /// `serial / parallel` (`f64::INFINITY` when parallel time is 0 on
+    /// a non-empty serial time; 1.0 for the empty graph).
+    pub speedup: f64,
+    /// `speedup / processors used` (0 when no processors are used).
+    pub efficiency: f64,
+    /// Processors used.
+    pub procs: usize,
+}
+
+/// Computes the measures of `s` against `g`'s serial time.
+pub fn measures(g: &Dag, s: &Schedule) -> Measures {
+    let serial = g.serial_time();
+    let pt = s.makespan();
+    let speedup = speedup(serial, pt);
+    let procs = s.num_procs();
+    let efficiency = if procs == 0 {
+        0.0
+    } else {
+        speedup / procs as f64
+    };
+    Measures {
+        parallel_time: pt,
+        speedup,
+        efficiency,
+        procs,
+    }
+}
+
+/// `serial / parallel` with the edge conventions described on
+/// [`Measures::speedup`].
+pub fn speedup(serial: Weight, parallel: Weight) -> f64 {
+    match (serial, parallel) {
+        (0, 0) => 1.0,
+        (_, 0) => f64::INFINITY,
+        (s, p) => s as f64 / p as f64,
+    }
+}
+
+/// The paper's normalized relative parallel time of one heuristic
+/// against the best parallel time among all compared heuristics on
+/// the same graph. The best heuristic scores 0.
+pub fn normalized_relative_pt(parallel_time: Weight, best: Weight) -> f64 {
+    if best == 0 {
+        if parallel_time == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        parallel_time as f64 / best as f64 - 1.0
+    }
+}
+
+/// Relative parallel times for a whole row of heuristic results on
+/// one graph (best = the minimum of the inputs).
+pub fn normalized_relative_pts(parallel_times: &[Weight]) -> Vec<f64> {
+    let Some(&best) = parallel_times.iter().min() else {
+        return Vec::new();
+    };
+    parallel_times
+        .iter()
+        .map(|&pt| normalized_relative_pt(pt, best))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Clustering;
+    use crate::machine::Clique;
+    use dagsched_dag::DagBuilder;
+
+    #[test]
+    fn speedup_conventions() {
+        assert_eq!(speedup(100, 50), 2.0);
+        assert_eq!(speedup(100, 200), 0.5);
+        assert_eq!(speedup(0, 0), 1.0);
+        assert!(speedup(5, 0).is_infinite());
+    }
+
+    #[test]
+    fn nrpt_zero_for_best() {
+        let r = normalized_relative_pts(&[100, 150, 100, 300]);
+        assert_eq!(r[0], 0.0);
+        assert!((r[1] - 0.5).abs() < 1e-12);
+        assert_eq!(r[2], 0.0);
+        assert!((r[3] - 2.0).abs() < 1e-12);
+        assert!(normalized_relative_pts(&[]).is_empty());
+    }
+
+    #[test]
+    fn nrpt_zero_best_edge_cases() {
+        assert_eq!(normalized_relative_pt(0, 0), 0.0);
+        assert!(normalized_relative_pt(10, 0).is_infinite());
+    }
+
+    #[test]
+    fn measures_of_serial_schedule() {
+        let mut b = DagBuilder::new();
+        let a = b.add_node(30);
+        let c = b.add_node(70);
+        b.add_edge(a, c, 10).unwrap();
+        let g = b.build().unwrap();
+        let s = Clustering::serial(2).materialize(&g, &Clique).unwrap();
+        let m = measures(&g, &s);
+        assert_eq!(m.parallel_time, 100);
+        assert_eq!(m.speedup, 1.0);
+        assert_eq!(m.efficiency, 1.0);
+        assert_eq!(m.procs, 1);
+    }
+
+    #[test]
+    fn measures_of_parallel_schedule() {
+        // Two independent tasks split across two processors.
+        let mut b = DagBuilder::new();
+        b.add_node(50);
+        b.add_node(50);
+        let g = b.build().unwrap();
+        let s = Clustering::singletons(2).materialize(&g, &Clique).unwrap();
+        let m = measures(&g, &s);
+        assert_eq!(m.parallel_time, 50);
+        assert_eq!(m.speedup, 2.0);
+        assert_eq!(m.efficiency, 1.0);
+        assert_eq!(m.procs, 2);
+    }
+
+    #[test]
+    fn retarded_schedule_has_speedup_below_one() {
+        // Heavy communication makes the parallel schedule slower than
+        // serial — the situation Table 2 counts.
+        let mut b = DagBuilder::new();
+        let a = b.add_node(10);
+        let c = b.add_node(10);
+        b.add_edge(a, c, 1000).unwrap();
+        let g = b.build().unwrap();
+        let s = Clustering::singletons(2).materialize(&g, &Clique).unwrap();
+        let m = measures(&g, &s);
+        assert!(m.speedup < 1.0);
+    }
+}

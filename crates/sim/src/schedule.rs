@@ -1,0 +1,213 @@
+//! The [`Schedule`] type: a complete answer from a scheduling
+//! heuristic — for every task a processor, a start time and a finish
+//! time.
+
+use crate::machine::ProcId;
+use dagsched_dag::{Dag, NodeId, Weight};
+
+/// Where and when one task runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Assigned processor.
+    pub proc: ProcId,
+    /// Start time.
+    pub start: Weight,
+    /// Finish time (`start + task weight`).
+    pub finish: Weight,
+}
+
+/// A full schedule of a [`Dag`]: per-task placements plus per-processor
+/// task lists sorted by start time.
+///
+/// Construction normalizes processor ids to a dense `0..P` range in
+/// order of first appearance, so `num_procs()` is always the number of
+/// *used* processors (the denominator of the paper's efficiency
+/// metric).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    placements: Vec<Placement>,
+    proc_tasks: Vec<Vec<NodeId>>,
+    makespan: Weight,
+}
+
+impl Schedule {
+    /// Builds a schedule from raw per-task `(proc, start)` pairs,
+    /// computing finish times from the task weights of `g`.
+    ///
+    /// # Panics
+    /// If `placements.len() != g.num_nodes()`. Timing/overlap validity
+    /// is *not* checked here — run [`crate::validate::check`] for that.
+    pub fn new(g: &Dag, raw: Vec<(ProcId, Weight)>) -> Schedule {
+        assert_eq!(raw.len(), g.num_nodes(), "one placement per task");
+        // Order-preserving dense renumbering: sorted unique ids map to
+        // 0..P. Inputs that are already dense keep their ids, so
+        // topology-dependent communication costs stay meaningful.
+        let mut ids: Vec<u32> = raw.iter().map(|(p, _)| p.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let dense = |p: u32| ids.binary_search(&p).expect("id collected above") as u32;
+        let mut placements = Vec::with_capacity(raw.len());
+        for (v, (proc, start)) in raw.into_iter().enumerate() {
+            let p = dense(proc.0);
+            let w = g.node_weight(NodeId(v as u32));
+            placements.push(Placement {
+                proc: ProcId(p),
+                start,
+                finish: start + w,
+            });
+        }
+        let num_procs = ids.len();
+        let mut proc_tasks: Vec<Vec<NodeId>> = vec![Vec::new(); num_procs];
+        for (v, pl) in placements.iter().enumerate() {
+            proc_tasks[pl.proc.index()].push(NodeId(v as u32));
+        }
+        for tasks in &mut proc_tasks {
+            tasks.sort_by_key(|&t| (placements[t.index()].start, t.0));
+        }
+        let makespan = placements.iter().map(|p| p.finish).max().unwrap_or(0);
+        Schedule {
+            placements,
+            proc_tasks,
+            makespan,
+        }
+    }
+
+    /// The placement of task `v`.
+    #[inline]
+    pub fn placement(&self, v: NodeId) -> Placement {
+        self.placements[v.index()]
+    }
+
+    /// Processor assigned to `v`.
+    #[inline]
+    pub fn proc_of(&self, v: NodeId) -> ProcId {
+        self.placements[v.index()].proc
+    }
+
+    /// Start time of `v`.
+    #[inline]
+    pub fn start_of(&self, v: NodeId) -> Weight {
+        self.placements[v.index()].start
+    }
+
+    /// Finish time of `v`.
+    #[inline]
+    pub fn finish_of(&self, v: NodeId) -> Weight {
+        self.placements[v.index()].finish
+    }
+
+    /// Number of tasks scheduled.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Number of processors actually used.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.proc_tasks.len()
+    }
+
+    /// Tasks of processor `p`, sorted by start time.
+    #[inline]
+    pub fn tasks_on(&self, p: ProcId) -> &[NodeId] {
+        &self.proc_tasks[p.index()]
+    }
+
+    /// The parallel time (latest finish; 0 for an empty schedule).
+    #[inline]
+    pub fn makespan(&self) -> Weight {
+        self.makespan
+    }
+
+    /// Iterates `(task, placement)` pairs in task-index order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Placement)> + '_ {
+        self.placements
+            .iter()
+            .enumerate()
+            .map(|(v, &p)| (NodeId(v as u32), p))
+    }
+
+    /// Total busy time across processors divided by
+    /// `makespan × num_procs` — the fraction of processor-time doing
+    /// useful work (1.0 for a perfectly packed schedule; 0 for empty).
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0 || self.proc_tasks.is_empty() {
+            return 0.0;
+        }
+        let busy: Weight = self.placements.iter().map(|p| p.finish - p.start).sum();
+        busy as f64 / (self.makespan as f64 * self.proc_tasks.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_dag::DagBuilder;
+
+    fn two_task_dag() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_node(10);
+        let c = b.add_node(20);
+        b.add_edge(a, c, 5).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn placements_and_makespan() {
+        let g = two_task_dag();
+        let s = Schedule::new(&g, vec![(ProcId(0), 0), (ProcId(1), 15)]);
+        assert_eq!(s.num_tasks(), 2);
+        assert_eq!(s.num_procs(), 2);
+        assert_eq!(s.start_of(NodeId(1)), 15);
+        assert_eq!(s.finish_of(NodeId(1)), 35);
+        assert_eq!(s.makespan(), 35);
+        assert_eq!(s.tasks_on(ProcId(0)), &[NodeId(0)]);
+        assert_eq!(s.tasks_on(ProcId(1)), &[NodeId(1)]);
+    }
+
+    #[test]
+    fn sparse_proc_ids_are_densified() {
+        let g = two_task_dag();
+        let s = Schedule::new(&g, vec![(ProcId(17), 0), (ProcId(99), 15)]);
+        assert_eq!(s.num_procs(), 2);
+        assert_eq!(s.proc_of(NodeId(0)), ProcId(0));
+        assert_eq!(s.proc_of(NodeId(1)), ProcId(1));
+    }
+
+    #[test]
+    fn same_proc_tasks_sorted_by_start() {
+        let g = two_task_dag();
+        let s = Schedule::new(&g, vec![(ProcId(3), 20), (ProcId(3), 0)]);
+        assert_eq!(s.num_procs(), 1);
+        assert_eq!(s.tasks_on(ProcId(0)), &[NodeId(1), NodeId(0)]);
+        assert_eq!(s.makespan(), 30);
+    }
+
+    #[test]
+    fn utilization() {
+        let g = two_task_dag();
+        // Serial on one processor: 30 busy over 30 elapsed.
+        let s = Schedule::new(&g, vec![(ProcId(0), 0), (ProcId(0), 10)]);
+        assert!((s.utilization() - 1.0).abs() < 1e-12);
+        // Two processors with idle time.
+        let s = Schedule::new(&g, vec![(ProcId(0), 0), (ProcId(1), 15)]);
+        assert!((s.utilization() - 30.0 / 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let g = DagBuilder::new().build().unwrap();
+        let s = Schedule::new(&g, vec![]);
+        assert_eq!(s.makespan(), 0);
+        assert_eq!(s.num_procs(), 0);
+        assert_eq!(s.utilization(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one placement per task")]
+    fn wrong_length_panics() {
+        let g = two_task_dag();
+        Schedule::new(&g, vec![(ProcId(0), 0)]);
+    }
+}

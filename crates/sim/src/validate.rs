@@ -1,0 +1,252 @@
+//! Independent schedule validation.
+//!
+//! A schedule is *valid* under the paper's model when
+//!
+//! 1. no processor runs two tasks at once, and
+//! 2. every task starts no earlier than `finish(pred) + comm` for
+//!    each of its predecessors (comm as priced by the machine).
+//!
+//! This module re-derives both conditions from scratch (it shares no
+//! code with the timing engine) so that tests can use it as an oracle
+//! against every scheduler and against [`crate::evaluate`] itself.
+
+use crate::machine::Machine;
+use crate::schedule::Schedule;
+use dagsched_dag::{Dag, NodeId, Weight};
+use std::fmt;
+
+/// A violated scheduling constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two tasks overlap in time on one processor.
+    Overlap {
+        /// First task (earlier start).
+        a: NodeId,
+        /// Second task, starting before `a` finishes.
+        b: NodeId,
+    },
+    /// A task starts before a predecessor's data can arrive.
+    Precedence {
+        /// The predecessor task.
+        pred: NodeId,
+        /// The violating task.
+        task: NodeId,
+        /// Earliest legal start (`finish(pred) + comm`).
+        earliest: Weight,
+        /// Actual start.
+        actual: Weight,
+    },
+    /// The machine cannot hold that many processors.
+    TooManyProcs {
+        /// Processors used by the schedule.
+        used: usize,
+        /// The machine's bound.
+        bound: usize,
+    },
+    /// The schedule covers the wrong number of tasks.
+    WrongTaskCount {
+        /// Tasks in the schedule.
+        got: usize,
+        /// Tasks in the graph.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Overlap { a, b } => write!(f, "tasks {a} and {b} overlap on a processor"),
+            Violation::Precedence {
+                pred,
+                task,
+                earliest,
+                actual,
+            } => write!(
+                f,
+                "task {task} starts at {actual} but data from {pred} arrives at {earliest}"
+            ),
+            Violation::TooManyProcs { used, bound } => {
+                write!(f, "schedule uses {used} processors, machine allows {bound}")
+            }
+            Violation::WrongTaskCount { got, expected } => {
+                write!(f, "schedule places {got} tasks, graph has {expected}")
+            }
+        }
+    }
+}
+
+/// Checks `s` against `g` under `machine`; returns every violation
+/// (empty = valid).
+pub fn check(g: &Dag, machine: &dyn Machine, s: &Schedule) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if s.num_tasks() != g.num_nodes() {
+        out.push(Violation::WrongTaskCount {
+            got: s.num_tasks(),
+            expected: g.num_nodes(),
+        });
+        return out;
+    }
+    if let Some(bound) = machine.max_procs() {
+        if s.num_procs() > bound {
+            out.push(Violation::TooManyProcs {
+                used: s.num_procs(),
+                bound,
+            });
+        }
+    }
+    // Overlap: per-processor task lists are sorted by start time.
+    for p in 0..s.num_procs() {
+        let tasks = s.tasks_on(crate::machine::ProcId(p as u32));
+        for w in tasks.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if s.finish_of(a) > s.start_of(b) {
+                out.push(Violation::Overlap { a, b });
+            }
+        }
+    }
+    // Precedence + communication.
+    for e in g.edges() {
+        let arrive =
+            s.finish_of(e.src) + machine.comm_cost(s.proc_of(e.src), s.proc_of(e.dst), e.weight);
+        if s.start_of(e.dst) < arrive {
+            out.push(Violation::Precedence {
+                pred: e.src,
+                task: e.dst,
+                earliest: arrive,
+                actual: s.start_of(e.dst),
+            });
+        }
+    }
+    out
+}
+
+/// `true` iff [`check`] finds nothing.
+pub fn is_valid(g: &Dag, machine: &dyn Machine, s: &Schedule) -> bool {
+    check(g, machine, s).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{BoundedClique, Clique, ProcId};
+    use dagsched_dag::DagBuilder;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    fn chain2() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_node(10);
+        let c = b.add_node(10);
+        b.add_edge(a, c, 7).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn valid_local_schedule() {
+        let g = chain2();
+        let s = Schedule::new(&g, vec![(p(0), 0), (p(0), 10)]);
+        assert!(is_valid(&g, &Clique, &s));
+    }
+
+    #[test]
+    fn valid_cross_processor_schedule() {
+        let g = chain2();
+        let s = Schedule::new(&g, vec![(p(0), 0), (p(1), 17)]);
+        assert!(is_valid(&g, &Clique, &s));
+    }
+
+    #[test]
+    fn detects_missing_comm_delay() {
+        let g = chain2();
+        // Starts at 10 on another processor: data arrives at 17.
+        let s = Schedule::new(&g, vec![(p(0), 0), (p(1), 10)]);
+        let v = check(&g, &Clique, &s);
+        assert_eq!(
+            v,
+            vec![Violation::Precedence {
+                pred: n(0),
+                task: n(1),
+                earliest: 17,
+                actual: 10
+            }]
+        );
+    }
+
+    #[test]
+    fn detects_overlap() {
+        let mut b = DagBuilder::new();
+        b.add_node(10);
+        b.add_node(10);
+        let g = b.build().unwrap();
+        let s = Schedule::new(&g, vec![(p(0), 0), (p(0), 5)]);
+        let v = check(&g, &Clique, &s);
+        assert_eq!(v, vec![Violation::Overlap { a: n(0), b: n(1) }]);
+    }
+
+    #[test]
+    fn back_to_back_is_not_overlap() {
+        let mut b = DagBuilder::new();
+        b.add_node(10);
+        b.add_node(10);
+        let g = b.build().unwrap();
+        let s = Schedule::new(&g, vec![(p(0), 0), (p(0), 10)]);
+        assert!(is_valid(&g, &Clique, &s));
+    }
+
+    #[test]
+    fn detects_proc_bound() {
+        let mut b = DagBuilder::new();
+        b.add_node(1);
+        b.add_node(1);
+        let g = b.build().unwrap();
+        let s = Schedule::new(&g, vec![(p(0), 0), (p(1), 0)]);
+        let v = check(&g, &BoundedClique::new(1), &s);
+        assert_eq!(v, vec![Violation::TooManyProcs { used: 2, bound: 1 }]);
+    }
+
+    #[test]
+    fn precedence_violation_even_on_same_processor() {
+        let g = chain2();
+        // Successor before predecessor finishes, same processor — this
+        // is both an overlap and a precedence violation.
+        let s = Schedule::new(&g, vec![(p(0), 0), (p(0), 5)]);
+        let v = check(&g, &Clique, &s);
+        assert!(v.contains(&Violation::Overlap { a: n(0), b: n(1) }));
+        assert!(v.iter().any(|x| matches!(
+            x,
+            Violation::Precedence {
+                earliest: 10,
+                actual: 5,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn evaluate_output_always_validates() {
+        // The oracle agrees with the timing engine on a non-trivial case.
+        let mut b = DagBuilder::new();
+        for w in [3u64, 5, 7, 11, 13] {
+            b.add_node(w);
+        }
+        for (s, d, c) in [(0u32, 1, 2u64), (0, 2, 9), (1, 3, 4), (2, 3, 1), (3, 4, 6)] {
+            b.add_edge(n(s), n(d), c).unwrap();
+        }
+        let g = b.build().unwrap();
+        let assignment = [p(0), p(0), p(1), p(0), p(1)];
+        let s = crate::evaluate::timed_schedule_by_priority(
+            &g,
+            &Clique,
+            &assignment,
+            &dagsched_dag::levels::blevels_with_comm(&g),
+        )
+        .unwrap();
+        assert!(is_valid(&g, &Clique, &s));
+    }
+}

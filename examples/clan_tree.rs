@@ -1,0 +1,54 @@
+//! Clan decomposition up close: parse a PDG into its clan tree, print
+//! the structure, verify it against the clan definition, and export
+//! Graphviz for both the graph and the tree.
+//!
+//! ```text
+//! cargo run --example clan_tree
+//! ```
+
+use dagsched::clans::{verify, ClanKind, ParseTree};
+use dagsched::dag::dot;
+use dagsched::gen::families;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. The paper's Figure 16 graph.
+    let g = dagsched::core::fixtures::fig16();
+    let tree = ParseTree::decompose(&g);
+    println!("Figure 16 graph parses to: {}", tree.render());
+    println!("  (the paper's C3 = linear(1, C2 = independent(2, C1 = linear(3,4)), 5))");
+    let (lin, ind, prim) = tree.kind_counts();
+    println!("  {lin} linear, {ind} independent, {prim} primitive clans\n");
+    assert!(verify::check_tree(&g, &tree).is_empty());
+
+    // 2. A structured kernel: fork-join nests linear over independent.
+    let fj = families::fork_join(4, 10, 2);
+    println!("fork-join(4): {}", ParseTree::decompose(&fj).render());
+
+    // 3. A wavefront stencil is *primitive*-heavy — no series-parallel
+    //    structure to exploit.
+    let st = families::stencil(3, 3, 5, 2);
+    let st_tree = ParseTree::decompose(&st);
+    println!("stencil(3x3): {}", st_tree.render());
+    let prim_count = st_tree
+        .clan_ids()
+        .filter(|&c| st_tree.clan(c).kind == ClanKind::Primitive)
+        .count();
+    println!("  contains {prim_count} primitive clan(s)\n");
+
+    // 4. Random layered graphs fall between the extremes.
+    let mut rng = StdRng::seed_from_u64(3);
+    let lr = families::layered_random(4, 4, 2, (20, 100), (1, 40), &mut rng);
+    let lr_tree = ParseTree::decompose(&lr);
+    println!(
+        "layered_random(4x4): height-{} tree over {} clans",
+        lr_tree.height(),
+        lr_tree.num_clans()
+    );
+    assert!(verify::check_tree(&lr, &lr_tree).is_empty());
+
+    // 5. Graphviz output for external rendering.
+    println!("\n--- fig16 graph (DOT) ---\n{}", dot::to_dot(&g, "fig16"));
+    println!("--- fig16 parse tree (DOT) ---\n{}", tree.to_dot());
+}

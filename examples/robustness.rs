@@ -1,0 +1,83 @@
+//! Robustness of static schedules to runtime estimate errors — an
+//! extension experiment in the direction of the paper's §5 call for
+//! "DAGs generated from real serial programs" (whose task times are
+//! never exactly the estimates).
+//!
+//! Each heuristic schedules the same random PDGs; the discrete-event
+//! simulator then *executes* the frozen decisions with perturbed task
+//! weights (each scaled by a random factor in [0.5, 2.0]) and reports
+//! how much the realized makespan degrades relative to the analytic
+//! one.
+//!
+//! ```text
+//! cargo run --release --example robustness
+//! ```
+
+use dagsched::core::paper_heuristics;
+use dagsched::gen::pdg::{generate, PdgSpec};
+use dagsched::gen::{GranularityBand, WeightRange};
+use dagsched::sim::{event, metrics, Clique};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const GRAPHS: usize = 10;
+const TRIALS: usize = 20;
+
+fn main() {
+    let heuristics = paper_heuristics();
+    let mut rng = StdRng::seed_from_u64(424242);
+
+    println!(
+        "{:<8}{:>14}{:>18}{:>18}",
+        "heur", "mean speedup", "perturbed mean", "mean degradation"
+    );
+
+    let mut graphs = Vec::new();
+    for _ in 0..GRAPHS {
+        graphs.push(generate(
+            &PdgSpec {
+                nodes: 50,
+                anchor: 3,
+                weights: WeightRange::new(20, 100),
+                band: GranularityBand::Coarse,
+            },
+            &mut rng,
+        ));
+    }
+
+    for h in &heuristics {
+        let mut nominal_speedup = 0.0;
+        let mut perturbed_speedup = 0.0;
+        let mut degradation = 0.0;
+        let mut samples = 0.0;
+        for g in &graphs {
+            let s = h.schedule(g, &Clique);
+            let m = metrics::measures(g, &s);
+            nominal_speedup += m.speedup;
+            for _ in 0..TRIALS {
+                // Perturb every task weight by a factor in [0.5, 2.0].
+                let actual: Vec<u64> = g
+                    .node_weights()
+                    .iter()
+                    .map(|&w| ((w as f64) * rng.gen_range(0.5..2.0)).round().max(1.0) as u64)
+                    .collect();
+                let serial: u64 = actual.iter().sum();
+                let r = event::simulate(g, &Clique, &s, Some(&actual));
+                perturbed_speedup += serial as f64 / r.makespan as f64;
+                degradation += r.makespan as f64 / s.makespan() as f64;
+                samples += 1.0;
+            }
+        }
+        println!(
+            "{:<8}{:>14.2}{:>18.2}{:>17.1}%",
+            h.name(),
+            nominal_speedup / GRAPHS as f64,
+            perturbed_speedup / samples,
+            (degradation / samples - 1.0) * 100.0
+        );
+    }
+
+    println!();
+    println!("Heuristics that spread work across more processors expose more");
+    println!("cross-processor edges, so estimate errors hurt them more.");
+}

@@ -1,0 +1,50 @@
+//! `dagsched` — schedule a PDG from the plain-text format with any
+//! heuristic in the workspace. See `dagsched::cli` for the format and
+//! options.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match dagsched::cli::parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("{}", dagsched::cli::USAGE);
+            return if msg == "help" {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    };
+    let text = if opts.input == "-" {
+        let mut s = String::new();
+        if std::io::stdin().read_to_string(&mut s).is_err() {
+            eprintln!("error: failed to read stdin");
+            return ExitCode::FAILURE;
+        }
+        s
+    } else {
+        match std::fs::read_to_string(&opts.input) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", opts.input);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    match dagsched::cli::run_on_text(&opts, &text) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Implementation of the `dagsched` command-line tool: schedule a PDG
+//! from the plain-text format with any heuristic in the workspace.
+//!
+//! ```text
+//! dagsched [options] <graph.pdg | ->
+//!
+//! options:
+//!   --heuristic <NAME>   CLANS|DSC|MCP|MH|HU|ETF|HLFET|DLS|LC|SARKAR|SERIAL|all
+//!                        (default: all — compares every heuristic)
+//!   --machine <KIND>     clique | ring:<N> | mesh:<R>x<C> | hypercube:<D>
+//!                        | bounded:<P>        (default: clique)
+//!   --gantt <WIDTH>      print an ASCII Gantt chart (default on, width 60)
+//!   --analyze            print a schedule analysis per heuristic
+//!   --svg                print the schedule as an SVG document
+//!   --dot                also print the graph as Graphviz DOT
+//!   --stg <W>            input is STG (Standard Task Graph Set)
+//!                        format; every edge gets weight W
+//!   --quiet              metrics only, one line per heuristic
+//! ```
+//!
+//! The logic lives here (library-testable); `src/bin/dagsched.rs` is a
+//! thin wrapper.
+
+use crate::core::{all_heuristics, Scheduler};
+use crate::dag::{metrics as gmetrics, textio, Dag};
+use crate::sim::{
+    gantt, metrics, validate, BoundedClique, Clique, Hypercube, Machine, Mesh2D, Ring,
+};
+use std::fmt::Write as _;
+
+/// Parsed command line.
+#[derive(Debug)]
+pub struct CliOptions {
+    /// Heuristic name or `"all"`.
+    pub heuristic: String,
+    /// Machine specification string.
+    pub machine: String,
+    /// Gantt chart width (0 disables).
+    pub gantt_width: usize,
+    /// Also print DOT.
+    pub dot: bool,
+    /// Print a schedule analysis per heuristic.
+    pub analyze: bool,
+    /// Print each schedule as SVG.
+    pub svg: bool,
+    /// Parse input as STG with this uniform edge weight.
+    pub stg_edge_weight: Option<u64>,
+    /// Metrics only.
+    pub quiet: bool,
+    /// Input path (`-` = stdin).
+    pub input: String,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            heuristic: "all".into(),
+            machine: "clique".into(),
+            gantt_width: 60,
+            dot: false,
+            analyze: false,
+            svg: false,
+            stg_edge_weight: None,
+            quiet: false,
+            input: "-".into(),
+        }
+    }
+}
+
+/// Parses argv (without the program name).
+pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
+    let mut opts = CliOptions::default();
+    let mut input: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--heuristic" => {
+                opts.heuristic = it.next().ok_or("--heuristic needs a name")?.to_uppercase();
+                if opts.heuristic == "ALL" {
+                    opts.heuristic = "all".into();
+                }
+            }
+            "--machine" => {
+                opts.machine = it.next().ok_or("--machine needs a kind")?.to_lowercase();
+            }
+            "--gantt" => {
+                opts.gantt_width = it
+                    .next()
+                    .ok_or("--gantt needs a width")?
+                    .parse()
+                    .map_err(|_| "bad --gantt width")?;
+            }
+            "--dot" => opts.dot = true,
+            "--analyze" => opts.analyze = true,
+            "--svg" => opts.svg = true,
+            "--stg" => {
+                let w = it
+                    .next()
+                    .ok_or("--stg needs an edge weight")?
+                    .parse()
+                    .map_err(|_| "bad --stg edge weight")?;
+                opts.stg_edge_weight = Some(w);
+            }
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => return Err("help".into()),
+            other if !other.starts_with('-') || other == "-" => {
+                if input.replace(other.to_string()).is_some() {
+                    return Err("multiple input files given".into());
+                }
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    opts.input = input.ok_or("missing input file (use - for stdin)")?;
+    Ok(opts)
+}
+
+/// Builds the machine from its specification string.
+pub fn parse_machine(spec: &str) -> Result<Box<dyn Machine>, String> {
+    if spec == "clique" {
+        return Ok(Box::new(Clique));
+    }
+    if let Some(n) = spec.strip_prefix("ring:") {
+        let n: usize = n.parse().map_err(|_| "bad ring size")?;
+        if n == 0 {
+            return Err("ring size must be positive".into());
+        }
+        return Ok(Box::new(Ring::new(n)));
+    }
+    if let Some(rc) = spec.strip_prefix("mesh:") {
+        let (r, c) = rc.split_once('x').ok_or("mesh needs RxC")?;
+        let r: usize = r.parse().map_err(|_| "bad mesh rows")?;
+        let c: usize = c.parse().map_err(|_| "bad mesh cols")?;
+        if r == 0 || c == 0 {
+            return Err("mesh dims must be positive".into());
+        }
+        return Ok(Box::new(Mesh2D::new(r, c)));
+    }
+    if let Some(d) = spec.strip_prefix("hypercube:") {
+        let d: u32 = d.parse().map_err(|_| "bad hypercube dim")?;
+        if d > 20 {
+            return Err("hypercube dim too large".into());
+        }
+        return Ok(Box::new(Hypercube::new(d)));
+    }
+    if let Some(p) = spec.strip_prefix("bounded:") {
+        let p: usize = p.parse().map_err(|_| "bad processor bound")?;
+        if p == 0 {
+            return Err("processor bound must be positive".into());
+        }
+        return Ok(Box::new(BoundedClique::new(p)));
+    }
+    Err(format!("unknown machine {spec:?}"))
+}
+
+/// Selects the heuristics to run.
+pub fn select_heuristics(name: &str) -> Result<Vec<Box<dyn Scheduler>>, String> {
+    let all = all_heuristics();
+    if name == "all" {
+        return Ok(all);
+    }
+    let selected: Vec<Box<dyn Scheduler>> = all.into_iter().filter(|h| h.name() == name).collect();
+    if selected.is_empty() {
+        Err(format!(
+            "unknown heuristic {name:?}; known: CLANS DSC MCP MH HU ETF HLFET DLS LC SARKAR SERIAL"
+        ))
+    } else {
+        Ok(selected)
+    }
+}
+
+/// Runs the tool against already-loaded graph text; returns the
+/// rendered output.
+pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
+    let g: Dag = match opts.stg_edge_weight {
+        Some(w) => crate::dag::stg::parse(text, w).map_err(|e| e.to_string())?,
+        None => textio::parse(text).map_err(|e| e.to_string())?,
+    };
+    let machine = parse_machine(&opts.machine)?;
+    let heuristics = select_heuristics(&opts.heuristic)?;
+
+    let mut out = String::new();
+    if !opts.quiet {
+        writeln!(
+            out,
+            "graph: {} tasks, {} edges, serial time {}, granularity {:.3}, machine {}",
+            g.num_nodes(),
+            g.num_edges(),
+            g.serial_time(),
+            gmetrics::granularity(&g),
+            machine.name(),
+        )
+        .unwrap();
+    }
+    if opts.dot {
+        out.push_str(&crate::dag::dot::to_dot(&g, "input"));
+    }
+    for h in heuristics {
+        let s = h.schedule(&g, machine.as_ref());
+        let violations = validate::check(&g, machine.as_ref(), &s);
+        if !violations.is_empty() {
+            return Err(format!(
+                "{} produced an invalid schedule: {violations:?}",
+                h.name()
+            ));
+        }
+        let m = metrics::measures(&g, &s);
+        writeln!(
+            out,
+            "{:<7} parallel_time={} speedup={:.3} efficiency={:.3} procs={}",
+            h.name(),
+            m.parallel_time,
+            m.speedup,
+            m.efficiency,
+            m.procs
+        )
+        .unwrap();
+        if opts.analyze {
+            let a = crate::sim::analysis::analyze(&g, machine.as_ref(), &s);
+            writeln!(out, "  {a}").unwrap();
+        }
+        if !opts.quiet && opts.gantt_width > 0 {
+            out.push_str(&gantt::render(&s, opts.gantt_width));
+        }
+        if opts.svg {
+            out.push_str(&gantt::render_svg(&s));
+        }
+    }
+    Ok(out)
+}
+
+/// The usage string printed on `--help` or errors.
+pub const USAGE: &str = "usage: dagsched [--heuristic NAME|all] [--machine clique|ring:N|mesh:RxC|hypercube:D|bounded:P] [--gantt WIDTH] [--analyze] [--svg] [--dot] [--stg W] [--quiet] <graph.pdg | ->";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+nodes 3
+node 0 10
+node 1 20
+node 2 30
+edge 0 1 5
+edge 0 2 5
+";
+
+    fn opts(extra: &[&str]) -> CliOptions {
+        let mut args: Vec<String> = extra.iter().map(|s| s.to_string()).collect();
+        args.push("-".into());
+        parse_args(&args).unwrap()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let o = opts(&[]);
+        assert_eq!(o.heuristic, "all");
+        assert_eq!(o.machine, "clique");
+        assert_eq!(o.input, "-");
+    }
+
+    #[test]
+    fn parse_flags() {
+        let o = opts(&[
+            "--heuristic",
+            "dsc",
+            "--machine",
+            "MESH:2x3",
+            "--quiet",
+            "--dot",
+            "--gantt",
+            "0",
+        ]);
+        assert_eq!(o.heuristic, "DSC");
+        assert_eq!(o.machine, "mesh:2x3");
+        assert!(o.quiet && o.dot);
+        assert_eq!(o.gantt_width, 0);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_args(&[]).is_err()); // no input
+        assert!(parse_args(&["--frobnicate".into(), "-".into()]).is_err());
+        assert!(parse_args(&["a".into(), "b".into()]).is_err()); // two inputs
+    }
+
+    #[test]
+    fn machine_parsing() {
+        assert_eq!(parse_machine("clique").unwrap().name(), "clique");
+        assert_eq!(parse_machine("ring:5").unwrap().max_procs(), Some(5));
+        assert_eq!(parse_machine("mesh:2x3").unwrap().max_procs(), Some(6));
+        assert_eq!(parse_machine("hypercube:3").unwrap().max_procs(), Some(8));
+        assert_eq!(parse_machine("bounded:4").unwrap().max_procs(), Some(4));
+        for bad in [
+            "nope",
+            "ring:0",
+            "ring:x",
+            "mesh:2",
+            "mesh:0x3",
+            "bounded:0",
+            "hypercube:50",
+        ] {
+            assert!(parse_machine(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn heuristic_selection() {
+        assert_eq!(select_heuristics("all").unwrap().len(), 11);
+        assert_eq!(select_heuristics("CLANS").unwrap().len(), 1);
+        assert!(select_heuristics("NOPE").is_err());
+    }
+
+    #[test]
+    fn runs_all_heuristics_on_sample() {
+        let o = opts(&["--quiet"]);
+        let out = run_on_text(&o, SAMPLE).unwrap();
+        for h in ["CLANS", "DSC", "MCP", "MH", "HU", "SARKAR", "SERIAL"] {
+            assert!(out.contains(h), "missing {h} in output");
+        }
+        assert!(out.contains("parallel_time="));
+    }
+
+    #[test]
+    fn runs_single_heuristic_with_gantt_and_dot() {
+        let mut o = opts(&["--heuristic", "clans", "--dot"]);
+        o.gantt_width = 30;
+        let out = run_on_text(&o, SAMPLE).unwrap();
+        assert!(out.contains("digraph input"));
+        assert!(out.contains("CLANS"));
+        assert!(out.contains("P0"));
+        assert!(!out.contains("DSC "));
+    }
+
+    #[test]
+    fn analyze_and_svg_flags() {
+        let o = opts(&["--heuristic", "clans", "--analyze", "--svg", "--gantt", "0"]);
+        let out = run_on_text(&o, SAMPLE).unwrap();
+        assert!(out.contains("zeroed"));
+        assert!(out.contains("<svg"));
+        assert!(out.contains("</svg>"));
+    }
+
+    #[test]
+    fn stg_input_mode() {
+        let mut o = opts(&["--quiet"]);
+        o.stg_edge_weight = Some(4);
+        let stg = "3\n0 10 0\n1 20 1 0\n2 30 1 0\n";
+        let out = run_on_text(&o, stg).unwrap();
+        assert!(out.contains("CLANS"));
+        // The same text is invalid in the native format.
+        o.stg_edge_weight = None;
+        assert!(run_on_text(&o, stg).is_err());
+    }
+
+    #[test]
+    fn bad_graph_is_reported() {
+        let o = opts(&["--quiet"]);
+        let err = run_on_text(&o, "nodes x").unwrap_err();
+        assert!(err.contains("invalid node count"));
+    }
+
+    #[test]
+    fn bounded_machine_end_to_end() {
+        let o = CliOptions {
+            heuristic: "MH".into(),
+            machine: "bounded:1".into(),
+            quiet: true,
+            ..opts(&[])
+        };
+        let out = run_on_text(&o, SAMPLE).unwrap();
+        assert!(out.contains("procs=1"));
+    }
+}

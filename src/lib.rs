@@ -1,0 +1,28 @@
+//! # dagsched — umbrella crate
+//!
+//! Re-exports the whole workspace behind one dependency, mirroring the
+//! layering of the reproduction of Khan, McCreary & Jones,
+//! *A Comparison of Multiprocessor Scheduling Heuristics* (ICPP 1994):
+//!
+//! * [`dag`] — the weighted-DAG (PDG) substrate;
+//! * [`clans`] — clan (modular) decomposition into parse trees;
+//! * [`sim`] — machine model, schedules, validation, metrics,
+//!   discrete-event simulation;
+//! * [`gen`] — random PDG generation and classification;
+//! * [`par`] — the work-stealing parallel-map substrate;
+//! * [`core`] — the five heuristics (CLANS, DSC, MCP, MH, HU) plus
+//!   extension schedulers behind the [`core::Scheduler`] trait;
+//! * [`experiments`] — the 2100-graph corpus and regeneration of
+//!   every table and figure of the paper.
+//!
+//! See `examples/quickstart.rs` for a guided tour.
+
+pub mod cli;
+
+pub use dagsched_clans as clans;
+pub use dagsched_core as core;
+pub use dagsched_dag as dag;
+pub use dagsched_experiments as experiments;
+pub use dagsched_gen as gen;
+pub use dagsched_par as par;
+pub use dagsched_sim as sim;

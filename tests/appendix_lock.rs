@@ -1,0 +1,65 @@
+//! Regression lock on the appendix worked example: every scheduler's
+//! makespan on the paper's Figure 16 graph is pinned. If an algorithm
+//! change moves one of these numbers, that is a deliberate behavioral
+//! change and this file must be updated alongside EXPERIMENTS.md.
+
+use dagsched::core::fixtures::fig16;
+use dagsched::core::{all_heuristics, BandSelector, BestOf, Dsh, Scheduler};
+use dagsched::sim::Clique;
+
+#[test]
+fn every_scheduler_makespan_on_fig16_is_pinned() {
+    let g = fig16();
+    let expected = [
+        ("CLANS", 130),
+        ("DSC", 130),
+        ("MCP", 130),
+        ("MH", 130),
+        ("HU", 135),
+        ("ETF", 130),
+        ("HLFET", 130),
+        ("DLS", 130),
+        ("LC", 130),
+        ("SARKAR", 135),
+        ("SERIAL", 150),
+    ];
+    let mut seen = std::collections::HashMap::new();
+    for h in all_heuristics() {
+        seen.insert(h.name(), h.schedule(&g, &Clique).makespan());
+    }
+    for (name, want) in expected {
+        assert_eq!(
+            seen.get(name),
+            Some(&want),
+            "{name}: expected makespan {want}, got {:?}",
+            seen.get(name)
+        );
+    }
+    assert_eq!(seen.len(), expected.len(), "scheduler registry changed");
+}
+
+#[test]
+fn meta_and_duplication_on_fig16_are_pinned() {
+    let g = fig16();
+    assert_eq!(
+        BandSelector::default().schedule(&g, &Clique).makespan(),
+        130
+    );
+    assert_eq!(BestOf::paper().schedule(&g, &Clique).makespan(), 130);
+    // Duplication cannot improve fig16's best (the fork is too light
+    // to benefit), and must not regress it.
+    let dup = Dsh.schedule(&g, &Clique);
+    assert!(dup.check(&g, &Clique).is_empty());
+    assert!(dup.makespan() <= 150);
+}
+
+#[test]
+fn hu_and_sarkar_agree_on_the_cluster_but_not_the_path() {
+    // Both land on 135 via the {0,1} | {2,3,4} split — a coincidence
+    // worth pinning because it documents why Table 2/3 still separate
+    // them on the corpus (their decisions differ on wider graphs).
+    let g = fig16();
+    let hu = dagsched::core::Hu.schedule(&g, &Clique);
+    let sarkar = dagsched::core::Sarkar.schedule(&g, &Clique);
+    assert_eq!(hu.makespan(), sarkar.makespan());
+}

@@ -1,0 +1,76 @@
+//! Reproducibility: the whole study must be bit-for-bit deterministic
+//! given a seed, regardless of thread scheduling — the property that
+//! makes `EXPERIMENTS.md` a verifiable record instead of a snapshot.
+
+use dagsched::experiments::corpus::{generate_corpus, generate_entry, CorpusSpec};
+use dagsched::experiments::runner::run_corpus;
+use dagsched::experiments::tables::all_tables;
+use dagsched_core::paper_heuristics;
+
+fn spec() -> CorpusSpec {
+    CorpusSpec {
+        graphs_per_set: 2,
+        nodes: 20..=35,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn corpus_generation_is_reproducible_across_runs() {
+    let a = generate_corpus(&spec());
+    let b = generate_corpus(&spec());
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.graph, y.graph, "{:?} #{}", x.key, x.index);
+        assert_eq!(x.granularity, y.granularity);
+    }
+}
+
+#[test]
+fn corpus_is_independent_of_parallelism() {
+    // par_map with many workers vs the single-entry path.
+    let corpus = generate_corpus(&spec());
+    for probe in [0usize, 17, 63, corpus.len() - 1] {
+        let e = &corpus[probe];
+        let solo = generate_entry(&spec(), e.key, e.index);
+        assert_eq!(solo.graph, e.graph);
+    }
+}
+
+#[test]
+fn full_study_tables_are_bit_identical_across_runs() {
+    let heuristics = paper_heuristics();
+    let t1 = all_tables(&run_corpus(&generate_corpus(&spec()), &heuristics));
+    let t2 = all_tables(&run_corpus(&generate_corpus(&spec()), &heuristics));
+    assert_eq!(t1.len(), t2.len());
+    for (a, b) in t1.iter().zip(&t2) {
+        assert_eq!(a, b, "table {} differs between runs", a.number);
+        // Including the exact float bits (no parallel-reduction
+        // nondeterminism).
+        for ((_, ra), (_, rb)) in a.rows.iter().zip(&b.rows) {
+            for (x, y) in ra.iter().zip(rb) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn different_seeds_give_different_corpora_but_same_shapes() {
+    let s1 = spec();
+    let s2 = CorpusSpec { seed: 7, ..spec() };
+    let c1 = generate_corpus(&s1);
+    let c2 = generate_corpus(&s2);
+    assert_eq!(c1.len(), c2.len());
+    // The graphs differ...
+    let same = c1
+        .iter()
+        .zip(&c2)
+        .filter(|(a, b)| a.graph == b.graph)
+        .count();
+    assert!(same < c1.len() / 10, "{same} identical graphs across seeds");
+    // ...but every graph still classifies into its set.
+    for e in c2 {
+        assert!(e.key.band.contains(e.granularity));
+    }
+}

@@ -1,0 +1,365 @@
+//! Property-based tests over random weighted DAGs: the workspace's
+//! strongest correctness net. Strategies build arbitrary DAGs (not
+//! just series-parallel ones), then every invariant that the paper's
+//! comparison rests on is checked.
+
+use dagsched::clans::{verify, ClanKind, ParseTree};
+use dagsched::core::{all_heuristics, Scheduler};
+use dagsched::dag::closure::{Closure, Relation};
+use dagsched::dag::{levels, metrics, topo, Dag, DagBuilder, NodeId};
+use dagsched::sim::{event, metrics as smetrics, validate, Clique, Clustering};
+use proptest::prelude::*;
+
+/// An arbitrary DAG: `n` nodes with random weights; each candidate
+/// edge (i < j, guaranteeing acyclicity) appears with the given
+/// density and a random weight.
+fn arb_dag(max_nodes: usize, max_w: u64, max_c: u64) -> impl Strategy<Value = Dag> {
+    (1..=max_nodes)
+        .prop_flat_map(move |n| {
+            let weights = prop::collection::vec(1..=max_w, n);
+            let edges = prop::collection::vec(
+                ((0..n), (0..n), 1..=max_c, prop::bool::weighted(0.25)),
+                0..n * 3,
+            );
+            (weights, edges)
+        })
+        .prop_map(|(weights, edges)| {
+            let mut b = DagBuilder::new();
+            for w in &weights {
+                b.add_node(*w);
+            }
+            for (a, bn, c, keep) in edges {
+                if !keep || a == bn {
+                    continue;
+                }
+                let (s, d) = if a < bn { (a, bn) } else { (bn, a) };
+                let _ = b.add_edge(NodeId(s as u32), NodeId(d as u32), c);
+            }
+            b.build().expect("forward edges cannot cycle")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_scheduler_produces_valid_schedules(g in arb_dag(28, 100, 400)) {
+        let machine = Clique;
+        for h in all_heuristics() {
+            let s = h.schedule(&g, &machine);
+            let violations = validate::check(&g, &machine, &s);
+            prop_assert!(violations.is_empty(), "{}: {violations:?}", h.name());
+        }
+    }
+
+    #[test]
+    fn event_sim_matches_analytic_for_every_scheduler(g in arb_dag(24, 80, 300)) {
+        let machine = Clique;
+        for h in all_heuristics() {
+            let s = h.schedule(&g, &machine);
+            let r = event::simulate(&g, &machine, &s, None);
+            prop_assert_eq!(r.makespan, s.makespan(), "{}", h.name());
+        }
+    }
+
+    #[test]
+    fn clans_speedup_is_never_below_one(g in arb_dag(30, 100, 500)) {
+        let s = dagsched::core::Clans.schedule(&g, &Clique);
+        prop_assert!(s.makespan() <= g.serial_time());
+    }
+
+    #[test]
+    fn dsc_never_exceeds_the_fully_parallel_bound(g in arb_dag(30, 100, 500)) {
+        let s = dagsched::core::Dsc.schedule(&g, &Clique);
+        prop_assert!(s.makespan() <= levels::critical_path_len(&g));
+    }
+
+    #[test]
+    fn no_schedule_beats_the_computation_critical_path(g in arb_dag(24, 100, 300)) {
+        let bound = levels::critical_path_len_computation(&g);
+        for h in all_heuristics() {
+            let s = h.schedule(&g, &Clique);
+            prop_assert!(s.makespan() >= bound, "{}", h.name());
+        }
+    }
+
+    #[test]
+    fn fast_dsc_is_schedule_identical_to_scan_dsc(g in arb_dag(30, 100, 500)) {
+        let slow = dagsched::core::Dsc.schedule(&g, &Clique);
+        let fast = dagsched::core::DscFast.schedule(&g, &Clique);
+        prop_assert_eq!(slow, fast);
+    }
+
+    #[test]
+    fn sarkar_never_exceeds_the_fully_parallel_bound(g in arb_dag(22, 100, 400)) {
+        // Sarkar accepts only non-worsening merges from singletons, so
+        // it shares DSC's invariant.
+        let s = dagsched::core::Sarkar.schedule(&g, &Clique);
+        prop_assert!(s.makespan() <= levels::critical_path_len(&g));
+        prop_assert!(validate::is_valid(&g, &Clique, &s));
+    }
+
+    #[test]
+    fn quotients_contract_clans_consistently(g in arb_dag(18, 30, 30)) {
+        use dagsched::clans::Quotient;
+        let tree = ParseTree::decompose(&g);
+        for id in tree.clan_ids() {
+            let c = tree.clan(id);
+            if c.kind == ClanKind::Leaf {
+                continue;
+            }
+            let q = Quotient::of(&g, &tree, id, |ch| tree.clan(ch).size() as u64);
+            prop_assert_eq!(q.graph.num_nodes(), c.children.len());
+            prop_assert_eq!(q.children.len(), c.children.len());
+            // Children sizes survive contraction (total preserved).
+            let total: usize = q.children.iter().map(|&ch| tree.clan(ch).size()).sum();
+            prop_assert_eq!(total, c.size());
+            // Quotient edge count matches the distinct crossing pairs.
+            let mut crossing = std::collections::HashSet::new();
+            let child_of = |v: NodeId| {
+                q.children
+                    .iter()
+                    .position(|&ch| tree.clan(ch).members.contains(v.index()))
+            };
+            for e in g.edges() {
+                if let (Some(a), Some(b)) = (child_of(e.src), child_of(e.dst)) {
+                    if a != b {
+                        crossing.insert((a, b));
+                    }
+                }
+            }
+            prop_assert_eq!(q.graph.num_edges(), crossing.len());
+            // Structural kinds show in the quotient: independent clans
+            // contract to edgeless quotients, linear clans to total
+            // orders (a Hamiltonian-path-bearing transitive DAG).
+            match c.kind {
+                ClanKind::Independent => prop_assert_eq!(q.graph.num_edges(), 0),
+                ClanKind::Linear => {
+                    let k = q.graph.num_nodes();
+                    prop_assert!(q.graph.num_edges() >= k - 1);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn parse_tree_invariants_hold(g in arb_dag(22, 50, 50)) {
+        let tree = ParseTree::decompose(&g);
+        let violations = verify::check_tree(&g, &tree);
+        prop_assert!(violations.is_empty(), "{violations:?}");
+        if g.num_nodes() > 0 {
+            // Leaf count equals node count; the root covers everything.
+            let leaves = tree
+                .clan_ids()
+                .filter(|&c| tree.clan(c).kind == ClanKind::Leaf)
+                .count();
+            prop_assert_eq!(leaves, g.num_nodes());
+            prop_assert_eq!(tree.clan(tree.root().unwrap()).size(), g.num_nodes());
+        }
+    }
+
+    #[test]
+    fn closure_matches_dfs_reachability(g in arb_dag(20, 10, 10)) {
+        let closure = Closure::new(&g);
+        // Independent DFS per node.
+        for u in g.nodes() {
+            let mut seen = vec![false; g.num_nodes()];
+            let mut stack: Vec<NodeId> = g.succs(u).map(|(s, _)| s).collect();
+            while let Some(v) = stack.pop() {
+                if !std::mem::replace(&mut seen[v.index()], true) {
+                    stack.extend(g.succs(v).map(|(s, _)| s));
+                }
+            }
+            for v in g.nodes() {
+                if u == v { continue; }
+                prop_assert_eq!(closure.reaches(u, v), seen[v.index()]);
+                let rel = closure.relation(u, v);
+                match (seen[v.index()], closure.reaches(v, u)) {
+                    (true, r) => { prop_assert!(!r, "cycle?"); prop_assert_eq!(rel, Relation::Ancestor); }
+                    (false, true) => prop_assert_eq!(rel, Relation::Descendant),
+                    (false, false) => prop_assert_eq!(rel, Relation::Unrelated),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levels_satisfy_their_recurrences(g in arb_dag(25, 100, 100)) {
+        let bl = levels::blevels_with_comm(&g);
+        let tl = levels::tlevels_with_comm(&g);
+        let cp = levels::critical_path_len(&g);
+        for v in g.nodes() {
+            let succ_best = g.succs(v).map(|(s, c)| bl[s.index()] + c).max().unwrap_or(0);
+            prop_assert_eq!(bl[v.index()], g.node_weight(v) + succ_best);
+            prop_assert!(tl[v.index()] + bl[v.index()] <= cp);
+        }
+        // The critical path realizes the bound.
+        let path = levels::critical_path(&g);
+        if g.num_nodes() > 0 {
+            let mut sum = 0;
+            for w in path.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                let edge = g.succs(a).find(|&(s, _)| s == b).expect("path follows edges");
+                sum += g.node_weight(a) + edge.1;
+            }
+            sum += path.last().map(|&v| g.node_weight(v)).unwrap_or(0);
+            prop_assert_eq!(sum, cp);
+        }
+    }
+
+    #[test]
+    fn serial_clustering_equals_serial_time(g in arb_dag(25, 100, 100)) {
+        let s = Clustering::serial(g.num_nodes()).materialize(&g, &Clique).unwrap();
+        prop_assert_eq!(s.makespan(), g.serial_time());
+        let m = smetrics::measures(&g, &s);
+        if g.num_nodes() > 0 && g.serial_time() > 0 {
+            prop_assert!((m.speedup - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn singleton_clustering_equals_cp_with_comm(g in arb_dag(25, 100, 100)) {
+        let s = Clustering::singletons(g.num_nodes()).materialize(&g, &Clique).unwrap();
+        prop_assert_eq!(s.makespan(), levels::critical_path_len(&g));
+    }
+
+    #[test]
+    fn topo_utilities_are_consistent(g in arb_dag(25, 20, 20)) {
+        prop_assert!(topo::is_topological(&g, g.topo_order()));
+        let layers = topo::depth_layers(&g);
+        for e in g.edges() {
+            prop_assert!(layers[e.src.index()] < layers[e.dst.index()]);
+        }
+        prop_assert_eq!(
+            topo::layering(&g).iter().map(Vec::len).sum::<usize>(),
+            g.num_nodes()
+        );
+    }
+
+    #[test]
+    fn textio_roundtrips(g in arb_dag(25, 100, 100)) {
+        let text = dagsched::dag::textio::write(&g);
+        let parsed = dagsched::dag::textio::parse(&text).unwrap();
+        prop_assert_eq!(g, parsed);
+    }
+
+    #[test]
+    fn transpose_is_an_involution(g in arb_dag(25, 50, 50)) {
+        use dagsched::dag::transform::transpose;
+        prop_assert_eq!(transpose(&transpose(&g)), g);
+    }
+
+    #[test]
+    fn dsh_duplication_schedules_are_valid(g in arb_dag(22, 80, 300)) {
+        let s = dagsched::core::Dsh.schedule(&g, &Clique);
+        let violations = s.check(&g, &Clique);
+        prop_assert!(violations.is_empty(), "{violations:?}");
+        // Duplication can only add copies, never drop tasks.
+        prop_assert!(s.total_copies() >= g.num_nodes());
+        // The computation-only critical path still lower-bounds it.
+        prop_assert!(s.makespan() >= levels::critical_path_len_computation(&g));
+    }
+
+    #[test]
+    fn meta_schedulers_are_valid_and_best_of_wins(g in arb_dag(20, 80, 300)) {
+        use dagsched::core::{BandSelector, BestOf};
+        let sel = BandSelector::default().schedule(&g, &Clique);
+        prop_assert!(validate::is_valid(&g, &Clique, &sel));
+        let best = BestOf::paper().schedule(&g, &Clique);
+        prop_assert!(validate::is_valid(&g, &Clique, &best));
+        // BEST-OF is at least as good as every paper heuristic,
+        // including the selector's choice.
+        prop_assert!(best.makespan() <= sel.makespan());
+    }
+
+    #[test]
+    fn textio_parser_never_panics(s in "\\PC*") {
+        // Fuzz: arbitrary junk must return Err, not panic.
+        let _ = dagsched::dag::textio::parse(&s);
+    }
+
+    #[test]
+    fn textio_parser_never_panics_on_directive_shaped_input(
+        lines in prop::collection::vec(
+            prop_oneof![
+                Just("nodes 3".to_string()),
+                "node [0-9]{1,3} [0-9]{1,3}".prop_map(|s| s),
+                "edge [0-9]{1,2} [0-9]{1,2} [0-9]{1,3}".prop_map(|s| s),
+                "# .*".prop_map(|s| s),
+            ],
+            0..12,
+        )
+    ) {
+        let text = lines.join("\n");
+        let _ = dagsched::dag::textio::parse(&text);
+    }
+
+    #[test]
+    fn transitive_reduction_preserves_reachability(g in arb_dag(20, 10, 10)) {
+        use dagsched::dag::transform::transitive_reduction;
+        let r = transitive_reduction(&g);
+        prop_assert!(r.num_edges() <= g.num_edges());
+        let before = Closure::new(&g);
+        let after = Closure::new(&r);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u != v {
+                    prop_assert_eq!(before.reaches(u, v), after.reaches(u, v));
+                }
+            }
+        }
+        // Idempotent.
+        prop_assert_eq!(transitive_reduction(&r), r);
+    }
+
+    #[test]
+    fn granularity_is_scale_consistent(g in arb_dag(20, 100, 100)) {
+        // Doubling every edge weight halves granularity (up to
+        // integer exactness: weights are doubled exactly).
+        if g.num_edges() > 0 {
+            let before = metrics::granularity(&g);
+            let mut b = g.to_builder();
+            b.map_edge_weights(|w| w * 2);
+            let doubled = b.build().unwrap();
+            let after = metrics::granularity(&doubled);
+            prop_assert!((after - before / 2.0).abs() < 1e-9 * before.max(1.0));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generator_hits_band_and_range(
+        seed in 0u64..1000,
+        band_idx in 0usize..5,
+        anchor in 2usize..=5,
+    ) {
+        use rand::SeedableRng;
+        let band = dagsched::gen::GranularityBand::ALL[band_idx];
+        let weights = dagsched::gen::WeightRange::new(20, 200);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = dagsched::gen::pdg::generate(
+            &dagsched::gen::PdgSpec { nodes: 40, anchor, weights, band },
+            &mut rng,
+        );
+        let (lo, hi) = metrics::node_weight_range(&g).unwrap();
+        prop_assert!(lo >= 20 && hi <= 200);
+        prop_assert_eq!(metrics::anchor_out_degree_nonsink(&g), anchor);
+        // Granularity targeting may rarely miss; the corpus retries.
+        // Here we only require it to be within one band of the target.
+        let gran = metrics::granularity(&g);
+        let hit = band.contains(gran);
+        let near = dagsched::gen::GranularityBand::classify(gran)
+            .map(|b| {
+                let ord = |x: dagsched::gen::GranularityBand| {
+                    dagsched::gen::GranularityBand::ALL.iter().position(|&y| y == x).unwrap()
+                };
+                ord(b).abs_diff(ord(band)) <= 1
+            })
+            .unwrap_or(false);
+        prop_assert!(hit || near, "granularity {gran} far from {band:?}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Large-scale stress tests — `#[ignore]`d by default, run with
+//!
+//! ```text
+//! cargo test --release --test stress -- --ignored
+//! ```
+//!
+//! They verify the whole stack on graphs an order of magnitude bigger
+//! than the corpus: validity, cross-checks, and the DSC/DSC-F
+//! equivalence at scale.
+
+use dagsched::core::{all_heuristics, Dsc, DscFast, Scheduler};
+use dagsched::dag::Dag;
+use dagsched::gen::pdg::{generate, PdgSpec};
+use dagsched::gen::{GranularityBand, WeightRange};
+use dagsched::sim::{event, validate, Clique};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn big_graph(nodes: usize, band: GranularityBand, seed: u64) -> Dag {
+    generate(
+        &PdgSpec {
+            nodes,
+            anchor: 4,
+            weights: WeightRange::new(20, 400),
+            band,
+        },
+        &mut StdRng::seed_from_u64(seed),
+    )
+}
+
+#[test]
+#[ignore = "release-mode stress test"]
+fn all_schedulers_valid_on_500_node_graphs() {
+    for band in [
+        GranularityBand::VeryFine,
+        GranularityBand::Medium,
+        GranularityBand::VeryCoarse,
+    ] {
+        let g = big_graph(500, band, 1);
+        for h in all_heuristics() {
+            let s = h.schedule(&g, &Clique);
+            assert!(
+                validate::is_valid(&g, &Clique, &s),
+                "{} invalid on 500-node {band:?}",
+                h.name()
+            );
+            let r = event::simulate(&g, &Clique, &s, None);
+            assert_eq!(r.makespan, s.makespan(), "{}", h.name());
+        }
+    }
+}
+
+#[test]
+#[ignore = "release-mode stress test"]
+fn fast_dsc_identical_at_scale() {
+    for seed in 0..4 {
+        let g = big_graph(800, GranularityBand::Medium, seed);
+        assert_eq!(Dsc.schedule(&g, &Clique), DscFast.schedule(&g, &Clique));
+    }
+}
+
+#[test]
+#[ignore = "release-mode stress test"]
+fn clan_decomposition_scales_and_verifies() {
+    let g = big_graph(600, GranularityBand::Coarse, 9);
+    let tree = dagsched::clans::ParseTree::decompose(&g);
+    assert_eq!(tree.clan(tree.root().unwrap()).size(), 600);
+    assert!(dagsched::clans::verify::check_tree(&g, &tree).is_empty());
+}
+
+#[test]
+#[ignore = "release-mode stress test"]
+fn duplication_valid_at_scale() {
+    let g = big_graph(400, GranularityBand::Fine, 3);
+    let s = dagsched::core::Dsh.schedule(&g, &Clique);
+    assert!(s.check(&g, &Clique).is_empty());
+    assert!(s.makespan() >= dagsched::dag::levels::critical_path_len_computation(&g));
+}

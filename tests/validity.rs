@@ -1,0 +1,157 @@
+//! Cross-crate integration: every scheduler must produce schedules
+//! that the independent oracle accepts, on every graph family, under
+//! every machine model — and the discrete-event simulator must agree
+//! with the analytic times.
+
+use dagsched::core::{all_heuristics, Scheduler};
+use dagsched::dag::Dag;
+use dagsched::gen::families;
+use dagsched::sim::{event, validate, BoundedClique, Clique, Hypercube, Machine, Mesh2D, Ring};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn family_zoo() -> Vec<(String, Dag)> {
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut zoo: Vec<(String, Dag)> = vec![
+        ("chain".into(), families::chain(12, 10, 25)),
+        ("independent".into(), families::independent(9, 30)),
+        ("fork_join".into(), families::fork_join(7, 40, 15)),
+        ("out_tree".into(), families::binary_out_tree(4, 20, 8)),
+        ("in_tree".into(), families::binary_in_tree(4, 20, 8)),
+        ("gauss".into(), families::gaussian_elimination(6, 3, 12)),
+        ("fft".into(), families::fft(3, 15, 60)),
+        ("stencil".into(), families::stencil(4, 5, 10, 35)),
+        (
+            "layered".into(),
+            families::layered_random(5, 5, 3, (20, 100), (1, 80), &mut rng),
+        ),
+        ("fig16".into(), dagsched::core::fixtures::fig16()),
+        (
+            "coarse_fj".into(),
+            dagsched::core::fixtures::coarse_fork_join(),
+        ),
+        ("fine_fj".into(), dagsched::core::fixtures::fine_fork_join()),
+    ];
+    // A couple of random PDGs from each granularity extreme.
+    for band in [
+        dagsched::gen::GranularityBand::VeryFine,
+        dagsched::gen::GranularityBand::VeryCoarse,
+    ] {
+        for i in 0..2 {
+            let g = dagsched::gen::pdg::generate(
+                &dagsched::gen::PdgSpec {
+                    nodes: 35,
+                    anchor: 3,
+                    weights: dagsched::gen::WeightRange::new(20, 200),
+                    band,
+                },
+                &mut rng,
+            );
+            zoo.push((format!("pdg_{band:?}_{i}"), g));
+        }
+    }
+    zoo
+}
+
+#[test]
+fn all_schedulers_valid_on_the_clique() {
+    let machine = Clique;
+    for (name, g) in family_zoo() {
+        for h in all_heuristics() {
+            let s = h.schedule(&g, &machine);
+            let violations = validate::check(&g, &machine, &s);
+            assert!(
+                violations.is_empty(),
+                "{} on {name}: {violations:?}",
+                h.name()
+            );
+            assert_eq!(s.num_tasks(), g.num_nodes());
+        }
+    }
+}
+
+#[test]
+fn all_schedulers_valid_on_bounded_and_topology_machines() {
+    let machines: Vec<Box<dyn Machine>> = vec![
+        Box::new(BoundedClique::new(1)),
+        Box::new(BoundedClique::new(3)),
+        Box::new(Ring::new(4)),
+        Box::new(Mesh2D::new(2, 3)),
+        Box::new(Hypercube::new(2)),
+    ];
+    for (name, g) in family_zoo() {
+        for m in &machines {
+            for h in all_heuristics() {
+                let s = h.schedule(&g, m.as_ref());
+                let violations = validate::check(&g, m.as_ref(), &s);
+                assert!(
+                    violations.is_empty(),
+                    "{} on {name} under {}: {violations:?}",
+                    h.name(),
+                    m.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn event_simulator_agrees_with_analytic_times() {
+    let machine = Clique;
+    for (name, g) in family_zoo() {
+        for h in all_heuristics() {
+            let s = h.schedule(&g, &machine);
+            let r = event::simulate(&g, &machine, &s, None);
+            assert_eq!(
+                r.makespan,
+                s.makespan(),
+                "{} on {name}: event sim disagrees",
+                h.name()
+            );
+            for v in g.nodes() {
+                assert_eq!(
+                    r.start[v.index()],
+                    s.start_of(v),
+                    "{} on {name}, {v}",
+                    h.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn makespan_never_below_computation_critical_path() {
+    // No valid schedule can beat the computation-only critical path.
+    let machine = Clique;
+    for (name, g) in family_zoo() {
+        let bound = dagsched::dag::levels::critical_path_len_computation(&g);
+        for h in all_heuristics() {
+            let s = h.schedule(&g, &machine);
+            assert!(
+                s.makespan() >= bound,
+                "{} on {name}: {} < CP bound {bound}",
+                h.name(),
+                s.makespan()
+            );
+        }
+    }
+}
+
+#[test]
+fn serial_is_an_upper_bound_for_clans_and_a_reference_for_others() {
+    let machine = Clique;
+    for (name, g) in family_zoo() {
+        let serial = g.serial_time();
+        let clans = dagsched::core::Clans.schedule(&g, &machine);
+        assert!(
+            clans.makespan() <= serial,
+            "CLANS exceeded serial on {name}"
+        );
+        let dsc = dagsched::core::Dsc.schedule(&g, &machine);
+        assert!(
+            dsc.makespan() <= dagsched::dag::levels::critical_path_len(&g),
+            "DSC exceeded the fully parallel bound on {name}"
+        );
+    }
+}
