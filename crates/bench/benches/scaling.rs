@@ -28,6 +28,7 @@ fn graph_of(n: usize) -> Dag {
         },
         &mut rng,
     )
+    .expect("bench spec is valid")
 }
 
 fn scaling_schedulers(c: &mut Criterion) {

@@ -398,10 +398,10 @@ mod tests {
         // Build: series(t, parallel(series(t,t), parallel(t,t)… ) —
         // parallel of parallel flattens in the canonical tree, so use
         // parallel(series, series) for a true two-level nest.
-        let inner_a = series(&[&task(1), &task(2)], |_, _, _| 1);
-        let inner_b = series(&[&task(3), &task(4), &task(5)], |_, _, _| 1);
-        let mid = parallel(&[&inner_a, &inner_b]);
-        let g = series(&[&task(9), &mid, &task(9)], |_, _, _| 1);
+        let inner_a = series(&[&task(1), &task(2)], |_, _, _| 1).unwrap();
+        let inner_b = series(&[&task(3), &task(4), &task(5)], |_, _, _| 1).unwrap();
+        let mid = parallel(&[&inner_a, &inner_b]).unwrap();
+        let g = series(&[&task(9), &mid, &task(9)], |_, _, _| 1).unwrap();
         let t = ParseTree::decompose(&g);
         assert_eq!(t.render(), "L(0, I(L(1, 2), L(3, 4, 5)), 6)");
         assert_eq!(t.kind_counts(), (3, 1, 0));
@@ -414,8 +414,8 @@ mod tests {
         // parallel(parallel(t,t), t) must parse as one independent
         // clan with three children — the canonical tree has no
         // independent-under-independent.
-        let inner = parallel(&[&task(1), &task(2)]);
-        let g = parallel(&[&inner, &task(3)]);
+        let inner = parallel(&[&task(1), &task(2)]).unwrap();
+        let g = parallel(&[&inner, &task(3)]).unwrap();
         let t = ParseTree::decompose(&g);
         assert_eq!(t.render(), "I(0, 1, 2)");
     }
@@ -423,8 +423,8 @@ mod tests {
     #[test]
     fn nested_series_flattens_canonically() {
         use dagsched_dag::compose::{series, task};
-        let inner = series(&[&task(1), &task(2)], |_, _, _| 1);
-        let g = series(&[&inner, &task(3)], |_, _, _| 1);
+        let inner = series(&[&task(1), &task(2)], |_, _, _| 1).unwrap();
+        let g = series(&[&inner, &task(3)], |_, _, _| 1).unwrap();
         let t = ParseTree::decompose(&g);
         assert_eq!(t.render(), "L(0, 1, 2)");
     }
@@ -435,7 +435,7 @@ mod tests {
         // The N poset sandwiched between two tasks: the primitive
         // survives as a child of the outer linear clan.
         let n_poset = build(&[(0, 2), (1, 2), (1, 3)], 4);
-        let g = series(&[&task(9), &n_poset, &task(9)], |_, _, _| 1);
+        let g = series(&[&task(9), &n_poset, &task(9)], |_, _, _| 1).unwrap();
         let t = ParseTree::decompose(&g);
         assert_eq!(t.render(), "L(0, P(1, 2, 3, 4), 5)");
         assert!(crate::verify::check_tree(&g, &t).is_empty());

@@ -375,7 +375,8 @@ mod tests {
         let g = dagsched_gen::pdg::from_lists(
             &[100, 100, 100, 100],
             &[(0, 2, 2), (1, 2, 2), (1, 3, 2)],
-        );
+        )
+        .unwrap();
         let s = Clans.schedule(&g, &Clique);
         assert!(validate::is_valid(&g, &Clique, &s));
         let m = metrics::measures(&g, &s);
@@ -386,7 +387,8 @@ mod tests {
         );
         // And the fine version serializes.
         let fine =
-            dagsched_gen::pdg::from_lists(&[5, 5, 5, 5], &[(0, 2, 900), (1, 2, 900), (1, 3, 900)]);
+            dagsched_gen::pdg::from_lists(&[5, 5, 5, 5], &[(0, 2, 900), (1, 2, 900), (1, 3, 900)])
+                .unwrap();
         let s = Clans.schedule(&fine, &Clique);
         assert_eq!(s.num_procs(), 1);
         assert_eq!(s.makespan(), fine.serial_time());

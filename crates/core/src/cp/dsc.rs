@@ -468,7 +468,8 @@ mod tests {
                     band,
                 },
                 &mut rng,
-            );
+            )
+            .unwrap();
             let slow = Dsc.schedule(&g, &Clique);
             let fast = DscFast.schedule(&g, &Clique);
             assert_eq!(slow, fast, "band {band:?}");

@@ -123,7 +123,7 @@ mod tests {
         // Two sources: a long one (high level) and a short one whose
         // successor frees *early*. Event-driven MH must allocate the
         // early successor before the late one becomes free.
-        let g = dagsched_gen::pdg::from_lists(&[100, 10, 10, 10], &[(0, 3, 1), (1, 2, 1)]);
+        let g = dagsched_gen::pdg::from_lists(&[100, 10, 10, 10], &[(0, 3, 1), (1, 2, 1)]).unwrap();
         let s = Mh.schedule(&g, &Clique);
         assert!(validate::is_valid(&g, &Clique, &s));
         // Task 2 (freed at t=10) starts before task 3 (freed at t=100).

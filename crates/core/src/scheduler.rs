@@ -8,7 +8,12 @@ use dagsched_sim::{Machine, Schedule};
 /// Implementations must produce schedules that pass
 /// `dagsched_sim::validate::check` for every valid input DAG — this is
 /// enforced by the workspace property tests.
-pub trait Scheduler: Sync {
+///
+/// `Send + Sync` is a supertrait bound so schedulers can be shared
+/// with (and moved onto) the fault-isolation harness's watchdog
+/// threads; every scheduler in this crate is plain data, so the bound
+/// costs nothing.
+pub trait Scheduler: Send + Sync {
     /// Short upper-case name as used in the paper's tables
     /// (`"CLANS"`, `"DSC"`, …).
     fn name(&self) -> &'static str;

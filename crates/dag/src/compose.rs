@@ -7,12 +7,14 @@
 //! of the result). The random parse-tree generator in `dagsched-gen`
 //! is this algebra driven by coin flips.
 
+use crate::error::Result;
 use crate::graph::{Dag, DagBuilder, NodeId, Weight};
 
 /// Disjoint union: the graphs run side by side with no edges between
 /// them. Node ids of graph `k` are offset by the sizes of graphs
-/// `0..k`. Returns the composed graph.
-pub fn parallel(parts: &[&Dag]) -> Dag {
+/// `0..k`. Returns the composed graph; any construction failure
+/// surfaces as a [`crate::DagError`] instead of a panic.
+pub fn parallel(parts: &[&Dag]) -> Result<Dag> {
     let nodes: usize = parts.iter().map(|g| g.num_nodes()).sum();
     let edges: usize = parts.iter().map(|g| g.num_edges()).sum();
     let mut b = DagBuilder::with_capacity(nodes, edges);
@@ -22,19 +24,22 @@ pub fn parallel(parts: &[&Dag]) -> Dag {
             b.add_node(w);
         }
         for e in g.edges() {
-            b.add_edge(NodeId(base + e.src.0), NodeId(base + e.dst.0), e.weight)
-                .expect("offsets keep edges unique");
+            b.add_edge(NodeId(base + e.src.0), NodeId(base + e.dst.0), e.weight)?;
         }
     }
-    b.build().expect("a union of DAGs is a DAG")
+    b.build()
 }
 
 /// Sequential composition: stage `k+1` starts after stage `k`. Every
 /// sink of stage `k` is connected to every source of stage `k+1`;
 /// `junction(k, sink, source)` supplies each new edge's weight (the
 /// stage index `k` is the junction between stages `k` and `k+1`, with
-/// sink/source ids local to their stages).
-pub fn series(parts: &[&Dag], mut junction: impl FnMut(usize, NodeId, NodeId) -> Weight) -> Dag {
+/// sink/source ids local to their stages). Construction failures
+/// surface as a [`crate::DagError`] instead of a panic.
+pub fn series(
+    parts: &[&Dag],
+    mut junction: impl FnMut(usize, NodeId, NodeId) -> Weight,
+) -> Result<Dag> {
     let nodes: usize = parts.iter().map(|g| g.num_nodes()).sum();
     let mut b = DagBuilder::with_capacity(nodes, nodes * 2);
     let mut bases = Vec::with_capacity(parts.len());
@@ -45,20 +50,18 @@ pub fn series(parts: &[&Dag], mut junction: impl FnMut(usize, NodeId, NodeId) ->
             b.add_node(w);
         }
         for e in g.edges() {
-            b.add_edge(NodeId(base + e.src.0), NodeId(base + e.dst.0), e.weight)
-                .expect("offsets keep edges unique");
+            b.add_edge(NodeId(base + e.src.0), NodeId(base + e.dst.0), e.weight)?;
         }
     }
     for k in 0..parts.len().saturating_sub(1) {
         for snk in parts[k].sinks() {
             for src in parts[k + 1].sources() {
                 let w = junction(k, snk, src);
-                b.add_edge(NodeId(bases[k] + snk.0), NodeId(bases[k + 1] + src.0), w)
-                    .expect("junction edges are fresh");
+                b.add_edge(NodeId(bases[k] + snk.0), NodeId(bases[k + 1] + src.0), w)?;
             }
         }
     }
-    b.build().expect("forward junctions preserve acyclicity")
+    b.build()
 }
 
 /// A single task as a graph — the unit of the algebra.
@@ -84,8 +87,8 @@ mod tests {
     #[test]
     fn parallel_is_a_disjoint_union() {
         let a = task(1);
-        let b2 = series(&[&task(2), &task(3)], |_, _, _| 5);
-        let p = parallel(&[&a, &b2]);
+        let b2 = series(&[&task(2), &task(3)], |_, _, _| 5).unwrap();
+        let p = parallel(&[&a, &b2]).unwrap();
         assert_eq!(p.num_nodes(), 3);
         assert_eq!(p.num_edges(), 1);
         assert_eq!(p.sources().len(), 2);
@@ -98,9 +101,9 @@ mod tests {
 
     #[test]
     fn series_joins_sinks_to_sources_completely() {
-        let fork = parallel(&[&task(1), &task(2)]); // two sinks
-        let join = parallel(&[&task(3), &task(4)]); // two sources
-        let g = series(&[&fork, &join], |k, _, _| (k + 1) as u64 * 10);
+        let fork = parallel(&[&task(1), &task(2)]).unwrap(); // two sinks
+        let join = parallel(&[&task(3), &task(4)]).unwrap(); // two sources
+        let g = series(&[&fork, &join], |k, _, _| (k + 1) as u64 * 10).unwrap();
         assert_eq!(g.num_nodes(), 4);
         assert_eq!(g.num_edges(), 4); // complete bipartite 2×2
         assert!(g.edges().iter().all(|e| e.weight == 10));
@@ -118,15 +121,16 @@ mod tests {
         let _ = series(&[&a, &b2, &c], |k, snk, src| {
             calls.push((k, snk.0, src.0));
             1
-        });
+        })
+        .unwrap();
         assert_eq!(calls, vec![(0, 0, 0), (1, 0, 0)]);
     }
 
     #[test]
     fn fork_join_via_the_algebra() {
         // series(task, parallel(task×3), task) = fork-join.
-        let mids = parallel(&[&task(10), &task(10), &task(10)]);
-        let g = series(&[&task(5), &mids, &task(5)], |_, _, _| 2);
+        let mids = parallel(&[&task(10), &task(10), &task(10)]).unwrap();
+        let g = series(&[&task(5), &mids, &task(5)], |_, _, _| 2).unwrap();
         assert_eq!(g.num_nodes(), 5);
         assert_eq!(g.num_edges(), 6);
         assert_eq!(g.sources().len(), 1);
@@ -139,9 +143,9 @@ mod tests {
 
     #[test]
     fn empty_parts_compose() {
-        let none = parallel(&[]);
+        let none = parallel(&[]).unwrap();
         assert_eq!(none.num_nodes(), 0);
-        let single = series(&[&task(4)], |_, _, _| 1);
+        let single = series(&[&task(4)], |_, _, _| 1).unwrap();
         assert_eq!(single.num_nodes(), 1);
     }
 }

@@ -14,13 +14,20 @@
 //!   --seed <N>             master seed (default 0x19940c99)
 //!   --nodes <LO>..<HI>     node count range (default 60..110)
 //!   --csv                  emit tables as CSV instead of markdown
+//!   --validate             run fault-isolated with oracle gating;
+//!                          the report gains a robustness section
+//!   --time-budget <MS>     abandon any scheduling attempt that takes
+//!                          longer than MS milliseconds (implies the
+//!                          fault-isolated runner)
 //! ```
 
 use dagsched_experiments::corpus::CorpusSpec;
 use dagsched_experiments::figures::all_figures;
 use dagsched_experiments::report::{render_appendix_example, Study};
 use dagsched_experiments::tables::{all_tables, table1};
+use dagsched_harness::HarnessConfig;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,7 +35,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("usage: repro [--graphs-per-set N] [--seed N] [--nodes LO..HI] [--csv] (all | table N | figure N | corpus | appendix | html | spread | rewiring | bounded | kernels | select | duplication | contention | summary | dump)");
+            eprintln!("usage: repro [--graphs-per-set N] [--seed N] [--nodes LO..HI] [--csv] [--validate] [--time-budget MS] (all | table N | figure N | corpus | appendix | html | spread | rewiring | bounded | kernels | select | duplication | contention | summary | dump)");
             ExitCode::FAILURE
         }
     }
@@ -37,7 +44,17 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), String> {
     let mut spec = CorpusSpec::default();
     let mut csv = false;
+    let mut harness: Option<HarnessConfig> = None;
     let mut command: Vec<&str> = Vec::new();
+
+    // Either robustness flag switches the study onto the
+    // fault-isolated runner; absent both, heuristics run trusted.
+    fn harness_entry(h: &mut Option<HarnessConfig>) -> &mut HarnessConfig {
+        h.get_or_insert(HarnessConfig {
+            time_budget: None,
+            validate: false,
+        })
+    }
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -60,6 +77,14 @@ fn run(args: &[String]) -> Result<(), String> {
                 spec.nodes = lo..=hi;
             }
             "--csv" => csv = true,
+            "--validate" => harness_entry(&mut harness).validate = true,
+            "--time-budget" => {
+                let ms = next_num(&mut it, "--time-budget")?;
+                if ms == 0 {
+                    return Err("--time-budget must be positive".into());
+                }
+                harness_entry(&mut harness).time_budget = Some(Duration::from_millis(ms));
+            }
             other => command.push(other),
         }
     }
@@ -70,12 +95,15 @@ fn run(args: &[String]) -> Result<(), String> {
                 "generating {} graphs and running 5 heuristics...",
                 spec.total_graphs()
             );
-            let study = Study::run(spec);
+            let study = Study::run_with(spec, harness);
             if csv {
                 for t in all_tables(&study.results) {
                     println!("# Table {}", t.number);
                     print!("{}", t.to_csv());
                     println!();
+                }
+                if let Some(stats) = &study.robustness {
+                    print!("{}", stats.render());
                 }
             } else {
                 print!("{}", study.render());
@@ -91,7 +119,7 @@ fn run(args: &[String]) -> Result<(), String> {
             if !(2..=11).contains(&n) {
                 return Err("table number must be 1-11".into());
             }
-            let study = Study::run(spec);
+            let study = Study::run_with(spec, harness);
             let t = all_tables(&study.results)
                 .into_iter()
                 .find(|t| t.number == n)
@@ -108,7 +136,7 @@ fn run(args: &[String]) -> Result<(), String> {
             if !(1..=6).contains(&n) {
                 return Err("figure number must be 1-6".into());
             }
-            let study = Study::run(spec);
+            let study = Study::run_with(spec, harness);
             let f = all_figures(&study.results)
                 .into_iter()
                 .find(|f| f.number == n)
@@ -117,7 +145,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         ["spread"] => {
-            let study = Study::run(spec);
+            let study = Study::run_with(spec, harness);
             print!(
                 "{}",
                 dagsched_experiments::tables::table3_spread(&study.results).to_markdown()
@@ -134,7 +162,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 "generating {} graphs and rendering the HTML report...",
                 spec.total_graphs()
             );
-            let study = Study::run(spec);
+            let study = Study::run_with(spec, harness);
             print!("{}", study.render_html());
             Ok(())
         }
@@ -221,7 +249,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         ["summary"] => {
-            let study = Study::run(spec);
+            let study = Study::run_with(spec, harness);
             let t = dagsched_experiments::extensions::summary(&study.results);
             if csv {
                 print!("{}", t.to_csv());
@@ -231,7 +259,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         ["dump"] => {
-            let study = Study::run(spec);
+            let study = Study::run_with(spec, harness);
             print!(
                 "{}",
                 dagsched_experiments::extensions::dump_csv(&study.results)

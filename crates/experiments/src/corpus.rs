@@ -105,7 +105,8 @@ pub fn generate_entry(spec: &CorpusSpec, key: SetKey, index: usize) -> CorpusEnt
                 band: key.band,
             },
             &mut rng,
-        );
+        )
+        .expect("corpus sets use validated specs");
         let gran = metrics::granularity(&g);
         if key.band.contains(gran) {
             return CorpusEntry {

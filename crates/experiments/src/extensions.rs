@@ -206,14 +206,22 @@ pub fn rewiring_study(graphs_per_band: usize, seed: u64) -> Table {
                         series_bias: 0.42,
                         max_arity: 8,
                     };
-                    let g = dagsched_gen::parsetree::generate(&base, &mut rng);
+                    let g = dagsched_gen::parsetree::generate(&base, &mut rng)
+                        .expect("rewiring-study spec is valid");
                     let target = band.sample_target(&mut rng);
                     dagsched_gen::pdg::retarget_granularity(&g, target, band)
+                        .expect("band targets are finite and positive")
                 } else {
                     dagsched_gen::pdg::generate(
-                        &dagsched_gen::PdgSpec { nodes, anchor: 3, weights, band },
+                        &dagsched_gen::PdgSpec {
+                            nodes,
+                            anchor: 3,
+                            weights,
+                            band,
+                        },
                         &mut rng,
                     )
+                    .expect("rewiring-study spec is valid")
                 };
                 let pts: Vec<u64> = heuristics
                     .iter()
@@ -235,8 +243,7 @@ pub fn rewiring_study(graphs_per_band: usize, seed: u64) -> Table {
     }
     Table {
         number: 18,
-        title: "Extension: mean NRPT on pure series-parallel vs anchor-rewired corpora"
-            .to_string(),
+        title: "Extension: mean NRPT on pure series-parallel vs anchor-rewired corpora".to_string(),
         row_label: "Granularity (corpus)".to_string(),
         columns: names,
         rows,
@@ -476,10 +483,7 @@ mod tests {
         // no worse than on rewired ones (its structure is intact).
         let pure: f64 = t.rows[..5].iter().map(|(_, v)| v[clans]).sum();
         let rewired: f64 = t.rows[5..].iter().map(|(_, v)| v[clans]).sum();
-        assert!(
-            pure <= rewired + 0.25,
-            "pure {pure} vs rewired {rewired}"
-        );
+        assert!(pure <= rewired + 0.25, "pure {pure} vs rewired {rewired}");
     }
 
     #[test]

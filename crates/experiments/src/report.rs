@@ -3,9 +3,10 @@
 
 use crate::corpus::{generate_corpus, CorpusSpec};
 use crate::figures::all_figures;
-use crate::runner::{run_corpus, GraphResult};
+use crate::runner::{run_corpus, run_corpus_robust, GraphResult, RobustnessStats};
 use crate::tables::{all_tables, table1};
 use dagsched_core::paper_heuristics;
+use dagsched_harness::HarnessConfig;
 use dagsched_sim::{gantt, metrics, Clique};
 use std::fmt::Write as _;
 
@@ -15,14 +16,37 @@ pub struct Study {
     pub spec: CorpusSpec,
     /// Per-graph results.
     pub results: Vec<GraphResult>,
+    /// Fault-isolation report, when the study ran under the harness.
+    pub robustness: Option<RobustnessStats>,
 }
 
 impl Study {
-    /// Generates the corpus and evaluates the five paper heuristics.
+    /// Generates the corpus and evaluates the five paper heuristics,
+    /// trusting them not to fault.
     pub fn run(spec: CorpusSpec) -> Study {
         let corpus = generate_corpus(&spec);
         let results = run_corpus(&corpus, &paper_heuristics());
-        Study { spec, results }
+        Study {
+            spec,
+            results,
+            robustness: None,
+        }
+    }
+
+    /// As [`Study::run`], but when `harness` is given each heuristic
+    /// runs fault-isolated under that policy and the report gains a
+    /// robustness section.
+    pub fn run_with(spec: CorpusSpec, harness: Option<HarnessConfig>) -> Study {
+        let Some(config) = harness else {
+            return Study::run(spec);
+        };
+        let corpus = generate_corpus(&spec);
+        let (results, stats) = run_corpus_robust(&corpus, paper_heuristics(), config);
+        Study {
+            spec,
+            results,
+            robustness: Some(stats),
+        }
     }
 
     /// The full report: Table 1, Tables 2–11, Figures 1–6.
@@ -50,6 +74,10 @@ impl Study {
         }
         for f in all_figures(&self.results) {
             out.push_str(&f.render(14));
+            out.push('\n');
+        }
+        if let Some(stats) = &self.robustness {
+            out.push_str(&stats.render());
             out.push('\n');
         }
         out
@@ -179,6 +207,25 @@ mod tests {
         }
         assert_eq!(html.matches("<svg").count(), 6 + 5, "6 figures + 5 gantts");
         assert!(html.contains("CLANS"));
+    }
+
+    #[test]
+    fn harnessed_study_appends_a_robustness_section() {
+        let spec = CorpusSpec {
+            graphs_per_set: 1,
+            nodes: 12..=20,
+            ..Default::default()
+        };
+        let study = Study::run_with(spec.clone(), Some(HarnessConfig::default()));
+        let stats = study.robustness.as_ref().expect("harnessed run has stats");
+        assert_eq!(stats.total_incidents(), 0, "paper heuristics are healthy");
+        let text = study.render();
+        assert!(text.contains("## Robustness report"));
+        assert!(text.contains("| CLANS |"));
+        // Without a harness config the section is absent.
+        let plain = Study::run_with(spec, None);
+        assert!(plain.robustness.is_none());
+        assert!(!plain.render().contains("Robustness report"));
     }
 
     #[test]

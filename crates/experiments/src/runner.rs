@@ -1,9 +1,18 @@
 //! Runs heuristics over the corpus and records the paper's measures.
+//!
+//! Two runners: [`run_corpus`] trusts the heuristics (a faulty one
+//! aborts the study), while [`run_corpus_robust`] wraps each in a
+//! [`RobustScheduler`] so panics, invalid schedules and deadline
+//! overruns are contained as [`Incident`]s and aggregated into a
+//! [`RobustnessStats`] report.
 
 use crate::corpus::{CorpusEntry, SetKey};
 use dagsched_core::Scheduler;
 use dagsched_dag::Weight;
-use dagsched_sim::{metrics, validate, Clique};
+use dagsched_harness::{Fault, HarnessConfig, Incident, RobustScheduler};
+use dagsched_sim::{metrics, validate, Clique, Machine};
+use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// One heuristic's outcome on one graph.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +103,187 @@ pub fn run_corpus(corpus: &[CorpusEntry], heuristics: &[Box<dyn Scheduler>]) -> 
     dagsched_par::par_map(corpus, |_, entry| evaluate_graph(entry, heuristics))
 }
 
+/// Containment counters for one (primary) heuristic across a robust
+/// corpus run. Faults raised by fallback entries of the chain are
+/// attributed to the primary whose run needed them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultTally {
+    /// The requested (primary) heuristic.
+    pub name: &'static str,
+    /// Graphs this heuristic was asked to schedule.
+    pub runs: usize,
+    /// Contained panics.
+    pub panics: usize,
+    /// Schedules rejected by the oracle gate.
+    pub invalid: usize,
+    /// Attempts abandoned by the watchdog.
+    pub timeouts: usize,
+    /// Runs completed by a fallback instead of the primary.
+    pub fallbacks: usize,
+}
+
+impl FaultTally {
+    /// `true` when every run completed via the primary heuristic.
+    pub fn clean(&self) -> bool {
+        self.fallbacks == 0 && self.panics == 0 && self.invalid == 0 && self.timeouts == 0
+    }
+}
+
+/// Aggregated robustness report for a corpus run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RobustnessStats {
+    /// One tally per heuristic, in registry order.
+    pub tallies: Vec<FaultTally>,
+    /// Deterministic one-line summaries of every incident, in corpus
+    /// order.
+    pub incident_summaries: Vec<String>,
+}
+
+impl RobustnessStats {
+    /// Total number of contained faults across all heuristics.
+    pub fn total_incidents(&self) -> usize {
+        self.incident_summaries.len()
+    }
+
+    /// Renders the report as a markdown section.
+    pub fn render(&self) -> String {
+        const MAX_LISTED: usize = 20;
+        let mut out = String::from("## Robustness report\n\n");
+        writeln!(
+            out,
+            "| heuristic | runs | panics | invalid | timeouts | fallbacks |"
+        )
+        .unwrap();
+        writeln!(out, "|---|---:|---:|---:|---:|---:|").unwrap();
+        for t in &self.tallies {
+            writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} |",
+                t.name, t.runs, t.panics, t.invalid, t.timeouts, t.fallbacks
+            )
+            .unwrap();
+        }
+        if self.incident_summaries.is_empty() {
+            out.push_str("\nno incidents: every run completed via the requested heuristic\n");
+        } else {
+            writeln!(out, "\n{} incident(s):\n", self.total_incidents()).unwrap();
+            for s in self.incident_summaries.iter().take(MAX_LISTED) {
+                writeln!(out, "- {s}").unwrap();
+            }
+            if self.total_incidents() > MAX_LISTED {
+                writeln!(
+                    out,
+                    "- ... and {} more",
+                    self.total_incidents() - MAX_LISTED
+                )
+                .unwrap();
+            }
+        }
+        out
+    }
+}
+
+/// Evaluates one graph with fault isolation. Returns the usual
+/// [`GraphResult`] plus, per heuristic (outer index = registry
+/// order), the incidents its run raised.
+pub fn evaluate_graph_robust(
+    entry: &CorpusEntry,
+    wrapped: &[RobustScheduler],
+    machine: &Arc<dyn Machine>,
+) -> (GraphResult, Vec<Vec<Incident>>) {
+    let g = &entry.graph;
+    let mut parallel_times = Vec::with_capacity(wrapped.len());
+    let mut partial: Vec<(&'static str, metrics::Measures)> = Vec::with_capacity(wrapped.len());
+    let mut incidents = Vec::with_capacity(wrapped.len());
+    for robust in wrapped {
+        let out = robust.run(g, machine);
+        let m = metrics::measures(g, &out.schedule);
+        parallel_times.push(m.parallel_time);
+        partial.push((robust.name(), m));
+        incidents.push(out.incidents);
+    }
+    let nrpts = metrics::normalized_relative_pts(&parallel_times);
+    let outcomes = partial
+        .into_iter()
+        .zip(nrpts)
+        .map(|((name, m), nrpt)| HeuristicOutcome {
+            name,
+            parallel_time: m.parallel_time,
+            speedup: m.speedup,
+            efficiency: m.efficiency,
+            procs: m.procs,
+            nrpt,
+        })
+        .collect();
+    (
+        GraphResult {
+            key: entry.key,
+            index: entry.index,
+            serial: g.serial_time(),
+            granularity: entry.granularity,
+            outcomes,
+        },
+        incidents,
+    )
+}
+
+/// Evaluates `heuristics` over the whole corpus with fault isolation:
+/// each is wrapped in a [`RobustScheduler`] (default fallback chain,
+/// `config` policy), every schedule entering the result tables is
+/// oracle-gated, and contained faults come back aggregated as
+/// [`RobustnessStats`].
+pub fn run_corpus_robust(
+    corpus: &[CorpusEntry],
+    heuristics: Vec<Box<dyn Scheduler>>,
+    config: HarnessConfig,
+) -> (Vec<GraphResult>, RobustnessStats) {
+    let wrapped: Vec<RobustScheduler> = heuristics
+        .into_iter()
+        .map(|h| RobustScheduler::new(Arc::from(h)).with_config(config))
+        .collect();
+    let machine: Arc<dyn Machine> = Arc::new(Clique);
+    let per_graph = dagsched_par::par_map(corpus, |_, entry| {
+        evaluate_graph_robust(entry, &wrapped, &machine)
+    });
+
+    let mut tallies: Vec<FaultTally> = wrapped
+        .iter()
+        .map(|r| FaultTally {
+            name: r.name(),
+            runs: corpus.len(),
+            panics: 0,
+            invalid: 0,
+            timeouts: 0,
+            fallbacks: 0,
+        })
+        .collect();
+    let mut incident_summaries = Vec::new();
+    let mut results = Vec::with_capacity(per_graph.len());
+    for (result, per_heuristic) in per_graph {
+        for (i, run_incidents) in per_heuristic.iter().enumerate() {
+            if !run_incidents.is_empty() {
+                tallies[i].fallbacks += 1;
+            }
+            for incident in run_incidents {
+                match &incident.fault {
+                    Fault::Panic(_) => tallies[i].panics += 1,
+                    Fault::Invalid(_) => tallies[i].invalid += 1,
+                    Fault::DeadlineExceeded { .. } => tallies[i].timeouts += 1,
+                }
+                incident_summaries.push(incident.summary());
+            }
+        }
+        results.push(result);
+    }
+    (
+        results,
+        RobustnessStats {
+            tallies,
+            incident_summaries,
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +349,64 @@ mod tests {
                 assert!((o.efficiency - o.speedup / o.procs as f64).abs() < 1e-9);
             }
         }
+    }
+
+    fn tiny_corpus() -> Vec<CorpusEntry> {
+        generate_corpus(&CorpusSpec {
+            graphs_per_set: 1,
+            nodes: 12..=18,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn robust_run_matches_trusting_run_on_healthy_heuristics() {
+        let corpus = tiny_corpus();
+        let plain = run_corpus(&corpus, &paper_heuristics());
+        let (robust, stats) =
+            run_corpus_robust(&corpus, paper_heuristics(), HarnessConfig::default());
+        assert_eq!(stats.total_incidents(), 0);
+        assert!(stats.tallies.iter().all(FaultTally::clean));
+        assert_eq!(plain.len(), robust.len());
+        for (p, r) in plain.iter().zip(&robust) {
+            for (po, ro) in p.outcomes.iter().zip(&r.outcomes) {
+                assert_eq!(po.name, ro.name);
+                assert_eq!(po.parallel_time, ro.parallel_time);
+            }
+        }
+        assert!(stats.render().contains("no incidents"));
+    }
+
+    #[test]
+    fn faulty_heuristic_is_tallied_and_the_run_still_completes() {
+        use dagsched_harness::chaos::PanicScheduler;
+        let corpus = tiny_corpus();
+        let mut heuristics = paper_heuristics();
+        heuristics.push(Box::new(PanicScheduler));
+        let (results, stats) = run_corpus_robust(&corpus, heuristics, HarnessConfig::default());
+        assert_eq!(results.len(), corpus.len());
+        let chaos = stats
+            .tallies
+            .iter()
+            .find(|t| t.name == "CHAOS-PANIC")
+            .expect("chaos tally present");
+        assert_eq!(chaos.runs, corpus.len());
+        assert_eq!(chaos.panics, corpus.len());
+        assert_eq!(chaos.fallbacks, corpus.len());
+        assert_eq!(stats.total_incidents(), corpus.len());
+        // Healthy heuristics are untouched by the chaos column.
+        for t in stats.tallies.iter().filter(|t| t.name != "CHAOS-PANIC") {
+            assert!(t.clean(), "{} tally not clean", t.name);
+        }
+        // Every graph still gets a full outcome row, chaos included
+        // (scheduled by its fallback).
+        for r in &results {
+            assert_eq!(r.outcomes.len(), 6);
+            assert!(r.outcome("CHAOS-PANIC").parallel_time > 0);
+        }
+        let report = stats.render();
+        assert!(report.contains("## Robustness report"));
+        assert!(report.contains("CHAOS-PANIC"));
+        assert!(report.contains("panicked"));
     }
 }

@@ -1,0 +1,204 @@
+//! Adversarial graph corpus for torture-testing schedulers.
+//!
+//! Random-generator surveys (Canon et al.) show generators routinely
+//! emit degenerate and extreme instances; this module makes those
+//! extremes *first-class test inputs*. Every case is deterministic
+//! (no RNG), so the torture suite and the robustness harness see the
+//! same graphs on every run.
+//!
+//! The corpus covers the failure modes schedulers historically trip
+//! on: empty and single-node graphs, zero-weight nodes and edges
+//! (division-by-zero bait for granularity math), star fan-in/fan-out
+//! (pathological ready-list sizes), deep chains (recursion /
+//! level-computation depth), dense near-complete DAGs (quadratic edge
+//! machinery), and extreme granularity in both directions (overflow
+//! bait for `finish + comm` arithmetic).
+
+use crate::families;
+use dagsched_dag::{Dag, DagBuilder, Weight};
+
+/// One named adversarial input.
+#[derive(Debug, Clone)]
+pub struct TortureCase {
+    /// Stable case name (used in test diagnostics and reports).
+    pub name: &'static str,
+    /// The graph itself.
+    pub graph: Dag,
+}
+
+fn case(name: &'static str, graph: Dag) -> TortureCase {
+    TortureCase { name, graph }
+}
+
+/// A large-but-safe weight: big enough to expose naive `f64` or
+/// saturating arithmetic, small enough that summing a whole
+/// schedule's worth stays far below `u64::MAX`.
+pub const HUGE_WEIGHT: Weight = 1 << 40;
+
+/// The full corpus, in a fixed order.
+///
+/// Sizes are chosen so the whole corpus × every registered heuristic
+/// finishes in seconds even in debug builds, while still being far
+/// outside the comfortable regime of the paper's 50–350-node graphs.
+pub fn torture_corpus() -> Vec<TortureCase> {
+    vec![
+        case("empty", DagBuilder::new().build().unwrap()),
+        case("single-node", families::independent(1, 7)),
+        case("single-zero-node", families::independent(1, 0)),
+        case("two-independent", families::independent(2, 5)),
+        case("zero-weight-chain", families::chain(32, 0, 0)),
+        case("zero-comm-chain", families::chain(64, 9, 0)),
+        case("heavy-comm-chain", families::chain(64, 1, 1_000_000)),
+        case("deep-chain", families::chain(1024, 3, 2)),
+        case("star-out", star_out(128)),
+        case("star-in", star_in(128)),
+        case("zero-mid-fork-join", zero_mid_fork_join(48)),
+        case("antichain", families::independent(256, 11)),
+        case("dense-complete", dense_complete(24)),
+        case("layered-bipartite", layered_bipartite(4, 16)),
+        case("very-coarse", families::fork_join(8, HUGE_WEIGHT, 1)),
+        case("very-fine", families::fork_join(8, 1, HUGE_WEIGHT)),
+        case("alternating-extremes", alternating_extremes(40)),
+    ]
+}
+
+/// One source fanning out to `leaves` sinks.
+fn star_out(leaves: usize) -> Dag {
+    let mut b = DagBuilder::with_capacity(leaves + 1, leaves);
+    let hub = b.add_node(2);
+    for i in 0..leaves {
+        let leaf = b.add_node(1 + (i as Weight % 3));
+        b.add_edge(hub, leaf, 1 + (i as Weight % 5)).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// `leaves` sources fanning in to one sink.
+fn star_in(leaves: usize) -> Dag {
+    let mut b = DagBuilder::with_capacity(leaves + 1, leaves);
+    let mut srcs = Vec::with_capacity(leaves);
+    for i in 0..leaves {
+        srcs.push(b.add_node(1 + (i as Weight % 3)));
+    }
+    let hub = b.add_node(2);
+    for (i, &s) in srcs.iter().enumerate() {
+        b.add_edge(s, hub, 1 + (i as Weight % 5)).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Fork-join whose middle layer is entirely zero-weight tasks joined
+/// by zero-weight edges — every middle task is "free" and
+/// simultaneously schedulable anywhere.
+fn zero_mid_fork_join(width: usize) -> Dag {
+    let mut b = DagBuilder::with_capacity(width + 2, 2 * width);
+    let src = b.add_node(5);
+    let snk_w = 5;
+    let mids: Vec<_> = (0..width).map(|_| b.add_node(0)).collect();
+    let snk = b.add_node(snk_w);
+    for &m in &mids {
+        b.add_edge(src, m, 0).unwrap();
+        b.add_edge(m, snk, 0).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// The complete DAG on `n` nodes: an edge `i → j` for every `i < j`.
+/// Maximally dense — `n(n−1)/2` edges, out-degrees from `n−1` down
+/// to 0.
+fn dense_complete(n: usize) -> Dag {
+    let mut b = DagBuilder::with_capacity(n, n * (n - 1) / 2);
+    let ids: Vec<_> = (0..n).map(|i| b.add_node(1 + (i as Weight % 4))).collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(ids[i], ids[j], 1 + ((i + j) as Weight % 7))
+                .unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+/// `layers` layers of `width` nodes with complete bipartite edges
+/// between consecutive layers — wide *and* join-heavy.
+fn layered_bipartite(layers: usize, width: usize) -> Dag {
+    let mut b = DagBuilder::with_capacity(layers * width, (layers - 1) * width * width);
+    let ids: Vec<Vec<_>> = (0..layers)
+        .map(|l| {
+            (0..width)
+                .map(|i| b.add_node(1 + ((l + i) as Weight % 5)))
+                .collect()
+        })
+        .collect();
+    for l in 0..layers - 1 {
+        for &u in &ids[l] {
+            for &v in &ids[l + 1] {
+                b.add_edge(u, v, 1).unwrap();
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+/// A chain alternating zero-weight and huge-weight tasks with
+/// alternating zero/huge communication — both granularity extremes in
+/// one graph.
+fn alternating_extremes(n: usize) -> Dag {
+    let mut b = DagBuilder::with_capacity(n, n - 1);
+    let ids: Vec<_> = (0..n)
+        .map(|i| b.add_node(if i % 2 == 0 { 0 } else { HUGE_WEIGHT }))
+        .collect();
+    for (i, w) in ids.windows(2).enumerate() {
+        b.add_edge(w[0], w[1], if i % 2 == 0 { HUGE_WEIGHT } else { 0 })
+            .unwrap();
+    }
+    b.build().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_named_uniquely() {
+        let a = torture_corpus();
+        let b = torture_corpus();
+        assert_eq!(a.len(), b.len());
+        let mut names: Vec<_> = a.iter().map(|c| c.name).collect();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.graph, y.graph);
+        }
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), a.len(), "duplicate case names");
+    }
+
+    #[test]
+    fn corpus_covers_the_advertised_extremes() {
+        let corpus = torture_corpus();
+        let get = |n: &str| &corpus.iter().find(|c| c.name == n).unwrap().graph;
+        assert_eq!(get("empty").num_nodes(), 0);
+        assert_eq!(get("single-node").num_nodes(), 1);
+        assert!(get("zero-weight-chain").serial_time() == 0);
+        assert_eq!(get("deep-chain").num_nodes(), 1024);
+        assert_eq!(get("star-out").num_edges(), 128);
+        assert_eq!(get("star-in").num_edges(), 128);
+        let dense = get("dense-complete");
+        assert_eq!(
+            dense.num_edges(),
+            dense.num_nodes() * (dense.num_nodes() - 1) / 2
+        );
+        assert!(get("very-coarse").serial_time() >= HUGE_WEIGHT);
+    }
+
+    #[test]
+    fn weights_stay_far_from_overflow() {
+        // Serial time plus worst-case accumulated comm must leave
+        // plenty of headroom in u64 for `finish + comm` chains.
+        for c in torture_corpus() {
+            let comm: Weight = c.graph.edges().iter().map(|e| e.weight).sum();
+            let total = c.graph.serial_time().saturating_add(comm);
+            assert!(total < 1 << 52, "{} risks overflow arithmetic", c.name);
+        }
+    }
+}

@@ -9,24 +9,36 @@
 //! out-degrees is the requested anchor whenever enough later targets
 //! exist.
 
+use crate::error::{GenError, Result};
 use dagsched_dag::{topo, Dag, DagBuilder, NodeId, Weight};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
 /// Rewires `g` so the anchor out-degree (mode over non-sink nodes)
 /// becomes `anchor`. Inserted edges get weights drawn uniformly from
-/// `edge_weights`.
+/// `edge_weights`. Out-of-domain parameters are reported as
+/// [`GenError::BadSpec`].
 pub fn adjust_anchor(
     g: &Dag,
     anchor: usize,
     edge_weights: (Weight, Weight),
     rng: &mut impl Rng,
-) -> Dag {
-    assert!(anchor >= 1, "anchor out-degree must be at least 1");
-    assert!(edge_weights.0 >= 1 && edge_weights.0 <= edge_weights.1);
+) -> Result<Dag> {
+    if anchor < 1 {
+        return Err(GenError::BadSpec {
+            param: "anchor",
+            why: "out-degree target must be at least 1",
+        });
+    }
+    if edge_weights.0 < 1 || edge_weights.0 > edge_weights.1 {
+        return Err(GenError::BadSpec {
+            param: "edge_weights",
+            why: "range must satisfy 1 ≤ lo ≤ hi",
+        });
+    }
     let n = g.num_nodes();
     if n <= 1 {
-        return g.clone();
+        return Ok(g.clone());
     }
 
     // Mutable adjacency mirrors.
@@ -86,11 +98,12 @@ pub fn adjust_anchor(
     }
     for (v, out) in succs.iter().enumerate() {
         for &(d, w) in out {
-            b.add_edge(NodeId(v as u32), NodeId(d), w)
-                .expect("adjacency mirror has no duplicates");
+            // The adjacency mirror has no duplicates by construction;
+            // any failure surfaces as a GenError, never a panic.
+            b.add_edge(NodeId(v as u32), NodeId(d), w)?;
         }
     }
-    b.build().expect("forward insertions preserve acyclicity")
+    Ok(b.build()?)
 }
 
 #[cfg(test)]
@@ -109,6 +122,7 @@ mod tests {
             },
             &mut StdRng::seed_from_u64(seed),
         )
+        .unwrap()
     }
 
     #[test]
@@ -117,7 +131,7 @@ mod tests {
         for anchor in 2..=5usize {
             for seed in 0..5u64 {
                 let g = sp_graph(50, seed);
-                let adjusted = adjust_anchor(&g, anchor, (1, 50), &mut rng);
+                let adjusted = adjust_anchor(&g, anchor, (1, 50), &mut rng).unwrap();
                 assert_eq!(
                     metrics::anchor_out_degree_nonsink(&adjusted),
                     anchor,
@@ -131,7 +145,7 @@ mod tests {
     #[test]
     fn node_weights_untouched() {
         let g = sp_graph(40, 3);
-        let adjusted = adjust_anchor(&g, 3, (1, 50), &mut StdRng::seed_from_u64(12));
+        let adjusted = adjust_anchor(&g, 3, (1, 50), &mut StdRng::seed_from_u64(12)).unwrap();
         assert_eq!(adjusted.node_weights(), g.node_weights());
     }
 
@@ -140,7 +154,7 @@ mod tests {
         // Sinks remain sinks: the pass only rewires branching nodes.
         let g = sp_graph(60, 4);
         let sinks_before = g.sinks().len();
-        let adjusted = adjust_anchor(&g, 4, (1, 50), &mut StdRng::seed_from_u64(13));
+        let adjusted = adjust_anchor(&g, 4, (1, 50), &mut StdRng::seed_from_u64(13)).unwrap();
         // Build succeeded => acyclic. Sinks can only stay or grow
         // (trimming may create new sinks is *not* allowed — trimming
         // stops at out-degree `anchor` ≥ 1).
@@ -155,21 +169,41 @@ mod tests {
         // No node should lose its last in-edge.
         let g = sp_graph(60, 5);
         let sources_before = g.sources().len();
-        let adjusted = adjust_anchor(&g, 2, (1, 50), &mut StdRng::seed_from_u64(14));
+        let adjusted = adjust_anchor(&g, 2, (1, 50), &mut StdRng::seed_from_u64(14)).unwrap();
         assert!(adjusted.sources().len() <= sources_before.max(1));
     }
 
     #[test]
     fn tiny_graphs_pass_through() {
         let g = sp_graph(1, 6);
-        let adjusted = adjust_anchor(&g, 3, (1, 50), &mut StdRng::seed_from_u64(15));
+        let adjusted = adjust_anchor(&g, 3, (1, 50), &mut StdRng::seed_from_u64(15)).unwrap();
         assert_eq!(adjusted, g);
+    }
+
+    #[test]
+    fn bad_parameters_are_reported_not_panicked() {
+        let g = sp_graph(10, 8);
+        let mut rng = StdRng::seed_from_u64(17);
+        assert!(matches!(
+            adjust_anchor(&g, 0, (1, 50), &mut rng),
+            Err(GenError::BadSpec {
+                param: "anchor",
+                ..
+            })
+        ));
+        assert!(matches!(
+            adjust_anchor(&g, 3, (5, 2), &mut rng),
+            Err(GenError::BadSpec {
+                param: "edge_weights",
+                ..
+            })
+        ));
     }
 
     #[test]
     fn inserted_edge_weights_in_range() {
         let g = sp_graph(50, 7);
-        let adjusted = adjust_anchor(&g, 5, (7, 7), &mut StdRng::seed_from_u64(16));
+        let adjusted = adjust_anchor(&g, 5, (7, 7), &mut StdRng::seed_from_u64(16)).unwrap();
         // Every edge not shared with the original has weight 7.
         let orig: std::collections::HashSet<(u32, u32)> =
             g.edges().iter().map(|e| (e.src.0, e.dst.0)).collect();

@@ -1,0 +1,74 @@
+//! Generation errors.
+//!
+//! The generators are reachable from user input (CLI specs, corpus
+//! definitions), so bad parameters surface as [`GenError`] values
+//! instead of panics; graph-construction failures bubble up from
+//! [`dagsched_dag::DagError`].
+
+use dagsched_dag::DagError;
+use std::fmt;
+
+/// An error from the graph generation pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// A generator parameter is outside its documented domain.
+    BadSpec {
+        /// The offending parameter.
+        param: &'static str,
+        /// Why it was rejected.
+        why: &'static str,
+    },
+    /// Realizing the generated structure as a DAG failed.
+    Dag(DagError),
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::BadSpec { param, why } => write!(f, "bad generator spec: {param} {why}"),
+            GenError::Dag(e) => write!(f, "graph construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GenError::Dag(e) => Some(e),
+            GenError::BadSpec { .. } => None,
+        }
+    }
+}
+
+impl From<DagError> for GenError {
+    fn from(e: DagError) -> Self {
+        GenError::Dag(e)
+    }
+}
+
+/// Generation result alias.
+pub type Result<T> = std::result::Result<T, GenError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let bad = GenError::BadSpec {
+            param: "max_arity",
+            why: "must be at least 2",
+        };
+        assert_eq!(
+            bad.to_string(),
+            "bad generator spec: max_arity must be at least 2"
+        );
+        assert!(std::error::Error::source(&bad).is_none());
+
+        let wrapped = GenError::from(DagError::SelfLoop(3));
+        assert!(wrapped
+            .to_string()
+            .starts_with("graph construction failed:"));
+        assert!(std::error::Error::source(&wrapped).is_some());
+    }
+}

@@ -16,16 +16,26 @@
 //! [`spec`] defines the paper's classification bands; [`families`]
 //! adds deterministic task-graph families (fork-join, trees, FFT
 //! butterfly, Gaussian elimination, stencil sweeps, layered random)
-//! used by examples, tests and ablations.
+//! used by examples, tests and ablations; [`adversarial`] provides
+//! the deterministic torture corpus of degenerate and extreme graphs
+//! used by the fault-isolation harness's differential tests.
+//!
+//! Generator parameters arrive from user input (CLI flags, corpus
+//! definitions), so the pipeline reports bad specs as
+//! [`GenError`] values rather than panicking.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod degree;
+pub mod error;
 pub mod families;
 pub mod parsetree;
 pub mod pdg;
 pub mod spec;
 
+pub use adversarial::{torture_corpus, TortureCase};
+pub use error::GenError;
 pub use pdg::{generate, PdgSpec};
 pub use spec::{GranularityBand, WeightRange};

@@ -8,13 +8,14 @@
 //! series children are joined by complete sink→source bipartite edge
 //! sets (which is exactly what makes each subtree a clan).
 
+use crate::error::{GenError, Result};
 use dagsched_dag::{Dag, DagBuilder, NodeId, Weight};
 use rand::Rng;
 
 /// Parameters for the parse-tree generator.
 #[derive(Debug, Clone)]
 pub struct ParseTreeSpec {
-    /// Number of task nodes (≥ 1).
+    /// Number of task nodes (`0` yields the empty graph).
     pub nodes: usize,
     /// Inclusive node-weight range to draw from.
     pub node_weights: (Weight, Weight),
@@ -41,16 +42,42 @@ impl Default for ParseTreeSpec {
 }
 
 /// Generates a random series-parallel DAG per `spec`.
-pub fn generate(spec: &ParseTreeSpec, rng: &mut impl Rng) -> Dag {
-    assert!(spec.nodes >= 1, "need at least one node");
-    assert!(spec.max_arity >= 2, "compositions need arity ≥ 2");
-    assert!(spec.node_weights.0 >= 1 && spec.node_weights.0 <= spec.node_weights.1);
-    assert!(spec.edge_weights.0 >= 1 && spec.edge_weights.0 <= spec.edge_weights.1);
+///
+/// `nodes == 0` yields the empty graph. Out-of-domain parameters are
+/// reported as [`GenError::BadSpec`] instead of panicking — these
+/// specs arrive from user input (CLI, corpus definitions).
+pub fn generate(spec: &ParseTreeSpec, rng: &mut impl Rng) -> Result<Dag> {
+    if spec.max_arity < 2 {
+        return Err(GenError::BadSpec {
+            param: "max_arity",
+            why: "compositions need arity ≥ 2",
+        });
+    }
+    if spec.node_weights.0 < 1 || spec.node_weights.0 > spec.node_weights.1 {
+        return Err(GenError::BadSpec {
+            param: "node_weights",
+            why: "range must satisfy 1 ≤ lo ≤ hi",
+        });
+    }
+    if spec.edge_weights.0 < 1 || spec.edge_weights.0 > spec.edge_weights.1 {
+        return Err(GenError::BadSpec {
+            param: "edge_weights",
+            why: "range must satisfy 1 ≤ lo ≤ hi",
+        });
+    }
+    if !(0.0..=1.0).contains(&spec.series_bias) {
+        return Err(GenError::BadSpec {
+            param: "series_bias",
+            why: "must be a probability in [0, 1]",
+        });
+    }
     let mut b = DagBuilder::with_capacity(spec.nodes, spec.nodes * 2);
-    // Top level is series with probability `series_bias`, like any
-    // other level.
-    let _ = grow(&mut b, spec, rng, spec.nodes);
-    b.build().expect("series-parallel construction is acyclic")
+    if spec.nodes > 0 {
+        // Top level is series with probability `series_bias`, like any
+        // other level.
+        let _ = grow(&mut b, spec, rng, spec.nodes);
+    }
+    Ok(b.build()?)
 }
 
 /// Recursively realizes a subtree over `n` leaves; returns the
@@ -125,6 +152,64 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
+    fn zero_nodes_yield_the_empty_graph() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generate(
+            &ParseTreeSpec {
+                nodes: 0,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn bad_specs_are_reported_not_panicked() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cases = [
+            (
+                ParseTreeSpec {
+                    max_arity: 1,
+                    ..Default::default()
+                },
+                "max_arity",
+            ),
+            (
+                ParseTreeSpec {
+                    node_weights: (0, 10),
+                    ..Default::default()
+                },
+                "node_weights",
+            ),
+            (
+                ParseTreeSpec {
+                    edge_weights: (9, 5),
+                    ..Default::default()
+                },
+                "edge_weights",
+            ),
+            (
+                ParseTreeSpec {
+                    series_bias: 1.5,
+                    ..Default::default()
+                },
+                "series_bias",
+            ),
+        ];
+        for (spec, expect_param) in cases {
+            match generate(&spec, &mut rng) {
+                Err(crate::error::GenError::BadSpec { param, .. }) => {
+                    assert_eq!(param, expect_param)
+                }
+                other => panic!("expected BadSpec for {expect_param}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn generates_requested_node_count() {
         let mut rng = StdRng::seed_from_u64(1);
         for n in [1usize, 2, 5, 30, 80] {
@@ -134,7 +219,8 @@ mod tests {
                     ..Default::default()
                 },
                 &mut rng,
-            );
+            )
+            .unwrap();
             assert_eq!(g.num_nodes(), n);
         }
     }
@@ -148,7 +234,7 @@ mod tests {
             edge_weights: (5, 9),
             ..Default::default()
         };
-        let g = generate(&spec, &mut rng);
+        let g = generate(&spec, &mut rng).unwrap();
         assert_eq!(metrics::node_weight_range(&g), {
             let (lo, hi) = metrics::node_weight_range(&g).unwrap();
             assert!(lo >= 20 && hi <= 100);
@@ -165,10 +251,10 @@ mod tests {
             nodes: 40,
             ..Default::default()
         };
-        let g1 = generate(&spec, &mut StdRng::seed_from_u64(77));
-        let g2 = generate(&spec, &mut StdRng::seed_from_u64(77));
+        let g1 = generate(&spec, &mut StdRng::seed_from_u64(77)).unwrap();
+        let g2 = generate(&spec, &mut StdRng::seed_from_u64(77)).unwrap();
         assert_eq!(g1, g2);
-        let g3 = generate(&spec, &mut StdRng::seed_from_u64(78));
+        let g3 = generate(&spec, &mut StdRng::seed_from_u64(78)).unwrap();
         assert_ne!(g1, g3, "different seeds should differ w.h.p.");
     }
 
@@ -183,7 +269,8 @@ mod tests {
                     ..Default::default()
                 },
                 &mut rng,
-            );
+            )
+            .unwrap();
             let tree = ParseTree::decompose(&g);
             for id in tree.clan_ids() {
                 assert_ne!(
@@ -203,7 +290,7 @@ mod tests {
             series_bias: 1.0,
             ..Default::default()
         };
-        let g = generate(&spec, &mut rng);
+        let g = generate(&spec, &mut rng).unwrap();
         // Pure series composition: single source, single sink, and the
         // longest path touches every node (a linear parse tree).
         assert_eq!(g.sources().len(), 1);
@@ -219,7 +306,7 @@ mod tests {
             series_bias: 0.0,
             ..Default::default()
         };
-        let g = generate(&spec, &mut rng);
+        let g = generate(&spec, &mut rng).unwrap();
         assert_eq!(g.num_edges(), 0);
         assert_eq!(g.sources().len(), 20);
     }

@@ -2,6 +2,7 @@
 //! weight assignment → granularity targeting) and its specification.
 
 use crate::degree::adjust_anchor;
+use crate::error::{GenError, Result};
 use crate::parsetree::{generate as gen_parsetree, ParseTreeSpec};
 use crate::spec::{GranularityBand, WeightRange};
 use dagsched_dag::{metrics, Dag, DagBuilder, Weight};
@@ -41,7 +42,10 @@ impl PdgSpec {
 /// reach the target because the topology ran out of forward targets —
 /// rare at the corpus sizes; the experiments crate re-checks and
 /// re-draws when it matters).
-pub fn generate(spec: &PdgSpec, rng: &mut impl Rng) -> Dag {
+///
+/// Out-of-domain parameters (and any construction failure) are
+/// reported as [`GenError`] instead of panicking.
+pub fn generate(spec: &PdgSpec, rng: &mut impl Rng) -> Result<Dag> {
     // 1. Random parse tree with the requested node weights. Initial
     //    edge weights start near the node weight scale; granularity
     //    targeting rescales them.
@@ -52,10 +56,10 @@ pub fn generate(spec: &PdgSpec, rng: &mut impl Rng) -> Dag {
         series_bias: 0.42,
         max_arity: 8,
     };
-    let g = gen_parsetree(&base, rng);
+    let g = gen_parsetree(&base, rng)?;
 
     // 2. Anchor out-degree adjustment.
-    let g = adjust_anchor(&g, spec.anchor, base.edge_weights, rng);
+    let g = adjust_anchor(&g, spec.anchor, base.edge_weights, rng)?;
 
     // 3. Granularity targeting.
     let target = spec.band.sample_target(rng);
@@ -66,21 +70,25 @@ pub fn generate(spec: &PdgSpec, rng: &mut impl Rng) -> Dag {
 /// measured granularity onto `target`, iterating a few times to absorb
 /// integer rounding. Returns the best graph found (the one whose
 /// granularity classifies into `band`, or the closest attempt).
-pub fn retarget_granularity(g: &Dag, target: f64, band: GranularityBand) -> Dag {
-    assert!(
-        target.is_finite() && target > 0.0,
-        "target must be positive"
-    );
+///
+/// A non-finite or non-positive `target` is a [`GenError::BadSpec`].
+pub fn retarget_granularity(g: &Dag, target: f64, band: GranularityBand) -> Result<Dag> {
+    if !(target.is_finite() && target > 0.0) {
+        return Err(GenError::BadSpec {
+            param: "target",
+            why: "granularity target must be finite and positive",
+        });
+    }
     let mut current = g.clone();
     if current.num_edges() == 0 {
-        return current; // granularity is infinite and immovable
+        return Ok(current); // granularity is infinite and immovable
     }
     let mut best: Option<(f64, Dag)> = None;
     for _ in 0..12 {
         let gran = metrics::granularity(&current);
         let dist = (gran.ln() - target.ln()).abs();
         if band.contains(gran) {
-            return current;
+            return Ok(current);
         }
         match &best {
             Some((d, _)) if *d <= dist => {}
@@ -94,7 +102,7 @@ pub fn retarget_granularity(g: &Dag, target: f64, band: GranularityBand) -> Dag 
             let scaled = (w as f64 * factor).round();
             (scaled.max(1.0) as Weight).max(1)
         });
-        current = b.build().expect("rescaling preserves structure");
+        current = b.build()?;
         // If the scale factor rounds to a no-op (all weights already
         // at the floor), perturb by nudging node-side instead: bail
         // out — caller keeps the closest attempt.
@@ -104,11 +112,11 @@ pub fn retarget_granularity(g: &Dag, target: f64, band: GranularityBand) -> Dag 
     }
     let final_gran = metrics::granularity(&current);
     if band.contains(final_gran) {
-        current
+        Ok(current)
     } else {
         match best {
-            Some((d, g_best)) if d < (final_gran.ln() - target.ln()).abs() => g_best,
-            _ => current,
+            Some((d, g_best)) if d < (final_gran.ln() - target.ln()).abs() => Ok(g_best),
+            _ => Ok(current),
         }
     }
 }
@@ -122,7 +130,13 @@ pub fn generate_sized(
     weights: WeightRange,
     band: GranularityBand,
     rng: &mut impl Rng,
-) -> Dag {
+) -> Result<Dag> {
+    if nodes.is_empty() {
+        return Err(GenError::BadSpec {
+            param: "nodes",
+            why: "node-count range is empty",
+        });
+    }
     let n = rng.gen_range(nodes);
     generate(
         &PdgSpec {
@@ -136,17 +150,17 @@ pub fn generate_sized(
 }
 
 /// Builds a tiny hand-specified PDG (used in doctests/examples):
-/// weights and edges given explicitly.
-pub fn from_lists(node_weights: &[Weight], edges: &[(u32, u32, Weight)]) -> Dag {
+/// weights and edges given explicitly. Malformed lists (bad indices,
+/// duplicates, cycles) surface as [`GenError`].
+pub fn from_lists(node_weights: &[Weight], edges: &[(u32, u32, Weight)]) -> Result<Dag> {
     let mut b = DagBuilder::with_capacity(node_weights.len(), edges.len());
     for &w in node_weights {
         b.add_node(w);
     }
     for &(s, d, w) in edges {
-        b.add_edge(dagsched_dag::NodeId(s), dagsched_dag::NodeId(d), w)
-            .expect("explicit edge lists must be well-formed");
+        b.add_edge(dagsched_dag::NodeId(s), dagsched_dag::NodeId(d), w)?;
     }
-    b.build().expect("explicit edge lists must be acyclic")
+    Ok(b.build()?)
 }
 
 #[cfg(test)]
@@ -169,7 +183,7 @@ mod tests {
                         weights,
                         band,
                     };
-                    let g = generate(&spec, &mut rng);
+                    let g = generate(&spec, &mut rng).unwrap();
                     total += 1;
                     let gran = metrics::granularity(&g);
                     if band.contains(gran) {
@@ -198,7 +212,7 @@ mod tests {
                 weights: WeightRange::new(20, 200),
                 band: GranularityBand::Medium,
             };
-            let g = generate(&spec, &mut rng);
+            let g = generate(&spec, &mut rng).unwrap();
             assert_eq!(metrics::anchor_out_degree_nonsink(&g), anchor);
         }
     }
@@ -206,26 +220,26 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let spec = PdgSpec::example();
-        let a = generate(&spec, &mut StdRng::seed_from_u64(9));
-        let b = generate(&spec, &mut StdRng::seed_from_u64(9));
+        let a = generate(&spec, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = generate(&spec, &mut StdRng::seed_from_u64(9)).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn retarget_moves_granularity_both_ways() {
-        let g = from_lists(&[100, 100, 100, 1], &[(0, 1, 10), (1, 2, 10), (2, 3, 10)]);
+        let g = from_lists(&[100, 100, 100, 1], &[(0, 1, 10), (1, 2, 10), (2, 3, 10)]).unwrap();
         // Currently G = 10. Move fine:
-        let fine = retarget_granularity(&g, 0.05, GranularityBand::VeryFine);
+        let fine = retarget_granularity(&g, 0.05, GranularityBand::VeryFine).unwrap();
         assert!(GranularityBand::VeryFine.contains(metrics::granularity(&fine)));
         // And back to very coarse:
-        let coarse = retarget_granularity(&fine, 3.0, GranularityBand::VeryCoarse);
+        let coarse = retarget_granularity(&fine, 3.0, GranularityBand::VeryCoarse).unwrap();
         assert!(GranularityBand::VeryCoarse.contains(metrics::granularity(&coarse)));
     }
 
     #[test]
     fn retarget_handles_edgeless_graphs() {
-        let g = from_lists(&[5, 5], &[]);
-        let out = retarget_granularity(&g, 0.05, GranularityBand::VeryFine);
+        let g = from_lists(&[5, 5], &[]).unwrap();
+        let out = retarget_granularity(&g, 0.05, GranularityBand::VeryFine).unwrap();
         assert_eq!(out, g);
     }
 
@@ -239,16 +253,60 @@ mod tests {
                 WeightRange::new(20, 100),
                 GranularityBand::Coarse,
                 &mut rng,
-            );
+            )
+            .unwrap();
             assert!((30..=40).contains(&g.num_nodes()));
         }
     }
 
     #[test]
     fn from_lists_builds_exactly() {
-        let g = from_lists(&[1, 2, 3], &[(0, 2, 7)]);
+        let g = from_lists(&[1, 2, 3], &[(0, 2, 7)]).unwrap();
         assert_eq!(g.num_nodes(), 3);
         assert_eq!(g.num_edges(), 1);
         assert_eq!(g.total_comm(), 7);
+    }
+
+    #[test]
+    fn pipeline_errors_are_values_not_panics() {
+        let mut rng = StdRng::seed_from_u64(45);
+        // Zero anchor flows out of the pipeline as BadSpec.
+        let bad = generate(
+            &PdgSpec {
+                anchor: 0,
+                ..PdgSpec::example()
+            },
+            &mut rng,
+        );
+        assert!(matches!(
+            bad,
+            Err(GenError::BadSpec {
+                param: "anchor",
+                ..
+            })
+        ));
+        // Bad granularity target.
+        let g = from_lists(&[5, 5], &[(0, 1, 2)]).unwrap();
+        assert!(matches!(
+            retarget_granularity(&g, f64::NAN, GranularityBand::Medium),
+            Err(GenError::BadSpec {
+                param: "target",
+                ..
+            })
+        ));
+        // Empty node-count range.
+        #[allow(clippy::reversed_empty_ranges)]
+        let empty_nodes = 10..=5;
+        assert!(generate_sized(
+            empty_nodes,
+            3,
+            WeightRange::new(20, 100),
+            GranularityBand::Medium,
+            &mut rng,
+        )
+        .is_err());
+        // Malformed explicit lists.
+        assert!(from_lists(&[1], &[(0, 5, 1)]).is_err());
+        assert!(from_lists(&[1, 1], &[(0, 1, 1), (1, 0, 1)]).is_err());
     }
 }

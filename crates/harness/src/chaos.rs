@@ -1,0 +1,92 @@
+//! Deliberately faulty schedulers for exercising the harness.
+//!
+//! These are *test fixtures shipped as library code* so the torture
+//! suite, the determinism guard and the examples can all force every
+//! containment path (panic, invalid schedule, deadline) without
+//! duplicating throwaway scheduler impls.
+
+use crate::robust::serial_placement;
+use dagsched_core::Scheduler;
+use dagsched_dag::Dag;
+use dagsched_sim::{Machine, ProcId, Schedule};
+use std::time::Duration;
+
+/// Panics on every call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PanicScheduler;
+
+impl Scheduler for PanicScheduler {
+    fn name(&self) -> &'static str {
+        "CHAOS-PANIC"
+    }
+
+    fn schedule(&self, _g: &Dag, _machine: &dyn Machine) -> Schedule {
+        panic!("chaos: deliberate panic from CHAOS-PANIC")
+    }
+}
+
+/// Returns a blatantly invalid schedule: every task on processor 0 at
+/// time 0 (overlapping whenever the graph has ≥ 2 tasks with nonzero
+/// weight, and violating precedence whenever it has an edge with a
+/// nonzero-weight source).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InvalidScheduler;
+
+impl Scheduler for InvalidScheduler {
+    fn name(&self) -> &'static str {
+        "CHAOS-INVALID"
+    }
+
+    fn schedule(&self, g: &Dag, _machine: &dyn Machine) -> Schedule {
+        Schedule::new(g, vec![(ProcId(0), 0); g.num_nodes()])
+    }
+}
+
+/// Sleeps for a fixed delay, then answers with a correct (serial)
+/// schedule — the well-behaved-but-slow case for deadline tests.
+#[derive(Debug, Clone, Copy)]
+pub struct SleepyScheduler {
+    /// How long to stall before scheduling.
+    pub delay: Duration,
+}
+
+impl Scheduler for SleepyScheduler {
+    fn name(&self) -> &'static str {
+        "CHAOS-SLEEPY"
+    }
+
+    fn schedule(&self, g: &Dag, _machine: &dyn Machine) -> Schedule {
+        std::thread::sleep(self.delay);
+        serial_placement(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_core::fixtures::fig16;
+    use dagsched_sim::{validate, Clique};
+
+    #[test]
+    fn invalid_scheduler_really_is_invalid() {
+        let g = fig16();
+        let s = InvalidScheduler.schedule(&g, &Clique);
+        assert!(!validate::is_valid(&g, &Clique, &s));
+    }
+
+    #[test]
+    fn sleepy_scheduler_is_slow_but_correct() {
+        let g = fig16();
+        let s = SleepyScheduler {
+            delay: Duration::from_millis(1),
+        }
+        .schedule(&g, &Clique);
+        assert!(validate::is_valid(&g, &Clique, &s));
+    }
+
+    #[test]
+    #[should_panic(expected = "chaos")]
+    fn panic_scheduler_panics() {
+        PanicScheduler.schedule(&fig16(), &Clique);
+    }
+}

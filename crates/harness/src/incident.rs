@@ -1,0 +1,237 @@
+//! Structured records of contained faults.
+
+use dagsched_dag::{Dag, Weight};
+use dagsched_sim::validate::Violation;
+use std::fmt;
+use std::time::Duration;
+
+/// A compact, content-derived identity for a graph.
+///
+/// Corpus graphs are generated, not named, so incidents identify the
+/// offending input by shape summary plus an order-sensitive FNV-1a
+/// digest over node weights and edge triples. Two structurally equal
+/// graphs always fingerprint identically, which keeps incident
+/// reports byte-stable across reruns of a seeded corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GraphFingerprint {
+    /// Number of tasks.
+    pub nodes: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Sum of node weights (the serial time).
+    pub serial_time: Weight,
+    /// Sum of edge weights.
+    pub total_comm: Weight,
+    /// FNV-1a digest of weights and edge triples.
+    pub digest: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv(h: u64, x: u64) -> u64 {
+    (h ^ x).wrapping_mul(FNV_PRIME)
+}
+
+impl GraphFingerprint {
+    /// Fingerprints `g`.
+    pub fn of(g: &Dag) -> Self {
+        let mut h = fnv(FNV_OFFSET, g.num_nodes() as u64);
+        for &w in g.node_weights() {
+            h = fnv(h, w);
+        }
+        let mut total_comm: Weight = 0;
+        for e in g.edges() {
+            h = fnv(h, e.src.0 as u64);
+            h = fnv(h, e.dst.0 as u64);
+            h = fnv(h, e.weight);
+            total_comm += e.weight;
+        }
+        GraphFingerprint {
+            nodes: g.num_nodes(),
+            edges: g.num_edges(),
+            serial_time: g.serial_time(),
+            total_comm,
+            digest: h,
+        }
+    }
+}
+
+impl fmt::Display for GraphFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "graph[n={} m={} w={} c={} #{:016x}]",
+            self.nodes, self.edges, self.serial_time, self.total_comm, self.digest
+        )
+    }
+}
+
+/// What went wrong in one scheduling attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// The heuristic panicked; the payload message, if it was a
+    /// string, is preserved.
+    Panic(String),
+    /// The heuristic returned a schedule the oracle rejected.
+    Invalid(Vec<Violation>),
+    /// The heuristic did not finish within the wall-clock budget.
+    DeadlineExceeded {
+        /// The configured budget that was exceeded.
+        budget: Duration,
+    },
+}
+
+impl Fault {
+    /// A stable lowercase tag for aggregation (`"panic"`,
+    /// `"invalid-schedule"`, `"deadline-exceeded"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Fault::Panic(_) => "panic",
+            Fault::Invalid(_) => "invalid-schedule",
+            Fault::DeadlineExceeded { .. } => "deadline-exceeded",
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Panic(msg) => write!(f, "panicked: {msg}"),
+            Fault::Invalid(violations) => match violations.first() {
+                Some(first) => write!(
+                    f,
+                    "invalid schedule ({} violation{}, first: {first})",
+                    violations.len(),
+                    if violations.len() == 1 { "" } else { "s" },
+                ),
+                None => write!(f, "invalid schedule"),
+            },
+            Fault::DeadlineExceeded { budget } => {
+                write!(f, "exceeded time budget of {budget:?}")
+            }
+        }
+    }
+}
+
+/// One containment event: a heuristic faulted on a graph and the
+/// harness absorbed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incident {
+    /// Name of the heuristic that faulted.
+    pub heuristic: &'static str,
+    /// Fingerprint of the input graph.
+    pub graph: GraphFingerprint,
+    /// The contained fault.
+    pub fault: Fault,
+    /// Wall-clock time spent in the faulting attempt. Excluded from
+    /// [`Incident::summary`] so reports stay deterministic.
+    pub elapsed: Duration,
+    /// Name of the chain entry that ultimately completed the run
+    /// (`None` while the run is still walking the chain).
+    pub resolved_by: Option<&'static str>,
+}
+
+impl Incident {
+    /// A deterministic one-line description: everything except the
+    /// measured `elapsed` time, so two identically-seeded runs render
+    /// byte-identical summaries.
+    pub fn summary(&self) -> String {
+        match self.resolved_by {
+            Some(by) => format!(
+                "{} on {}: {} -> completed by {}",
+                self.heuristic, self.graph, self.fault, by
+            ),
+            None => format!("{} on {}: {}", self.heuristic, self.graph, self.fault),
+        }
+    }
+}
+
+impl fmt::Display for Incident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (after {:?})", self.summary(), self.elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_dag::DagBuilder;
+    use dagsched_dag::NodeId;
+    use dagsched_sim::validate::Violation;
+
+    fn diamond() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_node(2);
+        let c = b.add_node(3);
+        let d = b.add_node(5);
+        b.add_edge(a, c, 7).unwrap();
+        b.add_edge(a, d, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_shape_aware() {
+        let g = diamond();
+        let f1 = GraphFingerprint::of(&g);
+        let f2 = GraphFingerprint::of(&g.clone());
+        assert_eq!(f1, f2);
+        assert_eq!(f1.nodes, 3);
+        assert_eq!(f1.edges, 2);
+        assert_eq!(f1.serial_time, 10);
+        assert_eq!(f1.total_comm, 8);
+
+        // Shuffling weight between edges keeps the shape summary but
+        // must change the digest.
+        let mut b = DagBuilder::new();
+        let a = b.add_node(2);
+        let c = b.add_node(3);
+        let d = b.add_node(5);
+        b.add_edge(a, c, 6).unwrap();
+        b.add_edge(a, d, 2).unwrap();
+        let g2 = b.build().unwrap();
+        let f3 = GraphFingerprint::of(&g2);
+        assert_eq!(f3.nodes, f1.nodes);
+        assert_eq!(f3.total_comm, f1.total_comm);
+        assert_ne!(f3.digest, f1.digest);
+    }
+
+    #[test]
+    fn fault_kinds_and_display() {
+        let p = Fault::Panic("boom".into());
+        assert_eq!(p.kind(), "panic");
+        assert_eq!(p.to_string(), "panicked: boom");
+
+        let i = Fault::Invalid(vec![Violation::Overlap {
+            a: NodeId(0),
+            b: NodeId(1),
+        }]);
+        assert_eq!(i.kind(), "invalid-schedule");
+        assert_eq!(
+            i.to_string(),
+            "invalid schedule (1 violation, first: tasks n0 and n1 overlap on a processor)"
+        );
+
+        let d = Fault::DeadlineExceeded {
+            budget: Duration::from_millis(50),
+        };
+        assert_eq!(d.kind(), "deadline-exceeded");
+        assert_eq!(d.to_string(), "exceeded time budget of 50ms");
+    }
+
+    #[test]
+    fn summary_excludes_elapsed_time() {
+        let inc = Incident {
+            heuristic: "CLANS",
+            graph: GraphFingerprint::of(&diamond()),
+            fault: Fault::Panic("x".into()),
+            elapsed: Duration::from_micros(123),
+            resolved_by: Some("HU"),
+        };
+        let mut later = inc.clone();
+        later.elapsed = Duration::from_secs(9);
+        assert_eq!(inc.summary(), later.summary());
+        assert!(inc.summary().ends_with("-> completed by HU"));
+        assert!(inc.to_string().contains("123"));
+    }
+}

@@ -1,0 +1,56 @@
+//! # dagsched-harness — fault isolation for schedulers
+//!
+//! The corpus comparison is only trustworthy if every run either
+//! produces a *valid* schedule or fails loudly. This crate wraps any
+//! [`Scheduler`](dagsched_core::Scheduler) in a [`RobustScheduler`]
+//! that guarantees a run always completes with an oracle-valid
+//! schedule, no matter how the wrapped heuristic misbehaves:
+//!
+//! * **panic containment** — every attempt runs under
+//!   `std::panic::catch_unwind`; a panicking heuristic becomes a
+//!   recorded fault, not a dead corpus run;
+//! * **time budgets** — [`RobustScheduler::run`] enforces a wall-clock
+//!   deadline with a watchdog: the heuristic runs on a worker thread
+//!   and is *abandoned* (the thread is detached, its result discarded)
+//!   when the budget expires;
+//! * **oracle gating** — every schedule an attempt produces is checked
+//!   by the independent oracle in `dagsched_sim::validate`; an invalid
+//!   schedule is a fault exactly like a panic;
+//! * **graceful degradation** — faults move the run down a fallback
+//!   chain (requested heuristic → HU → serial baseline by default); if
+//!   every chain entry faults, a [`serial_placement`] is synthesized
+//!   directly, which is trivially valid on every machine, so a run
+//!   *always* yields a schedule.
+//!
+//! Every containment event is recorded as a structured
+//! [`Incident`] (heuristic name, graph fingerprint, fault, elapsed
+//! time, fallback that completed the run) for aggregation into
+//! robustness reports.
+//!
+//! ```
+//! use dagsched_harness::{chaos::PanicScheduler, RobustScheduler};
+//! use dagsched_core::fixtures::fig16;
+//! use dagsched_sim::{Clique, Machine};
+//! use std::sync::Arc;
+//!
+//! let machine: Arc<dyn Machine> = Arc::new(Clique);
+//! let robust = RobustScheduler::wrap(PanicScheduler);
+//! let out = robust.run(&fig16(), &machine);
+//! assert_eq!(out.incidents.len(), 1);          // the panic, contained
+//! assert_eq!(out.scheduled_by, "HU");          // first fallback won
+//! ```
+//!
+//! Caveats: containment relies on unwinding, so it does not apply
+//! under `panic = "abort"` builds, and a heuristic abandoned by the
+//! watchdog keeps running (detached) until it finishes on its own —
+//! the harness bounds *latency*, not CPU use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod incident;
+pub mod robust;
+
+pub use incident::{Fault, GraphFingerprint, Incident};
+pub use robust::{serial_placement, HarnessConfig, RobustScheduler, RunOutcome, SERIAL_PLACEMENT};

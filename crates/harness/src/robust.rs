@@ -1,0 +1,536 @@
+//! The [`RobustScheduler`] wrapper and its fallback machinery.
+
+use crate::incident::{Fault, GraphFingerprint, Incident};
+use dagsched_core::{Hu, Scheduler, Serial};
+use dagsched_dag::Dag;
+use dagsched_sim::{validate, Machine, ProcId, Schedule};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Name reported for schedules synthesized by [`serial_placement`]
+/// when every entry of a fallback chain has faulted.
+pub const SERIAL_PLACEMENT: &str = "SERIAL-PLACEMENT";
+
+/// Containment policy for a [`RobustScheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarnessConfig {
+    /// Wall-clock budget per attempt. `None` disables the deadline.
+    ///
+    /// [`RobustScheduler::run`] enforces the budget preemptively with
+    /// a watchdog thread; the borrowed [`Scheduler::schedule`] entry
+    /// point can only check it after the attempt returns (see
+    /// [`RobustScheduler`] docs).
+    pub time_budget: Option<Duration>,
+    /// Check every produced schedule against the independent oracle
+    /// (`dagsched_sim::validate::check`). On by default; turning it
+    /// off keeps panic/deadline containment only.
+    pub validate: bool,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            time_budget: None,
+            validate: true,
+        }
+    }
+}
+
+/// The result of one fault-isolated run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The schedule that completed the run — always oracle-valid when
+    /// validation is enabled.
+    pub schedule: Schedule,
+    /// Name of the chain entry that produced [`RunOutcome::schedule`]
+    /// ([`SERIAL_PLACEMENT`] if the whole chain faulted).
+    pub scheduled_by: &'static str,
+    /// One record per chain entry that faulted before the run
+    /// completed (empty on a clean first-try run).
+    pub incidents: Vec<Incident>,
+}
+
+impl RunOutcome {
+    /// `true` when the requested heuristic did not produce the
+    /// schedule itself.
+    pub fn fell_back(&self) -> bool {
+        !self.incidents.is_empty()
+    }
+}
+
+/// Wraps a primary [`Scheduler`] with panic containment, an optional
+/// wall-clock budget, oracle validation, and a fallback chain, so a
+/// run always completes with a valid schedule.
+///
+/// Two entry points:
+///
+/// * [`RobustScheduler::run`] — the full harness. Takes the machine
+///   as `Arc<dyn Machine>` so attempts can be moved onto a watchdog
+///   thread and *abandoned* when the time budget expires.
+/// * The [`Scheduler`] impl — a drop-in wrapper for registry code
+///   that only knows `&dyn Machine`. Runs attempts inline: panics and
+///   invalid schedules are contained identically, but a configured
+///   time budget is only checked *after* each attempt returns (a
+///   non-terminating heuristic cannot be preempted without ownership
+///   of its inputs). Incidents are accumulated in an internal log —
+///   drain with [`RobustScheduler::take_incidents`].
+pub struct RobustScheduler {
+    chain: Vec<Arc<dyn Scheduler>>,
+    config: HarnessConfig,
+    log: Mutex<Vec<Incident>>,
+}
+
+impl RobustScheduler {
+    /// Wraps `primary` with the default fallback chain
+    /// (`primary → HU → SERIAL`) and default config.
+    pub fn new(primary: Arc<dyn Scheduler>) -> Self {
+        let primary_name = primary.name();
+        let mut s = Self::bare(primary);
+        if primary_name != Hu.name() {
+            s.chain.push(Arc::new(Hu));
+        }
+        if primary_name != Serial.name() {
+            s.chain.push(Arc::new(Serial));
+        }
+        s
+    }
+
+    /// As [`RobustScheduler::new`] from an owned scheduler value.
+    pub fn wrap(primary: impl Scheduler + 'static) -> Self {
+        Self::new(Arc::new(primary))
+    }
+
+    /// Wraps `primary` with *no* fallbacks: a faulting run degrades
+    /// straight to [`serial_placement`].
+    pub fn bare(primary: Arc<dyn Scheduler>) -> Self {
+        RobustScheduler {
+            chain: vec![primary],
+            config: HarnessConfig::default(),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Appends `fallback` to the chain.
+    pub fn push_fallback(mut self, fallback: Arc<dyn Scheduler>) -> Self {
+        self.chain.push(fallback);
+        self
+    }
+
+    /// Replaces the containment policy.
+    pub fn with_config(mut self, config: HarnessConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the per-attempt wall-clock budget.
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.config.time_budget = Some(budget);
+        self
+    }
+
+    /// Disables oracle validation (panic/deadline containment stays).
+    pub fn without_validation(mut self) -> Self {
+        self.config.validate = false;
+        self
+    }
+
+    /// The active containment policy.
+    pub fn config(&self) -> HarnessConfig {
+        self.config
+    }
+
+    /// Chain entry names, primary first.
+    pub fn chain_names(&self) -> Vec<&'static str> {
+        self.chain.iter().map(|h| h.name()).collect()
+    }
+
+    /// Drains the incidents accumulated by every run so far (in run
+    /// order).
+    pub fn take_incidents(&self) -> Vec<Incident> {
+        std::mem::take(&mut *self.lock_log())
+    }
+
+    fn lock_log(&self) -> std::sync::MutexGuard<'_, Vec<Incident>> {
+        // A panic while holding this lock is impossible (extend/take
+        // only), but poisoning must not cascade into the harness.
+        self.log.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Runs the full harness: walk the fallback chain until an
+    /// attempt survives containment, validation and (when configured)
+    /// the watchdog deadline; synthesize a [`serial_placement`] if
+    /// none does.
+    pub fn run(&self, g: &Dag, machine: &Arc<dyn Machine>) -> RunOutcome {
+        match self.config.time_budget {
+            // The watchdog needs owned inputs it can move to (and
+            // leak on) a worker thread.
+            Some(budget) => {
+                let shared = Arc::new(g.clone());
+                self.run_chain(g, machine.as_ref(), Some((&shared, machine, budget)))
+            }
+            None => self.run_chain(g, machine.as_ref(), None),
+        }
+    }
+
+    /// One chain walk; `watchdog` carries the shared handles needed
+    /// for preemptive deadline enforcement.
+    fn run_chain(
+        &self,
+        g: &Dag,
+        machine: &dyn Machine,
+        watchdog: Option<(&Arc<Dag>, &Arc<dyn Machine>, Duration)>,
+    ) -> RunOutcome {
+        let fingerprint = GraphFingerprint::of(g);
+        let mut incidents: Vec<Incident> = Vec::new();
+        let mut winner: Option<(Schedule, &'static str)> = None;
+
+        for h in &self.chain {
+            let (result, elapsed) = match watchdog {
+                Some((shared_g, shared_m, budget)) => {
+                    attempt_watchdog(Arc::clone(h), shared_g, shared_m, budget, &self.config)
+                }
+                None => attempt_inline(h.as_ref(), g, machine, &self.config),
+            };
+            match result {
+                Ok(schedule) => {
+                    winner = Some((schedule, h.name()));
+                    break;
+                }
+                Err(fault) => incidents.push(Incident {
+                    heuristic: h.name(),
+                    graph: fingerprint,
+                    fault,
+                    elapsed,
+                    resolved_by: None,
+                }),
+            }
+        }
+
+        let (schedule, scheduled_by) =
+            winner.unwrap_or_else(|| (serial_placement(g), SERIAL_PLACEMENT));
+        for incident in &mut incidents {
+            incident.resolved_by = Some(scheduled_by);
+        }
+        if !incidents.is_empty() {
+            self.lock_log().extend(incidents.iter().cloned());
+        }
+        RunOutcome {
+            schedule,
+            scheduled_by,
+            incidents,
+        }
+    }
+}
+
+impl Scheduler for RobustScheduler {
+    /// Reports the *primary* heuristic's name so result tables keep
+    /// their expected columns when wrapped.
+    fn name(&self) -> &'static str {
+        self.chain
+            .first()
+            .map(|h| h.name())
+            .unwrap_or(SERIAL_PLACEMENT)
+    }
+
+    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+        self.run_chain(g, machine, None).schedule
+    }
+}
+
+/// One inline attempt: contain panics, then apply the (post-hoc) time
+/// budget and the oracle.
+fn attempt_inline(
+    h: &dyn Scheduler,
+    g: &Dag,
+    machine: &dyn Machine,
+    config: &HarnessConfig,
+) -> (Result<Schedule, Fault>, Duration) {
+    let start = Instant::now();
+    let caught = catch_unwind(AssertUnwindSafe(|| h.schedule(g, machine)));
+    let elapsed = start.elapsed();
+    let result = match caught {
+        Err(payload) => Err(Fault::Panic(panic_message(payload.as_ref()))),
+        Ok(schedule) => {
+            if let Some(budget) = config.time_budget.filter(|&b| elapsed > b) {
+                Err(Fault::DeadlineExceeded { budget })
+            } else {
+                gate(schedule, g, machine, config)
+            }
+        }
+    };
+    (result, elapsed)
+}
+
+/// One watchdog attempt: the heuristic runs on a worker thread; if it
+/// neither returns nor panics within `budget`, the thread is
+/// abandoned (its eventual result is discarded) and the attempt
+/// resolves to [`Fault::DeadlineExceeded`].
+fn attempt_watchdog(
+    h: Arc<dyn Scheduler>,
+    g: &Arc<Dag>,
+    machine: &Arc<dyn Machine>,
+    budget: Duration,
+    config: &HarnessConfig,
+) -> (Result<Schedule, Fault>, Duration) {
+    let start = Instant::now();
+    let (tx, rx) = mpsc::channel();
+    let worker_g = Arc::clone(g);
+    let worker_m = Arc::clone(machine);
+    let worker_h = Arc::clone(&h);
+    let spawned = std::thread::Builder::new()
+        .name(format!("harness-{}", h.name()))
+        .spawn(move || {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                worker_h.schedule(&worker_g, worker_m.as_ref())
+            }));
+            // The receiver is gone iff the watchdog already gave up
+            // on us; the result is then intentionally discarded.
+            let _ = tx.send(caught);
+        });
+
+    let handle = match spawned {
+        Ok(handle) => handle,
+        // No threads available: degrade to the inline (post-hoc
+        // budget) path rather than failing the attempt outright.
+        Err(_) => return attempt_inline(h.as_ref(), g.as_ref(), machine.as_ref(), config),
+    };
+
+    match rx.recv_timeout(budget) {
+        Ok(caught) => {
+            let _ = handle.join();
+            let elapsed = start.elapsed();
+            let result = match caught {
+                Err(payload) => Err(Fault::Panic(panic_message(payload.as_ref()))),
+                Ok(schedule) => gate(schedule, g, machine.as_ref(), config),
+            };
+            (result, elapsed)
+        }
+        Err(_) => {
+            // Deadline (or a worker lost without sending — treat the
+            // same). Dropping `handle` detaches the worker.
+            drop(handle);
+            (Err(Fault::DeadlineExceeded { budget }), start.elapsed())
+        }
+    }
+}
+
+/// Oracle gate: a produced schedule must satisfy the independent
+/// validator (when enabled) to count as success.
+fn gate(
+    schedule: Schedule,
+    g: &Dag,
+    machine: &dyn Machine,
+    config: &HarnessConfig,
+) -> Result<Schedule, Fault> {
+    if config.validate {
+        let violations = validate::check(g, machine, &schedule);
+        if !violations.is_empty() {
+            return Err(Fault::Invalid(violations));
+        }
+    }
+    Ok(schedule)
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The terminal degradation: every task back-to-back on one
+/// processor, in topological order. Uses one processor and zero
+/// communication, so it is valid on every machine and cannot fail —
+/// the guarantee that lets [`RobustScheduler::run`] be total.
+pub fn serial_placement(g: &Dag) -> Schedule {
+    let mut placements = vec![(ProcId(0), 0); g.num_nodes()];
+    let mut clock = 0;
+    for &v in g.topo_order() {
+        placements[v.index()] = (ProcId(0), clock);
+        clock += g.node_weight(v);
+    }
+    Schedule::new(g, placements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::{InvalidScheduler, PanicScheduler, SleepyScheduler};
+    use dagsched_core::fixtures::fig16;
+    use dagsched_dag::DagBuilder;
+    use dagsched_sim::{BoundedClique, Clique};
+
+    fn clique() -> Arc<dyn Machine> {
+        Arc::new(Clique)
+    }
+
+    #[test]
+    fn clean_run_passes_through_without_incidents() {
+        let g = fig16();
+        let robust = RobustScheduler::wrap(Hu);
+        let out = robust.run(&g, &clique());
+        assert_eq!(out.scheduled_by, "HU");
+        assert!(!out.fell_back());
+        assert!(out.incidents.is_empty());
+        assert!(validate::is_valid(&g, &Clique, &out.schedule));
+        // The wrapper is transparent for registry code.
+        assert_eq!(robust.name(), "HU");
+        assert_eq!(out.schedule.makespan(), Hu.schedule(&g, &Clique).makespan());
+    }
+
+    #[test]
+    fn panic_is_contained_and_resolved_by_fallback() {
+        let g = fig16();
+        let robust = RobustScheduler::wrap(PanicScheduler);
+        let out = robust.run(&g, &clique());
+        assert_eq!(out.scheduled_by, "HU");
+        assert!(out.fell_back());
+        assert_eq!(out.incidents.len(), 1);
+        let incident = &out.incidents[0];
+        assert_eq!(incident.heuristic, "CHAOS-PANIC");
+        assert_eq!(incident.fault.kind(), "panic");
+        assert_eq!(incident.resolved_by, Some("HU"));
+        assert!(validate::is_valid(&g, &Clique, &out.schedule));
+        // The internal log saw the same incident.
+        assert_eq!(robust.take_incidents(), out.incidents);
+        assert!(robust.take_incidents().is_empty());
+    }
+
+    #[test]
+    fn invalid_schedule_is_rejected_by_the_oracle_gate() {
+        let g = fig16();
+        let robust = RobustScheduler::wrap(InvalidScheduler);
+        let out = robust.run(&g, &clique());
+        assert_eq!(out.scheduled_by, "HU");
+        assert_eq!(out.incidents.len(), 1);
+        assert_eq!(out.incidents[0].fault.kind(), "invalid-schedule");
+        assert!(validate::is_valid(&g, &Clique, &out.schedule));
+    }
+
+    #[test]
+    fn without_validation_accepts_what_the_oracle_would_reject() {
+        let g = fig16();
+        let robust = RobustScheduler::wrap(InvalidScheduler).without_validation();
+        let out = robust.run(&g, &clique());
+        assert_eq!(out.scheduled_by, "CHAOS-INVALID");
+        assert!(out.incidents.is_empty());
+    }
+
+    #[test]
+    fn watchdog_abandons_a_heuristic_that_blows_its_budget() {
+        let g = fig16();
+        let robust = RobustScheduler::bare(Arc::new(SleepyScheduler {
+            delay: Duration::from_secs(5),
+        }))
+        .push_fallback(Arc::new(Serial))
+        .with_time_budget(Duration::from_millis(25));
+        let start = Instant::now();
+        let out = robust.run(&g, &clique());
+        // Abandonment, not a join: the run returns long before the
+        // sleeper wakes.
+        assert!(start.elapsed() < Duration::from_secs(4));
+        assert_eq!(out.scheduled_by, "SERIAL");
+        assert_eq!(out.incidents.len(), 1);
+        assert_eq!(out.incidents[0].fault.kind(), "deadline-exceeded");
+        assert!(validate::is_valid(&g, &Clique, &out.schedule));
+    }
+
+    #[test]
+    fn inline_entry_point_applies_the_budget_post_hoc() {
+        let g = fig16();
+        let robust = RobustScheduler::wrap(SleepyScheduler {
+            delay: Duration::from_millis(60),
+        })
+        .with_time_budget(Duration::from_millis(5));
+        // Scheduler-trait entry point: borrowed machine, inline run.
+        let s = robust.schedule(&g, &Clique);
+        assert!(validate::is_valid(&g, &Clique, &s));
+        let incidents = robust.take_incidents();
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].fault.kind(), "deadline-exceeded");
+        assert_eq!(incidents[0].resolved_by, Some("HU"));
+    }
+
+    #[test]
+    fn exhausted_chain_degrades_to_serial_placement() {
+        let g = fig16();
+        let robust = RobustScheduler::bare(Arc::new(PanicScheduler));
+        let out = robust.run(&g, &clique());
+        assert_eq!(out.scheduled_by, SERIAL_PLACEMENT);
+        assert_eq!(out.incidents.len(), 1);
+        assert_eq!(out.incidents[0].resolved_by, Some(SERIAL_PLACEMENT));
+        assert!(validate::is_valid(&g, &Clique, &out.schedule));
+        assert_eq!(out.schedule.makespan(), g.serial_time());
+    }
+
+    #[test]
+    fn default_chain_skips_duplicate_tail_entries() {
+        assert_eq!(
+            RobustScheduler::wrap(PanicScheduler).chain_names(),
+            vec!["CHAOS-PANIC", "HU", "SERIAL"]
+        );
+        assert_eq!(
+            RobustScheduler::wrap(Hu).chain_names(),
+            vec!["HU", "SERIAL"]
+        );
+        assert_eq!(
+            RobustScheduler::wrap(Serial).chain_names(),
+            vec!["SERIAL", "HU"]
+        );
+    }
+
+    #[test]
+    fn serial_placement_is_valid_everywhere() {
+        let machines: Vec<Box<dyn Machine>> = vec![
+            Box::new(Clique),
+            Box::new(BoundedClique::new(1)),
+            Box::new(dagsched_sim::Ring::new(3)),
+        ];
+        let mut b = DagBuilder::new();
+        let a = b.add_node(0);
+        let c = b.add_node(4);
+        let d = b.add_node(0);
+        b.add_edge(a, c, 100).unwrap();
+        b.add_edge(c, d, 100).unwrap();
+        let graphs = vec![
+            fig16(),
+            b.build().unwrap(),
+            DagBuilder::new().build().unwrap(),
+        ];
+        for g in &graphs {
+            let s = serial_placement(g);
+            for m in &machines {
+                assert!(
+                    validate::check(g, m.as_ref(), &s).is_empty(),
+                    "n={} on {}",
+                    g.num_nodes(),
+                    m.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn outcomes_are_deterministic_across_runs() {
+        let g = fig16();
+        let run = || {
+            let robust = RobustScheduler::wrap(PanicScheduler);
+            let out = robust.run(&g, &clique());
+            (
+                out.scheduled_by,
+                out.schedule.makespan(),
+                out.incidents
+                    .iter()
+                    .map(Incident::summary)
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -35,7 +35,11 @@ impl std::fmt::Display for ProcId {
 /// `comm_cost(p, p, w) == 0` for every processor `p` (same-processor
 /// communication is free, assumption 1 of the paper), and
 /// `comm_cost(_, _, 0) == 0`.
-pub trait Machine: Sync {
+///
+/// `Send + Sync` is a supertrait bound so machines can be handed to
+/// watchdog worker threads; every model in this module is a small
+/// `Copy` struct, so the bound costs nothing.
+pub trait Machine: Send + Sync {
     /// Cost of moving a message of edge-weight `w` from processor
     /// `from` to processor `to`.
     fn comm_cost(&self, from: ProcId, to: ProcId, w: Weight) -> Weight;

@@ -229,6 +229,57 @@ mod tests {
     }
 
     #[test]
+    fn detects_wrong_task_count_and_stops_there() {
+        let g = chain2();
+        // A schedule built for a different (single-node) graph.
+        let mut b = DagBuilder::new();
+        b.add_node(10);
+        let other = b.build().unwrap();
+        let s = Schedule::new(&other, vec![(p(0), 0)]);
+        let v = check(&g, &Clique, &s);
+        // The count mismatch is terminal: no derived violations after.
+        assert_eq!(
+            v,
+            vec![Violation::WrongTaskCount {
+                got: 1,
+                expected: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn violation_display_is_stable() {
+        // These strings appear verbatim in incident reports; fixing
+        // them here keeps robustness output deterministic.
+        assert_eq!(
+            Violation::Overlap { a: n(0), b: n(1) }.to_string(),
+            "tasks n0 and n1 overlap on a processor"
+        );
+        assert_eq!(
+            Violation::Precedence {
+                pred: n(2),
+                task: n(5),
+                earliest: 17,
+                actual: 10
+            }
+            .to_string(),
+            "task n5 starts at 10 but data from n2 arrives at 17"
+        );
+        assert_eq!(
+            Violation::TooManyProcs { used: 4, bound: 2 }.to_string(),
+            "schedule uses 4 processors, machine allows 2"
+        );
+        assert_eq!(
+            Violation::WrongTaskCount {
+                got: 3,
+                expected: 7
+            }
+            .to_string(),
+            "schedule places 3 tasks, graph has 7"
+        );
+    }
+
+    #[test]
     fn evaluate_output_always_validates() {
         // The oracle agrees with the timing engine on a non-trivial case.
         let mut b = DagBuilder::new();

@@ -37,7 +37,8 @@ fn main() {
                     band,
                 },
                 &mut rng,
-            );
+            )
+            .expect("sweep spec is valid");
             for (i, h) in heuristics.iter().enumerate() {
                 let s = h.schedule(&g, &Clique);
                 sums[i] += metrics::measures(&g, &s).speedup;

@@ -9,16 +9,25 @@
 //! how much the realized makespan degrades relative to the analytic
 //! one.
 //!
+//! The second half turns to *implementation* robustness: every run
+//! goes through the fault-isolation harness, and three deliberately
+//! broken schedulers (panic / invalid schedule / deadline overrun)
+//! show containment and the fallback chain in action.
+//!
 //! ```text
 //! cargo run --release --example robustness
 //! ```
 
-use dagsched::core::paper_heuristics;
+use dagsched::core::{paper_heuristics, Scheduler};
 use dagsched::gen::pdg::{generate, PdgSpec};
 use dagsched::gen::{GranularityBand, WeightRange};
-use dagsched::sim::{event, metrics, Clique};
+use dagsched::harness::chaos::{InvalidScheduler, PanicScheduler, SleepyScheduler};
+use dagsched::harness::RobustScheduler;
+use dagsched::sim::{event, metrics, Clique, Machine};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
 
 const GRAPHS: usize = 10;
 const TRIALS: usize = 20;
@@ -34,15 +43,18 @@ fn main() {
 
     let mut graphs = Vec::new();
     for _ in 0..GRAPHS {
-        graphs.push(generate(
-            &PdgSpec {
-                nodes: 50,
-                anchor: 3,
-                weights: WeightRange::new(20, 100),
-                band: GranularityBand::Coarse,
-            },
-            &mut rng,
-        ));
+        graphs.push(
+            generate(
+                &PdgSpec {
+                    nodes: 50,
+                    anchor: 3,
+                    weights: WeightRange::new(20, 100),
+                    band: GranularityBand::Coarse,
+                },
+                &mut rng,
+            )
+            .expect("robustness spec is valid"),
+        );
     }
 
     for h in &heuristics {
@@ -80,4 +92,48 @@ fn main() {
     println!();
     println!("Heuristics that spread work across more processors expose more");
     println!("cross-processor edges, so estimate errors hurt them more.");
+
+    // --- Part two: implementation robustness -------------------------
+    // The same graphs, but every run goes through the fault-isolation
+    // harness: panics are contained, schedules are oracle-gated, and a
+    // deadline is enforced by a watchdog. Three deliberately broken
+    // schedulers demonstrate the fallback chain.
+    println!();
+    println!("fault isolation (budget 250ms, oracle gating on):");
+    let machine: Arc<dyn Machine> = Arc::new(Clique);
+    let budget = Duration::from_millis(250);
+    let g = &graphs[0];
+
+    let mut wrapped: Vec<RobustScheduler> = paper_heuristics()
+        .into_iter()
+        .map(|h| RobustScheduler::new(Arc::from(h)).with_time_budget(budget))
+        .collect();
+    wrapped.push(RobustScheduler::wrap(PanicScheduler).with_time_budget(budget));
+    wrapped.push(RobustScheduler::wrap(InvalidScheduler).with_time_budget(budget));
+    wrapped.push(
+        RobustScheduler::wrap(SleepyScheduler {
+            delay: Duration::from_secs(30),
+        })
+        .with_time_budget(budget),
+    );
+
+    for robust in &wrapped {
+        let out = robust.run(g, &machine);
+        println!(
+            "  {:<14} -> scheduled by {:<7} makespan {:>6}  incidents {}",
+            robust.name(),
+            out.scheduled_by,
+            out.schedule.makespan(),
+            out.incidents.len()
+        );
+        for incident in &out.incidents {
+            println!("      {}", incident.summary());
+        }
+    }
+
+    println!();
+    println!("The three CHAOS schedulers fault every time; the harness");
+    println!("contains each fault as an incident and the fallback chain");
+    println!("(heuristic -> HU -> SERIAL) still completes every run with");
+    println!("an oracle-valid schedule.");
 }

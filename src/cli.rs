@@ -16,6 +16,12 @@
 //!   --stg <W>            input is STG (Standard Task Graph Set)
 //!                        format; every edge gets weight W
 //!   --quiet              metrics only, one line per heuristic
+//!   --validate           fault-isolated run: contain panics, gate
+//!                        every schedule through the oracle, fall back
+//!                        (heuristic → HU → SERIAL) on faults and
+//!                        print incident reports instead of aborting
+//!   --time-budget <MS>   abandon any attempt exceeding MS
+//!                        milliseconds (implies --validate)
 //! ```
 //!
 //! The logic lives here (library-testable); `src/bin/dagsched.rs` is a
@@ -23,10 +29,13 @@
 
 use crate::core::{all_heuristics, Scheduler};
 use crate::dag::{metrics as gmetrics, textio, Dag};
+use crate::harness::{HarnessConfig, RobustScheduler};
 use crate::sim::{
     gantt, metrics, validate, BoundedClique, Clique, Hypercube, Machine, Mesh2D, Ring,
 };
 use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Parsed command line.
 #[derive(Debug)]
@@ -47,6 +56,12 @@ pub struct CliOptions {
     pub stg_edge_weight: Option<u64>,
     /// Metrics only.
     pub quiet: bool,
+    /// Run fault-isolated (panic containment, oracle gate, fallback
+    /// chain) instead of aborting on a faulty heuristic.
+    pub validate: bool,
+    /// Wall-clock budget per scheduling attempt, in milliseconds
+    /// (implies `validate`).
+    pub time_budget_ms: Option<u64>,
     /// Input path (`-` = stdin).
     pub input: String,
 }
@@ -62,6 +77,8 @@ impl Default for CliOptions {
             svg: false,
             stg_edge_weight: None,
             quiet: false,
+            validate: false,
+            time_budget_ms: None,
             input: "-".into(),
         }
     }
@@ -102,6 +119,18 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 opts.stg_edge_weight = Some(w);
             }
             "--quiet" => opts.quiet = true,
+            "--validate" => opts.validate = true,
+            "--time-budget" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or("--time-budget needs milliseconds")?
+                    .parse()
+                    .map_err(|_| "bad --time-budget value")?;
+                if ms == 0 {
+                    return Err("--time-budget must be positive".into());
+                }
+                opts.time_budget_ms = Some(ms);
+            }
             "--help" | "-h" => return Err("help".into()),
             other if !other.starts_with('-') || other == "-" => {
                 if input.replace(other.to_string()).is_some() {
@@ -176,8 +205,15 @@ pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
         Some(w) => crate::dag::stg::parse(text, w).map_err(|e| e.to_string())?,
         None => textio::parse(text).map_err(|e| e.to_string())?,
     };
-    let machine = parse_machine(&opts.machine)?;
+    let machine: Arc<dyn Machine> = Arc::from(parse_machine(&opts.machine)?);
     let heuristics = select_heuristics(&opts.heuristic)?;
+    // Either robustness flag selects the fault-isolated path; the
+    // harness always keeps the oracle gate on so everything printed
+    // below is a valid schedule either way.
+    let harness = (opts.validate || opts.time_budget_ms.is_some()).then(|| HarnessConfig {
+        time_budget: opts.time_budget_ms.map(Duration::from_millis),
+        validate: true,
+    });
 
     let mut out = String::new();
     if !opts.quiet {
@@ -196,25 +232,34 @@ pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
         out.push_str(&crate::dag::dot::to_dot(&g, "input"));
     }
     for h in heuristics {
-        let s = h.schedule(&g, machine.as_ref());
-        let violations = validate::check(&g, machine.as_ref(), &s);
-        if !violations.is_empty() {
-            return Err(format!(
-                "{} produced an invalid schedule: {violations:?}",
-                h.name()
-            ));
-        }
+        let name = h.name();
+        let (s, incidents) = match harness {
+            Some(config) => {
+                let robust = RobustScheduler::new(Arc::from(h)).with_config(config);
+                let r = robust.run(&g, &machine);
+                (r.schedule, r.incidents)
+            }
+            None => {
+                let s = h.schedule(&g, machine.as_ref());
+                let violations = validate::check(&g, machine.as_ref(), &s);
+                if !violations.is_empty() {
+                    return Err(format!(
+                        "{name} produced an invalid schedule: {violations:?}"
+                    ));
+                }
+                (s, Vec::new())
+            }
+        };
         let m = metrics::measures(&g, &s);
         writeln!(
             out,
             "{:<7} parallel_time={} speedup={:.3} efficiency={:.3} procs={}",
-            h.name(),
-            m.parallel_time,
-            m.speedup,
-            m.efficiency,
-            m.procs
+            name, m.parallel_time, m.speedup, m.efficiency, m.procs
         )
         .unwrap();
+        for incident in &incidents {
+            writeln!(out, "  incident: {}", incident.summary()).unwrap();
+        }
         if opts.analyze {
             let a = crate::sim::analysis::analyze(&g, machine.as_ref(), &s);
             writeln!(out, "  {a}").unwrap();
@@ -230,7 +275,7 @@ pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
 }
 
 /// The usage string printed on `--help` or errors.
-pub const USAGE: &str = "usage: dagsched [--heuristic NAME|all] [--machine clique|ring:N|mesh:RxC|hypercube:D|bounded:P] [--gantt WIDTH] [--analyze] [--svg] [--dot] [--stg W] [--quiet] <graph.pdg | ->";
+pub const USAGE: &str = "usage: dagsched [--heuristic NAME|all] [--machine clique|ring:N|mesh:RxC|hypercube:D|bounded:P] [--gantt WIDTH] [--analyze] [--svg] [--dot] [--stg W] [--quiet] [--validate] [--time-budget MS] <graph.pdg | ->";
 
 #[cfg(test)]
 mod tests {
@@ -358,6 +403,26 @@ edge 0 2 5
         let o = opts(&["--quiet"]);
         let err = run_on_text(&o, "nodes x").unwrap_err();
         assert!(err.contains("invalid node count"));
+    }
+
+    #[test]
+    fn robustness_flags_parse() {
+        let o = opts(&["--validate", "--time-budget", "250"]);
+        assert!(o.validate);
+        assert_eq!(o.time_budget_ms, Some(250));
+        assert!(parse_args(&["--time-budget".into(), "0".into(), "-".into()]).is_err());
+        assert!(parse_args(&["--time-budget".into(), "x".into(), "-".into()]).is_err());
+    }
+
+    #[test]
+    fn harnessed_run_reports_clean_schedules() {
+        let o = opts(&["--quiet", "--validate", "--time-budget", "60000"]);
+        let out = run_on_text(&o, SAMPLE).unwrap();
+        for h in ["CLANS", "DSC", "MCP", "MH", "HU"] {
+            assert!(out.contains(h), "missing {h}");
+        }
+        // Healthy heuristics on a 3-task graph raise no incidents.
+        assert!(!out.contains("incident:"));
     }
 
     #[test]

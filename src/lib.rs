@@ -12,6 +12,8 @@
 //! * [`par`] — the work-stealing parallel-map substrate;
 //! * [`core`] — the five heuristics (CLANS, DSC, MCP, MH, HU) plus
 //!   extension schedulers behind the [`core::Scheduler`] trait;
+//! * [`harness`] — fault isolation: panic containment, time budgets,
+//!   oracle-gated fallback chains, incident records;
 //! * [`experiments`] — the 2100-graph corpus and regeneration of
 //!   every table and figure of the paper.
 //!
@@ -24,5 +26,11 @@ pub use dagsched_core as core;
 pub use dagsched_dag as dag;
 pub use dagsched_experiments as experiments;
 pub use dagsched_gen as gen;
+pub use dagsched_harness as harness;
 pub use dagsched_par as par;
 pub use dagsched_sim as sim;
+
+// The error types a caller handles, re-exported at the top level.
+pub use dagsched_dag::DagError;
+pub use dagsched_gen::GenError;
+pub use dagsched_harness::{Fault, Incident, RobustScheduler};

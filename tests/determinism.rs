@@ -3,8 +3,10 @@
 //! makes `EXPERIMENTS.md` a verifiable record instead of a snapshot.
 
 use dagsched::experiments::corpus::{generate_corpus, generate_entry, CorpusSpec};
-use dagsched::experiments::runner::run_corpus;
+use dagsched::experiments::runner::{run_corpus, run_corpus_robust};
 use dagsched::experiments::tables::all_tables;
+use dagsched::harness::chaos::PanicScheduler;
+use dagsched::harness::HarnessConfig;
 use dagsched_core::paper_heuristics;
 
 fn spec() -> CorpusSpec {
@@ -53,6 +55,40 @@ fn full_study_tables_are_bit_identical_across_runs() {
             }
         }
     }
+}
+
+#[test]
+fn harnessed_runs_are_bit_identical_across_runs() {
+    // Fault-isolated runs must stay as deterministic as trusting ones
+    // — including when the fallback chain actually fires. A panicking
+    // scheduler rides along so every graph produces one incident.
+    let run = || {
+        let mut heuristics = paper_heuristics();
+        heuristics.push(Box::new(PanicScheduler));
+        let corpus = generate_corpus(&spec());
+        run_corpus_robust(&corpus, heuristics, HarnessConfig::default())
+    };
+    let (r1, s1) = run();
+    let (r2, s2) = run();
+
+    assert_eq!(r1.len(), r2.len());
+    for (a, b) in r1.iter().zip(&r2) {
+        assert_eq!(a.outcomes.len(), b.outcomes.len());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.parallel_time, y.parallel_time);
+            assert_eq!(x.procs, y.procs);
+            assert_eq!(x.speedup.to_bits(), y.speedup.to_bits());
+            assert_eq!(x.nrpt.to_bits(), y.nrpt.to_bits());
+        }
+    }
+    // Fallback activations happened, and identically so.
+    assert_eq!(s1.total_incidents(), generate_corpus(&spec()).len());
+    assert_eq!(s1.tallies, s2.tallies);
+    assert_eq!(s1.incident_summaries, s2.incident_summaries);
+    assert_eq!(s1.render(), s2.render());
+    // The result tables built from harnessed runs are identical too.
+    assert_eq!(all_tables(&r1), all_tables(&r2));
 }
 
 #[test]

@@ -53,6 +53,22 @@ proptest! {
     }
 
     #[test]
+    fn oracle_accepts_every_serial_schedule(g in arb_dag(30, 100, 500)) {
+        // The SERIAL scheduler and the harness's synthesized fallback
+        // placement are single-processor, topologically ordered
+        // schedules — the oracle must accept both on any machine, and
+        // both take exactly the serial time.
+        let serial = dagsched::core::Serial.schedule(&g, &Clique);
+        prop_assert!(validate::is_valid(&g, &Clique, &serial));
+        prop_assert_eq!(serial.makespan(), g.serial_time());
+        let placed = dagsched::harness::serial_placement(&g);
+        prop_assert!(validate::is_valid(&g, &Clique, &placed));
+        prop_assert_eq!(placed.makespan(), g.serial_time());
+        let one_proc = dagsched::sim::BoundedClique::new(1);
+        prop_assert!(validate::is_valid(&g, &one_proc, &placed));
+    }
+
+    #[test]
     fn event_sim_matches_analytic_for_every_scheduler(g in arb_dag(24, 80, 300)) {
         let machine = Clique;
         for h in all_heuristics() {
@@ -344,7 +360,8 @@ proptest! {
         let g = dagsched::gen::pdg::generate(
             &dagsched::gen::PdgSpec { nodes: 40, anchor, weights, band },
             &mut rng,
-        );
+        )
+        .unwrap();
         let (lo, hi) = metrics::node_weight_range(&g).unwrap();
         prop_assert!(lo >= 20 && hi <= 200);
         prop_assert_eq!(metrics::anchor_out_degree_nonsink(&g), anchor);

@@ -26,6 +26,7 @@ fn big_graph(nodes: usize, band: GranularityBand, seed: u64) -> Dag {
         },
         &mut StdRng::seed_from_u64(seed),
     )
+    .expect("stress spec is valid")
 }
 
 #[test]

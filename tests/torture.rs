@@ -1,0 +1,147 @@
+//! Torture-corpus differential suite: every heuristic, on every
+//! adversarial graph, must come back with an oracle-valid schedule —
+//! and when a scheduler *is* broken (the chaos trio), the harness must
+//! contain the fault and still complete the run.
+//!
+//! Probes run through [`RobustScheduler::bare`], so a panic or an
+//! oracle violation surfaces as a structured incident (with the graph
+//! fingerprint and fault) instead of aborting the test binary.
+
+use dagsched::core::all_heuristics;
+use dagsched::gen::torture_corpus;
+use dagsched::harness::chaos::{InvalidScheduler, PanicScheduler, SleepyScheduler};
+use dagsched::harness::{Incident, RobustScheduler, SERIAL_PLACEMENT};
+use dagsched::sim::{validate, BoundedClique, Clique, Machine};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn clique() -> Arc<dyn Machine> {
+    Arc::new(Clique)
+}
+
+fn summaries(incidents: &[Incident]) -> String {
+    incidents
+        .iter()
+        .map(Incident::summary)
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+#[test]
+fn every_heuristic_survives_every_torture_graph() {
+    // Bare probe: no fallbacks, oracle gate on. A clean pass means the
+    // heuristic itself produced a valid schedule; any panic or
+    // violation fails the test with the full incident report.
+    for case in torture_corpus() {
+        for h in all_heuristics() {
+            let name = h.name();
+            let robust = RobustScheduler::bare(Arc::from(h));
+            let out = robust.run(&case.graph, &clique());
+            assert!(
+                out.incidents.is_empty(),
+                "{name} faulted on {}: {}",
+                case.name,
+                summaries(&out.incidents)
+            );
+            assert_eq!(out.scheduled_by, name, "on {}", case.name);
+            assert!(
+                validate::is_valid(&case.graph, &Clique, &out.schedule),
+                "{name} invalid on {}",
+                case.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fallback_chain_completes_every_torture_run_valid() {
+    // A primary that always faults forces the chain to engage on every
+    // graph, on an unbounded and a 2-processor machine.
+    let machines: Vec<Arc<dyn Machine>> = vec![Arc::new(Clique), Arc::new(BoundedClique::new(2))];
+    for case in torture_corpus() {
+        for machine in &machines {
+            let robust = RobustScheduler::wrap(PanicScheduler);
+            let out = robust.run(&case.graph, machine);
+            assert!(out.fell_back(), "chaos must fault on {}", case.name);
+            assert_eq!(out.incidents[0].fault.kind(), "panic");
+            assert_eq!(out.incidents[0].resolved_by, Some(out.scheduled_by));
+            assert!(
+                validate::is_valid(&case.graph, machine.as_ref(), &out.schedule),
+                "fallback schedule invalid on {} under {}",
+                case.name,
+                machine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn exhausted_chains_degrade_to_serial_placement_everywhere() {
+    for case in torture_corpus() {
+        let robust = RobustScheduler::bare(Arc::new(PanicScheduler));
+        let out = robust.run(&case.graph, &clique());
+        assert_eq!(out.scheduled_by, SERIAL_PLACEMENT, "on {}", case.name);
+        assert_eq!(out.schedule.makespan(), case.graph.serial_time());
+        assert!(validate::is_valid(&case.graph, &Clique, &out.schedule));
+    }
+}
+
+#[test]
+fn forced_faults_are_contained_as_incidents() {
+    let case = torture_corpus()
+        .into_iter()
+        .find(|c| c.name == "dense-complete")
+        .expect("corpus has the dense graph");
+    let g = case.graph;
+    let machine = clique();
+
+    // A panicking scheduler: contained, resolved by HU.
+    let out = RobustScheduler::wrap(PanicScheduler).run(&g, &machine);
+    assert_eq!(out.incidents.len(), 1);
+    assert_eq!(out.incidents[0].fault.kind(), "panic");
+    assert_eq!(out.scheduled_by, "HU");
+    assert!(validate::is_valid(&g, &Clique, &out.schedule));
+
+    // An invalid schedule: rejected by the oracle gate.
+    let out = RobustScheduler::wrap(InvalidScheduler).run(&g, &machine);
+    assert_eq!(out.incidents.len(), 1);
+    assert_eq!(out.incidents[0].fault.kind(), "invalid-schedule");
+    assert_eq!(out.scheduled_by, "HU");
+    assert!(validate::is_valid(&g, &Clique, &out.schedule));
+
+    // A hung scheduler: abandoned by the watchdog well before its
+    // 10-second nap ends.
+    let robust = RobustScheduler::wrap(SleepyScheduler {
+        delay: Duration::from_secs(10),
+    })
+    .with_time_budget(Duration::from_millis(50));
+    let start = Instant::now();
+    let out = robust.run(&g, &machine);
+    assert!(
+        start.elapsed() < Duration::from_secs(8),
+        "watchdog did not abandon the sleeper"
+    );
+    assert_eq!(out.incidents[0].fault.kind(), "deadline-exceeded");
+    assert_eq!(out.scheduled_by, "HU");
+    assert!(validate::is_valid(&g, &Clique, &out.schedule));
+}
+
+#[test]
+fn torture_outcomes_are_deterministic() {
+    let run = || {
+        let mut lines = Vec::new();
+        for case in torture_corpus() {
+            let robust = RobustScheduler::wrap(InvalidScheduler);
+            let out = robust.run(&case.graph, &clique());
+            lines.push(format!(
+                "{}: by {} makespan {} [{}]",
+                case.name,
+                out.scheduled_by,
+                out.schedule.makespan(),
+                summaries(&out.incidents)
+            ));
+        }
+        lines
+    };
+    assert_eq!(run(), run());
+}

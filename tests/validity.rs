@@ -46,7 +46,8 @@ fn family_zoo() -> Vec<(String, Dag)> {
                     band,
                 },
                 &mut rng,
-            );
+            )
+            .expect("zoo spec is valid");
             zoo.push((format!("pdg_{band:?}_{i}"), g));
         }
     }
