@@ -1,0 +1,97 @@
+//! Overhead smoke: scheduling with an active `dagsched-obs` collector
+//! scope must cost at most 5% more than scheduling without one.
+//!
+//! Deliberately criterion-free (a plain `main`): CI runs it as a
+//! pass/fail gate, and the measurement is a min-of-samples over
+//! interleaved scoped/unscoped runs of the same fixed seeded graph
+//! set, which is robust to background noise. With the `obs` feature
+//! compiled out both paths are identical and the ratio sits at ~1.0;
+//! with it on, the ratio bounds the real instrumentation cost.
+//!
+//! `OBS_OVERHEAD_MAX` (e.g. `1.10`) overrides the default 1.05 bound.
+
+use dagsched_bench::heuristics;
+use dagsched_experiments::corpus::{generate_corpus, CorpusEntry, CorpusSpec};
+use dagsched_obs as obs;
+use dagsched_sim::Clique;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A handful of fixed seeded mid-size graphs — big enough that a
+/// sample is dominated by real scheduling work, small enough that the
+/// whole smoke stays in CI budget.
+fn fixed_graphs() -> Vec<CorpusEntry> {
+    let spec = CorpusSpec {
+        graphs_per_set: 1,
+        nodes: 120..=160,
+        ..Default::default()
+    };
+    generate_corpus(&spec).into_iter().step_by(12).collect()
+}
+
+/// One sample: schedule every graph with every paper heuristic,
+/// inside a collector scope or not. Returns the elapsed time and a
+/// black-box accumulator so nothing is optimised away.
+fn sample(corpus: &[CorpusEntry], scoped: bool) -> (Duration, u64) {
+    let hs = heuristics();
+    let mut acc = 0u64;
+    let start = Instant::now();
+    for entry in corpus {
+        for h in &hs {
+            let scope = scoped.then(obs::run_scope);
+            let s = h.schedule(&entry.graph, &Clique);
+            acc = acc.wrapping_add(s.makespan());
+            if let Some(scope) = scope {
+                acc = acc.wrapping_add(scope.finish().counter("dsc.merges"));
+            }
+        }
+    }
+    (start.elapsed(), acc)
+}
+
+fn main() {
+    let max_ratio: f64 = std::env::var("OBS_OVERHEAD_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.05);
+    let corpus = fixed_graphs();
+    println!(
+        "obs_overhead: {} graphs x {} heuristics, obs feature {}",
+        corpus.len(),
+        heuristics().len(),
+        if cfg!(feature = "obs") { "on" } else { "off" }
+    );
+
+    // Warm-up, then interleaved samples so drift hits both sides.
+    for _ in 0..3 {
+        black_box(sample(&corpus, false));
+        black_box(sample(&corpus, true));
+    }
+    let mut min_plain = Duration::MAX;
+    let mut min_scoped = Duration::MAX;
+    for i in 0..20 {
+        let (plain, a) = sample(&corpus, false);
+        let (scoped, b) = sample(&corpus, true);
+        black_box((a, b));
+        min_plain = min_plain.min(plain);
+        min_scoped = min_scoped.min(scoped);
+        if i % 5 == 4 {
+            println!(
+                "  after {:2} rounds: min plain {:>10.1?}  min scoped {:>10.1?}",
+                i + 1,
+                min_plain,
+                min_scoped
+            );
+        }
+    }
+
+    let ratio = min_scoped.as_secs_f64() / min_plain.as_secs_f64();
+    println!(
+        "obs_overhead: plain {min_plain:.1?}, scoped {min_scoped:.1?}, ratio {ratio:.4} (max {max_ratio})"
+    );
+    if ratio > max_ratio {
+        eprintln!("obs_overhead: FAIL — instrumentation overhead above the bound");
+        std::process::exit(1);
+    }
+    println!("obs_overhead: OK");
+}

@@ -2,6 +2,7 @@
 
 use dagsched_dag::bitset::BitSet;
 use dagsched_dag::{Dag, NodeId};
+use dagsched_obs as obs;
 use std::fmt;
 
 /// Index of a clan within a [`ParseTree`].
@@ -76,7 +77,17 @@ pub struct ParseTree {
 impl ParseTree {
     /// Decomposes `g` into its clan parse tree.
     pub fn decompose(g: &Dag) -> ParseTree {
-        crate::decompose::decompose(g)
+        let _span = obs::span!("clans.decompose");
+        let tree = crate::decompose::decompose(g);
+        if obs::active() {
+            let (linear, independent, primitive) = tree.kind_counts();
+            obs::counter_add("clans.linear_clans", linear as u64);
+            obs::counter_add("clans.independent_clans", independent as u64);
+            obs::counter_add("clans.primitive_clans", primitive as u64);
+            obs::gauge_set("clans.tree_clans", tree.num_clans() as u64);
+            obs::gauge_set("clans.tree_height", tree.height() as u64);
+        }
+        tree
     }
 
     /// The root clan (the whole graph), or `None` for the empty graph.

@@ -31,6 +31,7 @@ use crate::scheduler::Scheduler;
 use dagsched_clans::{ClanId, ClanKind, ParseTree};
 use dagsched_dag::bitset::BitSet;
 use dagsched_dag::{topo, Dag, NodeId, Weight};
+use dagsched_obs as obs;
 use dagsched_sim::{Clustering, Machine, Schedule};
 
 /// The CLANS scheduler.
@@ -67,8 +68,11 @@ impl Scheduler for Clans {
             tree: &tree,
             topo_pos: topo::positions(g.topo_order(), n),
         };
+        let plan_span = obs::span!("clans.plan");
         let plan = ctx.plan(root);
+        drop(plan_span);
 
+        let _span = obs::span!("clans.materialize");
         // Materialize: main = cluster 0, each satellite its own.
         let mut clustering = Clustering::new(n);
         let main_cluster = clustering.create_cluster();
@@ -96,9 +100,12 @@ impl Scheduler for Clans {
         let serial_time = g.serial_time();
         match parallel {
             Some(s) if s.makespan() <= serial_time => s,
-            _ => Clustering::serial(n)
-                .materialize(g, machine)
-                .expect("serial clustering is always valid"),
+            _ => {
+                obs::event("clans.serial_fallback");
+                Clustering::serial(n)
+                    .materialize(g, machine)
+                    .expect("serial clustering is always valid")
+            }
         }
     }
 }
@@ -340,6 +347,22 @@ mod tests {
         // Node 1 (paper's node 2) runs alone; the spine stays together.
         assert_ne!(s.proc_of(NodeId(1)), s.proc_of(NodeId(0)));
         assert_eq!(s.proc_of(NodeId(2)), s.proc_of(NodeId(0)));
+    }
+
+    #[test]
+    #[cfg(feature = "obs")]
+    fn records_decomposition_shape_when_scoped() {
+        let scope = dagsched_obs::run_scope();
+        Clans.schedule(&fig16(), &Clique);
+        let stats = scope.finish();
+        // Figure 16's tree: linear(1, independent(2, linear(3,4)), 5).
+        assert_eq!(stats.gauge("clans.tree_clans"), Some(8));
+        assert_eq!(stats.gauge("clans.tree_height"), Some(4));
+        assert_eq!(stats.counter("clans.linear_clans"), 2);
+        assert_eq!(stats.counter("clans.independent_clans"), 1);
+        assert!(stats.span("clans.decompose").is_some());
+        assert!(stats.span("clans.plan").is_some());
+        assert!(stats.span("clans.materialize").is_some());
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use crate::scheduler::Scheduler;
 use dagsched_dag::{levels, Dag, NodeId, Weight};
+use dagsched_obs as obs;
 use dagsched_sim::evaluate::timed_schedule;
 use dagsched_sim::{Clustering, Machine, ProcId, Schedule};
 
@@ -137,6 +138,29 @@ impl<'a> State<'a> {
         self.cluster_tasks.push(Vec::new());
         (self.cluster_last.len() - 1) as u32
     }
+
+    /// Number of incoming edges of `v` zeroed by joining cluster `c`
+    /// (instrumentation only).
+    fn zeroed_edges(&self, v: NodeId, c: u32) -> u64 {
+        self.g
+            .preds(v)
+            .filter(|(p, _)| self.examined[p.index()] && self.cluster_of[p.index()] == Some(c))
+            .count() as u64
+    }
+}
+
+/// Records the accept/reject outcome of one examination step.
+fn record_step(st: &State<'_>, nf: NodeId, accept: Option<(u32, Weight)>) {
+    if !obs::active() {
+        return;
+    }
+    match accept {
+        Some((c, _)) => {
+            obs::event("dsc.merges");
+            obs::counter_add("dsc.edges_zeroed", st.zeroed_edges(nf, c));
+        }
+        None => obs::event("dsc.new_clusters"),
+    }
 }
 
 impl Scheduler for Dsc {
@@ -150,6 +174,7 @@ impl Scheduler for Dsc {
             return dagsched_sim::Schedule::new(g, vec![]);
         }
         let mut st = State::new(g);
+        let span = obs::span!("dsc.cluster");
 
         for _ in 0..n {
             // Highest-priority free and partially free tasks (a scan
@@ -200,6 +225,7 @@ impl Scheduler for Dsc {
                 _ => None,
             };
 
+            record_step(&st, nf, accept);
             match accept {
                 Some((c, stc)) => st.commit(nf, c, stc),
                 None => {
@@ -208,6 +234,7 @@ impl Scheduler for Dsc {
                 }
             }
         }
+        drop(span);
 
         finalize(g, machine, st)
     }
@@ -243,6 +270,7 @@ impl Scheduler for DscFast {
             return dagsched_sim::Schedule::new(g, vec![]);
         }
         let mut st = State::new(g);
+        let span = obs::span!("dsc.cluster");
 
         // Max-heaps of (priority, Reverse(node id)).
         let mut free_heap: BinaryHeap<(Weight, Reverse<u32>)> = g
@@ -303,6 +331,7 @@ impl Scheduler for DscFast {
                 }
                 _ => None,
             };
+            record_step(&st, nf, accept);
             match accept {
                 Some((c, stc)) => st.commit(nf, c, stc),
                 None => {
@@ -315,11 +344,14 @@ impl Scheduler for DscFast {
             for (s, _) in g.succs(nf) {
                 if st.is_free(s) {
                     free_heap.push((st.priority(s), Reverse(s.0)));
+                    obs::event("dsc.priority_requeues");
                 } else if st.is_partially_free(s) {
                     pfree_heap.push((st.priority(s), Reverse(s.0)));
+                    obs::event("dsc.priority_requeues");
                 }
             }
         }
+        drop(span);
 
         finalize(g, machine, st)
     }
@@ -330,6 +362,7 @@ impl Scheduler for DscFast {
 /// internal times exactly; on a bounded machine the excess clusters
 /// are first folded together (least-loaded pairs) and re-timed.
 fn finalize(g: &Dag, machine: &dyn Machine, st: State<'_>) -> Schedule {
+    let _span = obs::span!("dsc.finalize");
     let num_clusters = st.cluster_tasks.len();
     let within_bound = machine.max_procs().is_none_or(|b| num_clusters <= b);
     if within_bound {
@@ -382,6 +415,29 @@ mod tests {
         // zeroes nothing it shouldn't: parallel time 130 (node 1 off
         // to the side) or better.
         assert!(s.makespan() <= 130, "got {}", s.makespan());
+    }
+
+    #[test]
+    #[cfg(feature = "obs")]
+    fn records_clustering_metrics_when_scoped() {
+        let scope = dagsched_obs::run_scope();
+        let g = fig16();
+        Dsc.schedule(&g, &Clique);
+        let stats = scope.finish();
+        // Every examination either merges or opens a cluster.
+        assert_eq!(
+            stats.counter("dsc.merges") + stats.counter("dsc.new_clusters"),
+            g.num_nodes() as u64
+        );
+        assert!(stats.span("dsc.cluster").is_some());
+        assert!(stats.span("dsc.finalize").is_some());
+        // The fast variant additionally counts heap requeues and makes
+        // the same merge decisions.
+        let scope = dagsched_obs::run_scope();
+        DscFast.schedule(&g, &Clique);
+        let fast = scope.finish();
+        assert_eq!(fast.counter("dsc.merges"), stats.counter("dsc.merges"));
+        assert!(fast.counter("dsc.priority_requeues") > 0);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::listsched::PartialSchedule;
 use crate::scheduler::Scheduler;
 use dagsched_dag::closure::Closure;
 use dagsched_dag::{levels, topo, Dag, NodeId, Weight};
+use dagsched_obs as obs;
 use dagsched_sim::{Machine, ProcId, Schedule};
 
 /// Modified Critical Path.
@@ -41,6 +42,7 @@ impl Mcp {
     /// descendants, made robustly topological via a priority
     /// topological order (relevant only for zero-weight corner cases).
     pub fn dispatch_order(g: &Dag) -> Vec<NodeId> {
+        let _span = obs::span!("mcp.priorities");
         let n = g.num_nodes();
         if n == 0 {
             return Vec::new();
@@ -57,6 +59,12 @@ impl Mcp {
                 l
             })
             .collect();
+        if obs::active() {
+            obs::counter_add("mcp.priority_computed", n as u64);
+            for l in &lists {
+                obs::hist_record("mcp.alap_list_len", l.len() as u64);
+            }
+        }
         let mut order: Vec<u32> = (0..n as u32).collect();
         order.sort_by(|&a, &b| lists[a as usize].cmp(&lists[b as usize]).then(a.cmp(&b)));
         lists.clear();
@@ -82,6 +90,7 @@ impl Scheduler for Mcp {
 
     fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
         let order = Self::dispatch_order(g);
+        let _span = obs::span!("mcp.place");
         if self.insertion {
             schedule_insertion(g, machine, &order)
         } else {

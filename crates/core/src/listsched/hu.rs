@@ -25,6 +25,7 @@
 use crate::listsched::{release_succs, seed_ready, ReadyQueue};
 use crate::scheduler::Scheduler;
 use dagsched_dag::{levels, Dag, NodeId, Weight};
+use dagsched_obs as obs;
 use dagsched_sim::evaluate::timed_schedule;
 use dagsched_sim::{Machine, ProcId, Schedule};
 
@@ -38,8 +39,10 @@ impl Scheduler for Hu {
     }
 
     fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+        let _span = obs::span!("hu.dispatch");
         let n = g.num_nodes();
         let priority = levels::blevels_computation(g);
+        obs::counter_add("hu.priority_computed", n as u64);
 
         // Phase 1: classical (no-communication) list scheduling to fix
         // the assignment and per-processor order.
@@ -52,6 +55,10 @@ impl Scheduler for Hu {
         let can_open = |procs: usize| machine.max_procs().is_none_or(|b| procs < b);
 
         while let Some(t) = queue.pop() {
+            if obs::active() {
+                // +1: `t` itself was ready at the instant of dispatch.
+                obs::hist_record("hu.ready_list_len", queue.len() as u64 + 1);
+            }
             let ready = g
                 .preds(t)
                 .map(|(p, _)| finish_nc[p.index()])

@@ -26,6 +26,7 @@
 use crate::listsched::{seed_ready, PartialSchedule, ReadyQueue};
 use crate::scheduler::Scheduler;
 use dagsched_dag::{levels, Dag, NodeId, Weight};
+use dagsched_obs as obs;
 use dagsched_sim::{Machine, Schedule};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -41,7 +42,9 @@ impl Scheduler for Mh {
     }
 
     fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+        let _span = obs::span!("mh.dispatch");
         let priority = levels::blevels_with_comm(g);
+        obs::counter_add("mh.priority_computed", g.num_nodes() as u64);
         let mut ps = PartialSchedule::new(g, machine);
         let mut free = ReadyQueue::new();
         let mut pending = seed_ready(g, &priority, &mut free);
@@ -49,6 +52,11 @@ impl Scheduler for Mh {
         let mut events: BinaryHeap<Reverse<(Weight, u32)>> = BinaryHeap::new();
 
         loop {
+            // The free-list length at each dispatch wave is the
+            // paper-relevant shape of the frontier.
+            if obs::active() && !free.is_empty() {
+                obs::hist_record("mh.ready_list_len", free.len() as u64);
+            }
             // Allocate every currently free task, highest level first.
             while let Some(t) = free.pop() {
                 let (p, st, _) = ps.best_placement(t);
@@ -150,6 +158,23 @@ mod tests {
         let s = Mh.schedule(&g, &m);
         assert!(validate::is_valid(&g, &m, &s));
         assert!(s.num_procs() <= 4);
+    }
+
+    #[test]
+    #[cfg(feature = "obs")]
+    fn records_ready_list_shape_when_scoped() {
+        let scope = dagsched_obs::run_scope();
+        let g = coarse_fork_join();
+        Mh.schedule(&g, &Clique);
+        let stats = scope.finish();
+        assert_eq!(stats.counter("mh.priority_computed"), g.num_nodes() as u64);
+        let h = stats
+            .histogram("mh.ready_list_len")
+            .expect("waves recorded");
+        assert!(h.count() > 0);
+        // The fork releases all middle nodes at once.
+        assert!(h.max() >= 4);
+        assert!(stats.span("mh.dispatch").is_some());
     }
 
     #[test]

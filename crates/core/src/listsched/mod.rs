@@ -183,6 +183,11 @@ impl ReadyQueue {
         self.heap.pop().map(|(_, std::cmp::Reverse(v))| NodeId(v))
     }
 
+    /// Number of tasks currently ready.
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn is_empty(&self) -> bool {
         self.heap.is_empty()
@@ -263,6 +268,7 @@ mod tests {
         q.push(NodeId(3), 5);
         q.push(NodeId(1), 9);
         q.push(NodeId(2), 9);
+        assert_eq!(q.len(), 3);
         assert_eq!(q.pop(), Some(NodeId(1)));
         assert_eq!(q.pop(), Some(NodeId(2)));
         assert_eq!(q.pop(), Some(NodeId(3)));

@@ -19,13 +19,21 @@
 //!   --time-budget <MS>     abandon any scheduling attempt that takes
 //!                          longer than MS milliseconds (implies the
 //!                          fault-isolated runner)
+//!   --trace-out <PATH>     stream one JSONL telemetry record per
+//!                          (graph, heuristic) run to PATH, plus one
+//!                          summary line per heuristic
+//!   --metrics              append the instrumentation summary to the
+//!                          command's output
 //! ```
 
 use dagsched_experiments::corpus::CorpusSpec;
 use dagsched_experiments::figures::all_figures;
 use dagsched_experiments::report::{render_appendix_example, Study};
+use dagsched_experiments::reporter::Reporter;
 use dagsched_experiments::tables::{all_tables, table1};
 use dagsched_harness::HarnessConfig;
+use dagsched_obs::TelemetrySink;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -35,7 +43,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("usage: repro [--graphs-per-set N] [--seed N] [--nodes LO..HI] [--csv] [--validate] [--time-budget MS] (all | table N | figure N | corpus | appendix | html | spread | rewiring | bounded | kernels | select | duplication | contention | summary | dump)");
+            eprintln!("usage: repro [--graphs-per-set N] [--seed N] [--nodes LO..HI] [--csv] [--validate] [--time-budget MS] [--trace-out PATH] [--metrics] (all | table N | figure N | corpus | appendix | html | spread | rewiring | bounded | kernels | select | duplication | contention | summary | dump)");
             ExitCode::FAILURE
         }
     }
@@ -45,6 +53,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut spec = CorpusSpec::default();
     let mut csv = false;
     let mut harness: Option<HarnessConfig> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut metrics = false;
     let mut command: Vec<&str> = Vec::new();
 
     // Either robustness flag switches the study onto the
@@ -77,6 +87,11 @@ fn run(args: &[String]) -> Result<(), String> {
                 spec.nodes = lo..=hi;
             }
             "--csv" => csv = true,
+            "--trace-out" => {
+                let path = it.next().ok_or("--trace-out needs a path")?;
+                trace_out = Some(PathBuf::from(path));
+            }
+            "--metrics" => metrics = true,
             "--validate" => harness_entry(&mut harness).validate = true,
             "--time-budget" => {
                 let ms = next_num(&mut it, "--time-budget")?;
@@ -89,13 +104,36 @@ fn run(args: &[String]) -> Result<(), String> {
         }
     }
 
+    // All user-facing progress (and any incident lines raised inside
+    // the parallel runners) goes through one ordered reporter, so
+    // worker output never interleaves.
+    let progress = Reporter::stderr();
+    let build_study = |spec: &CorpusSpec| -> Result<Study, String> {
+        if trace_out.is_none() && !metrics {
+            return Ok(Study::run_with(spec.clone(), harness));
+        }
+        let sink = match &trace_out {
+            Some(path) => Some(
+                TelemetrySink::to_path(path)
+                    .map_err(|e| format!("cannot create {}: {e}", path.display()))?,
+            ),
+            None => None,
+        };
+        Ok(Study::run_observed(
+            spec.clone(),
+            harness,
+            sink.as_ref(),
+            Some(&progress),
+        ))
+    };
+
     match command.as_slice() {
         ["all"] => {
-            eprintln!(
+            progress.line(&format!(
                 "generating {} graphs and running 5 heuristics...",
                 spec.total_graphs()
-            );
-            let study = Study::run_with(spec, harness);
+            ));
+            let study = build_study(&spec)?;
             if csv {
                 for t in all_tables(&study.results) {
                     println!("# Table {}", t.number);
@@ -105,7 +143,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 if let Some(stats) = &study.robustness {
                     print!("{}", stats.render());
                 }
+                print_metrics(&study, metrics, false);
             } else {
+                // `render()` already appends the metrics section.
                 print!("{}", study.render());
             }
             Ok(())
@@ -119,7 +159,7 @@ fn run(args: &[String]) -> Result<(), String> {
             if !(2..=11).contains(&n) {
                 return Err("table number must be 1-11".into());
             }
-            let study = Study::run_with(spec, harness);
+            let study = build_study(&spec)?;
             let t = all_tables(&study.results)
                 .into_iter()
                 .find(|t| t.number == n)
@@ -129,6 +169,7 @@ fn run(args: &[String]) -> Result<(), String> {
             } else {
                 print!("{}", t.to_markdown());
             }
+            print_metrics(&study, metrics, false);
             Ok(())
         }
         ["figure", n] => {
@@ -136,16 +177,17 @@ fn run(args: &[String]) -> Result<(), String> {
             if !(1..=6).contains(&n) {
                 return Err("figure number must be 1-6".into());
             }
-            let study = Study::run_with(spec, harness);
+            let study = build_study(&spec)?;
             let f = all_figures(&study.results)
                 .into_iter()
                 .find(|f| f.number == n)
                 .expect("figures 1-6 exist");
             print!("{}", f.render(14));
+            print_metrics(&study, metrics, false);
             Ok(())
         }
         ["spread"] => {
-            let study = Study::run_with(spec, harness);
+            let study = build_study(&spec)?;
             print!(
                 "{}",
                 dagsched_experiments::tables::table3_spread(&study.results).to_markdown()
@@ -155,14 +197,15 @@ fn run(args: &[String]) -> Result<(), String> {
                 "{}",
                 dagsched_experiments::tables::table4_spread(&study.results).to_markdown()
             );
+            print_metrics(&study, metrics, false);
             Ok(())
         }
         ["html"] => {
-            eprintln!(
+            progress.line(&format!(
                 "generating {} graphs and rendering the HTML report...",
                 spec.total_graphs()
-            );
-            let study = Study::run_with(spec, harness);
+            ));
+            let study = build_study(&spec)?;
             print!("{}", study.render_html());
             Ok(())
         }
@@ -175,10 +218,10 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         ["bounded"] => {
-            eprintln!(
+            progress.line(&format!(
                 "bounded-processor sweep over {} graphs...",
                 spec.total_graphs()
-            );
+            ));
             let corpus = dagsched_experiments::corpus::generate_corpus(&spec);
             let t = dagsched_experiments::extensions::bounded_processor_study(
                 &corpus,
@@ -204,7 +247,10 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         ["contention"] => {
-            eprintln!("contention study over {} graphs...", spec.total_graphs());
+            progress.line(&format!(
+                "contention study over {} graphs...",
+                spec.total_graphs()
+            ));
             let corpus = dagsched_experiments::corpus::generate_corpus(&spec);
             let t = dagsched_experiments::extensions::contention_study(&corpus);
             if csv {
@@ -215,7 +261,10 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         ["duplication"] => {
-            eprintln!("duplication study over {} graphs...", spec.total_graphs());
+            progress.line(&format!(
+                "duplication study over {} graphs...",
+                spec.total_graphs()
+            ));
             let corpus = dagsched_experiments::corpus::generate_corpus(&spec);
             let t = dagsched_experiments::extensions::duplication_study(&corpus);
             if csv {
@@ -226,10 +275,10 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         ["select"] => {
-            eprintln!(
+            progress.line(&format!(
                 "scheduler-selection study over {} graphs...",
                 spec.total_graphs()
-            );
+            ));
             let corpus = dagsched_experiments::corpus::generate_corpus(&spec);
             let t = dagsched_experiments::extensions::selector_study(&corpus);
             if csv {
@@ -249,25 +298,39 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         ["summary"] => {
-            let study = Study::run_with(spec, harness);
+            let study = build_study(&spec)?;
             let t = dagsched_experiments::extensions::summary(&study.results);
             if csv {
                 print!("{}", t.to_csv());
             } else {
                 print!("{}", t.to_markdown());
             }
+            print_metrics(&study, metrics, false);
             Ok(())
         }
         ["dump"] => {
-            let study = Study::run_with(spec, harness);
+            let study = build_study(&spec)?;
             print!(
                 "{}",
                 dagsched_experiments::extensions::dump_csv(&study.results)
             );
+            print_metrics(&study, metrics, false);
             Ok(())
         }
         [] => Err("missing command".into()),
         other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Appends the instrumentation summary to stdout when requested and
+/// not already part of the rendered report.
+fn print_metrics(study: &Study, requested: bool, already_rendered: bool) {
+    if !requested || already_rendered {
+        return;
+    }
+    if let Some(summary) = study.metrics.as_ref().filter(|s| !s.is_empty()) {
+        println!();
+        print!("{}", summary.render());
     }
 }
 

@@ -10,7 +10,10 @@
 //! * [`tables`] — Tables 2–11 as aggregations over the run records;
 //! * [`figures`] — Figures 1–6 (the tables as per-heuristic series,
 //!   with a plain-text chart renderer);
-//! * [`report`] — assembles the whole study into one report.
+//! * [`report`] — assembles the whole study into one report;
+//! * [`telemetry`] — instrumented runs: one collector scope per
+//!   (graph, heuristic) and a JSONL trace stream (`--trace-out`);
+//! * [`reporter`] — ordered progress output for parallel runs.
 //!
 //! The `repro` binary drives everything:
 //!
@@ -39,9 +42,13 @@ pub mod corpus;
 pub mod extensions;
 pub mod figures;
 pub mod report;
+pub mod reporter;
 pub mod runner;
 pub mod tables;
+pub mod telemetry;
 
 pub use corpus::{generate_corpus, CorpusEntry, CorpusSpec, SetKey};
-pub use runner::{run_corpus, GraphResult, HeuristicOutcome};
+pub use reporter::Reporter;
+pub use runner::{run_corpus, FaultTally, GraphResult, HeuristicOutcome, RobustnessStats};
 pub use tables::Table;
+pub use telemetry::{run_corpus_traced, TracedCorpusRun, TracedRun};

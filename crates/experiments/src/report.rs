@@ -3,10 +3,12 @@
 
 use crate::corpus::{generate_corpus, CorpusSpec};
 use crate::figures::all_figures;
+use crate::reporter::Reporter;
 use crate::runner::{run_corpus, run_corpus_robust, GraphResult, RobustnessStats};
 use crate::tables::{all_tables, table1};
 use dagsched_core::paper_heuristics;
 use dagsched_harness::HarnessConfig;
+use dagsched_obs::{Summary, TelemetrySink};
 use dagsched_sim::{gantt, metrics, Clique};
 use std::fmt::Write as _;
 
@@ -18,6 +20,8 @@ pub struct Study {
     pub results: Vec<GraphResult>,
     /// Fault-isolation report, when the study ran under the harness.
     pub robustness: Option<RobustnessStats>,
+    /// Instrumentation aggregate, when the study ran observed.
+    pub metrics: Option<Summary>,
 }
 
 impl Study {
@@ -30,6 +34,7 @@ impl Study {
             spec,
             results,
             robustness: None,
+            metrics: None,
         }
     }
 
@@ -46,6 +51,37 @@ impl Study {
             spec,
             results,
             robustness: Some(stats),
+            metrics: None,
+        }
+    }
+
+    /// The instrumented study: every (graph, heuristic) run executes
+    /// in its own collector scope; when `trace` is given the per-run
+    /// records stream to it as JSONL (in corpus order, one line per
+    /// run plus one summary line per heuristic). The report gains an
+    /// instrumentation-summary section, and — with a `harness` — the
+    /// robustness section as usual. Progress and incident lines go
+    /// through `progress` in corpus order, never interleaved.
+    pub fn run_observed(
+        spec: CorpusSpec,
+        harness: Option<HarnessConfig>,
+        trace: Option<&TelemetrySink>,
+        progress: Option<&Reporter>,
+    ) -> Study {
+        let corpus = generate_corpus(&spec);
+        let traced =
+            crate::telemetry::run_corpus_traced(&corpus, paper_heuristics(), harness, progress);
+        let summary = match trace {
+            Some(sink) => traced
+                .write_trace(&corpus, sink)
+                .expect("telemetry sink write failed"),
+            None => traced.summarize(&corpus),
+        };
+        Study {
+            spec,
+            results: traced.results,
+            robustness: traced.robustness,
+            metrics: Some(summary),
         }
     }
 
@@ -78,6 +114,10 @@ impl Study {
         }
         if let Some(stats) = &self.robustness {
             out.push_str(&stats.render());
+            out.push('\n');
+        }
+        if let Some(summary) = self.metrics.as_ref().filter(|s| !s.is_empty()) {
+            out.push_str(&summary.render());
             out.push('\n');
         }
         out
@@ -226,6 +266,24 @@ mod tests {
         let plain = Study::run_with(spec, None);
         assert!(plain.robustness.is_none());
         assert!(!plain.render().contains("Robustness report"));
+    }
+
+    #[test]
+    fn observed_study_appends_an_instrumentation_summary() {
+        let spec = CorpusSpec {
+            graphs_per_set: 1,
+            nodes: 12..=20,
+            ..Default::default()
+        };
+        let study = Study::run_observed(spec, Some(HarnessConfig::default()), None, None);
+        let summary = study.metrics.as_ref().expect("observed run has metrics");
+        assert!(!summary.is_empty());
+        assert_eq!(summary.rows().len(), 5);
+        let text = study.render();
+        assert!(text.contains("### Instrumentation summary"));
+        assert!(text.contains("## Robustness report"));
+        // The unobserved paths stay metric-free.
+        assert!(Study::run_with(study.spec.clone(), None).metrics.is_none());
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! An ordered progress reporter for parallel corpus runs.
+//!
+//! Workers of a `par_map` complete out of order; letting each write to
+//! stderr directly interleaves lines from different graphs. A
+//! [`Reporter`] serializes that output: every work item opens a
+//! [`Section`] keyed by its corpus index, buffers its lines locally,
+//! and the reporter releases sections to the writer strictly in index
+//! order. A section whose predecessors are still running is held back
+//! until they finish, so the emitted stream always reads as if the run
+//! had been sequential.
+//!
+//! Every index from 0 up must eventually be opened (and dropped)
+//! exactly once — `par_map` over a corpus does exactly that. Empty
+//! sections write nothing, so per-graph sections cost nothing on the
+//! common clean path.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// Serializes per-item output from parallel workers into index order.
+pub struct Reporter {
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    out: Box<dyn Write + Send>,
+    /// Next index allowed to reach the writer.
+    next: usize,
+    /// Sections not yet flushed: `None` while open, `Some` once the
+    /// section dropped with its buffered text.
+    pending: BTreeMap<usize, Option<String>>,
+}
+
+impl std::fmt::Debug for Reporter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reporter").finish_non_exhaustive()
+    }
+}
+
+impl Reporter {
+    /// A reporter writing to an arbitrary writer.
+    pub fn new(out: impl Write + Send + 'static) -> Self {
+        Reporter {
+            inner: Mutex::new(Inner {
+                out: Box::new(out),
+                next: 0,
+                pending: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// A reporter writing to standard error.
+    pub fn stderr() -> Self {
+        Self::new(std::io::stderr())
+    }
+
+    /// Writes one line immediately, bypassing section ordering. Only
+    /// meaningful outside a parallel region (before sections open or
+    /// after they all flushed).
+    pub fn line(&self, msg: &str) {
+        let mut inner = self.lock();
+        let _ = writeln!(inner.out, "{msg}");
+        let _ = inner.out.flush();
+    }
+
+    /// Opens the ordered section for work item `index`. Lines logged
+    /// on the handle are buffered and released in index order when the
+    /// handle drops.
+    pub fn section(&self, index: usize) -> Section<'_> {
+        let mut inner = self.lock();
+        let prev = inner.pending.insert(index, None);
+        debug_assert!(prev.is_none(), "section {index} opened twice");
+        debug_assert!(index >= inner.next, "section {index} already flushed");
+        Section {
+            reporter: self,
+            index,
+            buf: String::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn submit(&self, index: usize, buf: String) {
+        let mut inner = self.lock();
+        inner.pending.insert(index, Some(buf));
+        // Release every consecutive finished section from `next` on.
+        while let Some(slot) = inner.pending.get(&inner.next) {
+            let Some(text) = slot else { break };
+            let text = text.clone();
+            let i = inner.next;
+            inner.pending.remove(&i);
+            inner.next += 1;
+            if !text.is_empty() {
+                let _ = inner.out.write_all(text.as_bytes());
+            }
+        }
+        let _ = inner.out.flush();
+    }
+}
+
+/// One work item's buffered output; flushes in order on drop.
+pub struct Section<'a> {
+    reporter: &'a Reporter,
+    index: usize,
+    buf: String,
+}
+
+impl Section<'_> {
+    /// Appends one line to the section.
+    pub fn line(&mut self, msg: &str) {
+        self.buf.push_str(msg);
+        self.buf.push('\n');
+    }
+}
+
+impl Drop for Section<'_> {
+    fn drop(&mut self) {
+        self.reporter
+            .submit(self.index, std::mem::take(&mut self.buf));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_obs::SharedBuffer;
+
+    #[test]
+    fn sections_flush_in_index_order_regardless_of_completion() {
+        let buffer = SharedBuffer::new();
+        let reporter = Reporter::new(buffer.clone());
+        // Open all three up front, close out of order.
+        let mut s0 = reporter.section(0);
+        let mut s1 = reporter.section(1);
+        let mut s2 = reporter.section(2);
+        s2.line("graph 2");
+        drop(s2); // held: 0 and 1 still open
+        assert_eq!(buffer.contents(), "");
+        s1.line("graph 1");
+        drop(s1); // still held behind 0
+        assert_eq!(buffer.contents(), "");
+        s0.line("graph 0");
+        drop(s0); // releases 0, 1, 2 in order
+        assert_eq!(buffer.contents(), "graph 0\ngraph 1\ngraph 2\n");
+    }
+
+    #[test]
+    fn empty_sections_are_silent_and_direct_lines_pass_through() {
+        let buffer = SharedBuffer::new();
+        let reporter = Reporter::new(buffer.clone());
+        reporter.line("starting");
+        drop(reporter.section(0));
+        let mut s1 = reporter.section(1);
+        s1.line("incident");
+        drop(s1);
+        reporter.line("done");
+        assert_eq!(buffer.contents(), "starting\nincident\ndone\n");
+    }
+
+    #[test]
+    fn parallel_workers_never_interleave() {
+        let buffer = SharedBuffer::new();
+        let reporter = Reporter::new(buffer.clone());
+        let items: Vec<usize> = (0..64).collect();
+        dagsched_par::par_map(&items, |i, _| {
+            let mut s = reporter.section(i);
+            s.line(&format!("item {i} line a"));
+            s.line(&format!("item {i} line b"));
+        });
+        let expect: String = (0..64)
+            .map(|i| format!("item {i} line a\nitem {i} line b\n"))
+            .collect();
+        assert_eq!(buffer.contents(), expect);
+    }
+}

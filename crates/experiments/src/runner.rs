@@ -63,7 +63,6 @@ impl GraphResult {
 pub fn evaluate_graph(entry: &CorpusEntry, heuristics: &[Box<dyn Scheduler>]) -> GraphResult {
     let g = &entry.graph;
     let machine = Clique;
-    let mut parallel_times = Vec::with_capacity(heuristics.len());
     let mut partial: Vec<(&'static str, metrics::Measures)> = Vec::with_capacity(heuristics.len());
     for h in heuristics {
         let s = h.schedule(g, &machine);
@@ -72,12 +71,25 @@ pub fn evaluate_graph(entry: &CorpusEntry, heuristics: &[Box<dyn Scheduler>]) ->
             "{} produced an invalid schedule",
             h.name()
         );
-        let m = metrics::measures(g, &s);
-        parallel_times.push(m.parallel_time);
-        partial.push((h.name(), m));
+        partial.push((h.name(), metrics::measures(g, &s)));
     }
+    GraphResult {
+        key: entry.key,
+        index: entry.index,
+        serial: g.serial_time(),
+        granularity: entry.granularity,
+        outcomes: finish_outcomes(partial),
+    }
+}
+
+/// Turns per-heuristic measures into outcome rows, computing the NRPT
+/// column across the group (shared by every runner variant).
+pub(crate) fn finish_outcomes(
+    partial: Vec<(&'static str, metrics::Measures)>,
+) -> Vec<HeuristicOutcome> {
+    let parallel_times: Vec<Weight> = partial.iter().map(|(_, m)| m.parallel_time).collect();
     let nrpts = metrics::normalized_relative_pts(&parallel_times);
-    let outcomes = partial
+    partial
         .into_iter()
         .zip(nrpts)
         .map(|((name, m), nrpt)| HeuristicOutcome {
@@ -88,14 +100,7 @@ pub fn evaluate_graph(entry: &CorpusEntry, heuristics: &[Box<dyn Scheduler>]) ->
             procs: m.procs,
             nrpt,
         })
-        .collect();
-    GraphResult {
-        key: entry.key,
-        index: entry.index,
-        serial: g.serial_time(),
-        granularity: entry.granularity,
-        outcomes,
-    }
+        .collect()
 }
 
 /// Evaluates `heuristics` over the whole corpus, in parallel.
@@ -192,36 +197,20 @@ pub fn evaluate_graph_robust(
     machine: &Arc<dyn Machine>,
 ) -> (GraphResult, Vec<Vec<Incident>>) {
     let g = &entry.graph;
-    let mut parallel_times = Vec::with_capacity(wrapped.len());
     let mut partial: Vec<(&'static str, metrics::Measures)> = Vec::with_capacity(wrapped.len());
     let mut incidents = Vec::with_capacity(wrapped.len());
     for robust in wrapped {
         let out = robust.run(g, machine);
-        let m = metrics::measures(g, &out.schedule);
-        parallel_times.push(m.parallel_time);
-        partial.push((robust.name(), m));
+        partial.push((robust.name(), metrics::measures(g, &out.schedule)));
         incidents.push(out.incidents);
     }
-    let nrpts = metrics::normalized_relative_pts(&parallel_times);
-    let outcomes = partial
-        .into_iter()
-        .zip(nrpts)
-        .map(|((name, m), nrpt)| HeuristicOutcome {
-            name,
-            parallel_time: m.parallel_time,
-            speedup: m.speedup,
-            efficiency: m.efficiency,
-            procs: m.procs,
-            nrpt,
-        })
-        .collect();
     (
         GraphResult {
             key: entry.key,
             index: entry.index,
             serial: g.serial_time(),
             granularity: entry.granularity,
-            outcomes,
+            outcomes: finish_outcomes(partial),
         },
         incidents,
     )
@@ -246,32 +235,13 @@ pub fn run_corpus_robust(
         evaluate_graph_robust(entry, &wrapped, &machine)
     });
 
-    let mut tallies: Vec<FaultTally> = wrapped
-        .iter()
-        .map(|r| FaultTally {
-            name: r.name(),
-            runs: corpus.len(),
-            panics: 0,
-            invalid: 0,
-            timeouts: 0,
-            fallbacks: 0,
-        })
-        .collect();
+    let names: Vec<&'static str> = wrapped.iter().map(|r| r.name()).collect();
+    let mut tallies = new_tallies(&names, corpus.len());
     let mut incident_summaries = Vec::new();
     let mut results = Vec::with_capacity(per_graph.len());
     for (result, per_heuristic) in per_graph {
         for (i, run_incidents) in per_heuristic.iter().enumerate() {
-            if !run_incidents.is_empty() {
-                tallies[i].fallbacks += 1;
-            }
-            for incident in run_incidents {
-                match &incident.fault {
-                    Fault::Panic(_) => tallies[i].panics += 1,
-                    Fault::Invalid(_) => tallies[i].invalid += 1,
-                    Fault::DeadlineExceeded { .. } => tallies[i].timeouts += 1,
-                }
-                incident_summaries.push(incident.summary());
-            }
+            tally_run(&mut tallies[i], run_incidents, &mut incident_summaries);
         }
         results.push(result);
     }
@@ -282,6 +252,41 @@ pub fn run_corpus_robust(
             incident_summaries,
         },
     )
+}
+
+/// Fresh zeroed tallies, one per primary heuristic.
+pub(crate) fn new_tallies(names: &[&'static str], runs: usize) -> Vec<FaultTally> {
+    names
+        .iter()
+        .map(|&name| FaultTally {
+            name,
+            runs,
+            panics: 0,
+            invalid: 0,
+            timeouts: 0,
+            fallbacks: 0,
+        })
+        .collect()
+}
+
+/// Folds one run's incidents into its heuristic's tally and the
+/// chronological summary list (shared by every robust runner variant).
+pub(crate) fn tally_run(
+    tally: &mut FaultTally,
+    run_incidents: &[Incident],
+    summaries: &mut Vec<String>,
+) {
+    if !run_incidents.is_empty() {
+        tally.fallbacks += 1;
+    }
+    for incident in run_incidents {
+        match &incident.fault {
+            Fault::Panic(_) => tally.panics += 1,
+            Fault::Invalid(_) => tally.invalid += 1,
+            Fault::DeadlineExceeded { .. } => tally.timeouts += 1,
+        }
+        summaries.push(incident.summary());
+    }
 }
 
 #[cfg(test)]

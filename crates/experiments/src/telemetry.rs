@@ -1,0 +1,396 @@
+//! Traced corpus runs: per-(graph, heuristic) collector scopes and
+//! JSONL telemetry emission.
+//!
+//! [`run_corpus_traced`] is the instrumented sibling of
+//! [`run_corpus`](crate::runner::run_corpus) /
+//! [`run_corpus_robust`](crate::runner::run_corpus_robust): every
+//! (graph, heuristic) pair runs inside its own `dagsched-obs` run
+//! scope, so the counters, gauges, histograms and spans recorded by
+//! the schedulers (and the harness) are harvested per run and can be
+//! streamed as one [`RunRecord`] JSONL line each via
+//! [`TracedCorpusRun::write_trace`].
+//!
+//! Determinism: records are emitted sequentially in corpus order
+//! *after* the parallel phase (the order-preserving `par_map` pins
+//! every run to its index), so two runs of the same seeded corpus
+//! produce byte-identical trace files modulo the `"ns"` span-timing
+//! fields — the one nondeterministic quantity in the schema.
+
+use crate::corpus::CorpusEntry;
+use crate::reporter::Reporter;
+use crate::runner::{finish_outcomes, new_tallies, tally_run, GraphResult, RobustnessStats};
+use dagsched_core::Scheduler;
+use dagsched_gen::spec::GranularityBand;
+use dagsched_harness::{HarnessConfig, Incident, RobustScheduler};
+use dagsched_obs as obs;
+use dagsched_obs::{GraphMeta, IncidentMeta, RunRecord, Summary, TelemetrySink};
+use dagsched_sim::{metrics, validate, Clique, Machine};
+use std::io;
+use std::sync::Arc;
+
+/// Kebab-case band slug used in graph ids and the `"band"` JSON field.
+pub fn band_slug(band: GranularityBand) -> &'static str {
+    match band {
+        GranularityBand::VeryFine => "very-fine",
+        GranularityBand::Fine => "fine",
+        GranularityBand::Medium => "medium",
+        GranularityBand::Coarse => "coarse",
+        GranularityBand::VeryCoarse => "very-coarse",
+    }
+}
+
+/// Stable identifier of a corpus entry, e.g. `"fine/a4/w20-100/3"`.
+pub fn entry_id(entry: &CorpusEntry) -> String {
+    format!(
+        "{}/a{}/w{}-{}/{}",
+        band_slug(entry.key.band),
+        entry.key.anchor,
+        entry.key.weights.lo,
+        entry.key.weights.hi,
+        entry.index
+    )
+}
+
+/// What one (graph, heuristic) run left behind, beyond its outcome
+/// row: who actually scheduled, the contained incidents, and the
+/// harvested metrics.
+#[derive(Debug)]
+pub struct TracedRun {
+    /// The requested heuristic.
+    pub heuristic: &'static str,
+    /// The scheduler whose output was kept (a fallback on faults).
+    pub scheduled_by: &'static str,
+    /// Incidents contained by the harness during this run.
+    pub incidents: Vec<Incident>,
+    /// Metrics harvested from the run's collector scope (empty when
+    /// the `obs` feature is compiled out).
+    pub stats: obs::RunStats,
+}
+
+/// A whole corpus run with per-run telemetry attached.
+#[derive(Debug)]
+pub struct TracedCorpusRun {
+    /// Per-graph results, in corpus order (as `run_corpus`).
+    pub results: Vec<GraphResult>,
+    /// Per-graph, per-heuristic traced runs, parallel to `results`.
+    pub runs: Vec<Vec<TracedRun>>,
+    /// Fault-isolation report when the run was harnessed.
+    pub robustness: Option<RobustnessStats>,
+}
+
+enum Pool {
+    Trusted(Vec<Box<dyn Scheduler>>),
+    Robust(Vec<RobustScheduler>),
+}
+
+/// Evaluates `heuristics` over the corpus with one collector scope per
+/// (graph, heuristic) run. With a `harness` config each heuristic runs
+/// fault-isolated (as [`run_corpus_robust`](crate::runner::run_corpus_robust));
+/// without one it runs trusted. A `progress` reporter gets one ordered
+/// section per graph carrying any incident lines, so parallel workers
+/// never interleave their output.
+pub fn run_corpus_traced(
+    corpus: &[CorpusEntry],
+    heuristics: Vec<Box<dyn Scheduler>>,
+    harness: Option<HarnessConfig>,
+    progress: Option<&Reporter>,
+) -> TracedCorpusRun {
+    let pool = match harness {
+        Some(config) => Pool::Robust(
+            heuristics
+                .into_iter()
+                .map(|h| RobustScheduler::new(Arc::from(h)).with_config(config))
+                .collect(),
+        ),
+        None => Pool::Trusted(heuristics),
+    };
+    let machine: Arc<dyn Machine> = Arc::new(Clique);
+
+    let per_graph = dagsched_par::par_map(corpus, |i, entry| {
+        let section = progress.map(|r| r.section(i));
+        let traced = evaluate_graph_traced(entry, &pool, &machine);
+        if let Some(mut section) = section {
+            for run in &traced.1 {
+                for incident in &run.incidents {
+                    section.line(&format!("incident: {}", incident.summary()));
+                }
+            }
+        }
+        traced
+    });
+
+    let robust_names: Option<Vec<&'static str>> = match &pool {
+        Pool::Trusted(_) => None,
+        Pool::Robust(ws) => Some(ws.iter().map(|w| w.name()).collect()),
+    };
+    let mut results = Vec::with_capacity(per_graph.len());
+    let mut runs = Vec::with_capacity(per_graph.len());
+    for (result, traced) in per_graph {
+        results.push(result);
+        runs.push(traced);
+    }
+    let robustness = robust_names.map(|names| {
+        let mut tallies = new_tallies(&names, corpus.len());
+        let mut incident_summaries = Vec::new();
+        for traced in &runs {
+            for (i, run) in traced.iter().enumerate() {
+                tally_run(&mut tallies[i], &run.incidents, &mut incident_summaries);
+            }
+        }
+        RobustnessStats {
+            tallies,
+            incident_summaries,
+        }
+    });
+    TracedCorpusRun {
+        results,
+        runs,
+        robustness,
+    }
+}
+
+fn evaluate_graph_traced(
+    entry: &CorpusEntry,
+    pool: &Pool,
+    machine: &Arc<dyn Machine>,
+) -> (GraphResult, Vec<TracedRun>) {
+    let g = &entry.graph;
+    let count = match pool {
+        Pool::Trusted(hs) => hs.len(),
+        Pool::Robust(ws) => ws.len(),
+    };
+    let mut partial: Vec<(&'static str, metrics::Measures)> = Vec::with_capacity(count);
+    let mut traced: Vec<TracedRun> = Vec::with_capacity(count);
+    for i in 0..count {
+        let scope = obs::run_scope();
+        let span = obs::span!("run.schedule");
+        let (schedule, name, scheduled_by, incidents) = match pool {
+            Pool::Trusted(hs) => {
+                let s = hs[i].schedule(g, machine.as_ref());
+                debug_assert!(
+                    validate::is_valid(g, machine.as_ref(), &s),
+                    "{} produced an invalid schedule",
+                    hs[i].name()
+                );
+                (s, hs[i].name(), hs[i].name(), Vec::new())
+            }
+            Pool::Robust(ws) => {
+                let out = ws[i].run(g, machine);
+                (out.schedule, ws[i].name(), out.scheduled_by, out.incidents)
+            }
+        };
+        drop(span);
+        let stats = scope.finish();
+        partial.push((name, metrics::measures(g, &schedule)));
+        traced.push(TracedRun {
+            heuristic: name,
+            scheduled_by,
+            incidents,
+            stats,
+        });
+    }
+    let result = GraphResult {
+        key: entry.key,
+        index: entry.index,
+        serial: g.serial_time(),
+        granularity: entry.granularity,
+        outcomes: finish_outcomes(partial),
+    };
+    (result, traced)
+}
+
+/// Builds the telemetry record of one traced run.
+pub fn record_for(entry: &CorpusEntry, result: &GraphResult, run: &TracedRun) -> RunRecord {
+    let outcome = result.outcome(run.heuristic);
+    RunRecord {
+        graph: GraphMeta {
+            id: entry_id(entry),
+            index: Some(entry.index as u64),
+            band: Some(band_slug(entry.key.band).to_string()),
+            anchor_out_degree: Some(entry.key.anchor as u64),
+            weights: Some((entry.key.weights.lo, entry.key.weights.hi)),
+            nodes: entry.graph.num_nodes() as u64,
+            edges: entry.graph.num_edges() as u64,
+            serial_time: Some(entry.graph.serial_time()),
+            granularity: Some(entry.granularity),
+        },
+        heuristic: run.heuristic.to_string(),
+        scheduled_by: Some(run.scheduled_by.to_string()),
+        ok: true,
+        processors: Some(outcome.procs as u64),
+        makespan: Some(outcome.parallel_time),
+        speedup: outcome.speedup.is_finite().then_some(outcome.speedup),
+        incidents: run
+            .incidents
+            .iter()
+            .map(|inc| IncidentMeta {
+                heuristic: inc.heuristic.to_string(),
+                kind: inc.fault.kind().to_string(),
+                summary: inc.summary(),
+            })
+            .collect(),
+        stats: run.stats.clone(),
+    }
+}
+
+impl TracedCorpusRun {
+    /// Aggregates every run into the per-heuristic [`Summary`]
+    /// (without emitting anything).
+    pub fn summarize(&self, corpus: &[CorpusEntry]) -> Summary {
+        let mut summary = Summary::default();
+        for ((entry, result), traced) in corpus.iter().zip(&self.results).zip(&self.runs) {
+            for run in traced {
+                summary.observe(&record_for(entry, result, run));
+            }
+        }
+        summary
+    }
+
+    /// Streams one [`RunRecord`] line per (graph, heuristic) run to
+    /// `sink`, sequentially in corpus order, followed by one summary
+    /// line per heuristic. Returns the aggregate.
+    pub fn write_trace(&self, corpus: &[CorpusEntry], sink: &TelemetrySink) -> io::Result<Summary> {
+        let mut summary = Summary::default();
+        for ((entry, result), traced) in corpus.iter().zip(&self.results).zip(&self.runs) {
+            for run in traced {
+                let record = record_for(entry, result, run);
+                sink.emit(&record)?;
+                summary.observe(&record);
+            }
+        }
+        sink.emit_summary(&summary)?;
+        sink.flush()?;
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate_corpus, CorpusSpec};
+    use crate::runner::run_corpus;
+    use dagsched_core::paper_heuristics;
+    use dagsched_obs::{Json, RUN_SCHEMA, SUMMARY_SCHEMA};
+
+    fn tiny_corpus() -> Vec<CorpusEntry> {
+        generate_corpus(&CorpusSpec {
+            graphs_per_set: 1,
+            nodes: 12..=18,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn traced_results_match_the_plain_runner() {
+        let corpus = tiny_corpus();
+        let plain = run_corpus(&corpus, &paper_heuristics());
+        let traced = run_corpus_traced(&corpus, paper_heuristics(), None, None);
+        assert!(traced.robustness.is_none());
+        assert_eq!(plain.len(), traced.results.len());
+        for (p, t) in plain.iter().zip(&traced.results) {
+            for (po, to) in p.outcomes.iter().zip(&t.outcomes) {
+                assert_eq!(po.name, to.name);
+                assert_eq!(po.parallel_time, to.parallel_time);
+                assert_eq!(po.nrpt, to.nrpt);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_stream_has_one_record_per_graph_heuristic() {
+        let corpus = tiny_corpus();
+        let traced = run_corpus_traced(
+            &corpus,
+            paper_heuristics(),
+            Some(HarnessConfig::default()),
+            None,
+        );
+        let (sink, buffer) = TelemetrySink::in_memory();
+        let summary = traced.write_trace(&corpus, &sink).unwrap();
+        assert!(!summary.is_empty());
+
+        let text = buffer.contents();
+        let mut run_lines = 0;
+        let mut summary_lines = 0;
+        for line in text.lines() {
+            let j = Json::parse(line).expect("schema-valid JSONL");
+            match j.get("schema").unwrap().as_str().unwrap() {
+                RUN_SCHEMA => {
+                    run_lines += 1;
+                    assert!(j
+                        .get("graph")
+                        .unwrap()
+                        .get("band")
+                        .unwrap()
+                        .as_str()
+                        .is_some());
+                    assert!(j.get("makespan").unwrap().as_u64().is_some());
+                }
+                SUMMARY_SCHEMA => summary_lines += 1,
+                other => panic!("unexpected schema {other}"),
+            }
+        }
+        assert_eq!(run_lines, corpus.len() * 5);
+        assert_eq!(summary_lines, 5);
+        // First record belongs to the first corpus entry.
+        let first = Json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(
+            first.get("graph").unwrap().get("id").unwrap().as_str(),
+            Some(entry_id(&corpus[0]).as_str())
+        );
+    }
+
+    #[test]
+    fn fallback_runs_are_traced_with_their_incidents() {
+        use dagsched_harness::chaos::PanicScheduler;
+        let corpus = tiny_corpus()[..3].to_vec();
+        let mut heuristics = paper_heuristics();
+        heuristics.push(Box::new(PanicScheduler));
+        let traced = run_corpus_traced(&corpus, heuristics, Some(HarnessConfig::default()), None);
+        let stats = traced.robustness.as_ref().expect("harnessed");
+        assert_eq!(stats.total_incidents(), corpus.len());
+        for traced_runs in &traced.runs {
+            let chaos = traced_runs.last().unwrap();
+            assert_eq!(chaos.heuristic, "CHAOS-PANIC");
+            assert_eq!(chaos.scheduled_by, "HU");
+            assert_eq!(chaos.incidents.len(), 1);
+        }
+        let summary = traced.summarize(&corpus);
+        let row = summary
+            .rows()
+            .into_iter()
+            .find(|r| r.heuristic == "CHAOS-PANIC")
+            .expect("chaos row");
+        assert_eq!(row.fallbacks, corpus.len() as u64);
+        assert_eq!(row.incidents, corpus.len() as u64);
+    }
+
+    #[test]
+    #[cfg(feature = "obs")]
+    fn per_run_stats_carry_scheduler_metrics() {
+        let corpus = tiny_corpus()[..2].to_vec();
+        let traced = run_corpus_traced(&corpus, paper_heuristics(), None, None);
+        for runs in &traced.runs {
+            for run in runs {
+                assert!(
+                    run.stats.span("run.schedule").is_some(),
+                    "{} missing run span",
+                    run.heuristic
+                );
+            }
+            let dsc = runs.iter().find(|r| r.heuristic == "DSC").unwrap();
+            assert!(dsc.stats.counter("dsc.merges") + dsc.stats.counter("dsc.new_clusters") > 0);
+            let mh = runs.iter().find(|r| r.heuristic == "MH").unwrap();
+            assert!(mh.stats.histogram("mh.ready_list_len").is_some());
+        }
+    }
+
+    #[test]
+    fn band_slugs_cover_all_bands() {
+        let slugs: Vec<&str> = GranularityBand::ALL.iter().map(|&b| band_slug(b)).collect();
+        assert_eq!(
+            slugs,
+            vec!["very-fine", "fine", "medium", "coarse", "very-coarse"]
+        );
+    }
+}

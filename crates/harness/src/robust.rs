@@ -3,6 +3,7 @@
 use crate::incident::{Fault, GraphFingerprint, Incident};
 use dagsched_core::{Hu, Scheduler, Serial};
 use dagsched_dag::Dag;
+use dagsched_obs as obs;
 use dagsched_sim::{validate, Machine, ProcId, Schedule};
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -187,27 +188,36 @@ impl RobustScheduler {
         let mut winner: Option<(Schedule, &'static str)> = None;
 
         for h in &self.chain {
+            let span = obs::span!("harness.attempt");
             let (result, elapsed) = match watchdog {
                 Some((shared_g, shared_m, budget)) => {
                     attempt_watchdog(Arc::clone(h), shared_g, shared_m, budget, &self.config)
                 }
                 None => attempt_inline(h.as_ref(), g, machine, &self.config),
             };
+            drop(span);
             match result {
                 Ok(schedule) => {
                     winner = Some((schedule, h.name()));
                     break;
                 }
-                Err(fault) => incidents.push(Incident {
-                    heuristic: h.name(),
-                    graph: fingerprint,
-                    fault,
-                    elapsed,
-                    resolved_by: None,
-                }),
+                Err(fault) => {
+                    obs::event("harness.incidents");
+                    obs::event(fault_counter(&fault));
+                    incidents.push(Incident {
+                        heuristic: h.name(),
+                        graph: fingerprint,
+                        fault,
+                        elapsed,
+                        resolved_by: None,
+                    });
+                }
             }
         }
 
+        if !incidents.is_empty() {
+            obs::event("harness.fallbacks");
+        }
         let (schedule, scheduled_by) =
             winner.unwrap_or_else(|| (serial_placement(g), SERIAL_PLACEMENT));
         for incident in &mut incidents {
@@ -313,6 +323,15 @@ fn attempt_watchdog(
             drop(handle);
             (Err(Fault::DeadlineExceeded { budget }), start.elapsed())
         }
+    }
+}
+
+/// Metric name for a contained fault, keyed by [`Fault::kind`].
+fn fault_counter(fault: &Fault) -> &'static str {
+    match fault {
+        Fault::Panic(_) => "harness.panics",
+        Fault::Invalid(_) => "harness.invalid_schedules",
+        Fault::DeadlineExceeded { .. } => "harness.deadlines_exceeded",
     }
 }
 
@@ -514,6 +533,35 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    #[cfg(feature = "obs")]
+    fn contained_faults_are_recorded_as_metrics() {
+        let g = fig16();
+        let scope = dagsched_obs::run_scope();
+        let robust = RobustScheduler::wrap(PanicScheduler);
+        robust.run(&g, &clique());
+        let stats = scope.finish();
+        assert_eq!(stats.counter("harness.incidents"), 1);
+        assert_eq!(stats.counter("harness.panics"), 1);
+        assert_eq!(stats.counter("harness.fallbacks"), 1);
+        // One attempt per chain entry walked: the panicker, then HU.
+        assert_eq!(stats.span("harness.attempt").map(|s| s.calls), Some(2));
+
+        // A clean run records the attempt span but no fault counters.
+        let scope = dagsched_obs::run_scope();
+        RobustScheduler::wrap(Hu).run(&g, &clique());
+        let stats = scope.finish();
+        assert_eq!(stats.counter("harness.incidents"), 0);
+        assert_eq!(stats.counter("harness.fallbacks"), 0);
+        assert_eq!(stats.span("harness.attempt").map(|s| s.calls), Some(1));
+
+        // The oracle gate's rejection shows up under its own kind.
+        let scope = dagsched_obs::run_scope();
+        RobustScheduler::wrap(InvalidScheduler).run(&g, &clique());
+        let stats = scope.finish();
+        assert_eq!(stats.counter("harness.invalid_schedules"), 1);
     }
 
     #[test]

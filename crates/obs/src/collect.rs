@@ -1,0 +1,295 @@
+//! The thread-local run collector and the recording entry points.
+//!
+//! A [`RunScope`] installs a fresh [`RunStats`] collector for the
+//! current thread; every [`counter_add`] / [`gauge_set`] /
+//! [`hist_record`] / [`span_enter`] on that thread records into the
+//! innermost open scope until [`RunScope::finish`] harvests it.
+//! Scopes nest (a harvested inner scope does not disturb the outer
+//! one), and each thread has its own stack, so the collector is safe
+//! under `dagsched-par`'s scoped worker threads without any locking.
+//!
+//! With the `enabled` feature off every function here is an empty
+//! `#[inline(always)]` shim and [`active`] is a constant `false`.
+
+use crate::stats::RunStats;
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::RunStats;
+    use std::cell::RefCell;
+    use std::time::Instant;
+
+    thread_local! {
+        static STACK: RefCell<Vec<RunStats>> = const { RefCell::new(Vec::new()) };
+    }
+
+    #[inline]
+    pub fn active() -> bool {
+        STACK.with(|s| !s.borrow().is_empty())
+    }
+
+    /// Guard for one run's collector; see [`super::run_scope`].
+    #[must_use = "a RunScope records nothing after it is dropped; call finish() to harvest"]
+    pub struct RunScope {
+        depth: usize,
+    }
+
+    /// Installs a fresh collector; see [`super::span_enter`]'s module
+    /// docs for the attribution model.
+    pub fn run_scope() -> RunScope {
+        let depth = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            s.push(RunStats::default());
+            s.len()
+        });
+        RunScope { depth }
+    }
+
+    impl RunScope {
+        /// Harvests the stats recorded since the scope opened.
+        pub fn finish(self) -> RunStats {
+            let mut stats = STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                debug_assert_eq!(s.len(), self.depth, "run scopes must nest");
+                s.pop().unwrap_or_default()
+            });
+            std::mem::forget(self);
+            stats.sort();
+            stats
+        }
+    }
+
+    impl Drop for RunScope {
+        fn drop(&mut self) {
+            // Abandoned without finish(): discard the collector.
+            STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                if s.len() == self.depth {
+                    s.pop();
+                }
+            });
+        }
+    }
+
+    #[inline]
+    fn with_top(f: impl FnOnce(&mut RunStats)) {
+        STACK.with(|s| {
+            if let Some(top) = s.borrow_mut().last_mut() {
+                f(top);
+            }
+        });
+    }
+
+    #[inline]
+    pub fn counter_add(name: &'static str, delta: u64) {
+        with_top(|s| s.add_counter(name, delta));
+    }
+
+    #[inline]
+    pub fn gauge_set(name: &'static str, value: u64) {
+        with_top(|s| s.set_gauge(name, value));
+    }
+
+    #[inline]
+    pub fn hist_record(name: &'static str, value: u64) {
+        with_top(|s| s.record_hist(name, crate::hist::DEFAULT_BOUNDS, value));
+    }
+
+    /// Span guard; see [`super::span_enter`].
+    pub struct SpanGuard {
+        open: Option<(&'static str, Instant)>,
+    }
+
+    /// Opens a span; prefer the [`span!`](crate::span) macro.
+    pub fn span_enter(name: &'static str) -> SpanGuard {
+        // The clock is read only when a collector is listening, and
+        // only at the boundaries.
+        let open = active().then(|| (name, Instant::now()));
+        SpanGuard { open }
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            if let Some((name, start)) = self.open.take() {
+                let ns = start.elapsed().as_nanos();
+                with_top(|s| s.record_span(name, ns));
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use super::RunStats;
+
+    #[inline(always)]
+    pub fn active() -> bool {
+        false
+    }
+
+    /// Disabled-build stand-in: carries nothing.
+    #[must_use = "a RunScope records nothing after it is dropped; call finish() to harvest"]
+    pub struct RunScope;
+
+    /// Installs nothing; the unit guard is free.
+    #[inline(always)]
+    pub fn run_scope() -> RunScope {
+        RunScope
+    }
+
+    impl RunScope {
+        /// Always yields an empty [`RunStats`].
+        pub fn finish(self) -> RunStats {
+            RunStats::default()
+        }
+    }
+
+    /// Disabled-build stand-in: dropping it does nothing.
+    pub struct SpanGuard;
+
+    /// Opens nothing; the unit guard is free.
+    #[inline(always)]
+    pub fn span_enter(_name: &'static str) -> SpanGuard {
+        SpanGuard
+    }
+
+    #[inline(always)]
+    pub fn counter_add(_name: &'static str, _delta: u64) {}
+
+    #[inline(always)]
+    pub fn gauge_set(_name: &'static str, _value: u64) {}
+
+    #[inline(always)]
+    pub fn hist_record(_name: &'static str, _value: u64) {}
+}
+
+pub use imp::{run_scope, span_enter, RunScope, SpanGuard};
+
+/// `true` when a run collector is installed on this thread (constant
+/// `false` with the `enabled` feature off). Use it to skip *computing*
+/// derived values whose recording would otherwise be a no-op:
+///
+/// ```
+/// # use dagsched_obs as obs;
+/// # let expensive_count = || 0u64;
+/// if obs::active() {
+///     obs::counter_add("dsc.edges_zeroed", expensive_count());
+/// }
+/// ```
+#[inline(always)]
+pub fn active() -> bool {
+    imp::active()
+}
+
+/// Adds `delta` to the named counter of the current run scope.
+#[inline(always)]
+pub fn counter_add(name: &'static str, delta: u64) {
+    imp::counter_add(name, delta);
+}
+
+/// Sets the named gauge of the current run scope (last write wins
+/// within a run; cross-run aggregation keeps the max).
+#[inline(always)]
+pub fn gauge_set(name: &'static str, value: u64) {
+    imp::gauge_set(name, value);
+}
+
+/// Records `value` into the named histogram (default power-of-two
+/// buckets) of the current run scope.
+#[inline(always)]
+pub fn hist_record(name: &'static str, value: u64) {
+    imp::hist_record(name, value);
+}
+
+/// Records one occurrence of a named event. Events are counters with
+/// occurrence semantics — `event("harness.incident")` is
+/// `counter_add("harness.incident", 1)`.
+#[inline(always)]
+pub fn event(name: &'static str) {
+    imp::counter_add(name, 1);
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_collects_and_harvests() {
+        assert!(!active());
+        let scope = run_scope();
+        assert!(active());
+        counter_add("t.count", 2);
+        gauge_set("t.gauge", 7);
+        hist_record("t.hist", 3);
+        event("t.event");
+        {
+            let _s = span_enter("t.span");
+        }
+        let stats = scope.finish();
+        assert!(!active());
+        assert_eq!(stats.counter("t.count"), 2);
+        assert_eq!(stats.counter("t.event"), 1);
+        assert_eq!(stats.gauge("t.gauge"), Some(7));
+        assert_eq!(stats.histogram("t.hist").unwrap().count(), 1);
+        let sp = stats.span("t.span").unwrap();
+        assert_eq!(sp.calls, 1);
+    }
+
+    #[test]
+    fn records_without_a_scope_are_dropped() {
+        counter_add("orphan", 1);
+        let stats = run_scope().finish();
+        assert_eq!(stats.counter("orphan"), 0);
+    }
+
+    #[test]
+    fn scopes_nest_independently() {
+        let outer = run_scope();
+        counter_add("c", 1);
+        {
+            let inner = run_scope();
+            counter_add("c", 10);
+            let s = inner.finish();
+            assert_eq!(s.counter("c"), 10);
+        }
+        counter_add("c", 2);
+        assert_eq!(outer.finish().counter("c"), 3);
+    }
+
+    #[test]
+    fn abandoned_scope_restores_the_stack() {
+        {
+            let _scope = run_scope();
+            assert!(active());
+        }
+        assert!(!active());
+    }
+
+    #[test]
+    fn spans_nest_and_both_record() {
+        let scope = run_scope();
+        {
+            let _a = crate::span!("outer");
+            let _b = crate::span!("inner");
+        }
+        let stats = scope.finish();
+        assert_eq!(stats.span("outer").unwrap().calls, 1);
+        assert_eq!(stats.span("inner").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn worker_threads_have_independent_collectors() {
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let scope = run_scope();
+                    counter_add("w", i + 1);
+                    scope.finish().counter("w")
+                })
+            })
+            .collect();
+        let mut got: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Monotonic fixed-bucket histograms.
+//!
+//! Bucket boundaries are fixed at creation (`&'static` slices), so
+//! recording is a short linear scan with no allocation and merging
+//! across runs is index-wise addition — exactly what the per-heuristic
+//! aggregation needs. Values are `u64` (ready-list lengths, clan
+//! counts, list sizes); there is no wall-clock anywhere near a
+//! histogram.
+
+/// Default bucket boundaries: powers of two up to 1024. A recorded
+/// value lands in the first bucket whose (inclusive) upper bound is
+/// `>=` the value; larger values land in the overflow bucket.
+pub const DEFAULT_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+/// A monotonic histogram with fixed bucket boundaries plus an
+/// overflow bucket, and exact `count` / `sum` / `max` side totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    /// `bounds.len() + 1` counts; the last is the overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new(DEFAULT_BOUNDS)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram over `bounds` (must be non-empty and
+    /// strictly increasing).
+    pub fn new(bounds: &'static [u64]) -> Self {
+        debug_assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// The bucket boundaries.
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket
+    /// (values above the last bound).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Adds `other`'s observations into `self`. Panics if the bucket
+    /// boundaries differ (merging across schemas is meaningless).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram bounds must match");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_lands_in_the_first_bucket() {
+        let mut h = Histogram::default();
+        h.record(0);
+        assert_eq!(h.bucket_counts()[0], 1);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn bound_values_are_inclusive_upper_edges() {
+        static BOUNDS: &[u64] = &[10, 20, 30];
+        let mut h = Histogram::new(BOUNDS);
+        h.record(10); // exactly the first bound: first bucket
+        h.record(11); // just above: second bucket
+        h.record(30); // exactly the max bound: last real bucket
+        assert_eq!(h.bucket_counts(), &[1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_values_above_the_max_bound() {
+        static BOUNDS: &[u64] = &[10, 20];
+        let mut h = Histogram::new(BOUNDS);
+        h.record(21);
+        h.record(u64::MAX);
+        assert_eq!(h.bucket_counts(), &[0, 0, 2]);
+        assert_eq!(h.max(), u64::MAX);
+        // The sum saturates instead of wrapping.
+        assert_eq!(h.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn counts_and_mean_accumulate() {
+        let mut h = Histogram::default();
+        for v in [1, 2, 3, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 10);
+        assert_eq!(h.max(), 4);
+        assert!((h.mean() - 2.5).abs() < 1e-12);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn merge_adds_bucketwise() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        a.record(1);
+        a.record(2000);
+        b.record(1);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.bucket_counts()[0], 2); // two 1s
+        assert_eq!(*a.bucket_counts().last().unwrap(), 1); // the 2000
+        assert_eq!(a.max(), 2000);
+        assert_eq!(a.sum(), 2005);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must match")]
+    fn merge_rejects_mismatched_bounds() {
+        static OTHER: &[u64] = &[5];
+        let mut a = Histogram::default();
+        a.merge(&Histogram::new(OTHER));
+    }
+}

@@ -1,0 +1,98 @@
+//! # dagsched-obs — instrumentation for the scheduling pipeline
+//!
+//! The paper's tables are only as trustworthy as our ability to see
+//! what each heuristic actually did on each graph. This crate is the
+//! measurement substrate the rest of the workspace records into:
+//!
+//! * **spans** — [`span!`] opens a named phase; wall-clock is read
+//!   only at the span boundaries (never inside hot loops) and the
+//!   elapsed time is folded into the current run's [`RunStats`];
+//! * **metrics registry** — [`counter_add`], [`gauge_set`] and
+//!   [`hist_record`] record named counters, gauges and monotonic
+//!   fixed-bucket [`Histogram`]s (ready-list lengths, edge-zeroing
+//!   counts, clan-tree sizes, priority computations, harness fault
+//!   tallies);
+//! * **JSONL telemetry** — a [`TelemetrySink`] streams one
+//!   [`RunRecord`] per (graph, heuristic) run, plus end-of-run
+//!   aggregate summary records (see `docs/OBSERVABILITY.md` for the
+//!   schema).
+//!
+//! ## Attribution model
+//!
+//! Recording goes to a **thread-local run collector** installed by
+//! [`run_scope`]. A scheduling run executes on one thread, so opening
+//! a scope around `scheduler.schedule(..)` attributes everything the
+//! heuristic records to that (graph, heuristic) pair — including under
+//! `dagsched-par`'s scoped worker threads, where each worker opens its
+//! own scopes. A thread with no scope installed drops records (this is
+//! how the harness watchdog's *abandoned* attempts stay silent).
+//!
+//! ## Zero cost when disabled
+//!
+//! Everything hot is behind the `enabled` cargo feature. With it off,
+//! [`counter_add`] and friends are empty `#[inline(always)]`
+//! functions, [`run_scope`] hands back a unit guard whose
+//! [`RunScope::finish`] yields an empty [`RunStats`], and [`active`]
+//! is a constant `false` so derived-value computations guarded by it
+//! are dead-code-eliminated. The workspace crates expose this as a
+//! default-on `obs` feature; `cargo build --no-default-features`
+//! verifies the uninstrumented build, and the `obs_overhead` bench
+//! smoke bounds the instrumented overhead.
+//!
+//! ```
+//! use dagsched_obs as obs;
+//!
+//! let scope = obs::run_scope();
+//! {
+//!     let _phase = obs::span!("demo.work");
+//!     obs::counter_add("demo.items", 3);
+//!     obs::hist_record("demo.len", 7);
+//! }
+//! let stats = scope.finish();
+//! if cfg!(feature = "enabled") {
+//!     assert_eq!(stats.counter("demo.items"), 3);
+//!     assert_eq!(stats.span("demo.work").unwrap().calls, 1);
+//! } else {
+//!     assert!(stats.is_empty());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collect;
+pub mod hist;
+pub mod json;
+pub mod record;
+pub mod sink;
+pub mod stats;
+
+pub use collect::{
+    active, counter_add, event, gauge_set, hist_record, run_scope, span_enter, RunScope, SpanGuard,
+};
+pub use hist::{Histogram, DEFAULT_BOUNDS};
+pub use json::Json;
+pub use record::{
+    GraphMeta, IncidentMeta, RunRecord, Summary, SummaryRow, RUN_SCHEMA, SUMMARY_SCHEMA,
+};
+pub use sink::{SharedBuffer, TelemetrySink};
+pub use stats::{RunStats, SpanStat};
+
+/// Opens a named span in the current run scope; the returned guard
+/// records the elapsed wall-clock time when dropped.
+///
+/// Expands to a hygienic `let` binding, so several spans can coexist
+/// in one scope and each closes at the end of its lexical block:
+///
+/// ```
+/// # use dagsched_obs as obs;
+/// # let scope = obs::run_scope();
+/// let _span = obs::span!("dsc.cluster");
+/// // ... phase body ...
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span_enter($name)
+    };
+}

@@ -1,0 +1,570 @@
+//! Telemetry record types and their JSONL encodings.
+//!
+//! Two record shapes flow through a [`TelemetrySink`](crate::sink::TelemetrySink):
+//!
+//! * [`RunRecord`] (`schema = `[`RUN_SCHEMA`]) — one line per
+//!   (graph, heuristic) run: graph parameters, outcome, incidents and
+//!   the harvested [`RunStats`];
+//! * [`Summary`] rows (`schema = `[`SUMMARY_SCHEMA`]) — one line per
+//!   heuristic at the end of a run, aggregating every run record.
+//!
+//! Every key is always present (absent values encode as `null`), keys
+//! are emitted in a fixed order, and the **only** nondeterministic
+//! fields are the ones literally named `"ns"` (span wall-clock).
+//! Consumers that need byte-stable output drop those keys; everything
+//! else is a pure function of the seeded corpus. The full schema is
+//! documented in `docs/OBSERVABILITY.md`.
+
+use crate::json::{write_escaped, write_f64};
+use crate::stats::RunStats;
+
+/// Schema tag carried by every per-run record line.
+pub const RUN_SCHEMA: &str = "dagsched.run.v1";
+
+/// Schema tag carried by every end-of-run summary line.
+pub const SUMMARY_SCHEMA: &str = "dagsched.summary.v1";
+
+/// The graph-side parameters of one run record.
+///
+/// `nodes`/`edges` always describe the concrete DAG; the corpus
+/// parameters (`band`, `anchor_out_degree`, `weights`, `index`) are
+/// present for generated corpora and `None` for ad-hoc graphs (e.g.
+/// the `dagsched` CLI scheduling a DOT file).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GraphMeta {
+    /// Stable identifier, e.g. `"fine/a4/w1-64/3"` or a file name.
+    pub id: String,
+    /// Index within its parameter set, when from a corpus.
+    pub index: Option<u64>,
+    /// Granularity band slug (`"very-fine"` … `"very-coarse"`).
+    pub band: Option<String>,
+    /// Anchor out-degree of the generator spec.
+    pub anchor_out_degree: Option<u64>,
+    /// Node-weight range `[lo, hi]` of the generator spec.
+    pub weights: Option<(u64, u64)>,
+    /// Number of task nodes.
+    pub nodes: u64,
+    /// Number of dependence edges.
+    pub edges: u64,
+    /// Sum of node weights (serial execution time).
+    pub serial_time: Option<u64>,
+    /// Measured granularity of the concrete DAG.
+    pub granularity: Option<f64>,
+}
+
+/// A harness incident attached to a run record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncidentMeta {
+    /// Heuristic whose attempt faulted.
+    pub heuristic: String,
+    /// Fault kind: `"panic"`, `"invalid-schedule"` or
+    /// `"deadline-exceeded"`.
+    pub kind: String,
+    /// Deterministic one-line incident summary.
+    pub summary: String,
+}
+
+/// One (graph, heuristic) run: the unit of the JSONL telemetry stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunRecord {
+    /// The graph side of the run.
+    pub graph: GraphMeta,
+    /// Heuristic that was asked to schedule.
+    pub heuristic: String,
+    /// Scheduler whose output was kept (differs from `heuristic`
+    /// when a harness fallback resolved the run).
+    pub scheduled_by: Option<String>,
+    /// `false` when every attempt in the chain faulted.
+    pub ok: bool,
+    /// Processors used by the accepted schedule.
+    pub processors: Option<u64>,
+    /// Makespan of the accepted schedule.
+    pub makespan: Option<u64>,
+    /// `serial_time / makespan`.
+    pub speedup: Option<f64>,
+    /// Incidents observed while producing the schedule.
+    pub incidents: Vec<IncidentMeta>,
+    /// Metrics harvested from the run's collector scope.
+    pub stats: RunStats,
+}
+
+impl RunRecord {
+    /// Encodes the record as a single JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"schema\":");
+        write_escaped(&mut out, RUN_SCHEMA);
+        out.push_str(",\"graph\":");
+        self.graph.write_json(&mut out);
+        out.push_str(",\"heuristic\":");
+        write_escaped(&mut out, &self.heuristic);
+        out.push_str(",\"scheduled_by\":");
+        write_opt_str(&mut out, self.scheduled_by.as_deref());
+        out.push_str(",\"ok\":");
+        out.push_str(if self.ok { "true" } else { "false" });
+        out.push_str(",\"processors\":");
+        write_opt_u64(&mut out, self.processors);
+        out.push_str(",\"makespan\":");
+        write_opt_u64(&mut out, self.makespan);
+        out.push_str(",\"speedup\":");
+        write_opt_f64(&mut out, self.speedup);
+        out.push_str(",\"incidents\":[");
+        for (i, inc) in self.incidents.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            inc.write_json(&mut out);
+        }
+        out.push(']');
+        write_stats_fields(&mut out, &self.stats);
+        out.push('}');
+        out
+    }
+}
+
+impl GraphMeta {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"id\":");
+        write_escaped(out, &self.id);
+        out.push_str(",\"index\":");
+        write_opt_u64(out, self.index);
+        out.push_str(",\"band\":");
+        write_opt_str(out, self.band.as_deref());
+        out.push_str(",\"anchor_out_degree\":");
+        write_opt_u64(out, self.anchor_out_degree);
+        out.push_str(",\"weights\":");
+        match self.weights {
+            Some((lo, hi)) => {
+                out.push('[');
+                out.push_str(&lo.to_string());
+                out.push(',');
+                out.push_str(&hi.to_string());
+                out.push(']');
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"nodes\":");
+        out.push_str(&self.nodes.to_string());
+        out.push_str(",\"edges\":");
+        out.push_str(&self.edges.to_string());
+        out.push_str(",\"serial_time\":");
+        write_opt_u64(out, self.serial_time);
+        out.push_str(",\"granularity\":");
+        write_opt_f64(out, self.granularity);
+        out.push('}');
+    }
+}
+
+impl IncidentMeta {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"heuristic\":");
+        write_escaped(out, &self.heuristic);
+        out.push_str(",\"kind\":");
+        write_escaped(out, &self.kind);
+        out.push_str(",\"summary\":");
+        write_escaped(out, &self.summary);
+        out.push('}');
+    }
+}
+
+/// Cross-run aggregate for one heuristic; one summary JSONL line each.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SummaryRow {
+    /// Heuristic name.
+    pub heuristic: String,
+    /// Total runs attempted.
+    pub runs: u64,
+    /// Runs that produced a schedule (possibly via fallback).
+    pub ok: u64,
+    /// Runs resolved by a different scheduler than requested.
+    pub fallbacks: u64,
+    /// Total incidents across all runs.
+    pub incidents: u64,
+    speedup_sum: f64,
+    speedup_count: u64,
+    speedup_min: f64,
+    speedup_max: f64,
+    /// Metrics merged across all of this heuristic's runs.
+    pub stats: RunStats,
+}
+
+impl SummaryRow {
+    /// Mean speedup over runs that reported one.
+    pub fn mean_speedup(&self) -> Option<f64> {
+        (self.speedup_count > 0).then(|| self.speedup_sum / self.speedup_count as f64)
+    }
+
+    /// Smallest observed speedup.
+    pub fn min_speedup(&self) -> Option<f64> {
+        (self.speedup_count > 0).then_some(self.speedup_min)
+    }
+
+    /// Largest observed speedup.
+    pub fn max_speedup(&self) -> Option<f64> {
+        (self.speedup_count > 0).then_some(self.speedup_max)
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"schema\":");
+        write_escaped(&mut out, SUMMARY_SCHEMA);
+        out.push_str(",\"heuristic\":");
+        write_escaped(&mut out, &self.heuristic);
+        out.push_str(",\"runs\":");
+        out.push_str(&self.runs.to_string());
+        out.push_str(",\"ok\":");
+        out.push_str(&self.ok.to_string());
+        out.push_str(",\"fallbacks\":");
+        out.push_str(&self.fallbacks.to_string());
+        out.push_str(",\"incidents\":");
+        out.push_str(&self.incidents.to_string());
+        out.push_str(",\"speedup\":{\"mean\":");
+        write_opt_f64(&mut out, self.mean_speedup());
+        out.push_str(",\"min\":");
+        write_opt_f64(&mut out, self.min_speedup());
+        out.push_str(",\"max\":");
+        write_opt_f64(&mut out, self.max_speedup());
+        out.push('}');
+        write_stats_fields(&mut out, &self.stats);
+        out.push('}');
+        out
+    }
+}
+
+/// End-of-run aggregation over every [`RunRecord`], keyed by heuristic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    rows: Vec<SummaryRow>,
+}
+
+impl Summary {
+    /// Folds one run record into the aggregate.
+    pub fn observe(&mut self, record: &RunRecord) {
+        let row = match self
+            .rows
+            .iter()
+            .position(|r| r.heuristic == record.heuristic)
+        {
+            Some(i) => &mut self.rows[i],
+            None => {
+                self.rows.push(SummaryRow {
+                    heuristic: record.heuristic.clone(),
+                    speedup_min: f64::INFINITY,
+                    speedup_max: f64::NEG_INFINITY,
+                    ..SummaryRow::default()
+                });
+                self.rows.last_mut().expect("just pushed")
+            }
+        };
+        row.runs += 1;
+        row.ok += u64::from(record.ok);
+        let fell_back = matches!(&record.scheduled_by,
+                                 Some(by) if *by != record.heuristic);
+        row.fallbacks += u64::from(fell_back);
+        row.incidents += record.incidents.len() as u64;
+        if let Some(s) = record.speedup {
+            row.speedup_sum += s;
+            row.speedup_count += 1;
+            row.speedup_min = row.speedup_min.min(s);
+            row.speedup_max = row.speedup_max.max(s);
+        }
+        row.stats.merge(&record.stats);
+    }
+
+    /// The per-heuristic rows, sorted by heuristic name.
+    pub fn rows(&self) -> Vec<&SummaryRow> {
+        let mut rows: Vec<&SummaryRow> = self.rows.iter().collect();
+        rows.sort_by(|a, b| a.heuristic.cmp(&b.heuristic));
+        rows
+    }
+
+    /// `true` when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// One [`SUMMARY_SCHEMA`] JSON line per heuristic, sorted by name.
+    pub fn to_json_lines(&self) -> Vec<String> {
+        self.rows().into_iter().map(|r| r.to_json()).collect()
+    }
+
+    /// Renders the aggregate as a markdown section: the summary table
+    /// plus, per heuristic, its non-timing metrics and span timings.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("### Instrumentation summary\n\n");
+        out.push_str(
+            "| Heuristic | Runs | OK | Fallbacks | Incidents | Speedup (mean) | Speedup (min..max) |\n",
+        );
+        out.push_str("|---|---:|---:|---:|---:|---:|---:|\n");
+        for row in self.rows() {
+            let mean = row
+                .mean_speedup()
+                .map_or_else(|| "-".into(), |v| format!("{v:.3}"));
+            let range = match (row.min_speedup(), row.max_speedup()) {
+                (Some(lo), Some(hi)) => format!("{lo:.3}..{hi:.3}"),
+                _ => "-".into(),
+            };
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} | {} |\n",
+                row.heuristic, row.runs, row.ok, row.fallbacks, row.incidents, mean, range
+            ));
+        }
+        let mut any_metrics = false;
+        for row in self.rows() {
+            if row.stats.is_empty() {
+                continue;
+            }
+            if !any_metrics {
+                out.push_str("\nPer-heuristic metrics:\n\n");
+                any_metrics = true;
+            }
+            out.push_str(&format!("- **{}**:", row.heuristic));
+            let mut parts: Vec<String> = Vec::new();
+            for &(name, v) in row.stats.counters() {
+                parts.push(format!("{name}={v}"));
+            }
+            for &(name, v) in row.stats.gauges() {
+                parts.push(format!("{name}={v} (max)"));
+            }
+            for (name, h) in row.stats.histograms() {
+                parts.push(format!(
+                    "{name}{{n={}, mean={:.1}, max={}}}",
+                    h.count(),
+                    h.mean(),
+                    h.max()
+                ));
+            }
+            for &(name, s) in row.stats.spans() {
+                let ms = s.total_ns as f64 / 1e6;
+                parts.push(format!("{name}[{}x {ms:.2}ms]", s.calls));
+            }
+            out.push(' ');
+            out.push_str(&parts.join(", "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn write_opt_str(out: &mut String, v: Option<&str>) {
+    match v {
+        Some(s) => write_escaped(out, s),
+        None => out.push_str("null"),
+    }
+}
+
+fn write_opt_u64(out: &mut String, v: Option<u64>) {
+    match v {
+        Some(n) => out.push_str(&n.to_string()),
+        None => out.push_str("null"),
+    }
+}
+
+fn write_opt_f64(out: &mut String, v: Option<f64>) {
+    match v {
+        Some(f) => write_f64(out, f),
+        None => out.push_str("null"),
+    }
+}
+
+/// Writes the four `RunStats` tables as the trailing
+/// `"counters"/"gauges"/"hists"/"spans"` members (leading comma
+/// included, enclosing braces not).
+fn write_stats_fields(out: &mut String, stats: &RunStats) {
+    out.push_str(",\"counters\":{");
+    for (i, &(name, v)) in stats.counters().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_escaped(out, name);
+        out.push(':');
+        out.push_str(&v.to_string());
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, &(name, v)) in stats.gauges().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_escaped(out, name);
+        out.push(':');
+        out.push_str(&v.to_string());
+    }
+    out.push_str("},\"hists\":{");
+    for (i, (name, h)) in stats.histograms().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_escaped(out, name);
+        out.push_str(":{\"count\":");
+        out.push_str(&h.count().to_string());
+        out.push_str(",\"sum\":");
+        out.push_str(&h.sum().to_string());
+        out.push_str(",\"max\":");
+        out.push_str(&h.max().to_string());
+        out.push_str(",\"mean\":");
+        write_f64(out, h.mean());
+        out.push_str(",\"bounds\":[");
+        for (j, b) in h.bounds().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&b.to_string());
+        }
+        out.push_str("],\"buckets\":[");
+        for (j, c) in h.bucket_counts().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&c.to_string());
+        }
+        out.push_str("]}");
+    }
+    out.push_str("},\"spans\":{");
+    for (i, &(name, s)) in stats.spans().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_escaped(out, name);
+        out.push_str(":{\"calls\":");
+        out.push_str(&s.calls.to_string());
+        // "ns" is the one nondeterministic key in the whole schema.
+        out.push_str(",\"ns\":");
+        out.push_str(&s.total_ns.to_string());
+        out.push('}');
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn sample_record() -> RunRecord {
+        let mut stats = RunStats::default();
+        stats.add_counter("dsc.edges_zeroed", 12);
+        stats.set_gauge("clans.tree_clans", 9);
+        stats.record_hist("mh.ready_list_len", crate::DEFAULT_BOUNDS, 3);
+        stats.record_span("run.schedule", 1_500);
+        stats.sort();
+        RunRecord {
+            graph: GraphMeta {
+                id: "fine/a4/w1-64/3".into(),
+                index: Some(3),
+                band: Some("fine".into()),
+                anchor_out_degree: Some(4),
+                weights: Some((1, 64)),
+                nodes: 50,
+                edges: 120,
+                serial_time: Some(900),
+                granularity: Some(0.42),
+            },
+            heuristic: "DSC".into(),
+            scheduled_by: Some("HU".into()),
+            ok: true,
+            processors: Some(5),
+            makespan: Some(300),
+            speedup: Some(3.0),
+            incidents: vec![IncidentMeta {
+                heuristic: "DSC".into(),
+                kind: "panic".into(),
+                summary: "DSC panicked: boom \"quoted\"".into(),
+            }],
+            stats,
+        }
+    }
+
+    #[test]
+    fn run_record_round_trips_through_the_parser() {
+        let line = sample_record().to_json();
+        let j = Json::parse(&line).expect("valid JSON");
+        assert_eq!(j.get("schema").unwrap().as_str(), Some(RUN_SCHEMA));
+        assert_eq!(j.get("heuristic").unwrap().as_str(), Some("DSC"));
+        assert_eq!(j.get("scheduled_by").unwrap().as_str(), Some("HU"));
+        assert_eq!(j.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(j.get("makespan").unwrap().as_u64(), Some(300));
+        let graph = j.get("graph").unwrap();
+        assert_eq!(graph.get("band").unwrap().as_str(), Some("fine"));
+        assert_eq!(graph.get("weights").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(graph.get("nodes").unwrap().as_u64(), Some(50));
+        let incs = j.get("incidents").unwrap().as_arr().unwrap();
+        assert_eq!(incs.len(), 1);
+        assert_eq!(incs[0].get("kind").unwrap().as_str(), Some("panic"));
+        let counters = j.get("counters").unwrap();
+        assert_eq!(counters.get("dsc.edges_zeroed").unwrap().as_u64(), Some(12));
+        let hist = j.get("hists").unwrap().get("mh.ready_list_len").unwrap();
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            hist.get("bounds").unwrap().as_arr().unwrap().len() + 1,
+            hist.get("buckets").unwrap().as_arr().unwrap().len()
+        );
+        let span = j.get("spans").unwrap().get("run.schedule").unwrap();
+        assert_eq!(span.get("calls").unwrap().as_u64(), Some(1));
+        assert_eq!(span.get("ns").unwrap().as_u64(), Some(1_500));
+    }
+
+    #[test]
+    fn absent_values_encode_as_null() {
+        let record = RunRecord {
+            graph: GraphMeta {
+                id: "adhoc".into(),
+                nodes: 3,
+                edges: 2,
+                ..GraphMeta::default()
+            },
+            heuristic: "MCP".into(),
+            ok: false,
+            ..RunRecord::default()
+        };
+        let j = Json::parse(&record.to_json()).unwrap();
+        assert_eq!(j.get("makespan"), Some(&Json::Null));
+        assert_eq!(j.get("speedup"), Some(&Json::Null));
+        assert_eq!(j.get("scheduled_by"), Some(&Json::Null));
+        assert_eq!(j.get("graph").unwrap().get("band"), Some(&Json::Null));
+        assert_eq!(j.get("graph").unwrap().get("weights"), Some(&Json::Null));
+        assert_eq!(j.get("incidents").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn summary_aggregates_per_heuristic() {
+        let mut summary = Summary::default();
+        assert!(summary.is_empty());
+        let mut rec = sample_record();
+        summary.observe(&rec); // DSC via HU fallback, speedup 3.0
+        rec.scheduled_by = Some("DSC".into());
+        rec.incidents.clear();
+        rec.speedup = Some(1.0);
+        summary.observe(&rec); // DSC direct, speedup 1.0
+        rec.heuristic = "MCP".into();
+        rec.scheduled_by = Some("MCP".into());
+        rec.ok = false;
+        rec.speedup = None;
+        summary.observe(&rec);
+
+        let rows = summary.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].heuristic, "DSC");
+        assert_eq!(rows[0].runs, 2);
+        assert_eq!(rows[0].ok, 2);
+        assert_eq!(rows[0].fallbacks, 1);
+        assert_eq!(rows[0].incidents, 1);
+        assert_eq!(rows[0].mean_speedup(), Some(2.0));
+        assert_eq!(rows[0].min_speedup(), Some(1.0));
+        assert_eq!(rows[0].max_speedup(), Some(3.0));
+        assert_eq!(rows[0].stats.counter("dsc.edges_zeroed"), 24);
+        assert_eq!(rows[1].heuristic, "MCP");
+        assert_eq!(rows[1].ok, 0);
+        assert_eq!(rows[1].mean_speedup(), None);
+
+        for line in summary.to_json_lines() {
+            let j = Json::parse(&line).unwrap();
+            assert_eq!(j.get("schema").unwrap().as_str(), Some(SUMMARY_SCHEMA));
+            assert!(j.get("speedup").unwrap().get("mean").is_some());
+        }
+
+        let table = summary.render();
+        assert!(table.contains("| DSC | 2 | 2 | 1 | 1 | 2.000 | 1.000..3.000 |"));
+        assert!(table.contains("dsc.edges_zeroed=24"));
+    }
+}

@@ -1,0 +1,167 @@
+//! The JSONL telemetry sink.
+//!
+//! A [`TelemetrySink`] serialises whole lines to an underlying writer
+//! behind a mutex, so emitting is atomic per record and the sink can
+//! be shared by reference across worker threads. Runners that need
+//! byte-deterministic files emit sequentially in corpus order after
+//! the parallel phase (see `dagsched-experiments`); the mutex makes
+//! even concurrent emission line-atomic.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::record::{RunRecord, Summary};
+
+/// An in-memory byte buffer usable as a sink target; clone it before
+/// building the sink to read the captured output afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuffer {
+    bytes: Arc<Mutex<Vec<u8>>>,
+}
+
+impl SharedBuffer {
+    /// A new, empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of the captured bytes as a string (telemetry is UTF-8).
+    pub fn contents(&self) -> String {
+        let bytes = self.bytes.lock().expect("buffer poisoned");
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.bytes.lock().expect("buffer poisoned").extend(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A line-oriented JSONL sink for [`RunRecord`]s and [`Summary`] rows.
+pub struct TelemetrySink {
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for TelemetrySink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetrySink").finish_non_exhaustive()
+    }
+}
+
+impl TelemetrySink {
+    /// A sink writing (buffered) to the file at `path`, truncating any
+    /// existing file.
+    pub fn to_path(path: &Path) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::from_writer(BufWriter::new(file)))
+    }
+
+    /// A sink writing to an arbitrary writer.
+    pub fn from_writer(writer: impl Write + Send + 'static) -> Self {
+        TelemetrySink {
+            writer: Mutex::new(Box::new(writer)),
+        }
+    }
+
+    /// A sink capturing into memory; read it back via the returned
+    /// [`SharedBuffer`].
+    pub fn in_memory() -> (Self, SharedBuffer) {
+        let buffer = SharedBuffer::new();
+        (Self::from_writer(buffer.clone()), buffer)
+    }
+
+    /// Writes one pre-encoded JSON line (the newline is appended here;
+    /// `line` must not contain one).
+    pub fn emit_line(&self, line: &str) -> io::Result<()> {
+        debug_assert!(!line.contains('\n'), "JSONL records are single lines");
+        let mut w = self.writer.lock().expect("sink poisoned");
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")
+    }
+
+    /// Emits one run record.
+    pub fn emit(&self, record: &RunRecord) -> io::Result<()> {
+        self.emit_line(&record.to_json())
+    }
+
+    /// Emits every per-heuristic summary row.
+    pub fn emit_summary(&self, summary: &Summary) -> io::Result<()> {
+        for line in summary.to_json_lines() {
+            self.emit_line(&line)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) -> io::Result<()> {
+        self.writer.lock().expect("sink poisoned").flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::record::{GraphMeta, RUN_SCHEMA, SUMMARY_SCHEMA};
+
+    fn tiny_record(heuristic: &str) -> RunRecord {
+        RunRecord {
+            graph: GraphMeta {
+                id: "g".into(),
+                nodes: 2,
+                edges: 1,
+                ..GraphMeta::default()
+            },
+            heuristic: heuristic.into(),
+            scheduled_by: Some(heuristic.into()),
+            ok: true,
+            makespan: Some(7),
+            speedup: Some(1.5),
+            ..RunRecord::default()
+        }
+    }
+
+    #[test]
+    fn in_memory_sink_captures_one_line_per_record() {
+        let (sink, buffer) = TelemetrySink::in_memory();
+        sink.emit(&tiny_record("DSC")).unwrap();
+        sink.emit(&tiny_record("MCP")).unwrap();
+        let mut summary = Summary::default();
+        summary.observe(&tiny_record("DSC"));
+        sink.emit_summary(&summary).unwrap();
+        sink.flush().unwrap();
+
+        let text = buffer.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines[..2] {
+            let j = Json::parse(line).unwrap();
+            assert_eq!(j.get("schema").unwrap().as_str(), Some(RUN_SCHEMA));
+        }
+        let j = Json::parse(lines[2]).unwrap();
+        assert_eq!(j.get("schema").unwrap().as_str(), Some(SUMMARY_SCHEMA));
+    }
+
+    #[test]
+    fn path_sink_writes_the_file() {
+        let dir = std::env::temp_dir().join("dagsched-obs-sink-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let sink = TelemetrySink::to_path(&path).unwrap();
+        sink.emit(&tiny_record("HU")).unwrap();
+        sink.flush().unwrap();
+        drop(sink);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(Json::parse(text.lines().next().unwrap()).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+}

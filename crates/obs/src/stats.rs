@@ -1,0 +1,204 @@
+//! Per-run metric snapshots: what one (graph, heuristic) run recorded.
+
+use crate::hist::Histogram;
+
+/// Aggregated timing of one span name within a run: how many times
+/// the span was entered and the total wall-clock spent inside it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of times the span was entered.
+    pub calls: u64,
+    /// Total nanoseconds across all calls. This is the **only**
+    /// nondeterministic quantity in a [`RunStats`]; telemetry
+    /// consumers that need byte-stable output strip `ns` fields.
+    pub total_ns: u128,
+}
+
+/// Everything one run recorded, harvested by
+/// [`RunScope::finish`](crate::RunScope::finish).
+///
+/// All four tables are kept sorted by metric name so rendering and
+/// JSON encoding are deterministic. Entries are small (a handful of
+/// metrics per heuristic), so storage is flat vectors with linear
+/// lookup.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStats {
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, u64)>,
+    histograms: Vec<(&'static str, Histogram)>,
+    spans: Vec<(&'static str, SpanStat)>,
+}
+
+impl RunStats {
+    /// `true` when nothing was recorded (always the case with the
+    /// `enabled` feature off).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// The value of counter `name` (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        lookup(&self.counters, name).copied().unwrap_or(0)
+    }
+
+    /// The last value set for gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        lookup(&self.gauges, name).copied()
+    }
+
+    /// The histogram called `name`, if anything was recorded into it.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        lookup(&self.histograms, name)
+    }
+
+    /// The span stats for `name`, if the span was ever entered.
+    pub fn span(&self, name: &str) -> Option<&SpanStat> {
+        lookup(&self.spans, name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> &[(&'static str, u64)] {
+        &self.counters
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> &[(&'static str, u64)] {
+        &self.gauges
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> &[(&'static str, Histogram)] {
+        &self.histograms
+    }
+
+    /// All spans, sorted by name.
+    pub fn spans(&self) -> &[(&'static str, SpanStat)] {
+        &self.spans
+    }
+
+    /// Folds `other` into `self` (counters add, gauges keep the max,
+    /// histograms merge bucket-wise, spans add calls and time) — the
+    /// cross-run aggregation used by per-heuristic summaries.
+    pub fn merge(&mut self, other: &RunStats) {
+        for &(name, v) in &other.counters {
+            self.add_counter(name, v);
+        }
+        for &(name, v) in &other.gauges {
+            let slot = entry(&mut self.gauges, name, || 0);
+            *slot = (*slot).max(v);
+        }
+        for (name, h) in &other.histograms {
+            let slot = entry(&mut self.histograms, name, || Histogram::new(h.bounds()));
+            slot.merge(h);
+        }
+        for &(name, s) in &other.spans {
+            let slot = entry(&mut self.spans, name, SpanStat::default);
+            slot.calls += s.calls;
+            slot.total_ns += s.total_ns;
+        }
+        self.sort();
+    }
+
+    pub(crate) fn add_counter(&mut self, name: &'static str, delta: u64) {
+        *entry(&mut self.counters, name, || 0) += delta;
+    }
+
+    pub(crate) fn set_gauge(&mut self, name: &'static str, value: u64) {
+        *entry(&mut self.gauges, name, || 0) = value;
+    }
+
+    pub(crate) fn record_hist(&mut self, name: &'static str, bounds: &'static [u64], value: u64) {
+        entry(&mut self.histograms, name, || Histogram::new(bounds)).record(value);
+    }
+
+    pub(crate) fn record_span(&mut self, name: &'static str, ns: u128) {
+        let s = entry(&mut self.spans, name, SpanStat::default);
+        s.calls += 1;
+        s.total_ns += ns;
+    }
+
+    /// Sorts every table by name (called on harvest so downstream
+    /// encoding is deterministic).
+    pub(crate) fn sort(&mut self) {
+        self.counters.sort_by_key(|&(n, _)| n);
+        self.gauges.sort_by_key(|&(n, _)| n);
+        self.histograms.sort_by_key(|&(n, _)| n);
+        self.spans.sort_by_key(|&(n, _)| n);
+    }
+}
+
+fn lookup<'a, T>(table: &'a [(&'static str, T)], name: &str) -> Option<&'a T> {
+    table.iter().find(|(n, _)| *n == name).map(|(_, v)| v)
+}
+
+fn entry<'a, T>(
+    table: &'a mut Vec<(&'static str, T)>,
+    name: &'static str,
+    init: impl FnOnce() -> T,
+) -> &'a mut T {
+    // Pointer equality first: the same literal usually interns to the
+    // same address, making the hot-path scan a pointer compare.
+    if let Some(i) = table
+        .iter()
+        .position(|(n, _)| std::ptr::eq(*n, name) || *n == name)
+    {
+        return &mut table[i].1;
+    }
+    table.push((name, init()));
+    &mut table.last_mut().expect("just pushed").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_sort() {
+        let mut s = RunStats::default();
+        s.add_counter("z.second", 1);
+        s.add_counter("a.first", 2);
+        s.add_counter("z.second", 3);
+        s.sort();
+        assert_eq!(s.counter("z.second"), 4);
+        assert_eq!(s.counter("a.first"), 2);
+        assert_eq!(s.counter("missing"), 0);
+        assert_eq!(s.counters()[0].0, "a.first");
+    }
+
+    #[test]
+    fn gauges_keep_last_write_and_merge_keeps_max() {
+        let mut s = RunStats::default();
+        s.set_gauge("g", 5);
+        s.set_gauge("g", 3);
+        assert_eq!(s.gauge("g"), Some(3));
+        let mut other = RunStats::default();
+        other.set_gauge("g", 9);
+        s.merge(&other);
+        assert_eq!(s.gauge("g"), Some(9));
+    }
+
+    #[test]
+    fn merge_folds_all_tables() {
+        let mut a = RunStats::default();
+        a.add_counter("c", 1);
+        a.record_hist("h", crate::DEFAULT_BOUNDS, 4);
+        a.record_span("s", 100);
+        let mut b = RunStats::default();
+        b.add_counter("c", 2);
+        b.record_hist("h", crate::DEFAULT_BOUNDS, 9);
+        b.record_span("s", 50);
+        b.record_span("t", 7);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        assert_eq!(a.histogram("h").unwrap().sum(), 13);
+        let s = a.span("s").unwrap();
+        assert_eq!((s.calls, s.total_ns), (2, 150));
+        assert_eq!(a.span("t").unwrap().calls, 1);
+        assert!(!a.is_empty());
+        assert!(RunStats::default().is_empty());
+    }
+}

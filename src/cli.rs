@@ -22,6 +22,10 @@
 //!                        print incident reports instead of aborting
 //!   --time-budget <MS>   abandon any attempt exceeding MS
 //!                        milliseconds (implies --validate)
+//!   --trace-out <PATH>   write one JSONL telemetry record per
+//!                        heuristic run to PATH
+//!   --metrics            append the instrumentation summary to the
+//!                        output
 //! ```
 //!
 //! The logic lives here (library-testable); `src/bin/dagsched.rs` is a
@@ -30,6 +34,8 @@
 use crate::core::{all_heuristics, Scheduler};
 use crate::dag::{metrics as gmetrics, textio, Dag};
 use crate::harness::{HarnessConfig, RobustScheduler};
+use crate::obs;
+use crate::obs::{GraphMeta, IncidentMeta, RunRecord, Summary, TelemetrySink};
 use crate::sim::{
     gantt, metrics, validate, BoundedClique, Clique, Hypercube, Machine, Mesh2D, Ring,
 };
@@ -62,6 +68,10 @@ pub struct CliOptions {
     /// Wall-clock budget per scheduling attempt, in milliseconds
     /// (implies `validate`).
     pub time_budget_ms: Option<u64>,
+    /// Write one JSONL telemetry record per heuristic run here.
+    pub trace_out: Option<String>,
+    /// Append the instrumentation summary to the output.
+    pub metrics: bool,
     /// Input path (`-` = stdin).
     pub input: String,
 }
@@ -79,6 +89,8 @@ impl Default for CliOptions {
             quiet: false,
             validate: false,
             time_budget_ms: None,
+            trace_out: None,
+            metrics: false,
             input: "-".into(),
         }
     }
@@ -131,6 +143,10 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 }
                 opts.time_budget_ms = Some(ms);
             }
+            "--trace-out" => {
+                opts.trace_out = Some(it.next().ok_or("--trace-out needs a path")?.to_string());
+            }
+            "--metrics" => opts.metrics = true,
             "--help" | "-h" => return Err("help".into()),
             other if !other.starts_with('-') || other == "-" => {
                 if input.replace(other.to_string()).is_some() {
@@ -231,13 +247,24 @@ pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
     if opts.dot {
         out.push_str(&crate::dag::dot::to_dot(&g, "input"));
     }
+    let sink = match &opts.trace_out {
+        Some(path) => Some(
+            TelemetrySink::to_path(std::path::Path::new(path))
+                .map_err(|e| format!("cannot create {path}: {e}"))?,
+        ),
+        None => None,
+    };
+    let observe = sink.is_some() || opts.metrics;
+    let mut summary = Summary::default();
     for h in heuristics {
         let name = h.name();
-        let (s, incidents) = match harness {
+        let scope = observe.then(obs::run_scope);
+        let span = observe.then(|| obs::span!("run.schedule"));
+        let (s, scheduled_by, incidents) = match harness {
             Some(config) => {
                 let robust = RobustScheduler::new(Arc::from(h)).with_config(config);
                 let r = robust.run(&g, &machine);
-                (r.schedule, r.incidents)
+                (r.schedule, r.scheduled_by, r.incidents)
             }
             None => {
                 let s = h.schedule(&g, machine.as_ref());
@@ -247,10 +274,43 @@ pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
                         "{name} produced an invalid schedule: {violations:?}"
                     ));
                 }
-                (s, Vec::new())
+                (s, name, Vec::new())
             }
         };
+        drop(span);
         let m = metrics::measures(&g, &s);
+        if let Some(scope) = scope {
+            let record = RunRecord {
+                graph: GraphMeta {
+                    id: opts.input.clone(),
+                    nodes: g.num_nodes() as u64,
+                    edges: g.num_edges() as u64,
+                    serial_time: Some(g.serial_time()),
+                    granularity: Some(gmetrics::granularity(&g)),
+                    ..GraphMeta::default()
+                },
+                heuristic: name.to_string(),
+                scheduled_by: Some(scheduled_by.to_string()),
+                ok: true,
+                processors: Some(m.procs as u64),
+                makespan: Some(m.parallel_time),
+                speedup: m.speedup.is_finite().then_some(m.speedup),
+                incidents: incidents
+                    .iter()
+                    .map(|inc| IncidentMeta {
+                        heuristic: inc.heuristic.to_string(),
+                        kind: inc.fault.kind().to_string(),
+                        summary: inc.summary(),
+                    })
+                    .collect(),
+                stats: scope.finish(),
+            };
+            if let Some(sink) = &sink {
+                sink.emit(&record)
+                    .map_err(|e| format!("telemetry write failed: {e}"))?;
+            }
+            summary.observe(&record);
+        }
         writeln!(
             out,
             "{:<7} parallel_time={} speedup={:.3} efficiency={:.3} procs={}",
@@ -271,11 +331,20 @@ pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
             out.push_str(&gantt::render_svg(&s));
         }
     }
+    if let Some(sink) = &sink {
+        sink.emit_summary(&summary)
+            .and_then(|()| sink.flush())
+            .map_err(|e| format!("telemetry write failed: {e}"))?;
+    }
+    if opts.metrics && !summary.is_empty() {
+        out.push('\n');
+        out.push_str(&summary.render());
+    }
     Ok(out)
 }
 
 /// The usage string printed on `--help` or errors.
-pub const USAGE: &str = "usage: dagsched [--heuristic NAME|all] [--machine clique|ring:N|mesh:RxC|hypercube:D|bounded:P] [--gantt WIDTH] [--analyze] [--svg] [--dot] [--stg W] [--quiet] [--validate] [--time-budget MS] <graph.pdg | ->";
+pub const USAGE: &str = "usage: dagsched [--heuristic NAME|all] [--machine clique|ring:N|mesh:RxC|hypercube:D|bounded:P] [--gantt WIDTH] [--analyze] [--svg] [--dot] [--stg W] [--quiet] [--validate] [--time-budget MS] [--trace-out PATH] [--metrics] <graph.pdg | ->";
 
 #[cfg(test)]
 mod tests {
@@ -423,6 +492,54 @@ edge 0 2 5
         }
         // Healthy heuristics on a 3-task graph raise no incidents.
         assert!(!out.contains("incident:"));
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        let o = opts(&["--trace-out", "trace.jsonl", "--metrics"]);
+        assert_eq!(o.trace_out.as_deref(), Some("trace.jsonl"));
+        assert!(o.metrics);
+        assert!(parse_args(&["--trace-out".into()]).is_err());
+    }
+
+    #[test]
+    fn metrics_flag_appends_the_summary() {
+        let o = opts(&["--quiet", "--heuristic", "clans", "--metrics"]);
+        let out = run_on_text(&o, SAMPLE).unwrap();
+        assert!(out.contains("### Instrumentation summary"));
+        assert!(out.contains("| CLANS |"));
+        // Without the flag the section is absent.
+        let plain = run_on_text(&opts(&["--quiet", "--heuristic", "clans"]), SAMPLE).unwrap();
+        assert!(!plain.contains("Instrumentation summary"));
+    }
+
+    #[test]
+    fn trace_out_writes_one_record_per_heuristic() {
+        let path =
+            std::env::temp_dir().join(format!("dagsched-cli-trace-{}.jsonl", std::process::id()));
+        let mut o = opts(&["--quiet", "--validate"]);
+        o.trace_out = Some(path.display().to_string());
+        run_on_text(&o, SAMPLE).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let mut runs = 0;
+        let mut summaries = 0;
+        for line in text.lines() {
+            let j = obs::Json::parse(line).expect("every line is valid JSON");
+            match j.get("schema").and_then(obs::Json::as_str) {
+                Some(s) if s == obs::RUN_SCHEMA => {
+                    runs += 1;
+                    let graph = j.get("graph").expect("run records carry graph meta");
+                    assert_eq!(graph.get("id").unwrap().as_str(), Some("-"));
+                    assert_eq!(graph.get("nodes").unwrap().as_u64(), Some(3));
+                }
+                Some(s) if s == obs::SUMMARY_SCHEMA => summaries += 1,
+                other => panic!("unexpected schema {other:?}"),
+            }
+        }
+        let expected = select_heuristics("all").unwrap().len();
+        assert_eq!(runs, expected, "one run record per heuristic");
+        assert_eq!(summaries, expected, "one summary line per heuristic");
     }
 
     #[test]

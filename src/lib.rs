@@ -10,6 +10,8 @@
 //!   discrete-event simulation;
 //! * [`gen`] — random PDG generation and classification;
 //! * [`par`] — the work-stealing parallel-map substrate;
+//! * [`obs`] — instrumentation: spans, metrics, and JSONL run
+//!   telemetry (compiled out without the default `obs` feature);
 //! * [`core`] — the five heuristics (CLANS, DSC, MCP, MH, HU) plus
 //!   extension schedulers behind the [`core::Scheduler`] trait;
 //! * [`harness`] — fault isolation: panic containment, time budgets,
@@ -27,10 +29,19 @@ pub use dagsched_dag as dag;
 pub use dagsched_experiments as experiments;
 pub use dagsched_gen as gen;
 pub use dagsched_harness as harness;
+pub use dagsched_obs as obs;
 pub use dagsched_par as par;
 pub use dagsched_sim as sim;
 
 // The error types a caller handles, re-exported at the top level.
 pub use dagsched_dag::DagError;
 pub use dagsched_gen::GenError;
-pub use dagsched_harness::{Fault, Incident, RobustScheduler};
+// The harness vocabulary a caller consumes directly: the wrapper, its
+// policy, and everything a run reports back.
+pub use dagsched_harness::{
+    Fault, GraphFingerprint, HarnessConfig, Incident, RobustScheduler, RunOutcome, SERIAL_PLACEMENT,
+};
+// The corpus-level robustness report types.
+pub use dagsched_experiments::{FaultTally, RobustnessStats};
+// The telemetry surface: JSONL records and the sink they stream to.
+pub use dagsched_obs::{RunRecord, TelemetrySink};

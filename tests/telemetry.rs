@@ -1,0 +1,136 @@
+//! End-to-end telemetry: an instrumented corpus run must stream one
+//! schema-valid JSONL record per (graph, heuristic) run — fallback
+//! runs included — and two identical seeded runs must produce
+//! byte-identical traces modulo the `"ns"` span-timing fields, the
+//! one nondeterministic quantity in the schema.
+
+use dagsched::experiments::corpus::{generate_corpus, CorpusSpec};
+use dagsched::experiments::telemetry::{entry_id, run_corpus_traced};
+use dagsched::harness::chaos::PanicScheduler;
+use dagsched::harness::HarnessConfig;
+use dagsched::obs::{Json, TelemetrySink, RUN_SCHEMA, SUMMARY_SCHEMA};
+use dagsched_core::paper_heuristics;
+use std::collections::HashSet;
+
+fn spec() -> CorpusSpec {
+    CorpusSpec {
+        graphs_per_set: 1,
+        nodes: 12..=18,
+        ..Default::default()
+    }
+}
+
+/// Runs the corpus harnessed with the five paper heuristics plus a
+/// panicking chaos scheduler, and returns the raw JSONL trace.
+fn trace_with_chaos() -> (Vec<dagsched::experiments::CorpusEntry>, String) {
+    let corpus = generate_corpus(&spec());
+    let mut heuristics = paper_heuristics();
+    heuristics.push(Box::new(PanicScheduler));
+    let traced = run_corpus_traced(&corpus, heuristics, Some(HarnessConfig::default()), None);
+    let (sink, buffer) = TelemetrySink::in_memory();
+    traced.write_trace(&corpus, &sink).unwrap();
+    (corpus, buffer.contents())
+}
+
+#[test]
+fn every_line_is_schema_valid_and_every_run_is_covered() {
+    let (corpus, text) = trace_with_chaos();
+    let heuristics = ["CLANS", "DSC", "MCP", "MH", "HU", "CHAOS-PANIC"];
+
+    let mut seen: HashSet<(String, String)> = HashSet::new();
+    let mut summary_rows: Vec<String> = Vec::new();
+    for line in text.lines() {
+        let j = Json::parse(line).expect("every line parses as JSON");
+        match j.get("schema").and_then(Json::as_str) {
+            Some(RUN_SCHEMA) => {
+                let graph = j.get("graph").expect("run records carry graph meta");
+                let id = graph.get("id").unwrap().as_str().unwrap().to_string();
+                let heuristic = j.get("heuristic").unwrap().as_str().unwrap().to_string();
+                assert!(heuristics.contains(&heuristic.as_str()), "{heuristic}");
+                // Every field of the schema is present (absent → null,
+                // never omitted).
+                for key in [
+                    "scheduled_by",
+                    "ok",
+                    "processors",
+                    "makespan",
+                    "speedup",
+                    "incidents",
+                ] {
+                    assert!(j.get(key).is_some(), "{heuristic}: missing {key}");
+                }
+                assert!(graph.get("nodes").unwrap().as_u64().unwrap() >= 12);
+                assert!(j.get("makespan").unwrap().as_u64().is_some());
+                // The chaos runs are the fallback runs: the harness
+                // resolves them through HU and records the incident.
+                if heuristic == "CHAOS-PANIC" {
+                    assert_eq!(
+                        j.get("scheduled_by").unwrap().as_str(),
+                        Some("HU"),
+                        "fallback runs name their resolver"
+                    );
+                    let incidents = j.get("incidents").unwrap().as_arr().unwrap();
+                    assert_eq!(incidents.len(), 1);
+                    assert_eq!(incidents[0].get("kind").unwrap().as_str(), Some("panic"));
+                }
+                assert!(
+                    seen.insert((id, heuristic)),
+                    "duplicate (graph, heuristic) record"
+                );
+            }
+            Some(SUMMARY_SCHEMA) => {
+                summary_rows.push(j.get("heuristic").unwrap().as_str().unwrap().to_string());
+            }
+            other => panic!("unexpected schema {other:?}"),
+        }
+    }
+
+    // One record per (graph, heuristic) — fallback runs included.
+    assert_eq!(seen.len(), corpus.len() * heuristics.len());
+    for entry in &corpus {
+        let id = entry_id(entry);
+        for h in heuristics {
+            assert!(
+                seen.contains(&(id.clone(), h.to_string())),
+                "missing record for ({id}, {h})"
+            );
+        }
+    }
+    // Plus one trailing summary line per heuristic, sorted by name.
+    let mut expected: Vec<String> = heuristics.iter().map(|h| h.to_string()).collect();
+    expected.sort();
+    assert_eq!(summary_rows, expected);
+}
+
+/// Replaces every `"ns":<digits>` value with `"ns":0` — span timing
+/// is the only field the schema allows to vary between identical runs.
+fn strip_ns(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(pos) = rest.find("\"ns\":") {
+        let (head, tail) = rest.split_at(pos + "\"ns\":".len());
+        out.push_str(head);
+        out.push('0');
+        rest = tail.trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn identical_seeded_runs_trace_identically_modulo_timing() {
+    let (_, a) = trace_with_chaos();
+    let (_, b) = trace_with_chaos();
+    assert_eq!(strip_ns(&a), strip_ns(&b));
+    // The traces really carry content, not just blank lines.
+    assert!(a.lines().count() > 60);
+}
+
+#[test]
+fn strip_ns_touches_only_ns_values() {
+    assert_eq!(
+        strip_ns(r#"{"name":"x","calls":2,"ns":91827}, {"ns":4}"#),
+        r#"{"name":"x","calls":2,"ns":0}, {"ns":0}"#
+    );
+    assert_eq!(strip_ns("no timing here"), "no timing here");
+}
