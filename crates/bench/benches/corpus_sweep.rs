@@ -1,0 +1,162 @@
+//! Corpus-sweep gate for the `DagAnalysis` cache: serving a sweep's
+//! labelling demands from the shared per-graph cache must be at least
+//! 1.5× the throughput of the pre-cache pipeline, where every consumer
+//! recomputed its own labellings from scratch.
+//!
+//! The cold arm replays the demand profile a corpus sweep put on the
+//! labelling layer before the cache existed — each of the five paper
+//! heuristics, the simulation oracle, the report, and the harness
+//! fallback recomputing what it needs via the `levels`/`Closure`
+//! reference functions (the transitive closure twice, the b-levels
+//! with communication three times, …). The warm arm issues the exact
+//! same demands through the cached accessors of one shared graph, so
+//! each labelling is materialized lazily at most once. A checksum
+//! ties the two arms to the same values before they are compared for
+//! speed.
+//!
+//! Scope note: this gates the labelling pipeline the cache replaced,
+//! not end-to-end scheduling — a full five-heuristic sweep is
+//! dominated by CLANS decomposition, which no labelling cache can
+//! touch (see docs/PERFORMANCE.md for the end-to-end numbers).
+//!
+//! Deliberately criterion-free (a plain `main`): CI runs it as a
+//! pass/fail gate on min-of-samples over interleaved rounds.
+//! `CORPUS_SWEEP_MIN` (e.g. `1.0` for a regression-only smoke in CI)
+//! overrides the default 1.5× speedup requirement.
+
+use dagsched_dag::closure::Closure;
+use dagsched_dag::{levels, Dag};
+use dagsched_experiments::corpus::{generate_corpus, CorpusSpec};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Fixed seeded mid-size graphs: large enough that the closure and
+/// level computations carry real weight, small enough that the whole
+/// smoke stays in CI budget.
+fn fixed_graphs() -> Vec<Dag> {
+    let spec = CorpusSpec {
+        graphs_per_set: 1,
+        nodes: 120..=160,
+        ..Default::default()
+    };
+    generate_corpus(&spec)
+        .into_iter()
+        .step_by(6)
+        .map(|e| e.graph)
+        .collect()
+}
+
+/// One cold sample: every labelling consumer in a sweep recomputes
+/// its demands from scratch — the pipeline before `DagAnalysis`.
+fn sample_cold(corpus: &[Dag]) -> (Duration, u64) {
+    let mut acc = 0u64;
+    let start = Instant::now();
+    for g in corpus {
+        acc = acc.wrapping_add(closure_probe(g, &Closure::new(g))); // CLANS
+        acc = acc.wrapping_add(checksum(&levels::blevels_with_comm(g))); // DSC
+        acc = acc.wrapping_add(checksum(&levels::alap_times(g))); // MCP
+        acc = acc.wrapping_add(closure_probe(g, &Closure::new(g))); // MCP
+        acc = acc.wrapping_add(checksum(&levels::blevels_with_comm(g))); // MH
+        acc = acc.wrapping_add(checksum(&levels::blevels_computation(g))); // HU
+        acc = acc.wrapping_add(checksum(&levels::blevels_with_comm(g))); // oracle
+        acc = acc.wrapping_add(levels::critical_path_len(g)); // report
+        acc = acc.wrapping_add(checksum(&levels::blevels_computation(g))); // fallback HU
+    }
+    (start.elapsed(), acc)
+}
+
+/// One warm sample: the same demands served by the cached accessors of
+/// one shared graph per corpus entry — each labelling materialized
+/// lazily at most once. Clones are prepared outside the timed region
+/// so every sample starts from a cold cache.
+fn sample_warm(corpus: &[Dag]) -> (Duration, u64) {
+    let clones: Vec<Dag> = corpus.to_vec();
+    let mut acc = 0u64;
+    let start = Instant::now();
+    for g in &clones {
+        acc = acc.wrapping_add(closure_probe(g, g.closure())); // CLANS
+        acc = acc.wrapping_add(checksum(g.blevels_with_comm())); // DSC
+        acc = acc.wrapping_add(checksum(g.alap_times())); // MCP
+        acc = acc.wrapping_add(closure_probe(g, g.closure())); // MCP
+        acc = acc.wrapping_add(checksum(g.blevels_with_comm())); // MH
+        acc = acc.wrapping_add(checksum(g.blevels_computation())); // HU
+        acc = acc.wrapping_add(checksum(g.blevels_with_comm())); // oracle
+        acc = acc.wrapping_add(g.critical_path_len()); // report
+        acc = acc.wrapping_add(checksum(g.blevels_computation())); // fallback HU
+    }
+    (start.elapsed(), acc)
+}
+
+fn checksum(xs: &[u64]) -> u64 {
+    xs.iter()
+        .fold(0u64, |a, &x| a.wrapping_mul(31).wrapping_add(x))
+}
+
+/// A cheap deterministic digest of a closure: reachability sampled on
+/// a sparse grid of node pairs. Identical in both arms so the two
+/// accumulators stay comparable.
+fn closure_probe(g: &Dag, c: &Closure) -> u64 {
+    let mut acc = 0u64;
+    for u in g.nodes().step_by(17) {
+        for v in g.nodes().step_by(13) {
+            if u != v {
+                acc = acc.wrapping_mul(2).wrapping_add(c.reaches(u, v) as u64);
+            }
+        }
+    }
+    acc
+}
+
+fn main() {
+    let min_speedup: f64 = std::env::var("CORPUS_SWEEP_MIN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.5);
+    let corpus = fixed_graphs();
+    println!(
+        "corpus_sweep: {} graphs, 9 labelling demands each",
+        corpus.len()
+    );
+
+    // Both arms must deliver identical values before being compared
+    // for speed.
+    let (_, cold_acc) = sample_cold(&corpus);
+    let (_, warm_acc) = sample_warm(&corpus);
+    assert_eq!(
+        cold_acc, warm_acc,
+        "cached labellings diverged from uncached"
+    );
+
+    // Warm-up, then interleaved samples so drift hits both arms.
+    for _ in 0..3 {
+        black_box(sample_cold(&corpus));
+        black_box(sample_warm(&corpus));
+    }
+    let mut min_cold = Duration::MAX;
+    let mut min_warm = Duration::MAX;
+    for i in 0..20 {
+        let (cold, a) = sample_cold(&corpus);
+        let (warm, b) = sample_warm(&corpus);
+        black_box((a, b));
+        min_cold = min_cold.min(cold);
+        min_warm = min_warm.min(warm);
+        if i % 5 == 4 {
+            println!(
+                "  after {:2} rounds: min cold {:>10.1?}  min warm {:>10.1?}",
+                i + 1,
+                min_cold,
+                min_warm
+            );
+        }
+    }
+
+    let speedup = min_cold.as_secs_f64() / min_warm.as_secs_f64();
+    println!(
+        "corpus_sweep: cold {min_cold:.1?}, warm {min_warm:.1?}, speedup {speedup:.3}x (min {min_speedup})"
+    );
+    if speedup < min_speedup {
+        eprintln!("corpus_sweep: FAIL — cached labelling sweep below the required speedup");
+        std::process::exit(1);
+    }
+    println!("corpus_sweep: OK");
+}

@@ -16,10 +16,10 @@ pub(crate) fn decompose(g: &Dag) -> ParseTree {
             node_leaf: Vec::new(),
         };
     }
-    let closure = Closure::new(g);
+    let closure = g.closure();
     let mut b = Builder {
         n,
-        closure: &closure,
+        closure,
         clans: Vec::new(),
         node_leaf: vec![ClanId(0); n],
     };

@@ -58,7 +58,7 @@ pub enum TreeViolation {
 /// Returns all violations (empty = valid).
 pub fn check_tree(g: &Dag, tree: &ParseTree) -> Vec<TreeViolation> {
     let mut violations = Vec::new();
-    let closure = Closure::new(g);
+    let closure = g.closure();
 
     match tree.root() {
         None => {
@@ -83,7 +83,7 @@ pub fn check_tree(g: &Dag, tree: &ParseTree) -> Vec<TreeViolation> {
 
     for id in tree.clan_ids() {
         let c = tree.clan(id);
-        if !is_clan(g, &closure, &c.members) {
+        if !is_clan(g, closure, &c.members) {
             violations.push(TreeViolation::NotAClan(id.0));
         }
         match c.kind {
@@ -111,11 +111,11 @@ pub fn check_tree(g: &Dag, tree: &ParseTree) -> Vec<TreeViolation> {
                     violations.push(TreeViolation::BadPartition(id.0));
                 }
                 match kind {
-                    ClanKind::Linear if !linear_children_ordered(tree, &closure, id.0) => {
+                    ClanKind::Linear if !linear_children_ordered(tree, closure, id.0) => {
                         violations.push(TreeViolation::LinearNotOrdered(id.0));
                     }
                     ClanKind::Independent
-                        if !independent_children_parallel(tree, &closure, id.0) =>
+                        if !independent_children_parallel(tree, closure, id.0) =>
                     {
                         violations.push(TreeViolation::IndependentNotParallel(id.0));
                     }

@@ -19,7 +19,7 @@
 //! computed internally (asserted in debug builds).
 
 use crate::scheduler::Scheduler;
-use dagsched_dag::{levels, Dag, NodeId, Weight};
+use dagsched_dag::{Dag, NodeId, Weight};
 use dagsched_obs as obs;
 use dagsched_sim::evaluate::timed_schedule;
 use dagsched_sim::{Clustering, Machine, ProcId, Schedule};
@@ -41,7 +41,7 @@ pub struct Dsc;
 
 struct State<'a> {
     g: &'a Dag,
-    blevel: Vec<Weight>,
+    blevel: &'a [Weight],
     examined: Vec<bool>,
     start: Vec<Weight>,
     finish: Vec<Weight>,
@@ -60,7 +60,7 @@ impl<'a> State<'a> {
         let n = g.num_nodes();
         State {
             g,
-            blevel: levels::blevels_with_comm(g),
+            blevel: g.blevels_with_comm(),
             examined: vec![false; n],
             start: vec![0; n],
             finish: vec![0; n],

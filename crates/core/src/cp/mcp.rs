@@ -18,8 +18,7 @@
 
 use crate::listsched::PartialSchedule;
 use crate::scheduler::Scheduler;
-use dagsched_dag::closure::Closure;
-use dagsched_dag::{levels, topo, Dag, NodeId, Weight};
+use dagsched_dag::{topo, Dag, NodeId, Weight};
 use dagsched_obs as obs;
 use dagsched_sim::{Machine, ProcId, Schedule};
 
@@ -47,8 +46,8 @@ impl Mcp {
         if n == 0 {
             return Vec::new();
         }
-        let alap = levels::alap_times(g);
-        let closure = Closure::new(g);
+        let alap = g.alap_times();
+        let closure = g.closure();
         let mut lists: Vec<Vec<Weight>> = (0..n)
             .map(|v| {
                 let node = NodeId(v as u32);

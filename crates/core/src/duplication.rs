@@ -18,7 +18,7 @@
 //! DSH strictly weaker, so any advantage it shows over the non-
 //! duplicating heuristics is a lower bound.
 
-use dagsched_dag::{levels, topo, Dag, NodeId, Weight};
+use dagsched_dag::{topo, Dag, NodeId, Weight};
 use dagsched_sim::dup::DupSchedule;
 use dagsched_sim::{Machine, ProcId};
 
@@ -45,8 +45,8 @@ impl Dsh {
     /// Schedules `g` with duplication on `machine`.
     pub fn schedule(&self, g: &Dag, machine: &dyn Machine) -> DupSchedule {
         let n = g.num_nodes();
-        let priority = levels::blevels_with_comm(g);
-        let order = topo::priority_topo_order(g, &priority);
+        let priority = g.blevels_with_comm();
+        let order = topo::priority_topo_order(g, priority);
 
         let mut copies: Vec<Vec<Copy>> = vec![Vec::new(); n];
         let mut raw: Vec<Vec<(ProcId, Weight)>> = vec![Vec::new(); n];

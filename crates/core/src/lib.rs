@@ -45,6 +45,7 @@ pub mod listsched;
 pub mod meta;
 pub mod scheduler;
 pub mod serial;
+mod workspace;
 
 pub use clans_sched::Clans;
 pub use cp::dsc::{Dsc, DscFast};

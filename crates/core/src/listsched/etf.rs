@@ -7,9 +7,10 @@
 //! MH (which dispatches strictly in priority order), ETF trades
 //! O(ready × procs) work per step for better packing.
 
-use crate::listsched::PartialSchedule;
+use crate::listsched::{PartialSchedule, PendingCounters};
 use crate::scheduler::Scheduler;
-use dagsched_dag::{levels, Dag, NodeId};
+use crate::workspace;
+use dagsched_dag::Dag;
 use dagsched_sim::{Machine, Schedule};
 
 /// Earliest Task First list scheduling.
@@ -22,12 +23,11 @@ impl Scheduler for Etf {
     }
 
     fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
-        let level = levels::blevels_with_comm(g);
+        let level = g.blevels_with_comm();
         let mut ps = PartialSchedule::new(g, machine);
-        let mut pending: Vec<u32> = (0..g.num_nodes())
-            .map(|v| g.in_degree(NodeId(v as u32)) as u32)
-            .collect();
-        let mut ready: Vec<NodeId> = g.nodes().filter(|&v| pending[v.index()] == 0).collect();
+        let mut pending = PendingCounters::from_in_degrees(g);
+        let mut ready = workspace::take_nodes();
+        ready.extend(g.nodes().filter(|&v| pending[v.index()] == 0));
 
         while !ready.is_empty() {
             // Globally earliest (start, -level, index) across ready tasks.
@@ -56,6 +56,7 @@ impl Scheduler for Etf {
                 }
             }
         }
+        workspace::recycle_nodes(ready);
         ps.into_schedule()
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::listsched::{release_succs, seed_ready, PartialSchedule, ReadyQueue};
 use crate::scheduler::Scheduler;
-use dagsched_dag::{levels, Dag};
+use dagsched_dag::Dag;
 use dagsched_sim::{Machine, Schedule};
 
 /// Highest Level First with Estimated Times.
@@ -22,14 +22,14 @@ impl Scheduler for Hlfet {
     }
 
     fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
-        let priority = levels::blevels_computation(g);
+        let priority = g.blevels_computation();
         let mut ps = PartialSchedule::new(g, machine);
         let mut queue = ReadyQueue::new();
-        let mut pending = seed_ready(g, &priority, &mut queue);
+        let mut pending = seed_ready(g, priority, &mut queue);
         while let Some(t) = queue.pop() {
             let (p, st, _) = ps.best_placement(t);
             ps.place(t, p, st);
-            release_succs(g, t, &mut pending, &priority, &mut queue);
+            release_succs(g, t, &mut pending, priority, &mut queue);
         }
         ps.into_schedule()
     }

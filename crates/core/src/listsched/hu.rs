@@ -24,10 +24,12 @@
 
 use crate::listsched::{release_succs, seed_ready, ReadyQueue};
 use crate::scheduler::Scheduler;
-use dagsched_dag::{levels, Dag, NodeId, Weight};
+use crate::workspace;
+use dagsched_dag::Dag;
 use dagsched_obs as obs;
 use dagsched_sim::evaluate::timed_schedule;
 use dagsched_sim::{Machine, ProcId, Schedule};
+use std::cmp::Reverse;
 
 /// Hu's communication-oblivious list scheduler.
 #[derive(Debug, Clone, Copy, Default)]
@@ -41,17 +43,23 @@ impl Scheduler for Hu {
     fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
         let _span = obs::span!("hu.dispatch");
         let n = g.num_nodes();
-        let priority = levels::blevels_computation(g);
+        let priority = g.blevels_computation();
         obs::counter_add("hu.priority_computed", n as u64);
 
         // Phase 1: classical (no-communication) list scheduling to fix
         // the assignment and per-processor order.
         let mut queue = ReadyQueue::new();
-        let mut pending = seed_ready(g, &priority, &mut queue);
-        let mut proc_avail: Vec<Weight> = Vec::new();
-        let mut orders: Vec<Vec<NodeId>> = Vec::new();
-        let mut assignment: Vec<ProcId> = vec![ProcId(0); n];
-        let mut finish_nc: Vec<Weight> = vec![0; n]; // no-comm finish times
+        let mut pending = seed_ready(g, priority, &mut queue);
+        let mut proc_avail = workspace::take_weights(0, 0);
+        let mut orders = workspace::take_orders();
+        let mut assignment = workspace::take_procs(n, ProcId(0));
+        let mut finish_nc = workspace::take_weights(n, 0); // no-comm finish times
+                                                           // Min-heap over `(avail, proc)` with lazy invalidation: an
+                                                           // entry is live iff its stored avail still matches
+                                                           // `proc_avail`, so the top (after skimming stale entries) is
+                                                           // exactly `min_by_key((avail, index))` without an O(procs)
+                                                           // scan per dispatch.
+        let mut avail_heap = workspace::take_event_heap();
         let can_open = |procs: usize| machine.max_procs().is_none_or(|b| procs < b);
 
         while let Some(t) = queue.pop() {
@@ -66,18 +74,22 @@ impl Scheduler for Hu {
                 .unwrap_or(0);
             // Earliest no-comm start per processor is max(avail, ready);
             // the minimum over processors is attained by the least
-            // loaded one.
-            let best_existing = proc_avail
-                .iter()
-                .enumerate()
-                .min_by_key(|&(i, &a)| (a, i))
-                .map(|(i, &a)| (i, a.max(ready)));
+            // loaded one (ties toward the lowest id).
+            while let Some(&Reverse((a, i))) = avail_heap.peek() {
+                if proc_avail[i as usize] == a {
+                    break;
+                }
+                avail_heap.pop();
+            }
+            let best_existing = avail_heap
+                .peek()
+                .map(|&Reverse((a, i))| (i as usize, a.max(ready)));
             let (proc, start) = match best_existing {
                 Some((i, st)) if st <= ready || !can_open(proc_avail.len()) => (i, st),
                 _ => {
                     // No idle processor at `ready` and we may open one.
                     proc_avail.push(0);
-                    orders.push(Vec::new());
+                    workspace::push_order_row(&mut orders);
                     (proc_avail.len() - 1, ready)
                 }
             };
@@ -85,12 +97,19 @@ impl Scheduler for Hu {
             orders[proc].push(t);
             finish_nc[t.index()] = start + g.node_weight(t);
             proc_avail[proc] = finish_nc[t.index()];
-            release_succs(g, t, &mut pending, &priority, &mut queue);
+            avail_heap.push(Reverse((proc_avail[proc], proc as u32)));
+            release_succs(g, t, &mut pending, priority, &mut queue);
         }
 
         // Phase 2: cost the fixed decisions under the real model.
-        timed_schedule(g, machine, &assignment, &orders)
-            .expect("orders derived from a topological dispatch cannot deadlock")
+        let schedule = timed_schedule(g, machine, &assignment, &orders)
+            .expect("orders derived from a topological dispatch cannot deadlock");
+        workspace::recycle_weights(proc_avail);
+        workspace::recycle_weights(finish_nc);
+        workspace::recycle_procs(assignment);
+        workspace::recycle_orders(orders);
+        workspace::recycle_event_heap(avail_heap);
+        schedule
     }
 }
 

@@ -25,11 +25,11 @@
 
 use crate::listsched::{seed_ready, PartialSchedule, ReadyQueue};
 use crate::scheduler::Scheduler;
-use dagsched_dag::{levels, Dag, NodeId, Weight};
+use crate::workspace;
+use dagsched_dag::{Dag, NodeId};
 use dagsched_obs as obs;
 use dagsched_sim::{Machine, Schedule};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// The Mapping Heuristic (comm- and topology-aware, event-driven list
 /// scheduling).
@@ -43,13 +43,13 @@ impl Scheduler for Mh {
 
     fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
         let _span = obs::span!("mh.dispatch");
-        let priority = levels::blevels_with_comm(g);
+        let priority = g.blevels_with_comm();
         obs::counter_add("mh.priority_computed", g.num_nodes() as u64);
         let mut ps = PartialSchedule::new(g, machine);
         let mut free = ReadyQueue::new();
-        let mut pending = seed_ready(g, &priority, &mut free);
+        let mut pending = seed_ready(g, priority, &mut free);
         // Completion events: (finish time, task).
-        let mut events: BinaryHeap<Reverse<(Weight, u32)>> = BinaryHeap::new();
+        let mut events = workspace::take_event_heap();
 
         loop {
             // The free-list length at each dispatch wave is the
@@ -81,6 +81,7 @@ impl Scheduler for Mh {
                 }
             }
         }
+        workspace::recycle_event_heap(events);
         ps.into_schedule()
     }
 }

@@ -22,11 +22,14 @@ pub mod hlfet;
 pub mod hu;
 pub mod mh;
 
+use crate::workspace;
+pub(crate) use crate::workspace::PendingCounters;
 use dagsched_dag::{Dag, NodeId, Weight};
 use dagsched_sim::{Machine, ProcId, Schedule};
 
 /// An in-progress comm-aware schedule: grown one placement at a time,
-/// frozen into a [`Schedule`] at the end.
+/// frozen into a [`Schedule`] at the end. Scratch tables come from
+/// the thread's [`workspace`] pool and are recycled on drop.
 pub(crate) struct PartialSchedule<'a> {
     g: &'a Dag,
     machine: &'a dyn Machine,
@@ -43,10 +46,10 @@ impl<'a> PartialSchedule<'a> {
         Self {
             g,
             machine,
-            proc_avail: Vec::new(),
-            proc_of: vec![None; n],
-            start: vec![0; n],
-            finish: vec![0; n],
+            proc_avail: workspace::take_weights(0, 0),
+            proc_of: workspace::take_proc_opts(n),
+            start: workspace::take_weights(n, 0),
+            finish: workspace::take_weights(n, 0),
             placed: 0,
         }
     }
@@ -150,6 +153,7 @@ impl<'a> PartialSchedule<'a> {
     }
 
     /// Freezes into a [`Schedule`]. Panics if any task is unplaced.
+    /// (The scratch tables go back to the pool when `self` drops.)
     pub(crate) fn into_schedule(self) -> Schedule {
         assert_eq!(self.placed, self.g.num_nodes(), "all tasks must be placed");
         let raw: Vec<(ProcId, Weight)> = self
@@ -162,8 +166,18 @@ impl<'a> PartialSchedule<'a> {
     }
 }
 
+impl Drop for PartialSchedule<'_> {
+    fn drop(&mut self) {
+        workspace::recycle_weights(std::mem::take(&mut self.proc_avail));
+        workspace::recycle_weights(std::mem::take(&mut self.start));
+        workspace::recycle_weights(std::mem::take(&mut self.finish));
+        workspace::recycle_proc_opts(std::mem::take(&mut self.proc_of));
+    }
+}
+
 /// A lazily keyed max-heap of ready tasks: pushes carry the priority,
-/// ties break toward the smaller node index for determinism.
+/// ties break toward the smaller node index for determinism. The heap
+/// storage is pooled and recycled on drop.
 pub(crate) struct ReadyQueue {
     heap: std::collections::BinaryHeap<(Weight, std::cmp::Reverse<u32>)>,
 }
@@ -171,7 +185,7 @@ pub(crate) struct ReadyQueue {
 impl ReadyQueue {
     pub(crate) fn new() -> Self {
         Self {
-            heap: std::collections::BinaryHeap::new(),
+            heap: workspace::take_ready_heap(),
         }
     }
 
@@ -194,12 +208,16 @@ impl ReadyQueue {
     }
 }
 
+impl Drop for ReadyQueue {
+    fn drop(&mut self) {
+        workspace::recycle_ready_heap(std::mem::take(&mut self.heap));
+    }
+}
+
 /// Seeds a ready queue with the sources of `g` and returns the
 /// remaining in-degree counters used to release successors.
-pub(crate) fn seed_ready(g: &Dag, priority: &[Weight], queue: &mut ReadyQueue) -> Vec<u32> {
-    let pending: Vec<u32> = (0..g.num_nodes())
-        .map(|v| g.in_degree(NodeId(v as u32)) as u32)
-        .collect();
+pub(crate) fn seed_ready(g: &Dag, priority: &[Weight], queue: &mut ReadyQueue) -> PendingCounters {
+    let pending = PendingCounters::from_in_degrees(g);
     for v in g.nodes() {
         if pending[v.index()] == 0 {
             queue.push(v, priority[v.index()]);

@@ -1,0 +1,249 @@
+//! Reusable scheduler scratch buffers (the per-thread `Workspace`).
+//!
+//! Every list-scheduler run needs the same transient storage: ready
+//! queues, pending-predecessor counters, per-processor timelines and
+//! per-node start/finish tables. Allocating them afresh for each of
+//! the corpus's thousands of (graph, heuristic) runs puts the
+//! allocator on the hot path; this module keeps one pool of recycled
+//! buffers per worker thread instead, so steady-state corpus sweeps
+//! run allocation-free in the dispatch loops.
+//!
+//! Design:
+//!
+//! * The pool is a **stack per buffer shape** — `take_*` pops a
+//!   recycled buffer (or allocates the first time) and `recycle_*`
+//!   clears and pushes it back. A stack discipline is naturally
+//!   re-entrant: CLANS scheduling a quotient graph through MH simply
+//!   pops a second set of buffers.
+//! * Recycling is wired into `Drop` where a clear owner exists
+//!   ([`PendingCounters`], the listsched `PartialSchedule` and
+//!   `ReadyQueue`), and explicit elsewhere. A buffer dropped without
+//!   recycling (panic unwinds, …) is simply deallocated — the pool is
+//!   an optimization, never a correctness dependency.
+//! * Buffers are cleared *on recycle* and refilled by `take_*`, so a
+//!   pooled buffer is indistinguishable from a fresh allocation;
+//!   schedules are byte-identical either way (locked by the
+//!   differential suite in `tests/analysis_cache.rs`).
+
+use dagsched_dag::{NodeId, Weight};
+use dagsched_sim::ProcId;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::ops::{Deref, DerefMut};
+
+/// One worker thread's stacks of recycled buffers.
+#[derive(Default)]
+struct Pool {
+    weights: Vec<Vec<Weight>>,
+    counts: Vec<Vec<u32>>,
+    proc_opts: Vec<Vec<Option<ProcId>>>,
+    procs: Vec<Vec<ProcId>>,
+    ready: Vec<Vec<(Weight, Reverse<u32>)>>,
+    events: Vec<Vec<Reverse<(Weight, u32)>>>,
+    nodes: Vec<Vec<NodeId>>,
+    orders: Vec<Vec<Vec<NodeId>>>,
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool::default());
+}
+
+fn with_pool<R>(f: impl FnOnce(&mut Pool) -> R) -> R {
+    POOL.with(|p| f(&mut p.borrow_mut()))
+}
+
+/// A `Weight` table of length `len`, every slot `fill`.
+pub(crate) fn take_weights(len: usize, fill: Weight) -> Vec<Weight> {
+    let mut v = with_pool(|p| p.weights.pop()).unwrap_or_default();
+    v.resize(len, fill);
+    debug_assert!(v.iter().all(|&w| w == fill));
+    v
+}
+
+pub(crate) fn recycle_weights(mut v: Vec<Weight>) {
+    v.clear();
+    with_pool(|p| p.weights.push(v));
+}
+
+/// An empty `u32` counter buffer (capacity recycled).
+pub(crate) fn take_counts() -> Vec<u32> {
+    with_pool(|p| p.counts.pop()).unwrap_or_default()
+}
+
+pub(crate) fn recycle_counts(mut v: Vec<u32>) {
+    v.clear();
+    with_pool(|p| p.counts.push(v));
+}
+
+/// A `proc_of` table of length `len`, every slot `None`.
+pub(crate) fn take_proc_opts(len: usize) -> Vec<Option<ProcId>> {
+    let mut v = with_pool(|p| p.proc_opts.pop()).unwrap_or_default();
+    v.resize(len, None);
+    v
+}
+
+pub(crate) fn recycle_proc_opts(mut v: Vec<Option<ProcId>>) {
+    v.clear();
+    with_pool(|p| p.proc_opts.push(v));
+}
+
+/// A `ProcId` table of length `len`, every slot `fill`.
+pub(crate) fn take_procs(len: usize, fill: ProcId) -> Vec<ProcId> {
+    let mut v = with_pool(|p| p.procs.pop()).unwrap_or_default();
+    v.resize(len, fill);
+    v
+}
+
+pub(crate) fn recycle_procs(mut v: Vec<ProcId>) {
+    v.clear();
+    with_pool(|p| p.procs.push(v));
+}
+
+/// An empty max-heap for `(priority, Reverse(node))` ready entries.
+pub(crate) fn take_ready_heap() -> BinaryHeap<(Weight, Reverse<u32>)> {
+    BinaryHeap::from(with_pool(|p| p.ready.pop()).unwrap_or_default())
+}
+
+pub(crate) fn recycle_ready_heap(h: BinaryHeap<(Weight, Reverse<u32>)>) {
+    let mut v = h.into_vec();
+    v.clear();
+    with_pool(|p| p.ready.push(v));
+}
+
+/// An empty min-heap for `Reverse((time, id))` entries (completion
+/// events, processor availability).
+pub(crate) fn take_event_heap() -> BinaryHeap<Reverse<(Weight, u32)>> {
+    BinaryHeap::from(with_pool(|p| p.events.pop()).unwrap_or_default())
+}
+
+pub(crate) fn recycle_event_heap(h: BinaryHeap<Reverse<(Weight, u32)>>) {
+    let mut v = h.into_vec();
+    v.clear();
+    with_pool(|p| p.events.push(v));
+}
+
+/// An empty node list (ready lists, dispatch orders).
+pub(crate) fn take_nodes() -> Vec<NodeId> {
+    with_pool(|p| p.nodes.pop()).unwrap_or_default()
+}
+
+pub(crate) fn recycle_nodes(mut v: Vec<NodeId>) {
+    v.clear();
+    with_pool(|p| p.nodes.push(v));
+}
+
+/// An empty list of per-processor execution orders. The inner lists
+/// are pooled too (see [`recycle_orders`]).
+pub(crate) fn take_orders() -> Vec<Vec<NodeId>> {
+    with_pool(|p| p.orders.pop()).unwrap_or_default()
+}
+
+pub(crate) fn recycle_orders(mut v: Vec<Vec<NodeId>>) {
+    with_pool(|p| {
+        for mut inner in v.drain(..) {
+            inner.clear();
+            p.nodes.push(inner);
+        }
+        p.orders.push(v);
+    });
+}
+
+/// Grows `orders` by one pooled per-processor list.
+pub(crate) fn push_order_row(orders: &mut Vec<Vec<NodeId>>) {
+    orders.push(take_nodes());
+}
+
+/// Remaining-predecessor counters, recycled on drop. Derefs to the
+/// underlying `[u32]` so index updates read like a plain vector.
+pub(crate) struct PendingCounters(Vec<u32>);
+
+impl PendingCounters {
+    pub(crate) fn from_in_degrees(g: &dagsched_dag::Dag) -> Self {
+        let mut v = take_counts();
+        v.extend((0..g.num_nodes()).map(|i| g.in_degree(NodeId(i as u32)) as u32));
+        PendingCounters(v)
+    }
+}
+
+impl Deref for PendingCounters {
+    type Target = [u32];
+    fn deref(&self) -> &[u32] {
+        &self.0
+    }
+}
+
+impl DerefMut for PendingCounters {
+    fn deref_mut(&mut self) -> &mut [u32] {
+        &mut self.0
+    }
+}
+
+impl Drop for PendingCounters {
+    fn drop(&mut self) {
+        recycle_counts(std::mem::take(&mut self.0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_refills_and_reuses_capacity() {
+        let mut v = take_weights(4, 7);
+        assert_eq!(v, vec![7, 7, 7, 7]);
+        v[0] = 99;
+        let cap = v.capacity();
+        recycle_weights(v);
+        // The recycled allocation comes back cleared and refilled.
+        let v2 = take_weights(3, 0);
+        assert_eq!(v2, vec![0, 0, 0]);
+        assert!(v2.capacity() >= cap.min(3));
+        recycle_weights(v2);
+    }
+
+    #[test]
+    fn pool_is_a_stack_so_nested_takes_are_independent() {
+        let a = take_weights(2, 1);
+        let b = take_weights(2, 2); // nested (re-entrant) take
+        assert_eq!(a, vec![1, 1]);
+        assert_eq!(b, vec![2, 2]);
+        recycle_weights(a);
+        recycle_weights(b);
+    }
+
+    #[test]
+    fn heaps_come_back_empty() {
+        let mut h = take_ready_heap();
+        h.push((5, Reverse(1)));
+        recycle_ready_heap(h);
+        let h2 = take_ready_heap();
+        assert!(h2.is_empty());
+        recycle_ready_heap(h2);
+    }
+
+    #[test]
+    fn orders_recycle_inner_lists() {
+        let mut orders = take_orders();
+        push_order_row(&mut orders);
+        push_order_row(&mut orders);
+        orders[0].push(NodeId(3));
+        recycle_orders(orders);
+        let again = take_orders();
+        assert!(again.is_empty());
+        recycle_orders(again);
+        let node_buf = take_nodes();
+        assert!(node_buf.is_empty());
+        recycle_nodes(node_buf);
+    }
+
+    #[test]
+    fn pending_counters_track_in_degrees() {
+        let g = crate::fixtures::fig16();
+        let mut pending = PendingCounters::from_in_degrees(&g);
+        assert_eq!(&pending[..], &[0, 1, 1, 1, 2]);
+        pending[4] -= 1;
+        assert_eq!(pending[4], 1);
+    }
+}

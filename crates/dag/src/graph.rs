@@ -243,6 +243,7 @@ impl DagBuilder {
             succ_adj,
             pred_adj,
             topo: Vec::new(),
+            analysis: Default::default(),
         };
 
         // Kahn's algorithm both validates acyclicity and produces the
@@ -258,7 +259,12 @@ impl DagBuilder {
 ///
 /// Nodes are `0..num_nodes()`, edges `0..num_edges()`. A canonical
 /// topological order is computed at build time and exposed through
-/// [`Dag::topo_order`].
+/// [`Dag::topo_order`]. Path labellings (b-levels, ALAP times, the
+/// transitive closure, …) are memoized per graph in a
+/// [`DagAnalysis`](crate::analysis::DagAnalysis) bundle — see the
+/// accessor methods defined in [`analysis`](crate::analysis). The
+/// cache never participates in `Clone` (clones start cold) or
+/// equality.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Dag {
     node_weights: Vec<Weight>,
@@ -268,6 +274,7 @@ pub struct Dag {
     succ_adj: Vec<EdgeId>,
     pred_adj: Vec<EdgeId>,
     topo: Vec<NodeId>,
+    pub(crate) analysis: crate::analysis::DagAnalysis,
 }
 
 impl Dag {

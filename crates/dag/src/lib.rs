@@ -19,6 +19,9 @@
 //!   three-valued node [`closure::Relation`];
 //! * [`levels`] — b-levels, t-levels, ALAP times and critical paths,
 //!   with and without communication costs;
+//! * [`analysis`] — the per-graph cache memoizing those labellings
+//!   (and the closure) behind accessor methods on [`Dag`], so a graph
+//!   scheduled by several heuristics computes each at most once;
 //! * [`metrics`] — the paper's graph classification metrics
 //!   (granularity, anchor out-degree, node weight range) and basic
 //!   statistics;
@@ -50,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod bitset;
 pub mod closure;
 pub mod compose;

@@ -100,7 +100,7 @@ pub fn with_virtual_terminals(g: &Dag) -> Augmented {
 /// its communication cost — so this is a structural tool (generator
 /// cleanup, visualization), not a scheduling transform.
 pub fn transitive_reduction(g: &Dag) -> Dag {
-    let closure = crate::closure::Closure::new(g);
+    let closure = g.closure();
     let mut b = DagBuilder::with_capacity(g.num_nodes(), g.num_edges());
     for &w in g.node_weights() {
         b.add_node(w);

@@ -189,7 +189,7 @@ pub fn render_appendix_example() -> String {
         out,
         "graph: 5 tasks (weights 10,20,30,40,50), serial time {}, CP {}\n",
         g.serial_time(),
-        dagsched_dag::levels::critical_path_len(&g)
+        g.critical_path_len()
     )
     .unwrap();
     for h in paper_heuristics() {

@@ -493,6 +493,34 @@ mod tests {
     }
 
     #[test]
+    fn boundary_granularity_classifies_into_the_upper_band() {
+        // §3.1's bands are half-open `[lo, hi)`: a measured granularity
+        // landing exactly on 0.08 / 0.2 / 0.8 / 2.0 belongs to the
+        // upper band, and to exactly one band — so no corpus graph can
+        // be double-counted or dropped by the table row predicates.
+        use dagsched_dag::metrics::granularity;
+        use dagsched_gen::pdg::from_lists;
+        for (w, e, band) in [
+            (2u64, 25u64, GranularityBand::Fine), // G = 0.08 exactly
+            (1, 5, GranularityBand::Medium),      // G = 0.2
+            (4, 5, GranularityBand::Coarse),      // G = 0.8
+            (2, 1, GranularityBand::VeryCoarse),  // G = 2.0
+        ] {
+            // One non-sink node of weight `w` with a single out-edge of
+            // weight `e`: measured granularity is exactly w / e.
+            let g = from_lists(&[w, 1], &[(0, 1, e)]).unwrap();
+            let gran = granularity(&g);
+            assert_eq!((w as f64) / (e as f64), gran);
+            assert_eq!(GranularityBand::classify(gran), Some(band), "w={w} e={e}");
+            let hits = GranularityBand::ALL
+                .iter()
+                .filter(|b| b.contains(gran))
+                .count();
+            assert_eq!(hits, 1, "G = {gran} must land in exactly one band");
+        }
+    }
+
+    #[test]
     fn clans_column_of_table2_is_all_zeros() {
         let results = small_results();
         let t = table2(&results);

@@ -74,6 +74,12 @@ pub struct TracedCorpusRun {
     pub results: Vec<GraphResult>,
     /// Per-graph, per-heuristic traced runs, parallel to `results`.
     pub runs: Vec<Vec<TracedRun>>,
+    /// Per-graph stats of the one-time `DagAnalysis` warm-up (the
+    /// `dag.analysis.*` counters), parallel to `results`. Harvested in
+    /// a scope of their own — deliberately *not* part of any run's
+    /// [`RunRecord`], so traces stay identical whether a graph's cache
+    /// was cold or warm when the sweep reached it.
+    pub analysis: Vec<obs::RunStats>,
     /// Fault-isolation report when the run was harnessed.
     pub robustness: Option<RobustnessStats>,
 }
@@ -125,9 +131,11 @@ pub fn run_corpus_traced(
     };
     let mut results = Vec::with_capacity(per_graph.len());
     let mut runs = Vec::with_capacity(per_graph.len());
-    for (result, traced) in per_graph {
+    let mut analysis = Vec::with_capacity(per_graph.len());
+    for (result, traced, warm) in per_graph {
         results.push(result);
         runs.push(traced);
+        analysis.push(warm);
     }
     let robustness = robust_names.map(|names| {
         let mut tallies = new_tallies(&names, corpus.len());
@@ -145,6 +153,7 @@ pub fn run_corpus_traced(
     TracedCorpusRun {
         results,
         runs,
+        analysis,
         robustness,
     }
 }
@@ -153,8 +162,16 @@ fn evaluate_graph_traced(
     entry: &CorpusEntry,
     pool: &Pool,
     machine: &Arc<dyn Machine>,
-) -> (GraphResult, Vec<TracedRun>) {
+) -> (GraphResult, Vec<TracedRun>, obs::RunStats) {
     let g = &entry.graph;
+    // Materialize the graph's DagAnalysis cache exactly once, in a
+    // scope of its own: every heuristic below then reads the shared
+    // labellings, and no per-run scope ever records a top-level
+    // `dag.analysis.*` counter — which keeps the emitted trace
+    // independent of cache temperature.
+    let warm_scope = obs::run_scope();
+    g.warm_analysis();
+    let warm_stats = warm_scope.finish();
     let count = match pool {
         Pool::Trusted(hs) => hs.len(),
         Pool::Robust(ws) => ws.len(),
@@ -196,7 +213,7 @@ fn evaluate_graph_traced(
         granularity: entry.granularity,
         outcomes: finish_outcomes(partial),
     };
-    (result, traced)
+    (result, traced, warm_stats)
 }
 
 /// Builds the telemetry record of one traced run.

@@ -163,6 +163,13 @@ impl RobustScheduler {
     /// attempt survives containment, validation and (when configured)
     /// the watchdog deadline; synthesize a [`serial_placement`] if
     /// none does.
+    ///
+    /// Every chain entry schedules the same `&Dag`, so the graph's
+    /// `DagAnalysis` labelling cache is shared down the whole fallback
+    /// chain — a fallback never recomputes what the faulted primary
+    /// already materialized. (The watchdog path below is the one
+    /// exception: it must own its input, and `Dag`'s `Clone` starts
+    /// with a cold cache.)
     pub fn run(&self, g: &Dag, machine: &Arc<dyn Machine>) -> RunOutcome {
         match self.config.time_budget {
             // The watchdog needs owned inputs it can move to (and
@@ -532,6 +539,25 @@ mod tests {
                     m.name()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn serial_placement_reports_unit_speedup_and_efficiency() {
+        // The last-resort fallback uses exactly one processor and no
+        // idle gaps, so its measures are speedup = efficiency = 1.0 —
+        // the convention §4 expects for serial schedules.
+        let mut b = DagBuilder::new();
+        let a = b.add_node(30);
+        let c = b.add_node(70);
+        b.add_edge(a, c, 500).unwrap();
+        for g in [fig16(), b.build().unwrap()] {
+            let s = serial_placement(&g);
+            let m = dagsched_sim::metrics::measures(&g, &s);
+            assert_eq!(m.procs, 1);
+            assert_eq!(m.parallel_time, g.serial_time());
+            assert_eq!(m.speedup, 1.0);
+            assert_eq!(m.efficiency, 1.0);
         }
     }
 

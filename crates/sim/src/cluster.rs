@@ -9,7 +9,7 @@
 use crate::evaluate::{timed_schedule_by_priority, EvalError};
 use crate::machine::{Machine, ProcId};
 use crate::schedule::Schedule;
-use dagsched_dag::{levels, Dag, NodeId};
+use dagsched_dag::{Dag, NodeId};
 
 /// A partition of the tasks of a [`Dag`] into clusters.
 ///
@@ -193,8 +193,8 @@ impl Clustering {
             let next = dense.len() as u32;
             assignment.push(ProcId(*dense.entry(*c).or_insert(next)));
         }
-        let priority = levels::blevels_with_comm(g);
-        timed_schedule_by_priority(g, machine, &assignment, &priority)
+        let priority = g.blevels_with_comm();
+        timed_schedule_by_priority(g, machine, &assignment, priority)
     }
 }
 

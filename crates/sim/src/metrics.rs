@@ -125,6 +125,41 @@ mod tests {
     }
 
     #[test]
+    fn efficiency_divides_by_processors_used() {
+        // Sparse input ids {0, 5} densify to two processors: the
+        // efficiency denominator is the count of processors *used*,
+        // never the highest raw id.
+        use crate::machine::ProcId;
+        use crate::schedule::Schedule;
+        let mut b = DagBuilder::new();
+        b.add_node(50);
+        b.add_node(50);
+        let g = b.build().unwrap();
+        let s = Schedule::new(&g, vec![(ProcId(0), 0), (ProcId(5), 0)]);
+        let m = measures(&g, &s);
+        assert_eq!(m.procs, 2);
+        assert_eq!(m.speedup, 2.0);
+        assert_eq!(m.efficiency, 1.0);
+    }
+
+    #[test]
+    fn single_processor_schedule_has_efficiency_equal_speedup() {
+        // On one processor speedup = efficiency exactly — the serial
+        // fallback convention (speedup = efficiency = 1.0) is a
+        // special case of this, not a hardcoded constant.
+        let mut b = DagBuilder::new();
+        let a = b.add_node(30);
+        let c = b.add_node(70);
+        b.add_edge(a, c, 999).unwrap();
+        let g = b.build().unwrap();
+        let s = Clustering::serial(2).materialize(&g, &Clique).unwrap();
+        let m = measures(&g, &s);
+        assert_eq!(m.procs, 1);
+        assert_eq!(m.speedup, 1.0);
+        assert_eq!(m.efficiency, m.speedup);
+    }
+
+    #[test]
     fn measures_of_parallel_schedule() {
         // Two independent tasks split across two processors.
         let mut b = DagBuilder::new();

@@ -1,0 +1,164 @@
+//! Differential suite for the `DagAnalysis` cache: every heuristic
+//! must emit a byte-identical schedule whether it runs against a cold
+//! graph (fresh clone, labellings recomputed from scratch) or a warm
+//! one (all labellings pre-materialized by [`Dag::warm_analysis`] and
+//! shared across heuristics) — over the torture corpus and a
+//! 100-graph random sample.
+//!
+//! This is the safety net behind the cache refactor: the accessors on
+//! `Dag` may only ever *memoize* the `levels`/`Closure` reference
+//! computations, never change their results.
+
+use dagsched::core::{all_heuristics, paper_heuristics};
+use dagsched::dag::closure::Closure;
+use dagsched::dag::{levels, Dag};
+use dagsched::experiments::corpus::{generate_corpus, CorpusSpec};
+use dagsched::gen::torture_corpus;
+use dagsched::sim::{validate, Clique, Schedule};
+
+/// The 100-graph random sample: small nodes so the full differential
+/// sweep stays in test-suite time, everything else at paper defaults.
+fn random_sample() -> Vec<Dag> {
+    let spec = CorpusSpec {
+        graphs_per_set: 2,
+        nodes: 12..=24,
+        ..Default::default()
+    };
+    generate_corpus(&spec)
+        .into_iter()
+        .map(|e| e.graph)
+        .take(100)
+        .collect()
+}
+
+/// Schedules `g` with every heuristic in the registry `make`, cold:
+/// each heuristic gets its own fresh clone (clones start with an
+/// empty cache), so every labelling is recomputed per heuristic —
+/// exactly the seed behaviour before the cache existed.
+fn cold_schedules(g: &Dag, names: &mut Vec<&'static str>) -> Vec<Schedule> {
+    all_heuristics()
+        .into_iter()
+        .map(|h| {
+            names.push(h.name());
+            let fresh = g.clone();
+            h.schedule(&fresh, &Clique)
+        })
+        .collect()
+}
+
+/// Schedules `g` with every heuristic against ONE shared, pre-warmed
+/// graph: all labellings come out of the cache.
+fn warm_schedules(g: &Dag) -> Vec<Schedule> {
+    g.warm_analysis();
+    all_heuristics()
+        .into_iter()
+        .map(|h| h.schedule(g, &Clique))
+        .collect()
+}
+
+#[test]
+fn cached_schedules_match_uncached_on_the_torture_corpus() {
+    for case in torture_corpus() {
+        let mut names = Vec::new();
+        let cold = cold_schedules(&case.graph, &mut names);
+        let warm = warm_schedules(&case.graph);
+        for ((name, c), w) in names.iter().zip(&cold).zip(&warm) {
+            assert_eq!(c, w, "{name} diverged on torture case {}", case.name);
+            assert!(validate::is_valid(&case.graph, &Clique, w));
+        }
+    }
+}
+
+#[test]
+fn cached_schedules_match_uncached_on_a_random_sample() {
+    let sample = random_sample();
+    assert_eq!(sample.len(), 100, "sample size is part of the contract");
+    for (i, g) in sample.iter().enumerate() {
+        let mut names = Vec::new();
+        let cold = cold_schedules(g, &mut names);
+        let warm = warm_schedules(g);
+        for ((name, c), w) in names.iter().zip(&cold).zip(&warm) {
+            assert_eq!(c, w, "{name} diverged on sample graph {i}");
+        }
+    }
+}
+
+#[test]
+fn warm_order_does_not_leak_between_heuristics() {
+    // Run the five paper heuristics twice over the SAME warm graph in
+    // opposite orders: cached state must be order-independent.
+    for g in random_sample().into_iter().step_by(20) {
+        g.warm_analysis();
+        let forward: Vec<Schedule> = paper_heuristics()
+            .into_iter()
+            .map(|h| h.schedule(&g, &Clique))
+            .collect();
+        let mut backward: Vec<Schedule> = paper_heuristics()
+            .into_iter()
+            .rev()
+            .map(|h| h.schedule(&g, &Clique))
+            .collect();
+        backward.reverse();
+        assert_eq!(forward, backward);
+    }
+}
+
+#[test]
+fn cached_labellings_equal_the_reference_functions() {
+    // The accessors memoize the `levels` free functions and `Closure`
+    // — spot-check value equality and memoization (stable addresses)
+    // on a slice of the sample plus the adversarial extremes.
+    let mut graphs: Vec<Dag> = random_sample().into_iter().step_by(10).collect();
+    graphs.extend(torture_corpus().into_iter().map(|c| c.graph));
+    for g in &graphs {
+        assert_eq!(g.blevels_with_comm(), levels::blevels_with_comm(g));
+        assert_eq!(g.blevels_computation(), levels::blevels_computation(g));
+        assert_eq!(g.tlevels_with_comm(), levels::tlevels_with_comm(g));
+        assert_eq!(g.tlevels_computation(), levels::tlevels_computation(g));
+        assert_eq!(g.alap_times(), levels::alap_times(g));
+        assert_eq!(g.slacks(), levels::slacks(g));
+        assert_eq!(g.critical_path(), levels::critical_path(g));
+        assert_eq!(g.critical_path_len(), levels::critical_path_len(g));
+        assert_eq!(
+            g.critical_path_len_computation(),
+            levels::critical_path_len_computation(g)
+        );
+        // Closure has no cheap Eq; compare reachability on a few pairs.
+        let reference = Closure::new(g);
+        let cached = g.closure();
+        for u in g.nodes().step_by(7) {
+            for v in g.nodes().step_by(5) {
+                assert_eq!(cached.reaches(u, v), reference.reaches(u, v));
+            }
+        }
+        // Second call returns the same allocation: the cache hit path.
+        assert!(std::ptr::eq(g.blevels_with_comm(), g.blevels_with_comm()));
+        assert!(std::ptr::eq(g.closure(), g.closure()));
+    }
+}
+
+#[test]
+fn clones_start_cold_and_converge_to_the_same_values() {
+    let g = random_sample().into_iter().next().unwrap();
+    g.warm_analysis();
+    assert!(!g.warm_labellings().is_empty());
+    let clone = g.clone();
+    assert!(
+        clone.warm_labellings().is_empty(),
+        "clones must not share cache state"
+    );
+    assert_eq!(clone.blevels_with_comm(), g.blevels_with_comm());
+    assert_eq!(clone.critical_path_len(), g.critical_path_len());
+}
+
+#[test]
+fn empty_graph_analysis_is_well_defined() {
+    let g = dagsched::dag::DagBuilder::new().build().unwrap();
+    g.warm_analysis();
+    assert!(g.blevels_with_comm().is_empty());
+    assert!(g.critical_path().is_empty());
+    assert_eq!(g.critical_path_len(), 0);
+    for h in all_heuristics() {
+        assert_eq!(h.schedule(&g, &Clique).makespan(), 0);
+    }
+}

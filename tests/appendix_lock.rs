@@ -63,3 +63,19 @@ fn hu_and_sarkar_agree_on_the_cluster_but_not_the_path() {
     let sarkar = dagsched::core::Sarkar.schedule(&g, &Clique);
     assert_eq!(hu.makespan(), sarkar.makespan());
 }
+
+#[test]
+fn corpus_weight_range_defaults_follow_section_3_3() {
+    // §3.3 draws node weights from 20–100 / 20–200 / 20–400; Table 1's
+    // conflicting 10–x listing stays a documented, explicit opt-in.
+    use dagsched::experiments::corpus::CorpusSpec;
+    use dagsched::gen::WeightRange;
+    let spec = CorpusSpec::default();
+    assert_eq!(spec.weight_ranges, WeightRange::PAPER);
+    assert_eq!(WeightRange::PAPER[0], WeightRange::new(20, 100));
+    assert_eq!(WeightRange::PAPER[1], WeightRange::new(20, 200));
+    assert_eq!(WeightRange::PAPER[2], WeightRange::new(20, 400));
+    assert_ne!(WeightRange::TABLE1, WeightRange::PAPER);
+    assert_eq!(WeightRange::TABLE1[0], WeightRange::new(10, 100));
+    assert_eq!(WeightRange::TABLE1[2], WeightRange::new(10, 300));
+}

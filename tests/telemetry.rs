@@ -126,6 +126,73 @@ fn identical_seeded_runs_trace_identically_modulo_timing() {
     assert!(a.lines().count() > 60);
 }
 
+/// The eight labellings `DagAnalysis` materializes, by counter name.
+const ANALYSIS_COUNTERS: [&str; 8] = [
+    "dag.analysis.blevels_comm",
+    "dag.analysis.blevels_comp",
+    "dag.analysis.tlevels_comm",
+    "dag.analysis.tlevels_comp",
+    "dag.analysis.alap",
+    "dag.analysis.slacks",
+    "dag.analysis.critical_path",
+    "dag.analysis.closure",
+];
+
+#[test]
+#[cfg(feature = "obs")]
+fn each_labelling_is_computed_exactly_once_per_graph() {
+    // The ISSUE's acceptance gate: a corpus sweep over five heuristics
+    // computes every labelling AT MOST ONCE per graph. The warm-up
+    // scope records exactly one computation of each, and no per-run
+    // scope (other than CLANS, which analyses its own quotient
+    // sub-graphs) records any top-level labelling work at all.
+    let corpus = generate_corpus(&spec());
+    let traced = run_corpus_traced(&corpus, paper_heuristics(), None, None);
+    assert_eq!(traced.analysis.len(), corpus.len());
+    for (i, warm) in traced.analysis.iter().enumerate() {
+        for name in ANALYSIS_COUNTERS {
+            assert_eq!(
+                warm.counter(name),
+                1,
+                "graph {i}: {name} computed != 1 times in the warm-up"
+            );
+        }
+    }
+    for (i, runs) in traced.runs.iter().enumerate() {
+        for run in runs {
+            if run.heuristic == "CLANS" {
+                continue;
+            }
+            for name in ANALYSIS_COUNTERS {
+                assert_eq!(
+                    run.stats.counter(name),
+                    0,
+                    "graph {i}, {}: recomputed {name} despite the warm cache",
+                    run.heuristic
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn traces_are_identical_whether_the_cache_is_cold_or_warm() {
+    // First sweep: every graph's cache is cold. Second sweep over the
+    // SAME corpus objects: every cache is already warm. The emitted
+    // JSONL must not be able to tell the difference (modulo "ns").
+    let corpus = generate_corpus(&spec());
+    let trace = || {
+        let traced = run_corpus_traced(&corpus, paper_heuristics(), None, None);
+        let (sink, buffer) = TelemetrySink::in_memory();
+        traced.write_trace(&corpus, &sink).unwrap();
+        buffer.contents()
+    };
+    let cold = trace();
+    let warm = trace();
+    assert_eq!(strip_ns(&cold), strip_ns(&warm));
+    assert!(cold.lines().count() > 60);
+}
+
 #[test]
 fn strip_ns_touches_only_ns_values() {
     assert_eq!(
