@@ -24,14 +24,26 @@
 //!                          summary line per heuristic
 //!   --metrics              append the instrumentation summary to the
 //!                          command's output
+//!   --checkpoint-dir <DIR> run the sweep crash-safe: journal every
+//!                          finished graph (checksummed JSONL, fsynced)
+//!                          into DIR; graphs that exhaust their retries
+//!                          are quarantined to DIR/quarantine.jsonl
+//!   --resume <DIR>         replay the journal in DIR and execute only
+//!                          the unfinished graphs (implies
+//!                          --checkpoint-dir DIR); the output is
+//!                          byte-identical to an uninterrupted run
+//!   --strict               fail the run instead of degrading when any
+//!                          graph is quarantined (needs a checkpoint
+//!                          dir)
 //! ```
 
+use dagsched_experiments::checkpoint::SweepConfig;
 use dagsched_experiments::corpus::CorpusSpec;
 use dagsched_experiments::figures::all_figures;
 use dagsched_experiments::report::{render_appendix_example, Study};
 use dagsched_experiments::reporter::Reporter;
 use dagsched_experiments::tables::{all_tables, table1};
-use dagsched_harness::HarnessConfig;
+use dagsched_harness::{HarnessConfig, RetryPolicy};
 use dagsched_obs::TelemetrySink;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -43,7 +55,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("usage: repro [--graphs-per-set N] [--seed N] [--nodes LO..HI] [--csv] [--validate] [--time-budget MS] [--trace-out PATH] [--metrics] (all | table N | figure N | corpus | appendix | html | spread | rewiring | bounded | kernels | select | duplication | contention | summary | dump)");
+            eprintln!("usage: repro [--graphs-per-set N] [--seed N] [--nodes LO..HI] [--csv] [--validate] [--time-budget MS] [--trace-out PATH] [--metrics] [--checkpoint-dir DIR] [--resume DIR] [--strict] (all | table N | figure N | corpus | appendix | html | spread | rewiring | bounded | kernels | select | duplication | contention | summary | dump)");
             ExitCode::FAILURE
         }
     }
@@ -55,6 +67,9 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut harness: Option<HarnessConfig> = None;
     let mut trace_out: Option<PathBuf> = None;
     let mut metrics = false;
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut resume = false;
+    let mut strict = false;
     let mut command: Vec<&str> = Vec::new();
 
     // Either robustness flag switches the study onto the
@@ -92,6 +107,16 @@ fn run(args: &[String]) -> Result<(), String> {
                 trace_out = Some(PathBuf::from(path));
             }
             "--metrics" => metrics = true,
+            "--checkpoint-dir" => {
+                let dir = it.next().ok_or("--checkpoint-dir needs a directory")?;
+                checkpoint_dir = Some(PathBuf::from(dir));
+            }
+            "--resume" => {
+                let dir = it.next().ok_or("--resume needs a directory")?;
+                checkpoint_dir = Some(PathBuf::from(dir));
+                resume = true;
+            }
+            "--strict" => strict = true,
             "--validate" => harness_entry(&mut harness).validate = true,
             "--time-budget" => {
                 let ms = next_num(&mut it, "--time-budget")?;
@@ -107,8 +132,38 @@ fn run(args: &[String]) -> Result<(), String> {
     // All user-facing progress (and any incident lines raised inside
     // the parallel runners) goes through one ordered reporter, so
     // worker output never interleaves.
+    if strict && checkpoint_dir.is_none() {
+        return Err("--strict needs --checkpoint-dir or --resume".into());
+    }
+    if checkpoint_dir.is_some() && (trace_out.is_some() || metrics) {
+        return Err(
+            "--checkpoint-dir/--resume cannot be combined with --trace-out/--metrics".into(),
+        );
+    }
+
     let progress = Reporter::stderr();
     let build_study = |spec: &CorpusSpec| -> Result<Study, String> {
+        if let Some(dir) = &checkpoint_dir {
+            // Crash-safe sweep: journaled checkpoints, retry/backoff,
+            // quarantine. Fault-isolated by default — an explicit
+            // --validate/--time-budget harness takes precedence.
+            let config = SweepConfig {
+                harness: harness.or_else(|| Some(HarnessConfig::default())),
+                retry: RetryPolicy::default(),
+                strict,
+            };
+            let study = Study::run_checkpointed(spec.clone(), &config, dir, resume)?;
+            if let Some(stats) = &study.robustness {
+                if !stats.quarantined.is_empty() {
+                    progress.line(&format!(
+                        "{} graph(s) quarantined -> {}",
+                        stats.quarantined.len(),
+                        dir.join("quarantine.jsonl").display()
+                    ));
+                }
+            }
+            return Ok(study);
+        }
         if trace_out.is_none() && !metrics {
             return Ok(Study::run_with(spec.clone(), harness));
         }

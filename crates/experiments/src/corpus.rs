@@ -120,7 +120,14 @@ pub fn generate_entry(spec: &CorpusSpec, key: SetKey, index: usize) -> CorpusEnt
     unreachable!("granularity targeting failed 64 times for {key:?} #{index}")
 }
 
-fn derive_seed(master: u64, key: SetKey, index: usize, attempt: u64) -> u64 {
+/// The derived sub-seed for attempt 0 of `(key, index)` — the seed a
+/// quarantine record carries so the offending graph can be replayed
+/// standalone, and the jitter seed of the sweep engine's retry policy.
+pub fn entry_seed(spec: &CorpusSpec, key: SetKey, index: usize) -> u64 {
+    derive_seed(spec.seed, key, index, 0)
+}
+
+pub(crate) fn derive_seed(master: u64, key: SetKey, index: usize, attempt: u64) -> u64 {
     // SplitMix64-style mixing of the coordinates.
     let mut x = master
         ^ (key.anchor as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)

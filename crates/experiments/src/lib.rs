@@ -10,6 +10,9 @@
 //! * [`tables`] — Tables 2–11 as aggregations over the run records;
 //! * [`figures`] — Figures 1–6 (the tables as per-heuristic series,
 //!   with a plain-text chart renderer);
+//! * [`checkpoint`] — crash-safe sweeps: journaled checkpoints with
+//!   checksummed JSONL records, resume-after-kill, retry with seeded
+//!   backoff, and poison-graph quarantine;
 //! * [`report`] — assembles the whole study into one report;
 //! * [`telemetry`] — instrumented runs: one collector scope per
 //!   (graph, heuristic) and a JSONL trace stream (`--trace-out`);
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod corpus;
 pub mod extensions;
 pub mod figures;
@@ -47,6 +51,10 @@ pub mod runner;
 pub mod tables;
 pub mod telemetry;
 
+pub use checkpoint::{
+    replay_quarantine, run_corpus_checkpointed, run_corpus_supervised, CheckpointError,
+    QuarantineRecord, SweepConfig, SweepOutcome,
+};
 pub use corpus::{generate_corpus, CorpusEntry, CorpusSpec, SetKey};
 pub use reporter::Reporter;
 pub use runner::{run_corpus, FaultTally, GraphResult, HeuristicOutcome, RobustnessStats};

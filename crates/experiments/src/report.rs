@@ -1,6 +1,7 @@
 //! Assembles the full study — corpus, every table, every figure —
 //! into one report, and renders the paper's worked appendix example.
 
+use crate::checkpoint::{run_corpus_checkpointed, SweepConfig};
 use crate::corpus::{generate_corpus, CorpusSpec};
 use crate::figures::all_figures;
 use crate::reporter::Reporter;
@@ -53,6 +54,29 @@ impl Study {
             robustness: Some(stats),
             metrics: None,
         }
+    }
+
+    /// The crash-safe study: the sweep journals every finished graph
+    /// into `dir` (fsynced before the graph counts as done) and, with
+    /// `resume`, replays an earlier journal so only unfinished graphs
+    /// execute. Graphs that exhaust their retries are quarantined (see
+    /// [`crate::checkpoint`]); the robustness section reports them and
+    /// a strict config fails the study instead. The rendered report is
+    /// byte-identical to what an uninterrupted run produces.
+    pub fn run_checkpointed(
+        spec: CorpusSpec,
+        config: &SweepConfig,
+        dir: &std::path::Path,
+        resume: bool,
+    ) -> Result<Study, String> {
+        let outcome = run_corpus_checkpointed(&spec, paper_heuristics(), config, dir, resume)
+            .map_err(|e| e.to_string())?;
+        Ok(Study {
+            spec,
+            results: outcome.results,
+            robustness: Some(outcome.robustness),
+            metrics: None,
+        })
     }
 
     /// The instrumented study: every (graph, heuristic) run executes

@@ -33,7 +33,7 @@ pub struct HeuristicOutcome {
 }
 
 /// All heuristics' outcomes on one graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GraphResult {
     /// The corpus set of the graph.
     pub key: SetKey,
@@ -142,6 +142,11 @@ pub struct RobustnessStats {
     /// Deterministic one-line summaries of every incident, in corpus
     /// order.
     pub incident_summaries: Vec<String>,
+    /// One-line summaries of graphs quarantined by a checkpointed
+    /// sweep (empty for the plain runners). Quarantined graphs carry
+    /// no outcome rows, so they are excluded from every table average;
+    /// the rendered report says so explicitly.
+    pub quarantined: Vec<String>,
 }
 
 impl RobustnessStats {
@@ -183,6 +188,30 @@ impl RobustnessStats {
                 )
                 .unwrap();
             }
+        }
+        if !self.quarantined.is_empty() {
+            writeln!(
+                out,
+                "\n{} graph(s) quarantined after exhausting retries:\n",
+                self.quarantined.len()
+            )
+            .unwrap();
+            for s in self.quarantined.iter().take(MAX_LISTED) {
+                writeln!(out, "- {s}").unwrap();
+            }
+            if self.quarantined.len() > MAX_LISTED {
+                writeln!(
+                    out,
+                    "- ... and {} more",
+                    self.quarantined.len() - MAX_LISTED
+                )
+                .unwrap();
+            }
+            out.push_str(
+                "\nfootnote: quarantined graphs are excluded from every average above; \
+                 replay them standalone with `dagsched --replay-quarantine <quarantine.jsonl>` \
+                 or fail such runs outright with `--strict`.\n",
+            );
         }
         out
     }
@@ -250,6 +279,7 @@ pub fn run_corpus_robust(
         RobustnessStats {
             tallies,
             incident_summaries,
+            quarantined: Vec::new(),
         },
     )
 }

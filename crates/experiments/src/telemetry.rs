@@ -148,6 +148,7 @@ pub fn run_corpus_traced(
         RobustnessStats {
             tallies,
             incident_summaries,
+            quarantined: Vec::new(),
         }
     });
     TracedCorpusRun {

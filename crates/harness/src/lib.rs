@@ -22,6 +22,12 @@
 //!   directly, which is trivially valid on every machine, so a run
 //!   *always* yields a schedule.
 //!
+//! * **bounded retry** — the [`retry`] module adds a
+//!   retry-with-backoff policy on top (configurable attempts,
+//!   per-attempt deadline escalation, jittered backoff — deterministic
+//!   given a seed), used by the crash-safe sweep engine in
+//!   `dagsched-experiments` before it quarantines a poison graph.
+//!
 //! Every containment event is recorded as a structured
 //! [`Incident`] (heuristic name, graph fingerprint, fault, elapsed
 //! time, fallback that completed the run) for aggregation into
@@ -50,7 +56,9 @@
 
 pub mod chaos;
 pub mod incident;
+pub mod retry;
 pub mod robust;
 
 pub use incident::{Fault, GraphFingerprint, Incident};
+pub use retry::{run_with_retry, RetryExhausted, RetryPolicy, RetryReport};
 pub use robust::{serial_placement, HarnessConfig, RobustScheduler, RunOutcome, SERIAL_PLACEMENT};

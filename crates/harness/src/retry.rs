@@ -1,0 +1,320 @@
+//! Bounded retry with deterministic jittered backoff and per-attempt
+//! deadline escalation.
+//!
+//! The crash-safe sweep engine retries a graph whose evaluation
+//! panicked or blew its budget before giving up and quarantining it.
+//! The policy here is fully deterministic given a seed: two runs of
+//! the same seeded corpus produce the same attempt counts, the same
+//! backoff durations and the same escalated deadlines, which keeps
+//! resumed sweeps byte-identical to uninterrupted ones.
+//!
+//! * **bounded attempts** — [`RetryPolicy::max_attempts`] caps how
+//!   often one item is tried (first attempt included);
+//! * **jittered backoff** — before retry `k` the caller sleeps
+//!   [`RetryPolicy::backoff`]`(k, seed)`: exponential from
+//!   [`RetryPolicy::base_backoff`], capped at
+//!   [`RetryPolicy::max_backoff`], plus a deterministic jitter
+//!   fraction derived from the seed (never a global RNG);
+//! * **deadline escalation** — [`RetryPolicy::escalated_budget`]
+//!   multiplies the base per-attempt time budget by
+//!   [`RetryPolicy::deadline_factor`] per retry, so a graph that
+//!   merely needed more time gets it before being written off.
+//!
+//! [`run_with_retry`] drives the loop and hands back either the first
+//! success or the full error chain for quarantine.
+
+use std::time::Duration;
+
+/// Containment policy for retrying one work item.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per item, first one included (>= 1; 0 is
+    /// treated as 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Multiplier applied to the backoff per further retry.
+    pub backoff_factor: u32,
+    /// Ceiling for the (pre-jitter) backoff.
+    pub max_backoff: Duration,
+    /// Jitter as a fraction of the backoff added on top, in `0..=1`;
+    /// the actual fraction is drawn deterministically from the seed.
+    pub jitter: f64,
+    /// Multiplier applied to the per-attempt time budget per retry.
+    pub deadline_factor: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(25),
+            backoff_factor: 2,
+            max_backoff: Duration::from_secs(2),
+            jitter: 0.25,
+            deadline_factor: 2,
+        }
+    }
+}
+
+/// SplitMix64: the one-shot mixer used everywhere the workspace needs
+/// a deterministic stream from a seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no backoff).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Default::default()
+        }
+    }
+
+    /// The effective attempt cap (at least 1).
+    pub fn attempts(&self) -> u32 {
+        self.max_attempts.max(1)
+    }
+
+    /// The backoff to sleep before retry `retry` (1-based: `1` is the
+    /// pause between the first and second attempt). Deterministic
+    /// given `seed`: exponential-with-cap plus a seeded jitter
+    /// fraction.
+    pub fn backoff(&self, retry: u32, seed: u64) -> Duration {
+        let mut d = self.base_backoff.min(self.max_backoff);
+        for _ in 1..retry {
+            d = d
+                .checked_mul(self.backoff_factor.max(1))
+                .unwrap_or(self.max_backoff)
+                .min(self.max_backoff);
+        }
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if jitter == 0.0 {
+            return d;
+        }
+        let roll = splitmix64(seed ^ u64::from(retry)) as f64 / u64::MAX as f64;
+        let extra = d.as_secs_f64() * jitter * roll;
+        d + Duration::from_secs_f64(extra)
+    }
+
+    /// The per-attempt time budget for `attempt` (1-based), escalated
+    /// from `base` by [`RetryPolicy::deadline_factor`] per retry.
+    /// `None` stays `None` (no deadline).
+    pub fn escalated_budget(&self, base: Option<Duration>, attempt: u32) -> Option<Duration> {
+        let base = base?;
+        let mut budget = base;
+        for _ in 1..attempt {
+            budget = budget
+                .checked_mul(self.deadline_factor.max(1))
+                .unwrap_or(budget);
+        }
+        Some(budget)
+    }
+}
+
+/// Every attempt failed; the per-attempt errors, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryExhausted<E> {
+    /// Number of attempts made.
+    pub attempts: u32,
+    /// One error per attempt, chronologically.
+    pub errors: Vec<E>,
+}
+
+/// How one [`run_with_retry`] call went, successful or not.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryReport<T, E> {
+    /// The first success, or the exhausted error chain.
+    pub outcome: Result<T, RetryExhausted<E>>,
+    /// Attempts actually made (>= 1).
+    pub attempts: u32,
+    /// Backoff pauses actually slept.
+    pub backoffs: u32,
+}
+
+/// Runs `attempt_fn` under `policy`, sleeping the seeded backoff
+/// between failures. The closure receives the 1-based attempt number
+/// and the escalated time budget for that attempt (derived from
+/// `base_budget`). Returns at the first success; otherwise collects
+/// every error for the caller's quarantine record.
+pub fn run_with_retry<T, E>(
+    policy: &RetryPolicy,
+    seed: u64,
+    base_budget: Option<Duration>,
+    mut attempt_fn: impl FnMut(u32, Option<Duration>) -> Result<T, E>,
+) -> RetryReport<T, E> {
+    let max = policy.attempts();
+    let mut errors = Vec::new();
+    let mut backoffs = 0;
+    for attempt in 1..=max {
+        let budget = policy.escalated_budget(base_budget, attempt);
+        match attempt_fn(attempt, budget) {
+            Ok(value) => {
+                return RetryReport {
+                    outcome: Ok(value),
+                    attempts: attempt,
+                    backoffs,
+                }
+            }
+            Err(e) => {
+                errors.push(e);
+                if attempt < max {
+                    let pause = policy.backoff(attempt, seed);
+                    if pause > Duration::ZERO {
+                        std::thread::sleep(pause);
+                    }
+                    backoffs += 1;
+                }
+            }
+        }
+    }
+    RetryReport {
+        outcome: Err(RetryExhausted {
+            attempts: max,
+            errors,
+        }),
+        attempts: max,
+        backoffs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn succeeds_first_try_without_backoff() {
+        let report = run_with_retry(&fast(), 7, None, |attempt, budget| {
+            assert_eq!(attempt, 1);
+            assert_eq!(budget, None);
+            Ok::<_, String>(42)
+        });
+        assert_eq!(report.outcome, Ok(42));
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.backoffs, 0);
+    }
+
+    #[test]
+    fn retries_until_success() {
+        let mut calls = 0;
+        let report = run_with_retry(&fast(), 7, None, |attempt, _| {
+            calls += 1;
+            if attempt < 3 {
+                Err(format!("fail {attempt}"))
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(report.outcome, Ok(3));
+        assert_eq!(report.attempts, 3);
+        assert_eq!(report.backoffs, 2);
+    }
+
+    #[test]
+    fn exhaustion_collects_every_error_in_order() {
+        let report = run_with_retry(&fast(), 7, None, |attempt, _| {
+            Err::<(), _>(format!("fail {attempt}"))
+        });
+        let exhausted = report.outcome.unwrap_err();
+        assert_eq!(exhausted.attempts, 3);
+        assert_eq!(exhausted.errors, vec!["fail 1", "fail 2", "fail 3"]);
+        assert_eq!(report.backoffs, 2);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_given_seed_and_bounded() {
+        let p = RetryPolicy {
+            base_backoff: Duration::from_millis(10),
+            backoff_factor: 2,
+            max_backoff: Duration::from_millis(35),
+            jitter: 0.5,
+            ..Default::default()
+        };
+        for retry in 1..=5 {
+            let a = p.backoff(retry, 1234);
+            let b = p.backoff(retry, 1234);
+            assert_eq!(a, b, "retry {retry} deterministic");
+            // Pre-jitter value is min(10 * 2^(retry-1), 35); jitter
+            // adds at most 50% on top.
+            let base = Duration::from_millis(10 * 2u64.pow(retry - 1)).min(p.max_backoff);
+            assert!(a >= base, "retry {retry}");
+            assert!(a <= base + base.mul_f64(0.5), "retry {retry}");
+        }
+        // Different seeds jitter differently (for at least one step).
+        let varied = (1..=5).any(|r| p.backoff(r, 1) != p.backoff(r, 2));
+        assert!(varied, "jitter should depend on the seed");
+    }
+
+    #[test]
+    fn zero_jitter_is_pure_exponential_with_cap() {
+        let p = RetryPolicy {
+            base_backoff: Duration::from_millis(10),
+            backoff_factor: 3,
+            max_backoff: Duration::from_millis(50),
+            jitter: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(p.backoff(1, 99), Duration::from_millis(10));
+        assert_eq!(p.backoff(2, 99), Duration::from_millis(30));
+        assert_eq!(p.backoff(3, 99), Duration::from_millis(50));
+        assert_eq!(p.backoff(9, 99), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn deadlines_escalate_per_attempt() {
+        let p = RetryPolicy {
+            deadline_factor: 2,
+            ..Default::default()
+        };
+        let base = Some(Duration::from_millis(100));
+        assert_eq!(
+            p.escalated_budget(base, 1),
+            Some(Duration::from_millis(100))
+        );
+        assert_eq!(
+            p.escalated_budget(base, 2),
+            Some(Duration::from_millis(200))
+        );
+        assert_eq!(
+            p.escalated_budget(base, 3),
+            Some(Duration::from_millis(400))
+        );
+        assert_eq!(p.escalated_budget(None, 3), None);
+    }
+
+    #[test]
+    fn none_policy_makes_exactly_one_attempt() {
+        let mut calls = 0;
+        let report = run_with_retry(&RetryPolicy::none(), 0, None, |_, _| {
+            calls += 1;
+            Err::<(), _>("no")
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(report.attempts, 1);
+        assert!(report.outcome.is_err());
+    }
+
+    #[test]
+    fn zero_max_attempts_is_treated_as_one() {
+        let p = RetryPolicy {
+            max_attempts: 0,
+            ..fast()
+        };
+        let report = run_with_retry(&p, 0, None, |_, _| Ok::<_, ()>(1));
+        assert_eq!(report.attempts, 1);
+    }
+}

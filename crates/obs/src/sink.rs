@@ -46,8 +46,17 @@ impl Write for SharedBuffer {
 }
 
 /// A line-oriented JSONL sink for [`RunRecord`]s and [`Summary`] rows.
+///
+/// Durability: a file-backed sink ([`TelemetrySink::to_path`]) keeps a
+/// second handle to the file so [`TelemetrySink::flush`] (and the
+/// `Drop` impl) can follow the buffered flush with an `fsync` — traces
+/// from killed runs end at a record boundary instead of being silently
+/// truncated mid-buffer.
 pub struct TelemetrySink {
     writer: Mutex<Box<dyn Write + Send>>,
+    /// Second handle to the backing file, for fsync; `None` when the
+    /// sink writes somewhere durability is meaningless (memory, pipes).
+    file: Option<File>,
 }
 
 impl std::fmt::Debug for TelemetrySink {
@@ -58,16 +67,22 @@ impl std::fmt::Debug for TelemetrySink {
 
 impl TelemetrySink {
     /// A sink writing (buffered) to the file at `path`, truncating any
-    /// existing file.
+    /// existing file. Flushes fsync for durability.
     pub fn to_path(path: &Path) -> io::Result<Self> {
         let file = File::create(path)?;
-        Ok(Self::from_writer(BufWriter::new(file)))
+        // A failed clone only loses the fsync guarantee, not the data
+        // path, so it degrades rather than erroring.
+        let sync_handle = file.try_clone().ok();
+        let mut sink = Self::from_writer(BufWriter::new(file));
+        sink.file = sync_handle;
+        Ok(sink)
     }
 
     /// A sink writing to an arbitrary writer.
     pub fn from_writer(writer: impl Write + Send + 'static) -> Self {
         TelemetrySink {
             writer: Mutex::new(Box::new(writer)),
+            file: None,
         }
     }
 
@@ -100,9 +115,30 @@ impl TelemetrySink {
         Ok(())
     }
 
-    /// Flushes the underlying writer.
+    /// Flushes the underlying writer and, for file-backed sinks,
+    /// fsyncs the file so every emitted record survives a kill.
     pub fn flush(&self) -> io::Result<()> {
-        self.writer.lock().expect("sink poisoned").flush()
+        self.writer.lock().expect("sink poisoned").flush()?;
+        if let Some(file) = &self.file {
+            file.sync_data()?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for TelemetrySink {
+    /// Best-effort flush + fsync: a run that ends without an explicit
+    /// [`TelemetrySink::flush`] (early return, panic unwinding past
+    /// the scope) still lands its buffered records on disk.
+    fn drop(&mut self) {
+        let w = self
+            .writer
+            .get_mut()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let _ = w.flush();
+        if let Some(file) = &self.file {
+            let _ = file.sync_data();
+        }
     }
 }
 
@@ -148,6 +184,23 @@ mod tests {
         }
         let j = Json::parse(lines[2]).unwrap();
         assert_eq!(j.get("schema").unwrap().as_str(), Some(SUMMARY_SCHEMA));
+    }
+
+    #[test]
+    fn drop_flushes_buffered_records_to_disk() {
+        let dir = std::env::temp_dir().join("dagsched-obs-sink-drop-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace-{}.jsonl", std::process::id()));
+        {
+            let sink = TelemetrySink::to_path(&path).unwrap();
+            sink.emit(&tiny_record("DSC")).unwrap();
+            // No explicit flush: the record sits in the BufWriter
+            // until the sink drops.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1, "drop must flush the buffer");
+        assert!(text.ends_with('\n'), "record boundary reached the file");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -13,8 +13,24 @@
 //!   needed on the hot path (one `parking_lot` mutex guards only the
 //!   slot vector hand-back).
 //!
-//! Panics in the closure propagate to the caller (the whole map
-//! panics), matching `rayon`-style semantics.
+//! ## Panic semantics
+//!
+//! [`par_map`] / [`par_map_threads`] treat a panicking closure as
+//! fatal: the panic aborts the *whole* map and re-raises on the caller
+//! thread. Note the precise mechanics — the worker's scope join
+//! re-panics with its own message (`"a parallel map worker
+//! panicked"`), so the original payload is reported by the default
+//! panic hook on the worker thread but is **not** what the caller's
+//! `catch_unwind` observes. Callers that need the payload, or that
+//! must not lose the surviving items' results, should use the
+//! supervised variant instead:
+//!
+//! [`par_map_supervised`] contains a panic to the item that raised it.
+//! The slot records an [`ItemPanic`] (with the payload message), the
+//! worker resumes with the next task — logically a worker restart,
+//! without the thread churn — and every other item completes normally.
+//! This is the substrate of the crash-safe corpus sweeps in
+//! `dagsched-experiments`.
 //!
 //! ```
 //! let squares = dagsched_par::par_map(&[1u64, 2, 3, 4], |_, &x| x * x);
@@ -27,14 +43,40 @@
 use crossbeam_deque::{Injector, Steal, Stealer, Worker};
 use crossbeam_utils::thread as cb_thread;
 use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Hard ceiling for [`default_threads`], including the
+/// `DAGSCHED_THREADS` override.
+pub const MAX_THREADS: usize = 256;
 
 /// The default worker count: available parallelism, capped at 32 (the
 /// corpus sweep saturates memory bandwidth long before that).
+///
+/// The `DAGSCHED_THREADS` environment variable overrides the detected
+/// count, clamped to `1..=`[`MAX_THREADS`]. A value that does not
+/// parse as a positive integer falls back to the detected count, with
+/// a one-time warning on stderr.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
+    let detected = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-        .min(32)
+        .min(32);
+    match std::env::var("DAGSCHED_THREADS") {
+        Err(_) => detected,
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n.min(MAX_THREADS),
+            _ => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring invalid DAGSCHED_THREADS={raw:?} \
+                         (want an integer in 1..={MAX_THREADS}); using {detected}"
+                    );
+                });
+                detected
+            }
+        },
+    }
 }
 
 /// Applies `f(index, &item)` to every item, in parallel, preserving
@@ -102,6 +144,68 @@ where
         .into_iter()
         .map(|r| r.expect("all slots were filled"))
         .collect()
+}
+
+/// A panic contained to one item of a supervised map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemPanic {
+    /// Index of the item whose closure panicked.
+    pub index: usize,
+    /// Best-effort extraction of the panic payload's message.
+    pub message: String,
+}
+
+impl std::fmt::Display for ItemPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "item {} panicked: {}", self.index, self.message)
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// As [`par_map`], but a panic in `f` is contained to the item that
+/// raised it: the slot records an [`ItemPanic`] carrying the payload
+/// message, the worker resumes with the next task, and every other
+/// item still completes. Uses [`default_threads`] workers.
+pub fn par_map_supervised<T, R, F>(items: &[T], f: F) -> Vec<Result<R, ItemPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_supervised_threads(items, default_threads(), f)
+}
+
+/// As [`par_map_supervised`] with an explicit worker count (`0` is
+/// treated as 1; `1` runs inline with no thread machinery).
+pub fn par_map_supervised_threads<T, R, F>(
+    items: &[T],
+    threads: usize,
+    f: F,
+) -> Vec<Result<R, ItemPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    // Containment happens per item, so the plain map's machinery is
+    // reused verbatim: a caught panic is just another result value and
+    // can never poison the scope join.
+    par_map_threads(items, threads, |i, item| {
+        catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| ItemPanic {
+            index: i,
+            message: panic_message(payload.as_ref()),
+        })
+    })
 }
 
 /// Work-finding: local deque first, then batched steals from the
@@ -233,6 +337,81 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn supervised_map_contains_panics_to_their_item() {
+        let input: Vec<u32> = (0..200).collect();
+        let out = par_map_supervised_threads(&input, 4, |_, &x| {
+            if x % 50 == 7 {
+                panic!("boom on {x}");
+            }
+            x * 2
+        });
+        assert_eq!(out.len(), 200);
+        for (i, r) in out.iter().enumerate() {
+            if i % 50 == 7 {
+                let p = r.as_ref().unwrap_err();
+                assert_eq!(p.index, i);
+                assert_eq!(p.message, format!("boom on {i}"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), (i as u32) * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_map_matches_plain_map_when_nothing_panics() {
+        let input: Vec<u64> = (0..512).collect();
+        let plain = par_map(&input, |_, &x| x + 3);
+        let supervised: Vec<u64> = par_map_supervised(&input, |_, &x| x + 3)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(plain, supervised);
+    }
+
+    #[test]
+    fn supervised_worker_survives_repeated_panics() {
+        // More panicking items than workers: every worker is forced to
+        // absorb several panics and keep draining.
+        let input: Vec<u32> = (0..64).collect();
+        let out = par_map_supervised_threads(&input, 2, |_, &x| {
+            if x % 2 == 0 {
+                panic!("even");
+            }
+            x
+        });
+        assert_eq!(out.iter().filter(|r| r.is_err()).count(), 32);
+        assert_eq!(out.iter().filter(|r| r.is_ok()).count(), 32);
+    }
+
+    #[test]
+    fn item_panic_display_carries_index_and_message() {
+        let p = ItemPanic {
+            index: 9,
+            message: "x".into(),
+        };
+        assert_eq!(p.to_string(), "item 9 panicked: x");
+    }
+
+    #[test]
+    fn default_threads_env_override_is_clamped_and_validated() {
+        // Env mutation: this test owns the variable; the other tests
+        // in this module never read it.
+        std::env::set_var("DAGSCHED_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        std::env::set_var("DAGSCHED_THREADS", "999999");
+        assert_eq!(default_threads(), MAX_THREADS);
+        let detected = {
+            std::env::remove_var("DAGSCHED_THREADS");
+            default_threads()
+        };
+        for bad in ["0", "-2", "lots", ""] {
+            std::env::set_var("DAGSCHED_THREADS", bad);
+            assert_eq!(default_threads(), detected, "DAGSCHED_THREADS={bad:?}");
+        }
+        std::env::remove_var("DAGSCHED_THREADS");
     }
 
     #[test]

@@ -21,7 +21,11 @@ fn main() -> ExitCode {
             };
         }
     };
-    let text = if opts.input == "-" {
+    // Quarantine replay regenerates its graphs from the journal — no
+    // input graph is read (and stdin must not block waiting for one).
+    let text = if opts.replay_quarantine.is_some() {
+        String::new()
+    } else if opts.input == "-" {
         let mut s = String::new();
         if std::io::stdin().read_to_string(&mut s).is_err() {
             eprintln!("error: failed to read stdin");

@@ -26,6 +26,20 @@
 //!                        heuristic run to PATH
 //!   --metrics            append the instrumentation summary to the
 //!                        output
+//!   --checkpoint-dir <DIR>  journal every finished heuristic run
+//!                        (checksummed JSONL, fsynced) into DIR
+//!   --resume <DIR>       replay DIR's journal: heuristics already
+//!                        journaled print their stored metrics (and
+//!                        incident lines) without re-running; implies
+//!                        --checkpoint-dir DIR. Replayed runs skip
+//!                        Gantt/SVG/analysis output and telemetry.
+//!   --strict             fail (exit non-zero) if any incident was
+//!                        contained instead of accepting fallbacks
+//!                        (implies --validate)
+//!   --replay-quarantine <FILE>  regenerate every graph in a corpus
+//!                        quarantine journal (see `repro
+//!                        --checkpoint-dir`) and re-run it once under
+//!                        the harness; no input graph needed
 //! ```
 //!
 //! The logic lives here (library-testable); `src/bin/dagsched.rs` is a
@@ -33,13 +47,19 @@
 
 use crate::core::{all_heuristics, Scheduler};
 use crate::dag::{metrics as gmetrics, textio, Dag};
-use crate::harness::{HarnessConfig, RobustScheduler};
+use crate::experiments::checkpoint::{
+    replay_quarantine, scan_journal, JournalWriter, CHECKPOINT_SCHEMA, JOURNAL_FILE,
+};
+use crate::harness::{GraphFingerprint, HarnessConfig, RobustScheduler};
 use crate::obs;
-use crate::obs::{GraphMeta, IncidentMeta, RunRecord, Summary, TelemetrySink};
+use crate::obs::json::{write_escaped, write_f64};
+use crate::obs::{GraphMeta, IncidentMeta, Json, RunRecord, Summary, TelemetrySink};
 use crate::sim::{
     gantt, metrics, validate, BoundedClique, Clique, Hypercube, Machine, Mesh2D, Ring,
 };
+use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -72,6 +92,15 @@ pub struct CliOptions {
     pub trace_out: Option<String>,
     /// Append the instrumentation summary to the output.
     pub metrics: bool,
+    /// Journal finished heuristic runs into this directory.
+    pub checkpoint_dir: Option<String>,
+    /// Replay the journal in `checkpoint_dir` before running.
+    pub resume: bool,
+    /// Fail instead of degrading when any incident is contained.
+    pub strict: bool,
+    /// Replay a corpus quarantine journal instead of scheduling an
+    /// input graph.
+    pub replay_quarantine: Option<String>,
     /// Input path (`-` = stdin).
     pub input: String,
 }
@@ -91,6 +120,10 @@ impl Default for CliOptions {
             time_budget_ms: None,
             trace_out: None,
             metrics: false,
+            checkpoint_dir: None,
+            resume: false,
+            strict: false,
+            replay_quarantine: None,
             input: "-".into(),
         }
     }
@@ -147,6 +180,26 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 opts.trace_out = Some(it.next().ok_or("--trace-out needs a path")?.to_string());
             }
             "--metrics" => opts.metrics = true,
+            "--checkpoint-dir" => {
+                opts.checkpoint_dir = Some(
+                    it.next()
+                        .ok_or("--checkpoint-dir needs a directory")?
+                        .to_string(),
+                );
+            }
+            "--resume" => {
+                opts.checkpoint_dir =
+                    Some(it.next().ok_or("--resume needs a directory")?.to_string());
+                opts.resume = true;
+            }
+            "--strict" => opts.strict = true,
+            "--replay-quarantine" => {
+                opts.replay_quarantine = Some(
+                    it.next()
+                        .ok_or("--replay-quarantine needs a file")?
+                        .to_string(),
+                );
+            }
             "--help" | "-h" => return Err("help".into()),
             other if !other.starts_with('-') || other == "-" => {
                 if input.replace(other.to_string()).is_some() {
@@ -156,7 +209,19 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             other => return Err(format!("unknown option {other}")),
         }
     }
-    opts.input = input.ok_or("missing input file (use - for stdin)")?;
+    if opts.replay_quarantine.is_some() && (opts.checkpoint_dir.is_some() || input.is_some()) {
+        return Err("--replay-quarantine takes no input graph or checkpoint dir".into());
+    }
+    if opts.checkpoint_dir.is_some() && opts.trace_out.is_some() {
+        return Err("--checkpoint-dir and --trace-out are mutually exclusive".into());
+    }
+    opts.input = match input {
+        Some(i) => i,
+        // Quarantine replay regenerates its graphs from the journal;
+        // no input is read.
+        None if opts.replay_quarantine.is_some() => String::new(),
+        None => return Err("missing input file (use - for stdin)".into()),
+    };
     Ok(opts)
 }
 
@@ -214,22 +279,225 @@ pub fn select_heuristics(name: &str) -> Result<Vec<Box<dyn Scheduler>>, String> 
     }
 }
 
+/// The `kind` field of a CLI journal record (one finished heuristic
+/// run; the corpus sweep uses its own kinds — see
+/// [`crate::experiments::checkpoint`]).
+const CLI_RECORD_KIND: &str = "cli-run";
+
+/// One journaled heuristic run, as replayed on `--resume`.
+struct SavedRun {
+    parallel_time: u64,
+    speedup: f64,
+    efficiency: f64,
+    procs: usize,
+    incidents: Vec<String>,
+}
+
+/// The CLI's checkpoint journal: one checksummed, fsynced JSONL record
+/// per finished heuristic, keyed by (graph fingerprint, machine).
+struct CliJournal {
+    writer: JournalWriter,
+    graph: String,
+    machine: String,
+    replayed: HashMap<String, SavedRun>,
+}
+
+fn cli_record_body(journal: &CliJournal, heuristic: &str, saved: &SavedRun) -> String {
+    let mut s = format!(
+        "{{\"schema\":\"{CHECKPOINT_SCHEMA}\",\"kind\":\"{CLI_RECORD_KIND}\",\"graph\":\"{}\",\"machine\":",
+        journal.graph
+    );
+    write_escaped(&mut s, &journal.machine);
+    s.push_str(",\"heuristic\":");
+    write_escaped(&mut s, heuristic);
+    write!(s, ",\"pt\":{},\"speedup\":", saved.parallel_time).unwrap();
+    write_f64(&mut s, saved.speedup);
+    s.push_str(",\"eff\":");
+    write_f64(&mut s, saved.efficiency);
+    write!(s, ",\"procs\":{},\"incidents\":[", saved.procs).unwrap();
+    for (i, inc) in saved.incidents.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        write_escaped(&mut s, inc);
+    }
+    s.push_str("]}");
+    s
+}
+
+fn parse_cli_record(rec: &Json, graph: &str, machine: &str) -> Result<(String, SavedRun), String> {
+    let field = |k: &str| {
+        rec.get(k)
+            .ok_or_else(|| format!("journal record missing {k:?}"))
+    };
+    let kind = field("kind")?.as_str().ok_or("bad kind")?;
+    if kind != CLI_RECORD_KIND {
+        return Err(format!("unexpected record kind {kind:?} in a CLI journal"));
+    }
+    let rec_graph = field("graph")?.as_str().ok_or("bad graph")?;
+    if rec_graph != graph {
+        return Err(format!(
+            "journal belongs to graph {rec_graph}, the input hashes to {graph}; \
+             point --resume at the directory of the matching run"
+        ));
+    }
+    let rec_machine = field("machine")?.as_str().ok_or("bad machine")?;
+    if rec_machine != machine {
+        return Err(format!(
+            "journal was written for machine {rec_machine:?}, this run uses {machine:?}"
+        ));
+    }
+    let heuristic = field("heuristic")?
+        .as_str()
+        .ok_or("bad heuristic")?
+        .to_string();
+    let incidents = match field("incidents")?.as_arr() {
+        Some(arr) => arr
+            .iter()
+            .map(|j| j.as_str().map(str::to_string).ok_or("bad incident entry"))
+            .collect::<Result<Vec<_>, _>>()?,
+        None => return Err("bad incidents".into()),
+    };
+    let saved = SavedRun {
+        parallel_time: field("pt")?.as_u64().ok_or("bad pt")?,
+        speedup: field("speedup")?.as_f64().ok_or("bad speedup")?,
+        efficiency: field("eff")?.as_f64().ok_or("bad eff")?,
+        procs: field("procs")?.as_u64().ok_or("bad procs")? as usize,
+        incidents,
+    };
+    Ok((heuristic, saved))
+}
+
+/// Opens (or resumes) the per-graph checkpoint journal in `dir`. A
+/// fresh run refuses a directory that already holds records — pass
+/// `--resume` to continue one. Resume drops a torn trailing record
+/// (its heuristic simply re-runs) but rejects interior damage and
+/// journals written for a different graph or machine.
+fn open_cli_journal(
+    opts: &CliOptions,
+    dir: &Path,
+    graph: String,
+    machine: String,
+) -> Result<CliJournal, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = dir.join(JOURNAL_FILE);
+    let mut replayed = HashMap::new();
+    let writer = if opts.resume {
+        let scan = scan_journal(&path).map_err(|e| e.to_string())?;
+        for rec in &scan.records {
+            let (heuristic, saved) = parse_cli_record(rec, &graph, &machine)?;
+            replayed.insert(heuristic, saved);
+        }
+        JournalWriter::resume(&path, scan.valid_len)
+            .map_err(|e| format!("cannot reopen {}: {e}", path.display()))?
+    } else {
+        if std::fs::metadata(&path)
+            .map(|m| m.len() > 0)
+            .unwrap_or(false)
+        {
+            return Err(format!(
+                "{} already holds a journal; pass --resume {} to continue it",
+                path.display(),
+                dir.display()
+            ));
+        }
+        JournalWriter::create(&path)
+            .map_err(|e| format!("cannot create {}: {e}", path.display()))?
+    };
+    Ok(CliJournal {
+        writer,
+        graph,
+        machine,
+        replayed,
+    })
+}
+
+/// Replays a corpus quarantine journal (written by `repro
+/// --checkpoint-dir`): regenerates every quarantined graph from its
+/// recorded seed and runs it once, fault-isolated, with the selected
+/// heuristics. With `--strict`, graphs that still fail even under the
+/// harness fail the command.
+fn run_quarantine_replay(opts: &CliOptions, path: &Path) -> Result<String, String> {
+    let heuristics = select_heuristics(&opts.heuristic)?;
+    let harness = HarnessConfig {
+        time_budget: opts.time_budget_ms.map(Duration::from_millis),
+        validate: true,
+    };
+    let replays = replay_quarantine(path, heuristics, harness).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "replaying {} quarantined graph(s) from {}",
+        replays.len(),
+        path.display()
+    )
+    .unwrap();
+    let mut still_failing = 0usize;
+    for r in &replays {
+        writeln!(out, "\nquarantined {}", r.record.summary()).unwrap();
+        match &r.outcome {
+            Ok(result) => {
+                for o in &result.outcomes {
+                    writeln!(
+                        out,
+                        "{:<7} parallel_time={} speedup={:.3} efficiency={:.3} procs={}",
+                        o.name, o.parallel_time, o.speedup, o.efficiency, o.procs
+                    )
+                    .unwrap();
+                }
+                for inc in &r.incidents {
+                    writeln!(out, "  incident: {}", inc.summary).unwrap();
+                }
+            }
+            Err(e) => {
+                still_failing += 1;
+                writeln!(out, "  still failing: {e}").unwrap();
+            }
+        }
+    }
+    if opts.strict && still_failing > 0 {
+        return Err(format!(
+            "strict mode: {still_failing} quarantined graph(s) still fail under the harness"
+        ));
+    }
+    Ok(out)
+}
+
 /// Runs the tool against already-loaded graph text; returns the
 /// rendered output.
 pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
+    if let Some(path) = &opts.replay_quarantine {
+        return run_quarantine_replay(opts, Path::new(path));
+    }
     let g: Dag = match opts.stg_edge_weight {
         Some(w) => crate::dag::stg::parse(text, w).map_err(|e| e.to_string())?,
         None => textio::parse(text).map_err(|e| e.to_string())?,
     };
     let machine: Arc<dyn Machine> = Arc::from(parse_machine(&opts.machine)?);
     let heuristics = select_heuristics(&opts.heuristic)?;
-    // Either robustness flag selects the fault-isolated path; the
-    // harness always keeps the oracle gate on so everything printed
-    // below is a valid schedule either way.
-    let harness = (opts.validate || opts.time_budget_ms.is_some()).then(|| HarnessConfig {
-        time_budget: opts.time_budget_ms.map(Duration::from_millis),
-        validate: true,
-    });
+    // Any robustness flag selects the fault-isolated path (--strict
+    // needs the harness to observe incidents before it can fail on
+    // them); the harness always keeps the oracle gate on so everything
+    // printed below is a valid schedule either way.
+    let harness =
+        (opts.validate || opts.strict || opts.time_budget_ms.is_some()).then(|| HarnessConfig {
+            time_budget: opts.time_budget_ms.map(Duration::from_millis),
+            validate: true,
+        });
+    let journal = match &opts.checkpoint_dir {
+        Some(dir) => {
+            let graph_id = format!("{:#018x}", GraphFingerprint::of(&g).digest);
+            // Key on the full machine spec ("ring:4", not "ring") so a
+            // journal never replays across topologies or sizes.
+            Some(open_cli_journal(
+                opts,
+                Path::new(dir),
+                graph_id,
+                opts.machine.clone(),
+            )?)
+        }
+        None => None,
+    };
 
     let mut out = String::new();
     if !opts.quiet {
@@ -256,8 +524,27 @@ pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
     };
     let observe = sink.is_some() || opts.metrics;
     let mut summary = Summary::default();
+    let mut incident_count = 0usize;
     for h in heuristics {
         let name = h.name();
+        if let Some(journal) = &journal {
+            if let Some(saved) = journal.replayed.get(name) {
+                // Already journaled: print the stored metric and
+                // incident lines byte-for-byte, skip the run (and its
+                // Gantt/SVG/analysis output and telemetry).
+                writeln!(
+                    out,
+                    "{:<7} parallel_time={} speedup={:.3} efficiency={:.3} procs={}",
+                    name, saved.parallel_time, saved.speedup, saved.efficiency, saved.procs
+                )
+                .unwrap();
+                for inc in &saved.incidents {
+                    writeln!(out, "  incident: {inc}").unwrap();
+                }
+                incident_count += saved.incidents.len();
+                continue;
+            }
+        }
         let scope = observe.then(obs::run_scope);
         let span = observe.then(|| obs::span!("run.schedule"));
         let (s, scheduled_by, incidents) = match harness {
@@ -320,6 +607,20 @@ pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
         for incident in &incidents {
             writeln!(out, "  incident: {}", incident.summary()).unwrap();
         }
+        incident_count += incidents.len();
+        if let Some(journal) = &journal {
+            let saved = SavedRun {
+                parallel_time: m.parallel_time,
+                speedup: m.speedup,
+                efficiency: m.efficiency,
+                procs: m.procs,
+                incidents: incidents.iter().map(|inc| inc.summary()).collect(),
+            };
+            journal
+                .writer
+                .append(&cli_record_body(journal, name, &saved))
+                .map_err(|e| format!("checkpoint write failed: {e}"))?;
+        }
         if opts.analyze {
             let a = crate::sim::analysis::analyze(&g, machine.as_ref(), &s);
             writeln!(out, "  {a}").unwrap();
@@ -340,11 +641,17 @@ pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
         out.push('\n');
         out.push_str(&summary.render());
     }
+    if opts.strict && incident_count > 0 {
+        return Err(format!(
+            "strict mode: {incident_count} incident(s) contained \
+             (rerun without --strict to accept the fallbacks)"
+        ));
+    }
     Ok(out)
 }
 
 /// The usage string printed on `--help` or errors.
-pub const USAGE: &str = "usage: dagsched [--heuristic NAME|all] [--machine clique|ring:N|mesh:RxC|hypercube:D|bounded:P] [--gantt WIDTH] [--analyze] [--svg] [--dot] [--stg W] [--quiet] [--validate] [--time-budget MS] [--trace-out PATH] [--metrics] <graph.pdg | ->";
+pub const USAGE: &str = "usage: dagsched [--heuristic NAME|all] [--machine clique|ring:N|mesh:RxC|hypercube:D|bounded:P] [--gantt WIDTH] [--analyze] [--svg] [--dot] [--stg W] [--quiet] [--validate] [--time-budget MS] [--trace-out PATH] [--metrics] [--checkpoint-dir DIR | --resume DIR] [--strict] [--replay-quarantine FILE] <graph.pdg | ->";
 
 #[cfg(test)]
 mod tests {
@@ -540,6 +847,133 @@ edge 0 2 5
         let expected = select_heuristics("all").unwrap().len();
         assert_eq!(runs, expected, "one run record per heuristic");
         assert_eq!(summaries, expected, "one summary line per heuristic");
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let o = opts(&["--checkpoint-dir", "ckpt", "--strict"]);
+        assert_eq!(o.checkpoint_dir.as_deref(), Some("ckpt"));
+        assert!(o.strict && !o.resume);
+        let o = opts(&["--resume", "ckpt"]);
+        assert_eq!(o.checkpoint_dir.as_deref(), Some("ckpt"));
+        assert!(o.resume);
+        // Quarantine replay needs no input graph...
+        let o = parse_args(&["--replay-quarantine".into(), "q.jsonl".into()]).unwrap();
+        assert_eq!(o.replay_quarantine.as_deref(), Some("q.jsonl"));
+        // ...and rejects one, as well as a checkpoint dir.
+        assert!(parse_args(&["--replay-quarantine".into(), "q".into(), "-".into()]).is_err());
+        assert!(parse_args(&[
+            "--replay-quarantine".into(),
+            "q".into(),
+            "--checkpoint-dir".into(),
+            "d".into(),
+        ])
+        .is_err());
+        // Journals and telemetry traces don't mix.
+        assert!(parse_args(&[
+            "--checkpoint-dir".into(),
+            "d".into(),
+            "--trace-out".into(),
+            "t".into(),
+            "-".into(),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn strict_passes_healthy_runs() {
+        let o = opts(&["--quiet", "--strict"]);
+        let out = run_on_text(&o, SAMPLE).unwrap();
+        assert!(out.contains("CLANS"));
+        assert!(!out.contains("incident:"));
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_byte_identical() {
+        let dir = std::env::temp_dir().join(format!("dagsched-cli-ckpt-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut o = opts(&["--quiet", "--validate"]);
+        o.checkpoint_dir = Some(dir.display().to_string());
+        let fresh = run_on_text(&o, SAMPLE).unwrap();
+        // A second fresh run refuses to clobber the journal...
+        let err = run_on_text(&o, SAMPLE).unwrap_err();
+        assert!(err.contains("--resume"), "{err}");
+        // ...while --resume replays every journaled heuristic and
+        // prints the same metric lines without re-running anything.
+        o.resume = true;
+        let resumed = run_on_text(&o, SAMPLE).unwrap();
+        assert_eq!(fresh, resumed);
+        // Tear the journal tail mid-record: the torn heuristic
+        // re-runs, the rest replay, and the output is still
+        // byte-identical (the journal is repaired in place).
+        let path = dir.join(super::JOURNAL_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text.as_bytes()[..text.len() - 9]).unwrap();
+        let repaired = run_on_text(&o, SAMPLE).unwrap();
+        assert_eq!(fresh, repaired);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
+        // A journal from another machine is rejected.
+        o.machine = "ring:4".into();
+        let err = run_on_text(&o, SAMPLE).unwrap_err();
+        assert!(err.contains("machine"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A scheduler that always panics, for quarantine fixtures.
+    struct Bomb;
+    impl crate::core::Scheduler for Bomb {
+        fn name(&self) -> &'static str {
+            "BOMB"
+        }
+        fn schedule(&self, _g: &Dag, _machine: &dyn Machine) -> crate::sim::Schedule {
+            panic!("boom");
+        }
+    }
+
+    #[test]
+    fn quarantine_replay_end_to_end() {
+        use crate::experiments::{run_corpus_checkpointed, CorpusSpec, SweepConfig};
+        use crate::harness::RetryPolicy;
+        let dir = std::env::temp_dir().join(format!("dagsched-cli-quar-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        // Quarantine every graph of a tiny corpus by sweeping it with
+        // a trusted (unharnessed) panicking scheduler.
+        let spec = CorpusSpec {
+            graphs_per_set: 1,
+            nodes: 12..=16,
+            ..CorpusSpec::default()
+        };
+        let cfg = SweepConfig {
+            harness: None,
+            retry: RetryPolicy::none(),
+            strict: false,
+        };
+        let outcome =
+            run_corpus_checkpointed(&spec, vec![Box::new(Bomb)], &cfg, &dir, false).unwrap();
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.quarantine.len(), spec.total_graphs());
+        // Replaying the quarantine with a healthy heuristic completes
+        // every graph; --strict is satisfied.
+        let o = CliOptions {
+            heuristic: "HU".into(),
+            strict: true,
+            replay_quarantine: Some(
+                dir.join(crate::experiments::checkpoint::QUARANTINE_FILE)
+                    .display()
+                    .to_string(),
+            ),
+            input: String::new(),
+            ..CliOptions::default()
+        };
+        let out = run_on_text(&o, "").unwrap();
+        assert!(out.contains(&format!(
+            "replaying {} quarantined graph(s)",
+            spec.total_graphs()
+        )));
+        assert!(out.contains("quarantined coarse/"), "{out}");
+        assert!(out.contains("HU "), "{out}");
+        assert!(!out.contains("still failing"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

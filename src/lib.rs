@@ -39,9 +39,13 @@ pub use dagsched_gen::GenError;
 // The harness vocabulary a caller consumes directly: the wrapper, its
 // policy, and everything a run reports back.
 pub use dagsched_harness::{
-    Fault, GraphFingerprint, HarnessConfig, Incident, RobustScheduler, RunOutcome, SERIAL_PLACEMENT,
+    Fault, GraphFingerprint, HarnessConfig, Incident, RetryPolicy, RobustScheduler, RunOutcome,
+    SERIAL_PLACEMENT,
 };
-// The corpus-level robustness report types.
-pub use dagsched_experiments::{FaultTally, RobustnessStats};
+// The corpus-level robustness report types, and the crash-safe sweep
+// surface (journaled checkpoints, resume, quarantine).
+pub use dagsched_experiments::{
+    CheckpointError, FaultTally, QuarantineRecord, RobustnessStats, SweepConfig, SweepOutcome,
+};
 // The telemetry surface: JSONL records and the sink they stream to.
 pub use dagsched_obs::{RunRecord, TelemetrySink};

@@ -1,0 +1,160 @@
+//! Crash-safety integration tests: a checkpointed corpus sweep killed
+//! at an arbitrary byte offset and resumed must reproduce the
+//! uninterrupted run exactly — same per-graph results (bit-exact
+//! floats), same robustness report, no finished graph run twice — and
+//! poison graphs must land in quarantine rather than sink the sweep.
+
+use dagsched::core::{all_heuristics, paper_heuristics, Scheduler};
+use dagsched::dag::Dag;
+use dagsched::experiments::checkpoint::JOURNAL_FILE;
+use dagsched::experiments::{run_corpus_checkpointed, CorpusSpec, SweepConfig};
+use dagsched::sim::{Machine, Schedule};
+use dagsched::RetryPolicy;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+
+fn spec() -> CorpusSpec {
+    CorpusSpec {
+        graphs_per_set: 1,
+        nodes: 12..=20,
+        ..CorpusSpec::default()
+    }
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dagsched-resume-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn killed_sweep_resumes_to_identical_results() {
+    let spec = spec();
+    let config = SweepConfig::default();
+    let full_dir = tmp("full");
+    let full = run_corpus_checkpointed(&spec, paper_heuristics(), &config, &full_dir, false)
+        .expect("uninterrupted sweep");
+    assert_eq!(full.results.len(), spec.total_graphs());
+    assert_eq!(full.executed, spec.total_graphs());
+    assert_eq!(full.replayed, 0);
+    let journal = std::fs::read(full_dir.join(JOURNAL_FILE)).expect("journal written");
+    std::fs::remove_dir_all(&full_dir).ok();
+
+    // Kill the sweep at assorted byte offsets — line boundaries and
+    // mid-record tears alike — by keeping only a prefix of the
+    // journal, then resume from it. Any prefix must be recoverable:
+    // a partial trailing record is dropped as a torn tail and its
+    // graph simply re-runs.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5eed);
+    let newlines: Vec<usize> = journal
+        .iter()
+        .enumerate()
+        .filter(|&(_, &b)| b == b'\n')
+        .map(|(i, _)| i + 1)
+        .collect();
+    let mut cuts: Vec<usize> = vec![0, newlines[0], journal.len() - 7];
+    for _ in 0..3 {
+        cuts.push(rng.gen_range(1..journal.len()));
+        cuts.push(newlines[rng.gen_range(0..newlines.len())]);
+    }
+    for (i, cut) in cuts.into_iter().enumerate() {
+        let dir = tmp(&format!("cut{i}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(JOURNAL_FILE), &journal[..cut]).unwrap();
+        let resumed = run_corpus_checkpointed(&spec, paper_heuristics(), &config, &dir, true)
+            .unwrap_or_else(|e| panic!("resume from byte {cut} failed: {e}"));
+        assert_eq!(resumed.results, full.results, "cut at byte {cut}");
+        assert_eq!(
+            resumed.robustness.render(),
+            full.robustness.render(),
+            "cut at byte {cut}"
+        );
+        assert_eq!(
+            resumed.replayed + resumed.executed,
+            spec.total_graphs(),
+            "every graph runs exactly once (cut at byte {cut})"
+        );
+        // The repaired journal is complete: a second resume replays
+        // everything and executes nothing.
+        let again = run_corpus_checkpointed(&spec, paper_heuristics(), &config, &dir, true)
+            .expect("second resume");
+        assert_eq!(again.executed, 0, "cut at byte {cut}");
+        assert_eq!(again.results, full.results, "cut at byte {cut}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Panics on every graph whose node count is divisible by three;
+/// schedules the rest like HU.
+struct Poison(Box<dyn Scheduler>);
+
+fn poison() -> Box<dyn Scheduler> {
+    let hu = all_heuristics()
+        .into_iter()
+        .find(|h| h.name() == "HU")
+        .expect("HU registered");
+    Box::new(Poison(hu))
+}
+
+impl Scheduler for Poison {
+    fn name(&self) -> &'static str {
+        "POISON"
+    }
+    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+        if g.num_nodes() % 3 == 0 {
+            panic!("poisoned graph with {} nodes", g.num_nodes());
+        }
+        self.0.schedule(g, machine)
+    }
+}
+
+#[test]
+fn poison_graphs_quarantine_and_survive_resume() {
+    let spec = spec();
+    // Trusted sweep (no harness): the poison's panics escape to the
+    // retry loop, exhaust it, and quarantine every affected graph;
+    // healthy graphs still complete.
+    let config = SweepConfig {
+        harness: None,
+        retry: RetryPolicy::none(),
+        strict: false,
+    };
+    let dir = tmp("poison");
+    let out = run_corpus_checkpointed(&spec, vec![poison()], &config, &dir, false)
+        .expect("poisoned sweep completes");
+    assert!(!out.quarantine.is_empty(), "some graphs hit the poison");
+    assert!(!out.results.is_empty(), "healthy graphs still complete");
+    assert_eq!(
+        out.results.len() + out.quarantine.len(),
+        spec.total_graphs()
+    );
+    let report = out.robustness.render();
+    assert!(report.contains("uarantine"), "{report}");
+    // Resume replays both journals: nothing re-executes, nothing is
+    // re-quarantined, and the report is unchanged.
+    let resumed = run_corpus_checkpointed(&spec, vec![poison()], &config, &dir, true)
+        .expect("resume after quarantine");
+    assert_eq!(resumed.executed, 0);
+    assert_eq!(resumed.results, out.results);
+    assert_eq!(resumed.quarantine.len(), out.quarantine.len());
+    assert_eq!(resumed.robustness.render(), report);
+    // Strict mode refuses to bless a sweep with quarantined graphs.
+    let strict = SweepConfig {
+        strict: true,
+        ..config
+    };
+    let err = run_corpus_checkpointed(&spec, vec![poison()], &strict, &dir, true)
+        .expect_err("strict sweep fails");
+    assert!(err.to_string().contains("quarantin"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+    // Under the harness the same poison is contained instead: panics
+    // become incidents, the fallback chain completes every graph, and
+    // nothing is quarantined.
+    let dir2 = tmp("contained");
+    let contained =
+        run_corpus_checkpointed(&spec, vec![poison()], &SweepConfig::default(), &dir2, false)
+            .expect("harnessed sweep completes");
+    assert!(contained.quarantine.is_empty());
+    assert_eq!(contained.results.len(), spec.total_graphs());
+    std::fs::remove_dir_all(&dir2).ok();
+}

@@ -127,6 +127,49 @@ fn forced_faults_are_contained_as_incidents() {
 }
 
 #[test]
+fn supervised_pool_contains_chaos_per_item() {
+    use dagsched::par::par_map_supervised;
+    // Sweep the torture corpus through the supervised worker pool,
+    // poisoning every third slot: each panic must stay contained to
+    // its own slot while every healthy slot still schedules its graph
+    // with every heuristic and validates against the oracle.
+    let cases = torture_corpus();
+    let out = par_map_supervised(&cases, |i, case| {
+        if i % 3 == 0 {
+            panic!("chaos in slot {i}: {}", case.name);
+        }
+        all_heuristics()
+            .into_iter()
+            .map(|h| {
+                let s = h.schedule(&case.graph, &Clique);
+                assert!(
+                    validate::is_valid(&case.graph, &Clique, &s),
+                    "{} invalid on {}",
+                    h.name(),
+                    case.name
+                );
+                s.makespan()
+            })
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(out.len(), cases.len());
+    let heuristic_count = all_heuristics().len();
+    for (i, slot) in out.iter().enumerate() {
+        match slot {
+            Ok(makespans) => {
+                assert!(i % 3 != 0, "slot {i} should have panicked");
+                assert_eq!(makespans.len(), heuristic_count);
+            }
+            Err(p) => {
+                assert_eq!(i % 3, 0, "unexpected panic in slot {i}: {p}");
+                assert_eq!(p.index, i);
+                assert!(p.message.contains(&format!("chaos in slot {i}")), "{p}");
+            }
+        }
+    }
+}
+
+#[test]
 fn torture_outcomes_are_deterministic() {
     let run = || {
         let mut lines = Vec::new();
