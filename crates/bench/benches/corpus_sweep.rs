@@ -19,11 +19,26 @@
 //! dominated by CLANS decomposition, which no labelling cache can
 //! touch (see docs/PERFORMANCE.md for the end-to-end numbers).
 //!
+//! A second gate bounds the cost of the `MachineModel`/`CostModel`
+//! abstraction on the paper path: a sweep of the kernel-driven
+//! heuristics (DSC, MCP, MH, HU — the ones whose inner loops price
+//! every edge through the cost model) driven through the monomorphized
+//! `schedule_model::<PaperUniform>` entry must stay within a few
+//! percent of the same sweep through the `&dyn Machine` entry — i.e.
+//! the trait layer is generics the compiler erases, not indirection
+//! the hot path pays for. CLANS is excluded deliberately: its runtime
+//! is clan decomposition, not comm-cost evaluation, so it only adds
+//! codegen-layout noise to the comparison. Both arms must produce
+//! identical makespans before being timed.
+//!
 //! Deliberately criterion-free (a plain `main`): CI runs it as a
 //! pass/fail gate on min-of-samples over interleaved rounds.
 //! `CORPUS_SWEEP_MIN` (e.g. `1.0` for a regression-only smoke in CI)
-//! overrides the default 1.5× speedup requirement.
+//! overrides the default 1.5× speedup requirement;
+//! `MODEL_OVERHEAD_MAX` (default `1.03`) bounds the monomorphized /
+//! dyn sweep-time ratio.
 
+use dagsched_core::{Dsc, Hu, Mcp, Mh, PaperUniform, Scheduler};
 use dagsched_dag::closure::Closure;
 use dagsched_dag::{levels, Dag};
 use dagsched_experiments::corpus::{generate_corpus, CorpusSpec};
@@ -107,6 +122,78 @@ fn closure_probe(g: &Dag, c: &Closure) -> u64 {
     acc
 }
 
+/// One sweep sample through the monomorphized model entry: every
+/// kernel-driven heuristic compiled against the concrete
+/// [`PaperUniform`] cost model, so each `comm_cost` inlines to
+/// `if same_proc { 0 } else { w }`.
+fn sample_model_mono(corpus: &[Dag]) -> (Duration, u64) {
+    let mut acc = 0u64;
+    let start = Instant::now();
+    for g in corpus {
+        let fresh = g.clone(); // cold analysis cache, as in the warm arm
+        acc = acc.wrapping_add(Dsc.schedule_model(&fresh, &PaperUniform).makespan());
+        acc = acc.wrapping_add(
+            Mcp::default()
+                .schedule_model(&fresh, &PaperUniform)
+                .makespan(),
+        );
+        acc = acc.wrapping_add(Mh.schedule_model(&fresh, &PaperUniform).makespan());
+        acc = acc.wrapping_add(Hu.schedule_model(&fresh, &PaperUniform).makespan());
+    }
+    (start.elapsed(), acc)
+}
+
+/// The same sweep through the object-safe `&dyn Machine` entry every
+/// caller used before the cost-model refactor.
+fn sample_model_dyn(corpus: &[Dag]) -> (Duration, u64) {
+    let machine: &dyn dagsched_sim::Machine = &PaperUniform;
+    let mut acc = 0u64;
+    let start = Instant::now();
+    for g in corpus {
+        let fresh = g.clone();
+        acc = acc.wrapping_add(Dsc.schedule(&fresh, machine).makespan());
+        acc = acc.wrapping_add(Mcp::default().schedule(&fresh, machine).makespan());
+        acc = acc.wrapping_add(Mh.schedule(&fresh, machine).makespan());
+        acc = acc.wrapping_add(Hu.schedule(&fresh, machine).makespan());
+    }
+    (start.elapsed(), acc)
+}
+
+/// Gates the machine-model abstraction: monomorphized sweep time must
+/// stay within `max_ratio` of the dyn-entry sweep time.
+fn model_overhead_gate(corpus: &[Dag], max_ratio: f64) {
+    let (_, mono_acc) = sample_model_mono(corpus);
+    let (_, dyn_acc) = sample_model_dyn(corpus);
+    assert_eq!(
+        mono_acc, dyn_acc,
+        "monomorphized and dyn model paths produced different schedules"
+    );
+    for _ in 0..2 {
+        black_box(sample_model_mono(corpus));
+        black_box(sample_model_dyn(corpus));
+    }
+    let mut min_mono = Duration::MAX;
+    let mut min_dyn = Duration::MAX;
+    for _ in 0..10 {
+        let (mono, a) = sample_model_mono(corpus);
+        let (dy, b) = sample_model_dyn(corpus);
+        black_box((a, b));
+        min_mono = min_mono.min(mono);
+        min_dyn = min_dyn.min(dy);
+    }
+    let ratio = min_mono.as_secs_f64() / min_dyn.as_secs_f64();
+    println!(
+        "model_overhead: mono {min_mono:.1?}, dyn {min_dyn:.1?}, ratio {ratio:.3} (max {max_ratio})"
+    );
+    if ratio > max_ratio {
+        eprintln!(
+            "model_overhead: FAIL — the monomorphized PaperUniform path pays \
+             measurable indirection over the dyn entry"
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let min_speedup: f64 = std::env::var("CORPUS_SWEEP_MIN")
         .ok()
@@ -158,5 +245,11 @@ fn main() {
         eprintln!("corpus_sweep: FAIL — cached labelling sweep below the required speedup");
         std::process::exit(1);
     }
+
+    let max_ratio: f64 = std::env::var("MODEL_OVERHEAD_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.03);
+    model_overhead_gate(&corpus, max_ratio);
     println!("corpus_sweep: OK");
 }

@@ -27,10 +27,11 @@
 //! less than 1", §4.1.1) — if the realized makespan exceeds the serial
 //! time the scheduler falls back to the serial schedule.
 
+use crate::model::MachineModel;
 use crate::scheduler::Scheduler;
 use dagsched_clans::{ClanId, ClanKind, ParseTree};
 use dagsched_dag::bitset::BitSet;
-use dagsched_dag::{topo, Dag, NodeId, Weight};
+use dagsched_dag::{topo, Dag, LevelCost, NodeId, Weight};
 use dagsched_obs as obs;
 use dagsched_sim::{Clustering, Machine, Schedule};
 
@@ -51,12 +52,10 @@ struct Plan {
     satellites: Vec<Vec<NodeId>>,
 }
 
-impl Scheduler for Clans {
-    fn name(&self) -> &'static str {
-        "CLANS"
-    }
-
-    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+impl Clans {
+    /// Monomorphized core: plan with boundary edges priced by the
+    /// machine's level cost, materialize, speedup-check.
+    pub fn schedule_on<M: Machine + ?Sized>(&self, g: &Dag, machine: &M) -> Schedule {
         let n = g.num_nodes();
         if n == 0 {
             return Schedule::new(g, vec![]);
@@ -67,6 +66,7 @@ impl Scheduler for Clans {
             g,
             tree: &tree,
             topo_pos: topo::positions(g.topo_order(), n),
+            cost: machine.level_cost(),
         };
         let plan_span = obs::span!("clans.plan");
         let plan = ctx.plan(root);
@@ -110,10 +110,26 @@ impl Scheduler for Clans {
     }
 }
 
+impl Scheduler for Clans {
+    fn name(&self) -> &'static str {
+        "CLANS"
+    }
+
+    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+        self.schedule_on(g, machine)
+    }
+
+    fn schedule_model<M: MachineModel>(&self, g: &Dag, model: &M) -> Schedule {
+        self.schedule_on(g, model)
+    }
+}
+
 struct Ctx<'a> {
     g: &'a Dag,
     tree: &'a ParseTree,
     topo_pos: Vec<usize>,
+    /// Prices cross-boundary edges in the bottom-up cost assignment.
+    cost: LevelCost,
 }
 
 impl Ctx<'_> {
@@ -180,7 +196,7 @@ impl Ctx<'_> {
             for e in self.g.in_edges(NodeId(v as u32)) {
                 let ed = self.g.edge(*e);
                 if !boundary.contains(ed.src.index()) {
-                    best = best.max(ed.weight);
+                    best = best.max(self.cost.cross_cost(ed.weight));
                 }
             }
         }
@@ -195,7 +211,7 @@ impl Ctx<'_> {
             for e in self.g.out_edges(NodeId(v as u32)) {
                 let ed = self.g.edge(*e);
                 if !boundary.contains(ed.dst.index()) {
-                    best = best.max(ed.weight);
+                    best = best.max(self.cost.cross_cost(ed.weight));
                 }
             }
         }
@@ -280,8 +296,8 @@ impl Ctx<'_> {
         let quotient = dagsched_clans::Quotient::of(self.g, self.tree, clan, |ch| {
             plans[child_index[&ch]].cost
         });
-        let macro_schedule =
-            crate::listsched::mh::Mh.schedule(&quotient.graph, &dagsched_sim::Clique);
+        let macro_schedule = crate::listsched::mh::Mh
+            .schedule_on(&quotient.graph, &crate::model::LevelPriced(self.cost));
         let parallel = macro_schedule.makespan();
 
         if parallel < serial && macro_schedule.num_procs() > 1 {

@@ -18,8 +18,10 @@
 //! execution order, so the final timing is exactly what the algorithm
 //! computed internally (asserted in debug builds).
 
+use crate::model::MachineModel;
 use crate::scheduler::Scheduler;
-use dagsched_dag::{Dag, NodeId, Weight};
+use dagsched_dag::analysis::PricedLevels;
+use dagsched_dag::{Dag, LevelCost, NodeId, Weight};
 use dagsched_obs as obs;
 use dagsched_sim::evaluate::timed_schedule;
 use dagsched_sim::{Clustering, Machine, ProcId, Schedule};
@@ -42,6 +44,9 @@ pub struct Dsc;
 struct State<'a> {
     g: &'a Dag,
     blevel: &'a [Weight],
+    /// Prices cross-cluster edges during examination (uniform under
+    /// the paper's model; scaled under link-aware models).
+    cost: LevelCost,
     examined: Vec<bool>,
     start: Vec<Weight>,
     finish: Vec<Weight>,
@@ -56,11 +61,12 @@ struct State<'a> {
 }
 
 impl<'a> State<'a> {
-    fn new(g: &'a Dag) -> Self {
+    fn new(g: &'a Dag, blevel: &'a [Weight], cost: LevelCost) -> Self {
         let n = g.num_nodes();
         State {
             g,
-            blevel: g.blevels_with_comm(),
+            blevel,
+            cost,
             examined: vec![false; n],
             start: vec![0; n],
             finish: vec![0; n],
@@ -95,7 +101,7 @@ impl<'a> State<'a> {
             .filter(|(p, _)| self.examined[p.index()])
             .map(|(p, w)| {
                 let pc = self.cluster_of[p.index()].expect("examined preds are clustered");
-                self.finish[p.index()] + if pc == c { 0 } else { w }
+                self.finish[p.index()] + if pc == c { 0 } else { self.cost.cross_cost(w) }
             })
             .max()
             .unwrap_or(0);
@@ -129,7 +135,8 @@ impl<'a> State<'a> {
             self.examined_preds[s.index()] += 1;
             // startbound uses full communication (the successor is not
             // merged yet).
-            self.startbound[s.index()] = self.startbound[s.index()].max(fin + w);
+            self.startbound[s.index()] =
+                self.startbound[s.index()].max(fin + self.cost.cross_cost(w));
         }
     }
 
@@ -163,17 +170,17 @@ fn record_step(st: &State<'_>, nf: NodeId, accept: Option<(u32, Weight)>) {
     }
 }
 
-impl Scheduler for Dsc {
-    fn name(&self) -> &'static str {
-        "DSC"
-    }
-
-    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+impl Dsc {
+    /// Monomorphized core: cluster with edges priced by the machine's
+    /// level cost, then finalize under the machine.
+    pub fn schedule_on<M: Machine + ?Sized>(&self, g: &Dag, machine: &M) -> Schedule {
         let n = g.num_nodes();
         if n == 0 {
             return dagsched_sim::Schedule::new(g, vec![]);
         }
-        let mut st = State::new(g);
+        let cost = machine.level_cost();
+        let levels = PricedLevels::new(g, cost);
+        let mut st = State::new(g, levels.blevels(), cost);
         let span = obs::span!("dsc.cluster");
 
         for _ in 0..n {
@@ -240,6 +247,20 @@ impl Scheduler for Dsc {
     }
 }
 
+impl Scheduler for Dsc {
+    fn name(&self) -> &'static str {
+        "DSC"
+    }
+
+    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+        self.schedule_on(g, machine)
+    }
+
+    fn schedule_model<M: MachineModel>(&self, g: &Dag, model: &M) -> Schedule {
+        self.schedule_on(g, model)
+    }
+}
+
 /// Heap-driven DSC with the complexity the paper quotes,
 /// O((v+e) log v): free and partially-free candidates live in lazy
 /// max-heaps instead of being rescanned each round.
@@ -257,19 +278,19 @@ impl Scheduler for Dsc {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DscFast;
 
-impl Scheduler for DscFast {
-    fn name(&self) -> &'static str {
-        "DSC-F"
-    }
-
-    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+impl DscFast {
+    /// Monomorphized core, identical decisions to [`Dsc::schedule_on`]
+    /// found via lazy heaps.
+    pub fn schedule_on<M: Machine + ?Sized>(&self, g: &Dag, machine: &M) -> Schedule {
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
         let n = g.num_nodes();
         if n == 0 {
             return dagsched_sim::Schedule::new(g, vec![]);
         }
-        let mut st = State::new(g);
+        let cost = machine.level_cost();
+        let levels = PricedLevels::new(g, cost);
+        let mut st = State::new(g, levels.blevels(), cost);
         let span = obs::span!("dsc.cluster");
 
         // Max-heaps of (priority, Reverse(node id)).
@@ -357,11 +378,25 @@ impl Scheduler for DscFast {
     }
 }
 
+impl Scheduler for DscFast {
+    fn name(&self) -> &'static str {
+        "DSC-F"
+    }
+
+    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+        self.schedule_on(g, machine)
+    }
+
+    fn schedule_model<M: MachineModel>(&self, g: &Dag, model: &M) -> Schedule {
+        self.schedule_on(g, model)
+    }
+}
+
 /// Turns the DSC clustering into a [`Schedule`]. On the unbounded
 /// clique this replays DSC's own orders and must reproduce its
 /// internal times exactly; on a bounded machine the excess clusters
 /// are first folded together (least-loaded pairs) and re-timed.
-fn finalize(g: &Dag, machine: &dyn Machine, st: State<'_>) -> Schedule {
+fn finalize<M: Machine + ?Sized>(g: &Dag, machine: &M, st: State<'_>) -> Schedule {
     let _span = obs::span!("dsc.finalize");
     let num_clusters = st.cluster_tasks.len();
     let within_bound = machine.max_procs().is_none_or(|b| num_clusters <= b);
@@ -377,7 +412,7 @@ fn finalize(g: &Dag, machine: &dyn Machine, st: State<'_>) -> Schedule {
         // the algorithm computed internally; hop-priced topologies
         // re-time with their own costs.
         #[cfg(debug_assertions)]
-        if machine.name() == "clique" {
+        if matches!(machine.name(), "clique" | "uniform") {
             for v in g.nodes() {
                 debug_assert_eq!(schedule.start_of(v), st.start[v.index()], "{v}");
             }

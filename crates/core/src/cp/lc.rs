@@ -7,6 +7,7 @@
 //! *linear* (chains), contrasting with DSC's more general merges in
 //! the ablation bench.
 
+use crate::model::MachineModel;
 use crate::scheduler::Scheduler;
 use dagsched_dag::{Dag, NodeId, Weight};
 use dagsched_sim::{Clustering, Machine, Schedule};
@@ -15,12 +16,11 @@ use dagsched_sim::{Clustering, Machine, Schedule};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LinearClustering;
 
-impl Scheduler for LinearClustering {
-    fn name(&self) -> &'static str {
-        "LC"
-    }
-
-    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+impl LinearClustering {
+    /// Monomorphized core: the clustering itself is model-free (path
+    /// weights only); the machine prices the materialized timing and
+    /// bounds the cluster count.
+    pub fn schedule_on<M: Machine + ?Sized>(&self, g: &Dag, machine: &M) -> Schedule {
         let n = g.num_nodes();
         let mut clustering = Clustering::new(n);
         let mut remaining = vec![true; n];
@@ -43,6 +43,20 @@ impl Scheduler for LinearClustering {
         clustering
             .materialize(g, machine)
             .expect("every task was clustered")
+    }
+}
+
+impl Scheduler for LinearClustering {
+    fn name(&self) -> &'static str {
+        "LC"
+    }
+
+    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+        self.schedule_on(g, machine)
+    }
+
+    fn schedule_model<M: MachineModel>(&self, g: &Dag, model: &M) -> Schedule {
+        self.schedule_on(g, model)
     }
 }
 

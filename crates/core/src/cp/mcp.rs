@@ -15,12 +15,15 @@
 //! The paper's pseudocode appends to processors; Wu & Gajski's
 //! original also considered inserting into idle slots —
 //! [`Mcp::insertion`] enables that variant for the ablation bench.
+//! Placement itself is the shared kernel's static-order drivers; MCP
+//! contributes only the ALAP-lexicographic dispatch order.
 
-use crate::listsched::PartialSchedule;
-use crate::scheduler::Scheduler;
+use crate::model::MachineModel;
+use crate::scheduler::{kernel, Scheduler};
+use dagsched_dag::analysis::PricedLevels;
 use dagsched_dag::{topo, Dag, NodeId, Weight};
 use dagsched_obs as obs;
-use dagsched_sim::{Machine, ProcId, Schedule};
+use dagsched_sim::{Machine, Schedule};
 
 /// Modified Critical Path.
 #[derive(Debug, Clone, Copy, Default)]
@@ -36,17 +39,22 @@ impl Mcp {
         Mcp { insertion: true }
     }
 
-    /// The MCP dispatch order: nodes sorted lexicographically by the
-    /// ascending list of ALAP times of themselves and their
-    /// descendants, made robustly topological via a priority
-    /// topological order (relevant only for zero-weight corner cases).
+    /// The MCP dispatch order under the paper's uniform model: nodes
+    /// sorted lexicographically by the ascending list of ALAP times of
+    /// themselves and their descendants.
     pub fn dispatch_order(g: &Dag) -> Vec<NodeId> {
+        Self::order_from_alap(g, g.alap_times())
+    }
+
+    /// The lexicographic-ALAP order, made robustly topological via a
+    /// priority topological order (relevant only for zero-weight
+    /// corner cases).
+    fn order_from_alap(g: &Dag, alap: &[Weight]) -> Vec<NodeId> {
         let _span = obs::span!("mcp.priorities");
         let n = g.num_nodes();
         if n == 0 {
             return Vec::new();
         }
-        let alap = g.alap_times();
         let closure = g.closure();
         let mut lists: Vec<Vec<Weight>> = (0..n)
             .map(|v| {
@@ -76,6 +84,20 @@ impl Mcp {
         }
         topo::priority_topo_order(g, &priority)
     }
+
+    /// Monomorphized core: ALAP times priced under the machine's level
+    /// cost, placed by the kernel's static-order driver (append or
+    /// insertion per [`Mcp::insertion`]).
+    pub fn schedule_on<M: Machine + ?Sized>(&self, g: &Dag, machine: &M) -> Schedule {
+        let levels = PricedLevels::new(g, machine.level_cost());
+        let order = Self::order_from_alap(g, levels.alap());
+        let _span = obs::span!("mcp.place");
+        if self.insertion {
+            kernel::static_order_insertion(g, machine, &order)
+        } else {
+            kernel::static_order_append(g, machine, &order)
+        }
+    }
 }
 
 impl Scheduler for Mcp {
@@ -88,82 +110,12 @@ impl Scheduler for Mcp {
     }
 
     fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
-        let order = Self::dispatch_order(g);
-        let _span = obs::span!("mcp.place");
-        if self.insertion {
-            schedule_insertion(g, machine, &order)
-        } else {
-            let mut ps = PartialSchedule::new(g, machine);
-            for &t in &order {
-                let (p, st, _) = ps.best_placement(t);
-                ps.place(t, p, st);
-            }
-            ps.into_schedule()
-        }
+        self.schedule_on(g, machine)
     }
-}
 
-/// Insertion scheduling: tasks may slot into idle gaps between
-/// already-placed tasks when data arrives early enough.
-fn schedule_insertion(g: &Dag, machine: &dyn Machine, order: &[NodeId]) -> Schedule {
-    let n = g.num_nodes();
-    // Per processor: placed (start, finish) intervals, kept sorted.
-    let mut procs: Vec<Vec<(Weight, Weight)>> = Vec::new();
-    let mut placement: Vec<(ProcId, Weight)> = vec![(ProcId(0), 0); n];
-    let mut finish: Vec<Weight> = vec![0; n];
-    let mut proc_of: Vec<ProcId> = vec![ProcId(0); n];
-    let can_open = |k: usize| machine.max_procs().is_none_or(|b| k < b);
-
-    for &t in order {
-        let w = g.node_weight(t);
-        let data_ready = |p: ProcId| -> Weight {
-            g.preds(t)
-                .map(|(pr, ew)| finish[pr.index()] + machine.comm_cost(proc_of[pr.index()], p, ew))
-                .max()
-                .unwrap_or(0)
-        };
-        // Best gap across existing processors.
-        let mut best: Option<(ProcId, Weight, bool)> = None;
-        for (pi, intervals) in procs.iter().enumerate() {
-            let pid = ProcId(pi as u32);
-            let ready = data_ready(pid);
-            let st = earliest_gap(intervals, ready, w);
-            if best.is_none_or(|(_, b, _)| st < b) {
-                best = Some((pid, st, false));
-            }
-        }
-        if can_open(procs.len()) {
-            let pid = ProcId(procs.len() as u32);
-            let st = data_ready(pid);
-            if best.is_none_or(|(_, b, _)| st < b) {
-                best = Some((pid, st, true));
-            }
-        }
-        let (p, st, is_new) = best.expect("a processor always exists or can be opened");
-        if is_new {
-            procs.push(Vec::new());
-        }
-        let intervals = &mut procs[p.index()];
-        let pos = intervals.partition_point(|&(s, _)| s < st);
-        intervals.insert(pos, (st, st + w));
-        placement[t.index()] = (p, st);
-        finish[t.index()] = st + w;
-        proc_of[t.index()] = p;
+    fn schedule_model<M: MachineModel>(&self, g: &Dag, model: &M) -> Schedule {
+        self.schedule_on(g, model)
     }
-    Schedule::new(g, placement)
-}
-
-/// The earliest start ≥ `ready` where a task of length `w` fits into
-/// the idle gaps of `intervals` (sorted, non-overlapping).
-fn earliest_gap(intervals: &[(Weight, Weight)], ready: Weight, w: Weight) -> Weight {
-    let mut candidate = ready;
-    for &(s, f) in intervals {
-        if candidate + w <= s {
-            return candidate;
-        }
-        candidate = candidate.max(f);
-    }
-    candidate
 }
 
 #[cfg(test)]
@@ -238,17 +190,6 @@ mod tests {
             assert!(s.num_procs() <= 2);
             assert!(validate::is_valid(&g, &m, &s));
         }
-    }
-
-    #[test]
-    fn earliest_gap_logic() {
-        // Gaps: [10,20] busy, [30,40] busy.
-        let iv = vec![(10, 20), (30, 40)];
-        assert_eq!(earliest_gap(&iv, 0, 10), 0); // fits before
-        assert_eq!(earliest_gap(&iv, 0, 11), 40); // too big for both gaps
-        assert_eq!(earliest_gap(&iv, 12, 5), 20); // middle gap
-        assert_eq!(earliest_gap(&iv, 35, 5), 40); // after everything
-        assert_eq!(earliest_gap(&[], 7, 5), 7);
     }
 
     #[test]

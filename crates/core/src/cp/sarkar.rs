@@ -8,6 +8,7 @@
 //! canonical O(e·(n+e)) clustering baseline that DSC was designed to
 //! outrun at equal quality.
 
+use crate::model::{LevelPriced, MachineModel};
 use crate::scheduler::Scheduler;
 use dagsched_dag::Dag;
 use dagsched_sim::{Clustering, Machine, Schedule};
@@ -16,20 +17,20 @@ use dagsched_sim::{Clustering, Machine, Schedule};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Sarkar;
 
-impl Scheduler for Sarkar {
-    fn name(&self) -> &'static str {
-        "SARKAR"
-    }
-
-    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+impl Sarkar {
+    /// Monomorphized core: tentative merges are estimated on the
+    /// unbounded level-priced machine (the paper's clique under the
+    /// uniform model); the kept clustering is re-timed on the actual
+    /// machine.
+    pub fn schedule_on<M: Machine + ?Sized>(&self, g: &Dag, machine: &M) -> Schedule {
         let n = g.num_nodes();
         if n == 0 {
             return Schedule::new(g, vec![]);
         }
         // Cluster membership as a union-find over nodes. No path
         // compression: a tentative merge must be undoable by resetting
-        // a single parent pointer. Evaluation happens on the paper's
-        // unbounded clique; the final schedule is re-timed on the
+        // a single parent pointer. Evaluation happens on the unbounded
+        // level-priced machine; the final schedule is re-timed on the
         // actual machine.
         let mut parent: Vec<u32> = (0..n as u32).collect();
         fn find(parent: &[u32], mut x: u32) -> u32 {
@@ -43,7 +44,7 @@ impl Scheduler for Sarkar {
             Clustering::from_assignment(&ids)
         };
 
-        let eval = dagsched_sim::Clique;
+        let eval = LevelPriced(machine.level_cost());
         let mut best_pt = clustering_of(&parent)
             .materialize(g, &eval)
             .expect("complete clustering")
@@ -81,6 +82,20 @@ impl Scheduler for Sarkar {
         clustering
             .materialize(g, machine)
             .expect("complete clustering")
+    }
+}
+
+impl Scheduler for Sarkar {
+    fn name(&self) -> &'static str {
+        "SARKAR"
+    }
+
+    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+        self.schedule_on(g, machine)
+    }
+
+    fn schedule_model<M: MachineModel>(&self, g: &Dag, model: &M) -> Schedule {
+        self.schedule_on(g, model)
     }
 }
 

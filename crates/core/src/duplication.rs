@@ -18,6 +18,7 @@
 //! DSH strictly weaker, so any advantage it shows over the non-
 //! duplicating heuristics is a lower bound.
 
+use dagsched_dag::analysis::PricedLevels;
 use dagsched_dag::{topo, Dag, NodeId, Weight};
 use dagsched_sim::dup::DupSchedule;
 use dagsched_sim::{Machine, ProcId};
@@ -42,11 +43,12 @@ struct Candidate {
 }
 
 impl Dsh {
-    /// Schedules `g` with duplication on `machine`.
-    pub fn schedule(&self, g: &Dag, machine: &dyn Machine) -> DupSchedule {
+    /// Schedules `g` with duplication on `machine` (monomorphized —
+    /// `&dyn Machine` also works through the generic's `?Sized` bound).
+    pub fn schedule<M: Machine + ?Sized>(&self, g: &Dag, machine: &M) -> DupSchedule {
         let n = g.num_nodes();
-        let priority = g.blevels_with_comm();
-        let order = topo::priority_topo_order(g, priority);
+        let levels = PricedLevels::new(g, machine.level_cost());
+        let order = topo::priority_topo_order(g, levels.blevels());
 
         let mut copies: Vec<Vec<Copy>> = vec![Vec::new(); n];
         let mut raw: Vec<Vec<(ProcId, Weight)>> = vec![Vec::new(); n];
@@ -63,7 +65,11 @@ impl Dsh {
                     continue;
                 }
                 let proc = ProcId(pi as u32);
-                let avail = if is_new { 0 } else { proc_avail[pi] };
+                let avail = if is_new {
+                    machine.startup_cost()
+                } else {
+                    proc_avail[pi]
+                };
                 let cand = self.evaluate_on(g, machine, &copies, t, proc, avail);
                 let better = match &best {
                     None => true,
@@ -109,10 +115,10 @@ impl Dsh {
     /// Evaluates placing `t` on `proc` (availability `avail`),
     /// greedily duplicating dominant predecessors while that reduces
     /// the start.
-    fn evaluate_on(
+    fn evaluate_on<M: Machine + ?Sized>(
         &self,
         g: &Dag,
-        machine: &dyn Machine,
+        machine: &M,
         copies: &[Vec<Copy>],
         t: NodeId,
         proc: ProcId,

@@ -43,6 +43,7 @@ pub mod duplication;
 pub mod fixtures;
 pub mod listsched;
 pub mod meta;
+pub mod model;
 pub mod scheduler;
 pub mod serial;
 mod workspace;
@@ -59,5 +60,6 @@ pub use listsched::hlfet::Hlfet;
 pub use listsched::hu::Hu;
 pub use listsched::mh::Mh;
 pub use meta::{BandSelector, BestOf};
+pub use model::{BoundedUniform, CostModel, LinkAware, MachineModel, MachineSpec, PaperUniform};
 pub use scheduler::{all_heuristics, paper_heuristics, Scheduler};
 pub use serial::Serial;

@@ -7,9 +7,8 @@
 //! their best start time slips, which adapts the dispatch order to the
 //! communication actually incurred.
 
-use crate::listsched::{PartialSchedule, PendingCounters};
-use crate::scheduler::Scheduler;
-use crate::workspace;
+use crate::model::MachineModel;
+use crate::scheduler::{kernel, Scheduler};
 use dagsched_dag::Dag;
 use dagsched_sim::{Machine, Schedule};
 
@@ -17,48 +16,30 @@ use dagsched_sim::{Machine, Schedule};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Dls;
 
+impl Dls {
+    /// Monomorphized core: the kernel's global scan maximizing the
+    /// dynamic level `DL = staticLevel − EST` (ties toward lower
+    /// start, then lower index).
+    pub fn schedule_on<M: Machine + ?Sized>(&self, g: &Dag, machine: &M) -> Schedule {
+        let level = g.blevels_computation();
+        kernel::global_scan(g, machine, |t, st| {
+            let dl = level[t.index()] as i128 - st as i128;
+            (std::cmp::Reverse(dl), st, t.0)
+        })
+    }
+}
+
 impl Scheduler for Dls {
     fn name(&self) -> &'static str {
         "DLS"
     }
 
     fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
-        let level = g.blevels_computation();
-        let mut ps = PartialSchedule::new(g, machine);
-        let mut pending = PendingCounters::from_in_degrees(g);
-        let mut ready = workspace::take_nodes();
-        ready.extend(g.nodes().filter(|&v| pending[v.index()] == 0));
+        self.schedule_on(g, machine)
+    }
 
-        while !ready.is_empty() {
-            // Maximize DL = level − EST; ties toward lower start, then
-            // lower index.
-            let mut best: Option<(usize, dagsched_sim::ProcId, u64, i128)> = None;
-            for (k, &t) in ready.iter().enumerate() {
-                let (p, st, _) = ps.best_placement(t);
-                let dl = level[t.index()] as i128 - st as i128;
-                let better = match best {
-                    None => true,
-                    Some((bk, _, bst, bdl)) => {
-                        (std::cmp::Reverse(dl), st, t.0)
-                            < (std::cmp::Reverse(bdl), bst, ready[bk].0)
-                    }
-                };
-                if better {
-                    best = Some((k, p, st, dl));
-                }
-            }
-            let (k, p, st, _) = best.expect("ready list non-empty");
-            let t = ready.swap_remove(k);
-            ps.place(t, p, st);
-            for (s, _) in g.succs(t) {
-                pending[s.index()] -= 1;
-                if pending[s.index()] == 0 {
-                    ready.push(s);
-                }
-            }
-        }
-        workspace::recycle_nodes(ready);
-        ps.into_schedule()
+    fn schedule_model<M: MachineModel>(&self, g: &Dag, model: &M) -> Schedule {
+        self.schedule_on(g, model)
     }
 }
 

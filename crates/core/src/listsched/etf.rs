@@ -7,9 +7,9 @@
 //! MH (which dispatches strictly in priority order), ETF trades
 //! O(ready × procs) work per step for better packing.
 
-use crate::listsched::{PartialSchedule, PendingCounters};
-use crate::scheduler::Scheduler;
-use crate::workspace;
+use crate::model::MachineModel;
+use crate::scheduler::{kernel, Scheduler};
+use dagsched_dag::analysis::PricedLevels;
 use dagsched_dag::Dag;
 use dagsched_sim::{Machine, Schedule};
 
@@ -17,47 +17,30 @@ use dagsched_sim::{Machine, Schedule};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Etf;
 
+impl Etf {
+    /// Monomorphized core: the kernel's global scan under the ETF key
+    /// — globally earliest `(start, −level, index)` across ready
+    /// tasks, levels priced under the machine's model.
+    pub fn schedule_on<M: Machine + ?Sized>(&self, g: &Dag, machine: &M) -> Schedule {
+        let levels = PricedLevels::new(g, machine.level_cost());
+        let level = levels.blevels();
+        kernel::global_scan(g, machine, |t, st| {
+            (st, std::cmp::Reverse(level[t.index()]), t.0)
+        })
+    }
+}
+
 impl Scheduler for Etf {
     fn name(&self) -> &'static str {
         "ETF"
     }
 
     fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
-        let level = g.blevels_with_comm();
-        let mut ps = PartialSchedule::new(g, machine);
-        let mut pending = PendingCounters::from_in_degrees(g);
-        let mut ready = workspace::take_nodes();
-        ready.extend(g.nodes().filter(|&v| pending[v.index()] == 0));
+        self.schedule_on(g, machine)
+    }
 
-        while !ready.is_empty() {
-            // Globally earliest (start, -level, index) across ready tasks.
-            let mut best: Option<(usize, dagsched_sim::ProcId, u64)> = None;
-            for (k, &t) in ready.iter().enumerate() {
-                let (p, st, _) = ps.best_placement(t);
-                let better = match best {
-                    None => true,
-                    Some((bk, _, bst)) => {
-                        let bt = ready[bk];
-                        (st, std::cmp::Reverse(level[t.index()]), t.0)
-                            < (bst, std::cmp::Reverse(level[bt.index()]), bt.0)
-                    }
-                };
-                if better {
-                    best = Some((k, p, st));
-                }
-            }
-            let (k, p, st) = best.expect("ready list non-empty");
-            let t = ready.swap_remove(k);
-            ps.place(t, p, st);
-            for (s, _) in g.succs(t) {
-                pending[s.index()] -= 1;
-                if pending[s.index()] == 0 {
-                    ready.push(s);
-                }
-            }
-        }
-        workspace::recycle_nodes(ready);
-        ps.into_schedule()
+    fn schedule_model<M: MachineModel>(&self, g: &Dag, model: &M) -> Schedule {
+        self.schedule_on(g, model)
     }
 }
 

@@ -7,8 +7,8 @@
 //! priority function versus the oblivious placement — the
 //! `ablation_hu_comm_aware` bench builds on it.
 
-use crate::listsched::{release_succs, seed_ready, PartialSchedule, ReadyQueue};
-use crate::scheduler::Scheduler;
+use crate::model::MachineModel;
+use crate::scheduler::{kernel, Scheduler};
 use dagsched_dag::Dag;
 use dagsched_sim::{Machine, Schedule};
 
@@ -16,22 +16,26 @@ use dagsched_sim::{Machine, Schedule};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Hlfet;
 
+impl Hlfet {
+    /// Monomorphized core: the computation-only static level (a
+    /// model-independent priority) through the kernel's priority-list
+    /// driver.
+    pub fn schedule_on<M: Machine + ?Sized>(&self, g: &Dag, machine: &M) -> Schedule {
+        kernel::priority_list(g, machine, g.blevels_computation())
+    }
+}
+
 impl Scheduler for Hlfet {
     fn name(&self) -> &'static str {
         "HLFET"
     }
 
     fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
-        let priority = g.blevels_computation();
-        let mut ps = PartialSchedule::new(g, machine);
-        let mut queue = ReadyQueue::new();
-        let mut pending = seed_ready(g, priority, &mut queue);
-        while let Some(t) = queue.pop() {
-            let (p, st, _) = ps.best_placement(t);
-            ps.place(t, p, st);
-            release_succs(g, t, &mut pending, priority, &mut queue);
-        }
-        ps.into_schedule()
+        self.schedule_on(g, machine)
+    }
+
+    fn schedule_model<M: MachineModel>(&self, g: &Dag, model: &M) -> Schedule {
+        self.schedule_on(g, model)
     }
 }
 

@@ -23,6 +23,7 @@
 //! processor), which is exactly classical Hu list scheduling.
 
 use crate::listsched::{release_succs, seed_ready, ReadyQueue};
+use crate::model::MachineModel;
 use crate::scheduler::Scheduler;
 use crate::workspace;
 use dagsched_dag::Dag;
@@ -35,12 +36,13 @@ use std::cmp::Reverse;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Hu;
 
-impl Scheduler for Hu {
-    fn name(&self) -> &'static str {
-        "HU"
-    }
-
-    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+impl Hu {
+    /// Monomorphized core. Phase 1 (classical no-communication list
+    /// scheduling) *is* HU's defining decision and deliberately reads
+    /// nothing from the cost model but the processor bound; phase 2
+    /// costs the fixed decisions under the real model via the shared
+    /// timing engine.
+    pub fn schedule_on<M: Machine + ?Sized>(&self, g: &Dag, machine: &M) -> Schedule {
         let _span = obs::span!("hu.dispatch");
         let n = g.num_nodes();
         let priority = g.blevels_computation();
@@ -110,6 +112,20 @@ impl Scheduler for Hu {
         workspace::recycle_orders(orders);
         workspace::recycle_event_heap(avail_heap);
         schedule
+    }
+}
+
+impl Scheduler for Hu {
+    fn name(&self) -> &'static str {
+        "HU"
+    }
+
+    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+        self.schedule_on(g, machine)
+    }
+
+    fn schedule_model<M: MachineModel>(&self, g: &Dag, model: &M) -> Schedule {
+        self.schedule_on(g, model)
     }
 }
 

@@ -23,18 +23,30 @@
 //! level computation well defined on multi-sink graphs; computing
 //! b-levels directly is equivalent, so no node is materialized.
 
-use crate::listsched::{seed_ready, PartialSchedule, ReadyQueue};
-use crate::scheduler::Scheduler;
-use crate::workspace;
-use dagsched_dag::{Dag, NodeId};
+use crate::model::MachineModel;
+use crate::scheduler::{kernel, Scheduler};
+use dagsched_dag::analysis::PricedLevels;
+use dagsched_dag::Dag;
 use dagsched_obs as obs;
 use dagsched_sim::{Machine, Schedule};
-use std::cmp::Reverse;
 
 /// The Mapping Heuristic (comm- and topology-aware, event-driven list
 /// scheduling).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Mh;
+
+impl Mh {
+    /// Monomorphized core: priority is the communication b-level
+    /// priced under the machine's level cost; dispatch is the kernel's
+    /// event-driven driver.
+    pub fn schedule_on<M: Machine + ?Sized>(&self, g: &Dag, machine: &M) -> Schedule {
+        let _span = obs::span!("mh.dispatch");
+        let levels = PricedLevels::new(g, machine.level_cost());
+        let priority = levels.blevels();
+        obs::counter_add("mh.priority_computed", g.num_nodes() as u64);
+        kernel::event_driven(g, machine, priority, "mh.ready_list_len")
+    }
+}
 
 impl Scheduler for Mh {
     fn name(&self) -> &'static str {
@@ -42,47 +54,11 @@ impl Scheduler for Mh {
     }
 
     fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
-        let _span = obs::span!("mh.dispatch");
-        let priority = g.blevels_with_comm();
-        obs::counter_add("mh.priority_computed", g.num_nodes() as u64);
-        let mut ps = PartialSchedule::new(g, machine);
-        let mut free = ReadyQueue::new();
-        let mut pending = seed_ready(g, priority, &mut free);
-        // Completion events: (finish time, task).
-        let mut events = workspace::take_event_heap();
+        self.schedule_on(g, machine)
+    }
 
-        loop {
-            // The free-list length at each dispatch wave is the
-            // paper-relevant shape of the frontier.
-            if obs::active() && !free.is_empty() {
-                obs::hist_record("mh.ready_list_len", free.len() as u64);
-            }
-            // Allocate every currently free task, highest level first.
-            while let Some(t) = free.pop() {
-                let (p, st, _) = ps.best_placement(t);
-                ps.place(t, p, st);
-                events.push(Reverse((ps.finish_of(t), t.0)));
-            }
-            // Advance to the next completion instant and release all
-            // successors satisfied at that instant.
-            let Some(&Reverse((now, _))) = events.peek() else {
-                break;
-            };
-            while let Some(&Reverse((time, tv))) = events.peek() {
-                if time != now {
-                    break;
-                }
-                events.pop();
-                for (s, _) in g.succs(NodeId(tv)) {
-                    pending[s.index()] -= 1;
-                    if pending[s.index()] == 0 {
-                        free.push(s, priority[s.index()]);
-                    }
-                }
-            }
-        }
-        workspace::recycle_event_heap(events);
-        ps.into_schedule()
+    fn schedule_model<M: MachineModel>(&self, g: &Dag, model: &M) -> Schedule {
+        self.schedule_on(g, model)
     }
 }
 

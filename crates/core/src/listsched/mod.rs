@@ -1,4 +1,4 @@
-//! List scheduling heuristics and their shared machinery.
+//! List scheduling heuristics.
 //!
 //! A list scheduler keeps a priority-ordered list of *ready* tasks
 //! (all predecessors scheduled) and repeatedly places the best task on
@@ -15,6 +15,11 @@
 //!   Task First, Highest Level First, Dynamic Level Scheduling) from
 //!   the classic literature, included for the paper's "more heuristics
 //!   should be added" follow-up.
+//!
+//! The shared machinery — ready-set maintenance, processor choice,
+//! start-time computation — lives in the scheduling
+//! [`kernel`](crate::scheduler::kernel); each module here contributes
+//! only its priority function and dispatch discipline.
 
 pub mod dls;
 pub mod etf;
@@ -22,288 +27,4 @@ pub mod hlfet;
 pub mod hu;
 pub mod mh;
 
-use crate::workspace;
-pub(crate) use crate::workspace::PendingCounters;
-use dagsched_dag::{Dag, NodeId, Weight};
-use dagsched_sim::{Machine, ProcId, Schedule};
-
-/// An in-progress comm-aware schedule: grown one placement at a time,
-/// frozen into a [`Schedule`] at the end. Scratch tables come from
-/// the thread's [`workspace`] pool and are recycled on drop.
-pub(crate) struct PartialSchedule<'a> {
-    g: &'a Dag,
-    machine: &'a dyn Machine,
-    proc_avail: Vec<Weight>,
-    proc_of: Vec<Option<ProcId>>,
-    start: Vec<Weight>,
-    finish: Vec<Weight>,
-    placed: usize,
-}
-
-impl<'a> PartialSchedule<'a> {
-    pub(crate) fn new(g: &'a Dag, machine: &'a dyn Machine) -> Self {
-        let n = g.num_nodes();
-        Self {
-            g,
-            machine,
-            proc_avail: workspace::take_weights(0, 0),
-            proc_of: workspace::take_proc_opts(n),
-            start: workspace::take_weights(n, 0),
-            finish: workspace::take_weights(n, 0),
-            placed: 0,
-        }
-    }
-
-    /// Number of processors opened so far.
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub(crate) fn num_procs(&self) -> usize {
-        self.proc_avail.len()
-    }
-
-    /// Whether another processor may be opened on this machine.
-    pub(crate) fn can_open(&self) -> bool {
-        self.machine
-            .max_procs()
-            .is_none_or(|b| self.proc_avail.len() < b)
-    }
-
-    /// Finish time of an already placed task.
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub(crate) fn finish_of(&self, v: NodeId) -> Weight {
-        debug_assert!(self.proc_of[v.index()].is_some(), "{v} not placed yet");
-        self.finish[v.index()]
-    }
-
-    /// Earliest time `v`'s inputs are all available on processor `p`
-    /// (every predecessor must already be placed).
-    pub(crate) fn data_ready(&self, v: NodeId, p: ProcId) -> Weight {
-        self.g
-            .preds(v)
-            .map(|(pr, w)| {
-                let pp = self.proc_of[pr.index()].expect("predecessors are placed first");
-                self.finish[pr.index()] + self.machine.comm_cost(pp, p, w)
-            })
-            .max()
-            .unwrap_or(0)
-    }
-
-    /// Earliest start of `v` on the *existing* processor `p`.
-    pub(crate) fn est_on(&self, v: NodeId, p: ProcId) -> Weight {
-        self.data_ready(v, p).max(self.proc_avail[p.index()])
-    }
-
-    /// Earliest start of `v` on a *fresh* processor (full communication
-    /// from every predecessor).
-    pub(crate) fn est_new(&self, v: NodeId) -> Weight {
-        // A fresh processor has a fresh id; any id unequal to existing
-        // ones prices full comm on a clique. For hop-cost topologies
-        // the concrete id matters; use the next id to be opened.
-        let p = ProcId(self.proc_avail.len() as u32);
-        self.g
-            .preds(v)
-            .map(|(pr, w)| {
-                let pp = self.proc_of[pr.index()].expect("predecessors are placed first");
-                self.finish[pr.index()] + self.machine.comm_cost(pp, p, w)
-            })
-            .max()
-            .unwrap_or(0)
-    }
-
-    /// The placement minimizing start time for `v`: scans every
-    /// existing processor and (if the machine allows) one fresh
-    /// processor. Returns `(proc, start, is_new)`; ties prefer
-    /// existing processors, then lower ids.
-    pub(crate) fn best_placement(&self, v: NodeId) -> (ProcId, Weight, bool) {
-        let mut best: Option<(ProcId, Weight, bool)> = None;
-        for p in 0..self.proc_avail.len() {
-            let pid = ProcId(p as u32);
-            let est = self.est_on(v, pid);
-            if best.is_none_or(|(_, b, _)| est < b) {
-                best = Some((pid, est, false));
-            }
-        }
-        if self.can_open() {
-            let est = self.est_new(v);
-            if best.is_none_or(|(_, b, _)| est < b) {
-                best = Some((ProcId(self.proc_avail.len() as u32), est, true));
-            }
-        }
-        best.expect("either an existing processor or permission to open one")
-    }
-
-    /// Places `v` on `p` starting at `start`; opens the processor if
-    /// `p` is the next unopened id.
-    pub(crate) fn place(&mut self, v: NodeId, p: ProcId, start: Weight) {
-        debug_assert!(self.proc_of[v.index()].is_none(), "{v} placed twice");
-        if p.index() == self.proc_avail.len() {
-            assert!(self.can_open(), "machine processor bound exceeded");
-            self.proc_avail.push(0);
-        }
-        assert!(
-            p.index() < self.proc_avail.len(),
-            "processor ids must be dense"
-        );
-        debug_assert!(start >= self.proc_avail[p.index()], "processor overlap");
-        self.proc_of[v.index()] = Some(p);
-        self.start[v.index()] = start;
-        let fin = start + self.g.node_weight(v);
-        self.finish[v.index()] = fin;
-        self.proc_avail[p.index()] = fin;
-        self.placed += 1;
-    }
-
-    /// Freezes into a [`Schedule`]. Panics if any task is unplaced.
-    /// (The scratch tables go back to the pool when `self` drops.)
-    pub(crate) fn into_schedule(self) -> Schedule {
-        assert_eq!(self.placed, self.g.num_nodes(), "all tasks must be placed");
-        let raw: Vec<(ProcId, Weight)> = self
-            .proc_of
-            .iter()
-            .zip(&self.start)
-            .map(|(p, &s)| (p.expect("placed"), s))
-            .collect();
-        Schedule::new(self.g, raw)
-    }
-}
-
-impl Drop for PartialSchedule<'_> {
-    fn drop(&mut self) {
-        workspace::recycle_weights(std::mem::take(&mut self.proc_avail));
-        workspace::recycle_weights(std::mem::take(&mut self.start));
-        workspace::recycle_weights(std::mem::take(&mut self.finish));
-        workspace::recycle_proc_opts(std::mem::take(&mut self.proc_of));
-    }
-}
-
-/// A lazily keyed max-heap of ready tasks: pushes carry the priority,
-/// ties break toward the smaller node index for determinism. The heap
-/// storage is pooled and recycled on drop.
-pub(crate) struct ReadyQueue {
-    heap: std::collections::BinaryHeap<(Weight, std::cmp::Reverse<u32>)>,
-}
-
-impl ReadyQueue {
-    pub(crate) fn new() -> Self {
-        Self {
-            heap: workspace::take_ready_heap(),
-        }
-    }
-
-    pub(crate) fn push(&mut self, v: NodeId, priority: Weight) {
-        self.heap.push((priority, std::cmp::Reverse(v.0)));
-    }
-
-    pub(crate) fn pop(&mut self) -> Option<NodeId> {
-        self.heap.pop().map(|(_, std::cmp::Reverse(v))| NodeId(v))
-    }
-
-    /// Number of tasks currently ready.
-    pub(crate) fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub(crate) fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
-}
-
-impl Drop for ReadyQueue {
-    fn drop(&mut self) {
-        workspace::recycle_ready_heap(std::mem::take(&mut self.heap));
-    }
-}
-
-/// Seeds a ready queue with the sources of `g` and returns the
-/// remaining in-degree counters used to release successors.
-pub(crate) fn seed_ready(g: &Dag, priority: &[Weight], queue: &mut ReadyQueue) -> PendingCounters {
-    let pending = PendingCounters::from_in_degrees(g);
-    for v in g.nodes() {
-        if pending[v.index()] == 0 {
-            queue.push(v, priority[v.index()]);
-        }
-    }
-    pending
-}
-
-/// Releases the successors of `v` whose predecessors are all placed.
-pub(crate) fn release_succs(
-    g: &Dag,
-    v: NodeId,
-    pending: &mut [u32],
-    priority: &[Weight],
-    queue: &mut ReadyQueue,
-) {
-    for (s, _) in g.succs(v) {
-        pending[s.index()] -= 1;
-        if pending[s.index()] == 0 {
-            queue.push(s, priority[s.index()]);
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::fixtures::fig16;
-    use dagsched_sim::{BoundedClique, Clique};
-
-    #[test]
-    fn partial_schedule_tracks_times() {
-        let g = fig16();
-        let mut ps = PartialSchedule::new(&g, &Clique);
-        let (p, st, is_new) = ps.best_placement(NodeId(0));
-        assert!(is_new);
-        assert_eq!(st, 0);
-        ps.place(NodeId(0), p, st);
-        assert_eq!(ps.num_procs(), 1);
-        assert_eq!(ps.finish_of(NodeId(0)), 10);
-        // Node 2 on the same processor: free comm, starts at 10.
-        assert_eq!(ps.est_on(NodeId(2), p), 10);
-        // On a fresh processor: pays comm 5 → max(10 + 5) = 15.
-        assert_eq!(ps.est_new(NodeId(2)), 15);
-        // Best placement is the existing processor.
-        let (bp, bst, bnew) = ps.best_placement(NodeId(2));
-        assert_eq!((bp, bst, bnew), (p, 10, false));
-    }
-
-    #[test]
-    fn bounded_machines_stop_opening_procs() {
-        let g = fig16();
-        let m = BoundedClique::new(1);
-        let mut ps = PartialSchedule::new(&g, &m);
-        assert!(ps.can_open());
-        ps.place(NodeId(0), dagsched_sim::ProcId(0), 0);
-        assert!(!ps.can_open());
-        let (p, _, is_new) = ps.best_placement(NodeId(2));
-        assert_eq!(p, dagsched_sim::ProcId(0));
-        assert!(!is_new);
-    }
-
-    #[test]
-    fn ready_queue_orders_by_priority_then_index() {
-        let mut q = ReadyQueue::new();
-        q.push(NodeId(3), 5);
-        q.push(NodeId(1), 9);
-        q.push(NodeId(2), 9);
-        assert_eq!(q.len(), 3);
-        assert_eq!(q.pop(), Some(NodeId(1)));
-        assert_eq!(q.pop(), Some(NodeId(2)));
-        assert_eq!(q.pop(), Some(NodeId(3)));
-        assert!(q.is_empty());
-    }
-
-    #[test]
-    fn seed_and_release_walk_the_graph() {
-        let g = fig16();
-        let pr = vec![0; 5];
-        let mut q = ReadyQueue::new();
-        let mut pending = seed_ready(&g, &pr, &mut q);
-        assert_eq!(q.pop(), Some(NodeId(0)));
-        assert!(q.is_empty());
-        release_succs(&g, NodeId(0), &mut pending, &pr, &mut q);
-        let mut ready: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
-        ready.sort();
-        assert_eq!(ready, vec![NodeId(1), NodeId(2)]);
-    }
-}
+pub(crate) use crate::scheduler::kernel::{release_succs, seed_ready, ReadyQueue};

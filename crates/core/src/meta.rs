@@ -15,6 +15,7 @@
 //! budget would do; its parallel time *is* the study's
 //! `BestParallelTime`).
 
+use crate::model::MachineModel;
 use crate::scheduler::Scheduler;
 use dagsched_dag::{metrics, Dag};
 use dagsched_sim::{Machine, Schedule};
@@ -41,9 +42,17 @@ impl Scheduler for BandSelector {
 
     fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
         if metrics::granularity(g) < self.threshold {
-            crate::clans_sched::Clans.schedule(g, machine)
+            crate::clans_sched::Clans.schedule_on(g, machine)
         } else {
-            crate::cp::mcp::Mcp::default().schedule(g, machine)
+            crate::cp::mcp::Mcp::default().schedule_on(g, machine)
+        }
+    }
+
+    fn schedule_model<M: MachineModel>(&self, g: &Dag, model: &M) -> Schedule {
+        if metrics::granularity(g) < self.threshold {
+            crate::clans_sched::Clans.schedule_on(g, model)
+        } else {
+            crate::cp::mcp::Mcp::default().schedule_on(g, model)
         }
     }
 }

@@ -1,0 +1,683 @@
+//! The pluggable machine-model layer.
+//!
+//! The paper's §2 fixes one machine: an arbitrary pool of homogeneous
+//! processors where cross-processor communication costs exactly the
+//! edge weight. Every heuristic in this crate prices communication
+//! through the [`CostModel`] trait instead of hard-coding that rule,
+//! so the same scheduling core runs unchanged on the paper's machine
+//! ([`PaperUniform`]), on a bounded pool ([`BoundedUniform`]) and on a
+//! per-link latency/bandwidth table ([`LinkAware`]).
+//!
+//! Three layers:
+//!
+//! * [`CostModel`] — what a *placement decision* needs: the cost of an
+//!   edge between two concrete processors, the processor bound, the
+//!   startup cost, and the machine-global edge pricing used by level
+//!   (priority) computations. Every [`Machine`] is a `CostModel`
+//!   through a blanket impl, so `&dyn Machine` call sites keep
+//!   working while generic call sites monomorphize.
+//! * [`MachineModel`] — a concrete, sized model with an associated
+//!   `CostModel` and a stable [`label`](MachineModel::label) used in
+//!   checkpoint spec hashes. Sized models flow through
+//!   [`Scheduler::schedule_model`](crate::scheduler::Scheduler::schedule_model)
+//!   without dynamic dispatch on the hot path.
+//! * [`MachineSpec`] — the parsed form of a `--machine` CLI argument
+//!   (`uniform`, `bounded:<p>`, `linkaware:<file>`), buildable into a
+//!   machine and hashable into a sweep's checkpoint journal.
+
+use dagsched_dag::model::LevelCost;
+use dagsched_dag::Weight;
+use dagsched_sim::{Machine, ProcId};
+use std::sync::Arc;
+
+/// Placement-time communication pricing — the only way heuristics in
+/// this crate read communication costs.
+///
+/// # Contract
+/// Mirrors [`Machine`]: `comm_cost(w, p, p) == 0` and
+/// `comm_cost(0, _, _) == 0`.
+pub trait CostModel: Send + Sync {
+    /// Cost of moving a message of edge-weight `edge` from processor
+    /// `from` to processor `to`.
+    fn comm_cost(&self, edge: Weight, from: ProcId, to: ProcId) -> Weight;
+
+    /// Upper bound on usable processors; `None` means the paper's
+    /// "arbitrary number of homogeneous processors".
+    fn processor_limit(&self) -> Option<usize>;
+
+    /// Time before which no processor can start its first task.
+    fn startup_cost(&self) -> Weight;
+
+    /// The machine-global edge pricing that level computations
+    /// (b-level, t-level, ALAP) should use for priorities under this
+    /// model.
+    fn level_pricing(&self) -> LevelCost;
+}
+
+/// Every [`Machine`] is a [`CostModel`]: the sim-level trait already
+/// carries all four facts, this adapter only swaps the argument order
+/// to put the edge first.
+impl<M: Machine + ?Sized> CostModel for M {
+    #[inline]
+    fn comm_cost(&self, edge: Weight, from: ProcId, to: ProcId) -> Weight {
+        Machine::comm_cost(self, from, to, edge)
+    }
+
+    #[inline]
+    fn processor_limit(&self) -> Option<usize> {
+        self.max_procs()
+    }
+
+    #[inline]
+    fn startup_cost(&self) -> Weight {
+        Machine::startup_cost(self)
+    }
+
+    #[inline]
+    fn level_pricing(&self) -> LevelCost {
+        self.level_cost()
+    }
+}
+
+/// Unbounded machine pricing every cross-processor edge through a
+/// [`LevelCost`] — the internal estimator heuristics use when they
+/// must cost tentative decisions without a concrete processor mapping
+/// (CLANS quotient macro-schedules, Sarkar's tentative merges).
+/// Degenerates to the paper's clique under [`LevelCost::Uniform`].
+pub(crate) struct LevelPriced(pub LevelCost);
+
+impl Machine for LevelPriced {
+    fn comm_cost(&self, from: ProcId, to: ProcId, w: Weight) -> Weight {
+        if from == to {
+            0
+        } else {
+            self.0.cross_cost(w)
+        }
+    }
+
+    fn level_cost(&self) -> LevelCost {
+        self.0
+    }
+
+    fn name(&self) -> &'static str {
+        "level-priced"
+    }
+}
+
+/// A concrete, sized machine model: a [`Machine`] with an associated
+/// [`CostModel`] and a stable label for checkpoint spec hashes.
+///
+/// The `Sized` requirement is the point: passing a `MachineModel` to
+/// [`Scheduler::schedule_model`](crate::scheduler::Scheduler::schedule_model)
+/// monomorphizes the whole scheduling core for that model, so the
+/// `PaperUniform` path compiles down to the same code the pre-model
+/// crate ran.
+pub trait MachineModel: Machine + Sized {
+    /// The cost model placements are priced under (for every model in
+    /// this module, the machine itself).
+    type Cost: CostModel + ?Sized;
+
+    /// The cost model.
+    fn cost(&self) -> &Self::Cost;
+
+    /// Stable spec label (`"uniform"`, `"bounded:4"`,
+    /// `"linkaware:<fingerprint>"`) — what checkpoint journals record.
+    fn label(&self) -> String;
+}
+
+/// The paper's §2 machine: an unbounded pool of homogeneous
+/// processors, cross-processor communication at exactly the edge
+/// weight, free same-processor communication, no startup cost.
+///
+/// Semantically identical to [`dagsched_sim::Clique`]; it exists as a
+/// distinct type so model-parameterized code has a `Default` anchor
+/// and a spec label.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PaperUniform;
+
+impl Machine for PaperUniform {
+    #[inline]
+    fn comm_cost(&self, from: ProcId, to: ProcId, w: Weight) -> Weight {
+        if from == to {
+            0
+        } else {
+            w
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+impl MachineModel for PaperUniform {
+    type Cost = Self;
+
+    fn cost(&self) -> &Self {
+        self
+    }
+
+    fn label(&self) -> String {
+        "uniform".into()
+    }
+}
+
+/// The paper's machine with a finite processor pool — "P identical
+/// machines" with uniform communication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundedUniform {
+    procs: usize,
+}
+
+impl BoundedUniform {
+    /// A pool of exactly `procs ≥ 1` processors.
+    pub fn new(procs: usize) -> Self {
+        assert!(procs >= 1, "a machine needs at least one processor");
+        Self { procs }
+    }
+
+    /// The pool size.
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+}
+
+impl Machine for BoundedUniform {
+    #[inline]
+    fn comm_cost(&self, from: ProcId, to: ProcId, w: Weight) -> Weight {
+        if from == to {
+            0
+        } else {
+            w
+        }
+    }
+
+    fn max_procs(&self) -> Option<usize> {
+        Some(self.procs)
+    }
+
+    fn name(&self) -> &'static str {
+        "bounded"
+    }
+}
+
+impl MachineModel for BoundedUniform {
+    type Cost = Self;
+
+    fn cost(&self) -> &Self {
+        self
+    }
+
+    fn label(&self) -> String {
+        format!("bounded:{}", self.procs)
+    }
+}
+
+/// A machine described by per-processor-pair link tables: moving a
+/// message of weight `w` from `i` to `j` costs
+/// `latency[i][j] + w × per_unit[i][j]` (saturating), optionally after
+/// a global startup delay. The processor pool is exactly the table's
+/// dimension.
+///
+/// Level computations can't know the endpoints of a future placement,
+/// so [`Machine::level_cost`] prices edges with the *mean* off-diagonal
+/// latency and per-unit cost — an affine [`LevelCost::Scaled`] kept as
+/// an exact rational (`sum / count`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkAware {
+    procs: usize,
+    /// Row-major `procs × procs` fixed per-message latencies.
+    latency: Vec<Weight>,
+    /// Row-major `procs × procs` per-weight-unit transfer costs.
+    per_unit: Vec<Weight>,
+    startup: Weight,
+    pricing: LevelCost,
+    fingerprint: u64,
+}
+
+impl LinkAware {
+    /// Builds a model from square `latency` and `per_unit` tables
+    /// (row-major, equal dimensions ≥ 1, zero diagonals) and a global
+    /// `startup` delay.
+    ///
+    /// # Errors
+    /// A human-readable message when the tables are not square, the
+    /// dimensions disagree, or a diagonal entry is non-zero.
+    pub fn new(
+        latency: Vec<Vec<Weight>>,
+        per_unit: Vec<Vec<Weight>>,
+        startup: Weight,
+    ) -> Result<Self, String> {
+        let procs = latency.len();
+        if procs == 0 {
+            return Err("linkaware model needs at least one processor".into());
+        }
+        if per_unit.len() != procs {
+            return Err(format!(
+                "latency table is {procs}×{procs} but per-unit table has {} rows",
+                per_unit.len()
+            ));
+        }
+        for (name, table) in [("latency", &latency), ("per-unit", &per_unit)] {
+            for (i, row) in table.iter().enumerate() {
+                if row.len() != procs {
+                    return Err(format!(
+                        "{name} row {i} has {} entries, expected {procs}",
+                        row.len()
+                    ));
+                }
+                if row[i] != 0 {
+                    return Err(format!(
+                        "{name}[{i}][{i}] = {} — same-processor communication must be free",
+                        row[i]
+                    ));
+                }
+            }
+        }
+        let flat = |t: Vec<Vec<Weight>>| t.into_iter().flatten().collect::<Vec<_>>();
+        let (latency, per_unit) = (flat(latency), flat(per_unit));
+        // Mean off-diagonal pricing for level computations, kept exact
+        // as a rational: cost(w) ≈ mean_latency + w·(Σ per_unit / cnt).
+        let cnt = (procs * procs - procs) as u64;
+        let pricing = if cnt == 0 {
+            LevelCost::Uniform
+        } else {
+            let sum_lat: u64 = latency.iter().sum();
+            let sum_pu: u64 = per_unit.iter().sum();
+            LevelCost::Scaled {
+                mul: sum_pu,
+                div: cnt,
+                add: sum_lat / cnt,
+            }
+        };
+        // Content fingerprint (FNV-1a 64) so two tables with the same
+        // costs hash to the same spec label regardless of file path.
+        let mut h = 0xcbf29ce484222325u64;
+        let mut eat = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        eat(procs as u64);
+        eat(startup);
+        latency.iter().chain(per_unit.iter()).for_each(|&w| eat(w));
+        Ok(Self {
+            procs,
+            latency,
+            per_unit,
+            startup,
+            pricing,
+            fingerprint: h,
+        })
+    }
+
+    /// Parses the on-disk table format (the `linkaware:<file>` CLI
+    /// argument):
+    ///
+    /// ```text
+    /// # comments and blank lines are ignored
+    /// procs 3
+    /// startup 0          # optional, defaults to 0
+    /// latency
+    /// 0 5 9
+    /// 5 0 4
+    /// 9 4 0
+    /// perunit
+    /// 0 2 3
+    /// 2 0 1
+    /// 3 1 0
+    /// ```
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text
+            .lines()
+            .map(|l| l.split('#').next().unwrap_or("").trim())
+            .filter(|l| !l.is_empty());
+        let mut procs: Option<usize> = None;
+        let mut startup: Weight = 0;
+        let mut latency: Option<Vec<Vec<Weight>>> = None;
+        let mut per_unit: Option<Vec<Vec<Weight>>> = None;
+        let read_table = |lines: &mut dyn Iterator<Item = &str>,
+                          n: usize,
+                          what: &str|
+         -> Result<Vec<Vec<Weight>>, String> {
+            (0..n)
+                .map(|i| {
+                    let row = lines
+                        .next()
+                        .ok_or_else(|| format!("{what} table ends after {i} of {n} rows"))?;
+                    row.split_whitespace()
+                        .map(|t| {
+                            t.parse::<Weight>()
+                                .map_err(|_| format!("bad {what} entry {t:?} in row {i}"))
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        while let Some(line) = lines.next() {
+            let (key, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+            match key {
+                "procs" => {
+                    let p = rest
+                        .trim()
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad procs count {rest:?}"))?;
+                    procs = Some(p);
+                }
+                "startup" => {
+                    startup = rest
+                        .trim()
+                        .parse::<Weight>()
+                        .map_err(|_| format!("bad startup cost {rest:?}"))?;
+                }
+                "latency" => {
+                    let n = procs.ok_or("`procs N` must come before the latency table")?;
+                    latency = Some(read_table(&mut lines, n, "latency")?);
+                }
+                "perunit" => {
+                    let n = procs.ok_or("`procs N` must come before the perunit table")?;
+                    per_unit = Some(read_table(&mut lines, n, "perunit")?);
+                }
+                other => return Err(format!("unknown directive {other:?}")),
+            }
+        }
+        Self::new(
+            latency.ok_or("missing latency table")?,
+            per_unit.ok_or("missing perunit table")?,
+            startup,
+        )
+    }
+
+    /// The content fingerprint embedded in this model's spec label.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+impl Machine for LinkAware {
+    #[inline]
+    fn comm_cost(&self, from: ProcId, to: ProcId, w: Weight) -> Weight {
+        if from == to || w == 0 {
+            return 0;
+        }
+        let i = from.index() * self.procs + to.index();
+        self.latency[i].saturating_add(w.saturating_mul(self.per_unit[i]))
+    }
+
+    fn max_procs(&self) -> Option<usize> {
+        Some(self.procs)
+    }
+
+    fn startup_cost(&self) -> Weight {
+        self.startup
+    }
+
+    fn level_cost(&self) -> LevelCost {
+        self.pricing
+    }
+
+    fn name(&self) -> &'static str {
+        "linkaware"
+    }
+}
+
+impl MachineModel for LinkAware {
+    type Cost = Self;
+
+    fn cost(&self) -> &Self {
+        self
+    }
+
+    fn label(&self) -> String {
+        format!("linkaware:{:016x}", self.fingerprint)
+    }
+}
+
+/// The parsed form of a `--machine` argument: buildable into a
+/// machine, printable into a checkpoint spec hash.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum MachineSpec {
+    /// `uniform` — the paper's machine ([`PaperUniform`]).
+    #[default]
+    Uniform,
+    /// `bounded:<p>` — [`BoundedUniform`] with `p` processors.
+    Bounded(usize),
+    /// `linkaware:<file>` — a [`LinkAware`] table, already loaded.
+    LinkAware(Arc<LinkAware>),
+}
+
+impl MachineSpec {
+    /// Parses a `--machine` argument. `linkaware:<file>` reads and
+    /// parses the table file immediately, so a bad table fails at the
+    /// CLI boundary rather than mid-sweep.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        if spec == "uniform" {
+            return Ok(MachineSpec::Uniform);
+        }
+        if let Some(p) = spec.strip_prefix("bounded:") {
+            let p: usize = p
+                .parse()
+                .map_err(|_| format!("bad processor count in {spec:?}"))?;
+            if p == 0 {
+                return Err("bounded machine needs at least one processor".into());
+            }
+            return Ok(MachineSpec::Bounded(p));
+        }
+        if let Some(path) = spec.strip_prefix("linkaware:") {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read linkaware table {path:?}: {e}"))?;
+            let model = LinkAware::parse(&text)
+                .map_err(|e| format!("bad linkaware table {path:?}: {e}"))?;
+            return Ok(MachineSpec::LinkAware(Arc::new(model)));
+        }
+        Err(format!(
+            "unknown machine {spec:?} (expected uniform, bounded:<p> or linkaware:<file>)"
+        ))
+    }
+
+    /// The stable label recorded in checkpoint spec hashes — matches
+    /// [`MachineModel::label`] of the built machine.
+    pub fn label(&self) -> String {
+        match self {
+            MachineSpec::Uniform => "uniform".into(),
+            MachineSpec::Bounded(p) => format!("bounded:{p}"),
+            MachineSpec::LinkAware(m) => m.label(),
+        }
+    }
+
+    /// Builds the machine behind a shared pointer (what sweep runners
+    /// hand to worker threads).
+    pub fn build(&self) -> Arc<dyn Machine> {
+        match self {
+            MachineSpec::Uniform => {
+                dagsched_obs::counter_add("model.build.uniform", 1);
+                Arc::new(PaperUniform)
+            }
+            MachineSpec::Bounded(p) => {
+                dagsched_obs::counter_add("model.build.bounded", 1);
+                Arc::new(BoundedUniform::new(*p))
+            }
+            MachineSpec::LinkAware(m) => {
+                dagsched_obs::counter_add("model.build.linkaware", 1);
+                m.clone()
+            }
+        }
+    }
+
+    /// The spec kind without parameters (`uniform`, `bounded`,
+    /// `linkaware`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MachineSpec::Uniform => "uniform",
+            MachineSpec::Bounded(_) => "bounded",
+            MachineSpec::LinkAware(_) => "linkaware",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    #[test]
+    fn paper_uniform_matches_clique_semantics() {
+        let (u, c) = (PaperUniform, dagsched_sim::Clique);
+        for (a, b, w) in [(0, 0, 9), (0, 7, 9), (3, 1, 0), (2, 5, 17)] {
+            assert_eq!(
+                Machine::comm_cost(&u, p(a), p(b), w),
+                Machine::comm_cost(&c, p(a), p(b), w)
+            );
+        }
+        assert_eq!(u.max_procs(), None);
+        assert_eq!(Machine::startup_cost(&u), 0);
+        assert!(u.level_cost().is_uniform());
+        assert_eq!(u.label(), "uniform");
+    }
+
+    #[test]
+    fn cost_model_blanket_swaps_argument_order() {
+        // The same machine read through both traits agrees.
+        let m = BoundedUniform::new(4);
+        assert_eq!(CostModel::comm_cost(&m, 9, p(0), p(2)), 9);
+        assert_eq!(CostModel::comm_cost(&m, 9, p(2), p(2)), 0);
+        assert_eq!(CostModel::processor_limit(&m), Some(4));
+        assert_eq!(CostModel::startup_cost(&m), 0);
+        assert!(CostModel::level_pricing(&m).is_uniform());
+        // And through a trait object.
+        let d: &dyn Machine = &m;
+        assert_eq!(CostModel::comm_cost(d, 5, p(1), p(3)), 5);
+    }
+
+    #[test]
+    fn bounded_uniform_labels_and_limits() {
+        let m = BoundedUniform::new(4);
+        assert_eq!(m.label(), "bounded:4");
+        assert_eq!(m.max_procs(), Some(4));
+        assert_eq!(Machine::comm_cost(&m, p(0), p(1), 7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn bounded_uniform_rejects_zero() {
+        BoundedUniform::new(0);
+    }
+
+    #[test]
+    fn linkaware_prices_pairs_independently() {
+        let m = LinkAware::new(
+            vec![vec![0, 5, 9], vec![5, 0, 4], vec![9, 4, 0]],
+            vec![vec![0, 2, 3], vec![2, 0, 1], vec![3, 1, 0]],
+            0,
+        )
+        .unwrap();
+        // cost(0→1, w=10) = 5 + 10·2 = 25; cost(0→2) = 9 + 10·3 = 39.
+        assert_eq!(Machine::comm_cost(&m, p(0), p(1), 10), 25);
+        assert_eq!(Machine::comm_cost(&m, p(0), p(2), 10), 39);
+        assert_eq!(Machine::comm_cost(&m, p(1), p(1), 10), 0);
+        // Zero-weight messages stay free even with nonzero latency.
+        assert_eq!(Machine::comm_cost(&m, p(0), p(1), 0), 0);
+        assert_eq!(m.max_procs(), Some(3));
+        // Level pricing is the off-diagonal mean: Σpu=12 over 6 pairs,
+        // mean latency (5+9+5+4+9+4)/6 = 6.
+        assert_eq!(
+            m.level_cost(),
+            LevelCost::Scaled {
+                mul: 12,
+                div: 6,
+                add: 6
+            }
+        );
+    }
+
+    #[test]
+    fn linkaware_rejects_malformed_tables() {
+        // Non-zero diagonal.
+        assert!(LinkAware::new(vec![vec![1]], vec![vec![0]], 0).is_err());
+        // Ragged row.
+        assert!(
+            LinkAware::new(vec![vec![0, 1], vec![1]], vec![vec![0, 1], vec![1, 0]], 0).is_err()
+        );
+        // Dimension mismatch between the two tables.
+        assert!(LinkAware::new(vec![vec![0]], vec![vec![0, 1], vec![1, 0]], 0).is_err());
+        // Empty.
+        assert!(LinkAware::new(vec![], vec![], 0).is_err());
+    }
+
+    #[test]
+    fn linkaware_parses_the_file_format() {
+        let text = "\
+# a 2-processor asymmetric machine
+procs 2
+startup 3
+latency
+0 5
+7 0
+perunit
+0 2   # comments after values are fine
+4 0
+";
+        let m = LinkAware::parse(text).unwrap();
+        assert_eq!(Machine::comm_cost(&m, p(0), p(1), 10), 25);
+        assert_eq!(Machine::comm_cost(&m, p(1), p(0), 10), 47);
+        assert_eq!(Machine::startup_cost(&m), 3);
+        assert_eq!(m.max_procs(), Some(2));
+        // Same table → same fingerprint; different → different.
+        let again = LinkAware::parse(text).unwrap();
+        assert_eq!(m.fingerprint(), again.fingerprint());
+        let other = LinkAware::parse(&text.replace("0 5", "0 6")).unwrap();
+        assert_ne!(m.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn linkaware_parse_errors_are_informative() {
+        assert!(LinkAware::parse("latency\n0\n")
+            .unwrap_err()
+            .contains("procs"));
+        assert!(LinkAware::parse("procs 2\nlatency\n0 1\n")
+            .unwrap_err()
+            .contains("ends after"));
+        assert!(LinkAware::parse("bogus 3\n").unwrap_err().contains("bogus"));
+        assert!(LinkAware::parse("procs 1\nlatency\n0\n")
+            .unwrap_err()
+            .contains("perunit"));
+    }
+
+    #[test]
+    fn machine_spec_round_trips() {
+        let u = MachineSpec::parse("uniform").unwrap();
+        assert_eq!(u, MachineSpec::Uniform);
+        assert_eq!(u.label(), "uniform");
+        assert_eq!(u.build().name(), "uniform");
+
+        let b = MachineSpec::parse("bounded:4").unwrap();
+        assert_eq!(b, MachineSpec::Bounded(4));
+        assert_eq!(b.label(), "bounded:4");
+        assert_eq!(b.build().max_procs(), Some(4));
+
+        assert!(MachineSpec::parse("bounded:0").is_err());
+        assert!(MachineSpec::parse("bounded:x").is_err());
+        assert!(MachineSpec::parse("hyperdrive").is_err());
+        assert!(MachineSpec::parse("linkaware:/no/such/file").is_err());
+        assert_eq!(MachineSpec::default(), MachineSpec::Uniform);
+    }
+
+    #[test]
+    fn machine_spec_reads_linkaware_files() {
+        let dir = std::env::temp_dir().join(format!("dagsched-model-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("links.machine");
+        std::fs::write(&path, "procs 2\nlatency\n0 1\n1 0\nperunit\n0 1\n1 0\n").unwrap();
+        let spec = MachineSpec::parse(&format!("linkaware:{}", path.display())).unwrap();
+        assert_eq!(spec.kind(), "linkaware");
+        assert!(spec.label().starts_with("linkaware:"));
+        let m = spec.build();
+        assert_eq!(m.max_procs(), Some(2));
+        assert_eq!(m.comm_cost(p(0), p(1), 3), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,603 @@
+//! The shared scheduling core.
+//!
+//! Every placement-based heuristic in this crate is one of five
+//! dispatch disciplines over the same three mechanisms — ready-set
+//! maintenance ([`ReadyQueue`], [`seed_ready`], [`release_succs`]),
+//! processor choice ([`PartialSchedule::best_placement`]) and start
+//! time computation ([`PartialSchedule::est_on`] /
+//! [`PartialSchedule::est_new`]):
+//!
+//! * [`priority_list`] — pop the highest-priority ready task, place it
+//!   earliest (HLFET);
+//! * [`event_driven`] — drain the free list in priority order, then
+//!   advance simulated time to the next completion (MH);
+//! * [`global_scan`] — scan every (ready task, best processor) pair
+//!   and commit the extremal one under a caller-chosen key (ETF, DLS);
+//! * [`static_order_append`] — place tasks in a precomputed order,
+//!   appending to processor timelines (MCP);
+//! * [`static_order_insertion`] — same order, but tasks may slot into
+//!   idle gaps (MCP-I).
+//!
+//! The heuristics differ *only* in their priority/clustering
+//! decisions; everything here is generic over
+//! [`CostModel`](crate::model::CostModel), so a sized machine model
+//! monomorphizes the whole core (no dynamic dispatch on the hot path)
+//! while `&dyn Machine` callers keep working through the blanket
+//! `CostModel` impl and the `?Sized` bounds.
+
+use crate::model::CostModel;
+use crate::workspace;
+pub(crate) use crate::workspace::PendingCounters;
+use dagsched_dag::{Dag, NodeId, Weight};
+use dagsched_obs as obs;
+use dagsched_sim::{ProcId, Schedule};
+use std::cmp::Reverse;
+
+/// An in-progress comm-aware schedule: grown one placement at a time,
+/// frozen into a [`Schedule`] at the end. Scratch tables come from
+/// the thread's [`workspace`] pool and are recycled on drop.
+pub(crate) struct PartialSchedule<'a, C: CostModel + ?Sized> {
+    g: &'a Dag,
+    model: &'a C,
+    /// Cached [`CostModel::startup_cost`] — the floor for every fresh
+    /// processor's availability.
+    startup: Weight,
+    proc_avail: Vec<Weight>,
+    proc_of: Vec<Option<ProcId>>,
+    start: Vec<Weight>,
+    finish: Vec<Weight>,
+    placed: usize,
+}
+
+impl<'a, C: CostModel + ?Sized> PartialSchedule<'a, C> {
+    pub(crate) fn new(g: &'a Dag, model: &'a C) -> Self {
+        let n = g.num_nodes();
+        Self {
+            g,
+            model,
+            startup: model.startup_cost(),
+            proc_avail: workspace::take_weights(0, 0),
+            proc_of: workspace::take_proc_opts(n),
+            start: workspace::take_weights(n, 0),
+            finish: workspace::take_weights(n, 0),
+            placed: 0,
+        }
+    }
+
+    /// Number of processors opened so far.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn num_procs(&self) -> usize {
+        self.proc_avail.len()
+    }
+
+    /// Whether another processor may be opened on this machine.
+    pub(crate) fn can_open(&self) -> bool {
+        self.model
+            .processor_limit()
+            .is_none_or(|b| self.proc_avail.len() < b)
+    }
+
+    /// Finish time of an already placed task.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn finish_of(&self, v: NodeId) -> Weight {
+        debug_assert!(self.proc_of[v.index()].is_some(), "{v} not placed yet");
+        self.finish[v.index()]
+    }
+
+    /// Earliest time `v`'s inputs are all available on processor `p`
+    /// (every predecessor must already be placed).
+    pub(crate) fn data_ready(&self, v: NodeId, p: ProcId) -> Weight {
+        self.g
+            .preds(v)
+            .map(|(pr, w)| {
+                let pp = self.proc_of[pr.index()].expect("predecessors are placed first");
+                self.finish[pr.index()] + self.model.comm_cost(w, pp, p)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Earliest start of `v` on the *existing* processor `p`.
+    pub(crate) fn est_on(&self, v: NodeId, p: ProcId) -> Weight {
+        self.data_ready(v, p).max(self.proc_avail[p.index()])
+    }
+
+    /// Earliest start of `v` on a *fresh* processor (full communication
+    /// from every predecessor, floored at the machine's startup cost).
+    pub(crate) fn est_new(&self, v: NodeId) -> Weight {
+        // A fresh processor has a fresh id; any id unequal to existing
+        // ones prices full comm on a clique. For hop-cost topologies
+        // the concrete id matters; use the next id to be opened.
+        let p = ProcId(self.proc_avail.len() as u32);
+        self.g
+            .preds(v)
+            .map(|(pr, w)| {
+                let pp = self.proc_of[pr.index()].expect("predecessors are placed first");
+                self.finish[pr.index()] + self.model.comm_cost(w, pp, p)
+            })
+            .max()
+            .unwrap_or(0)
+            .max(self.startup)
+    }
+
+    /// The placement minimizing start time for `v`: scans every
+    /// existing processor and (if the machine allows) one fresh
+    /// processor. Returns `(proc, start, is_new)`; ties prefer
+    /// existing processors, then lower ids.
+    pub(crate) fn best_placement(&self, v: NodeId) -> (ProcId, Weight, bool) {
+        let mut best: Option<(ProcId, Weight, bool)> = None;
+        for p in 0..self.proc_avail.len() {
+            let pid = ProcId(p as u32);
+            let est = self.est_on(v, pid);
+            if best.is_none_or(|(_, b, _)| est < b) {
+                best = Some((pid, est, false));
+            }
+        }
+        if self.can_open() {
+            let est = self.est_new(v);
+            if best.is_none_or(|(_, b, _)| est < b) {
+                best = Some((ProcId(self.proc_avail.len() as u32), est, true));
+            }
+        }
+        best.expect("either an existing processor or permission to open one")
+    }
+
+    /// Places `v` on `p` starting at `start`; opens the processor if
+    /// `p` is the next unopened id.
+    pub(crate) fn place(&mut self, v: NodeId, p: ProcId, start: Weight) {
+        debug_assert!(self.proc_of[v.index()].is_none(), "{v} placed twice");
+        if p.index() == self.proc_avail.len() {
+            assert!(self.can_open(), "machine processor bound exceeded");
+            self.proc_avail.push(self.startup);
+        }
+        assert!(
+            p.index() < self.proc_avail.len(),
+            "processor ids must be dense"
+        );
+        debug_assert!(start >= self.proc_avail[p.index()], "processor overlap");
+        self.proc_of[v.index()] = Some(p);
+        self.start[v.index()] = start;
+        let fin = start + self.g.node_weight(v);
+        self.finish[v.index()] = fin;
+        self.proc_avail[p.index()] = fin;
+        self.placed += 1;
+    }
+
+    /// Freezes into a [`Schedule`]. Panics if any task is unplaced.
+    /// (The scratch tables go back to the pool when `self` drops.)
+    pub(crate) fn into_schedule(self) -> Schedule {
+        assert_eq!(self.placed, self.g.num_nodes(), "all tasks must be placed");
+        let raw: Vec<(ProcId, Weight)> = self
+            .proc_of
+            .iter()
+            .zip(&self.start)
+            .map(|(p, &s)| (p.expect("placed"), s))
+            .collect();
+        Schedule::new(self.g, raw)
+    }
+}
+
+impl<C: CostModel + ?Sized> Drop for PartialSchedule<'_, C> {
+    fn drop(&mut self) {
+        workspace::recycle_weights(std::mem::take(&mut self.proc_avail));
+        workspace::recycle_weights(std::mem::take(&mut self.start));
+        workspace::recycle_weights(std::mem::take(&mut self.finish));
+        workspace::recycle_proc_opts(std::mem::take(&mut self.proc_of));
+    }
+}
+
+/// A lazily keyed max-heap of ready tasks: pushes carry the priority,
+/// ties break toward the smaller node index for determinism. The heap
+/// storage is pooled and recycled on drop.
+pub(crate) struct ReadyQueue {
+    heap: std::collections::BinaryHeap<(Weight, Reverse<u32>)>,
+}
+
+impl ReadyQueue {
+    pub(crate) fn new() -> Self {
+        Self {
+            heap: workspace::take_ready_heap(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, v: NodeId, priority: Weight) {
+        self.heap.push((priority, Reverse(v.0)));
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<NodeId> {
+        self.heap.pop().map(|(_, Reverse(v))| NodeId(v))
+    }
+
+    /// Number of tasks currently ready.
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl Drop for ReadyQueue {
+    fn drop(&mut self) {
+        workspace::recycle_ready_heap(std::mem::take(&mut self.heap));
+    }
+}
+
+/// Seeds a ready queue with the sources of `g` and returns the
+/// remaining in-degree counters used to release successors.
+pub(crate) fn seed_ready(g: &Dag, priority: &[Weight], queue: &mut ReadyQueue) -> PendingCounters {
+    let pending = PendingCounters::from_in_degrees(g);
+    for v in g.nodes() {
+        if pending[v.index()] == 0 {
+            queue.push(v, priority[v.index()]);
+        }
+    }
+    pending
+}
+
+/// Releases the successors of `v` whose predecessors are all placed.
+pub(crate) fn release_succs(
+    g: &Dag,
+    v: NodeId,
+    pending: &mut [u32],
+    priority: &[Weight],
+    queue: &mut ReadyQueue,
+) {
+    for (s, _) in g.succs(v) {
+        pending[s.index()] -= 1;
+        if pending[s.index()] == 0 {
+            queue.push(s, priority[s.index()]);
+        }
+    }
+}
+
+/// Priority-list dispatch (HLFET): pop the highest-priority ready
+/// task, place it at its earliest start, release its successors.
+pub(crate) fn priority_list<C: CostModel + ?Sized>(
+    g: &Dag,
+    model: &C,
+    priority: &[Weight],
+) -> Schedule {
+    let mut ps = PartialSchedule::new(g, model);
+    let mut queue = ReadyQueue::new();
+    let mut pending = seed_ready(g, priority, &mut queue);
+    while let Some(t) = queue.pop() {
+        let (p, st, _) = ps.best_placement(t);
+        ps.place(t, p, st);
+        release_succs(g, t, &mut pending, priority, &mut queue);
+    }
+    ps.into_schedule()
+}
+
+/// Event-driven dispatch (MH): allocate every currently free task in
+/// priority order, then advance simulated time to the next completion
+/// instant and release the successors satisfied there. `ready_hist`
+/// names the histogram recording the free-list length per wave.
+pub(crate) fn event_driven<C: CostModel + ?Sized>(
+    g: &Dag,
+    model: &C,
+    priority: &[Weight],
+    ready_hist: &'static str,
+) -> Schedule {
+    let mut ps = PartialSchedule::new(g, model);
+    let mut free = ReadyQueue::new();
+    let mut pending = seed_ready(g, priority, &mut free);
+    // Completion events: (finish time, task).
+    let mut events = workspace::take_event_heap();
+
+    loop {
+        // The free-list length at each dispatch wave is the
+        // paper-relevant shape of the frontier.
+        if obs::active() && !free.is_empty() {
+            obs::hist_record(ready_hist, free.len() as u64);
+        }
+        // Allocate every currently free task, highest priority first.
+        while let Some(t) = free.pop() {
+            let (p, st, _) = ps.best_placement(t);
+            ps.place(t, p, st);
+            events.push(Reverse((ps.finish_of(t), t.0)));
+        }
+        // Advance to the next completion instant and release all
+        // successors satisfied at that instant.
+        let Some(&Reverse((now, _))) = events.peek() else {
+            break;
+        };
+        while let Some(&Reverse((time, tv))) = events.peek() {
+            if time != now {
+                break;
+            }
+            events.pop();
+            for (s, _) in g.succs(NodeId(tv)) {
+                pending[s.index()] -= 1;
+                if pending[s.index()] == 0 {
+                    free.push(s, priority[s.index()]);
+                }
+            }
+        }
+    }
+    workspace::recycle_event_heap(events);
+    ps.into_schedule()
+}
+
+/// Global-scan dispatch (ETF, DLS): at each step compute the best
+/// placement of *every* ready task and commit the task whose
+/// `(task, start)` pair minimizes the caller's `key`. The scan visits
+/// the ready list in insertion order with `swap_remove` compaction, so
+/// key ties keep the earliest-scanned entry.
+pub(crate) fn global_scan<C: CostModel + ?Sized, K: Ord>(
+    g: &Dag,
+    model: &C,
+    mut key: impl FnMut(NodeId, Weight) -> K,
+) -> Schedule {
+    let mut ps = PartialSchedule::new(g, model);
+    let mut pending = PendingCounters::from_in_degrees(g);
+    let mut ready = workspace::take_nodes();
+    ready.extend(g.nodes().filter(|&v| pending[v.index()] == 0));
+
+    while !ready.is_empty() {
+        let mut best: Option<(usize, ProcId, Weight, K)> = None;
+        for (k, &t) in ready.iter().enumerate() {
+            let (p, st, _) = ps.best_placement(t);
+            let cand = key(t, st);
+            let better = match &best {
+                None => true,
+                Some((_, _, _, bk)) => cand < *bk,
+            };
+            if better {
+                best = Some((k, p, st, cand));
+            }
+        }
+        let (k, p, st, _) = best.expect("ready list non-empty");
+        let t = ready.swap_remove(k);
+        ps.place(t, p, st);
+        for (s, _) in g.succs(t) {
+            pending[s.index()] -= 1;
+            if pending[s.index()] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    workspace::recycle_nodes(ready);
+    ps.into_schedule()
+}
+
+/// Static-order dispatch, append semantics (MCP): place tasks in the
+/// given topological order, each at its earliest start, appending to
+/// processor timelines.
+pub(crate) fn static_order_append<C: CostModel + ?Sized>(
+    g: &Dag,
+    model: &C,
+    order: &[NodeId],
+) -> Schedule {
+    let mut ps = PartialSchedule::new(g, model);
+    for &t in order {
+        let (p, st, _) = ps.best_placement(t);
+        ps.place(t, p, st);
+    }
+    ps.into_schedule()
+}
+
+/// Static-order dispatch, insertion semantics (MCP-I): tasks may slot
+/// into idle gaps between already-placed tasks when data arrives early
+/// enough.
+pub(crate) fn static_order_insertion<C: CostModel + ?Sized>(
+    g: &Dag,
+    model: &C,
+    order: &[NodeId],
+) -> Schedule {
+    let n = g.num_nodes();
+    let startup = model.startup_cost();
+    // Per processor: placed (start, finish) intervals, kept sorted.
+    let mut procs: Vec<Vec<(Weight, Weight)>> = Vec::new();
+    let mut placement: Vec<(ProcId, Weight)> = vec![(ProcId(0), 0); n];
+    let mut finish: Vec<Weight> = vec![0; n];
+    let mut proc_of: Vec<ProcId> = vec![ProcId(0); n];
+    let can_open = |k: usize| model.processor_limit().is_none_or(|b| k < b);
+
+    for &t in order {
+        let w = g.node_weight(t);
+        let data_ready = |p: ProcId| -> Weight {
+            g.preds(t)
+                .map(|(pr, ew)| finish[pr.index()] + model.comm_cost(ew, proc_of[pr.index()], p))
+                .max()
+                .unwrap_or(0)
+                .max(startup)
+        };
+        // Best gap across existing processors.
+        let mut best: Option<(ProcId, Weight, bool)> = None;
+        for (pi, intervals) in procs.iter().enumerate() {
+            let pid = ProcId(pi as u32);
+            let ready = data_ready(pid);
+            let st = earliest_gap(intervals, ready, w);
+            if best.is_none_or(|(_, b, _)| st < b) {
+                best = Some((pid, st, false));
+            }
+        }
+        if can_open(procs.len()) {
+            let pid = ProcId(procs.len() as u32);
+            let st = data_ready(pid);
+            if best.is_none_or(|(_, b, _)| st < b) {
+                best = Some((pid, st, true));
+            }
+        }
+        let (p, st, is_new) = best.expect("a processor always exists or can be opened");
+        if is_new {
+            procs.push(Vec::new());
+        }
+        let intervals = &mut procs[p.index()];
+        let pos = intervals.partition_point(|&(s, _)| s < st);
+        intervals.insert(pos, (st, st + w));
+        placement[t.index()] = (p, st);
+        finish[t.index()] = st + w;
+        proc_of[t.index()] = p;
+    }
+    Schedule::new(g, placement)
+}
+
+/// The earliest start ≥ `ready` where a task of length `w` fits into
+/// the idle gaps of `intervals` (sorted, non-overlapping).
+pub(crate) fn earliest_gap(intervals: &[(Weight, Weight)], ready: Weight, w: Weight) -> Weight {
+    let mut candidate = ready;
+    for &(s, f) in intervals {
+        if candidate + w <= s {
+            return candidate;
+        }
+        candidate = candidate.max(f);
+    }
+    candidate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::fig16;
+    use crate::model::{BoundedUniform, LinkAware, PaperUniform};
+    use dagsched_sim::{BoundedClique, Clique};
+
+    #[test]
+    fn partial_schedule_tracks_times() {
+        let g = fig16();
+        let mut ps = PartialSchedule::new(&g, &Clique);
+        let (p, st, is_new) = ps.best_placement(NodeId(0));
+        assert!(is_new);
+        assert_eq!(st, 0);
+        ps.place(NodeId(0), p, st);
+        assert_eq!(ps.num_procs(), 1);
+        assert_eq!(ps.finish_of(NodeId(0)), 10);
+        // Node 2 on the same processor: free comm, starts at 10.
+        assert_eq!(ps.est_on(NodeId(2), p), 10);
+        // On a fresh processor: pays comm 5 → max(10 + 5) = 15.
+        assert_eq!(ps.est_new(NodeId(2)), 15);
+        // Best placement is the existing processor.
+        let (bp, bst, bnew) = ps.best_placement(NodeId(2));
+        assert_eq!((bp, bst, bnew), (p, 10, false));
+    }
+
+    #[test]
+    fn bounded_machines_stop_opening_procs() {
+        let g = fig16();
+        let m = BoundedClique::new(1);
+        let mut ps = PartialSchedule::new(&g, &m);
+        assert!(ps.can_open());
+        ps.place(NodeId(0), ProcId(0), 0);
+        assert!(!ps.can_open());
+        let (p, _, is_new) = ps.best_placement(NodeId(2));
+        assert_eq!(p, ProcId(0));
+        assert!(!is_new);
+    }
+
+    #[test]
+    fn monomorphized_and_dyn_partial_schedules_agree() {
+        // The same model through a sized generic and through a trait
+        // object makes identical placements.
+        let g = fig16();
+        let model = PaperUniform;
+        let dynm: &dyn dagsched_sim::Machine = &model;
+        let mut mono = PartialSchedule::new(&g, &model);
+        let mut dynamic = PartialSchedule::new(&g, dynm);
+        for &t in g.topo_order() {
+            let a = mono.best_placement(t);
+            let b = dynamic.best_placement(t);
+            assert_eq!(a, b, "{t}");
+            mono.place(t, a.0, a.1);
+            dynamic.place(t, b.0, b.1);
+        }
+        assert_eq!(mono.into_schedule(), dynamic.into_schedule());
+    }
+
+    #[test]
+    fn startup_cost_floors_fresh_processors() {
+        let m = LinkAware::parse("procs 2\nstartup 25\nlatency\n0 1\n1 0\nperunit\n0 1\n1 0\n")
+            .unwrap();
+        let g = fig16();
+        let mut ps = PartialSchedule::new(&g, &m);
+        // The source's only placement option is a fresh processor,
+        // which cannot start before the machine is up.
+        let (p, st, is_new) = ps.best_placement(NodeId(0));
+        assert!(is_new);
+        assert_eq!(st, 25);
+        ps.place(NodeId(0), p, st);
+        // The second fresh processor starts at max(data arrival, 25).
+        assert!(ps.est_new(NodeId(2)) >= 25);
+    }
+
+    #[test]
+    fn model_limit_caps_processor_opening() {
+        let g = fig16();
+        let m = BoundedUniform::new(1);
+        let mut ps = PartialSchedule::new(&g, &m);
+        ps.place(NodeId(0), ProcId(0), 0);
+        assert!(!ps.can_open());
+    }
+
+    #[test]
+    fn ready_queue_orders_by_priority_then_index() {
+        let mut q = ReadyQueue::new();
+        q.push(NodeId(3), 5);
+        q.push(NodeId(1), 9);
+        q.push(NodeId(2), 9);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(NodeId(1)));
+        assert_eq!(q.pop(), Some(NodeId(2)));
+        assert_eq!(q.pop(), Some(NodeId(3)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn seed_and_release_walk_the_graph() {
+        let g = fig16();
+        let pr = vec![0; 5];
+        let mut q = ReadyQueue::new();
+        let mut pending = seed_ready(&g, &pr, &mut q);
+        assert_eq!(q.pop(), Some(NodeId(0)));
+        assert!(q.is_empty());
+        release_succs(&g, NodeId(0), &mut pending, &pr, &mut q);
+        let mut ready: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        ready.sort();
+        assert_eq!(ready, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn earliest_gap_logic() {
+        // Gaps: [10,20] busy, [30,40] busy.
+        let iv = vec![(10, 20), (30, 40)];
+        assert_eq!(earliest_gap(&iv, 0, 10), 0); // fits before
+        assert_eq!(earliest_gap(&iv, 0, 11), 40); // too big for both gaps
+        assert_eq!(earliest_gap(&iv, 12, 5), 20); // middle gap
+        assert_eq!(earliest_gap(&iv, 35, 5), 40); // after everything
+        assert_eq!(earliest_gap(&[], 7, 5), 7);
+    }
+
+    #[test]
+    fn drivers_agree_across_model_representations() {
+        // Each shared driver produces the same schedule whether the
+        // paper model arrives as a sized type or as `&dyn Machine`.
+        let g = fig16();
+        let model = PaperUniform;
+        let dynm: &dyn dagsched_sim::Machine = &model;
+        let priority = g.blevels_with_comm();
+        assert_eq!(
+            priority_list(&g, &model, priority),
+            priority_list(&g, dynm, priority)
+        );
+        assert_eq!(
+            event_driven(&g, &model, priority, "kernel.test_hist"),
+            event_driven(&g, dynm, priority, "kernel.test_hist")
+        );
+        assert_eq!(
+            global_scan(&g, &model, |t, st| (st, t.0)),
+            global_scan(&g, dynm, |t, st| (st, t.0))
+        );
+        let order: Vec<NodeId> = g.topo_order().to_vec();
+        assert_eq!(
+            static_order_append(&g, &model, &order),
+            static_order_append(&g, dynm, &order)
+        );
+        assert_eq!(
+            static_order_insertion(&g, &model, &order),
+            static_order_insertion(&g, dynm, &order)
+        );
+    }
+}

@@ -1,5 +1,9 @@
-//! The [`Scheduler`] trait and heuristic registries.
+//! The [`Scheduler`] trait, the shared scheduling [`kernel`] and the
+//! heuristic registries.
 
+pub(crate) mod kernel;
+
+use crate::model::MachineModel;
 use dagsched_dag::Dag;
 use dagsched_sim::{Machine, Schedule};
 
@@ -20,6 +24,20 @@ pub trait Scheduler: Send + Sync {
 
     /// Schedules `g` on `machine`.
     fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule;
+
+    /// Schedules `g` on a sized [`MachineModel`] — the monomorphized
+    /// entry point. Every heuristic in this crate overrides the
+    /// default to run its generic core directly on `model`, so the
+    /// [`PaperUniform`](crate::model::PaperUniform) hot path carries
+    /// no dynamic dispatch; the default simply falls back to the
+    /// `&dyn Machine` path (used by wrapper schedulers that hold
+    /// boxed inner heuristics).
+    fn schedule_model<M: MachineModel>(&self, g: &Dag, model: &M) -> Schedule
+    where
+        Self: Sized,
+    {
+        self.schedule(g, model)
+    }
 }
 
 /// The five heuristics the paper compares, in the paper's column order
@@ -50,6 +68,8 @@ pub fn all_heuristics() -> Vec<Box<dyn Scheduler>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fixtures::fig16;
+    use crate::model::PaperUniform;
 
     #[test]
     fn registry_names_match_paper_columns() {
@@ -70,5 +90,39 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), all.len());
+    }
+
+    #[test]
+    fn schedule_model_matches_dyn_schedule_for_every_heuristic() {
+        // The monomorphized entry point and the trait-object path make
+        // the same decisions on the paper's machine.
+        let g = fig16();
+        let model = PaperUniform;
+        macro_rules! check {
+            ($($h:expr),* $(,)?) => {$({
+                let h = $h;
+                assert_eq!(
+                    h.schedule_model(&g, &model),
+                    h.schedule(&g, &model),
+                    "{}",
+                    Scheduler::name(&h)
+                );
+            })*};
+        }
+        check!(
+            crate::clans_sched::Clans,
+            crate::cp::dsc::Dsc,
+            crate::cp::dsc::DscFast,
+            crate::cp::mcp::Mcp::default(),
+            crate::cp::mcp::Mcp::with_insertion(),
+            crate::listsched::mh::Mh,
+            crate::listsched::hu::Hu,
+            crate::listsched::etf::Etf,
+            crate::listsched::hlfet::Hlfet,
+            crate::listsched::dls::Dls,
+            crate::cp::lc::LinearClustering,
+            crate::cp::sarkar::Sarkar,
+            crate::serial::Serial,
+        );
     }
 }

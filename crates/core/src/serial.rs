@@ -1,5 +1,6 @@
 //! The serial baseline: everything on one processor.
 
+use crate::model::MachineModel;
 use crate::scheduler::Scheduler;
 use dagsched_dag::Dag;
 use dagsched_sim::{Clustering, Machine, Schedule};
@@ -11,15 +12,27 @@ use dagsched_sim::{Clustering, Machine, Schedule};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Serial;
 
+impl Serial {
+    /// Monomorphized core (trivially model-independent apart from the
+    /// startup floor applied during materialization).
+    pub fn schedule_on<M: Machine + ?Sized>(&self, g: &Dag, machine: &M) -> Schedule {
+        Clustering::serial(g.num_nodes())
+            .materialize(g, machine)
+            .expect("the serial clustering is always valid")
+    }
+}
+
 impl Scheduler for Serial {
     fn name(&self) -> &'static str {
         "SERIAL"
     }
 
     fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
-        Clustering::serial(g.num_nodes())
-            .materialize(g, machine)
-            .expect("the serial clustering is always valid")
+        self.schedule_on(g, machine)
+    }
+
+    fn schedule_model<M: MachineModel>(&self, g: &Dag, model: &M) -> Schedule {
+        self.schedule_on(g, model)
     }
 }
 

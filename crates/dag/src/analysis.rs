@@ -38,9 +38,10 @@
 use crate::closure::Closure;
 use crate::graph::{Dag, NodeId, Weight};
 use crate::levels;
+use crate::model::LevelCost;
 use dagsched_obs as obs;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Lazily materialized per-graph labellings (see the module docs).
 ///
@@ -56,6 +57,32 @@ pub struct DagAnalysis {
     slacks: OnceLock<Vec<Weight>>,
     critical_path: OnceLock<Vec<NodeId>>,
     closure: OnceLock<Closure>,
+    /// Per-[`LevelCost`] labelling bundles, keyed by the pricing so
+    /// levels computed under one machine model can never be served to
+    /// another (the soundness condition of the model refactor). A
+    /// linear scan suffices: a process uses a handful of models.
+    model_levels: Mutex<Vec<(LevelCost, Arc<ModelLevels>)>>,
+}
+
+/// The level bundle for one [`LevelCost`]: b-levels, t-levels and ALAP
+/// times all priced under the same edge cost, computed together and
+/// shared via [`Dag::model_levels`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelLevels {
+    /// Bottom levels under the model's edge pricing.
+    pub blevels: Vec<Weight>,
+    /// Top levels under the model's edge pricing.
+    pub tlevels: Vec<Weight>,
+    /// ALAP start times: `cp − blevel` with `cp` the priced critical
+    /// path length.
+    pub alap: Vec<Weight>,
+}
+
+impl ModelLevels {
+    /// The priced critical path length (`max` b-level; 0 when empty).
+    pub fn critical_path_len(&self) -> Weight {
+        self.blevels.iter().copied().max().unwrap_or(0)
+    }
 }
 
 impl DagAnalysis {
@@ -75,6 +102,12 @@ impl DagAnalysis {
         push(self.slacks.get().is_some(), "slacks");
         push(self.critical_path.get().is_some(), "critical_path");
         push(self.closure.get().is_some(), "closure");
+        let models = self
+            .model_levels
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len();
+        push(models > 0, "model_levels");
         w
     }
 }
@@ -105,6 +138,59 @@ impl fmt::Debug for DagAnalysis {
         f.debug_struct("DagAnalysis")
             .field("warm", &self.warm())
             .finish()
+    }
+}
+
+/// Levels as seen under one [`LevelCost`]: the view heuristics use to
+/// read priorities without caring whether the model is uniform.
+///
+/// [`LevelCost::Uniform`] *borrows* the plain memoized accessors —
+/// exactly the pre-model code path, same values, same `dag.analysis.*`
+/// counters — while any other pricing holds an [`Arc`] into the keyed
+/// [`Dag::model_levels`] cache. This is what keeps the paper-model
+/// hot path bit-identical through the machine-model refactor.
+pub struct PricedLevels<'g> {
+    g: &'g Dag,
+    owned: Option<Arc<ModelLevels>>,
+}
+
+impl<'g> PricedLevels<'g> {
+    /// The level view of `g` priced under `cost`.
+    pub fn new(g: &'g Dag, cost: LevelCost) -> Self {
+        let owned = (!cost.is_uniform()).then(|| g.model_levels(cost));
+        PricedLevels { g, owned }
+    }
+
+    /// Priced bottom levels (the Gerasoulis/Yang priority).
+    #[inline]
+    pub fn blevels(&self) -> &[Weight] {
+        match &self.owned {
+            None => self.g.blevels_with_comm(),
+            Some(ml) => &ml.blevels,
+        }
+    }
+
+    /// Priced top levels.
+    #[inline]
+    pub fn tlevels(&self) -> &[Weight] {
+        match &self.owned {
+            None => self.g.tlevels_with_comm(),
+            Some(ml) => &ml.tlevels,
+        }
+    }
+
+    /// Priced ALAP start times (MCP's `T_L` binding).
+    #[inline]
+    pub fn alap(&self) -> &[Weight] {
+        match &self.owned {
+            None => self.g.alap_times(),
+            Some(ml) => &ml.alap,
+        }
+    }
+
+    /// The priced critical path length.
+    pub fn critical_path_len(&self) -> Weight {
+        self.blevels().iter().copied().max().unwrap_or(0)
     }
 }
 
@@ -202,6 +288,54 @@ impl Dag {
             obs::counter_add("dag.analysis.closure", 1);
             Closure::new(self)
         })
+    }
+
+    /// The level bundle (b-levels, t-levels, ALAP) priced under
+    /// `cost`, computed at most once per `(graph, cost)` pair and
+    /// shared via [`Arc`]. [`LevelCost::Uniform`] copies out of the
+    /// plain memoized accessors, so the uniform bundle agrees
+    /// bit-for-bit with [`Dag::blevels_with_comm`] & friends; every
+    /// other pricing gets its own cache entry, keeping the PR-3 cache
+    /// sound across machine models.
+    pub fn model_levels(&self, cost: LevelCost) -> Arc<ModelLevels> {
+        {
+            let cache = self
+                .analysis()
+                .model_levels
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if let Some((_, ml)) = cache.iter().find(|(k, _)| *k == cost) {
+                return Arc::clone(ml);
+            }
+        }
+        // Compute outside the lock: the uniform path re-enters the
+        // OnceLock accessors, and a long computation must not block
+        // readers of other models. A lost race keeps the first entry
+        // (all values are deterministic, so they are equal anyway).
+        obs::counter_add("dag.analysis.model_levels", 1);
+        let ml = Arc::new(if cost.is_uniform() {
+            ModelLevels {
+                blevels: self.blevels_with_comm().to_vec(),
+                tlevels: self.tlevels_with_comm().to_vec(),
+                alap: self.alap_times().to_vec(),
+            }
+        } else {
+            ModelLevels {
+                blevels: levels::blevels_with_model(self, cost),
+                tlevels: levels::tlevels_with_model(self, cost),
+                alap: levels::alap_with_model(self, cost),
+            }
+        });
+        let mut cache = self
+            .analysis()
+            .model_levels
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if let Some((_, existing)) = cache.iter().find(|(k, _)| *k == cost) {
+            return Arc::clone(existing);
+        }
+        cache.push((cost, Arc::clone(&ml)));
+        ml
     }
 
     /// Materializes every labelling of the bundle. Runners call this
@@ -321,6 +455,58 @@ mod tests {
         );
         // Debug output surfaces the warm set for diagnostics.
         assert!(format!("{g:?}").contains("blevels_comm"));
+    }
+
+    #[test]
+    fn model_levels_cache_is_keyed_by_pricing() {
+        let g = fig16();
+        let uniform = g.model_levels(LevelCost::Uniform);
+        assert_eq!(uniform.blevels, g.blevels_with_comm());
+        assert_eq!(uniform.tlevels, g.tlevels_with_comm());
+        assert_eq!(uniform.alap, g.alap_times());
+        assert_eq!(uniform.critical_path_len(), g.critical_path_len());
+        // Same key → same allocation; different key → different values.
+        assert!(Arc::ptr_eq(&uniform, &g.model_levels(LevelCost::Uniform)));
+        let scaled = LevelCost::Scaled {
+            mul: 2,
+            div: 1,
+            add: 0,
+        };
+        let doubled = g.model_levels(scaled);
+        assert!(!Arc::ptr_eq(&uniform, &doubled));
+        assert_eq!(doubled.blevels, levels::blevels_with_model(&g, scaled));
+        assert_ne!(doubled.blevels, uniform.blevels);
+        // Both entries stay resident side by side.
+        assert!(Arc::ptr_eq(&doubled, &g.model_levels(scaled)));
+        assert!(g.warm_labellings().contains(&"model_levels"));
+    }
+
+    #[test]
+    fn priced_levels_borrow_uniform_and_share_nonuniform() {
+        let g = fig16();
+        let view = PricedLevels::new(&g, LevelCost::Uniform);
+        assert!(std::ptr::eq(view.blevels(), g.blevels_with_comm()));
+        assert!(std::ptr::eq(view.alap(), g.alap_times()));
+        let scaled = LevelCost::Scaled {
+            mul: 3,
+            div: 2,
+            add: 7,
+        };
+        let view = PricedLevels::new(&g, scaled);
+        assert_eq!(view.blevels(), &levels::blevels_with_model(&g, scaled)[..]);
+        assert_eq!(view.tlevels(), &levels::tlevels_with_model(&g, scaled)[..]);
+        assert_eq!(view.alap(), &levels::alap_with_model(&g, scaled)[..]);
+        // The non-uniform pricing never leaks into the plain cache.
+        assert_ne!(view.blevels(), g.blevels_with_comm());
+    }
+
+    #[test]
+    fn model_cache_clones_cold() {
+        let g = fig16();
+        g.model_levels(LevelCost::Uniform);
+        let twin = g.clone();
+        assert!(!twin.warm_labellings().contains(&"model_levels"));
+        assert_eq!(g, twin);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! * HU's priority is the classic computation-only level.
 
 use crate::graph::{Dag, NodeId, Weight};
+use crate::model::LevelCost;
 
 /// *Bottom level with communication*: the weight of the heaviest path
 /// from the start of `v` to an exit node, counting node weights
@@ -26,12 +27,28 @@ pub fn blevels_computation(g: &Dag) -> Vec<Weight> {
     blevels(g, false)
 }
 
+/// *Bottom level* under an arbitrary edge pricing: as
+/// [`blevels_with_comm`] but every edge weight passes through
+/// `cost.cross_cost`. `LevelCost::Uniform` reproduces
+/// [`blevels_with_comm`] exactly.
+pub fn blevels_with_model(g: &Dag, cost: LevelCost) -> Vec<Weight> {
+    blevels_by(g, |c| cost.cross_cost(c))
+}
+
 fn blevels(g: &Dag, with_comm: bool) -> Vec<Weight> {
+    if with_comm {
+        blevels_by(g, |c| c)
+    } else {
+        blevels_by(g, |_| 0)
+    }
+}
+
+fn blevels_by(g: &Dag, edge: impl Fn(Weight) -> Weight) -> Vec<Weight> {
     let mut bl = vec![0; g.num_nodes()];
     for &v in g.topo_order().iter().rev() {
         let best = g
             .succs(v)
-            .map(|(s, c)| bl[s.index()] + if with_comm { c } else { 0 })
+            .map(|(s, c)| bl[s.index()] + edge(c))
             .max()
             .unwrap_or(0);
         bl[v.index()] = g.node_weight(v) + best;
@@ -52,12 +69,26 @@ pub fn tlevels_computation(g: &Dag) -> Vec<Weight> {
     tlevels(g, false)
 }
 
+/// *Top level* under an arbitrary edge pricing (cf.
+/// [`blevels_with_model`]).
+pub fn tlevels_with_model(g: &Dag, cost: LevelCost) -> Vec<Weight> {
+    tlevels_by(g, |c| cost.cross_cost(c))
+}
+
 fn tlevels(g: &Dag, with_comm: bool) -> Vec<Weight> {
+    if with_comm {
+        tlevels_by(g, |c| c)
+    } else {
+        tlevels_by(g, |_| 0)
+    }
+}
+
+fn tlevels_by(g: &Dag, edge: impl Fn(Weight) -> Weight) -> Vec<Weight> {
     let mut tl = vec![0; g.num_nodes()];
     for &v in g.topo_order() {
         let best = g
             .preds(v)
-            .map(|(p, c)| tl[p.index()] + g.node_weight(p) + if with_comm { c } else { 0 })
+            .map(|(p, c)| tl[p.index()] + g.node_weight(p) + edge(c))
             .max()
             .unwrap_or(0);
         tl[v.index()] = best;
@@ -112,6 +143,14 @@ pub fn critical_path(g: &Dag) -> Vec<NodeId> {
 /// `alap(v) == tlevel(v)`.
 pub fn alap_times(g: &Dag) -> Vec<Weight> {
     let bl = blevels_with_comm(g);
+    let cp = bl.iter().copied().max().unwrap_or(0);
+    bl.into_iter().map(|b| cp - b).collect()
+}
+
+/// ALAP start times under an arbitrary edge pricing (cf.
+/// [`blevels_with_model`]).
+pub fn alap_with_model(g: &Dag, cost: LevelCost) -> Vec<Weight> {
+    let bl = blevels_with_model(g, cost);
     let cp = bl.iter().copied().max().unwrap_or(0);
     bl.into_iter().map(|b| cp - b).collect()
 }
@@ -249,6 +288,44 @@ mod tests {
         assert_eq!(critical_path_len(&g), 7);
         assert_eq!(critical_path(&g), vec![n(0)]);
         assert_eq!(alap_times(&g), vec![0]);
+    }
+
+    #[test]
+    fn model_levels_reduce_to_the_uniform_and_free_cases() {
+        use crate::model::LevelCost;
+        let g = fig16();
+        assert_eq!(
+            blevels_with_model(&g, LevelCost::Uniform),
+            blevels_with_comm(&g)
+        );
+        assert_eq!(
+            tlevels_with_model(&g, LevelCost::Uniform),
+            tlevels_with_comm(&g)
+        );
+        assert_eq!(alap_with_model(&g, LevelCost::Uniform), alap_times(&g));
+        let free = LevelCost::Scaled {
+            mul: 0,
+            div: 1,
+            add: 0,
+        };
+        assert_eq!(blevels_with_model(&g, free), blevels_computation(&g));
+        assert_eq!(tlevels_with_model(&g, free), tlevels_computation(&g));
+    }
+
+    #[test]
+    fn scaled_levels_reprice_every_edge() {
+        use crate::model::LevelCost;
+        // Doubling every edge weight: fig16's level of node 0 becomes
+        // 10 + 2·5 + 30 + 2·10 + 40 + 2·5 + 50 = 170.
+        let g = fig16();
+        let twice = LevelCost::Scaled {
+            mul: 2,
+            div: 1,
+            add: 0,
+        };
+        let bl = blevels_with_model(&g, twice);
+        assert_eq!(bl[0], 170);
+        assert_eq!(bl[4], 50, "exit nodes are comm-free");
     }
 
     #[test]

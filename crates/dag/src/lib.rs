@@ -19,6 +19,8 @@
 //!   three-valued node [`closure::Relation`];
 //! * [`levels`] — b-levels, t-levels, ALAP times and critical paths,
 //!   with and without communication costs;
+//! * [`model`] — the [`LevelCost`] edge pricing making those level
+//!   computations generic over the machine's communication model;
 //! * [`analysis`] — the per-graph cache memoizing those labellings
 //!   (and the closure) behind accessor methods on [`Dag`], so a graph
 //!   scheduled by several heuristics computes each at most once;
@@ -62,6 +64,7 @@ pub mod error;
 pub mod graph;
 pub mod levels;
 pub mod metrics;
+pub mod model;
 #[cfg(feature = "serde")]
 mod serde_impls;
 pub mod stg;
@@ -71,3 +74,4 @@ pub mod transform;
 
 pub use error::{DagError, Result};
 pub use graph::{Dag, DagBuilder, EdgeId, NodeId, Weight};
+pub use model::LevelCost;

@@ -1,0 +1,110 @@
+//! How level computations price a cross-processor edge: the
+//! [`LevelCost`] knob that makes b-levels/t-levels/ALAP generic over
+//! the machine's communication model.
+//!
+//! Path labellings are *machine-global*: a b-level does not know which
+//! processor pair a message will cross, so a machine model reduces to
+//! a single edge-pricing function for level purposes. The paper's §2
+//! model prices a cross-processor edge at exactly its weight
+//! ([`LevelCost::Uniform`]); link-aware models supply a representative
+//! affine pricing ([`LevelCost::Scaled`]) — typically their mean
+//! latency and per-unit cost — so priorities stay consistent with the
+//! placement costs without the labelling needing per-pair detail.
+//!
+//! All arithmetic saturates: the torture corpus deliberately includes
+//! near-`u64::MAX` weights, and a priority that pins at the ceiling is
+//! preferable to a panic.
+
+use crate::graph::Weight;
+
+/// Edge pricing used by the level computations (see module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum LevelCost {
+    /// The paper's §2 model: a cross-processor edge costs its weight.
+    #[default]
+    Uniform,
+    /// Affine pricing `add + w·mul/div` — the machine-global
+    /// approximation of a non-uniform model (e.g. mean link latency
+    /// `add` and mean per-unit transfer cost `mul/div`).
+    Scaled {
+        /// Numerator of the per-unit transfer cost.
+        mul: Weight,
+        /// Denominator of the per-unit transfer cost (≥ 1; a zero is
+        /// treated as 1 rather than dividing by zero).
+        div: Weight,
+        /// Flat per-message latency.
+        add: Weight,
+    },
+}
+
+impl LevelCost {
+    /// Prices a cross-processor edge of weight `w`.
+    #[inline]
+    pub fn cross_cost(&self, w: Weight) -> Weight {
+        match *self {
+            LevelCost::Uniform => w,
+            LevelCost::Scaled { mul, div, add } => {
+                let div = div.max(1);
+                add.saturating_add(w.saturating_mul(mul) / div)
+            }
+        }
+    }
+
+    /// Whether this is the paper's uniform pricing (the fast path:
+    /// uniform levels share the plain [`Dag`](crate::Dag) accessors'
+    /// memoized values).
+    #[inline]
+    pub fn is_uniform(&self) -> bool {
+        matches!(self, LevelCost::Uniform)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_prices_at_weight() {
+        assert_eq!(LevelCost::Uniform.cross_cost(0), 0);
+        assert_eq!(LevelCost::Uniform.cross_cost(42), 42);
+        assert!(LevelCost::Uniform.is_uniform());
+    }
+
+    #[test]
+    fn scaled_is_affine() {
+        let c = LevelCost::Scaled {
+            mul: 3,
+            div: 2,
+            add: 10,
+        };
+        assert_eq!(c.cross_cost(0), 10);
+        assert_eq!(c.cross_cost(4), 10 + 6);
+        assert!(!c.is_uniform());
+    }
+
+    #[test]
+    fn scaled_zero_divisor_and_overflow_saturate() {
+        let c = LevelCost::Scaled {
+            mul: 2,
+            div: 0,
+            add: 0,
+        };
+        assert_eq!(c.cross_cost(5), 10, "div 0 acts as 1");
+        let big = LevelCost::Scaled {
+            mul: Weight::MAX,
+            div: 1,
+            add: Weight::MAX,
+        };
+        assert_eq!(big.cross_cost(Weight::MAX), Weight::MAX);
+    }
+
+    #[test]
+    fn free_communication_is_expressible() {
+        let free = LevelCost::Scaled {
+            mul: 0,
+            div: 1,
+            add: 0,
+        };
+        assert_eq!(free.cross_cost(1000), 0);
+    }
+}

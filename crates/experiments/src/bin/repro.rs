@@ -13,6 +13,11 @@
 //!   --graphs-per-set <N>   graphs per corpus set (default 35 → 2100)
 //!   --seed <N>             master seed (default 0x19940c99)
 //!   --nodes <LO>..<HI>     node count range (default 60..110)
+//!   --machine <SPEC>       machine model to schedule (and validate)
+//!                          under: `uniform` (the paper's §2 model,
+//!                          default), `bounded:<p>` (p homogeneous
+//!                          processors) or `linkaware:<file>` (per-pair
+//!                          latency/bandwidth table)
 //!   --csv                  emit tables as CSV instead of markdown
 //!   --validate             run fault-isolated with oracle gating;
 //!                          the report gains a robustness section
@@ -37,6 +42,7 @@
 //!                          dir)
 //! ```
 
+use dagsched_core::MachineSpec;
 use dagsched_experiments::checkpoint::SweepConfig;
 use dagsched_experiments::corpus::CorpusSpec;
 use dagsched_experiments::figures::all_figures;
@@ -55,7 +61,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("usage: repro [--graphs-per-set N] [--seed N] [--nodes LO..HI] [--csv] [--validate] [--time-budget MS] [--trace-out PATH] [--metrics] [--checkpoint-dir DIR] [--resume DIR] [--strict] (all | table N | figure N | corpus | appendix | html | spread | rewiring | bounded | kernels | select | duplication | contention | summary | dump)");
+            eprintln!("usage: repro [--graphs-per-set N] [--seed N] [--nodes LO..HI] [--machine uniform|bounded:P|linkaware:FILE] [--csv] [--validate] [--time-budget MS] [--trace-out PATH] [--metrics] [--checkpoint-dir DIR] [--resume DIR] [--strict] (all | table N | figure N | corpus | appendix | html | spread | rewiring | bounded | kernels | select | duplication | contention | summary | dump)");
             ExitCode::FAILURE
         }
     }
@@ -63,6 +69,7 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut spec = CorpusSpec::default();
+    let mut machine = MachineSpec::Uniform;
     let mut csv = false;
     let mut harness: Option<HarnessConfig> = None;
     let mut trace_out: Option<PathBuf> = None;
@@ -100,6 +107,12 @@ fn run(args: &[String]) -> Result<(), String> {
                     return Err("--nodes range must be 1 ≤ LO ≤ HI".into());
                 }
                 spec.nodes = lo..=hi;
+            }
+            "--machine" => {
+                let v = it
+                    .next()
+                    .ok_or("--machine needs uniform|bounded:<p>|linkaware:<file>")?;
+                machine = MachineSpec::parse(v)?;
             }
             "--csv" => csv = true,
             "--trace-out" => {
@@ -140,6 +153,11 @@ fn run(args: &[String]) -> Result<(), String> {
             "--checkpoint-dir/--resume cannot be combined with --trace-out/--metrics".into(),
         );
     }
+    if machine != MachineSpec::Uniform && (trace_out.is_some() || metrics) {
+        return Err("--machine cannot be combined with --trace-out/--metrics \
+             (telemetry runs the paper's uniform model)"
+            .into());
+    }
 
     let progress = Reporter::stderr();
     let build_study = |spec: &CorpusSpec| -> Result<Study, String> {
@@ -151,6 +169,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 harness: harness.or_else(|| Some(HarnessConfig::default())),
                 retry: RetryPolicy::default(),
                 strict,
+                machine: machine.clone(),
             };
             let study = Study::run_checkpointed(spec.clone(), &config, dir, resume)?;
             if let Some(stats) = &study.robustness {
@@ -165,7 +184,7 @@ fn run(args: &[String]) -> Result<(), String> {
             return Ok(study);
         }
         if trace_out.is_none() && !metrics {
-            return Ok(Study::run_with(spec.clone(), harness));
+            return Ok(Study::run_with_on(spec.clone(), harness, machine.clone()));
         }
         let sink = match &trace_out {
             Some(path) => Some(

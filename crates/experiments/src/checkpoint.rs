@@ -43,7 +43,7 @@ use crate::runner::{
     finish_outcomes, new_tallies, FaultTally, GraphResult, HeuristicOutcome, RobustnessStats,
 };
 use crate::telemetry::band_slug;
-use dagsched_core::Scheduler;
+use dagsched_core::{MachineSpec, Scheduler};
 use dagsched_gen::spec::{GranularityBand, WeightRange};
 use dagsched_harness::{
     run_with_retry, GraphFingerprint, HarnessConfig, Incident, RetryPolicy, RobustScheduler,
@@ -165,6 +165,9 @@ impl JournalWriter {
             .create(true)
             .read(true)
             .write(true)
+            // Not truncate: the valid prefix must survive; set_len
+            // below trims exactly the torn tail.
+            .truncate(false)
             .open(path)?;
         file.set_len(valid_len)?;
         file.seek(SeekFrom::Start(valid_len))?;
@@ -406,9 +409,13 @@ pub fn band_from_slug(slug: &str) -> Option<GranularityBand> {
         .find(|&b| band_slug(b) == slug)
 }
 
-/// Hash identifying the (corpus spec, heuristic set) pair a journal
-/// belongs to; resume refuses a journal whose hash differs.
-pub fn spec_hash(spec: &CorpusSpec, names: &[&'static str]) -> u64 {
+/// Hash identifying the (corpus spec, heuristic set, machine model)
+/// triple a journal belongs to; resume refuses a journal whose hash
+/// differs. The machine enters through its stable
+/// [`MachineSpec::label`] (content-fingerprinted for link-aware
+/// tables), so a journal written under one model can never silently
+/// continue under another.
+pub fn spec_hash(spec: &CorpusSpec, names: &[&'static str], machine: &MachineSpec) -> u64 {
     let mut desc = format!(
         "seed={:#x};gps={};nodes={}..={};",
         spec.seed,
@@ -422,6 +429,7 @@ pub fn spec_hash(spec: &CorpusSpec, names: &[&'static str]) -> u64 {
     for name in names {
         let _ = write!(desc, "h={name};");
     }
+    let _ = write!(desc, "m={};", machine.label());
     fnv64(desc.as_bytes())
 }
 
@@ -663,7 +671,7 @@ fn check_header(j: &Json, hash: u64) -> Result<(), CheckpointError> {
     if found != expected {
         return Err(CheckpointError::SpecMismatch(format!(
             "journal was written for spec {found}, this run is {expected} \
-             (corpus parameters or heuristic set changed)"
+             (corpus parameters, heuristic set or machine model changed)"
         )));
     }
     Ok(())
@@ -674,7 +682,7 @@ fn check_header(j: &Json, hash: u64) -> Result<(), CheckpointError> {
 // ---------------------------------------------------------------------------
 
 /// Containment policy of a crash-safe sweep.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepConfig {
     /// Fault isolation for individual scheduling runs. `Some` wraps
     /// every heuristic in a [`RobustScheduler`] (panics, invalid
@@ -688,6 +696,10 @@ pub struct SweepConfig {
     /// Fail the sweep ([`CheckpointError::StrictQuarantine`]) instead
     /// of degrading gracefully when any graph ends up quarantined.
     pub strict: bool,
+    /// The machine model every heuristic schedules (and every oracle
+    /// validates) under. Part of the journal's [`spec_hash`]: a sweep
+    /// journaled under one model refuses to resume under another.
+    pub machine: MachineSpec,
 }
 
 impl Default for SweepConfig {
@@ -696,6 +708,7 @@ impl Default for SweepConfig {
             harness: Some(HarnessConfig::default()),
             retry: RetryPolicy::default(),
             strict: false,
+            machine: MachineSpec::Uniform,
         }
     }
 }
@@ -779,7 +792,10 @@ fn evaluate_entry(
             for sched in pool {
                 let robust = RobustScheduler::new(Arc::clone(sched)).with_config(cfg);
                 let out = robust.run(g, machine);
-                partial.push((robust.name(), metrics::measures(g, &out.schedule)));
+                partial.push((
+                    robust.name(),
+                    metrics::measures_on(g, &out.schedule, machine.as_ref()),
+                ));
                 incidents.push(out.incidents.iter().map(StoredIncident::of).collect());
             }
         }
@@ -789,7 +805,7 @@ fn evaluate_entry(
                 if !validate::is_valid(g, machine.as_ref(), &s) {
                     return Err(format!("{} produced an invalid schedule", sched.name()));
                 }
-                partial.push((sched.name(), metrics::measures(g, &s)));
+                partial.push((sched.name(), metrics::measures_on(g, &s, machine.as_ref())));
                 incidents.push(Vec::new());
             }
         }
@@ -915,7 +931,7 @@ pub fn run_corpus_checkpointed(
 ) -> Result<SweepOutcome, CheckpointError> {
     let pool: Vec<Arc<dyn Scheduler>> = heuristics.into_iter().map(Arc::from).collect();
     let names: Vec<&'static str> = pool.iter().map(|h| h.name()).collect();
-    let hash = spec_hash(spec, &names);
+    let hash = spec_hash(spec, &names, &config.machine);
     std::fs::create_dir_all(dir)?;
     let journal_path = dir.join(JOURNAL_FILE);
     let quarantine_path = dir.join(QUARANTINE_FILE);
@@ -989,7 +1005,7 @@ pub fn run_corpus_checkpointed(
 
     let nodes_range = (*spec.nodes.start(), *spec.nodes.end());
     let counters = SweepCounters::default();
-    let machine: Arc<dyn Machine> = Arc::new(Clique);
+    let machine: Arc<dyn Machine> = config.machine.build();
 
     // Generation, evaluation and journalling all happen inside the
     // supervised pool: a crash of any worker is contained to its graph,
@@ -1121,7 +1137,7 @@ pub fn run_corpus_supervised(
 ) -> Result<SweepOutcome, CheckpointError> {
     let pool: Vec<Arc<dyn Scheduler>> = heuristics.into_iter().map(Arc::from).collect();
     let names: Vec<&'static str> = pool.iter().map(|h| h.name()).collect();
-    let machine: Arc<dyn Machine> = Arc::new(Clique);
+    let machine: Arc<dyn Machine> = config.machine.build();
     let counters = SweepCounters::default();
 
     let swept = par_map_supervised(corpus, |_, entry| {
@@ -1221,6 +1237,7 @@ pub fn replay_quarantine(
         harness: Some(harness),
         retry: RetryPolicy::none(),
         strict: false,
+        machine: MachineSpec::Uniform,
     };
     let mut replays = Vec::with_capacity(scan.records.len());
     for (i, record) in scan.records.iter().enumerate() {
@@ -1509,6 +1526,7 @@ mod tests {
             harness: None,
             retry: fast_retry(),
             strict: false,
+            machine: MachineSpec::Uniform,
         };
         let out = run_corpus_checkpointed(&spec, poison(), &config, &dir, false).unwrap();
         assert!(out.results.is_empty(), "every graph exhausted its retries");
@@ -1582,6 +1600,7 @@ mod tests {
             harness: None,
             retry: fast_retry(),
             strict: false,
+            machine: MachineSpec::Uniform,
         };
         run_corpus_checkpointed(
             &spec,

@@ -5,9 +5,9 @@ use crate::checkpoint::{run_corpus_checkpointed, SweepConfig};
 use crate::corpus::{generate_corpus, CorpusSpec};
 use crate::figures::all_figures;
 use crate::reporter::Reporter;
-use crate::runner::{run_corpus, run_corpus_robust, GraphResult, RobustnessStats};
+use crate::runner::{run_corpus_on, run_corpus_robust_on, GraphResult, RobustnessStats};
 use crate::tables::{all_tables, table1};
-use dagsched_core::paper_heuristics;
+use dagsched_core::{paper_heuristics, MachineSpec};
 use dagsched_harness::HarnessConfig;
 use dagsched_obs::{Summary, TelemetrySink};
 use dagsched_sim::{gantt, metrics, Clique};
@@ -17,6 +17,9 @@ use std::fmt::Write as _;
 pub struct Study {
     /// The corpus specification used.
     pub spec: CorpusSpec,
+    /// The machine model the heuristics scheduled (and the oracle
+    /// validated) under.
+    pub machine: MachineSpec,
     /// Per-graph results.
     pub results: Vec<GraphResult>,
     /// Fault-isolation report, when the study ran under the harness.
@@ -27,12 +30,20 @@ pub struct Study {
 
 impl Study {
     /// Generates the corpus and evaluates the five paper heuristics,
-    /// trusting them not to fault.
+    /// trusting them not to fault, under the paper's uniform model.
     pub fn run(spec: CorpusSpec) -> Study {
+        Study::run_on(spec, MachineSpec::Uniform)
+    }
+
+    /// As [`Study::run`], but under an arbitrary machine model: every
+    /// schedule is produced for, validated against and measured on the
+    /// same model.
+    pub fn run_on(spec: CorpusSpec, machine: MachineSpec) -> Study {
         let corpus = generate_corpus(&spec);
-        let results = run_corpus(&corpus, &paper_heuristics());
+        let results = run_corpus_on(&corpus, &paper_heuristics(), &machine.build());
         Study {
             spec,
+            machine,
             results,
             robustness: None,
             metrics: None,
@@ -43,13 +54,24 @@ impl Study {
     /// runs fault-isolated under that policy and the report gains a
     /// robustness section.
     pub fn run_with(spec: CorpusSpec, harness: Option<HarnessConfig>) -> Study {
+        Study::run_with_on(spec, harness, MachineSpec::Uniform)
+    }
+
+    /// As [`Study::run_with`], but under an arbitrary machine model.
+    pub fn run_with_on(
+        spec: CorpusSpec,
+        harness: Option<HarnessConfig>,
+        machine: MachineSpec,
+    ) -> Study {
         let Some(config) = harness else {
-            return Study::run(spec);
+            return Study::run_on(spec, machine);
         };
         let corpus = generate_corpus(&spec);
-        let (results, stats) = run_corpus_robust(&corpus, paper_heuristics(), config);
+        let (results, stats) =
+            run_corpus_robust_on(&corpus, paper_heuristics(), config, machine.build());
         Study {
             spec,
+            machine,
             results,
             robustness: Some(stats),
             metrics: None,
@@ -73,6 +95,7 @@ impl Study {
             .map_err(|e| e.to_string())?;
         Ok(Study {
             spec,
+            machine: config.machine.clone(),
             results: outcome.results,
             robustness: Some(outcome.robustness),
             metrics: None,
@@ -103,6 +126,7 @@ impl Study {
         };
         Study {
             spec,
+            machine: MachineSpec::Uniform,
             results: traced.results,
             robustness: traced.robustness,
             metrics: Some(summary),
@@ -126,6 +150,11 @@ impl Study {
             self.spec.seed
         )
         .unwrap();
+        // The paper's own model is implicit; only deviations are noted,
+        // keeping uniform-model reports byte-identical to before.
+        if self.machine != MachineSpec::Uniform {
+            writeln!(out, "machine model: {}\n", self.machine.label()).unwrap();
+        }
         out.push_str(&table1(&self.spec));
         out.push('\n');
         for t in all_tables(&self.results) {
@@ -170,6 +199,12 @@ impl Study {
             self.spec.nodes,
             self.spec.seed
         ));
+        if self.machine != MachineSpec::Uniform {
+            out.push_str(&format!(
+                "<p>machine model: {}</p>\n",
+                esc(&self.machine.label())
+            ));
+        }
         out.push_str("<h2>Tables</h2>\n");
         for t in all_tables(&self.results) {
             out.push_str(&t.to_html());

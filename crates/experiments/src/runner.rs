@@ -61,17 +61,27 @@ impl GraphResult {
 /// model (unbounded clique), validating every schedule against the
 /// independent oracle.
 pub fn evaluate_graph(entry: &CorpusEntry, heuristics: &[Box<dyn Scheduler>]) -> GraphResult {
+    evaluate_graph_on(entry, heuristics, &Clique)
+}
+
+/// As [`evaluate_graph`], but under an arbitrary machine model: every
+/// schedule is validated (and its efficiency measured) against the
+/// same `machine` the heuristics scheduled for.
+pub fn evaluate_graph_on(
+    entry: &CorpusEntry,
+    heuristics: &[Box<dyn Scheduler>],
+    machine: &dyn Machine,
+) -> GraphResult {
     let g = &entry.graph;
-    let machine = Clique;
     let mut partial: Vec<(&'static str, metrics::Measures)> = Vec::with_capacity(heuristics.len());
     for h in heuristics {
-        let s = h.schedule(g, &machine);
+        let s = h.schedule(g, machine);
         debug_assert!(
-            validate::is_valid(g, &machine, &s),
+            validate::is_valid(g, machine, &s),
             "{} produced an invalid schedule",
             h.name()
         );
-        partial.push((h.name(), metrics::measures(g, &s)));
+        partial.push((h.name(), metrics::measures_on(g, &s, machine)));
     }
     GraphResult {
         key: entry.key,
@@ -106,6 +116,17 @@ pub(crate) fn finish_outcomes(
 /// Evaluates `heuristics` over the whole corpus, in parallel.
 pub fn run_corpus(corpus: &[CorpusEntry], heuristics: &[Box<dyn Scheduler>]) -> Vec<GraphResult> {
     dagsched_par::par_map(corpus, |_, entry| evaluate_graph(entry, heuristics))
+}
+
+/// As [`run_corpus`], but under an arbitrary machine model.
+pub fn run_corpus_on(
+    corpus: &[CorpusEntry],
+    heuristics: &[Box<dyn Scheduler>],
+    machine: &Arc<dyn Machine>,
+) -> Vec<GraphResult> {
+    dagsched_par::par_map(corpus, |_, entry| {
+        evaluate_graph_on(entry, heuristics, machine.as_ref())
+    })
 }
 
 /// Containment counters for one (primary) heuristic across a robust
@@ -230,7 +251,10 @@ pub fn evaluate_graph_robust(
     let mut incidents = Vec::with_capacity(wrapped.len());
     for robust in wrapped {
         let out = robust.run(g, machine);
-        partial.push((robust.name(), metrics::measures(g, &out.schedule)));
+        partial.push((
+            robust.name(),
+            metrics::measures_on(g, &out.schedule, machine.as_ref()),
+        ));
         incidents.push(out.incidents);
     }
     (
@@ -255,11 +279,22 @@ pub fn run_corpus_robust(
     heuristics: Vec<Box<dyn Scheduler>>,
     config: HarnessConfig,
 ) -> (Vec<GraphResult>, RobustnessStats) {
+    run_corpus_robust_on(corpus, heuristics, config, Arc::new(Clique))
+}
+
+/// As [`run_corpus_robust`], but under an arbitrary machine model: the
+/// heuristics schedule for `machine`, the oracle gate validates under
+/// it, and efficiency is measured against its processor limit.
+pub fn run_corpus_robust_on(
+    corpus: &[CorpusEntry],
+    heuristics: Vec<Box<dyn Scheduler>>,
+    config: HarnessConfig,
+    machine: Arc<dyn Machine>,
+) -> (Vec<GraphResult>, RobustnessStats) {
     let wrapped: Vec<RobustScheduler> = heuristics
         .into_iter()
         .map(|h| RobustScheduler::new(Arc::from(h)).with_config(config))
         .collect();
-    let machine: Arc<dyn Machine> = Arc::new(Clique);
     let per_graph = dagsched_par::par_map(corpus, |_, entry| {
         evaluate_graph_robust(entry, &wrapped, &machine)
     });

@@ -174,7 +174,11 @@ impl Clustering {
     /// # Errors
     /// [`EvalError::BadInput`] if some task is unassigned or the
     /// machine cannot hold the clusters.
-    pub fn materialize(&self, g: &Dag, machine: &dyn Machine) -> Result<Schedule, EvalError> {
+    pub fn materialize<M: Machine + ?Sized>(
+        &self,
+        g: &Dag,
+        machine: &M,
+    ) -> Result<Schedule, EvalError> {
         if self.cluster_of.len() != g.num_nodes() {
             return Err(EvalError::BadInput(format!(
                 "clustering covers {} of {} tasks",
@@ -193,8 +197,10 @@ impl Clustering {
             let next = dense.len() as u32;
             assignment.push(ProcId(*dense.entry(*c).or_insert(next)));
         }
-        let priority = g.blevels_with_comm();
-        timed_schedule_by_priority(g, machine, &assignment, priority)
+        // Priorities priced under the machine's level cost: borrows
+        // the plain cached b-levels on uniform machines.
+        let levels = dagsched_dag::analysis::PricedLevels::new(g, machine.level_cost());
+        timed_schedule_by_priority(g, machine, &assignment, levels.blevels())
     }
 }
 

@@ -49,9 +49,11 @@ impl std::error::Error for EvalError {}
 /// `max over preds (finish(pred) + comm_cost)` — communication
 /// overlaps computation and multicasts do not serialize (assumption 4
 /// of the paper).
-pub fn timed_schedule(
+/// Generic over the machine so monomorphized callers avoid dynamic
+/// dispatch; `&dyn Machine` still works through the `?Sized` bound.
+pub fn timed_schedule<M: Machine + ?Sized>(
     g: &Dag,
-    machine: &dyn Machine,
+    machine: &M,
     assignment: &[ProcId],
     orders: &[Vec<NodeId>],
 ) -> Result<Schedule, EvalError> {
@@ -98,7 +100,9 @@ pub fn timed_schedule(
 
     let mut finish: Vec<Option<Weight>> = vec![None; n];
     let mut start: Vec<Weight> = vec![0; n];
-    let mut proc_avail: Vec<Weight> = vec![0; orders.len()];
+    // Processors become available only after the machine's startup
+    // cost (0 under the paper's model).
+    let mut proc_avail: Vec<Weight> = vec![machine.startup_cost(); orders.len()];
     let mut next_idx: Vec<usize> = vec![0; orders.len()];
     let mut pending_preds: Vec<u32> = (0..n)
         .map(|v| g.in_degree(NodeId(v as u32)) as u32)
@@ -154,9 +158,9 @@ pub fn timed_schedule(
 /// from a single global priority (higher runs earlier among ready
 /// tasks, via a priority topological order) and calls
 /// [`timed_schedule`].
-pub fn timed_schedule_by_priority(
+pub fn timed_schedule_by_priority<M: Machine + ?Sized>(
     g: &Dag,
-    machine: &dyn Machine,
+    machine: &M,
     assignment: &[ProcId],
     priority: &[Weight],
 ) -> Result<Schedule, EvalError> {

@@ -8,6 +8,7 @@
 //! that machinery in ablations while the paper experiments stay on the
 //! clique.
 
+use dagsched_dag::model::LevelCost;
 use dagsched_dag::Weight;
 
 /// A processor index. Processors are homogeneous and densely numbered
@@ -48,6 +49,22 @@ pub trait Machine: Send + Sync {
     /// paper's "arbitrary number of homogeneous processors").
     fn max_procs(&self) -> Option<usize> {
         None
+    }
+
+    /// Time before which no processor can start its first task
+    /// (boot/offload latency). The paper's model — and every machine
+    /// in this module — has none; link-aware models may override.
+    fn startup_cost(&self) -> Weight {
+        0
+    }
+
+    /// The machine-global edge pricing the level computations should
+    /// use for priorities under this machine (see
+    /// [`dagsched_dag::model::LevelCost`]). Uniform for every machine
+    /// in this module; non-uniform models override with their
+    /// representative affine pricing.
+    fn level_cost(&self) -> LevelCost {
+        LevelCost::Uniform
     }
 
     /// Short human-readable name.
@@ -278,6 +295,19 @@ mod tests {
         assert_eq!(m.comm_cost(p(0), p(7), 2), 6); // 3 bits differ
         assert_eq!(m.comm_cost(p(5), p(4), 2), 2); // 1 bit
         assert_eq!(m.comm_cost(p(6), p(6), 2), 0);
+    }
+
+    #[test]
+    fn default_startup_and_level_cost_are_the_paper_model() {
+        let machines: Vec<Box<dyn Machine>> = vec![
+            Box::new(Clique),
+            Box::new(BoundedClique::new(3)),
+            Box::new(Ring::new(5)),
+        ];
+        for m in &machines {
+            assert_eq!(m.startup_cost(), 0, "{}", m.name());
+            assert!(m.level_cost().is_uniform(), "{}", m.name());
+        }
     }
 
     #[test]

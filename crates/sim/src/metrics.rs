@@ -4,6 +4,7 @@
 //! * `Efficiency = Speedup / NumberOfProcessors`
 //! * `NormalizedRelativeParallelTime(X) = PT(X) / BestPT − 1`
 
+use crate::machine::Machine;
 use crate::schedule::Schedule;
 use dagsched_dag::{Dag, Weight};
 
@@ -22,16 +23,32 @@ pub struct Measures {
     pub procs: usize,
 }
 
-/// Computes the measures of `s` against `g`'s serial time.
+/// Computes the measures of `s` against `g`'s serial time, with the
+/// paper's unbounded-machine efficiency convention: the denominator is
+/// the number of processors the schedule *used*.
 pub fn measures(g: &Dag, s: &Schedule) -> Measures {
+    measures_with_limit(g, s, None)
+}
+
+/// As [`measures`], but efficiency honours the machine's bound: on a
+/// bounded machine the denominator is the machine's processor limit
+/// (idle provisioned processors count against the schedule — the true
+/// efficiency a bounded-processor study wants), while an unbounded
+/// machine keeps the processors-used proxy.
+pub fn measures_on<M: Machine + ?Sized>(g: &Dag, s: &Schedule, machine: &M) -> Measures {
+    measures_with_limit(g, s, machine.max_procs())
+}
+
+fn measures_with_limit(g: &Dag, s: &Schedule, limit: Option<usize>) -> Measures {
     let serial = g.serial_time();
     let pt = s.makespan();
     let speedup = speedup(serial, pt);
     let procs = s.num_procs();
-    let efficiency = if procs == 0 {
+    let denom = limit.unwrap_or(procs);
+    let efficiency = if denom == 0 {
         0.0
     } else {
-        speedup / procs as f64
+        speedup / denom as f64
     };
     Measures {
         parallel_time: pt,
@@ -157,6 +174,36 @@ mod tests {
         assert_eq!(m.procs, 1);
         assert_eq!(m.speedup, 1.0);
         assert_eq!(m.efficiency, m.speedup);
+    }
+
+    #[test]
+    fn bounded_machine_efficiency_divides_by_the_limit() {
+        // Two tasks on two processors of a 4-processor machine: the
+        // two idle provisioned processors count against efficiency.
+        use crate::machine::BoundedClique;
+        let mut b = DagBuilder::new();
+        b.add_node(50);
+        b.add_node(50);
+        let g = b.build().unwrap();
+        let m4 = BoundedClique::new(4);
+        let s = Clustering::singletons(2).materialize(&g, &m4).unwrap();
+        let m = measures_on(&g, &s, &m4);
+        assert_eq!(m.procs, 2);
+        assert_eq!(m.speedup, 2.0);
+        assert_eq!(m.efficiency, 0.5, "speedup 2 over the 4-proc limit");
+    }
+
+    #[test]
+    fn unbounded_machine_efficiency_keeps_the_procs_used_proxy() {
+        let mut b = DagBuilder::new();
+        b.add_node(50);
+        b.add_node(50);
+        let g = b.build().unwrap();
+        let s = Clustering::singletons(2).materialize(&g, &Clique).unwrap();
+        let via_machine = measures_on(&g, &s, &Clique);
+        let via_default = measures(&g, &s);
+        assert_eq!(via_machine, via_default);
+        assert_eq!(via_machine.efficiency, 1.0);
     }
 
     #[test]

@@ -50,6 +50,15 @@ pub enum Violation {
         /// Tasks in the graph.
         expected: usize,
     },
+    /// A task starts before the machine's startup cost has elapsed.
+    BeforeStartup {
+        /// The violating task.
+        task: NodeId,
+        /// The machine's startup cost.
+        startup: Weight,
+        /// Actual start.
+        actual: Weight,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -71,13 +80,24 @@ impl fmt::Display for Violation {
             Violation::WrongTaskCount { got, expected } => {
                 write!(f, "schedule places {got} tasks, graph has {expected}")
             }
+            Violation::BeforeStartup {
+                task,
+                startup,
+                actual,
+            } => write!(
+                f,
+                "task {task} starts at {actual} before machine startup at {startup}"
+            ),
         }
     }
 }
 
 /// Checks `s` against `g` under `machine`; returns every violation
 /// (empty = valid).
-pub fn check(g: &Dag, machine: &dyn Machine, s: &Schedule) -> Vec<Violation> {
+///
+/// Generic over the machine so monomorphized callers avoid dynamic
+/// dispatch; `&dyn Machine` still works through the `?Sized` bound.
+pub fn check<M: Machine + ?Sized>(g: &Dag, machine: &M, s: &Schedule) -> Vec<Violation> {
     let mut out = Vec::new();
     if s.num_tasks() != g.num_nodes() {
         out.push(Violation::WrongTaskCount {
@@ -104,6 +124,19 @@ pub fn check(g: &Dag, machine: &dyn Machine, s: &Schedule) -> Vec<Violation> {
             }
         }
     }
+    // Startup: no processor computes before the machine is up.
+    let startup = machine.startup_cost();
+    if startup > 0 {
+        for (v, pl) in s.iter() {
+            if pl.start < startup {
+                out.push(Violation::BeforeStartup {
+                    task: v,
+                    startup,
+                    actual: pl.start,
+                });
+            }
+        }
+    }
     // Precedence + communication.
     for e in g.edges() {
         let arrive =
@@ -121,7 +154,7 @@ pub fn check(g: &Dag, machine: &dyn Machine, s: &Schedule) -> Vec<Violation> {
 }
 
 /// `true` iff [`check`] finds nothing.
-pub fn is_valid(g: &Dag, machine: &dyn Machine, s: &Schedule) -> bool {
+pub fn is_valid<M: Machine + ?Sized>(g: &Dag, machine: &M, s: &Schedule) -> bool {
     check(g, machine, s).is_empty()
 }
 
@@ -277,6 +310,48 @@ mod tests {
             .to_string(),
             "schedule places 3 tasks, graph has 7"
         );
+        assert_eq!(
+            Violation::BeforeStartup {
+                task: n(1),
+                startup: 5,
+                actual: 2
+            }
+            .to_string(),
+            "task n1 starts at 2 before machine startup at 5"
+        );
+    }
+
+    #[test]
+    fn detects_start_before_machine_startup() {
+        struct SlowBoot;
+        impl Machine for SlowBoot {
+            fn comm_cost(&self, from: ProcId, to: ProcId, w: Weight) -> Weight {
+                if from == to {
+                    0
+                } else {
+                    w
+                }
+            }
+            fn startup_cost(&self) -> Weight {
+                5
+            }
+            fn name(&self) -> &'static str {
+                "slow-boot"
+            }
+        }
+        let g = chain2();
+        let s = Schedule::new(&g, vec![(p(0), 0), (p(0), 10)]);
+        let v = check(&g, &SlowBoot, &s);
+        assert_eq!(
+            v,
+            vec![Violation::BeforeStartup {
+                task: n(0),
+                startup: 5,
+                actual: 0
+            }]
+        );
+        let ok = Schedule::new(&g, vec![(p(0), 5), (p(0), 15)]);
+        assert!(is_valid(&g, &SlowBoot, &ok));
     }
 
     #[test]

@@ -7,8 +7,12 @@
 //! options:
 //!   --heuristic <NAME>   CLANS|DSC|MCP|MH|HU|ETF|HLFET|DLS|LC|SARKAR|SERIAL|all
 //!                        (default: all — compares every heuristic)
-//!   --machine <KIND>     clique | ring:<N> | mesh:<R>x<C> | hypercube:<D>
-//!                        | bounded:<P>        (default: clique)
+//!   --machine <KIND>     uniform | clique | ring:<N> | mesh:<R>x<C>
+//!                        | hypercube:<D> | bounded:<P>
+//!                        | linkaware:<FILE>   (default: clique;
+//!                        `uniform` is the paper's §2 model — the same
+//!                        semantics as `clique` — and `linkaware`
+//!                        reads a per-pair latency/bandwidth table)
 //!   --gantt <WIDTH>      print an ASCII Gantt chart (default on, width 60)
 //!   --analyze            print a schedule analysis per heuristic
 //!   --svg                print the schedule as an SVG document
@@ -143,7 +147,14 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 }
             }
             "--machine" => {
-                opts.machine = it.next().ok_or("--machine needs a kind")?.to_lowercase();
+                let kind = it.next().ok_or("--machine needs a kind")?;
+                // Keep the case of link-aware table paths intact; bare
+                // kinds stay case-insensitive as before.
+                opts.machine = if kind.starts_with("linkaware:") {
+                    kind.clone()
+                } else {
+                    kind.to_lowercase()
+                };
             }
             "--gantt" => {
                 opts.gantt_width = it
@@ -229,6 +240,16 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
 pub fn parse_machine(spec: &str) -> Result<Box<dyn Machine>, String> {
     if spec == "clique" {
         return Ok(Box::new(Clique));
+    }
+    if spec == "uniform" {
+        // The paper's §2 model under its cost-model name; `clique`
+        // above is the same semantics named by topology.
+        return Ok(Box::new(crate::core::PaperUniform));
+    }
+    if let Some(path) = spec.strip_prefix("linkaware:") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read machine file {path}: {e}"))?;
+        return Ok(Box::new(crate::core::LinkAware::parse(&text)?));
     }
     if let Some(n) = spec.strip_prefix("ring:") {
         let n: usize = n.parse().map_err(|_| "bad ring size")?;
@@ -651,7 +672,7 @@ pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
 }
 
 /// The usage string printed on `--help` or errors.
-pub const USAGE: &str = "usage: dagsched [--heuristic NAME|all] [--machine clique|ring:N|mesh:RxC|hypercube:D|bounded:P] [--gantt WIDTH] [--analyze] [--svg] [--dot] [--stg W] [--quiet] [--validate] [--time-budget MS] [--trace-out PATH] [--metrics] [--checkpoint-dir DIR | --resume DIR] [--strict] [--replay-quarantine FILE] <graph.pdg | ->";
+pub const USAGE: &str = "usage: dagsched [--heuristic NAME|all] [--machine uniform|clique|ring:N|mesh:RxC|hypercube:D|bounded:P|linkaware:FILE] [--gantt WIDTH] [--analyze] [--svg] [--dot] [--stg W] [--quiet] [--validate] [--time-budget MS] [--trace-out PATH] [--metrics] [--checkpoint-dir DIR | --resume DIR] [--strict] [--replay-quarantine FILE] <graph.pdg | ->";
 
 #[cfg(test)]
 mod tests {
@@ -947,6 +968,7 @@ edge 0 2 5
             harness: None,
             retry: RetryPolicy::none(),
             strict: false,
+            ..SweepConfig::default()
         };
         let outcome =
             run_corpus_checkpointed(&spec, vec![Box::new(Bomb)], &cfg, &dir, false).unwrap();

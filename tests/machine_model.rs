@@ -1,0 +1,181 @@
+//! Machine-model integration locks.
+//!
+//! The refactor that threaded [`MachineModel`]/[`CostModel`] through
+//! every heuristic must be invisible under the paper's own model:
+//! scheduling with [`PaperUniform`] has to reproduce, bit for bit, the
+//! schedules the pre-refactor code produced under the legacy `Clique`
+//! machine. The committed snapshot
+//! (`tests/snapshots/machine_model_uniform.snap`) was generated from
+//! the pre-refactor tree over the full torture corpus plus a 100-graph
+//! random sample; these tests re-derive every hash and diff against it.
+//!
+//! The non-uniform models are exercised end-to-end: schedules produced
+//! under `bounded:4` and under a `linkaware:<file>` table must pass the
+//! oracle *for that same machine* and respect its processor pool.
+
+use dagsched::core::{all_heuristics, MachineSpec, PaperUniform};
+use dagsched::dag::Dag;
+use dagsched::experiments::corpus::{generate_corpus, CorpusSpec};
+use dagsched::gen::torture_corpus;
+use dagsched::sim::{validate, Clique, Machine, Schedule};
+use std::fmt::Write as _;
+
+const SNAPSHOT: &str = include_str!("snapshots/machine_model_uniform.snap");
+
+fn random_sample() -> Vec<Dag> {
+    let spec = CorpusSpec {
+        graphs_per_set: 2,
+        nodes: 12..=24,
+        ..Default::default()
+    };
+    generate_corpus(&spec)
+        .into_iter()
+        .map(|e| e.graph)
+        .take(100)
+        .collect()
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn schedule_hash(s: &Schedule) -> u64 {
+    let mut bytes = Vec::with_capacity(12 * s.num_tasks() + 8);
+    for (_, p) in s.iter() {
+        bytes.extend_from_slice(&p.proc.0.to_le_bytes());
+        bytes.extend_from_slice(&p.start.to_le_bytes());
+    }
+    bytes.extend_from_slice(&(s.num_procs() as u64).to_le_bytes());
+    fnv1a(&bytes)
+}
+
+/// Renders the snapshot text for one machine, in the exact format the
+/// pre-refactor generator used.
+fn render_snapshot(machine: &dyn Machine) -> String {
+    let mut text = String::new();
+    for case in torture_corpus() {
+        for h in all_heuristics() {
+            let s = h.schedule(&case.graph, machine);
+            writeln!(
+                text,
+                "torture/{}\t{}\t{:016x}",
+                case.name,
+                h.name(),
+                schedule_hash(&s)
+            )
+            .unwrap();
+        }
+    }
+    for (i, g) in random_sample().iter().enumerate() {
+        for h in all_heuristics() {
+            let s = h.schedule(g, machine);
+            writeln!(text, "sample/{i}\t{}\t{:016x}", h.name(), schedule_hash(&s)).unwrap();
+        }
+    }
+    text
+}
+
+#[test]
+fn uniform_schedules_are_bit_identical_to_the_pre_refactor_snapshot() {
+    let now = render_snapshot(&PaperUniform);
+    let mut mismatches = Vec::new();
+    for (want, got) in SNAPSHOT.lines().zip(now.lines()) {
+        if want != got {
+            mismatches.push(format!("snapshot: {want}\n  now:      {got}"));
+        }
+    }
+    assert_eq!(
+        SNAPSHOT.lines().count(),
+        now.lines().count(),
+        "snapshot line count changed — corpus or heuristic registry drifted"
+    );
+    assert!(
+        mismatches.is_empty(),
+        "{} schedule(s) changed under the paper model:\n{}",
+        mismatches.len(),
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn paper_uniform_and_legacy_clique_are_the_same_model() {
+    // Byte-identical snapshots, not just equal makespans: the new
+    // default cost model is the old machine under another name.
+    assert_eq!(render_snapshot(&PaperUniform), render_snapshot(&Clique));
+}
+
+/// Validates every registry heuristic end-to-end under `machine`: the
+/// schedule must satisfy the oracle *for that machine* (its comm costs,
+/// its startup delay) and stay inside its processor pool.
+fn assert_valid_everywhere(machine: &dyn Machine) {
+    let limit = machine.max_procs();
+    let sample = random_sample();
+    let graphs = torture_corpus()
+        .into_iter()
+        .map(|c| c.graph)
+        .chain(sample.into_iter().take(20));
+    for g in graphs {
+        for h in all_heuristics() {
+            let s = h.schedule(&g, machine);
+            let violations = validate::check(&g, machine, &s);
+            assert!(
+                violations.is_empty(),
+                "{} on {} under {}: {violations:?}",
+                h.name(),
+                g.num_nodes(),
+                machine.name()
+            );
+            if let Some(p) = limit {
+                assert!(
+                    s.num_procs() <= p,
+                    "{} used {} of {} processors",
+                    h.name(),
+                    s.num_procs(),
+                    p
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bounded_model_produces_valid_schedules_end_to_end() {
+    let spec = MachineSpec::parse("bounded:4").expect("bounded spec parses");
+    assert_eq!(spec.label(), "bounded:4");
+    assert_valid_everywhere(spec.build().as_ref());
+}
+
+#[test]
+fn linkaware_model_produces_valid_schedules_end_to_end() {
+    let table = "\
+# 3-processor asymmetric interconnect
+procs 3
+startup 2
+latency
+0 5 9
+5 0 4
+9 4 0
+perunit
+0 2 3
+2 0 1
+3 1 0
+";
+    let path = std::env::temp_dir().join(format!("dagsched-linkaware-{}.mach", std::process::id()));
+    std::fs::write(&path, table).unwrap();
+    let spec = MachineSpec::parse(&format!("linkaware:{}", path.display()))
+        .expect("linkaware spec parses");
+    // The label is the table's content fingerprint, not its path, so a
+    // checkpoint journal stays resumable after the file moves.
+    assert!(spec.label().starts_with("linkaware:"), "{}", spec.label());
+    assert!(!spec.label().contains("dagsched-linkaware"));
+    let machine = spec.build();
+    assert_eq!(machine.max_procs(), Some(3));
+    assert_eq!(machine.startup_cost(), 2);
+    assert_valid_everywhere(machine.as_ref());
+    std::fs::remove_file(&path).ok();
+}

@@ -4,7 +4,7 @@
 //! floats), same robustness report, no finished graph run twice — and
 //! poison graphs must land in quarantine rather than sink the sweep.
 
-use dagsched::core::{all_heuristics, paper_heuristics, Scheduler};
+use dagsched::core::{all_heuristics, paper_heuristics, MachineSpec, Scheduler};
 use dagsched::dag::Dag;
 use dagsched::experiments::checkpoint::JOURNAL_FILE;
 use dagsched::experiments::{run_corpus_checkpointed, CorpusSpec, SweepConfig};
@@ -101,7 +101,7 @@ impl Scheduler for Poison {
         "POISON"
     }
     fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
-        if g.num_nodes() % 3 == 0 {
+        if g.num_nodes().is_multiple_of(3) {
             panic!("poisoned graph with {} nodes", g.num_nodes());
         }
         self.0.schedule(g, machine)
@@ -118,6 +118,7 @@ fn poison_graphs_quarantine_and_survive_resume() {
         harness: None,
         retry: RetryPolicy::none(),
         strict: false,
+        ..SweepConfig::default()
     };
     let dir = tmp("poison");
     let out = run_corpus_checkpointed(&spec, vec![poison()], &config, &dir, false)
@@ -157,4 +158,31 @@ fn poison_graphs_quarantine_and_survive_resume() {
     assert!(contained.quarantine.is_empty());
     assert_eq!(contained.results.len(), spec.total_graphs());
     std::fs::remove_dir_all(&dir2).ok();
+}
+
+#[test]
+fn journal_refuses_resume_under_a_different_machine_model() {
+    let spec = spec();
+    let dir = tmp("machine");
+    let uniform = SweepConfig::default();
+    run_corpus_checkpointed(&spec, paper_heuristics(), &uniform, &dir, false)
+        .expect("uniform sweep completes");
+    // The journal was written for the paper's uniform model; resuming
+    // it under bounded:4 would silently mix schedules produced for
+    // incompatible machines, so it must be refused with a message that
+    // names the cause.
+    let bounded = SweepConfig {
+        machine: MachineSpec::Bounded(4),
+        ..SweepConfig::default()
+    };
+    let err = run_corpus_checkpointed(&spec, paper_heuristics(), &bounded, &dir, true)
+        .expect_err("uniform journal must not resume under bounded:4");
+    let msg = err.to_string();
+    assert!(msg.contains("machine model"), "{msg}");
+    // Under the model that wrote it, the same journal replays cleanly.
+    let resumed = run_corpus_checkpointed(&spec, paper_heuristics(), &uniform, &dir, true)
+        .expect("same-model resume");
+    assert_eq!(resumed.executed, 0);
+    assert_eq!(resumed.replayed, spec.total_graphs());
+    std::fs::remove_dir_all(&dir).ok();
 }
