@@ -1,0 +1,102 @@
+//! The canonical fingerprint×machine cache key.
+//!
+//! Several layers cache or journal per-graph results keyed by *what
+//! was scheduled where*: the CLI checkpoint journal, the scheduling
+//! server's schedule cache and its disk journal. They must all agree
+//! on one key format, or a warm restart silently misses (or worse,
+//! wrongly hits) entries written by another layer. This module is that
+//! single definition; the format below is locked by unit tests and
+//! must not change without migrating every journal reader.
+//!
+//! Format:
+//!
+//! ```text
+//! <digest>@<machine>              fingerprint×machine       ("0x3a5f…9b@ring:4")
+//! <digest>@<machine>#<heuristic>  …×heuristic (cache entry) ("0x3a5f…9b@ring:4#DSC")
+//! ```
+//!
+//! `digest` is the graph's content fingerprint
+//! (`GraphFingerprint::of(g).digest` in `dagsched-harness`) rendered
+//! as `{:#018x}` — `0x` plus 16 lowercase hex digits, so every key has
+//! the same length prefix. `machine` is the full machine-spec string
+//! (`"ring:4"`, never just `"ring"`), so a key never matches across
+//! topologies or sizes.
+
+/// The fingerprint×machine key: `"{digest:#018x}@{machine}"`.
+///
+/// `machine` must be the complete machine-spec string; it travels
+/// verbatim (the `@`/`#` separators cannot collide with the digest
+/// prefix, which is always 18 bytes of `0x` + hex).
+pub fn fingerprint_machine_key(digest: u64, machine: &str) -> String {
+    format!("{digest:#018x}@{machine}")
+}
+
+/// The per-heuristic schedule-cache key:
+/// `"{digest:#018x}@{machine}#{heuristic}"`.
+pub fn schedule_cache_key(digest: u64, machine: &str, heuristic: &str) -> String {
+    format!("{digest:#018x}@{machine}#{heuristic}")
+}
+
+/// Splits a [`fingerprint_machine_key`] back into its digest and
+/// machine-spec parts. Returns `None` when `key` is not in the locked
+/// format.
+pub fn parse_fingerprint_machine_key(key: &str) -> Option<(u64, &str)> {
+    let (digest, machine) = key.split_at_checked(18)?;
+    let digest = u64::from_str_radix(digest.strip_prefix("0x")?, 16).ok()?;
+    Some((digest, machine.strip_prefix('@')?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Locks the key format byte-for-byte: journals written by one
+    /// release must stay readable by the next.
+    #[test]
+    fn key_format_is_locked() {
+        assert_eq!(
+            fingerprint_machine_key(0x3a5f, "ring:4"),
+            "0x0000000000003a5f@ring:4"
+        );
+        assert_eq!(
+            schedule_cache_key(0x3a5f, "ring:4", "DSC"),
+            "0x0000000000003a5f@ring:4#DSC"
+        );
+        // Full-width digests keep the same 18-byte prefix.
+        assert_eq!(
+            fingerprint_machine_key(u64::MAX, "uniform"),
+            "0xffffffffffffffff@uniform"
+        );
+        // The machine spec travels verbatim, parameters included.
+        assert_eq!(
+            fingerprint_machine_key(1, "mesh:2x3"),
+            "0x0000000000000001@mesh:2x3"
+        );
+    }
+
+    #[test]
+    fn keys_round_trip_through_the_parser() {
+        for (digest, machine) in [
+            (0u64, "uniform"),
+            (u64::MAX, "bounded:16"),
+            (0xdead_beef, "linkaware:/tmp/t.machine"),
+        ] {
+            let key = fingerprint_machine_key(digest, machine);
+            assert_eq!(parse_fingerprint_machine_key(&key), Some((digest, machine)));
+        }
+        assert_eq!(parse_fingerprint_machine_key(""), None);
+        assert_eq!(parse_fingerprint_machine_key("0x12@uniform"), None);
+        assert_eq!(
+            parse_fingerprint_machine_key("0x000000000000003a-uniform"),
+            None
+        );
+    }
+
+    #[test]
+    fn distinct_inputs_yield_distinct_keys() {
+        let a = schedule_cache_key(1, "uniform", "DSC");
+        assert_ne!(a, schedule_cache_key(2, "uniform", "DSC"));
+        assert_ne!(a, schedule_cache_key(1, "bounded:4", "DSC"));
+        assert_ne!(a, schedule_cache_key(1, "uniform", "MCP"));
+    }
+}

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cachekey;
 pub mod clans_sched;
 pub mod cp;
 pub mod duplication;
@@ -48,6 +49,7 @@ pub mod scheduler;
 pub mod serial;
 mod workspace;
 
+pub use cachekey::{fingerprint_machine_key, parse_fingerprint_machine_key, schedule_cache_key};
 pub use clans_sched::Clans;
 pub use cp::dsc::{Dsc, DscFast};
 pub use cp::lc::LinearClustering;
@@ -60,6 +62,8 @@ pub use listsched::hlfet::Hlfet;
 pub use listsched::hu::Hu;
 pub use listsched::mh::Mh;
 pub use meta::{BandSelector, BestOf};
-pub use model::{BoundedUniform, CostModel, LinkAware, MachineModel, MachineSpec, PaperUniform};
+pub use model::{
+    parse_machine, BoundedUniform, CostModel, LinkAware, MachineModel, MachineSpec, PaperUniform,
+};
 pub use scheduler::{all_heuristics, paper_heuristics, Scheduler};
 pub use serial::Serial;

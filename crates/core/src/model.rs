@@ -27,7 +27,7 @@
 
 use dagsched_dag::model::LevelCost;
 use dagsched_dag::Weight;
-use dagsched_sim::{Machine, ProcId};
+use dagsched_sim::{BoundedClique, Clique, Hypercube, Machine, Mesh2D, ProcId, Ring};
 use std::sync::Arc;
 
 /// Placement-time communication pricing — the only way heuristics in
@@ -516,12 +516,91 @@ impl MachineSpec {
     }
 }
 
+/// Builds a machine from the full `--machine` grammar shared by the
+/// CLI and the scheduling server:
+///
+/// ```text
+/// clique | uniform | ring:<N> | mesh:<R>x<C> | hypercube:<D>
+/// | bounded:<P> | linkaware:<FILE>
+/// ```
+///
+/// `uniform` is the paper's §2 cost model ([`PaperUniform`]) — the
+/// same semantics as `clique`, named by cost model rather than
+/// topology. `linkaware:<FILE>` reads the per-pair latency/bandwidth
+/// table immediately, so a bad table fails at the request boundary.
+pub fn parse_machine(spec: &str) -> Result<Box<dyn Machine>, String> {
+    if spec == "clique" {
+        return Ok(Box::new(Clique));
+    }
+    if spec == "uniform" {
+        return Ok(Box::new(PaperUniform));
+    }
+    if let Some(path) = spec.strip_prefix("linkaware:") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read machine file {path}: {e}"))?;
+        return Ok(Box::new(LinkAware::parse(&text)?));
+    }
+    if let Some(n) = spec.strip_prefix("ring:") {
+        let n: usize = n.parse().map_err(|_| "bad ring size")?;
+        if n == 0 {
+            return Err("ring size must be positive".into());
+        }
+        return Ok(Box::new(Ring::new(n)));
+    }
+    if let Some(rc) = spec.strip_prefix("mesh:") {
+        let (r, c) = rc.split_once('x').ok_or("mesh needs RxC")?;
+        let r: usize = r.parse().map_err(|_| "bad mesh rows")?;
+        let c: usize = c.parse().map_err(|_| "bad mesh cols")?;
+        if r == 0 || c == 0 {
+            return Err("mesh dims must be positive".into());
+        }
+        return Ok(Box::new(Mesh2D::new(r, c)));
+    }
+    if let Some(d) = spec.strip_prefix("hypercube:") {
+        let d: u32 = d.parse().map_err(|_| "bad hypercube dim")?;
+        if d > 20 {
+            return Err("hypercube dim too large".into());
+        }
+        return Ok(Box::new(Hypercube::new(d)));
+    }
+    if let Some(p) = spec.strip_prefix("bounded:") {
+        let p: usize = p.parse().map_err(|_| "bad processor bound")?;
+        if p == 0 {
+            return Err("processor bound must be positive".into());
+        }
+        return Ok(Box::new(BoundedClique::new(p)));
+    }
+    Err(format!("unknown machine {spec:?}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn p(i: u32) -> ProcId {
         ProcId(i)
+    }
+
+    #[test]
+    fn parse_machine_accepts_the_full_grammar() {
+        assert_eq!(parse_machine("clique").unwrap().name(), "clique");
+        assert_eq!(parse_machine("uniform").unwrap().name(), "uniform");
+        assert_eq!(parse_machine("ring:5").unwrap().max_procs(), Some(5));
+        assert_eq!(parse_machine("mesh:2x3").unwrap().max_procs(), Some(6));
+        assert_eq!(parse_machine("hypercube:3").unwrap().max_procs(), Some(8));
+        assert_eq!(parse_machine("bounded:4").unwrap().max_procs(), Some(4));
+        for bad in [
+            "nope",
+            "ring:0",
+            "ring:x",
+            "mesh:2",
+            "mesh:0x3",
+            "bounded:0",
+            "hypercube:50",
+            "linkaware:/no/such/file",
+        ] {
+            assert!(parse_machine(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]

@@ -188,6 +188,19 @@ impl JournalWriter {
         file.write_all(line.as_bytes())?;
         file.sync_data()
     }
+
+    /// Consumes the writer and syncs file data *and* metadata to disk,
+    /// surfacing the error — dropping the writer cannot report one.
+    /// Long-running owners (the scheduling server) call this on
+    /// shutdown so a failing disk turns into a nonzero exit instead of
+    /// a silently incomplete journal.
+    pub fn close(self) -> io::Result<()> {
+        let file = self
+            .file
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        file.sync_all()
+    }
 }
 
 /// What [`scan_journal`] found in one journal file.
@@ -337,7 +350,8 @@ pub struct StoredIncident {
 }
 
 impl StoredIncident {
-    fn of(incident: &Incident) -> Self {
+    /// The stored form of a live harness incident.
+    pub fn of(incident: &Incident) -> Self {
         StoredIncident {
             kind: incident.fault.kind().to_string(),
             summary: incident.summary(),
@@ -399,6 +413,100 @@ impl QuarantineRecord {
             last
         )
     }
+}
+
+/// The `kind` of a scheduling-server cache record: one computed
+/// schedule, durable enough for the server (`dagsched-server`) to
+/// warm-start its schedule cache from disk after a crash. Lives here,
+/// next to the sweep records, because the server journal reuses this
+/// module's sealing, scanning and resume machinery wholesale.
+pub const CACHE_RECORD_KIND: &str = "server-cache";
+
+/// One server-cached schedule as the disk journal stores it. The graph
+/// itself is *not* stored: the key's fingerprint digest identifies it
+/// and the requester supplies the graph again on a warm hit, so the
+/// `(proc, start)` pair per task (in task order) is enough to rebuild
+/// the schedule bit-identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheRecord {
+    /// Canonical cache key ([`dagsched_core::schedule_cache_key`]).
+    pub key: String,
+    /// The tier that produced the answer: the requested heuristic on
+    /// the clean path, a fallback heuristic or `SERIAL-PLACEMENT`
+    /// otherwise.
+    pub scheduled_by: String,
+    /// `(processor, start time)` per task, in task order.
+    pub placements: Vec<(u32, u64)>,
+    /// Incidents the harness contained while computing the entry.
+    pub incidents: Vec<StoredIncident>,
+}
+
+/// Encodes a [`CacheRecord`] body; seal and write it with
+/// [`JournalWriter::append`].
+pub fn cache_record_body(rec: &CacheRecord) -> String {
+    let mut s =
+        format!("{{\"schema\":\"{CHECKPOINT_SCHEMA}\",\"kind\":\"{CACHE_RECORD_KIND}\",\"key\":");
+    write_escaped(&mut s, &rec.key);
+    s.push_str(",\"scheduled_by\":");
+    write_escaped(&mut s, &rec.scheduled_by);
+    s.push_str(",\"placements\":[");
+    for (i, (proc, start)) in rec.placements.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "[{proc},{start}]");
+    }
+    s.push_str("],\"incidents\":[");
+    for (i, inc) in rec.incidents.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"kind\":");
+        write_escaped(&mut s, &inc.kind);
+        s.push_str(",\"summary\":");
+        write_escaped(&mut s, &inc.summary);
+        s.push('}');
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Parses a checksum-verified journal record back into a
+/// [`CacheRecord`]. The key must be in the canonical
+/// fingerprint×machine format — a record journaled under a different
+/// composition must never warm a cache keyed by this one.
+pub fn parse_cache_record(j: &Json) -> Result<CacheRecord, String> {
+    check_kind(j, CACHE_RECORD_KIND)?;
+    let key = str_field(j, "key")?.to_string();
+    if dagsched_core::parse_fingerprint_machine_key(&key).is_none() {
+        return Err(format!("cache key {key:?} is not in the canonical format"));
+    }
+    let mut placements = Vec::new();
+    for pair in arr_field(j, "placements")? {
+        let pair = pair
+            .as_arr()
+            .ok_or("placements entries must be [proc,start] pairs")?;
+        match pair {
+            [proc, start] => placements.push((
+                proc.as_u64().ok_or("bad placement proc")? as u32,
+                start.as_u64().ok_or("bad placement start")?,
+            )),
+            _ => return Err("placements entries must be [proc,start] pairs".into()),
+        }
+    }
+    let mut incidents = Vec::new();
+    for inc in arr_field(j, "incidents")? {
+        incidents.push(StoredIncident {
+            kind: str_field(inc, "kind")?.to_string(),
+            summary: str_field(inc, "summary")?.to_string(),
+        });
+    }
+    Ok(CacheRecord {
+        key,
+        scheduled_by: str_field(j, "scheduled_by")?.to_string(),
+        placements,
+        incidents,
+    })
 }
 
 /// Inverse of [`band_slug`].
@@ -1357,6 +1465,42 @@ mod tests {
         assert_eq!(parsed.result.outcomes, completed.result.outcomes);
         assert_eq!(parsed.incidents, completed.incidents);
         assert_eq!(parsed.attempts, completed.attempts);
+    }
+
+    #[test]
+    fn cache_record_round_trips_and_rejects_foreign_keys() {
+        let rec = CacheRecord {
+            key: dagsched_core::schedule_cache_key(0xfeed, "ring:4", "DSC"),
+            scheduled_by: "HU".into(),
+            placements: vec![(0, 0), (1, 10), (0, 25)],
+            incidents: vec![StoredIncident {
+                kind: "deadline-exceeded".into(),
+                summary: "DSC exceeded its 25ms budget".into(),
+            }],
+        };
+        let line = seal_record(&cache_record_body(&rec));
+        let parsed = parse_cache_record(&verify_record(&line).unwrap()).unwrap();
+        assert_eq!(parsed, rec);
+
+        // A key outside the canonical composition never warms a cache.
+        let alien = CacheRecord {
+            key: "some-other-key".into(),
+            ..rec
+        };
+        let line = seal_record(&cache_record_body(&alien));
+        let err = parse_cache_record(&verify_record(&line).unwrap()).unwrap_err();
+        assert!(err.contains("canonical"), "{err}");
+    }
+
+    #[test]
+    fn journal_close_syncs_and_reports() {
+        let dir = temp_dir("close");
+        let path = dir.join("j.jsonl");
+        let w = JournalWriter::create(&path).unwrap();
+        w.append(r#"{"kind":"a"}"#).unwrap();
+        w.close().unwrap();
+        assert_eq!(scan_journal(&path).unwrap().records.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -57,6 +57,9 @@ pub struct TelemetrySink {
     /// Second handle to the backing file, for fsync; `None` when the
     /// sink writes somewhere durability is meaningless (memory, pipes).
     file: Option<File>,
+    /// Set by [`TelemetrySink::close`]: the final flush already ran
+    /// and its result was returned, so `Drop` must not repeat it.
+    closed: bool,
 }
 
 impl std::fmt::Debug for TelemetrySink {
@@ -83,6 +86,7 @@ impl TelemetrySink {
         TelemetrySink {
             writer: Mutex::new(Box::new(writer)),
             file: None,
+            closed: false,
         }
     }
 
@@ -124,20 +128,42 @@ impl TelemetrySink {
         }
         Ok(())
     }
+
+    /// Consumes the sink, flushing and fsyncing one last time, and
+    /// *returns* the error `Drop` would have to swallow. Anything
+    /// whose exit code should reflect telemetry durability — the
+    /// scheduling server, `--trace-out` runs — must end the sink this
+    /// way rather than dropping it.
+    pub fn close(mut self) -> io::Result<()> {
+        let result = self.flush();
+        // Drop would flush again (and could mask this result with a
+        // second error); mark the sink closed so it stays silent.
+        self.closed = true;
+        result
+    }
 }
 
 impl Drop for TelemetrySink {
     /// Best-effort flush + fsync: a run that ends without an explicit
     /// [`TelemetrySink::flush`] (early return, panic unwinding past
-    /// the scope) still lands its buffered records on disk.
+    /// the scope) still lands its buffered records on disk. A failure
+    /// here is *reported* (stderr) but cannot change the exit code —
+    /// callers that need that guarantee use [`TelemetrySink::close`].
     fn drop(&mut self) {
+        if self.closed {
+            return;
+        }
         let w = self
             .writer
             .get_mut()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
-        let _ = w.flush();
-        if let Some(file) = &self.file {
-            let _ = file.sync_data();
+        let flushed = w.flush();
+        let synced = match &self.file {
+            Some(file) => file.sync_data(),
+            None => Ok(()),
+        };
+        if let Err(e) = flushed.and(synced) {
+            eprintln!("warning: telemetry sink lost data on drop: {e}");
         }
     }
 }
@@ -201,6 +227,31 @@ mod tests {
         assert_eq!(text.lines().count(), 1, "drop must flush the buffer");
         assert!(text.ends_with('\n'), "record boundary reached the file");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn close_surfaces_flush_errors_instead_of_dropping_them() {
+        /// A writer whose flush always fails, standing in for a full
+        /// or failing disk at shutdown.
+        struct BrokenFlush;
+        impl Write for BrokenFlush {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Err(io::Error::other("disk on fire"))
+            }
+        }
+        let sink = TelemetrySink::from_writer(BrokenFlush);
+        sink.emit(&tiny_record("DSC")).unwrap();
+        let err = sink.close().unwrap_err();
+        assert_eq!(err.to_string(), "disk on fire");
+
+        // The healthy path closes cleanly.
+        let (sink, buffer) = TelemetrySink::in_memory();
+        sink.emit(&tiny_record("DSC")).unwrap();
+        sink.close().unwrap();
+        assert_eq!(buffer.contents().lines().count(), 1);
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Admission control: a bounded worker pool with a bounded wait queue.
+//!
+//! Scheduling work is CPU-bound, so the server caps concurrent
+//! computations at a fixed number of *worker slots*. Requests beyond
+//! that wait in a bounded queue; requests beyond the queue are **shed**
+//! immediately (a 429-style `overloaded` response) instead of growing
+//! an unbounded backlog — under sustained overload the server's memory
+//! and tail latency stay flat and callers get an honest signal to back
+//! off. Cache hits bypass admission entirely (they do no scheduling
+//! work), so a hot working set keeps answering even while the compute
+//! slots are saturated.
+
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug, Default)]
+struct AdmissionState {
+    /// Computations currently holding a worker slot.
+    active: usize,
+    /// Admitted requests waiting for a slot.
+    waiting: usize,
+}
+
+/// The admission gate. [`Admission::try_admit`] either returns a
+/// [`Permit`] (possibly after queueing) or `None` (shed).
+#[derive(Debug)]
+pub struct Admission {
+    state: Mutex<AdmissionState>,
+    freed: Condvar,
+    workers: usize,
+    queue_capacity: usize,
+}
+
+impl Admission {
+    /// A gate with `workers` concurrent slots and room for
+    /// `queue_capacity` waiters. Both are clamped to at least 1 slot /
+    /// 0 waiters.
+    pub fn new(workers: usize, queue_capacity: usize) -> Self {
+        Admission {
+            state: Mutex::new(AdmissionState::default()),
+            freed: Condvar::new(),
+            workers: workers.max(1),
+            queue_capacity,
+        }
+    }
+
+    /// Admits the caller, blocking in the wait queue if every worker
+    /// slot is busy. Returns `None` — *without blocking* — when the
+    /// queue is already full: the request must be shed.
+    pub fn try_admit(&self) -> Option<Permit<'_>> {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if st.active < self.workers {
+            st.active += 1;
+            return Some(Permit { gate: self });
+        }
+        if st.waiting >= self.queue_capacity {
+            return None;
+        }
+        st.waiting += 1;
+        while st.active >= self.workers {
+            st = self
+                .freed
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        st.waiting -= 1;
+        st.active += 1;
+        Some(Permit { gate: self })
+    }
+
+    /// Currently admitted computations (for gauges/tests).
+    pub fn active(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .active
+    }
+}
+
+/// An admitted computation's slot; dropping it frees the slot and
+/// wakes one queued waiter.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    gate: &'a Admission,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self
+            .gate
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        st.active -= 1;
+        drop(st);
+        self.gate.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn admits_up_to_workers_then_queues_then_sheds() {
+        let gate = Arc::new(Admission::new(1, 1));
+        let holder = gate.try_admit().expect("first request takes the slot");
+        assert_eq!(gate.active(), 1);
+
+        // One more fits in the queue; launched on a thread because it
+        // blocks until the holder releases. The queued thread needs
+        // time to actually enqueue before the shed probe below.
+        let queued = {
+            let gate2: Arc<Admission> = Arc::clone(&gate);
+            std::thread::spawn(move || gate2.try_admit().is_some())
+        };
+        std::thread::sleep(Duration::from_millis(50));
+
+        // Queue is now full: the third request is shed immediately.
+        assert!(gate.try_admit().is_none(), "third request must shed");
+
+        drop(holder);
+        assert!(queued.join().unwrap(), "queued request runs after release");
+    }
+
+    #[test]
+    fn concurrency_never_exceeds_the_worker_cap() {
+        let gate = Arc::new(Admission::new(3, 64));
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..24)
+            .map(|_| {
+                let (gate, running, peak) =
+                    (Arc::clone(&gate), Arc::clone(&running), Arc::clone(&peak));
+                std::thread::spawn(move || {
+                    let _permit = gate.try_admit().expect("queue is large enough");
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(2));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 3, "cap respected");
+        assert_eq!(gate.active(), 0, "every permit was released");
+    }
+}

@@ -1,0 +1,119 @@
+//! The `dagsched-server` daemon binary.
+//!
+//! Binds, prints the bound address (tests and scripts wait for that
+//! line), then idles while connection threads do the work. SIGTERM —
+//! or a protocol `shutdown` request — triggers the drain: stop
+//! accepting, finish in-flight requests, flush the cache journal. A
+//! journal flush failure exits nonzero so supervisors notice lost
+//! durability instead of a silent clean-looking exit.
+
+use dagsched_server::server::{start, ServerConfig};
+use dagsched_server::signal::{install_sigterm_hook, sigterm_received};
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+dagsched-server: the scheduling daemon (see docs/SERVICE.md)
+
+USAGE:
+    dagsched-server [OPTIONS]
+
+OPTIONS:
+    --addr ADDR            bind address [default: 127.0.0.1:7411]
+    --workers N            concurrent scheduling computations [default: 4]
+    --queue N              admission queue depth before shedding [default: 16]
+    --budget MS            default per-request budget in ms, 0 disables
+                           [default: 5000]
+    --cache-capacity N     in-memory schedule cache entries [default: 1024]
+    --cache-dir DIR        journal the cache to DIR/cache.jsonl and
+                           warm-start from it on restart
+    --chaos                also register the CHAOS-* fixture heuristics
+                           (testing only)
+    -h, --help             print this help
+";
+
+fn parse_args(args: &[String]) -> Result<Option<ServerConfig>, String> {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7411".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--addr" => config.addr = value("--addr")?.to_string(),
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer".to_string())?;
+            }
+            "--queue" => {
+                config.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|_| "--queue needs an integer".to_string())?;
+            }
+            "--budget" => {
+                let ms: u64 = value("--budget")?
+                    .parse()
+                    .map_err(|_| "--budget needs an integer (milliseconds)".to_string())?;
+                config.default_budget = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--cache-capacity" => {
+                config.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|_| "--cache-capacity needs an integer".to_string())?;
+            }
+            "--cache-dir" => config.cache_dir = Some(value("--cache-dir")?.into()),
+            "--chaos" => config.chaos = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(Some(config))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(Some(config)) => config,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("dagsched-server: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    install_sigterm_hook();
+    let handle = match start(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("dagsched-server: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Scripts and tests block on this exact line for readiness.
+    println!("dagsched-server listening on {}", handle.local_addr());
+    let _ = std::io::stdout().flush();
+
+    while !sigterm_received() && !handle.stop_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("dagsched-server: draining");
+    match handle.shutdown() {
+        Ok(()) => {
+            eprintln!("dagsched-server: drained cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dagsched-server: shutdown lost data: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

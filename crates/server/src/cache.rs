@@ -1,0 +1,271 @@
+//! The fingerprint-keyed schedule cache with optional disk journal.
+//!
+//! Keys are the canonical `digest@machine#heuristic` composition from
+//! [`dagsched_core::schedule_cache_key`]; values are the raw
+//! `(processor, start)` placements plus the answering tier and
+//! contained incidents — everything needed to rebuild the schedule
+//! bit-identically once the requester supplies the (fingerprint-equal)
+//! graph again. In memory the cache is a stamp-based LRU; with a disk
+//! directory every insert is also appended, checksummed and fsynced,
+//! to a journal in the `dagsched.checkpoint.v1` record format
+//! ([`dagsched_experiments::checkpoint::CACHE_RECORD_KIND`]) so a
+//! restarted server warm-starts from the entries the previous process
+//! managed to land before dying — including by `SIGKILL`, which the
+//! journal's torn-tail truncation absorbs.
+
+use dagsched_experiments::checkpoint::{
+    cache_record_body, parse_cache_record, scan_journal, CacheRecord, JournalWriter, StoredIncident,
+};
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// File name of the cache journal inside a `--cache-dir` directory.
+pub const CACHE_FILE: &str = "cache.jsonl";
+
+/// One cached schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedSchedule {
+    /// The tier that produced the answer.
+    pub scheduled_by: String,
+    /// `(processor, start time)` per task, in task order.
+    pub placements: Vec<(u32, u64)>,
+    /// Incidents the harness contained while computing it.
+    pub incidents: Vec<StoredIncident>,
+}
+
+struct Entry {
+    value: Arc<CachedSchedule>,
+    /// Monotonic use stamp; the entry with the smallest stamp is the
+    /// least recently used.
+    stamp: u64,
+}
+
+struct CacheInner {
+    map: HashMap<String, Entry>,
+    clock: u64,
+}
+
+/// The cache proper. All methods take `&self`; the internal mutex
+/// makes it shareable across connection threads.
+pub struct ScheduleCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    journal: Option<JournalWriter>,
+}
+
+impl ScheduleCache {
+    /// A purely in-memory cache holding at most `capacity` entries.
+    pub fn in_memory(capacity: usize) -> Self {
+        ScheduleCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                clock: 0,
+            }),
+            capacity: capacity.max(1),
+            journal: None,
+        }
+    }
+
+    /// A disk-backed cache journaling into `dir/`[`CACHE_FILE`].
+    /// Existing records are replayed first (later records win, torn
+    /// tails truncated) and the journal is reopened for appending.
+    /// Returns the cache and how many entries were warm-started.
+    pub fn with_disk(capacity: usize, dir: &Path) -> io::Result<(Self, usize)> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(CACHE_FILE);
+        let scan = scan_journal(&path).map_err(io::Error::other)?;
+        let cache = ScheduleCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                clock: 0,
+            }),
+            capacity: capacity.max(1),
+            journal: None,
+        };
+        for (i, record) in scan.records.iter().enumerate() {
+            let rec = parse_cache_record(record).map_err(|reason| {
+                io::Error::other(format!("cache journal line {}: {reason}", i + 1))
+            })?;
+            cache.store(
+                rec.key,
+                CachedSchedule {
+                    scheduled_by: rec.scheduled_by,
+                    placements: rec.placements,
+                    incidents: rec.incidents,
+                },
+            );
+        }
+        let loaded = cache.len();
+        let journal = JournalWriter::resume(&path, scan.valid_len)?;
+        Ok((
+            ScheduleCache {
+                journal: Some(journal),
+                ..cache
+            },
+            loaded,
+        ))
+    }
+
+    /// Looks up `key`, bumping its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<Arc<CachedSchedule>> {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        inner.clock += 1;
+        let clock = inner.clock;
+        let entry = inner.map.get_mut(key)?;
+        entry.stamp = clock;
+        Some(Arc::clone(&entry.value))
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least recently
+    /// used one beyond capacity, and — for disk-backed caches —
+    /// durably journals it first. A journal write failure is returned
+    /// *after* the in-memory insert: the answer stays servable, only
+    /// its crash durability is lost.
+    pub fn insert(&self, key: &str, value: CachedSchedule) -> io::Result<()> {
+        let journaled = match &self.journal {
+            Some(journal) => journal.append(&cache_record_body(&CacheRecord {
+                key: key.to_string(),
+                scheduled_by: value.scheduled_by.clone(),
+                placements: value.placements.clone(),
+                incidents: value.incidents.clone(),
+            })),
+            None => Ok(()),
+        };
+        self.store(key.to_string(), value);
+        journaled
+    }
+
+    fn store(&self, key: String, value: CachedSchedule) {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        inner.clock += 1;
+        let stamp = inner.clock;
+        inner.map.insert(
+            key,
+            Entry {
+                value: Arc::new(value),
+                stamp,
+            },
+        );
+        while inner.map.len() > self.capacity {
+            let lru = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+                .expect("map is non-empty");
+            inner.map.remove(&lru);
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .map
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flushes and closes the disk journal, surfacing the final fsync
+    /// error — the server turns it into a nonzero exit at shutdown.
+    pub fn close(self) -> io::Result<()> {
+        match self.journal {
+            Some(journal) => journal.close(),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_core::schedule_cache_key;
+
+    fn entry(tag: &str) -> CachedSchedule {
+        CachedSchedule {
+            scheduled_by: tag.to_string(),
+            placements: vec![(0, 0), (1, 7)],
+            incidents: Vec::new(),
+        }
+    }
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dagsched-srv-cache-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let cache = ScheduleCache::in_memory(2);
+        cache.insert("a", entry("A")).unwrap();
+        cache.insert("b", entry("B")).unwrap();
+        // Touch "a" so "b" is now the LRU entry.
+        assert!(cache.get("a").is_some());
+        cache.insert("c", entry("C")).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("b").is_none(), "b was evicted");
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn disk_cache_warm_starts_from_its_journal() {
+        let dir = temp_dir("warm");
+        let key = schedule_cache_key(0xbeef, "uniform", "DSC");
+        {
+            let (cache, loaded) = ScheduleCache::with_disk(8, &dir).unwrap();
+            assert_eq!(loaded, 0);
+            cache.insert(&key, entry("DSC")).unwrap();
+            cache.close().unwrap();
+        }
+        let (cache, loaded) = ScheduleCache::with_disk(8, &dir).unwrap();
+        assert_eq!(loaded, 1);
+        assert_eq!(cache.get(&key).unwrap().as_ref(), &entry("DSC"));
+
+        // Appending after the warm start keeps the journal readable.
+        let key2 = schedule_cache_key(0xf00d, "ring:4", "HU");
+        cache.insert(&key2, entry("HU")).unwrap();
+        cache.close().unwrap();
+        let (cache, loaded) = ScheduleCache::with_disk(8, &dir).unwrap();
+        assert_eq!(loaded, 2);
+        assert!(cache.get(&key2).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_warm_start() {
+        let dir = temp_dir("torn");
+        let key = schedule_cache_key(1, "uniform", "DSC");
+        let key2 = schedule_cache_key(2, "uniform", "DSC");
+        {
+            let (cache, _) = ScheduleCache::with_disk(8, &dir).unwrap();
+            cache.insert(&key, entry("DSC")).unwrap();
+            cache.insert(&key2, entry("DSC")).unwrap();
+            cache.close().unwrap();
+        }
+        // Cut the second record mid-line, as a kill mid-append would.
+        let path = dir.join(CACHE_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text.as_bytes()[..text.len() - 10]).unwrap();
+        let (cache, loaded) = ScheduleCache::with_disk(8, &dir).unwrap();
+        assert_eq!(loaded, 1, "only the intact record survives");
+        assert!(cache.get(&key).is_some());
+        assert!(cache.get(&key2).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

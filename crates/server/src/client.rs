@@ -1,0 +1,186 @@
+//! A tiny blocking client for the wire protocol.
+//!
+//! Backs the CLI's `--remote <addr>` flag and the integration tests:
+//! encode a request line, submit it over TCP, render the response the
+//! way the CLI prints a local run (plus the remote-only provenance —
+//! answering tier and cache status).
+
+use crate::proto::{REQUEST_SCHEMA, RESPONSE_SCHEMA};
+use dagsched_obs::json::{write_escaped, Json};
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Encodes a `kind:"schedule"` request line (no trailing newline).
+pub fn encode_schedule_request(
+    graph: &str,
+    heuristic: &str,
+    machine: &str,
+    budget_ms: Option<u64>,
+    id: Option<&str>,
+) -> String {
+    let mut s = String::with_capacity(128 + graph.len());
+    s.push_str("{\"schema\":\"");
+    s.push_str(REQUEST_SCHEMA);
+    s.push_str("\",\"kind\":\"schedule\"");
+    if let Some(id) = id {
+        s.push_str(",\"id\":");
+        write_escaped(&mut s, id);
+    }
+    s.push_str(",\"graph\":");
+    write_escaped(&mut s, graph);
+    s.push_str(",\"heuristic\":");
+    write_escaped(&mut s, heuristic);
+    s.push_str(",\"machine\":");
+    write_escaped(&mut s, machine);
+    if let Some(ms) = budget_ms {
+        let _ = write!(s, ",\"budget_ms\":{ms}");
+    }
+    s.push('}');
+    s
+}
+
+/// Sends one request line to `addr` and reads the one response line.
+pub fn submit(addr: &str, line: &str) -> io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone()?;
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut response = String::new();
+    BufReader::new(stream).read_line(&mut response)?;
+    if response.is_empty() {
+        return Err(io::Error::other(
+            "server closed the connection without answering",
+        ));
+    }
+    Ok(response.trim_end().to_string())
+}
+
+/// Renders a schedule response line in the CLI's local output format
+/// plus the remote provenance. `Err` carries a printable message for
+/// `error`/`overloaded` responses (the caller exits nonzero on it).
+pub fn render_response(line: &str) -> Result<String, String> {
+    let j = Json::parse(line).map_err(|e| format!("unparseable server response: {e}"))?;
+    let schema = j.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != RESPONSE_SCHEMA {
+        return Err(format!(
+            "unexpected response schema {schema:?} (expected {RESPONSE_SCHEMA})"
+        ));
+    }
+    let str_of = |name: &str| {
+        j.get(name)
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    match j.get("status").and_then(Json::as_str) {
+        Some("ok") => {}
+        Some("overloaded") => {
+            return Err(format!("server overloaded: {}", str_of("message")));
+        }
+        Some("error") => {
+            return Err(format!(
+                "server error [{}]: {}",
+                str_of("code"),
+                str_of("message")
+            ));
+        }
+        other => return Err(format!("response carries no valid status: {other:?}")),
+    }
+    if j.get("heuristic").is_none() {
+        // A control response (pong, shutdown-ack, stats): print it raw.
+        return Ok(line.to_string());
+    }
+    let u64_of = |name: &str| j.get(name).and_then(Json::as_u64).unwrap_or(0);
+    let f64_of = |name: &str| j.get(name).and_then(Json::as_f64).unwrap_or(0.0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<7} parallel_time={} speedup={:.3} efficiency={:.3} procs={}",
+        str_of("heuristic"),
+        u64_of("makespan"),
+        f64_of("speedup"),
+        f64_of("efficiency"),
+        u64_of("procs"),
+    );
+    let cached = j.get("cached").and_then(Json::as_bool).unwrap_or(false);
+    let _ = writeln!(
+        out,
+        "  served by {} (tier {}, {})",
+        str_of("scheduled_by"),
+        str_of("tier"),
+        if cached { "cached" } else { "computed" },
+    );
+    if let Some(incidents) = j.get("incidents").and_then(Json::as_arr) {
+        for inc in incidents {
+            let summary = inc.get("summary").and_then(Json::as_str).unwrap_or("?");
+            let _ = writeln!(out, "  incident: {summary}");
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{self, ScheduleAnswer};
+
+    #[test]
+    fn schedule_request_encodes_to_what_the_server_parses() {
+        let line = encode_schedule_request(
+            "nodes 1\nnode 0 5\n",
+            "DSC",
+            "ring:4",
+            Some(250),
+            Some("cli"),
+        );
+        match proto::parse_request(&line).unwrap() {
+            proto::Request::Schedule(r) => {
+                assert_eq!(r.graph, "nodes 1\nnode 0 5\n");
+                assert_eq!(r.heuristic, "DSC");
+                assert_eq!(r.machine, "ring:4");
+                assert_eq!(r.budget_ms, Some(250));
+                assert_eq!(r.id.as_deref(), Some("cli"));
+            }
+            other => panic!("expected a schedule request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ok_responses_render_in_the_cli_format() {
+        let answer = ScheduleAnswer {
+            heuristic: "DSC".into(),
+            machine: "uniform".into(),
+            scheduled_by: "HU".into(),
+            tier: "fallback:HU".into(),
+            cached: true,
+            fingerprint: "0x0000000000003a5f".into(),
+            makespan: 40,
+            procs: 2,
+            speedup: 1.5,
+            efficiency: 0.75,
+            placements: vec![(0, 0), (1, 10)],
+            incidents: vec![("panic".into(), "DSC panicked: boom".into())],
+        };
+        let out = render_response(&proto::ok_response(None, &answer)).unwrap();
+        assert!(out.contains("parallel_time=40"), "{out}");
+        assert!(out.contains("speedup=1.500"), "{out}");
+        assert!(
+            out.contains("served by HU (tier fallback:HU, cached)"),
+            "{out}"
+        );
+        assert!(out.contains("incident: DSC panicked: boom"), "{out}");
+    }
+
+    #[test]
+    fn error_and_overload_responses_render_as_errors() {
+        let err =
+            render_response(&proto::error_response(None, "parse-error", "line 2: no")).unwrap_err();
+        assert!(err.contains("parse-error"), "{err}");
+        assert!(err.contains("line 2: no"), "{err}");
+        let err = render_response(&proto::overloaded_response(None)).unwrap_err();
+        assert!(err.contains("overloaded"), "{err}");
+    }
+}

@@ -1,0 +1,46 @@
+//! `dagsched-server`: the scheduling daemon.
+//!
+//! A long-running service that accepts scheduling requests — a graph
+//! in the repo's plain-text format, a heuristic name and a `--machine`
+//! spec — over line-delimited JSON on TCP and answers with the
+//! schedule, its measures and the *tier* that produced it. The daemon
+//! is built from the workspace's robustness layers:
+//!
+//! * every computation runs inside the harness's supervised pool
+//!   ([`dagsched_harness::RobustScheduler`]), so a panicking, runaway
+//!   or invalid heuristic yields a structured degraded answer, never a
+//!   dead daemon;
+//! * [`admission`] bounds concurrent work and the wait queue, shedding
+//!   excess load with an explicit `overloaded` response;
+//! * [`cache`] serves repeat queries from a fingerprint×machine-spec
+//!   keyed LRU, optionally journaled to disk in the checkpoint record
+//!   format so a restarted server warm-starts — `SIGKILL` included;
+//! * concurrent identical requests coalesce onto one computation
+//!   (single-flight) instead of stampeding the workers;
+//! * `SIGTERM` ([`signal`]) drains in-flight work, flushes the cache
+//!   journal and exits cleanly, surfacing any final fsync error as a
+//!   nonzero exit.
+//!
+//! The wire protocol lives in [`proto`]; the tiny blocking client the
+//! CLI's `--remote` flag uses lives in [`client`]. See
+//! `docs/SERVICE.md` for the full protocol and operational semantics.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod cache;
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod signal;
+
+pub use admission::{Admission, Permit};
+pub use cache::{CachedSchedule, ScheduleCache, CACHE_FILE};
+pub use client::{encode_schedule_request, render_response, submit};
+pub use proto::{
+    parse_request, Request, RequestError, ScheduleAnswer, ScheduleRequest, REQUEST_SCHEMA,
+    RESPONSE_SCHEMA,
+};
+pub use server::{start, ServerConfig, ServerHandle};
+pub use signal::{install_sigterm_hook, sigterm_received};

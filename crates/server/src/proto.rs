@@ -1,0 +1,458 @@
+//! The versioned line-delimited JSON wire protocol.
+//!
+//! One request per line, one response line per request, over a plain
+//! TCP stream. Every request carries `schema`
+//! ([`REQUEST_SCHEMA`] = `dagsched.request.v1`) and a `kind`; every
+//! response carries [`RESPONSE_SCHEMA`] (`dagsched.response.v1`), the
+//! request's echoed `id` (if any) and a `status` of `ok`, `error` or
+//! `overloaded`. The full schema is documented in `docs/SERVICE.md`.
+//!
+//! Requests:
+//!
+//! ```json
+//! {"schema":"dagsched.request.v1","kind":"schedule","id":"r1",
+//!  "graph":"nodes 2\nnode 0 5\nnode 1 5\nedge 0 1 3\n",
+//!  "heuristic":"DSC","machine":"uniform","budget_ms":250}
+//! {"schema":"dagsched.request.v1","kind":"stats"}
+//! {"schema":"dagsched.request.v1","kind":"ping"}
+//! {"schema":"dagsched.request.v1","kind":"shutdown"}
+//! ```
+//!
+//! A schedule response labels the *tier* that answered — `"primary"`
+//! when the requested heuristic produced the schedule,
+//! `"fallback:<NAME>"` when the harness degraded to a fallback
+//! heuristic, `"serial-placement"` when only the synthesized total
+//! fallback survived — so a caller under deadline pressure can tell a
+//! first-choice answer from a degraded one without parsing incidents.
+
+use dagsched_obs::json::{write_escaped, write_f64, Json};
+
+/// Schema tag every request must carry.
+pub const REQUEST_SCHEMA: &str = "dagsched.request.v1";
+/// Schema tag every response carries.
+pub const RESPONSE_SCHEMA: &str = "dagsched.response.v1";
+
+/// Machine-readable error codes of `status:"error"` responses.
+pub mod code {
+    /// The request line is not valid JSON or not a valid request.
+    pub const BAD_REQUEST: &str = "bad-request";
+    /// The graph text does not parse.
+    pub const PARSE_ERROR: &str = "parse-error";
+    /// The requested heuristic is not registered.
+    pub const UNKNOWN_HEURISTIC: &str = "unknown-heuristic";
+    /// The machine spec does not parse.
+    pub const UNKNOWN_MACHINE: &str = "unknown-machine";
+    /// The request escaped every containment layer (a bug — the
+    /// response exists so the *connection* still survives it).
+    pub const INTERNAL: &str = "internal";
+    /// The server is draining and accepts no new work.
+    pub const SHUTTING_DOWN: &str = "shutting-down";
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Schedule a graph.
+    Schedule(ScheduleRequest),
+    /// Return the server's aggregated instrumentation.
+    Stats {
+        /// Echoed request id.
+        id: Option<String>,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Echoed request id.
+        id: Option<String>,
+    },
+    /// Ask the server to drain and exit.
+    Shutdown {
+        /// Echoed request id.
+        id: Option<String>,
+    },
+}
+
+impl Request {
+    /// The request's echoed id, whatever its kind.
+    pub fn id(&self) -> Option<&str> {
+        match self {
+            Request::Schedule(r) => r.id.as_deref(),
+            Request::Stats { id } | Request::Ping { id } | Request::Shutdown { id } => {
+                id.as_deref()
+            }
+        }
+    }
+}
+
+/// A `kind:"schedule"` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleRequest {
+    /// Caller-chosen id, echoed verbatim in the response.
+    pub id: Option<String>,
+    /// The graph, in the repo's plain-text format.
+    pub graph: String,
+    /// Heuristic name (`DSC`, `CLANS`, …) — case-insensitive.
+    pub heuristic: String,
+    /// Machine spec in the `--machine` grammar (`uniform`, `ring:4`,
+    /// …). Defaults to `uniform` when absent.
+    pub machine: String,
+    /// Per-request wall-clock budget in milliseconds; the server's
+    /// default applies when absent.
+    pub budget_ms: Option<u64>,
+}
+
+/// Why a request line was rejected before reaching a handler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// One of the [`code`] constants.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+fn bad(message: impl Into<String>) -> RequestError {
+    RequestError {
+        code: code::BAD_REQUEST,
+        message: message.into(),
+    }
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let j = Json::parse(line).map_err(|e| bad(format!("request is not valid JSON: {e}")))?;
+    let schema = j
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("request carries no schema"))?;
+    if schema != REQUEST_SCHEMA {
+        return Err(bad(format!(
+            "unsupported schema {schema:?} (this server speaks {REQUEST_SCHEMA})"
+        )));
+    }
+    let id = j.get("id").and_then(Json::as_str).map(str::to_string);
+    let kind = j
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("request carries no kind"))?;
+    match kind {
+        "ping" => Ok(Request::Ping { id }),
+        "stats" => Ok(Request::Stats { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        "schedule" => {
+            let graph = j
+                .get("graph")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("schedule request carries no graph text"))?
+                .to_string();
+            let heuristic = j
+                .get("heuristic")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("schedule request carries no heuristic"))?
+                .to_uppercase();
+            let machine = match j.get("machine") {
+                None => "uniform".to_string(),
+                Some(m) => m
+                    .as_str()
+                    .ok_or_else(|| bad("machine must be a string"))?
+                    .to_string(),
+            };
+            let budget_ms = match j.get("budget_ms") {
+                None => None,
+                Some(b) => Some(
+                    b.as_u64()
+                        .filter(|&ms| ms > 0)
+                        .ok_or_else(|| bad("budget_ms must be a positive integer"))?,
+                ),
+            };
+            Ok(Request::Schedule(ScheduleRequest {
+                id,
+                graph,
+                heuristic,
+                machine,
+                budget_ms,
+            }))
+        }
+        other => Err(bad(format!("unknown request kind {other:?}"))),
+    }
+}
+
+/// A computed (or cache-served) schedule, ready to encode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleAnswer {
+    /// The heuristic the caller asked for.
+    pub heuristic: String,
+    /// The machine spec the schedule is for.
+    pub machine: String,
+    /// The chain tier that actually produced the schedule.
+    pub scheduled_by: String,
+    /// `primary`, `fallback:<NAME>` or `serial-placement`.
+    pub tier: String,
+    /// Whether the answer came from the schedule cache (or was
+    /// coalesced onto another request's computation).
+    pub cached: bool,
+    /// The graph's content fingerprint (`{:#018x}`).
+    pub fingerprint: String,
+    /// Schedule makespan.
+    pub makespan: u64,
+    /// Processors used.
+    pub procs: usize,
+    /// Serial time / makespan.
+    pub speedup: f64,
+    /// Speedup / processors.
+    pub efficiency: f64,
+    /// `(processor, start time)` per task, in task order.
+    pub placements: Vec<(u32, u64)>,
+    /// `(kind, summary)` per incident the harness contained.
+    pub incidents: Vec<(String, String)>,
+}
+
+impl ScheduleAnswer {
+    /// The tier label for a schedule produced by `scheduled_by` when
+    /// `requested` was asked for.
+    pub fn tier_of(requested: &str, scheduled_by: &str) -> String {
+        if scheduled_by == requested {
+            "primary".to_string()
+        } else if scheduled_by == dagsched_harness::SERIAL_PLACEMENT {
+            "serial-placement".to_string()
+        } else {
+            format!("fallback:{scheduled_by}")
+        }
+    }
+}
+
+fn response_head(s: &mut String, id: Option<&str>, status: &str) {
+    s.push_str("{\"schema\":\"");
+    s.push_str(RESPONSE_SCHEMA);
+    s.push('"');
+    if let Some(id) = id {
+        s.push_str(",\"id\":");
+        write_escaped(s, id);
+    }
+    s.push_str(",\"status\":\"");
+    s.push_str(status);
+    s.push('"');
+}
+
+/// Encodes a successful schedule response.
+pub fn ok_response(id: Option<&str>, a: &ScheduleAnswer) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(256 + 16 * a.placements.len());
+    response_head(&mut s, id, "ok");
+    s.push_str(",\"heuristic\":");
+    write_escaped(&mut s, &a.heuristic);
+    s.push_str(",\"machine\":");
+    write_escaped(&mut s, &a.machine);
+    s.push_str(",\"scheduled_by\":");
+    write_escaped(&mut s, &a.scheduled_by);
+    s.push_str(",\"tier\":");
+    write_escaped(&mut s, &a.tier);
+    let _ = write!(
+        s,
+        ",\"cached\":{},\"fingerprint\":\"{}\",\"makespan\":{},\"procs\":{}",
+        a.cached, a.fingerprint, a.makespan, a.procs
+    );
+    s.push_str(",\"speedup\":");
+    write_f64(&mut s, a.speedup);
+    s.push_str(",\"efficiency\":");
+    write_f64(&mut s, a.efficiency);
+    s.push_str(",\"placements\":[");
+    for (i, (proc, start)) in a.placements.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "[{proc},{start}]");
+    }
+    s.push_str("],\"incidents\":[");
+    for (i, (kind, summary)) in a.incidents.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"kind\":");
+        write_escaped(&mut s, kind);
+        s.push_str(",\"summary\":");
+        write_escaped(&mut s, summary);
+        s.push('}');
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Encodes a `status:"error"` response.
+pub fn error_response(id: Option<&str>, code: &str, message: &str) -> String {
+    let mut s = String::with_capacity(96 + message.len());
+    response_head(&mut s, id, "error");
+    s.push_str(",\"code\":");
+    write_escaped(&mut s, code);
+    s.push_str(",\"message\":");
+    write_escaped(&mut s, message);
+    s.push('}');
+    s
+}
+
+/// Encodes the 429-style load-shedding response: the queue is full and
+/// the request was not admitted. The caller should back off and retry.
+pub fn overloaded_response(id: Option<&str>) -> String {
+    let mut s = String::with_capacity(96);
+    response_head(&mut s, id, "overloaded");
+    s.push_str(",\"message\":\"request queue is full, retry later\"}");
+    s
+}
+
+/// Encodes the reply to a `ping`.
+pub fn pong_response(id: Option<&str>) -> String {
+    let mut s = String::with_capacity(64);
+    response_head(&mut s, id, "ok");
+    s.push_str(",\"kind\":\"pong\"}");
+    s
+}
+
+/// Encodes the acknowledgement of a `shutdown` request (sent before
+/// the drain starts).
+pub fn shutdown_ack(id: Option<&str>) -> String {
+    let mut s = String::with_capacity(64);
+    response_head(&mut s, id, "ok");
+    s.push_str(",\"kind\":\"shutdown-ack\",\"message\":\"draining\"}");
+    s
+}
+
+/// Encodes the reply to a `stats` request from the server's
+/// accumulated instrumentation.
+pub fn stats_response(id: Option<&str>, stats: &dagsched_obs::RunStats) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(512);
+    response_head(&mut s, id, "ok");
+    s.push_str(",\"kind\":\"stats\",\"counters\":{");
+    for (i, (name, value)) in stats.counters().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        write_escaped(&mut s, name);
+        let _ = write!(s, ":{value}");
+    }
+    s.push_str("},\"gauges\":{");
+    for (i, (name, value)) in stats.gauges().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        write_escaped(&mut s, name);
+        let _ = write!(s, ":{value}");
+    }
+    s.push_str("},\"histograms\":{");
+    for (i, (name, h)) in stats.histograms().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        write_escaped(&mut s, name);
+        let _ = write!(
+            s,
+            ":{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":",
+            h.count(),
+            h.sum(),
+            h.max()
+        );
+        write_f64(&mut s, h.mean());
+        s.push('}');
+    }
+    s.push_str("}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_request_round_trips() {
+        let line = format!(
+            "{{\"schema\":\"{REQUEST_SCHEMA}\",\"kind\":\"schedule\",\"id\":\"r1\",\
+             \"graph\":\"nodes 1\\nnode 0 5\\n\",\"heuristic\":\"dsc\",\
+             \"machine\":\"ring:4\",\"budget_ms\":250}}"
+        );
+        match parse_request(&line).unwrap() {
+            Request::Schedule(r) => {
+                assert_eq!(r.id.as_deref(), Some("r1"));
+                assert_eq!(r.graph, "nodes 1\nnode 0 5\n");
+                assert_eq!(r.heuristic, "DSC", "heuristic is upcased");
+                assert_eq!(r.machine, "ring:4");
+                assert_eq!(r.budget_ms, Some(250));
+            }
+            other => panic!("expected a schedule request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_requests_parse() {
+        for (kind, expect) in [
+            ("ping", Request::Ping { id: None }),
+            ("stats", Request::Stats { id: None }),
+            ("shutdown", Request::Shutdown { id: None }),
+        ] {
+            let line = format!("{{\"schema\":\"{REQUEST_SCHEMA}\",\"kind\":\"{kind}\"}}");
+            assert_eq!(parse_request(&line).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_bad_request() {
+        for line in [
+            "not json",
+            "{}",
+            "{\"schema\":\"nope\",\"kind\":\"ping\"}",
+            &format!("{{\"schema\":\"{REQUEST_SCHEMA}\"}}"),
+            &format!("{{\"schema\":\"{REQUEST_SCHEMA}\",\"kind\":\"frobnicate\"}}"),
+            &format!("{{\"schema\":\"{REQUEST_SCHEMA}\",\"kind\":\"schedule\"}}"),
+            &format!(
+                "{{\"schema\":\"{REQUEST_SCHEMA}\",\"kind\":\"schedule\",\
+                 \"graph\":\"nodes 0\\n\",\"heuristic\":\"HU\",\"budget_ms\":0}}"
+            ),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.code, code::BAD_REQUEST, "{line}");
+        }
+    }
+
+    #[test]
+    fn tier_labels() {
+        assert_eq!(ScheduleAnswer::tier_of("DSC", "DSC"), "primary");
+        assert_eq!(ScheduleAnswer::tier_of("DSC", "HU"), "fallback:HU");
+        assert_eq!(
+            ScheduleAnswer::tier_of("DSC", dagsched_harness::SERIAL_PLACEMENT),
+            "serial-placement"
+        );
+    }
+
+    #[test]
+    fn responses_are_valid_json_and_carry_the_id() {
+        let answer = ScheduleAnswer {
+            heuristic: "DSC".into(),
+            machine: "uniform".into(),
+            scheduled_by: "HU".into(),
+            tier: "fallback:HU".into(),
+            cached: false,
+            fingerprint: "0x0000000000003a5f".into(),
+            makespan: 40,
+            procs: 2,
+            speedup: 1.5,
+            efficiency: 0.75,
+            placements: vec![(0, 0), (1, 10)],
+            incidents: vec![("panic".into(), "DSC panicked: boom".into())],
+        };
+        for line in [
+            ok_response(Some("r\"1"), &answer),
+            error_response(Some("r\"1"), code::PARSE_ERROR, "bad \"graph\""),
+            overloaded_response(Some("r\"1")),
+            pong_response(Some("r\"1")),
+            shutdown_ack(Some("r\"1")),
+            stats_response(Some("r\"1"), &dagsched_obs::RunStats::default()),
+        ] {
+            let j = Json::parse(&line).expect(&line);
+            assert_eq!(j.get("schema").unwrap().as_str(), Some(RESPONSE_SCHEMA));
+            assert_eq!(j.get("id").unwrap().as_str(), Some("r\"1"));
+        }
+        let j = Json::parse(&ok_response(None, &answer)).unwrap();
+        assert!(j.get("id").is_none());
+        assert_eq!(j.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(j.get("tier").unwrap().as_str(), Some("fallback:HU"));
+        assert_eq!(j.get("makespan").unwrap().as_u64(), Some(40));
+        assert_eq!(j.get("placements").unwrap().as_arr().unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,591 @@
+//! The daemon proper: accept loop, per-connection request handling,
+//! single-flight coalescing, and the drain/shutdown path.
+//!
+//! Threading model: one nonblocking accept loop thread spawns one
+//! thread per connection; each connection handles its requests
+//! serially (one response line per request line, in order). CPU-bound
+//! scheduling work is bounded by [`Admission`] regardless of how many
+//! connections are open, and identical concurrent requests coalesce
+//! onto a single computation, so the worst adversarial client mix
+//! costs bounded compute and bounded queueing — everyone else is shed
+//! with an honest `overloaded` answer.
+
+use crate::admission::Admission;
+use crate::cache::{CachedSchedule, ScheduleCache};
+use crate::proto::{self, code, Request, ScheduleAnswer, ScheduleRequest};
+use dagsched_core::{all_heuristics, parse_machine, schedule_cache_key, Scheduler};
+use dagsched_dag::{textio, Dag, NodeId};
+use dagsched_experiments::checkpoint::StoredIncident;
+use dagsched_harness::{GraphFingerprint, HarnessConfig, RobustScheduler};
+use dagsched_obs as obs;
+use dagsched_sim::{metrics, Machine, ProcId, Schedule};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How the daemon is provisioned. [`ServerConfig::default`] matches
+/// the binary's flag defaults.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (the bound address
+    /// is available from [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Concurrent scheduling computations ([`Admission`] slots).
+    pub workers: usize,
+    /// Requests allowed to wait for a slot before shedding starts.
+    pub queue_capacity: usize,
+    /// Per-request wall-clock budget when the request names none.
+    /// `None` disables the default deadline.
+    pub default_budget: Option<Duration>,
+    /// Schedule cache entries kept in memory.
+    pub cache_capacity: usize,
+    /// Directory for the cache journal; `None` keeps the cache
+    /// memory-only (no warm-start across restarts).
+    pub cache_dir: Option<PathBuf>,
+    /// Also register the harness chaos fixtures (`CHAOS-PANIC`,
+    /// `CHAOS-INVALID`, `CHAOS-SLEEPY`) so tests and demos can request
+    /// misbehaving heuristics through the front door.
+    pub chaos: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 16,
+            default_budget: Some(Duration::from_secs(5)),
+            cache_capacity: 1024,
+            cache_dir: None,
+            chaos: false,
+        }
+    }
+}
+
+/// How long the chaos `CHAOS-SLEEPY` fixture sleeps — long enough that
+/// any test budget under it forces the deadline-degradation path.
+const CHAOS_SLEEP: Duration = Duration::from_millis(250);
+
+/// Accept-loop poll interval; also bounds how stale a drain check on an
+/// idle connection can be.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Read timeout on connection sockets, so idle connections notice a
+/// drain promptly without busy-waiting.
+const READ_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// What a coalesced follower learns from its leader.
+#[derive(Clone)]
+enum FlightOutcome {
+    /// The leader computed (and cached) an answer.
+    Answer(Arc<CachedSchedule>),
+    /// The leader was shed by admission control.
+    Overloaded,
+    /// The leader hit an internal error.
+    Failed(Arc<str>),
+}
+
+/// A single-flight rendezvous: the first request for a key computes,
+/// concurrent duplicates wait here for the outcome.
+struct InFlight {
+    slot: Mutex<Option<FlightOutcome>>,
+    done: Condvar,
+}
+
+impl InFlight {
+    fn new() -> Self {
+        InFlight {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, outcome: FlightOutcome) {
+        let mut slot = self
+            .slot
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *slot = Some(outcome);
+        drop(slot);
+        self.done.notify_all();
+    }
+
+    /// Waits for the leader; `None` when the server starts draining
+    /// before the outcome lands (the follower answers `shutting-down`
+    /// instead of hanging a drain forever).
+    fn wait(&self, stop: &AtomicBool) -> Option<FlightOutcome> {
+        let mut slot = self
+            .slot
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return Some(outcome.clone());
+            }
+            if stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _timeout) = self
+                .done
+                .wait_timeout(slot, READ_TIMEOUT)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            slot = guard;
+        }
+    }
+}
+
+/// State shared by every connection thread.
+struct Shared {
+    registry: HashMap<&'static str, Arc<dyn Scheduler>>,
+    admission: Admission,
+    cache: ScheduleCache,
+    inflight: Mutex<HashMap<String, Arc<InFlight>>>,
+    stats: Mutex<obs::RunStats>,
+    default_budget: Option<Duration>,
+    stop: Arc<AtomicBool>,
+}
+
+fn build_registry(chaos: bool) -> HashMap<&'static str, Arc<dyn Scheduler>> {
+    let mut registry: HashMap<&'static str, Arc<dyn Scheduler>> = HashMap::new();
+    for h in all_heuristics() {
+        let h: Arc<dyn Scheduler> = Arc::from(h);
+        registry.insert(h.name(), h);
+    }
+    if chaos {
+        use dagsched_harness::chaos::{InvalidScheduler, PanicScheduler, SleepyScheduler};
+        for h in [
+            Arc::new(PanicScheduler) as Arc<dyn Scheduler>,
+            Arc::new(InvalidScheduler),
+            Arc::new(SleepyScheduler { delay: CHAOS_SLEEP }),
+        ] {
+            registry.insert(h.name(), h);
+        }
+    }
+    registry
+}
+
+/// A running server. Dropping the handle does *not* stop the daemon;
+/// call [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Whether a drain has been requested (via [`ServerHandle::shutdown`]
+    /// or a protocol `shutdown` request).
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Drains and stops the server: no new connections or schedule
+    /// requests are accepted, in-flight requests finish, connection
+    /// threads are joined, and the cache journal is flushed and
+    /// closed. A journal flush failure (or an accept-loop I/O error)
+    /// is returned — the binary exits nonzero on it.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.stop.store(true, Ordering::SeqCst);
+        self.accept_thread
+            .join()
+            .map_err(|_| io::Error::other("server accept thread panicked"))?
+    }
+}
+
+/// Binds and starts a server. Returns once the listener is accepting.
+pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let cache = match &config.cache_dir {
+        Some(dir) => {
+            let (cache, loaded) = ScheduleCache::with_disk(config.cache_capacity, dir)?;
+            if loaded > 0 {
+                eprintln!("dagsched-server: warm-started {loaded} cache entries from {dir:?}");
+            }
+            cache
+        }
+        None => ScheduleCache::in_memory(config.cache_capacity),
+    };
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let shared = Arc::new(Shared {
+        registry: build_registry(config.chaos),
+        admission: Admission::new(config.workers, config.queue_capacity),
+        cache,
+        inflight: Mutex::new(HashMap::new()),
+        stats: Mutex::new(obs::RunStats::default()),
+        default_budget: config.default_budget,
+        stop: Arc::clone(&stop),
+    });
+
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::spawn(move || accept_loop(listener, shared, accept_stop));
+
+    Ok(ServerHandle {
+        local_addr,
+        stop,
+        accept_thread,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+) -> io::Result<()> {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(&shared);
+                connections.push(std::thread::spawn(move || {
+                    serve_connection(stream, &shared)
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                // Transient accept errors (e.g. a reset mid-handshake)
+                // must not kill the daemon.
+                eprintln!("dagsched-server: accept error: {e}");
+                std::thread::sleep(POLL);
+            }
+        }
+        connections.retain(|h| !h.is_finished());
+    }
+    // Drain: every connection thread observes the stop flag within one
+    // read timeout and exits once its current request completes.
+    for h in connections {
+        let _ = h.join();
+    }
+    match Arc::try_unwrap(shared) {
+        Ok(shared) => shared.cache.close(),
+        // Unreachable once every connection is joined, but never
+        // panic the drain path over it.
+        Err(_) => Ok(()),
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut buf) {
+            // EOF. A final unterminated line still gets a response.
+            Ok(0) => {
+                if !buf.is_empty() {
+                    let line = String::from_utf8_lossy(&buf).into_owned();
+                    let _ = handle_line(line.trim_end_matches(['\n', '\r']), shared, &mut writer);
+                }
+                return;
+            }
+            Ok(_) => {
+                if buf.last() != Some(&b'\n') {
+                    continue; // partial line before EOF; next read settles it
+                }
+                let line = String::from_utf8_lossy(&buf).into_owned();
+                let line = line.trim_end_matches(['\n', '\r']);
+                if !line.is_empty() && handle_line(line, shared, &mut writer).is_err() {
+                    return;
+                }
+                buf.clear();
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handles one request line: dispatch, write the response line, and
+/// fold the request's instrumentation into the server-wide stats.
+fn handle_line(line: &str, shared: &Arc<Shared>, writer: &mut TcpStream) -> io::Result<()> {
+    let scope = obs::run_scope();
+    let started = Instant::now();
+    obs::counter_add("server.requests.total", 1);
+    let response = match proto::parse_request(line) {
+        Err(e) => {
+            obs::counter_add("server.requests.error", 1);
+            proto::error_response(None, e.code, &e.message)
+        }
+        Ok(Request::Ping { id }) => proto::pong_response(id.as_deref()),
+        Ok(Request::Stats { id }) => {
+            let stats = shared
+                .stats
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            proto::stats_response(id.as_deref(), &stats)
+        }
+        Ok(Request::Shutdown { id }) => {
+            shared.stop.store(true, Ordering::SeqCst);
+            proto::shutdown_ack(id.as_deref())
+        }
+        Ok(Request::Schedule(req)) => handle_schedule(&req, shared),
+    };
+    obs::hist_record("server.latency_ms", started.elapsed().as_millis() as u64);
+    let stats = scope.finish();
+    shared
+        .stats
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .merge(&stats);
+
+    writer.write_all(response.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+fn reject(id: Option<&str>, code: &str, message: &str) -> String {
+    obs::counter_add("server.requests.error", 1);
+    proto::error_response(id, code, message)
+}
+
+fn handle_schedule(req: &ScheduleRequest, shared: &Shared) -> String {
+    let id = req.id.as_deref();
+    obs::counter_add("server.requests.schedule", 1);
+    if shared.stop.load(Ordering::SeqCst) {
+        return reject(
+            id,
+            code::SHUTTING_DOWN,
+            "server is draining, not accepting work",
+        );
+    }
+    let Some(heuristic) = shared.registry.get(req.heuristic.as_str()) else {
+        let mut known: Vec<&str> = shared.registry.keys().copied().collect();
+        known.sort_unstable();
+        return reject(
+            id,
+            code::UNKNOWN_HEURISTIC,
+            &format!(
+                "unknown heuristic {:?}; known: {}",
+                req.heuristic,
+                known.join(" ")
+            ),
+        );
+    };
+    let machine: Arc<dyn Machine> = match parse_machine(&req.machine) {
+        Ok(m) => Arc::from(m),
+        Err(e) => return reject(id, code::UNKNOWN_MACHINE, &e),
+    };
+    let g = match textio::parse(&req.graph) {
+        Ok(g) => g,
+        Err(e) => return reject(id, code::PARSE_ERROR, &e.to_string()),
+    };
+    let digest = GraphFingerprint::of(&g).digest;
+    let fingerprint = format!("{digest:#018x}");
+    let key = schedule_cache_key(digest, &req.machine, &req.heuristic);
+
+    // Tier 0: the cache. Hits bypass admission entirely.
+    if let Some(hit) = shared.cache.get(&key) {
+        obs::counter_add("server.cache.hit", 1);
+        return respond(req, &g, &fingerprint, &hit, true);
+    }
+    obs::counter_add("server.cache.miss", 1);
+
+    // Single-flight: exactly one request per key computes; concurrent
+    // duplicates wait for its outcome.
+    let (flight, leader) = {
+        let mut inflight = shared
+            .inflight
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        match inflight.get(&key) {
+            Some(f) => (Arc::clone(f), false),
+            None => {
+                let f = Arc::new(InFlight::new());
+                inflight.insert(key.clone(), Arc::clone(&f));
+                (f, true)
+            }
+        }
+    };
+    if !leader {
+        obs::counter_add("server.requests.coalesced", 1);
+        return match flight.wait(&shared.stop) {
+            Some(FlightOutcome::Answer(answer)) => respond(req, &g, &fingerprint, &answer, true),
+            Some(FlightOutcome::Overloaded) => {
+                obs::counter_add("server.requests.overloaded", 1);
+                proto::overloaded_response(id)
+            }
+            Some(FlightOutcome::Failed(message)) => reject(id, code::INTERNAL, &message),
+            None => reject(
+                id,
+                code::SHUTTING_DOWN,
+                "server started draining while the request was coalesced",
+            ),
+        };
+    }
+
+    // Double-check as leader: the key may have been computed and
+    // cached between our cache miss and our registration.
+    if let Some(hit) = shared.cache.get(&key) {
+        obs::counter_add("server.cache.hit", 1);
+        shared
+            .inflight
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .remove(&key);
+        flight.resolve(FlightOutcome::Answer(Arc::clone(&hit)));
+        return respond(req, &g, &fingerprint, &hit, true);
+    }
+
+    let outcome = compute(req, &g, &machine, heuristic, &key, shared);
+    shared
+        .inflight
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .remove(&key);
+    flight.resolve(outcome.clone());
+    match outcome {
+        FlightOutcome::Answer(answer) => respond(req, &g, &fingerprint, &answer, false),
+        FlightOutcome::Overloaded => {
+            obs::counter_add("server.requests.overloaded", 1);
+            proto::overloaded_response(id)
+        }
+        FlightOutcome::Failed(message) => reject(id, code::INTERNAL, &message),
+    }
+}
+
+/// Runs the admitted computation through the harness. Infallible by
+/// construction: every failure mode maps to a [`FlightOutcome`].
+fn compute(
+    req: &ScheduleRequest,
+    g: &Dag,
+    machine: &Arc<dyn Machine>,
+    heuristic: &Arc<dyn Scheduler>,
+    key: &str,
+    shared: &Shared,
+) -> FlightOutcome {
+    let Some(_permit) = shared.admission.try_admit() else {
+        obs::counter_add("server.shed", 1);
+        return FlightOutcome::Overloaded;
+    };
+    let budget = req
+        .budget_ms
+        .map(Duration::from_millis)
+        .or(shared.default_budget);
+    let robust = RobustScheduler::new(Arc::clone(heuristic)).with_config(HarnessConfig {
+        time_budget: budget,
+        validate: true,
+    });
+    // Belt over the harness's own suspenders: even a bug in the
+    // containment layer answers as a structured internal error instead
+    // of killing the connection thread (and stranding followers).
+    let outcome = match catch_unwind(AssertUnwindSafe(|| robust.run(g, machine))) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            obs::counter_add("server.requests.escaped_panics", 1);
+            let what = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            return FlightOutcome::Failed(Arc::from(
+                format!("panic escaped the containment harness: {what}").as_str(),
+            ));
+        }
+    };
+    if outcome.scheduled_by != req.heuristic {
+        obs::counter_add("server.fallback.requests", 1);
+        if outcome.scheduled_by == dagsched_harness::SERIAL_PLACEMENT {
+            obs::counter_add("server.fallback.serial_placement", 1);
+        }
+    }
+    let placements = (0..g.num_nodes())
+        .map(|v| {
+            let p = outcome.schedule.placement(NodeId(v as u32));
+            (p.proc.0, p.start)
+        })
+        .collect();
+    let cached = CachedSchedule {
+        scheduled_by: outcome.scheduled_by.to_string(),
+        placements,
+        incidents: outcome.incidents.iter().map(StoredIncident::of).collect(),
+    };
+    if let Err(e) = shared.cache.insert(key, cached.clone()) {
+        // The answer is still good; only its crash durability is lost.
+        obs::counter_add("server.cache.disk_errors", 1);
+        eprintln!("dagsched-server: cache journal append failed: {e}");
+    }
+    FlightOutcome::Answer(Arc::new(cached))
+}
+
+/// Rebuilds the full schedule from the cached raw placements and
+/// encodes the response. Used by all three serving paths (fresh
+/// computation, cache hit, coalesced follower), so cache hits are
+/// bit-identical to misses.
+fn respond(
+    req: &ScheduleRequest,
+    g: &Dag,
+    fingerprint: &str,
+    cached: &CachedSchedule,
+    was_cached: bool,
+) -> String {
+    let id = req.id.as_deref();
+    if cached.placements.len() != g.num_nodes() {
+        // Only reachable through a fingerprint collision or a corrupt
+        // journal entry; answer structurally rather than panicking.
+        return reject(
+            id,
+            code::INTERNAL,
+            &format!(
+                "cached schedule covers {} tasks, graph has {}",
+                cached.placements.len(),
+                g.num_nodes()
+            ),
+        );
+    }
+    let raw = cached
+        .placements
+        .iter()
+        .map(|&(p, start)| (ProcId(p), start))
+        .collect();
+    let schedule = Schedule::new(g, raw);
+    let m = metrics::measures(g, &schedule);
+    let answer = ScheduleAnswer {
+        heuristic: req.heuristic.clone(),
+        machine: req.machine.clone(),
+        scheduled_by: cached.scheduled_by.clone(),
+        tier: ScheduleAnswer::tier_of(&req.heuristic, &cached.scheduled_by),
+        cached: was_cached,
+        fingerprint: fingerprint.to_string(),
+        makespan: m.parallel_time,
+        procs: m.procs,
+        speedup: m.speedup,
+        efficiency: m.efficiency,
+        placements: cached.placements.clone(),
+        incidents: cached
+            .incidents
+            .iter()
+            .map(|i| (i.kind.clone(), i.summary.clone()))
+            .collect(),
+    };
+    obs::counter_add("server.requests.ok", 1);
+    proto::ok_response(id, &answer)
+}

@@ -1,0 +1,70 @@
+//! SIGTERM handling for the daemon binary.
+//!
+//! The handler only sets an [`AtomicBool`]; the main loop polls it and
+//! runs the actual drain (stop accepting, finish in-flight work, flush
+//! the cache journal) in ordinary code, since almost nothing is
+//! async-signal-safe inside a handler. This is the single module in
+//! the workspace that needs `unsafe` (the `signal(2)` registration);
+//! everything else stays `forbid(unsafe_code)`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a SIGTERM has been delivered since
+/// [`install_sigterm_hook`] ran.
+pub fn sigterm_received() -> bool {
+    TERM_REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Test-only escape hatch: pretend a SIGTERM arrived.
+pub fn simulate_sigterm() {
+    TERM_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::TERM_REQUESTED;
+    use std::sync::atomic::Ordering;
+
+    extern "C" fn on_sigterm(_signum: libc::c_int) {
+        // Only the store: flag-setting is async-signal-safe, a drain
+        // is not.
+        TERM_REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Registers the SIGTERM handler. Idempotent.
+    pub fn install_sigterm_hook() {
+        // SAFETY: `on_sigterm` is an `extern "C"` fn that only stores
+        // to an atomic — async-signal-safe — and `signal` is called
+        // before any server thread starts.
+        unsafe {
+            libc::signal(
+                libc::SIGTERM,
+                on_sigterm as extern "C" fn(libc::c_int) as usize as libc::sighandler_t,
+            );
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal to hook on this platform; shutdown comes from the
+    /// protocol's `shutdown` request instead.
+    pub fn install_sigterm_hook() {}
+}
+
+pub use imp::install_sigterm_hook;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulated_sigterm_sets_the_flag() {
+        install_sigterm_hook();
+        simulate_sigterm();
+        assert!(sigterm_received());
+    }
+}

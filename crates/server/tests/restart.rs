@@ -1,0 +1,131 @@
+//! Crash/kill/restart tests against the real `dagsched-server`
+//! binary, in the style of the repo's `tests/resume.rs`: a daemon
+//! killed with SIGKILL must lose nothing it already journaled — the
+//! restarted process warm-starts its cache from disk and serves the
+//! same bits as a hit — and SIGTERM must drain and exit zero.
+#![cfg(unix)]
+
+use dagsched_obs::Json;
+use dagsched_server::client::{encode_schedule_request, submit};
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const SAMPLE: &str = "\
+nodes 4
+node 0 10
+node 1 20
+node 2 30
+node 3 10
+edge 0 1 5
+edge 0 2 5
+edge 1 3 2
+edge 2 3 2
+";
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dagsched-restart-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Starts the daemon on an ephemeral port and blocks until it prints
+/// its readiness line; returns the child and the bound address.
+fn spawn_server(cache_dir: &Path) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dagsched-server"))
+        .args(["--addr", "127.0.0.1:0", "--cache-dir"])
+        .arg(cache_dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("readiness line");
+    let addr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("address on the readiness line")
+        .to_string();
+    assert!(line.contains("listening on"), "unexpected banner: {line}");
+    (child, addr)
+}
+
+/// `submit` with a short retry loop: right after a restart the
+/// listener can briefly refuse connections.
+fn submit_retrying(addr: &str, line: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match submit(addr, line) {
+            Ok(response) => return response,
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("server never answered: {e}"),
+        }
+    }
+}
+
+fn placements_of(response: &str) -> Vec<(u64, u64)> {
+    Json::parse(response)
+        .expect("response is JSON")
+        .get("placements")
+        .and_then(Json::as_arr)
+        .expect("placements array")
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_arr().expect("placement pair");
+            (pair[0].as_u64().unwrap(), pair[1].as_u64().unwrap())
+        })
+        .collect()
+}
+
+#[test]
+fn sigkilled_server_restarts_with_a_warm_cache_and_sigterm_drains() {
+    let dir = tmp("warm");
+    let request = encode_schedule_request(SAMPLE, "DSC", "uniform", None, None);
+
+    // First life: compute once (journaled), prove it was a miss.
+    let (mut child, addr) = spawn_server(&dir);
+    let first = submit_retrying(&addr, &request);
+    assert!(first.contains("\"status\":\"ok\""), "{first}");
+    assert!(first.contains("\"cached\":false"), "{first}");
+    let computed = placements_of(&first);
+
+    // SIGKILL: no drain, no flush hook — only the journal survives.
+    child.kill().expect("SIGKILL delivered");
+    child.wait().expect("killed child reaped");
+
+    // Second life: the answer comes from the warm-started cache and
+    // is bit-identical to the computed one.
+    let (mut child, addr) = spawn_server(&dir);
+    let hit = submit_retrying(&addr, &request);
+    assert!(
+        hit.contains("\"cached\":true"),
+        "warm start served a hit: {hit}"
+    );
+    assert_eq!(placements_of(&hit), computed);
+
+    // New work after the resume still lands in the journal…
+    let other = encode_schedule_request(SAMPLE, "HU", "uniform", None, None);
+    assert!(submit_retrying(&addr, &other).contains("\"cached\":false"));
+
+    // …and SIGTERM drains cleanly: exit code 0, journal intact.
+    #[allow(unsafe_code)]
+    let delivered = unsafe { libc::kill(child.id() as libc::pid_t, libc::SIGTERM) };
+    assert_eq!(delivered, 0, "SIGTERM delivered");
+    let status = child.wait().expect("drained child reaped");
+    assert!(status.success(), "drain exits zero, got {status:?}");
+
+    // Third life: both entries survive the full kill/drain history.
+    let (mut child, addr) = spawn_server(&dir);
+    assert!(submit_retrying(&addr, &request).contains("\"cached\":true"));
+    assert!(submit_retrying(&addr, &other).contains("\"cached\":true"));
+    child.kill().ok();
+    child.wait().ok();
+    std::fs::remove_dir_all(&dir).ok();
+}

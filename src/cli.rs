@@ -44,12 +44,19 @@
 //!                        quarantine journal (see `repro
 //!                        --checkpoint-dir`) and re-run it once under
 //!                        the harness; no input graph needed
+//!   --remote <ADDR>      submit the graph to a running
+//!                        `dagsched-server` at ADDR instead of
+//!                        scheduling locally; prints the response in
+//!                        the local format plus the answering tier and
+//!                        cache provenance (see docs/SERVICE.md)
 //! ```
 //!
 //! The logic lives here (library-testable); `src/bin/dagsched.rs` is a
 //! thin wrapper.
 
-use crate::core::{all_heuristics, Scheduler};
+use crate::core::{
+    all_heuristics, fingerprint_machine_key, parse_fingerprint_machine_key, Scheduler,
+};
 use crate::dag::{metrics as gmetrics, textio, Dag};
 use crate::experiments::checkpoint::{
     replay_quarantine, scan_journal, JournalWriter, CHECKPOINT_SCHEMA, JOURNAL_FILE,
@@ -58,9 +65,7 @@ use crate::harness::{GraphFingerprint, HarnessConfig, RobustScheduler};
 use crate::obs;
 use crate::obs::json::{write_escaped, write_f64};
 use crate::obs::{GraphMeta, IncidentMeta, Json, RunRecord, Summary, TelemetrySink};
-use crate::sim::{
-    gantt, metrics, validate, BoundedClique, Clique, Hypercube, Machine, Mesh2D, Ring,
-};
+use crate::sim::{gantt, metrics, validate, Machine};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::Path;
@@ -105,6 +110,9 @@ pub struct CliOptions {
     /// Replay a corpus quarantine journal instead of scheduling an
     /// input graph.
     pub replay_quarantine: Option<String>,
+    /// Submit the graph to a running `dagsched-server` at this address
+    /// instead of scheduling locally.
+    pub remote: Option<String>,
     /// Input path (`-` = stdin).
     pub input: String,
 }
@@ -128,6 +136,7 @@ impl Default for CliOptions {
             resume: false,
             strict: false,
             replay_quarantine: None,
+            remote: None,
             input: "-".into(),
         }
     }
@@ -211,6 +220,9 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                         .to_string(),
                 );
             }
+            "--remote" => {
+                opts.remote = Some(it.next().ok_or("--remote needs an address")?.to_string());
+            }
             "--help" | "-h" => return Err("help".into()),
             other if !other.starts_with('-') || other == "-" => {
                 if input.replace(other.to_string()).is_some() {
@@ -226,6 +238,16 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     if opts.checkpoint_dir.is_some() && opts.trace_out.is_some() {
         return Err("--checkpoint-dir and --trace-out are mutually exclusive".into());
     }
+    if opts.remote.is_some()
+        && (opts.checkpoint_dir.is_some()
+            || opts.trace_out.is_some()
+            || opts.replay_quarantine.is_some())
+    {
+        return Err(
+            "--remote runs on the server; it takes no local checkpoint, trace or quarantine flags"
+                .into(),
+        );
+    }
     opts.input = match input {
         Some(i) => i,
         // Quarantine replay regenerates its graphs from the journal;
@@ -236,52 +258,11 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     Ok(opts)
 }
 
-/// Builds the machine from its specification string.
+/// Builds the machine from its specification string. The grammar is
+/// shared with the scheduling server — see
+/// [`crate::core::parse_machine`].
 pub fn parse_machine(spec: &str) -> Result<Box<dyn Machine>, String> {
-    if spec == "clique" {
-        return Ok(Box::new(Clique));
-    }
-    if spec == "uniform" {
-        // The paper's §2 model under its cost-model name; `clique`
-        // above is the same semantics named by topology.
-        return Ok(Box::new(crate::core::PaperUniform));
-    }
-    if let Some(path) = spec.strip_prefix("linkaware:") {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read machine file {path}: {e}"))?;
-        return Ok(Box::new(crate::core::LinkAware::parse(&text)?));
-    }
-    if let Some(n) = spec.strip_prefix("ring:") {
-        let n: usize = n.parse().map_err(|_| "bad ring size")?;
-        if n == 0 {
-            return Err("ring size must be positive".into());
-        }
-        return Ok(Box::new(Ring::new(n)));
-    }
-    if let Some(rc) = spec.strip_prefix("mesh:") {
-        let (r, c) = rc.split_once('x').ok_or("mesh needs RxC")?;
-        let r: usize = r.parse().map_err(|_| "bad mesh rows")?;
-        let c: usize = c.parse().map_err(|_| "bad mesh cols")?;
-        if r == 0 || c == 0 {
-            return Err("mesh dims must be positive".into());
-        }
-        return Ok(Box::new(Mesh2D::new(r, c)));
-    }
-    if let Some(d) = spec.strip_prefix("hypercube:") {
-        let d: u32 = d.parse().map_err(|_| "bad hypercube dim")?;
-        if d > 20 {
-            return Err("hypercube dim too large".into());
-        }
-        return Ok(Box::new(Hypercube::new(d)));
-    }
-    if let Some(p) = spec.strip_prefix("bounded:") {
-        let p: usize = p.parse().map_err(|_| "bad processor bound")?;
-        if p == 0 {
-            return Err("processor bound must be positive".into());
-        }
-        return Ok(Box::new(BoundedClique::new(p)));
-    }
-    Err(format!("unknown machine {spec:?}"))
+    crate::core::parse_machine(spec)
 }
 
 /// Selects the heuristics to run.
@@ -315,20 +296,19 @@ struct SavedRun {
 }
 
 /// The CLI's checkpoint journal: one checksummed, fsynced JSONL record
-/// per finished heuristic, keyed by (graph fingerprint, machine).
+/// per finished heuristic, keyed by the canonical fingerprint×machine
+/// key ([`fingerprint_machine_key`] — the same composition the server
+/// cache journals under).
 struct CliJournal {
     writer: JournalWriter,
-    graph: String,
-    machine: String,
+    key: String,
     replayed: HashMap<String, SavedRun>,
 }
 
 fn cli_record_body(journal: &CliJournal, heuristic: &str, saved: &SavedRun) -> String {
-    let mut s = format!(
-        "{{\"schema\":\"{CHECKPOINT_SCHEMA}\",\"kind\":\"{CLI_RECORD_KIND}\",\"graph\":\"{}\",\"machine\":",
-        journal.graph
-    );
-    write_escaped(&mut s, &journal.machine);
+    let mut s =
+        format!("{{\"schema\":\"{CHECKPOINT_SCHEMA}\",\"kind\":\"{CLI_RECORD_KIND}\",\"key\":");
+    write_escaped(&mut s, &journal.key);
     s.push_str(",\"heuristic\":");
     write_escaped(&mut s, heuristic);
     write!(s, ",\"pt\":{},\"speedup\":", saved.parallel_time).unwrap();
@@ -346,7 +326,7 @@ fn cli_record_body(journal: &CliJournal, heuristic: &str, saved: &SavedRun) -> S
     s
 }
 
-fn parse_cli_record(rec: &Json, graph: &str, machine: &str) -> Result<(String, SavedRun), String> {
+fn parse_cli_record(rec: &Json, key: &str) -> Result<(String, SavedRun), String> {
     let field = |k: &str| {
         rec.get(k)
             .ok_or_else(|| format!("journal record missing {k:?}"))
@@ -355,15 +335,19 @@ fn parse_cli_record(rec: &Json, graph: &str, machine: &str) -> Result<(String, S
     if kind != CLI_RECORD_KIND {
         return Err(format!("unexpected record kind {kind:?} in a CLI journal"));
     }
-    let rec_graph = field("graph")?.as_str().ok_or("bad graph")?;
-    if rec_graph != graph {
-        return Err(format!(
-            "journal belongs to graph {rec_graph}, the input hashes to {graph}; \
-             point --resume at the directory of the matching run"
-        ));
-    }
-    let rec_machine = field("machine")?.as_str().ok_or("bad machine")?;
-    if rec_machine != machine {
+    let rec_key = field("key")?.as_str().ok_or("bad key")?;
+    if rec_key != key {
+        // Split both keys so the error names the part that differs:
+        // a wrong graph and a wrong machine call for different fixes.
+        let (rec_digest, rec_machine) =
+            parse_fingerprint_machine_key(rec_key).ok_or_else(|| format!("bad key {rec_key:?}"))?;
+        let (digest, machine) = parse_fingerprint_machine_key(key).expect("own key is well-formed");
+        if rec_digest != digest {
+            return Err(format!(
+                "journal belongs to graph {rec_digest:#018x}, the input hashes to {digest:#018x}; \
+                 point --resume at the directory of the matching run"
+            ));
+        }
         return Err(format!(
             "journal was written for machine {rec_machine:?}, this run uses {machine:?}"
         ));
@@ -394,19 +378,14 @@ fn parse_cli_record(rec: &Json, graph: &str, machine: &str) -> Result<(String, S
 /// `--resume` to continue one. Resume drops a torn trailing record
 /// (its heuristic simply re-runs) but rejects interior damage and
 /// journals written for a different graph or machine.
-fn open_cli_journal(
-    opts: &CliOptions,
-    dir: &Path,
-    graph: String,
-    machine: String,
-) -> Result<CliJournal, String> {
+fn open_cli_journal(opts: &CliOptions, dir: &Path, key: String) -> Result<CliJournal, String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
     let path = dir.join(JOURNAL_FILE);
     let mut replayed = HashMap::new();
     let writer = if opts.resume {
         let scan = scan_journal(&path).map_err(|e| e.to_string())?;
         for rec in &scan.records {
-            let (heuristic, saved) = parse_cli_record(rec, &graph, &machine)?;
+            let (heuristic, saved) = parse_cli_record(rec, &key)?;
             replayed.insert(heuristic, saved);
         }
         JournalWriter::resume(&path, scan.valid_len)
@@ -427,8 +406,7 @@ fn open_cli_journal(
     };
     Ok(CliJournal {
         writer,
-        graph,
-        machine,
+        key,
         replayed,
     })
 }
@@ -484,11 +462,41 @@ fn run_quarantine_replay(opts: &CliOptions, path: &Path) -> Result<String, Strin
     Ok(out)
 }
 
+/// Submits the graph to a running `dagsched-server` instead of
+/// scheduling locally: one request per selected heuristic, responses
+/// rendered in the local output format plus the answering tier and
+/// cache provenance.
+fn run_remote(opts: &CliOptions, addr: &str, text: &str) -> Result<String, String> {
+    // Normalize STG input to the native text format locally so the
+    // wire protocol carries exactly one graph grammar.
+    let graph = match opts.stg_edge_weight {
+        Some(w) => textio::write(&crate::dag::stg::parse(text, w).map_err(|e| e.to_string())?),
+        None => text.to_string(),
+    };
+    let mut out = String::new();
+    for h in select_heuristics(&opts.heuristic)? {
+        let line = crate::server::encode_schedule_request(
+            &graph,
+            h.name(),
+            &opts.machine,
+            opts.time_budget_ms,
+            None,
+        );
+        let response =
+            crate::server::submit(addr, &line).map_err(|e| format!("remote {addr}: {e}"))?;
+        out.push_str(&crate::server::render_response(&response)?);
+    }
+    Ok(out)
+}
+
 /// Runs the tool against already-loaded graph text; returns the
 /// rendered output.
 pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
     if let Some(path) = &opts.replay_quarantine {
         return run_quarantine_replay(opts, Path::new(path));
+    }
+    if let Some(addr) = &opts.remote {
+        return run_remote(opts, addr, text);
     }
     let g: Dag = match opts.stg_edge_weight {
         Some(w) => crate::dag::stg::parse(text, w).map_err(|e| e.to_string())?,
@@ -507,15 +515,10 @@ pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
         });
     let journal = match &opts.checkpoint_dir {
         Some(dir) => {
-            let graph_id = format!("{:#018x}", GraphFingerprint::of(&g).digest);
             // Key on the full machine spec ("ring:4", not "ring") so a
             // journal never replays across topologies or sizes.
-            Some(open_cli_journal(
-                opts,
-                Path::new(dir),
-                graph_id,
-                opts.machine.clone(),
-            )?)
+            let key = fingerprint_machine_key(GraphFingerprint::of(&g).digest, &opts.machine);
+            Some(open_cli_journal(opts, Path::new(dir), key)?)
         }
         None => None,
     };
@@ -653,9 +656,11 @@ pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
             out.push_str(&gantt::render_svg(&s));
         }
     }
-    if let Some(sink) = &sink {
+    if let Some(sink) = sink {
+        // close(), not flush(): a failing final fsync must fail the
+        // run, not vanish in the sink's Drop.
         sink.emit_summary(&summary)
-            .and_then(|()| sink.flush())
+            .and_then(|()| sink.close())
             .map_err(|e| format!("telemetry write failed: {e}"))?;
     }
     if opts.metrics && !summary.is_empty() {
@@ -672,7 +677,7 @@ pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
 }
 
 /// The usage string printed on `--help` or errors.
-pub const USAGE: &str = "usage: dagsched [--heuristic NAME|all] [--machine uniform|clique|ring:N|mesh:RxC|hypercube:D|bounded:P|linkaware:FILE] [--gantt WIDTH] [--analyze] [--svg] [--dot] [--stg W] [--quiet] [--validate] [--time-budget MS] [--trace-out PATH] [--metrics] [--checkpoint-dir DIR | --resume DIR] [--strict] [--replay-quarantine FILE] <graph.pdg | ->";
+pub const USAGE: &str = "usage: dagsched [--heuristic NAME|all] [--machine uniform|clique|ring:N|mesh:RxC|hypercube:D|bounded:P|linkaware:FILE] [--gantt WIDTH] [--analyze] [--svg] [--dot] [--stg W] [--quiet] [--validate] [--time-budget MS] [--trace-out PATH] [--metrics] [--checkpoint-dir DIR | --resume DIR] [--strict] [--replay-quarantine FILE] [--remote ADDR] <graph.pdg | ->";
 
 #[cfg(test)]
 mod tests {

@@ -31,6 +31,7 @@ pub use dagsched_gen as gen;
 pub use dagsched_harness as harness;
 pub use dagsched_obs as obs;
 pub use dagsched_par as par;
+pub use dagsched_server as server;
 pub use dagsched_sim as sim;
 
 // The error types a caller handles, re-exported at the top level.

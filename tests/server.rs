@@ -1,0 +1,300 @@
+//! Service-layer integration tests, run against an in-process server
+//! ([`dagsched::server::start`]): answer fidelity versus direct
+//! scheduling, cache/coalescing provenance, admission control and load
+//! shedding under adversarial concurrent load, deadline-tier
+//! degradation, and poison-request containment. Process-level crash
+//! and restart behaviour (SIGKILL, warm-start) lives in the server
+//! crate's own `tests/restart.rs`.
+
+use dagsched::core::{all_heuristics, parse_machine};
+use dagsched::dag::textio;
+use dagsched::obs::Json;
+use dagsched::server::{encode_schedule_request, start, submit, ServerConfig, REQUEST_SCHEMA};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const SAMPLE: &str = "\
+nodes 4
+node 0 10
+node 1 20
+node 2 30
+node 3 10
+edge 0 1 5
+edge 0 2 5
+edge 1 3 2
+edge 2 3 2
+";
+
+/// A second graph, fingerprint-distinct from [`SAMPLE`].
+const OTHER: &str = "\
+nodes 3
+node 0 7
+node 1 11
+node 2 13
+edge 0 1 3
+edge 0 2 3
+";
+
+const CYCLIC: &str = "\
+nodes 2
+node 0 1
+node 1 1
+edge 0 1 1
+edge 1 0 1
+";
+
+fn chaos_config() -> ServerConfig {
+    ServerConfig {
+        chaos: true,
+        ..ServerConfig::default()
+    }
+}
+
+fn schedule_line(graph: &str, heuristic: &str, budget_ms: Option<u64>) -> String {
+    encode_schedule_request(graph, heuristic, "uniform", budget_ms, Some("t"))
+}
+
+fn submit_json(addr: &str, line: &str) -> Json {
+    let response = submit(addr, line).expect("submit");
+    Json::parse(&response).expect("response is JSON")
+}
+
+fn placements_of(j: &Json) -> Vec<(u64, u64)> {
+    j.get("placements")
+        .and_then(Json::as_arr)
+        .expect("placements array")
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_arr().expect("placement pair");
+            (pair[0].as_u64().unwrap(), pair[1].as_u64().unwrap())
+        })
+        .collect()
+}
+
+fn counter(stats: &Json, name: &str) -> u64 {
+    stats
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+fn stats_of(addr: &str) -> Json {
+    submit_json(
+        addr,
+        &format!("{{\"schema\":\"{REQUEST_SCHEMA}\",\"kind\":\"stats\"}}"),
+    )
+}
+
+#[test]
+fn answers_are_bit_identical_to_direct_scheduling_on_miss_and_hit() {
+    let handle = start(ServerConfig::default()).expect("server starts");
+    let addr = handle.local_addr().to_string();
+    let g = textio::parse(SAMPLE).unwrap();
+    let machine = parse_machine("uniform").unwrap();
+    for h in all_heuristics() {
+        let direct = h.schedule(&g, machine.as_ref());
+        let line = schedule_line(SAMPLE, h.name(), None);
+
+        let miss = submit_json(&addr, &line);
+        assert_eq!(
+            miss.get("status").unwrap().as_str(),
+            Some("ok"),
+            "{}",
+            h.name()
+        );
+        assert_eq!(miss.get("tier").unwrap().as_str(), Some("primary"));
+        assert_eq!(miss.get("cached").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            miss.get("makespan").unwrap().as_u64(),
+            Some(direct.makespan()),
+            "{}",
+            h.name()
+        );
+        let expected: Vec<(u64, u64)> = (0..g.num_nodes())
+            .map(|v| {
+                let p = direct.placement(dagsched::dag::NodeId(v as u32));
+                (u64::from(p.proc.0), p.start)
+            })
+            .collect();
+        assert_eq!(placements_of(&miss), expected, "{}", h.name());
+
+        // The repeat is served from the cache and differs only in the
+        // `cached` provenance bit.
+        let hit = submit(&addr, &line).unwrap();
+        let miss_again = submit(&addr, &line).unwrap();
+        assert!(hit.contains("\"cached\":true"), "{hit}");
+        assert_eq!(hit, miss_again, "cache hits are deterministic");
+        assert_eq!(placements_of(&Json::parse(&hit).unwrap()), expected);
+    }
+    // Counters exist only with the default `obs` feature; the
+    // `--no-default-features` build still serves correct answers, it
+    // just reports empty stats.
+    if cfg!(feature = "obs") {
+        let stats = stats_of(&addr);
+        assert!(
+            counter(&stats, "server.cache.hit") >= 11,
+            "two hits per heuristic"
+        );
+        assert!(counter(&stats, "server.cache.miss") >= 11);
+    }
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn concurrent_identical_requests_coalesce_onto_one_computation() {
+    let handle = start(chaos_config()).expect("server starts");
+    let addr = handle.local_addr().to_string();
+    // CHAOS-SLEEPY holds its worker long enough for the other clients
+    // to arrive while the leader is still computing.
+    let line = schedule_line(SAMPLE, "CHAOS-SLEEPY", None);
+    let answers: Vec<Json> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..4)
+            .map(|_| scope.spawn(|| submit_json(&addr, &line)))
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    let first = placements_of(&answers[0]);
+    for a in &answers {
+        assert_eq!(a.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(
+            placements_of(a),
+            first,
+            "every caller gets the same schedule"
+        );
+    }
+    if cfg!(feature = "obs") {
+        let stats = stats_of(&addr);
+        assert_eq!(
+            counter(&stats, "server.requests.coalesced") + counter(&stats, "server.cache.hit"),
+            3,
+            "one leader computed, three followers coalesced or hit the cache"
+        );
+    }
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn full_queue_sheds_distinct_requests_with_overloaded() {
+    let handle = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 0,
+        ..chaos_config()
+    })
+    .expect("server starts");
+    let addr = handle.local_addr().to_string();
+    // Occupy the single worker with a slow computation...
+    let slow = schedule_line(SAMPLE, "CHAOS-SLEEPY", None);
+    let blocker = {
+        let addr = addr.clone();
+        std::thread::spawn(move || submit_json(&addr, &slow))
+    };
+    std::thread::sleep(Duration::from_millis(80));
+    // ...then a *distinct* request (different graph, so single-flight
+    // cannot absorb it) finds queue capacity 0 and is shed.
+    let shed = submit_json(&addr, &schedule_line(OTHER, "DSC", None));
+    assert_eq!(shed.get("status").unwrap().as_str(), Some("overloaded"));
+    assert_eq!(
+        blocker.join().unwrap().get("status").unwrap().as_str(),
+        Some("ok")
+    );
+    // With the worker free again the same request is admitted.
+    let retry = submit_json(&addr, &schedule_line(OTHER, "DSC", None));
+    assert_eq!(retry.get("status").unwrap().as_str(), Some("ok"));
+    if cfg!(feature = "obs") {
+        let stats = stats_of(&addr);
+        assert!(counter(&stats, "server.shed") >= 1);
+    }
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn budget_exceeded_requests_answer_from_the_fallback_tier() {
+    let handle = start(chaos_config()).expect("server starts");
+    let addr = handle.local_addr().to_string();
+    // 25ms budget against the fixture's 250ms sleep: the watchdog
+    // abandons the primary and the harness degrades to HU.
+    let j = submit_json(&addr, &schedule_line(SAMPLE, "CHAOS-SLEEPY", Some(25)));
+    assert_eq!(j.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(j.get("scheduled_by").unwrap().as_str(), Some("HU"));
+    assert_eq!(j.get("tier").unwrap().as_str(), Some("fallback:HU"));
+    let incidents = j.get("incidents").and_then(Json::as_arr).unwrap();
+    assert!(
+        incidents
+            .iter()
+            .any(|i| i.get("kind").and_then(Json::as_str) == Some("deadline-exceeded")),
+        "the deadline incident is reported"
+    );
+    if cfg!(feature = "obs") {
+        let stats = stats_of(&addr);
+        assert!(counter(&stats, "server.fallback.requests") >= 1);
+    }
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn poison_requests_get_structured_errors_and_the_connection_survives() {
+    let handle = start(chaos_config()).expect("server starts");
+    let addr = handle.local_addr().to_string();
+    // One persistent connection: a poison graph, a panicking
+    // heuristic, then a normal request — the same worker must answer
+    // all three.
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut ask = |line: &str| -> Json {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        Json::parse(&response).expect("structured response")
+    };
+
+    let j = ask(&schedule_line(CYCLIC, "DSC", None));
+    assert_eq!(j.get("status").unwrap().as_str(), Some("error"));
+    assert_eq!(j.get("code").unwrap().as_str(), Some("parse-error"));
+
+    let j = ask("this is not even json");
+    assert_eq!(j.get("status").unwrap().as_str(), Some("error"));
+    assert_eq!(j.get("code").unwrap().as_str(), Some("bad-request"));
+
+    let j = ask(&schedule_line(SAMPLE, "CHAOS-PANIC", None));
+    assert_eq!(
+        j.get("status").unwrap().as_str(),
+        Some("ok"),
+        "panic is contained"
+    );
+    assert_eq!(j.get("tier").unwrap().as_str(), Some("fallback:HU"));
+
+    let j = ask(&schedule_line(SAMPLE, "NO-SUCH", None));
+    assert_eq!(j.get("code").unwrap().as_str(), Some("unknown-heuristic"));
+
+    let j = ask(&schedule_line(SAMPLE, "DSC", None));
+    assert_eq!(
+        j.get("status").unwrap().as_str(),
+        Some("ok"),
+        "worker survives"
+    );
+    assert_eq!(j.get("tier").unwrap().as_str(), Some("primary"));
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn protocol_shutdown_drains_the_server() {
+    let handle = start(ServerConfig::default()).expect("server starts");
+    let addr = handle.local_addr().to_string();
+    let pong = submit_json(
+        &addr,
+        &format!("{{\"schema\":\"{REQUEST_SCHEMA}\",\"kind\":\"ping\"}}"),
+    );
+    assert_eq!(pong.get("kind").unwrap().as_str(), Some("pong"));
+    let ack = submit_json(
+        &addr,
+        &format!("{{\"schema\":\"{REQUEST_SCHEMA}\",\"kind\":\"shutdown\"}}"),
+    );
+    assert_eq!(ack.get("kind").unwrap().as_str(), Some("shutdown-ack"));
+    assert!(handle.stop_requested());
+    handle.shutdown().expect("drain after protocol shutdown");
+}
