@@ -9,6 +9,8 @@
 //! with it on, the ratio bounds the real instrumentation cost.
 //!
 //! `OBS_OVERHEAD_MAX` (e.g. `1.10`) overrides the default 1.05 bound.
+//! `OBS_OVERHEAD_JSON=<path>` additionally writes the measurement as a
+//! JSON snapshot (see `BENCH_obs_overhead.json` at the repo root).
 
 use dagsched_bench::heuristics;
 use dagsched_experiments::corpus::{generate_corpus, CorpusEntry, CorpusSpec};
@@ -89,6 +91,23 @@ fn main() {
     println!(
         "obs_overhead: plain {min_plain:.1?}, scoped {min_scoped:.1?}, ratio {ratio:.4} (max {max_ratio})"
     );
+    if let Ok(path) = std::env::var("OBS_OVERHEAD_JSON") {
+        let snapshot = format!(
+            "{{\"schema\":\"dagsched.bench.obs_overhead.v1\",\"graphs\":{},\"heuristics\":{},\
+             \"obs_feature\":{},\"plain_ns\":{},\"scoped_ns\":{},\"ratio\":{ratio:.4},\
+             \"max_ratio\":{max_ratio}}}\n",
+            corpus.len(),
+            heuristics().len(),
+            cfg!(feature = "obs"),
+            min_plain.as_nanos(),
+            min_scoped.as_nanos(),
+        );
+        if let Err(e) = std::fs::write(&path, snapshot) {
+            eprintln!("obs_overhead: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("obs_overhead: snapshot written to {path}");
+    }
     if ratio > max_ratio {
         eprintln!("obs_overhead: FAIL — instrumentation overhead above the bound");
         std::process::exit(1);

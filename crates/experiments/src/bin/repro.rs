@@ -27,6 +27,15 @@
 //!   --trace-out <PATH>     stream one JSONL telemetry record per
 //!                          (graph, heuristic) run to PATH, plus one
 //!                          summary line per heuristic
+//!   --trace-format <FMT>   `jsonl` (default) or `chrome`: with
+//!                          `chrome`, additionally write the sweep's
+//!                          span trees as a Perfetto-loadable Chrome
+//!                          trace-event document to PATH.chrome.json
+//!                          (needs --trace-out)
+//!   --progress <MS>        emit one `dagsched.progress.v1` heartbeat
+//!                          line (graphs done/total, quarantines,
+//!                          throughput, ETA) to stderr every MS
+//!                          milliseconds (needs a checkpoint dir)
 //!   --metrics              append the instrumentation summary to the
 //!                          command's output
 //!   --checkpoint-dir <DIR> run the sweep crash-safe: journal every
@@ -61,7 +70,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("usage: repro [--graphs-per-set N] [--seed N] [--nodes LO..HI] [--machine uniform|bounded:P|linkaware:FILE] [--csv] [--validate] [--time-budget MS] [--trace-out PATH] [--metrics] [--checkpoint-dir DIR] [--resume DIR] [--strict] (all | table N | figure N | corpus | appendix | html | spread | rewiring | bounded | kernels | select | duplication | contention | summary | dump)");
+            eprintln!("usage: repro [--graphs-per-set N] [--seed N] [--nodes LO..HI] [--machine uniform|bounded:P|linkaware:FILE] [--csv] [--validate] [--time-budget MS] [--trace-out PATH] [--trace-format jsonl|chrome] [--progress MS] [--metrics] [--checkpoint-dir DIR] [--resume DIR] [--strict] (all | table N | figure N | corpus | appendix | html | spread | rewiring | bounded | kernels | select | duplication | contention | summary | dump)");
             ExitCode::FAILURE
         }
     }
@@ -73,6 +82,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut csv = false;
     let mut harness: Option<HarnessConfig> = None;
     let mut trace_out: Option<PathBuf> = None;
+    let mut trace_chrome = false;
+    let mut progress_interval: Option<Duration> = None;
     let mut metrics = false;
     let mut checkpoint_dir: Option<PathBuf> = None;
     let mut resume = false;
@@ -119,6 +130,21 @@ fn run(args: &[String]) -> Result<(), String> {
                 let path = it.next().ok_or("--trace-out needs a path")?;
                 trace_out = Some(PathBuf::from(path));
             }
+            "--trace-format" => {
+                let fmt = it.next().ok_or("--trace-format needs jsonl|chrome")?;
+                trace_chrome = match fmt.as_str() {
+                    "jsonl" => false,
+                    "chrome" => true,
+                    _ => return Err("--trace-format needs jsonl|chrome".into()),
+                };
+            }
+            "--progress" => {
+                let ms = next_num(&mut it, "--progress")?;
+                if ms == 0 {
+                    return Err("--progress interval must be positive".into());
+                }
+                progress_interval = Some(Duration::from_millis(ms));
+            }
             "--metrics" => metrics = true,
             "--checkpoint-dir" => {
                 let dir = it.next().ok_or("--checkpoint-dir needs a directory")?;
@@ -158,6 +184,12 @@ fn run(args: &[String]) -> Result<(), String> {
              (telemetry runs the paper's uniform model)"
             .into());
     }
+    if trace_chrome && trace_out.is_none() {
+        return Err("--trace-format chrome needs --trace-out".into());
+    }
+    if progress_interval.is_some() && checkpoint_dir.is_none() {
+        return Err("--progress needs --checkpoint-dir or --resume".into());
+    }
 
     let progress = Reporter::stderr();
     let build_study = |spec: &CorpusSpec| -> Result<Study, String> {
@@ -170,6 +202,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 retry: RetryPolicy::default(),
                 strict,
                 machine: machine.clone(),
+                progress: progress_interval,
             };
             let study = Study::run_checkpointed(spec.clone(), &config, dir, resume)?;
             if let Some(stats) = &study.robustness {
@@ -193,12 +226,20 @@ fn run(args: &[String]) -> Result<(), String> {
             ),
             None => None,
         };
-        Ok(Study::run_observed(
+        // `--trace-format chrome` writes the Chrome trace next to the
+        // JSONL stream: PATH.chrome.json.
+        let chrome_path = trace_out.as_ref().filter(|_| trace_chrome).map(|path| {
+            let mut name = path.as_os_str().to_os_string();
+            name.push(".chrome.json");
+            PathBuf::from(name)
+        });
+        Study::run_observed_with_chrome(
             spec.clone(),
             harness,
             sink.as_ref(),
+            chrome_path.as_deref(),
             Some(&progress),
-        ))
+        )
     };
 
     match command.as_slice() {

@@ -808,6 +808,12 @@ pub struct SweepConfig {
     /// validates) under. Part of the journal's [`spec_hash`]: a sweep
     /// journaled under one model refuses to resume under another.
     pub machine: MachineSpec,
+    /// Emit [`dagsched.progress.v1`](crate::progress::PROGRESS_SCHEMA)
+    /// heartbeat lines on stderr at this interval while the sweep
+    /// runs (plus one final line), `None` for silence. Heartbeats are
+    /// advisory wall-clock output, outside the determinism contract
+    /// and outside the journal.
+    pub progress: Option<Duration>,
 }
 
 impl Default for SweepConfig {
@@ -817,6 +823,7 @@ impl Default for SweepConfig {
             retry: RetryPolicy::default(),
             strict: false,
             machine: MachineSpec::Uniform,
+            progress: None,
         }
     }
 }
@@ -1115,6 +1122,15 @@ pub fn run_corpus_checkpointed(
     let counters = SweepCounters::default();
     let machine: Arc<dyn Machine> = config.machine.build();
 
+    // Live heartbeats: the meter is bumped by the workers right after
+    // each graph's journal append, the sampling thread turns it into
+    // `dagsched.progress.v1` lines on stderr, and dropping the guard
+    // at the end of this function emits the final snapshot.
+    let meter = Arc::new(crate::progress::ProgressMeter::new(pending.len(), replayed));
+    let _heartbeat = config
+        .progress
+        .map(|interval| crate::progress::Heartbeat::to_stderr(Arc::clone(&meter), interval));
+
     // Generation, evaluation and journalling all happen inside the
     // supervised pool: a crash of any worker is contained to its graph,
     // and after a kill a graph is pending iff its record never reached
@@ -1153,6 +1169,10 @@ pub fn run_corpus_checkpointed(
             SweepItem::Done(c) => journal.append(&result_body(c)),
             SweepItem::Quarantined(q) => quarantine_log.append(&quarantine_body(q)),
         };
+        if matches!(item, SweepItem::Quarantined(_)) {
+            meter.graph_quarantined();
+        }
+        meter.graph_done();
         (item, appended.err())
     });
 
@@ -1346,6 +1366,7 @@ pub fn replay_quarantine(
         retry: RetryPolicy::none(),
         strict: false,
         machine: MachineSpec::Uniform,
+        progress: None,
     };
     let mut replays = Vec::with_capacity(scan.records.len());
     for (i, record) in scan.records.iter().enumerate() {
@@ -1671,6 +1692,7 @@ mod tests {
             retry: fast_retry(),
             strict: false,
             machine: MachineSpec::Uniform,
+            progress: None,
         };
         let out = run_corpus_checkpointed(&spec, poison(), &config, &dir, false).unwrap();
         assert!(out.results.is_empty(), "every graph exhausted its retries");
@@ -1745,6 +1767,7 @@ mod tests {
             retry: fast_retry(),
             strict: false,
             machine: MachineSpec::Uniform,
+            progress: None,
         };
         run_corpus_checkpointed(
             &spec,

@@ -15,7 +15,10 @@
 //!   backoff, and poison-graph quarantine;
 //! * [`report`] — assembles the whole study into one report;
 //! * [`telemetry`] — instrumented runs: one collector scope per
-//!   (graph, heuristic) and a JSONL trace stream (`--trace-out`);
+//!   (graph, heuristic), a JSONL trace stream (`--trace-out`) and a
+//!   Chrome trace-event export (`--trace-format chrome`);
+//! * [`progress`] — live `dagsched.progress.v1` heartbeats for
+//!   checkpointed sweeps (`--progress`);
 //! * [`reporter`] — ordered progress output for parallel runs.
 //!
 //! The `repro` binary drives everything:
@@ -45,6 +48,7 @@ pub mod checkpoint;
 pub mod corpus;
 pub mod extensions;
 pub mod figures;
+pub mod progress;
 pub mod report;
 pub mod reporter;
 pub mod runner;
@@ -56,6 +60,7 @@ pub use checkpoint::{
     QuarantineRecord, SweepConfig, SweepOutcome,
 };
 pub use corpus::{generate_corpus, CorpusEntry, CorpusSpec, SetKey};
+pub use progress::{Heartbeat, ProgressMeter, ProgressSnapshot, PROGRESS_SCHEMA};
 pub use reporter::Reporter;
 pub use runner::{run_corpus, FaultTally, GraphResult, HeuristicOutcome, RobustnessStats};
 pub use tables::Table;

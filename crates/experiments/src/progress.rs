@@ -1,0 +1,241 @@
+//! Live sweep progress heartbeats (`dagsched.progress.v1`).
+//!
+//! A checkpointed sweep can run for minutes; until now its only live
+//! output was the per-graph reporter sections. A [`ProgressMeter`] is
+//! the sweep-shared tally (graphs done / total / quarantined, updated
+//! lock-free by the workers), and a [`Heartbeat`] is a sampling thread
+//! that snapshots the meter on a fixed interval and hands each
+//! [`ProgressSnapshot`] to a sink callback — by default one
+//! `dagsched.progress.v1` JSON line on stderr, so heartbeats never
+//! interleave with JSONL telemetry or checkpoint journals on stdout.
+//!
+//! Heartbeats are *advisory* output: throughput and ETA derive from
+//! wall-clock and are explicitly outside the determinism contract
+//! (nothing downstream parses them back).
+
+use dagsched_obs::json::{write_escaped, write_f64};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Schema tag carried by every heartbeat line.
+pub const PROGRESS_SCHEMA: &str = "dagsched.progress.v1";
+
+/// Shared progress tally for one sweep. Cheap enough to bump from
+/// every worker (two relaxed atomic adds per graph).
+#[derive(Debug)]
+pub struct ProgressMeter {
+    /// Graphs the sweep will execute (excluding journal replays).
+    total: usize,
+    /// Graphs replayed from the journal before execution started.
+    replayed: usize,
+    done: AtomicUsize,
+    quarantined: AtomicUsize,
+    started: Instant,
+}
+
+impl ProgressMeter {
+    /// A fresh meter for a sweep of `total` graphs, `replayed` of
+    /// which were already satisfied by journal replay.
+    pub fn new(total: usize, replayed: usize) -> Self {
+        ProgressMeter {
+            total,
+            replayed,
+            done: AtomicUsize::new(0),
+            quarantined: AtomicUsize::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one freshly executed graph.
+    pub fn graph_done(&self) {
+        self.done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one graph quarantined by the retry supervisor.
+    pub fn graph_quarantined(&self) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time snapshot of the tally.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let done = self.done.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed();
+        let secs = elapsed.as_secs_f64();
+        let throughput = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+        let remaining = self.total.saturating_sub(done);
+        let eta_ms = (done > 0 && remaining > 0)
+            .then(|| (secs / done as f64 * remaining as f64 * 1e3) as u64);
+        ProgressSnapshot {
+            done,
+            total: self.total,
+            replayed: self.replayed,
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            elapsed_ms: elapsed.as_millis() as u64,
+            graphs_per_sec: throughput,
+            eta_ms,
+        }
+    }
+}
+
+/// One heartbeat: where the sweep stands and how fast it is moving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressSnapshot {
+    /// Graphs executed so far (excluding replays).
+    pub done: usize,
+    /// Graphs the sweep will execute in total (excluding replays).
+    pub total: usize,
+    /// Graphs satisfied by journal replay before execution.
+    pub replayed: usize,
+    /// Graphs quarantined so far.
+    pub quarantined: usize,
+    /// Wall-clock since the meter was created.
+    pub elapsed_ms: u64,
+    /// Freshly executed graphs per second of wall-clock.
+    pub graphs_per_sec: f64,
+    /// Projected milliseconds to completion at the current rate
+    /// (`None` until the first graph lands, and once done).
+    pub eta_ms: Option<u64>,
+}
+
+impl ProgressSnapshot {
+    /// Encodes the snapshot as one `dagsched.progress.v1` JSON line
+    /// (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(160);
+        out.push_str("{\"schema\":");
+        write_escaped(&mut out, PROGRESS_SCHEMA);
+        out.push_str(",\"done\":");
+        out.push_str(&self.done.to_string());
+        out.push_str(",\"total\":");
+        out.push_str(&self.total.to_string());
+        out.push_str(",\"replayed\":");
+        out.push_str(&self.replayed.to_string());
+        out.push_str(",\"quarantined\":");
+        out.push_str(&self.quarantined.to_string());
+        out.push_str(",\"elapsed_ms\":");
+        out.push_str(&self.elapsed_ms.to_string());
+        out.push_str(",\"graphs_per_sec\":");
+        write_f64(&mut out, (self.graphs_per_sec * 1e3).round() / 1e3);
+        out.push_str(",\"eta_ms\":");
+        match self.eta_ms {
+            Some(ms) => out.push_str(&ms.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A sampling thread emitting one snapshot per `interval` until
+/// dropped (plus one final snapshot at shutdown, so even sweeps
+/// shorter than the interval report once).
+pub struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    /// Starts sampling `meter` every `interval`, handing each
+    /// snapshot to `sink`.
+    pub fn start(
+        meter: Arc<ProgressMeter>,
+        interval: Duration,
+        sink: impl Fn(ProgressSnapshot) + Send + 'static,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("dagsched-heartbeat".into())
+            .spawn(move || {
+                // Wake frequently so drop latency stays small even
+                // with multi-second intervals.
+                let tick = interval
+                    .min(Duration::from_millis(25))
+                    .max(Duration::from_millis(1));
+                let mut next = Instant::now() + interval;
+                while !stop_flag.load(Ordering::Relaxed) {
+                    std::thread::sleep(tick);
+                    if Instant::now() >= next {
+                        sink(meter.snapshot());
+                        next = Instant::now() + interval;
+                    }
+                }
+                sink(meter.snapshot());
+            })
+            .expect("spawn heartbeat thread");
+        Heartbeat {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Starts a heartbeat that prints each snapshot as one JSON line
+    /// on stderr — the default sink for CLI sweeps.
+    pub fn to_stderr(meter: Arc<ProgressMeter>, interval: Duration) -> Self {
+        Heartbeat::start(meter, interval, |snap| eprintln!("{}", snap.to_json()))
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_obs::Json;
+    use std::sync::Mutex;
+
+    #[test]
+    fn snapshots_tally_and_encode() {
+        let meter = ProgressMeter::new(10, 4);
+        for _ in 0..3 {
+            meter.graph_done();
+        }
+        meter.graph_quarantined();
+        let snap = meter.snapshot();
+        assert_eq!((snap.done, snap.total, snap.replayed), (3, 10, 4));
+        assert_eq!(snap.quarantined, 1);
+        let j = Json::parse(&snap.to_json()).expect("valid JSON");
+        assert_eq!(j.get("schema").unwrap().as_str(), Some(PROGRESS_SCHEMA));
+        assert_eq!(j.get("done").unwrap().as_u64(), Some(3));
+        assert_eq!(j.get("total").unwrap().as_u64(), Some(10));
+        assert!(j.get("graphs_per_sec").unwrap().as_f64().is_some());
+        // 7 graphs left and some have landed: an ETA is projected.
+        assert!(j.get("eta_ms").unwrap().as_u64().is_some());
+    }
+
+    #[test]
+    fn eta_is_null_before_first_graph_and_after_completion() {
+        let meter = ProgressMeter::new(2, 0);
+        assert_eq!(meter.snapshot().eta_ms, None);
+        meter.graph_done();
+        meter.graph_done();
+        assert_eq!(meter.snapshot().eta_ms, None);
+    }
+
+    #[test]
+    fn heartbeat_emits_on_interval_and_once_at_shutdown() {
+        let meter = Arc::new(ProgressMeter::new(5, 0));
+        let seen: Arc<Mutex<Vec<ProgressSnapshot>>> = Arc::default();
+        {
+            let sink = Arc::clone(&seen);
+            let beat = Heartbeat::start(Arc::clone(&meter), Duration::from_millis(30), move |s| {
+                sink.lock().unwrap().push(s);
+            });
+            meter.graph_done();
+            std::thread::sleep(Duration::from_millis(100));
+            drop(beat);
+        }
+        let seen = seen.lock().unwrap();
+        // At least two interval beats plus the final one at drop.
+        assert!(seen.len() >= 3, "got {} heartbeats", seen.len());
+        assert!(seen.iter().all(|s| s.total == 5 && s.done >= 1));
+    }
+}

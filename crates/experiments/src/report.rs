@@ -115,6 +115,20 @@ impl Study {
         trace: Option<&TelemetrySink>,
         progress: Option<&Reporter>,
     ) -> Study {
+        Study::run_observed_with_chrome(spec, harness, trace, None, progress)
+            .expect("no chrome path, no I/O to fail")
+    }
+
+    /// As [`Study::run_observed`], but additionally writes the sweep's
+    /// span trees as one Chrome trace-event JSON document to
+    /// `chrome_out` (`--trace-out PATH --trace-format chrome`).
+    pub fn run_observed_with_chrome(
+        spec: CorpusSpec,
+        harness: Option<HarnessConfig>,
+        trace: Option<&TelemetrySink>,
+        chrome_out: Option<&std::path::Path>,
+        progress: Option<&Reporter>,
+    ) -> Result<Study, String> {
         let corpus = generate_corpus(&spec);
         let traced =
             crate::telemetry::run_corpus_traced(&corpus, paper_heuristics(), harness, progress);
@@ -124,13 +138,20 @@ impl Study {
                 .expect("telemetry sink write failed"),
             None => traced.summarize(&corpus),
         };
-        Study {
+        if let Some(path) = chrome_out {
+            let mut file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+            traced
+                .write_chrome_trace(&corpus, &mut file)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+        Ok(Study {
             spec,
             machine: MachineSpec::Uniform,
             results: traced.results,
             robustness: traced.robustness,
             metrics: Some(summary),
-        }
+        })
     }
 
     /// The full report: Table 1, Tables 2–11, Figures 1–6.

@@ -280,6 +280,32 @@ impl TracedCorpusRun {
         sink.flush()?;
         Ok(summary)
     }
+
+    /// Renders every run's span tree as one Chrome trace-event JSON
+    /// document (one trace thread per heuristic, runs laid end-to-end
+    /// in corpus order). Like the JSONL stream, the document is
+    /// byte-identical across same-seed sweeps modulo the `ts`/`dur`
+    /// timing values; see [`obs::ChromeTrace`].
+    pub fn render_chrome_trace(&self, corpus: &[CorpusEntry]) -> String {
+        let mut trace = obs::ChromeTrace::new();
+        for (entry, traced) in corpus.iter().zip(&self.runs) {
+            let id = entry_id(entry);
+            for run in traced {
+                trace.add_run(run.heuristic, &id, &run.stats);
+            }
+        }
+        trace.finish()
+    }
+
+    /// Writes [`TracedCorpusRun::render_chrome_trace`] to `out`.
+    pub fn write_chrome_trace(
+        &self,
+        corpus: &[CorpusEntry],
+        out: &mut dyn io::Write,
+    ) -> io::Result<()> {
+        out.write_all(self.render_chrome_trace(corpus).as_bytes())?;
+        out.write_all(b"\n")
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,231 @@
+//! Chrome trace-event export: turns harvested span trees into a
+//! `chrome://tracing` / Perfetto-loadable JSON document.
+//!
+//! The exporter does **not** replay wall-clock start offsets (storing
+//! them would add a second nondeterministic field to every record).
+//! Instead it lays runs out deterministically: each track (one `tid`
+//! per heuristic, in first-add order) is a timeline on which
+//! successive runs are placed end-to-end, and within a run each
+//! span-tree node gets a synthetic start so that children tile their
+//! parent left-to-right. A node's duration is
+//! `max(total_ns, Σ child durations)`, which keeps nesting valid even
+//! when instrumentation gaps make children sum past their parent.
+//! The result: every byte of the document is a pure function of the
+//! seeded corpus except the `"ts"`/`"dur"` values.
+
+use crate::json::write_escaped;
+use crate::stats::{RunStats, SpanNode};
+
+/// Builder for one Chrome trace-event document. Feed it runs with
+/// [`ChromeTrace::add_run`], then serialize with
+/// [`ChromeTrace::finish`].
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    /// `(track name, timeline cursor in ns)` per tid, in first-add
+    /// order; the tid is the index.
+    tracks: Vec<(String, u128)>,
+    events: String,
+}
+
+impl ChromeTrace {
+    /// An empty trace document.
+    pub fn new() -> Self {
+        ChromeTrace::default()
+    }
+
+    /// `true` when no run added any span.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Appends one run's span tree to `track` (typically the
+    /// heuristic name; one trace thread per track). `label` tags every
+    /// event of the run via `args.run` (typically the graph id).
+    pub fn add_run(&mut self, track: &str, label: &str, stats: &RunStats) {
+        let tree = stats.span_tree();
+        if tree.is_empty() {
+            return;
+        }
+        let tid = match self.tracks.iter().position(|(name, _)| name == track) {
+            Some(i) => i,
+            None => {
+                self.tracks.push((track.to_string(), 0));
+                self.tracks.len() - 1
+            }
+        };
+        let mut cursor = self.tracks[tid].1;
+        let durs = rolled_up_durations(tree);
+        for root in 0..tree.len() {
+            if tree[root].parent.is_none() {
+                self.emit_subtree(tree, &durs, root, cursor, tid, label);
+                cursor += durs[root];
+            }
+        }
+        self.tracks[tid].1 = cursor;
+    }
+
+    fn emit_subtree(
+        &mut self,
+        tree: &[SpanNode],
+        durs: &[u128],
+        node: usize,
+        start_ns: u128,
+        tid: usize,
+        label: &str,
+    ) {
+        let out = &mut self.events;
+        if !out.is_empty() {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        write_escaped(out, tree[node].name);
+        out.push_str(",\"ph\":\"X\",\"pid\":1,\"tid\":");
+        out.push_str(&tid.to_string());
+        out.push_str(",\"ts\":");
+        push_us(out, start_ns);
+        out.push_str(",\"dur\":");
+        push_us(out, durs[node]);
+        out.push_str(",\"args\":{\"run\":");
+        write_escaped(out, label);
+        out.push_str(",\"calls\":");
+        out.push_str(&tree[node].calls.to_string());
+        out.push_str("}}");
+        let mut child_start = start_ns;
+        for child in node + 1..tree.len() {
+            if tree[child].parent == Some(node as u32) {
+                self.emit_subtree(tree, durs, child, child_start, tid, label);
+                child_start += durs[child];
+            }
+        }
+    }
+
+    /// Serializes the document: thread-name metadata events (one per
+    /// track) followed by every complete event, inside the standard
+    /// `{"traceEvents":[...]}` envelope.
+    pub fn finish(self) -> String {
+        let mut out = String::with_capacity(self.events.len() + 256);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (tid, (name, _)) in self.tracks.iter().enumerate() {
+            if tid > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+            out.push_str(&tid.to_string());
+            out.push_str(",\"args\":{\"name\":");
+            write_escaped(&mut out, name);
+            out.push_str("}}");
+        }
+        if !self.events.is_empty() {
+            if !self.tracks.is_empty() {
+                out.push(',');
+            }
+            out.push_str(&self.events);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Duration of every node with children rolled up:
+/// `max(total_ns, Σ child durations)`, computed leaf-first (children
+/// always have larger ids than their parent).
+fn rolled_up_durations(tree: &[SpanNode]) -> Vec<u128> {
+    let mut durs: Vec<u128> = tree.iter().map(|n| n.total_ns).collect();
+    for i in (0..tree.len()).rev() {
+        let child_sum: u128 = (i + 1..tree.len())
+            .filter(|&c| tree[c].parent == Some(i as u32))
+            .map(|c| durs[c])
+            .sum();
+        durs[i] = durs[i].max(child_sum);
+    }
+    durs
+}
+
+/// Writes `ns` as microseconds (the trace-event time unit) with
+/// millisecond-of-nanosecond precision, e.g. `1500ns` → `1.5`.
+fn push_us(out: &mut String, ns: u128) {
+    out.push_str(&(ns / 1_000).to_string());
+    let frac = (ns % 1_000) as u32;
+    if frac > 0 {
+        let s = format!("{frac:03}");
+        out.push('.');
+        out.push_str(s.trim_end_matches('0'));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn stats_with_tree() -> RunStats {
+        let scope = crate::run_scope();
+        {
+            let _root = crate::span!("run.schedule");
+            {
+                let _a = crate::span!("dsc.cluster");
+            }
+            let _b = crate::span!("dsc.finalize");
+        }
+        scope.finish()
+    }
+
+    #[test]
+    fn export_is_valid_json_with_nested_events() {
+        let mut trace = ChromeTrace::new();
+        assert!(trace.is_empty());
+        let stats = stats_with_tree();
+        trace.add_run("DSC", "g/0", &stats);
+        trace.add_run("DSC", "g/1", &stats);
+        trace.add_run("MCP", "g/0", &stats);
+        let doc = trace.finish();
+        let j = Json::parse(&doc).expect("valid JSON");
+        let events = j.get("traceEvents").unwrap().as_arr().unwrap();
+        if !cfg!(feature = "enabled") {
+            assert!(events.is_empty(), "disabled builds export empty traces");
+            return;
+        }
+        // 2 thread-name metadata events + 3 runs × 3 spans.
+        assert_eq!(events.len(), 2 + 9);
+        let meta: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .collect();
+        assert_eq!(meta.len(), 2);
+        assert_eq!(
+            meta[0].get("args").unwrap().get("name").unwrap().as_str(),
+            Some("DSC")
+        );
+        // Every complete event nests inside its run's root span.
+        let complete: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert_eq!(complete.len(), 9);
+        let span_of = |e: &Json| -> (u64, f64, f64) {
+            (
+                e.get("tid").unwrap().as_u64().unwrap(),
+                e.get("ts").unwrap().as_f64().unwrap(),
+                e.get("dur").unwrap().as_f64().unwrap(),
+            )
+        };
+        for e in &complete {
+            if e.get("name").unwrap().as_str() == Some("run.schedule") {
+                continue;
+            }
+            let (tid, ts, dur) = span_of(e);
+            let run = e.get("args").unwrap().get("run").unwrap().as_str();
+            let parent = complete
+                .iter()
+                .find(|p| {
+                    p.get("name").unwrap().as_str() == Some("run.schedule")
+                        && p.get("args").unwrap().get("run").unwrap().as_str() == run
+                        && span_of(p).0 == tid
+                        && span_of(p).1 <= ts
+                        && ts + dur <= span_of(p).1 + span_of(p).2 + 1e-9
+                })
+                .unwrap_or_else(|| panic!("no enclosing run.schedule for {e:?}"));
+            assert_eq!(span_of(parent).0, tid);
+        }
+    }
+}

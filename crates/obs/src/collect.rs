@@ -19,8 +19,17 @@ mod imp {
     use std::cell::RefCell;
     use std::time::Instant;
 
+    /// One installed run collector: the stats being harvested plus
+    /// the stack of currently-open span-tree node ids (so a span
+    /// entered while another is open becomes its tree child).
+    #[derive(Default)]
+    struct Collector {
+        stats: RunStats,
+        open: Vec<u32>,
+    }
+
     thread_local! {
-        static STACK: RefCell<Vec<RunStats>> = const { RefCell::new(Vec::new()) };
+        static STACK: RefCell<Vec<Collector>> = const { RefCell::new(Vec::new()) };
     }
 
     #[inline]
@@ -39,7 +48,7 @@ mod imp {
     pub fn run_scope() -> RunScope {
         let depth = STACK.with(|s| {
             let mut s = s.borrow_mut();
-            s.push(RunStats::default());
+            s.push(Collector::default());
             s.len()
         });
         RunScope { depth }
@@ -51,7 +60,7 @@ mod imp {
             let mut stats = STACK.with(|s| {
                 let mut s = s.borrow_mut();
                 debug_assert_eq!(s.len(), self.depth, "run scopes must nest");
-                s.pop().unwrap_or_default()
+                s.pop().map(|c| c.stats).unwrap_or_default()
             });
             std::mem::forget(self);
             stats.sort();
@@ -75,7 +84,7 @@ mod imp {
     fn with_top(f: impl FnOnce(&mut RunStats)) {
         STACK.with(|s| {
             if let Some(top) = s.borrow_mut().last_mut() {
-                f(top);
+                f(&mut top.stats);
             }
         });
     }
@@ -97,22 +106,49 @@ mod imp {
 
     /// Span guard; see [`super::span_enter`].
     pub struct SpanGuard {
-        open: Option<(&'static str, Instant)>,
+        /// `(name, collector depth at entry, tree node id, start)`.
+        open: Option<(&'static str, usize, u32, Instant)>,
     }
 
     /// Opens a span; prefer the [`span!`](crate::span) macro.
     pub fn span_enter(name: &'static str) -> SpanGuard {
         // The clock is read only when a collector is listening, and
         // only at the boundaries.
-        let open = active().then(|| (name, Instant::now()));
+        let open = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let depth = s.len();
+            let top = s.last_mut()?;
+            let parent = top.open.last().copied();
+            let node = top.stats.tree_entry(parent, name);
+            top.open.push(node);
+            Some((name, depth, node, Instant::now()))
+        });
         SpanGuard { open }
     }
 
     impl Drop for SpanGuard {
         fn drop(&mut self) {
-            if let Some((name, start)) = self.open.take() {
+            if let Some((name, depth, node, start)) = self.open.take() {
                 let ns = start.elapsed().as_nanos();
-                with_top(|s| s.record_span(name, ns));
+                // Record into the collector the span *opened under*
+                // (not whatever is top-most at drop), so a span
+                // spanning an inner scope's lifetime still attributes
+                // to its own run. If that collector is gone the
+                // measurement is dropped, matching the abandoned-scope
+                // contract.
+                STACK.with(|s| {
+                    let mut s = s.borrow_mut();
+                    // `depth >= 1` always: the guard only opens when a
+                    // collector was installed.
+                    let Some(collector) = s.get_mut(depth - 1) else {
+                        return;
+                    };
+                    if collector.open.last() == Some(&node) {
+                        collector.open.pop();
+                    }
+                    collector.stats.tree_record(node, ns);
+                    collector.stats.record_span(name, ns);
+                });
             }
         }
     }
@@ -275,6 +311,54 @@ mod tests {
         let stats = scope.finish();
         assert_eq!(stats.span("outer").unwrap().calls, 1);
         assert_eq!(stats.span("inner").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn span_tree_records_parent_links_in_entry_order() {
+        let scope = run_scope();
+        for _ in 0..2 {
+            let _a = crate::span!("outer");
+            {
+                let _b = crate::span!("inner");
+            }
+            let _c = crate::span!("other");
+        }
+        {
+            // Same name at the root is a *different* path node.
+            let _d = crate::span!("inner");
+        }
+        let stats = scope.finish();
+        let tree = stats.span_tree();
+        assert_eq!(tree.len(), 4);
+        // Ids follow first-entry order; parents precede children.
+        assert_eq!(tree[0].name, "outer");
+        assert_eq!(tree[0].parent, None);
+        assert_eq!(tree[1].name, "inner");
+        assert_eq!(tree[1].parent, Some(0));
+        assert_eq!(tree[2].name, "other");
+        assert_eq!(tree[2].parent, Some(0));
+        assert_eq!(tree[3].name, "inner");
+        assert_eq!(tree[3].parent, None);
+        assert_eq!(stats.tree_node(&["outer", "inner"]).unwrap().calls, 2);
+        assert_eq!(stats.tree_node(&["inner"]).unwrap().calls, 1);
+        assert_eq!(stats.tree_children(Some(0)), vec![1, 2]);
+        // The flat table still aggregates by name alone.
+        assert_eq!(stats.span("inner").unwrap().calls, 3);
+    }
+
+    #[test]
+    fn span_opened_in_outer_scope_attributes_to_outer_scope() {
+        let outer = run_scope();
+        let stats = {
+            let guard = crate::span!("crossing");
+            let inner = run_scope();
+            drop(guard); // dropped while the inner scope is top-most
+            inner.finish()
+        };
+        assert!(stats.span("crossing").is_none());
+        let stats = outer.finish();
+        assert_eq!(stats.span("crossing").unwrap().calls, 1);
+        assert_eq!(stats.tree_node(&["crossing"]).unwrap().calls, 1);
     }
 
     #[test]

@@ -101,6 +101,54 @@ impl Histogram {
         self.count == 0
     }
 
+    /// Estimates the `q`-quantile (`0.0..=1.0`) by linear
+    /// interpolation inside the bucket holding the target rank.
+    ///
+    /// A bucket `i` spans `(bounds[i-1], bounds[i]]` (the first starts
+    /// at 0; the overflow bucket ends at the exact observed `max`), so
+    /// the estimate is monotone in `q`, never exceeds `max`, and is
+    /// exact whenever the rank lands in a single-value bucket. Returns
+    /// 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut below = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if below + c < rank {
+                below += c;
+                continue;
+            }
+            let lo = if i == 0 { 0 } else { self.bounds[i - 1] };
+            let hi = if i < self.bounds.len() {
+                self.bounds[i]
+            } else {
+                self.max
+            };
+            let frac = (rank - below) as f64 / c as f64;
+            let est = lo as f64 + (hi.saturating_sub(lo)) as f64 * frac;
+            return (est.round() as u64).min(self.max);
+        }
+        self.max
+    }
+
+    /// Median estimate; see [`Histogram::quantile`].
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate; see [`Histogram::quantile`].
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate; see [`Histogram::quantile`].
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
     /// Adds `other`'s observations into `self`. Panics if the bucket
     /// boundaries differ (merging across schemas is meaningless).
     pub fn merge(&mut self, other: &Histogram) {
@@ -186,5 +234,54 @@ mod tests {
         static OTHER: &[u64] = &[5];
         let mut a = Histogram::default();
         a.merge(&Histogram::new(OTHER));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        static BOUNDS: &[u64] = &[10, 20, 40];
+        let mut h = Histogram::new(BOUNDS);
+        // 10 values in (0,10], 10 in (10,20]: ranks 1..=10 map across
+        // the first bucket, 11..=20 across the second.
+        for _ in 0..10 {
+            h.record(5);
+        }
+        for _ in 0..10 {
+            h.record(15);
+        }
+        assert_eq!(h.quantile(0.05), 1); // rank 1 of 20 → 1/10 into (0,10]
+        assert_eq!(h.p50(), 10); // rank 10 → upper edge of the first bucket
+        assert_eq!(h.quantile(0.55), 11); // rank 11 → 1/10 into (10,20]
+        assert_eq!(h.quantile(1.0), 15); // clamped to the observed max
+    }
+
+    #[test]
+    fn quantiles_are_monotone_across_buckets() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 3, 3, 9, 17, 40, 100, 700, 5000] {
+            h.record(v);
+        }
+        let mut prev = 0;
+        for i in 0..=100 {
+            let q = h.quantile(i as f64 / 100.0);
+            assert!(q >= prev, "quantile({i}%) = {q} < {prev}");
+            prev = q;
+        }
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn quantiles_never_exceed_the_observed_max() {
+        let mut h = Histogram::default();
+        for _ in 0..100 {
+            h.record(3); // bucket (2,4], but nothing above 3 was seen
+        }
+        assert_eq!(h.p50(), 3);
+        assert_eq!(h.p99(), 3);
+        // The overflow bucket interpolates toward the exact max.
+        let mut h = Histogram::default();
+        h.record(9_000);
+        assert_eq!(h.p99(), 9_000);
+        // Empty histograms report 0 everywhere.
+        assert_eq!(Histogram::default().p95(), 0);
     }
 }

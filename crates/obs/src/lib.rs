@@ -6,7 +6,10 @@
 //!
 //! * **spans** — [`span!`] opens a named phase; wall-clock is read
 //!   only at the span boundaries (never inside hot loops) and the
-//!   elapsed time is folded into the current run's [`RunStats`];
+//!   elapsed time is folded into the current run's [`RunStats`],
+//!   both as a flat per-name table and as a hierarchical **span
+//!   tree** (phase → sub-phase, parent links by entry nesting) that
+//!   [`ChromeTrace`] exports as Perfetto-loadable trace-event JSON;
 //! * **metrics registry** — [`counter_add`], [`gauge_set`] and
 //!   [`hist_record`] record named counters, gauges and monotonic
 //!   fixed-bucket [`Histogram`]s (ready-list lengths, edge-zeroing
@@ -15,7 +18,9 @@
 //! * **JSONL telemetry** — a [`TelemetrySink`] streams one
 //!   [`RunRecord`] per (graph, heuristic) run, plus end-of-run
 //!   aggregate summary records (see `docs/OBSERVABILITY.md` for the
-//!   schema).
+//!   schema); [`render_prometheus`] renders any [`RunStats`] as a
+//!   Prometheus text exposition page (with derived p50/p95/p99
+//!   quantiles) for the daemon's `metrics` request.
 //!
 //! ## Attribution model
 //!
@@ -60,23 +65,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod collect;
 pub mod hist;
 pub mod json;
+pub mod prom;
 pub mod record;
 pub mod sink;
 pub mod stats;
 
+pub use chrome::ChromeTrace;
 pub use collect::{
     active, counter_add, event, gauge_set, hist_record, run_scope, span_enter, RunScope, SpanGuard,
 };
 pub use hist::{Histogram, DEFAULT_BOUNDS};
 pub use json::Json;
+pub use prom::render_prometheus;
 pub use record::{
     GraphMeta, IncidentMeta, RunRecord, Summary, SummaryRow, RUN_SCHEMA, SUMMARY_SCHEMA,
 };
 pub use sink::{SharedBuffer, TelemetrySink};
-pub use stats::{RunStats, SpanStat};
+pub use stats::{RunStats, SpanNode, SpanStat};
 
 /// Opens a named span in the current run scope; the returned guard
 /// records the elapsed wall-clock time when dropped.

@@ -1,0 +1,145 @@
+//! Prometheus text exposition (format 0.0.4) for a [`RunStats`].
+//!
+//! Metric names are sanitized (`.` and `-` become `_`). Counters and
+//! gauges map directly; each [`Histogram`](crate::hist::Histogram)
+//! becomes a proper Prometheus histogram (cumulative `le`-labeled
+//! buckets plus `+Inf`, `_sum` and `_count` series) followed by
+//! derived `_p50`/`_p95`/`_p99` gauges so scrapers get quantiles
+//! without re-deriving the interpolation. Spans export as two
+//! counters, `<name>_calls_total` and `<name>_ns_total`. Families are
+//! emitted in sorted-name order, so the exposition for a given stats
+//! snapshot is byte-deterministic.
+
+use crate::stats::RunStats;
+use std::fmt::Write as _;
+
+/// Renders `stats` as a Prometheus text exposition page. Every series
+/// gets `extra_labels` verbatim (e.g. `"job=\"dagsched\""`); pass `""`
+/// for none.
+pub fn render_prometheus(stats: &RunStats, extra_labels: &str) -> String {
+    let mut out = String::with_capacity(1024);
+    let labels = |suffix: &str| -> String {
+        match (extra_labels.is_empty(), suffix.is_empty()) {
+            (true, true) => String::new(),
+            (true, false) => format!("{{{suffix}}}"),
+            (false, true) => format!("{{{extra_labels}}}"),
+            (false, false) => format!("{{{extra_labels},{suffix}}}"),
+        }
+    };
+
+    for &(name, v) in stats.counters() {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name}{} {v}", labels(""));
+    }
+    for &(name, v) in stats.gauges() {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name}{} {v}", labels(""));
+    }
+    for (name, h) in stats.histograms() {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, &c) in h.bucket_counts().iter().enumerate() {
+            cumulative += c;
+            let le = match h.bounds().get(i) {
+                Some(b) => b.to_string(),
+                None => "+Inf".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {cumulative}",
+                labels(&format!("le=\"{le}\""))
+            );
+        }
+        let _ = writeln!(out, "{name}_sum{} {}", labels(""), h.sum());
+        let _ = writeln!(out, "{name}_count{} {}", labels(""), h.count());
+        for (suffix, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+            let _ = writeln!(out, "# TYPE {name}_{suffix} gauge");
+            let _ = writeln!(out, "{name}_{suffix}{} {}", labels(""), h.quantile(q));
+        }
+    }
+    for &(name, s) in stats.spans() {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name}_calls_total counter");
+        let _ = writeln!(out, "{name}_calls_total{} {}", labels(""), s.calls);
+        let _ = writeln!(out, "# TYPE {name}_ns_total counter");
+        let _ = writeln!(out, "{name}_ns_total{} {}", labels(""), s.total_ns);
+    }
+    out
+}
+
+/// Maps a dotted metric name onto the Prometheus charset
+/// (`[a-zA-Z0-9_:]`, non-digit first).
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_matches_the_golden_format() {
+        let mut stats = RunStats::default();
+        stats.add_counter("server.requests.total", 7);
+        stats.set_gauge("server.queue.depth", 2);
+        static BOUNDS: &[u64] = &[1, 2];
+        stats.record_hist("server.latency-ms", BOUNDS, 1);
+        stats.record_hist("server.latency-ms", BOUNDS, 2);
+        stats.record_hist("server.latency-ms", BOUNDS, 9);
+        stats.record_span("run.schedule", 1_500);
+        stats.sort();
+        let got = render_prometheus(&stats, "");
+        let want = "\
+# TYPE server_requests_total counter
+server_requests_total 7
+# TYPE server_queue_depth gauge
+server_queue_depth 2
+# TYPE server_latency_ms histogram
+server_latency_ms_bucket{le=\"1\"} 1
+server_latency_ms_bucket{le=\"2\"} 2
+server_latency_ms_bucket{le=\"+Inf\"} 3
+server_latency_ms_sum 12
+server_latency_ms_count 3
+# TYPE server_latency_ms_p50 gauge
+server_latency_ms_p50 2
+# TYPE server_latency_ms_p95 gauge
+server_latency_ms_p95 9
+# TYPE server_latency_ms_p99 gauge
+server_latency_ms_p99 9
+# TYPE run_schedule_calls_total counter
+run_schedule_calls_total 1
+# TYPE run_schedule_ns_total counter
+run_schedule_ns_total 1500
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn labels_attach_to_every_series() {
+        let mut stats = RunStats::default();
+        stats.add_counter("c", 1);
+        static BOUNDS: &[u64] = &[1];
+        stats.record_hist("h", BOUNDS, 1);
+        stats.sort();
+        let got = render_prometheus(&stats, "job=\"dagsched\"");
+        assert!(got.contains("c{job=\"dagsched\"} 1"));
+        assert!(got.contains("h_bucket{job=\"dagsched\",le=\"1\"} 1"));
+        assert!(got.contains("h_count{job=\"dagsched\"} 1"));
+    }
+
+    #[test]
+    fn names_never_start_with_a_digit() {
+        assert_eq!(sanitize("99th.percentile"), "_99th_percentile");
+        assert_eq!(sanitize("mh.ready_list_len"), "mh_ready_list_len");
+    }
+}

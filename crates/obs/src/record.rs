@@ -433,7 +433,29 @@ fn write_stats_fields(out: &mut String, stats: &RunStats) {
         out.push_str(&s.total_ns.to_string());
         out.push('}');
     }
-    out.push('}');
+    // The hierarchical view of the same spans: node ids are array
+    // positions (first-entry order), `parent` links nodes into the
+    // per-run phase tree. Timing stays under the `"ns"` key so the
+    // determinism contract is unchanged.
+    out.push_str("},\"span_tree\":[");
+    for (i, node) in stats.span_tree().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        write_escaped(out, node.name);
+        out.push_str(",\"parent\":");
+        match node.parent {
+            Some(p) => out.push_str(&p.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"calls\":");
+        out.push_str(&node.calls.to_string());
+        out.push_str(",\"ns\":");
+        out.push_str(&node.total_ns.to_string());
+        out.push('}');
+    }
+    out.push(']');
 }
 
 #[cfg(test)]

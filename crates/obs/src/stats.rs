@@ -14,19 +14,42 @@ pub struct SpanStat {
     pub total_ns: u128,
 }
 
+/// One node of a run's span tree: a span name aggregated *per call
+/// path* (two `dsc.cluster` entries under the same parent share one
+/// node; the same name under a different parent gets its own).
+///
+/// A node's id is its index in [`RunStats::span_tree`]; ids are
+/// assigned in first-entry order, so a parent's id is always smaller
+/// than its children's and the whole layout is a pure function of the
+/// (deterministic) control flow. Only `total_ns` is nondeterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span name, as passed to [`span!`](crate::span).
+    pub name: &'static str,
+    /// Id (= index) of the enclosing span, or `None` for a root.
+    pub parent: Option<u32>,
+    /// Number of times this path was entered.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across all calls (the only
+    /// nondeterministic field, serialized under the `"ns"` key).
+    pub total_ns: u128,
+}
+
 /// Everything one run recorded, harvested by
 /// [`RunScope::finish`](crate::RunScope::finish).
 ///
-/// All four tables are kept sorted by metric name so rendering and
-/// JSON encoding are deterministic. Entries are small (a handful of
-/// metrics per heuristic), so storage is flat vectors with linear
-/// lookup.
+/// All four flat tables are kept sorted by metric name so rendering
+/// and JSON encoding are deterministic; the span tree keeps
+/// first-entry order because node ids are positional. Entries are
+/// small (a handful of metrics per heuristic), so storage is flat
+/// vectors with linear lookup.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     counters: Vec<(&'static str, u64)>,
     gauges: Vec<(&'static str, u64)>,
     histograms: Vec<(&'static str, Histogram)>,
     spans: Vec<(&'static str, SpanStat)>,
+    tree: Vec<SpanNode>,
 }
 
 impl RunStats {
@@ -37,6 +60,7 @@ impl RunStats {
             && self.gauges.is_empty()
             && self.histograms.is_empty()
             && self.spans.is_empty()
+            && self.tree.is_empty()
     }
 
     /// The value of counter `name` (0 when never incremented).
@@ -79,6 +103,36 @@ impl RunStats {
         &self.spans
     }
 
+    /// The hierarchical span tree in id (= first-entry) order. Empty
+    /// when no span was opened or with the `enabled` feature off.
+    pub fn span_tree(&self) -> &[SpanNode] {
+        &self.tree
+    }
+
+    /// The ids of `parent`'s direct children (`None` = roots), in
+    /// first-entry order.
+    pub fn tree_children(&self, parent: Option<u32>) -> Vec<u32> {
+        (0..self.tree.len() as u32)
+            .filter(|&i| self.tree[i as usize].parent == parent)
+            .collect()
+    }
+
+    /// Walks the tree along a root-to-leaf `path` of span names and
+    /// returns the node it lands on (e.g.
+    /// `tree_node(&["run.schedule", "dsc.cluster"])`).
+    pub fn tree_node(&self, path: &[&str]) -> Option<&SpanNode> {
+        let mut parent: Option<u32> = None;
+        let mut found: Option<&SpanNode> = None;
+        for name in path {
+            let id = (0..self.tree.len() as u32).find(|&i| {
+                self.tree[i as usize].parent == parent && self.tree[i as usize].name == *name
+            })?;
+            found = Some(&self.tree[id as usize]);
+            parent = Some(id);
+        }
+        found
+    }
+
     /// Folds `other` into `self` (counters add, gauges keep the max,
     /// histograms merge bucket-wise, spans add calls and time) — the
     /// cross-run aggregation used by per-heuristic summaries.
@@ -99,6 +153,20 @@ impl RunStats {
             slot.calls += s.calls;
             slot.total_ns += s.total_ns;
         }
+        // Tree nodes merge by path. `other`'s parents always precede
+        // their children (ids are first-entry order), so a single
+        // forward pass can remap `other` ids onto `self` ids. New
+        // paths are appended in `other` order, which keeps the fold
+        // associative including the resulting id assignment.
+        let mut remap: Vec<u32> = Vec::with_capacity(other.tree.len());
+        for node in &other.tree {
+            let parent = node.parent.map(|p| remap[p as usize]);
+            let id = self.tree_entry(parent, node.name);
+            let slot = &mut self.tree[id as usize];
+            slot.calls += node.calls;
+            slot.total_ns += node.total_ns;
+            remap.push(id);
+        }
         self.sort();
     }
 
@@ -118,6 +186,34 @@ impl RunStats {
         let s = entry(&mut self.spans, name, SpanStat::default);
         s.calls += 1;
         s.total_ns += ns;
+    }
+
+    /// Finds or creates the tree node for `name` under `parent` and
+    /// returns its id. Called at span entry, so ids follow entry order.
+    pub(crate) fn tree_entry(&mut self, parent: Option<u32>, name: &'static str) -> u32 {
+        if let Some(i) = self
+            .tree
+            .iter()
+            .position(|n| n.parent == parent && (std::ptr::eq(n.name, name) || n.name == name))
+        {
+            return i as u32;
+        }
+        self.tree.push(SpanNode {
+            name,
+            parent,
+            calls: 0,
+            total_ns: 0,
+        });
+        (self.tree.len() - 1) as u32
+    }
+
+    /// Folds one completed call into tree node `id` (ignored if the
+    /// node does not exist — a guard can outlive its collector).
+    pub(crate) fn tree_record(&mut self, id: u32, ns: u128) {
+        if let Some(node) = self.tree.get_mut(id as usize) {
+            node.calls += 1;
+            node.total_ns += ns;
+        }
     }
 
     /// Sorts every table by name (called on harvest so downstream

@@ -30,6 +30,10 @@ OPTIONS:
                            warm-start from it on restart
     --chaos                also register the CHAOS-* fixture heuristics
                            (testing only)
+    --slow-threshold MS    keep requests at least this slow as span-tree
+                           exemplars in `stats` responses [default: 100]
+    --slow-exemplars N     worst exemplars retained, 0 disables
+                           [default: 8]
     -h, --help             print this help
 ";
 
@@ -71,6 +75,17 @@ fn parse_args(args: &[String]) -> Result<Option<ServerConfig>, String> {
             }
             "--cache-dir" => config.cache_dir = Some(value("--cache-dir")?.into()),
             "--chaos" => config.chaos = true,
+            "--slow-threshold" => {
+                let ms: u64 = value("--slow-threshold")?
+                    .parse()
+                    .map_err(|_| "--slow-threshold needs an integer (milliseconds)".to_string())?;
+                config.slow_threshold = Duration::from_millis(ms);
+            }
+            "--slow-exemplars" => {
+                config.slow_exemplars = value("--slow-exemplars")?
+                    .parse()
+                    .map_err(|_| "--slow-exemplars needs an integer".to_string())?;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }

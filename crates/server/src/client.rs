@@ -40,6 +40,22 @@ pub fn encode_schedule_request(
     s
 }
 
+/// Encodes a control request line (`ping`, `stats`, `metrics`,
+/// `shutdown`) with no body beyond the optional id.
+pub fn encode_control_request(kind: &str, id: Option<&str>) -> String {
+    let mut s = String::with_capacity(64);
+    s.push_str("{\"schema\":\"");
+    s.push_str(REQUEST_SCHEMA);
+    s.push_str("\",\"kind\":");
+    write_escaped(&mut s, kind);
+    if let Some(id) = id {
+        s.push_str(",\"id\":");
+        write_escaped(&mut s, id);
+    }
+    s.push('}');
+    s
+}
+
 /// Sends one request line to `addr` and reads the one response line.
 pub fn submit(addr: &str, line: &str) -> io::Result<String> {
     let stream = TcpStream::connect(addr)?;
@@ -89,8 +105,21 @@ pub fn render_response(line: &str) -> Result<String, String> {
         }
         other => return Err(format!("response carries no valid status: {other:?}")),
     }
+    match j.get("kind").and_then(Json::as_str) {
+        // The Prometheus exposition page travels escaped inside JSON;
+        // hand the raw text page back.
+        Some("metrics") => {
+            return Ok(j
+                .get("body")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string());
+        }
+        Some("stats") => return Ok(render_stats(&j)),
+        _ => {}
+    }
     if j.get("heuristic").is_none() {
-        // A control response (pong, shutdown-ack, stats): print it raw.
+        // A control response (pong or shutdown-ack): print it raw.
         return Ok(line.to_string());
     }
     let u64_of = |name: &str| j.get(name).and_then(Json::as_u64).unwrap_or(0);
@@ -113,6 +142,9 @@ pub fn render_response(line: &str) -> Result<String, String> {
         str_of("tier"),
         if cached { "cached" } else { "computed" },
     );
+    if let Some(trace_id) = j.get("trace_id").and_then(Json::as_str) {
+        let _ = writeln!(out, "  trace {trace_id}");
+    }
     if let Some(incidents) = j.get("incidents").and_then(Json::as_arr) {
         for inc in incidents {
             let summary = inc.get("summary").and_then(Json::as_str).unwrap_or("?");
@@ -120,6 +152,69 @@ pub fn render_response(line: &str) -> Result<String, String> {
         }
     }
     Ok(out)
+}
+
+/// Renders a `stats` response as aligned tables (counters, gauges,
+/// histogram quantiles, slow-request exemplars) instead of raw JSON.
+fn render_stats(j: &Json) -> String {
+    let mut out = String::new();
+    for section in ["counters", "gauges"] {
+        let Some(entries) = j.get(section).and_then(Json::as_obj) else {
+            continue;
+        };
+        if entries.is_empty() {
+            continue;
+        }
+        let w = entries.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let _ = writeln!(out, "{section}:");
+        for (name, v) in entries {
+            let _ = writeln!(out, "  {name:<w$}  {}", v.as_u64().unwrap_or(0));
+        }
+    }
+    if let Some(hists) = j.get("histograms").and_then(Json::as_obj) {
+        if !hists.is_empty() {
+            let w = hists
+                .iter()
+                .map(|(n, _)| n.len())
+                .max()
+                .unwrap_or(0)
+                .max("histogram".len());
+            let _ = writeln!(out, "histograms:");
+            let _ = writeln!(
+                out,
+                "  {:<w$}  {:>8} {:>10} {:>8} {:>8} {:>8} {:>8}",
+                "histogram", "count", "mean", "max", "p50", "p95", "p99"
+            );
+            for (name, h) in hists {
+                let u = |k: &str| h.get(k).and_then(Json::as_u64).unwrap_or(0);
+                let mean = h.get("mean").and_then(Json::as_f64).unwrap_or(0.0);
+                let _ = writeln!(
+                    out,
+                    "  {name:<w$}  {:>8} {mean:>10.2} {:>8} {:>8} {:>8} {:>8}",
+                    u("count"),
+                    u("max"),
+                    u("p50"),
+                    u("p95"),
+                    u("p99"),
+                );
+            }
+        }
+    }
+    if let Some(slow) = j.get("slow_requests").and_then(Json::as_arr) {
+        if !slow.is_empty() {
+            let _ = writeln!(out, "slow requests (worst first):");
+            for e in slow {
+                let trace_id = e.get("trace_id").and_then(Json::as_str).unwrap_or("?");
+                let kind = e.get("kind").and_then(Json::as_str).unwrap_or("?");
+                let us = e.get("latency_us").and_then(Json::as_u64).unwrap_or(0);
+                let _ = writeln!(out, "  {trace_id}  {:>10.3} ms  {kind}", us as f64 / 1000.0);
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no stats recorded)\n");
+    }
+    out
 }
 
 #[cfg(test)]
@@ -149,6 +244,22 @@ mod tests {
     }
 
     #[test]
+    fn control_requests_encode_to_what_the_server_parses() {
+        let line = encode_control_request("metrics", Some("m1"));
+        assert_eq!(
+            proto::parse_request(&line).unwrap(),
+            proto::Request::Metrics {
+                id: Some("m1".into())
+            }
+        );
+        let line = encode_control_request("stats", None);
+        assert_eq!(
+            proto::parse_request(&line).unwrap(),
+            proto::Request::Stats { id: None }
+        );
+    }
+
+    #[test]
     fn ok_responses_render_in_the_cli_format() {
         let answer = ScheduleAnswer {
             heuristic: "DSC".into(),
@@ -163,6 +274,7 @@ mod tests {
             efficiency: 0.75,
             placements: vec![(0, 0), (1, 10)],
             incidents: vec![("panic".into(), "DSC panicked: boom".into())],
+            trace_id: "t-0000000000000007".into(),
         };
         let out = render_response(&proto::ok_response(None, &answer)).unwrap();
         assert!(out.contains("parallel_time=40"), "{out}");
@@ -171,7 +283,55 @@ mod tests {
             out.contains("served by HU (tier fallback:HU, cached)"),
             "{out}"
         );
+        assert!(out.contains("trace t-0000000000000007"), "{out}");
         assert!(out.contains("incident: DSC panicked: boom"), "{out}");
+    }
+
+    #[test]
+    fn stats_responses_render_as_aligned_tables() {
+        let scope = dagsched_obs::run_scope();
+        dagsched_obs::counter_add("server.requests.total", 3);
+        dagsched_obs::counter_add("server.cache.hit", 1);
+        for v in [1, 2, 9] {
+            dagsched_obs::hist_record("server.latency_ms", v);
+        }
+        let stats = scope.finish();
+        let slow = vec![proto::SlowExemplar {
+            trace_id: "t-0000000000000002".into(),
+            kind: "schedule CHAOS-SLEEPY".into(),
+            latency_us: 250_500,
+            stats: dagsched_obs::RunStats::default(),
+        }];
+        let out = render_response(&proto::stats_response(None, &stats, &slow)).unwrap();
+        if !stats.is_empty() {
+            // Counter rows align: both names padded to one width.
+            assert!(out.contains("counters:"), "{out}");
+            let rows: Vec<&str> = out
+                .lines()
+                .filter(|l| l.contains("server.requests.total") || l.contains("server.cache.hit"))
+                .collect();
+            assert_eq!(rows.len(), 2, "{out}");
+            let col = |row: &str| row.rfind(' ').unwrap();
+            assert_eq!(col(rows[0]), col(rows[1]), "{out}");
+            // The histogram table has a header and the quantile columns.
+            assert!(out.contains("histograms:"), "{out}");
+            assert!(out.contains("p50"), "{out}");
+            assert!(out.contains("p95"), "{out}");
+            assert!(out.contains("p99"), "{out}");
+            assert!(out.contains("server.latency_ms"), "{out}");
+        }
+        assert!(out.contains("slow requests (worst first):"), "{out}");
+        assert!(out.contains("t-0000000000000002"), "{out}");
+        assert!(out.contains("250.500 ms"), "{out}");
+        assert!(out.contains("schedule CHAOS-SLEEPY"), "{out}");
+        assert!(!out.contains('{'), "stats must not render raw: {out}");
+    }
+
+    #[test]
+    fn metrics_responses_render_the_raw_exposition_page() {
+        let page = "# TYPE server_requests_total counter\nserver_requests_total 3\n";
+        let out = render_response(&proto::metrics_response(None, page)).unwrap();
+        assert_eq!(out, page);
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //!   journal and exits cleanly, surfacing any final fsync error as a
 //!   nonzero exit.
 //!
+//! Observability is request-scoped: every request runs under its own
+//! collector scope with a fresh `trace_id` (echoed in schedule
+//! responses), the worst-latency span trees are kept as slow-request
+//! exemplars in `stats` responses, and a `metrics` request answers
+//! with a Prometheus text exposition page.
+//!
 //! The wire protocol lives in [`proto`]; the tiny blocking client the
 //! CLI's `--remote` flag uses lives in [`client`]. See
 //! `docs/SERVICE.md` for the full protocol and operational semantics.
@@ -37,10 +43,10 @@ pub mod signal;
 
 pub use admission::{Admission, Permit};
 pub use cache::{CachedSchedule, ScheduleCache, CACHE_FILE};
-pub use client::{encode_schedule_request, render_response, submit};
+pub use client::{encode_control_request, encode_schedule_request, render_response, submit};
 pub use proto::{
-    parse_request, Request, RequestError, ScheduleAnswer, ScheduleRequest, REQUEST_SCHEMA,
-    RESPONSE_SCHEMA,
+    parse_request, Request, RequestError, ScheduleAnswer, ScheduleRequest, SlowExemplar,
+    REQUEST_SCHEMA, RESPONSE_SCHEMA,
 };
 pub use server::{start, ServerConfig, ServerHandle};
 pub use signal::{install_sigterm_hook, sigterm_received};

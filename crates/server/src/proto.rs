@@ -14,6 +14,7 @@
 //!  "graph":"nodes 2\nnode 0 5\nnode 1 5\nedge 0 1 3\n",
 //!  "heuristic":"DSC","machine":"uniform","budget_ms":250}
 //! {"schema":"dagsched.request.v1","kind":"stats"}
+//! {"schema":"dagsched.request.v1","kind":"metrics"}
 //! {"schema":"dagsched.request.v1","kind":"ping"}
 //! {"schema":"dagsched.request.v1","kind":"shutdown"}
 //! ```
@@ -24,8 +25,14 @@
 //! heuristic, `"serial-placement"` when only the synthesized total
 //! fallback survived — so a caller under deadline pressure can tell a
 //! first-choice answer from a degraded one without parsing incidents.
+//! Every schedule response also echoes the server-assigned request
+//! `trace_id`, which keys that request's span tree in the
+//! slow-request exemplar buffer (`stats` response, `slow_requests`).
+//! A `metrics` request returns the same instrumentation as `stats`,
+//! rendered as a Prometheus text exposition page in the `body` field.
 
 use dagsched_obs::json::{write_escaped, write_f64, Json};
+use dagsched_obs::RunStats;
 
 /// Schema tag every request must carry.
 pub const REQUEST_SCHEMA: &str = "dagsched.request.v1";
@@ -59,6 +66,12 @@ pub enum Request {
         /// Echoed request id.
         id: Option<String>,
     },
+    /// Return the same instrumentation as a Prometheus text
+    /// exposition page (the scrape endpoint).
+    Metrics {
+        /// Echoed request id.
+        id: Option<String>,
+    },
     /// Liveness probe.
     Ping {
         /// Echoed request id.
@@ -76,9 +89,10 @@ impl Request {
     pub fn id(&self) -> Option<&str> {
         match self {
             Request::Schedule(r) => r.id.as_deref(),
-            Request::Stats { id } | Request::Ping { id } | Request::Shutdown { id } => {
-                id.as_deref()
-            }
+            Request::Stats { id }
+            | Request::Metrics { id }
+            | Request::Ping { id }
+            | Request::Shutdown { id } => id.as_deref(),
         }
     }
 }
@@ -136,6 +150,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
     match kind {
         "ping" => Ok(Request::Ping { id }),
         "stats" => Ok(Request::Stats { id }),
+        "metrics" => Ok(Request::Metrics { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
         "schedule" => {
             let graph = j
@@ -203,6 +218,9 @@ pub struct ScheduleAnswer {
     pub placements: Vec<(u32, u64)>,
     /// `(kind, summary)` per incident the harness contained.
     pub incidents: Vec<(String, String)>,
+    /// Server-assigned id of the request that computed (or fetched)
+    /// this answer; keys the slow-request exemplar buffer.
+    pub trace_id: String,
 }
 
 impl ScheduleAnswer {
@@ -237,6 +255,8 @@ pub fn ok_response(id: Option<&str>, a: &ScheduleAnswer) -> String {
     use std::fmt::Write as _;
     let mut s = String::with_capacity(256 + 16 * a.placements.len());
     response_head(&mut s, id, "ok");
+    s.push_str(",\"trace_id\":");
+    write_escaped(&mut s, &a.trace_id);
     s.push_str(",\"heuristic\":");
     write_escaped(&mut s, &a.heuristic);
     s.push_str(",\"machine\":");
@@ -314,9 +334,44 @@ pub fn shutdown_ack(id: Option<&str>) -> String {
     s
 }
 
+/// One slow-request exemplar: the span tree of a request whose
+/// latency crossed the server's slow threshold, keyed by `trace_id`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowExemplar {
+    /// The `trace_id` echoed in the request's response.
+    pub trace_id: String,
+    /// Request kind summary, e.g. `"schedule DSC"`.
+    pub kind: String,
+    /// End-to-end handling latency in microseconds.
+    pub latency_us: u64,
+    /// The per-request stats whose [`RunStats::span_tree`] is the
+    /// exemplar payload.
+    pub stats: RunStats,
+}
+
+fn write_span_tree(s: &mut String, stats: &RunStats) {
+    s.push('[');
+    for (i, node) in stats.span_tree().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"name\":");
+        write_escaped(s, node.name);
+        s.push_str(",\"parent\":");
+        match node.parent {
+            Some(p) => s.push_str(&p.to_string()),
+            None => s.push_str("null"),
+        }
+        use std::fmt::Write as _;
+        let _ = write!(s, ",\"calls\":{},\"ns\":{}}}", node.calls, node.total_ns);
+    }
+    s.push(']');
+}
+
 /// Encodes the reply to a `stats` request from the server's
-/// accumulated instrumentation.
-pub fn stats_response(id: Option<&str>, stats: &dagsched_obs::RunStats) -> String {
+/// accumulated instrumentation plus the slow-request exemplar buffer
+/// (worst first).
+pub fn stats_response(id: Option<&str>, stats: &RunStats, slow: &[SlowExemplar]) -> String {
     use std::fmt::Write as _;
     let mut s = String::with_capacity(512);
     response_head(&mut s, id, "ok");
@@ -350,9 +405,39 @@ pub fn stats_response(id: Option<&str>, stats: &dagsched_obs::RunStats) -> Strin
             h.max()
         );
         write_f64(&mut s, h.mean());
+        let _ = write!(
+            s,
+            ",\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            h.p50(),
+            h.p95(),
+            h.p99()
+        );
+    }
+    s.push_str("},\"slow_requests\":[");
+    for (i, e) in slow.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"trace_id\":");
+        write_escaped(&mut s, &e.trace_id);
+        s.push_str(",\"kind\":");
+        write_escaped(&mut s, &e.kind);
+        let _ = write!(s, ",\"latency_us\":{},\"span_tree\":", e.latency_us);
+        write_span_tree(&mut s, &e.stats);
         s.push('}');
     }
-    s.push_str("}}");
+    s.push_str("]}");
+    s
+}
+
+/// Encodes the reply to a `metrics` request: the Prometheus text
+/// exposition page, carried verbatim in the `body` field.
+pub fn metrics_response(id: Option<&str>, exposition: &str) -> String {
+    let mut s = String::with_capacity(128 + exposition.len());
+    response_head(&mut s, id, "ok");
+    s.push_str(",\"kind\":\"metrics\",\"content_type\":\"text/plain; version=0.0.4\",\"body\":");
+    write_escaped(&mut s, exposition);
+    s.push('}');
     s
 }
 
@@ -384,6 +469,7 @@ mod tests {
         for (kind, expect) in [
             ("ping", Request::Ping { id: None }),
             ("stats", Request::Stats { id: None }),
+            ("metrics", Request::Metrics { id: None }),
             ("shutdown", Request::Shutdown { id: None }),
         ] {
             let line = format!("{{\"schema\":\"{REQUEST_SCHEMA}\",\"kind\":\"{kind}\"}}");
@@ -435,6 +521,7 @@ mod tests {
             efficiency: 0.75,
             placements: vec![(0, 0), (1, 10)],
             incidents: vec![("panic".into(), "DSC panicked: boom".into())],
+            trace_id: "t-0000000000000001".into(),
         };
         for line in [
             ok_response(Some("r\"1"), &answer),
@@ -442,7 +529,8 @@ mod tests {
             overloaded_response(Some("r\"1")),
             pong_response(Some("r\"1")),
             shutdown_ack(Some("r\"1")),
-            stats_response(Some("r\"1"), &dagsched_obs::RunStats::default()),
+            stats_response(Some("r\"1"), &RunStats::default(), &[]),
+            metrics_response(Some("r\"1"), "# TYPE a counter\na 1\n"),
         ] {
             let j = Json::parse(&line).expect(&line);
             assert_eq!(j.get("schema").unwrap().as_str(), Some(RESPONSE_SCHEMA));
@@ -454,5 +542,54 @@ mod tests {
         assert_eq!(j.get("tier").unwrap().as_str(), Some("fallback:HU"));
         assert_eq!(j.get("makespan").unwrap().as_u64(), Some(40));
         assert_eq!(j.get("placements").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(
+            j.get("trace_id").unwrap().as_str(),
+            Some("t-0000000000000001")
+        );
+    }
+
+    #[test]
+    fn stats_response_carries_quantiles_and_slow_exemplars() {
+        let scope = dagsched_obs::run_scope();
+        for v in 1..=100 {
+            dagsched_obs::hist_record("server.latency_ms", v);
+        }
+        let stats = scope.finish();
+        let exemplar = SlowExemplar {
+            trace_id: "t-000000000000002a".into(),
+            kind: "schedule DSC".into(),
+            latency_us: 123_456,
+            stats: RunStats::default(),
+        };
+        let line = stats_response(None, &stats, &[exemplar]);
+        let j = Json::parse(&line).expect(&line);
+        let hists = j.get("histograms").unwrap();
+        // The histogram is present only when the workspace `obs`
+        // feature is on; the exemplar encoding is unconditional.
+        if let Some(lat) = hists.get("server.latency_ms") {
+            assert_eq!(lat.get("count").unwrap().as_u64(), Some(100));
+            let p50 = lat.get("p50").unwrap().as_u64().unwrap();
+            let p95 = lat.get("p95").unwrap().as_u64().unwrap();
+            let p99 = lat.get("p99").unwrap().as_u64().unwrap();
+            assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+            assert!(p99 <= 100);
+        }
+        let slow = j.get("slow_requests").unwrap().as_arr().unwrap();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(
+            slow[0].get("trace_id").unwrap().as_str(),
+            Some("t-000000000000002a")
+        );
+        assert_eq!(slow[0].get("latency_us").unwrap().as_u64(), Some(123_456));
+        assert!(slow[0].get("span_tree").unwrap().as_arr().is_some());
+    }
+
+    #[test]
+    fn metrics_response_round_trips_the_exposition_body() {
+        let page = "# TYPE server_requests_total counter\nserver_requests_total 3\n";
+        let line = metrics_response(None, page);
+        let j = Json::parse(&line).expect(&line);
+        assert_eq!(j.get("kind").unwrap().as_str(), Some("metrics"));
+        assert_eq!(j.get("body").unwrap().as_str(), Some(page));
     }
 }

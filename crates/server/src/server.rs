@@ -24,7 +24,7 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -52,6 +52,11 @@ pub struct ServerConfig {
     /// `CHAOS-INVALID`, `CHAOS-SLEEPY`) so tests and demos can request
     /// misbehaving heuristics through the front door.
     pub chaos: bool,
+    /// Requests at least this slow are kept as slow-request exemplars
+    /// (their span trees appear in `stats` responses).
+    pub slow_threshold: Duration,
+    /// How many of the worst exemplars to retain.
+    pub slow_exemplars: usize,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +69,8 @@ impl Default for ServerConfig {
             cache_capacity: 1024,
             cache_dir: None,
             chaos: false,
+            slow_threshold: Duration::from_millis(100),
+            slow_exemplars: 8,
         }
     }
 }
@@ -147,6 +154,13 @@ struct Shared {
     cache: ScheduleCache,
     inflight: Mutex<HashMap<String, Arc<InFlight>>>,
     stats: Mutex<obs::RunStats>,
+    /// Worst-latency request exemplars, worst first, capped at
+    /// `slow_exemplars`.
+    slow: Mutex<Vec<proto::SlowExemplar>>,
+    slow_threshold: Duration,
+    slow_exemplars: usize,
+    /// Source of per-request `trace_id`s (`t-{:016x}`).
+    trace_seq: AtomicU64,
     default_budget: Option<Duration>,
     stop: Arc<AtomicBool>,
 }
@@ -227,6 +241,10 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         cache,
         inflight: Mutex::new(HashMap::new()),
         stats: Mutex::new(obs::RunStats::default()),
+        slow: Mutex::new(Vec::new()),
+        slow_threshold: config.slow_threshold,
+        slow_exemplars: config.slow_exemplars,
+        trace_seq: AtomicU64::new(0),
         default_budget: config.default_budget,
         stop: Arc::clone(&stop),
     });
@@ -326,31 +344,82 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
 
 /// Handles one request line: dispatch, write the response line, and
 /// fold the request's instrumentation into the server-wide stats.
+/// Every request runs under its own collector scope with a fresh
+/// `trace_id`; requests slower than the configured threshold leave
+/// their span tree in the slow-request exemplar buffer.
 fn handle_line(line: &str, shared: &Arc<Shared>, writer: &mut TcpStream) -> io::Result<()> {
+    let trace_id = format!(
+        "t-{:016x}",
+        shared.trace_seq.fetch_add(1, Ordering::Relaxed) + 1
+    );
     let scope = obs::run_scope();
     let started = Instant::now();
     obs::counter_add("server.requests.total", 1);
-    let response = match proto::parse_request(line) {
-        Err(e) => {
-            obs::counter_add("server.requests.error", 1);
-            proto::error_response(None, e.code, &e.message)
+    let (kind, response) = {
+        let _request_span = obs::span!("server.request");
+        match proto::parse_request(line) {
+            Err(e) => {
+                obs::counter_add("server.requests.error", 1);
+                (
+                    "malformed".to_string(),
+                    proto::error_response(None, e.code, &e.message),
+                )
+            }
+            Ok(Request::Ping { id }) => ("ping".to_string(), proto::pong_response(id.as_deref())),
+            Ok(Request::Stats { id }) => {
+                let stats = shared
+                    .stats
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                let slow = shared
+                    .slow
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                (
+                    "stats".to_string(),
+                    proto::stats_response(id.as_deref(), &stats, &slow),
+                )
+            }
+            Ok(Request::Metrics { id }) => {
+                let page = {
+                    let stats = shared
+                        .stats
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    obs::render_prometheus(&stats, "")
+                };
+                (
+                    "metrics".to_string(),
+                    proto::metrics_response(id.as_deref(), &page),
+                )
+            }
+            Ok(Request::Shutdown { id }) => {
+                shared.stop.store(true, Ordering::SeqCst);
+                ("shutdown".to_string(), proto::shutdown_ack(id.as_deref()))
+            }
+            Ok(Request::Schedule(req)) => (
+                format!("schedule {}", req.heuristic),
+                handle_schedule(&req, shared, &trace_id),
+            ),
         }
-        Ok(Request::Ping { id }) => proto::pong_response(id.as_deref()),
-        Ok(Request::Stats { id }) => {
-            let stats = shared
-                .stats
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
-            proto::stats_response(id.as_deref(), &stats)
-        }
-        Ok(Request::Shutdown { id }) => {
-            shared.stop.store(true, Ordering::SeqCst);
-            proto::shutdown_ack(id.as_deref())
-        }
-        Ok(Request::Schedule(req)) => handle_schedule(&req, shared),
     };
-    obs::hist_record("server.latency_ms", started.elapsed().as_millis() as u64);
+    let latency = started.elapsed();
+    obs::hist_record("server.latency_ms", latency.as_millis() as u64);
     let stats = scope.finish();
+    if latency >= shared.slow_threshold && shared.slow_exemplars > 0 {
+        let mut slow = shared
+            .slow
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        slow.push(proto::SlowExemplar {
+            trace_id: trace_id.clone(),
+            kind,
+            latency_us: latency.as_micros() as u64,
+            stats: stats.clone(),
+        });
+        slow.sort_by_key(|e| std::cmp::Reverse(e.latency_us));
+        slow.truncate(shared.slow_exemplars);
+    }
     shared
         .stats
         .lock()
@@ -367,7 +436,7 @@ fn reject(id: Option<&str>, code: &str, message: &str) -> String {
     proto::error_response(id, code, message)
 }
 
-fn handle_schedule(req: &ScheduleRequest, shared: &Shared) -> String {
+fn handle_schedule(req: &ScheduleRequest, shared: &Shared, trace_id: &str) -> String {
     let id = req.id.as_deref();
     obs::counter_add("server.requests.schedule", 1);
     if shared.stop.load(Ordering::SeqCst) {
@@ -403,9 +472,13 @@ fn handle_schedule(req: &ScheduleRequest, shared: &Shared) -> String {
     let key = schedule_cache_key(digest, &req.machine, &req.heuristic);
 
     // Tier 0: the cache. Hits bypass admission entirely.
-    if let Some(hit) = shared.cache.get(&key) {
+    let first_lookup = {
+        let _span = obs::span!("server.cache.lookup");
+        shared.cache.get(&key)
+    };
+    if let Some(hit) = first_lookup {
         obs::counter_add("server.cache.hit", 1);
-        return respond(req, &g, &fingerprint, &hit, true);
+        return respond(req, &g, &fingerprint, &hit, true, trace_id);
     }
     obs::counter_add("server.cache.miss", 1);
 
@@ -428,7 +501,9 @@ fn handle_schedule(req: &ScheduleRequest, shared: &Shared) -> String {
     if !leader {
         obs::counter_add("server.requests.coalesced", 1);
         return match flight.wait(&shared.stop) {
-            Some(FlightOutcome::Answer(answer)) => respond(req, &g, &fingerprint, &answer, true),
+            Some(FlightOutcome::Answer(answer)) => {
+                respond(req, &g, &fingerprint, &answer, true, trace_id)
+            }
             Some(FlightOutcome::Overloaded) => {
                 obs::counter_add("server.requests.overloaded", 1);
                 proto::overloaded_response(id)
@@ -444,7 +519,11 @@ fn handle_schedule(req: &ScheduleRequest, shared: &Shared) -> String {
 
     // Double-check as leader: the key may have been computed and
     // cached between our cache miss and our registration.
-    if let Some(hit) = shared.cache.get(&key) {
+    let second_lookup = {
+        let _span = obs::span!("server.cache.lookup");
+        shared.cache.get(&key)
+    };
+    if let Some(hit) = second_lookup {
         obs::counter_add("server.cache.hit", 1);
         shared
             .inflight
@@ -452,7 +531,7 @@ fn handle_schedule(req: &ScheduleRequest, shared: &Shared) -> String {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
             .remove(&key);
         flight.resolve(FlightOutcome::Answer(Arc::clone(&hit)));
-        return respond(req, &g, &fingerprint, &hit, true);
+        return respond(req, &g, &fingerprint, &hit, true, trace_id);
     }
 
     let outcome = compute(req, &g, &machine, heuristic, &key, shared);
@@ -463,7 +542,7 @@ fn handle_schedule(req: &ScheduleRequest, shared: &Shared) -> String {
         .remove(&key);
     flight.resolve(outcome.clone());
     match outcome {
-        FlightOutcome::Answer(answer) => respond(req, &g, &fingerprint, &answer, false),
+        FlightOutcome::Answer(answer) => respond(req, &g, &fingerprint, &answer, false, trace_id),
         FlightOutcome::Overloaded => {
             obs::counter_add("server.requests.overloaded", 1);
             proto::overloaded_response(id)
@@ -482,7 +561,11 @@ fn compute(
     key: &str,
     shared: &Shared,
 ) -> FlightOutcome {
-    let Some(_permit) = shared.admission.try_admit() else {
+    let admitted = {
+        let _span = obs::span!("server.admission");
+        shared.admission.try_admit()
+    };
+    let Some(_permit) = admitted else {
         obs::counter_add("server.shed", 1);
         return FlightOutcome::Overloaded;
     };
@@ -494,6 +577,7 @@ fn compute(
         time_budget: budget,
         validate: true,
     });
+    let _compute_span = obs::span!("server.compute");
     // Belt over the harness's own suspenders: even a bug in the
     // containment layer answers as a structured internal error instead
     // of killing the connection thread (and stranding followers).
@@ -546,6 +630,7 @@ fn respond(
     fingerprint: &str,
     cached: &CachedSchedule,
     was_cached: bool,
+    trace_id: &str,
 ) -> String {
     let id = req.id.as_deref();
     if cached.placements.len() != g.num_nodes() {
@@ -585,6 +670,7 @@ fn respond(
             .iter()
             .map(|i| (i.kind.clone(), i.summary.clone()))
             .collect(),
+        trace_id: trace_id.to_string(),
     };
     obs::counter_add("server.requests.ok", 1);
     proto::ok_response(id, &answer)

@@ -21,9 +21,10 @@ fn main() -> ExitCode {
             };
         }
     };
-    // Quarantine replay regenerates its graphs from the journal — no
-    // input graph is read (and stdin must not block waiting for one).
-    let text = if opts.replay_quarantine.is_some() {
+    // Quarantine replay regenerates its graphs from the journal, and
+    // pure server queries (--server-stats/--server-metrics with no
+    // graph) take none — don't block on stdin waiting for one.
+    let text = if opts.replay_quarantine.is_some() || opts.input.is_empty() {
         String::new()
     } else if opts.input == "-" {
         let mut s = String::new();

@@ -28,6 +28,10 @@
 //!                        milliseconds (implies --validate)
 //!   --trace-out <PATH>   write one JSONL telemetry record per
 //!                        heuristic run to PATH
+//!   --trace-format <F>   jsonl (default) or chrome: chrome also
+//!                        writes the span trees as a Chrome
+//!                        trace-event file (Perfetto-loadable) to
+//!                        PATH.chrome.json (needs --trace-out)
 //!   --metrics            append the instrumentation summary to the
 //!                        output
 //!   --checkpoint-dir <DIR>  journal every finished heuristic run
@@ -49,6 +53,13 @@
 //!                        scheduling locally; prints the response in
 //!                        the local format plus the answering tier and
 //!                        cache provenance (see docs/SERVICE.md)
+//!   --server-stats       with --remote: also fetch the server's
+//!                        `stats` and print it as aligned tables
+//!                        (counters, gauges, histogram quantiles,
+//!                        slow-request exemplars); no input graph
+//!                        needed
+//!   --server-metrics     with --remote: fetch the Prometheus text
+//!                        exposition page; no input graph needed
 //! ```
 //!
 //! The logic lives here (library-testable); `src/bin/dagsched.rs` is a
@@ -99,6 +110,9 @@ pub struct CliOptions {
     pub time_budget_ms: Option<u64>,
     /// Write one JSONL telemetry record per heuristic run here.
     pub trace_out: Option<String>,
+    /// Also write the span trees as a Chrome trace-event file next to
+    /// `trace_out` (`--trace-format chrome`).
+    pub trace_chrome: bool,
     /// Append the instrumentation summary to the output.
     pub metrics: bool,
     /// Journal finished heuristic runs into this directory.
@@ -113,6 +127,10 @@ pub struct CliOptions {
     /// Submit the graph to a running `dagsched-server` at this address
     /// instead of scheduling locally.
     pub remote: Option<String>,
+    /// With `remote`: also fetch and render the server's `stats`.
+    pub server_stats: bool,
+    /// With `remote`: fetch the Prometheus exposition page.
+    pub server_metrics: bool,
     /// Input path (`-` = stdin).
     pub input: String,
 }
@@ -131,12 +149,15 @@ impl Default for CliOptions {
             validate: false,
             time_budget_ms: None,
             trace_out: None,
+            trace_chrome: false,
             metrics: false,
             checkpoint_dir: None,
             resume: false,
             strict: false,
             replay_quarantine: None,
             remote: None,
+            server_stats: false,
+            server_metrics: false,
             input: "-".into(),
         }
     }
@@ -199,6 +220,17 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "--trace-out" => {
                 opts.trace_out = Some(it.next().ok_or("--trace-out needs a path")?.to_string());
             }
+            "--trace-format" => {
+                match it
+                    .next()
+                    .ok_or("--trace-format needs jsonl or chrome")?
+                    .as_str()
+                {
+                    "jsonl" => opts.trace_chrome = false,
+                    "chrome" => opts.trace_chrome = true,
+                    other => return Err(format!("unknown trace format {other:?}")),
+                }
+            }
             "--metrics" => opts.metrics = true,
             "--checkpoint-dir" => {
                 opts.checkpoint_dir = Some(
@@ -223,6 +255,8 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "--remote" => {
                 opts.remote = Some(it.next().ok_or("--remote needs an address")?.to_string());
             }
+            "--server-stats" => opts.server_stats = true,
+            "--server-metrics" => opts.server_metrics = true,
             "--help" | "-h" => return Err("help".into()),
             other if !other.starts_with('-') || other == "-" => {
                 if input.replace(other.to_string()).is_some() {
@@ -238,6 +272,12 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     if opts.checkpoint_dir.is_some() && opts.trace_out.is_some() {
         return Err("--checkpoint-dir and --trace-out are mutually exclusive".into());
     }
+    if opts.trace_chrome && opts.trace_out.is_none() {
+        return Err("--trace-format chrome needs --trace-out".into());
+    }
+    if (opts.server_stats || opts.server_metrics) && opts.remote.is_none() {
+        return Err("--server-stats/--server-metrics need --remote".into());
+    }
     if opts.remote.is_some()
         && (opts.checkpoint_dir.is_some()
             || opts.trace_out.is_some()
@@ -251,8 +291,10 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     opts.input = match input {
         Some(i) => i,
         // Quarantine replay regenerates its graphs from the journal;
-        // no input is read.
+        // no input is read. Server stats/metrics queries are pure
+        // control requests, so they need no graph either.
         None if opts.replay_quarantine.is_some() => String::new(),
+        None if opts.server_stats || opts.server_metrics => String::new(),
         None => return Err("missing input file (use - for stdin)".into()),
     };
     Ok(opts)
@@ -467,24 +509,41 @@ fn run_quarantine_replay(opts: &CliOptions, path: &Path) -> Result<String, Strin
 /// rendered in the local output format plus the answering tier and
 /// cache provenance.
 fn run_remote(opts: &CliOptions, addr: &str, text: &str) -> Result<String, String> {
-    // Normalize STG input to the native text format locally so the
-    // wire protocol carries exactly one graph grammar.
-    let graph = match opts.stg_edge_weight {
-        Some(w) => textio::write(&crate::dag::stg::parse(text, w).map_err(|e| e.to_string())?),
-        None => text.to_string(),
+    let submit_line = |line: &str| {
+        let response =
+            crate::server::submit(addr, line).map_err(|e| format!("remote {addr}: {e}"))?;
+        crate::server::render_response(&response)
     };
     let mut out = String::new();
-    for h in select_heuristics(&opts.heuristic)? {
-        let line = crate::server::encode_schedule_request(
-            &graph,
-            h.name(),
-            &opts.machine,
-            opts.time_budget_ms,
-            None,
-        );
-        let response =
-            crate::server::submit(addr, &line).map_err(|e| format!("remote {addr}: {e}"))?;
-        out.push_str(&crate::server::render_response(&response)?);
+    // An empty input means a pure control query (--server-stats /
+    // --server-metrics with no graph).
+    if !opts.input.is_empty() {
+        // Normalize STG input to the native text format locally so the
+        // wire protocol carries exactly one graph grammar.
+        let graph = match opts.stg_edge_weight {
+            Some(w) => textio::write(&crate::dag::stg::parse(text, w).map_err(|e| e.to_string())?),
+            None => text.to_string(),
+        };
+        for h in select_heuristics(&opts.heuristic)? {
+            let line = crate::server::encode_schedule_request(
+                &graph,
+                h.name(),
+                &opts.machine,
+                opts.time_budget_ms,
+                None,
+            );
+            out.push_str(&submit_line(&line)?);
+        }
+    }
+    if opts.server_stats {
+        out.push_str(&submit_line(&crate::server::encode_control_request(
+            "stats", None,
+        ))?);
+    }
+    if opts.server_metrics {
+        out.push_str(&submit_line(&crate::server::encode_control_request(
+            "metrics", None,
+        ))?);
     }
     Ok(out)
 }
@@ -547,6 +606,7 @@ pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
         None => None,
     };
     let observe = sink.is_some() || opts.metrics;
+    let mut chrome = opts.trace_chrome.then(obs::ChromeTrace::new);
     let mut summary = Summary::default();
     let mut incident_count = 0usize;
     for h in heuristics {
@@ -620,6 +680,9 @@ pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
                 sink.emit(&record)
                     .map_err(|e| format!("telemetry write failed: {e}"))?;
             }
+            if let Some(trace) = &mut chrome {
+                trace.add_run(name, &opts.input, &record.stats);
+            }
             summary.observe(&record);
         }
         writeln!(
@@ -663,6 +726,14 @@ pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
             .and_then(|()| sink.close())
             .map_err(|e| format!("telemetry write failed: {e}"))?;
     }
+    if let Some(trace) = chrome {
+        let path = format!(
+            "{}.chrome.json",
+            opts.trace_out.as_deref().expect("validated at parse time")
+        );
+        std::fs::write(&path, trace.finish())
+            .map_err(|e| format!("chrome trace write failed: {e}"))?;
+    }
     if opts.metrics && !summary.is_empty() {
         out.push('\n');
         out.push_str(&summary.render());
@@ -677,7 +748,7 @@ pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
 }
 
 /// The usage string printed on `--help` or errors.
-pub const USAGE: &str = "usage: dagsched [--heuristic NAME|all] [--machine uniform|clique|ring:N|mesh:RxC|hypercube:D|bounded:P|linkaware:FILE] [--gantt WIDTH] [--analyze] [--svg] [--dot] [--stg W] [--quiet] [--validate] [--time-budget MS] [--trace-out PATH] [--metrics] [--checkpoint-dir DIR | --resume DIR] [--strict] [--replay-quarantine FILE] [--remote ADDR] <graph.pdg | ->";
+pub const USAGE: &str = "usage: dagsched [--heuristic NAME|all] [--machine uniform|clique|ring:N|mesh:RxC|hypercube:D|bounded:P|linkaware:FILE] [--gantt WIDTH] [--analyze] [--svg] [--dot] [--stg W] [--quiet] [--validate] [--time-budget MS] [--trace-out PATH] [--trace-format jsonl|chrome] [--metrics] [--checkpoint-dir DIR | --resume DIR] [--strict] [--replay-quarantine FILE] [--remote ADDR] [--server-stats] [--server-metrics] <graph.pdg | ->";
 
 #[cfg(test)]
 mod tests {
@@ -832,7 +903,76 @@ edge 0 2 5
         let o = opts(&["--trace-out", "trace.jsonl", "--metrics"]);
         assert_eq!(o.trace_out.as_deref(), Some("trace.jsonl"));
         assert!(o.metrics);
+        assert!(!o.trace_chrome);
         assert!(parse_args(&["--trace-out".into()]).is_err());
+        let o = opts(&["--trace-out", "t.jsonl", "--trace-format", "chrome"]);
+        assert!(o.trace_chrome);
+        let o = opts(&["--trace-out", "t.jsonl", "--trace-format", "jsonl"]);
+        assert!(!o.trace_chrome);
+        // chrome output rides on the JSONL path; it needs --trace-out.
+        assert!(parse_args(&["--trace-format".into(), "chrome".into(), "-".into()]).is_err());
+        assert!(parse_args(&[
+            "--trace-out".into(),
+            "t".into(),
+            "--trace-format".into(),
+            "svg".into(),
+            "-".into(),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn server_query_flags_parse() {
+        // Pure control queries need --remote but no input graph.
+        let o = parse_args(&[
+            "--remote".into(),
+            "127.0.0.1:1".into(),
+            "--server-stats".into(),
+        ])
+        .unwrap();
+        assert!(o.server_stats && !o.server_metrics);
+        assert_eq!(o.input, "");
+        let o = parse_args(&[
+            "--remote".into(),
+            "127.0.0.1:1".into(),
+            "--server-metrics".into(),
+            "-".into(),
+        ])
+        .unwrap();
+        assert!(o.server_metrics);
+        assert_eq!(o.input, "-");
+        assert!(parse_args(&["--server-stats".into(), "-".into()]).is_err());
+        assert!(parse_args(&["--server-metrics".into(), "-".into()]).is_err());
+    }
+
+    #[test]
+    fn chrome_trace_export_writes_a_perfetto_loadable_file() {
+        let base =
+            std::env::temp_dir().join(format!("dagsched-cli-chrome-{}.jsonl", std::process::id()));
+        let mut o = opts(&["--quiet", "--heuristic", "dsc"]);
+        o.trace_out = Some(base.display().to_string());
+        o.trace_chrome = true;
+        run_on_text(&o, SAMPLE).unwrap();
+        let chrome_path = format!("{}.chrome.json", base.display());
+        let text = std::fs::read_to_string(&chrome_path).unwrap();
+        std::fs::remove_file(&base).ok();
+        std::fs::remove_file(&chrome_path).ok();
+        let j = obs::Json::parse(&text).expect("chrome export is valid JSON");
+        assert_eq!(
+            j.get("displayTimeUnit").unwrap().as_str(),
+            Some("ms"),
+            "{text}"
+        );
+        let events = j.get("traceEvents").unwrap().as_arr().unwrap();
+        if cfg!(feature = "obs") {
+            // The run.schedule root span nests the heuristic's phases.
+            assert!(
+                events
+                    .iter()
+                    .any(|e| { e.get("name").and_then(obs::Json::as_str) == Some("run.schedule") }),
+                "{text}"
+            );
+        }
     }
 
     #[test]

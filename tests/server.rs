@@ -87,6 +87,22 @@ fn stats_of(addr: &str) -> Json {
     )
 }
 
+fn trace_id_of(j: &Json) -> String {
+    j.get("trace_id")
+        .and_then(Json::as_str)
+        .expect("schedule responses carry a trace_id")
+        .to_string()
+}
+
+/// Blanks the `trace_id` value (fresh per request by design) so two
+/// response lines can be compared for determinism.
+fn without_trace_id(line: &str) -> String {
+    const KEY: &str = "\"trace_id\":\"";
+    let start = line.find(KEY).expect("responses carry a trace_id") + KEY.len();
+    let end = start + line[start..].find('"').expect("trace_id is terminated");
+    format!("{}{}", &line[..start], &line[end..])
+}
+
 #[test]
 fn answers_are_bit_identical_to_direct_scheduling_on_miss_and_hit() {
     let handle = start(ServerConfig::default()).expect("server starts");
@@ -125,7 +141,17 @@ fn answers_are_bit_identical_to_direct_scheduling_on_miss_and_hit() {
         let hit = submit(&addr, &line).unwrap();
         let miss_again = submit(&addr, &line).unwrap();
         assert!(hit.contains("\"cached\":true"), "{hit}");
-        assert_eq!(hit, miss_again, "cache hits are deterministic");
+        // Deterministic modulo the trace_id, which is fresh per
+        // request even on a cache hit.
+        assert_eq!(
+            without_trace_id(&hit),
+            without_trace_id(&miss_again),
+            "cache hits are deterministic"
+        );
+        assert_ne!(
+            trace_id_of(&Json::parse(&hit).unwrap()),
+            trace_id_of(&Json::parse(&miss_again).unwrap()),
+        );
         assert_eq!(placements_of(&Json::parse(&hit).unwrap()), expected);
     }
     // Counters exist only with the default `obs` feature; the
@@ -278,6 +304,99 @@ fn poison_requests_get_structured_errors_and_the_connection_survives() {
         "worker survives"
     );
     assert_eq!(j.get("tier").unwrap().as_str(), Some("primary"));
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn metrics_request_answers_with_prometheus_exposition() {
+    let handle = start(ServerConfig::default()).expect("server starts");
+    let addr = handle.local_addr().to_string();
+    for graph in [SAMPLE, OTHER] {
+        let j = submit_json(&addr, &schedule_line(graph, "DSC", None));
+        assert_eq!(j.get("status").unwrap().as_str(), Some("ok"));
+    }
+    let j = submit_json(
+        &addr,
+        &format!("{{\"schema\":\"{REQUEST_SCHEMA}\",\"kind\":\"metrics\",\"id\":\"m1\"}}"),
+    );
+    assert_eq!(j.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(j.get("kind").unwrap().as_str(), Some("metrics"));
+    assert_eq!(j.get("id").unwrap().as_str(), Some("m1"));
+    let body = j.get("body").and_then(Json::as_str).expect("body text");
+    // Every non-comment, non-blank line is `name{labels} value`.
+    for line in body.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("series and value");
+        assert!(!series.is_empty(), "{line}");
+        assert!(value.parse::<f64>().is_ok(), "{line}");
+    }
+    if cfg!(feature = "obs") {
+        assert!(
+            body.contains("# TYPE server_requests_total counter"),
+            "{body}"
+        );
+        assert!(
+            body.contains("# TYPE server_latency_ms histogram"),
+            "{body}"
+        );
+        assert!(
+            body.contains("server_latency_ms_bucket{le=\"+Inf\"} "),
+            "{body}"
+        );
+        for q in ["p50", "p95", "p99"] {
+            assert!(body.contains(&format!("server_latency_ms_{q} ")), "{body}");
+        }
+    }
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn slow_requests_leave_trace_id_exemplars_in_stats() {
+    // Threshold zero: every request qualifies, so the buffer must end
+    // up holding the worst ones — the CHAOS-SLEEPY computation.
+    let handle = start(ServerConfig {
+        slow_threshold: Duration::ZERO,
+        slow_exemplars: 4,
+        ..chaos_config()
+    })
+    .expect("server starts");
+    let addr = handle.local_addr().to_string();
+    let quick = submit_json(&addr, &schedule_line(SAMPLE, "DSC", None));
+    let sleepy = submit_json(&addr, &schedule_line(SAMPLE, "CHAOS-SLEEPY", None));
+    let quick_id = trace_id_of(&quick);
+    let sleepy_id = trace_id_of(&sleepy);
+    assert_ne!(quick_id, sleepy_id);
+
+    let stats = stats_of(&addr);
+    let slow = stats
+        .get("slow_requests")
+        .and_then(Json::as_arr)
+        .expect("stats carry slow_requests");
+    assert!(!slow.is_empty());
+    let ids: Vec<&str> = slow
+        .iter()
+        .map(|e| e.get("trace_id").and_then(Json::as_str).unwrap())
+        .collect();
+    assert!(ids.contains(&sleepy_id.as_str()), "{ids:?}");
+    // Worst first: the 250ms sleeper outranks the quick request.
+    assert_eq!(ids[0], sleepy_id, "{ids:?}");
+    let worst = &slow[0];
+    assert_eq!(
+        worst.get("kind").and_then(Json::as_str),
+        Some("schedule CHAOS-SLEEPY")
+    );
+    assert!(worst.get("latency_us").and_then(Json::as_u64).unwrap() >= 250_000);
+    let tree = worst.get("span_tree").and_then(Json::as_arr).unwrap();
+    if cfg!(feature = "obs") {
+        // The request span roots the exemplar's tree.
+        assert_eq!(
+            tree[0].get("name").and_then(Json::as_str),
+            Some("server.request")
+        );
+        assert_eq!(tree[0].get("parent").and_then(Json::as_u64), None);
+    }
     handle.shutdown().expect("clean shutdown");
 }
 

@@ -193,6 +193,116 @@ fn traces_are_identical_whether_the_cache_is_cold_or_warm() {
     assert!(cold.lines().count() > 60);
 }
 
+/// Additionally blanks `"ts":<num>` and `"dur":<num>` values — the
+/// only nondeterministic quantities in a Chrome trace-event export.
+fn strip_times(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    loop {
+        let next = ["\"ts\":", "\"dur\":"]
+            .iter()
+            .filter_map(|key| rest.find(key).map(|pos| (pos, key.len())))
+            .min();
+        let Some((pos, key_len)) = next else { break };
+        let (head, tail) = rest.split_at(pos + key_len);
+        out.push_str(head);
+        out.push('0');
+        rest = tail.trim_start_matches(|c: char| c.is_ascii_digit() || c == '.');
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn stats_merge_is_associative_including_span_trees() {
+    use dagsched::obs;
+    let make = |rounds: usize| {
+        let scope = obs::run_scope();
+        obs::counter_add("m.count", rounds as u64 + 1);
+        obs::hist_record("m.hist", 1 << rounds);
+        for _ in 0..rounds {
+            let _outer = obs::span!("outer");
+            let _inner = obs::span!("inner");
+        }
+        {
+            let _solo = obs::span!("solo");
+        }
+        scope.finish()
+    };
+    let (a, b, c) = (make(1), make(3), make(2));
+    let left = {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        ab.merge(&c);
+        ab
+    };
+    let right = {
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a = a.clone();
+        a.merge(&bc);
+        a
+    };
+    assert_eq!(left, right, "merge is associative");
+    assert_eq!(left.span_tree().len(), right.span_tree().len());
+    for (l, r) in left.span_tree().iter().zip(right.span_tree()) {
+        assert_eq!((l.name, l.parent, l.calls), (r.name, r.parent, r.calls));
+    }
+}
+
+#[test]
+fn chrome_export_is_byte_identical_modulo_timing() {
+    let (corpus, _) = trace_with_chaos();
+    let render = || {
+        let mut heuristics = paper_heuristics();
+        heuristics.push(Box::new(PanicScheduler));
+        let traced = run_corpus_traced(&corpus, heuristics, Some(HarnessConfig::default()), None);
+        traced.render_chrome_trace(&corpus)
+    };
+    let a = render();
+    let b = render();
+    assert_eq!(strip_times(&a), strip_times(&b));
+    let j = Json::parse(&a).expect("chrome export is valid JSON");
+    assert_eq!(j.get("displayTimeUnit").unwrap().as_str(), Some("ms"));
+    let events = j.get("traceEvents").unwrap().as_arr().unwrap();
+    if cfg!(feature = "obs") {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("name").and_then(Json::as_str) == Some("run.schedule")),
+            "the per-run root span is exported"
+        );
+    }
+}
+
+#[cfg(feature = "obs")]
+#[test]
+fn chrome_export_matches_the_committed_fixture_modulo_timing() {
+    use dagsched::obs::{self, ChromeTrace};
+    // A fixed span shape, independent of the corpus RNG: one schedule
+    // root over two phases, exported on two tracks.
+    let fixture_stats = || {
+        let scope = obs::run_scope();
+        {
+            let _run = obs::span!("run.schedule");
+            {
+                let _a = obs::span!("phase.cluster");
+            }
+            {
+                let _b = obs::span!("phase.order");
+            }
+        }
+        scope.finish()
+    };
+    let mut trace = ChromeTrace::new();
+    trace.add_run("DSC", "g0", &fixture_stats());
+    trace.add_run("HU", "g0", &fixture_stats());
+    trace.add_run("DSC", "g1", &fixture_stats());
+    let got = trace.finish();
+    let fixture = include_str!("snapshots/chrome_trace.fixture.json");
+    assert_eq!(strip_times(&got), strip_times(fixture.trim_end()));
+}
+
 #[test]
 fn strip_ns_touches_only_ns_values() {
     assert_eq!(
