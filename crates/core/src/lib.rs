@@ -63,7 +63,8 @@ pub use listsched::hu::Hu;
 pub use listsched::mh::Mh;
 pub use meta::{BandSelector, BestOf};
 pub use model::{
-    parse_machine, BoundedUniform, CostModel, LinkAware, MachineModel, MachineSpec, PaperUniform,
+    parse_machine, BoundedUniform, CostModel, LinkAware, MachineModel, MachineParseError,
+    MachineSpec, PaperUniform,
 };
 pub use scheduler::{all_heuristics, paper_heuristics, Scheduler};
 pub use serial::Serial;

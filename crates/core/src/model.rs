@@ -516,6 +516,92 @@ impl MachineSpec {
     }
 }
 
+/// Why a `--machine` spec was rejected. [`parse_machine`] reports
+/// failures through this structured error so callers — CLI usage
+/// text, server error codes, tests — can react to the *kind* of
+/// failure instead of substring-matching a message. In particular a
+/// degenerate zero-processor machine (`bounded:0`, `ring:0`,
+/// `mesh:0x3`) is its own variant: pre-structured-error code paths
+/// that let such specs through only failed (or divided by zero in
+/// efficiency metrics) far downstream of the parse boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineParseError {
+    /// The spec matched no production of the machine grammar.
+    UnknownMachine(String),
+    /// A numeric field (`ring:<N>`, `bounded:<P>`, …) did not parse.
+    BadNumber {
+        /// Grammar production the field belongs to.
+        kind: &'static str,
+        /// Which field failed (`size`, `rows`, `cols`, `dim`, `bound`).
+        field: &'static str,
+    },
+    /// The spec names a machine with zero processors.
+    ZeroProcessors {
+        /// Grammar production that produced the zero (`bounded`, …).
+        kind: &'static str,
+    },
+    /// A dimension is too large to materialize (`hypercube:50`).
+    DimensionTooLarge {
+        /// Grammar production the dimension belongs to.
+        kind: &'static str,
+        /// Largest accepted value.
+        max: usize,
+    },
+    /// The spec's shape is wrong (e.g. `mesh:` without `RxC`).
+    Malformed {
+        /// Grammar production that failed.
+        kind: &'static str,
+        /// What the production expects.
+        expected: &'static str,
+    },
+    /// A `linkaware:<FILE>` table could not be read.
+    Io {
+        /// The file the spec pointed at.
+        path: String,
+        /// The underlying I/O error, stringified.
+        error: String,
+    },
+    /// A `linkaware:<FILE>` table was read but is invalid.
+    BadTable {
+        /// The file the spec pointed at.
+        path: String,
+        /// What the table parser rejected.
+        error: String,
+    },
+}
+
+impl std::fmt::Display for MachineParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineParseError::UnknownMachine(spec) => write!(
+                f,
+                "unknown machine {spec:?} (expected clique, uniform, ring:<N>, \
+                 mesh:<R>x<C>, hypercube:<D>, bounded:<P> or linkaware:<FILE>)"
+            ),
+            MachineParseError::BadNumber { kind, field } => {
+                write!(f, "bad {kind} {field}: not a number")
+            }
+            MachineParseError::ZeroProcessors { kind } => {
+                write!(f, "{kind} machine needs at least one processor")
+            }
+            MachineParseError::DimensionTooLarge { kind, max } => {
+                write!(f, "{kind} dimension too large (max {max})")
+            }
+            MachineParseError::Malformed { kind, expected } => {
+                write!(f, "malformed {kind} spec: expected {expected}")
+            }
+            MachineParseError::Io { path, error } => {
+                write!(f, "cannot read machine file {path}: {error}")
+            }
+            MachineParseError::BadTable { path, error } => {
+                write!(f, "bad linkaware table {path}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineParseError {}
+
 /// Builds a machine from the full `--machine` grammar shared by the
 /// CLI and the scheduling server:
 ///
@@ -528,7 +614,10 @@ impl MachineSpec {
 /// same semantics as `clique`, named by cost model rather than
 /// topology. `linkaware:<FILE>` reads the per-pair latency/bandwidth
 /// table immediately, so a bad table fails at the request boundary.
-pub fn parse_machine(spec: &str) -> Result<Box<dyn Machine>, String> {
+/// Degenerate machines (zero processors anywhere in the spec) are
+/// rejected here, at parse time, with
+/// [`MachineParseError::ZeroProcessors`].
+pub fn parse_machine(spec: &str) -> Result<Box<dyn Machine>, MachineParseError> {
     if spec == "clique" {
         return Ok(Box::new(Clique));
     }
@@ -536,41 +625,68 @@ pub fn parse_machine(spec: &str) -> Result<Box<dyn Machine>, String> {
         return Ok(Box::new(PaperUniform));
     }
     if let Some(path) = spec.strip_prefix("linkaware:") {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read machine file {path}: {e}"))?;
-        return Ok(Box::new(LinkAware::parse(&text)?));
+        let text = std::fs::read_to_string(path).map_err(|e| MachineParseError::Io {
+            path: path.to_string(),
+            error: e.to_string(),
+        })?;
+        let model = LinkAware::parse(&text).map_err(|e| MachineParseError::BadTable {
+            path: path.to_string(),
+            error: e,
+        })?;
+        return Ok(Box::new(model));
     }
     if let Some(n) = spec.strip_prefix("ring:") {
-        let n: usize = n.parse().map_err(|_| "bad ring size")?;
+        let n: usize = n.parse().map_err(|_| MachineParseError::BadNumber {
+            kind: "ring",
+            field: "size",
+        })?;
         if n == 0 {
-            return Err("ring size must be positive".into());
+            return Err(MachineParseError::ZeroProcessors { kind: "ring" });
         }
         return Ok(Box::new(Ring::new(n)));
     }
     if let Some(rc) = spec.strip_prefix("mesh:") {
-        let (r, c) = rc.split_once('x').ok_or("mesh needs RxC")?;
-        let r: usize = r.parse().map_err(|_| "bad mesh rows")?;
-        let c: usize = c.parse().map_err(|_| "bad mesh cols")?;
+        let (r, c) = rc.split_once('x').ok_or(MachineParseError::Malformed {
+            kind: "mesh",
+            expected: "<R>x<C>",
+        })?;
+        let r: usize = r.parse().map_err(|_| MachineParseError::BadNumber {
+            kind: "mesh",
+            field: "rows",
+        })?;
+        let c: usize = c.parse().map_err(|_| MachineParseError::BadNumber {
+            kind: "mesh",
+            field: "cols",
+        })?;
         if r == 0 || c == 0 {
-            return Err("mesh dims must be positive".into());
+            return Err(MachineParseError::ZeroProcessors { kind: "mesh" });
         }
         return Ok(Box::new(Mesh2D::new(r, c)));
     }
     if let Some(d) = spec.strip_prefix("hypercube:") {
-        let d: u32 = d.parse().map_err(|_| "bad hypercube dim")?;
+        let d: u32 = d.parse().map_err(|_| MachineParseError::BadNumber {
+            kind: "hypercube",
+            field: "dim",
+        })?;
         if d > 20 {
-            return Err("hypercube dim too large".into());
+            return Err(MachineParseError::DimensionTooLarge {
+                kind: "hypercube",
+                max: 20,
+            });
         }
         return Ok(Box::new(Hypercube::new(d)));
     }
     if let Some(p) = spec.strip_prefix("bounded:") {
-        let p: usize = p.parse().map_err(|_| "bad processor bound")?;
+        let p: usize = p.parse().map_err(|_| MachineParseError::BadNumber {
+            kind: "bounded",
+            field: "bound",
+        })?;
         if p == 0 {
-            return Err("processor bound must be positive".into());
+            return Err(MachineParseError::ZeroProcessors { kind: "bounded" });
         }
         return Ok(Box::new(BoundedClique::new(p)));
     }
-    Err(format!("unknown machine {spec:?}"))
+    Err(MachineParseError::UnknownMachine(spec.to_string()))
 }
 
 #[cfg(test)]
@@ -601,6 +717,45 @@ mod tests {
         ] {
             assert!(parse_machine(bad).is_err(), "{bad}");
         }
+        // The rejections are structured, not stringly: zero-processor
+        // machines in particular get their own variant so callers can
+        // tell a degenerate machine from a typo. (`dyn Machine` isn't
+        // `Debug`, so project the Ok side onto its name first.)
+        use MachineParseError as E;
+        let err = |spec: &str| parse_machine(spec).map(|m| m.name()).unwrap_err();
+        assert_eq!(err("bounded:0"), E::ZeroProcessors { kind: "bounded" });
+        assert_eq!(err("ring:0"), E::ZeroProcessors { kind: "ring" });
+        assert_eq!(err("mesh:0x3"), E::ZeroProcessors { kind: "mesh" });
+        assert_eq!(err("mesh:3x0"), E::ZeroProcessors { kind: "mesh" });
+        assert_eq!(
+            err("ring:x"),
+            E::BadNumber {
+                kind: "ring",
+                field: "size"
+            }
+        );
+        assert_eq!(
+            err("mesh:2"),
+            E::Malformed {
+                kind: "mesh",
+                expected: "<R>x<C>"
+            }
+        );
+        assert_eq!(
+            err("hypercube:50"),
+            E::DimensionTooLarge {
+                kind: "hypercube",
+                max: 20
+            }
+        );
+        assert!(matches!(err("nope"), E::UnknownMachine(s) if s == "nope"));
+        assert!(matches!(
+            err("linkaware:/no/such/file"),
+            E::Io { path, .. } if path == "/no/such/file"
+        ));
+        // Display stays human-readable for CLI/server surfaces.
+        let msg = err("bounded:0").to_string();
+        assert!(msg.contains("at least one processor"), "{msg}");
     }
 
     #[test]

@@ -24,6 +24,14 @@
 //! monomorphizes the whole core (no dynamic dispatch on the hot path)
 //! while `&dyn Machine` callers keep working through the blanket
 //! `CostModel` impl and the `?Sized` bounds.
+//!
+//! [`PartialSchedule`] (and its LIFO [`PartialSchedule::place_tracked`]
+//! / [`PartialSchedule::unplace`] pair) is public so the exact
+//! branch-and-bound solver in `dagsched-exact` can search over the
+//! *same* placement semantics the heuristics commit to — any makespan
+//! it proves optimal is optimal for exactly the schedule space the
+//! heuristics draw from. The dispatch drivers below remain crate-
+//! internal.
 
 use crate::model::CostModel;
 use crate::workspace;
@@ -35,8 +43,8 @@ use std::cmp::Reverse;
 
 /// An in-progress comm-aware schedule: grown one placement at a time,
 /// frozen into a [`Schedule`] at the end. Scratch tables come from
-/// the thread's [`workspace`] pool and are recycled on drop.
-pub(crate) struct PartialSchedule<'a, C: CostModel + ?Sized> {
+/// the thread's `workspace` pool and are recycled on drop.
+pub struct PartialSchedule<'a, C: CostModel + ?Sized> {
     g: &'a Dag,
     model: &'a C,
     /// Cached [`CostModel::startup_cost`] — the floor for every fresh
@@ -50,7 +58,8 @@ pub(crate) struct PartialSchedule<'a, C: CostModel + ?Sized> {
 }
 
 impl<'a, C: CostModel + ?Sized> PartialSchedule<'a, C> {
-    pub(crate) fn new(g: &'a Dag, model: &'a C) -> Self {
+    /// An empty partial schedule for `g` under `model`.
+    pub fn new(g: &'a Dag, model: &'a C) -> Self {
         let n = g.num_nodes();
         Self {
             g,
@@ -65,28 +74,42 @@ impl<'a, C: CostModel + ?Sized> PartialSchedule<'a, C> {
     }
 
     /// Number of processors opened so far.
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub(crate) fn num_procs(&self) -> usize {
+    pub fn num_procs(&self) -> usize {
         self.proc_avail.len()
     }
 
+    /// Number of tasks placed so far.
+    pub fn num_placed(&self) -> usize {
+        self.placed
+    }
+
+    /// Availability (finish of the last appended task, floored at the
+    /// machine startup cost) of the opened processor `p`.
+    pub fn avail_of(&self, p: ProcId) -> Weight {
+        self.proc_avail[p.index()]
+    }
+
+    /// The processor `v` was placed on, or `None` while unplaced.
+    pub fn proc_of(&self, v: NodeId) -> Option<ProcId> {
+        self.proc_of[v.index()]
+    }
+
     /// Whether another processor may be opened on this machine.
-    pub(crate) fn can_open(&self) -> bool {
+    pub fn can_open(&self) -> bool {
         self.model
             .processor_limit()
             .is_none_or(|b| self.proc_avail.len() < b)
     }
 
     /// Finish time of an already placed task.
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub(crate) fn finish_of(&self, v: NodeId) -> Weight {
+    pub fn finish_of(&self, v: NodeId) -> Weight {
         debug_assert!(self.proc_of[v.index()].is_some(), "{v} not placed yet");
         self.finish[v.index()]
     }
 
     /// Earliest time `v`'s inputs are all available on processor `p`
     /// (every predecessor must already be placed).
-    pub(crate) fn data_ready(&self, v: NodeId, p: ProcId) -> Weight {
+    pub fn data_ready(&self, v: NodeId, p: ProcId) -> Weight {
         self.g
             .preds(v)
             .map(|(pr, w)| {
@@ -98,13 +121,13 @@ impl<'a, C: CostModel + ?Sized> PartialSchedule<'a, C> {
     }
 
     /// Earliest start of `v` on the *existing* processor `p`.
-    pub(crate) fn est_on(&self, v: NodeId, p: ProcId) -> Weight {
+    pub fn est_on(&self, v: NodeId, p: ProcId) -> Weight {
         self.data_ready(v, p).max(self.proc_avail[p.index()])
     }
 
     /// Earliest start of `v` on a *fresh* processor (full communication
     /// from every predecessor, floored at the machine's startup cost).
-    pub(crate) fn est_new(&self, v: NodeId) -> Weight {
+    pub fn est_new(&self, v: NodeId) -> Weight {
         // A fresh processor has a fresh id; any id unequal to existing
         // ones prices full comm on a clique. For hop-cost topologies
         // the concrete id matters; use the next id to be opened.
@@ -124,7 +147,7 @@ impl<'a, C: CostModel + ?Sized> PartialSchedule<'a, C> {
     /// existing processor and (if the machine allows) one fresh
     /// processor. Returns `(proc, start, is_new)`; ties prefer
     /// existing processors, then lower ids.
-    pub(crate) fn best_placement(&self, v: NodeId) -> (ProcId, Weight, bool) {
+    pub fn best_placement(&self, v: NodeId) -> (ProcId, Weight, bool) {
         let mut best: Option<(ProcId, Weight, bool)> = None;
         for p in 0..self.proc_avail.len() {
             let pid = ProcId(p as u32);
@@ -144,7 +167,7 @@ impl<'a, C: CostModel + ?Sized> PartialSchedule<'a, C> {
 
     /// Places `v` on `p` starting at `start`; opens the processor if
     /// `p` is the next unopened id.
-    pub(crate) fn place(&mut self, v: NodeId, p: ProcId, start: Weight) {
+    pub fn place(&mut self, v: NodeId, p: ProcId, start: Weight) {
         debug_assert!(self.proc_of[v.index()].is_none(), "{v} placed twice");
         if p.index() == self.proc_avail.len() {
             assert!(self.can_open(), "machine processor bound exceeded");
@@ -163,18 +186,79 @@ impl<'a, C: CostModel + ?Sized> PartialSchedule<'a, C> {
         self.placed += 1;
     }
 
-    /// Freezes into a [`Schedule`]. Panics if any task is unplaced.
-    /// (The scratch tables go back to the pool when `self` drops.)
-    pub(crate) fn into_schedule(self) -> Schedule {
+    /// Like [`PartialSchedule::place`], but returns an undo token so a
+    /// depth-first search can revert the placement and try another.
+    /// Tokens must be applied in strict LIFO order (most recent
+    /// placement undone first) — they snapshot the processor
+    /// availability the placement overwrote, which is only the current
+    /// availability again once every later placement is gone.
+    pub fn place_tracked(&mut self, v: NodeId, p: ProcId, start: Weight) -> PlacementUndo {
+        let opened = p.index() == self.proc_avail.len();
+        let prev_avail = if opened {
+            self.startup
+        } else {
+            self.proc_avail[p.index()]
+        };
+        self.place(v, p, start);
+        PlacementUndo {
+            v,
+            p,
+            prev_avail,
+            opened,
+        }
+    }
+
+    /// Reverts the placement recorded by `undo` (LIFO order — see
+    /// [`PartialSchedule::place_tracked`]).
+    pub fn unplace(&mut self, undo: PlacementUndo) {
+        debug_assert_eq!(
+            self.proc_of[undo.v.index()],
+            Some(undo.p),
+            "{} is not the most recent placement",
+            undo.v
+        );
+        self.proc_of[undo.v.index()] = None;
+        self.placed -= 1;
+        if undo.opened {
+            debug_assert_eq!(
+                undo.p.index(),
+                self.proc_avail.len() - 1,
+                "undo out of LIFO order: {} is not the last opened processor",
+                undo.p
+            );
+            self.proc_avail.pop();
+        } else {
+            self.proc_avail[undo.p.index()] = undo.prev_avail;
+        }
+    }
+
+    /// The raw `(processor, start)` assignment of a *complete* partial
+    /// schedule, without freezing it — a search snapshots its incumbent
+    /// this way and keeps going. Panics if any task is unplaced.
+    pub fn assignment(&self) -> Vec<(ProcId, Weight)> {
         assert_eq!(self.placed, self.g.num_nodes(), "all tasks must be placed");
-        let raw: Vec<(ProcId, Weight)> = self
-            .proc_of
+        self.proc_of
             .iter()
             .zip(&self.start)
             .map(|(p, &s)| (p.expect("placed"), s))
-            .collect();
-        Schedule::new(self.g, raw)
+            .collect()
     }
+
+    /// Freezes into a [`Schedule`]. Panics if any task is unplaced.
+    /// (The scratch tables go back to the pool when `self` drops.)
+    pub fn into_schedule(self) -> Schedule {
+        Schedule::new(self.g, self.assignment())
+    }
+}
+
+/// Undo token returned by [`PartialSchedule::place_tracked`]; see the
+/// LIFO contract there.
+#[derive(Debug)]
+pub struct PlacementUndo {
+    v: NodeId,
+    p: ProcId,
+    prev_avail: Weight,
+    opened: bool,
 }
 
 impl<C: CostModel + ?Sized> Drop for PartialSchedule<'_, C> {
@@ -473,6 +557,36 @@ mod tests {
         // Best placement is the existing processor.
         let (bp, bst, bnew) = ps.best_placement(NodeId(2));
         assert_eq!((bp, bst, bnew), (p, 10, false));
+    }
+
+    #[test]
+    fn place_tracked_round_trips_through_unplace() {
+        let g = fig16();
+        let mut ps = PartialSchedule::new(&g, &Clique);
+        let u0 = ps.place_tracked(NodeId(0), ProcId(0), 0);
+        let before = (ps.num_procs(), ps.avail_of(ProcId(0)));
+        // A fresh-processor placement closes its processor on undo.
+        let u2 = ps.place_tracked(NodeId(2), ProcId(1), ps.est_new(NodeId(2)));
+        assert_eq!(ps.num_procs(), 2);
+        ps.unplace(u2);
+        assert_eq!((ps.num_procs(), ps.avail_of(ProcId(0))), before);
+        assert_eq!(ps.proc_of(NodeId(2)), None);
+        // A same-processor placement restores the availability it
+        // overwrote.
+        let avail0 = ps.avail_of(ProcId(0));
+        let u2b = ps.place_tracked(NodeId(2), ProcId(0), ps.est_on(NodeId(2), ProcId(0)));
+        assert!(ps.avail_of(ProcId(0)) > avail0);
+        ps.unplace(u2b);
+        assert_eq!(ps.avail_of(ProcId(0)), avail0);
+        ps.unplace(u0);
+        assert_eq!((ps.num_procs(), ps.num_placed()), (0, 0));
+        // The fully undone schedule rebuilds to completion cleanly.
+        for &t in g.topo_order() {
+            let (p, st, _) = ps.best_placement(t);
+            ps.place(t, p, st);
+        }
+        assert_eq!(ps.num_placed(), g.num_nodes());
+        assert_eq!(ps.assignment().len(), g.num_nodes());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The [`Scheduler`] trait, the shared scheduling [`kernel`] and the
 //! heuristic registries.
 
-pub(crate) mod kernel;
+pub mod kernel;
 
 use crate::model::MachineModel;
 use dagsched_dag::Dag;

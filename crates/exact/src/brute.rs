@@ -1,0 +1,113 @@
+//! An independent exhaustive enumerator for differential testing.
+//!
+//! Deliberately shares **no code** with the branch-and-bound search:
+//! no [`PartialSchedule`](dagsched_core::scheduler::kernel), no
+//! b-level bounds, no dominance or sibling pruning. It enumerates
+//! every semi-active schedule over dense processor ids by cloning the
+//! whole state at each branch, keeping only the trivially sound
+//! incumbent cut (a partial makespan can never shrink). If the two
+//! solvers ever disagree on an optimum, the bug is in exactly one of
+//! two small files.
+
+use dagsched_dag::{Dag, Weight};
+use dagsched_sim::{Machine, ProcId};
+
+/// Hard cap: the enumerator is factorial in both tasks and processors.
+pub const MAX_BRUTE_NODES: usize = 8;
+
+#[derive(Clone)]
+struct State {
+    pending: Vec<u32>,
+    proc_of: Vec<Option<ProcId>>,
+    finish: Vec<Weight>,
+    avail: Vec<Weight>,
+    placed: usize,
+    makespan: Weight,
+}
+
+/// The optimal makespan of `g` on `machine` over dense-processor
+/// semi-active schedules, by exhaustive enumeration.
+///
+/// # Panics
+///
+/// If `g` has more than [`MAX_BRUTE_NODES`] nodes.
+pub fn optimal_makespan(g: &Dag, machine: &dyn Machine) -> Weight {
+    let n = g.num_nodes();
+    assert!(
+        n <= MAX_BRUTE_NODES,
+        "brute force caps at {MAX_BRUTE_NODES} nodes, got {n}"
+    );
+    if n == 0 {
+        return 0;
+    }
+    let mut pending = vec![0u32; n];
+    for v in g.nodes() {
+        for (s, _) in g.succs(v) {
+            pending[s.index()] += 1;
+        }
+    }
+    let state = State {
+        pending,
+        proc_of: vec![None; n],
+        finish: vec![0; n],
+        avail: Vec::new(),
+        placed: 0,
+        makespan: 0,
+    };
+    let mut best = Weight::MAX;
+    recurse(g, machine, &state, &mut best);
+    best
+}
+
+fn recurse(g: &Dag, machine: &dyn Machine, state: &State, best: &mut Weight) {
+    if state.makespan >= *best {
+        return;
+    }
+    if state.placed == g.num_nodes() {
+        *best = state.makespan;
+        return;
+    }
+    for v in g.nodes() {
+        if state.proc_of[v.index()].is_some() || state.pending[v.index()] != 0 {
+            continue;
+        }
+        let opened = state.avail.len();
+        let can_open = machine.max_procs().is_none_or(|b| opened < b);
+        let options = opened + usize::from(can_open);
+        for p in 0..options {
+            let pid = ProcId(p as u32);
+            // Earliest start on `pid`: data arrival over the machine's
+            // links, floored at the processor's availability (startup
+            // for a fresh one).
+            let floor = if p < opened {
+                state.avail[p]
+            } else {
+                machine.startup_cost()
+            };
+            let data = g
+                .preds(v)
+                .map(|(pr, w)| {
+                    let pp = state.proc_of[pr.index()].expect("predecessor placed");
+                    state.finish[pr.index()] + machine.comm_cost(pp, pid, w)
+                })
+                .max()
+                .unwrap_or(0);
+            let start = data.max(floor);
+            let fin = start + g.node_weight(v);
+
+            let mut child = state.clone();
+            if p == opened {
+                child.avail.push(0);
+            }
+            child.avail[p] = fin;
+            child.proc_of[v.index()] = Some(pid);
+            child.finish[v.index()] = fin;
+            child.placed += 1;
+            child.makespan = child.makespan.max(fin);
+            for (s, _) in g.succs(v) {
+                child.pending[s.index()] -= 1;
+            }
+            recurse(g, machine, &child, best);
+        }
+    }
+}

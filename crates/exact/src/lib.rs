@@ -1,0 +1,522 @@
+//! Exact optimality anchoring for the 1994 heuristic comparison.
+//!
+//! The paper compares its five heuristics (and our extensions) only
+//! against *each other* — none of its tables say how far any of them
+//! sits from the true optimum. This crate adds that missing anchor
+//! for small graphs: [`solve`] runs a parallel branch-and-bound over
+//! semi-active schedules (the same placement semantics as the shared
+//! scheduling kernel) and returns either a **proven optimum** or, when
+//! a budget cuts the search, the best incumbent bracketed by an
+//! admissible lower bound.
+//!
+//! Minimizing makespan with communication delays is strongly
+//! NP-hard, so the solver is honest about scale: graphs above
+//! [`ExactConfig::max_nodes`] (default 20, hard cap 64) are rejected
+//! with [`ExactError::TooLarge`] and budgets make every call an
+//! *anytime* call — there is always a valid schedule in the result
+//! because the search is seeded with the best heuristic schedule.
+//! That seeding also guarantees the reported optimum is never worse
+//! than any registered heuristic, which is what makes per-heuristic
+//! "gap to optimal" tables well-defined.
+//!
+//! See `docs/EXACT.md` for the search design, the pruning soundness
+//! arguments and the `proven`-flag semantics on asymmetric machines.
+
+pub mod brute;
+mod search;
+
+use dagsched_core::{all_heuristics, Scheduler};
+use dagsched_dag::{Dag, Weight};
+use dagsched_obs as obs;
+use dagsched_sim::{Machine, ProcId, Schedule};
+use std::time::{Duration, Instant};
+
+/// Budgets and limits for one [`solve`] call.
+#[derive(Debug, Clone)]
+pub struct ExactConfig {
+    /// Reject graphs with more nodes than this (hard cap 64 — the
+    /// sibling-class mask is a `u64`). The default of 20 keeps
+    /// un-budgeted solves comfortably sub-second.
+    pub max_nodes: usize,
+    /// Stop after expanding this many search nodes. Node budgets are
+    /// deterministic for the serial search (`threads = 1`), which is
+    /// what reproducible experiment runs use.
+    pub node_budget: Option<u64>,
+    /// Stop after this much wall clock. Inherently nondeterministic;
+    /// meant for interactive and server use.
+    pub time_budget: Option<Duration>,
+    /// Worker threads; `0` means [`dagsched_par::default_threads`],
+    /// `1` forces the serial (deterministic) search.
+    pub threads: usize,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        ExactConfig {
+            max_nodes: 20,
+            node_budget: Some(5_000_000),
+            time_budget: None,
+            threads: 0,
+        }
+    }
+}
+
+impl ExactConfig {
+    /// The configuration reproducible experiment runs use: serial
+    /// search, node budget only (no wall clock), so identical inputs
+    /// explore an identical tree.
+    pub fn deterministic(node_budget: u64) -> Self {
+        ExactConfig {
+            max_nodes: 20,
+            node_budget: Some(node_budget),
+            time_budget: None,
+            threads: 1,
+        }
+    }
+}
+
+/// Why [`solve`] refused to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExactError {
+    /// The graph exceeds the configured node cap; use a heuristic (or
+    /// [`ExactScheduler`], which falls back automatically).
+    TooLarge { nodes: usize, max: usize },
+}
+
+impl std::fmt::Display for ExactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExactError::TooLarge { nodes, max } => write!(
+                f,
+                "graph has {nodes} nodes but exact search caps at {max}; \
+                 raise max_nodes (hard cap 64) or use a heuristic"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExactError {}
+
+/// The outcome of a branch-and-bound run. Always carries a valid
+/// schedule; `proven` says whether its makespan is a certified
+/// optimum or just the best incumbent when a budget (or machine
+/// asymmetry — see [`ExactResult::proven`]) stopped short of a proof.
+#[derive(Debug)]
+pub struct ExactResult {
+    /// The best schedule found (never worse than any registered
+    /// heuristic — they seed the incumbent).
+    pub schedule: Schedule,
+    /// `schedule.makespan()`, cached.
+    pub makespan: Weight,
+    /// The best admissible lower bound: equals `makespan` when
+    /// `proven`, else brackets the unknown optimum from below.
+    pub lower_bound: Weight,
+    /// Whether `makespan` is a certified optimum. Requires either the
+    /// root lower bound to meet the incumbent, or an exhausted search
+    /// on a machine whose processors the symmetry probe found
+    /// interchangeable (dense processor ids only enumerate one
+    /// representative per processor relabeling, which is exhaustive
+    /// only then).
+    pub proven: bool,
+    /// Search nodes expanded (0 when the root bound already proved
+    /// the seed optimal).
+    pub nodes_explored: u64,
+    /// Subtrees cut by lower bounds.
+    pub pruned_bound: u64,
+    /// Branches cut by start-order dominance and sibling symmetry.
+    pub pruned_dominance: u64,
+    /// Whether a node or time budget stopped the search early.
+    pub cutoff: bool,
+}
+
+/// Exact branch-and-bound makespan minimization of `g` on `machine`.
+///
+/// Seeds the incumbent with every registered heuristic, then searches
+/// semi-active schedules depth-first under lower-bound, dominance and
+/// sibling-symmetry pruning (serial or work-split parallel per
+/// [`ExactConfig::threads`]). Deterministic whenever `threads == 1`
+/// and no `time_budget` is set.
+pub fn solve(g: &Dag, machine: &dyn Machine, cfg: &ExactConfig) -> Result<ExactResult, ExactError> {
+    let n = g.num_nodes();
+    let max = cfg.max_nodes.min(64);
+    if n > max {
+        obs::counter_add("exact.rejected", 1);
+        return Err(ExactError::TooLarge { nodes: n, max });
+    }
+    let _span = obs::span!("exact.solve");
+    if n == 0 {
+        return Ok(ExactResult {
+            schedule: Schedule::new(g, Vec::new()),
+            makespan: 0,
+            lower_bound: 0,
+            proven: true,
+            nodes_explored: 0,
+            pruned_bound: 0,
+            pruned_dominance: 0,
+            cutoff: false,
+        });
+    }
+
+    // Seed: the best heuristic schedule upper-bounds the optimum and
+    // guarantees the result is never worse than any heuristic.
+    let mut seed: Option<(Weight, Schedule)> = None;
+    for h in all_heuristics() {
+        let s = h.schedule(g, machine);
+        let mk = s.makespan();
+        if seed.as_ref().is_none_or(|(best, _)| mk < *best) {
+            seed = Some((mk, s));
+        }
+    }
+    let (seed_mk, seed_schedule) = seed.expect("registry is non-empty");
+
+    let inst = search::Instance::new(g, machine);
+    let shared = search::Shared::new(
+        seed_mk,
+        cfg.node_budget.unwrap_or(u64::MAX),
+        cfg.time_budget.map(|d| Instant::now() + d),
+    );
+    let root_lb = search::root_lower_bound(&inst, &shared, machine);
+    debug_assert!(
+        root_lb <= seed_mk,
+        "admissible bound exceeds a real schedule"
+    );
+
+    let mut cutoff = false;
+    if root_lb < seed_mk {
+        let threads = match cfg.threads {
+            0 => dagsched_par::default_threads(),
+            t => t,
+        };
+        if threads <= 1 {
+            search::run_serial(&inst, &shared, machine);
+        } else {
+            search::run_parallel(&inst, &shared, machine, threads);
+        }
+        cutoff = shared.cut.load(std::sync::atomic::Ordering::Relaxed);
+    }
+
+    let nodes_explored = shared.nodes.load(std::sync::atomic::Ordering::Relaxed);
+    let pruned_bound = shared
+        .pruned_bound
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let pruned_dominance = shared
+        .pruned_dominance
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let best = shared.best.into_inner().expect("search workers joined");
+    let (makespan, schedule) = match best.assignment {
+        Some(raw) => (best.makespan, Schedule::new(g, raw)),
+        None => (seed_mk, seed_schedule),
+    };
+    debug_assert_eq!(makespan, schedule.makespan());
+
+    // Dense processor ids only cover one representative per processor
+    // relabeling; exhaustion proves optimality only when relabeling is
+    // cost-free, i.e. the machine's processors are interchangeable.
+    let symmetric = processors_interchangeable(machine, n);
+    let proven = root_lb >= makespan || (symmetric && !cutoff);
+    let lower_bound = if proven { makespan } else { root_lb };
+
+    obs::counter_add("exact.solve", 1);
+    obs::counter_add("exact.nodes", nodes_explored);
+    obs::counter_add("exact.pruned.bound", pruned_bound);
+    obs::counter_add("exact.pruned.dominance", pruned_dominance);
+    obs::counter_add(
+        if proven {
+            "exact.proven"
+        } else {
+            "exact.cutoff"
+        },
+        1,
+    );
+
+    Ok(ExactResult {
+        schedule,
+        makespan,
+        lower_bound,
+        proven,
+        nodes_explored,
+        pruned_bound,
+        pruned_dominance,
+        cutoff,
+    })
+}
+
+/// Probes whether every processor the search could touch is
+/// interchangeable: zero self-cost and pair-independent communication
+/// cost across sampled edge weights. Bounded machines are probed over
+/// their full processor range (capped at 64 ids — beyond the node cap
+/// no optimal schedule distinguishes more); unbounded machines over a
+/// scattered sample. The in-tree unbounded machines (clique flavors)
+/// are genuinely uniform, so the probe is decisive for every machine
+/// `parse_machine` can build.
+fn processors_interchangeable(machine: &dyn Machine, n: usize) -> bool {
+    let ids: Vec<u32> = match machine.max_procs() {
+        Some(p) => (0..p.min(64) as u32).collect(),
+        None => (0..n.max(2) as u32).chain([97, 1009]).collect(),
+    };
+    if ids.len() < 2 {
+        return true;
+    }
+    const WEIGHTS: [Weight; 3] = [1, 7, 1000];
+    for &w in &WEIGHTS {
+        let reference = machine.comm_cost(ProcId(ids[0]), ProcId(ids[1]), w);
+        for &i in &ids {
+            if machine.comm_cost(ProcId(i), ProcId(i), w) != 0 {
+                return false;
+            }
+            for &j in &ids {
+                if i != j && machine.comm_cost(ProcId(i), ProcId(j), w) != reference {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// [`solve`] behind the standard [`Scheduler`] trait, named `EXACT`.
+///
+/// Deliberately **not** registered in
+/// [`all_heuristics`](dagsched_core::all_heuristics): it is an anchor,
+/// not a contestant, and its cost profile (exponential, budgeted) does
+/// not belong in the paper's sweeps. Graphs over the node cap fall
+/// back to the best of MCP, HU and HLFET, so the trait's infallible
+/// contract holds on any input.
+pub struct ExactScheduler {
+    pub config: ExactConfig,
+}
+
+impl ExactScheduler {
+    pub fn new(config: ExactConfig) -> Self {
+        ExactScheduler { config }
+    }
+}
+
+impl Default for ExactScheduler {
+    fn default() -> Self {
+        ExactScheduler::new(ExactConfig::default())
+    }
+}
+
+impl Scheduler for ExactScheduler {
+    fn name(&self) -> &'static str {
+        "EXACT"
+    }
+
+    fn schedule(&self, g: &Dag, machine: &dyn Machine) -> Schedule {
+        match solve(g, machine, &self.config) {
+            Ok(result) => result.schedule,
+            Err(ExactError::TooLarge { .. }) => {
+                obs::counter_add("exact.fallback", 1);
+                let fallbacks: [Box<dyn Scheduler>; 3] = [
+                    Box::new(dagsched_core::Mcp::default()),
+                    Box::new(dagsched_core::Hu),
+                    Box::new(dagsched_core::Hlfet),
+                ];
+                fallbacks
+                    .iter()
+                    .map(|h| h.schedule(g, machine))
+                    .min_by_key(Schedule::makespan)
+                    .expect("fallback registry is non-empty")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_core::fixtures::{coarse_fork_join, fig16, fine_fork_join};
+    use dagsched_core::parse_machine;
+    use dagsched_dag::DagBuilder;
+
+    fn uniform() -> Box<dyn Machine> {
+        parse_machine("uniform").unwrap()
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_the_paper_fixtures() {
+        // The unbounded-machine cases for the 8-node fixtures are
+        // left to the B&B-only tests: the unpruned enumerator is
+        // factorial in open processors and would dominate test time.
+        let cases = [
+            (
+                "fig16",
+                fig16(),
+                vec!["uniform", "clique", "bounded:2", "bounded:3"],
+            ),
+            ("coarse", coarse_fork_join(), vec!["bounded:2", "bounded:3"]),
+            ("fine", fine_fork_join(), vec!["uniform", "bounded:2"]),
+        ];
+        for (name, g, machines) in cases {
+            for spec in machines {
+                let m = parse_machine(spec).unwrap();
+                let want = brute::optimal_makespan(&g, m.as_ref());
+                let got = solve(&g, m.as_ref(), &ExactConfig::default()).unwrap();
+                assert!(got.proven, "{name} on {spec} should be proven");
+                assert_eq!(got.makespan, want, "{name} on {spec}");
+                assert_eq!(got.lower_bound, got.makespan, "{name} on {spec}");
+            }
+        }
+    }
+
+    #[test]
+    fn chains_are_provably_serial() {
+        let mut b = DagBuilder::new();
+        let mut prev = b.add_node(7);
+        for w in [3u64, 11, 2, 9] {
+            let v = b.add_node(w);
+            b.add_edge(prev, v, 4).unwrap();
+            prev = v;
+        }
+        let g = b.build().unwrap();
+        let r = solve(&g, uniform().as_ref(), &ExactConfig::default()).unwrap();
+        assert!(r.proven);
+        assert_eq!(r.makespan, g.serial_time());
+    }
+
+    #[test]
+    fn independent_tasks_saturate_a_bounded_machine() {
+        let mut b = DagBuilder::new();
+        for _ in 0..6 {
+            b.add_node(10);
+        }
+        let g = b.build().unwrap();
+        let m = parse_machine("bounded:2").unwrap();
+        let r = solve(&g, m.as_ref(), &ExactConfig::default()).unwrap();
+        assert!(r.proven);
+        // 6 × 10 of work over 2 processors: the load bound pins 30.
+        assert_eq!(r.makespan, 30);
+
+        let wide = solve(&g, uniform().as_ref(), &ExactConfig::default()).unwrap();
+        assert!(wide.proven);
+        assert_eq!(wide.makespan, 10);
+    }
+
+    #[test]
+    fn a_starved_budget_still_returns_the_heuristic_incumbent() {
+        let g = coarse_fork_join();
+        let cfg = ExactConfig {
+            node_budget: Some(1),
+            ..ExactConfig::default()
+        };
+        let r = solve(&g, uniform().as_ref(), &cfg).unwrap();
+        assert!(r.cutoff);
+        assert!(!r.proven);
+        assert!(r.lower_bound <= r.makespan);
+        // The incumbent is the best heuristic schedule, still valid.
+        assert_eq!(r.makespan, r.schedule.makespan());
+        let full = solve(&g, uniform().as_ref(), &ExactConfig::default()).unwrap();
+        assert!(full.makespan <= r.makespan);
+    }
+
+    #[test]
+    fn parallel_and_serial_searches_prove_the_same_optimum() {
+        for g in [fig16(), coarse_fork_join(), fine_fork_join()] {
+            for spec in ["uniform", "bounded:2"] {
+                let m = parse_machine(spec).unwrap();
+                let serial = solve(
+                    &g,
+                    m.as_ref(),
+                    &ExactConfig {
+                        threads: 1,
+                        ..ExactConfig::default()
+                    },
+                )
+                .unwrap();
+                let parallel = solve(
+                    &g,
+                    m.as_ref(),
+                    &ExactConfig {
+                        threads: 4,
+                        ..ExactConfig::default()
+                    },
+                )
+                .unwrap();
+                assert!(serial.proven && parallel.proven, "{spec}");
+                assert_eq!(serial.makespan, parallel.makespan, "{spec}");
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_machines_never_claim_a_proof_by_exhaustion() {
+        // fine_fork_join's optimum (serial: huge communication) sits
+        // far above its computation-only and load bounds, so no
+        // root-bound proof is possible — and on a hop-cost topology
+        // the exhausted dense-id search must not certify either.
+        // (ring:3 is secretly symmetric — every pair sits at hop
+        // distance 1 — so it must be 5 wide to have unequal pairs.)
+        let g = fine_fork_join();
+        let m = parse_machine("ring:5").unwrap();
+        let r = solve(&g, m.as_ref(), &ExactConfig::default()).unwrap();
+        assert!(!r.proven, "hop-cost topologies cannot certify optimality");
+        assert!(!r.cutoff, "this graph is small enough to exhaust");
+        assert!(r.lower_bound < r.makespan, "a genuine interval remains");
+        // Both solvers enumerate the same dense-processor-id space, so
+        // an exhausted (if uncertified) search still matches brute
+        // force exactly there.
+        assert_eq!(r.makespan, brute::optimal_makespan(&g, m.as_ref()));
+    }
+
+    #[test]
+    fn empty_and_single_node_graphs_are_trivial() {
+        let empty = DagBuilder::new().build().unwrap();
+        let r = solve(&empty, uniform().as_ref(), &ExactConfig::default()).unwrap();
+        assert!(r.proven);
+        assert_eq!(r.makespan, 0);
+
+        let mut b = DagBuilder::new();
+        b.add_node(42);
+        let single = b.build().unwrap();
+        let r = solve(&single, uniform().as_ref(), &ExactConfig::default()).unwrap();
+        assert!(r.proven);
+        assert_eq!(r.makespan, 42);
+    }
+
+    #[test]
+    fn oversized_graphs_are_rejected_and_the_scheduler_falls_back() {
+        let mut b = DagBuilder::new();
+        for _ in 0..25 {
+            b.add_node(1);
+        }
+        let g = b.build().unwrap();
+        let err = solve(&g, uniform().as_ref(), &ExactConfig::default()).unwrap_err();
+        assert_eq!(err, ExactError::TooLarge { nodes: 25, max: 20 });
+        assert!(err.to_string().contains("25 nodes"));
+
+        let m = uniform();
+        let s = ExactScheduler::default().schedule(&g, m.as_ref());
+        assert_eq!(s.num_tasks(), 25);
+        assert!(dagsched_sim::validate::check(&g, m.as_ref(), &s).is_empty());
+    }
+
+    #[test]
+    fn the_scheduler_trait_serves_proven_optima() {
+        let g = fig16();
+        let m = uniform();
+        let sched = ExactScheduler::default();
+        assert_eq!(Scheduler::name(&sched), "EXACT");
+        let s = sched.schedule(&g, m.as_ref());
+        assert!(dagsched_sim::validate::check(&g, m.as_ref(), &s).is_empty());
+        assert_eq!(s.makespan(), brute::optimal_makespan(&g, m.as_ref()));
+    }
+
+    #[test]
+    fn every_heuristic_is_at_least_the_proven_optimum() {
+        for g in [fig16(), coarse_fork_join(), fine_fork_join()] {
+            let m = uniform();
+            let opt = solve(&g, m.as_ref(), &ExactConfig::default()).unwrap();
+            assert!(opt.proven);
+            for h in all_heuristics() {
+                let mk = h.schedule(&g, m.as_ref()).makespan();
+                assert!(
+                    mk >= opt.makespan,
+                    "{} beat the proven optimum: {mk} < {}",
+                    h.name(),
+                    opt.makespan
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,537 @@
+//! The branch-and-bound search proper.
+//!
+//! The search enumerates *semi-active* schedules: it repeatedly picks a
+//! ready task and a processor and places the task at its earliest start
+//! there, exactly like the kernel heuristics do — so every leaf is a
+//! schedule the heuristics could in principle have produced, and the
+//! incumbent is always a valid [`Schedule`]. Completeness over that
+//! space plus the fact that some optimal schedule is semi-active (any
+//! schedule can be compressed left without growing its makespan) makes
+//! the best leaf a true optimum.
+//!
+//! Three prunings keep the tree small, each with a soundness argument:
+//!
+//! * **Lower bounds** ([`Worker::lower_bound`]): a critical-path bound
+//!   from the cached computation-only b-levels (communication is
+//!   nonnegative, so dropping it is admissible) and, on bounded
+//!   machines, a water-filling load bound over remaining work. A child
+//!   is cut when its bound reaches the incumbent — strictly better
+//!   schedules always survive, so exhausting the tree proves the
+//!   incumbent optimal.
+//! * **Start-order dominance**: children are only placed at starts no
+//!   earlier than the last placement. Replaying any semi-active
+//!   schedule in `(start, topo-position)` order reproduces it exactly
+//!   with nondecreasing starts while only ever placing ready tasks, so
+//!   at least one optimal leaf survives the restriction.
+//! * **Equivalent-sibling pruning**: among simultaneously ready tasks
+//!   with identical weight, predecessor list and successor list (ids
+//!   *and* edge weights), only the first is branched on — swapping the
+//!   labels of two such tasks maps any completion of one branch to a
+//!   completion of the other at the same makespan.
+//!
+//! Processor ids are kept *dense* (a fresh task either joins an opened
+//! processor or opens the next id). On a machine whose processors are
+//! interchangeable this is a pure symmetry reduction; on hop-cost
+//! topologies (ring, mesh, …) it is not exhaustive, which is why
+//! [`solve`](crate::solve) downgrades `proven` there.
+
+use dagsched_core::scheduler::kernel::PartialSchedule;
+use dagsched_core::CostModel;
+use dagsched_dag::{Dag, NodeId, Weight};
+use dagsched_sim::ProcId;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Per-graph precomputation shared (read-only) by every worker.
+pub(crate) struct Instance<'a> {
+    pub g: &'a Dag,
+    /// Computation-only b-levels (own weight included) — admissible
+    /// remaining-critical-path estimates under any machine.
+    pub blevel: &'a [Weight],
+    /// `blevel[v] - weight(v)`: the critical path strictly *below* `v`.
+    pub tail: Vec<Weight>,
+    /// Equivalence-class representative per node for sibling pruning;
+    /// nodes in the same class are interchangeable.
+    pub class_rep: Vec<u32>,
+    pub startup: Weight,
+    /// `CostModel::processor_limit()` of the machine.
+    pub limit: Option<usize>,
+    pub total_work: Weight,
+}
+
+impl<'a> Instance<'a> {
+    pub fn new<C: CostModel + ?Sized>(g: &'a Dag, model: &C) -> Self {
+        let blevel = g.blevels_computation();
+        let tail = g
+            .nodes()
+            .map(|v| blevel[v.index()] - g.node_weight(v))
+            .collect();
+        Instance {
+            g,
+            blevel,
+            tail,
+            class_rep: sibling_classes(g),
+            startup: model.startup_cost(),
+            limit: model.processor_limit(),
+            total_work: g.serial_time(),
+        }
+    }
+}
+
+/// Cross-worker search state: the atomic incumbent makespan, the best
+/// assignment found so far, node/prune counters and the cutoff flag.
+pub(crate) struct Shared {
+    /// Best complete makespan seen anywhere (seeded from the
+    /// heuristics). Bounds prune on `lb >= incumbent`.
+    pub incumbent: AtomicU64,
+    pub best: Mutex<Best>,
+    /// Search nodes expanded (across all workers).
+    pub nodes: AtomicU64,
+    pub pruned_bound: AtomicU64,
+    pub pruned_dominance: AtomicU64,
+    /// Set once a budget trips; all workers unwind promptly.
+    pub cut: AtomicBool,
+    pub node_budget: u64,
+    pub deadline: Option<Instant>,
+}
+
+pub(crate) struct Best {
+    pub makespan: Weight,
+    /// `None` until the search itself beats the seed schedule.
+    pub assignment: Option<Vec<(ProcId, Weight)>>,
+}
+
+impl Shared {
+    pub fn new(seed_makespan: Weight, node_budget: u64, deadline: Option<Instant>) -> Self {
+        Shared {
+            incumbent: AtomicU64::new(seed_makespan),
+            best: Mutex::new(Best {
+                makespan: seed_makespan,
+                assignment: None,
+            }),
+            nodes: AtomicU64::new(0),
+            pruned_bound: AtomicU64::new(0),
+            pruned_dominance: AtomicU64::new(0),
+            cut: AtomicBool::new(false),
+            node_budget,
+            deadline,
+        }
+    }
+}
+
+/// One DFS worker: a [`PartialSchedule`] plus the ready-set and bound
+/// bookkeeping the kernel does not track. Workers are cheap to build,
+/// so the parallel driver makes a fresh one per frontier prefix.
+pub(crate) struct Worker<'a, C: CostModel + ?Sized> {
+    inst: &'a Instance<'a>,
+    shared: &'a Shared,
+    ps: PartialSchedule<'a, C>,
+    /// Unplaced-predecessor counts; a task is ready at zero.
+    pending: Vec<u32>,
+    ready: Vec<NodeId>,
+    /// Sum of unplaced node weights (feeds the load bound).
+    rem_work: Weight,
+    /// Max over placed `v` of `finish(v) + tail(v)` — a monotone
+    /// critical-path lower bound on any completion of this prefix.
+    path_lb: Weight,
+    /// Max finish over placed tasks.
+    makespan: Weight,
+    /// Start of the most recent placement (start-order dominance).
+    last_start: Weight,
+    pruned_bound: u64,
+    pruned_dominance: u64,
+    /// Local countdown between deadline checks.
+    ticker: u32,
+}
+
+/// A root-to-node branch decision; a prefix of these reconstructs a
+/// worker deterministically (starts are recomputed on replay and
+/// asserted against the recorded value).
+pub(crate) type Prefix = Vec<(NodeId, ProcId, Weight)>;
+
+impl<'a, C: CostModel + ?Sized> Worker<'a, C> {
+    pub fn new(inst: &'a Instance<'a>, shared: &'a Shared, model: &'a C) -> Self {
+        let g = inst.g;
+        let n = g.num_nodes();
+        let mut pending = vec![0u32; n];
+        for v in g.nodes() {
+            for (s, _) in g.succs(v) {
+                pending[s.index()] += 1;
+            }
+        }
+        let ready = g.nodes().filter(|v| pending[v.index()] == 0).collect();
+        Worker {
+            inst,
+            shared,
+            ps: PartialSchedule::new(g, model),
+            pending,
+            ready,
+            rem_work: inst.total_work,
+            path_lb: 0,
+            makespan: 0,
+            last_start: 0,
+            pruned_bound: 0,
+            pruned_dominance: 0,
+            ticker: 0,
+        }
+    }
+
+    /// Flushes this worker's local prune counters into [`Shared`].
+    pub fn flush_counters(&mut self) {
+        self.shared
+            .pruned_bound
+            .fetch_add(std::mem::take(&mut self.pruned_bound), Ordering::Relaxed);
+        self.shared.pruned_dominance.fetch_add(
+            std::mem::take(&mut self.pruned_dominance),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Replays a frontier prefix onto this (fresh) worker.
+    pub fn apply_prefix(&mut self, prefix: &[(NodeId, ProcId, Weight)]) {
+        for &(v, p, st) in prefix {
+            self.commit(v, p, st);
+        }
+    }
+
+    /// Applies one placement and its ready-set/bound bookkeeping.
+    fn commit(&mut self, v: NodeId, p: ProcId, st: Weight) {
+        // Undo token intentionally dropped when the caller never
+        // reverts (prefix replay); `descend` keeps it.
+        let _ = self.ps.place_tracked(v, p, st);
+        let fin = self.ps.finish_of(v);
+        self.path_lb = self.path_lb.max(fin + self.inst.tail[v.index()]);
+        self.makespan = self.makespan.max(fin);
+        self.last_start = st;
+        self.rem_work -= self.inst.g.node_weight(v);
+        let pos = self
+            .ready
+            .iter()
+            .position(|&x| x == v)
+            .expect("branch task is ready");
+        self.ready.swap_remove(pos);
+        for (s, _) in self.inst.g.succs(v) {
+            self.pending[s.index()] -= 1;
+            if self.pending[s.index()] == 0 {
+                self.ready.push(s);
+            }
+        }
+    }
+
+    /// The admissible lower bound for the current prefix: max of the
+    /// placed critical-path bound, the ready-task release bound, and
+    /// (bounded machines) the load bound.
+    fn lower_bound(&self) -> Weight {
+        let mut lb = self.makespan.max(self.path_lb);
+        for &v in &self.ready {
+            // A ready task cannot start before its placed predecessors
+            // finish (zero-communication relaxation) nor before
+            // startup, and carries its full b-level after that.
+            let mut release = self.inst.startup;
+            for (pr, _) in self.inst.g.preds(v) {
+                release = release.max(self.ps.finish_of(pr));
+            }
+            lb = lb.max(release + self.inst.blevel[v.index()]);
+        }
+        if let Some(p) = self.inst.limit {
+            lb = lb.max(self.load_bound(p));
+        }
+        lb
+    }
+
+    /// Water-filling bound: the smallest `T` such that the `m`
+    /// least-busy processors offer at least `rem_work` machine time
+    /// before `T`, where `m` caps at the processors the remaining
+    /// tasks could possibly use. Sorting availabilities ascending,
+    /// `T_k = ceil((rem_work + sum of k smallest) / k)` is feasible as
+    /// soon as `T_k` does not reach the next availability; the walk is
+    /// monotone, so the first feasible `T_k` is the bound.
+    fn load_bound(&self, limit: usize) -> Weight {
+        if self.rem_work == 0 {
+            return 0;
+        }
+        let opened = self.ps.num_procs();
+        let unplaced = self.inst.g.num_nodes() - self.ps.num_placed();
+        let m = limit.min(opened + unplaced);
+        let mut avails: Vec<Weight> = (0..opened)
+            .map(|i| self.ps.avail_of(ProcId(i as u32)))
+            .collect();
+        avails.resize(m.max(opened), self.inst.startup);
+        avails.truncate(m);
+        avails.sort_unstable();
+        let mut sum: Weight = 0;
+        for k in 1..=m {
+            sum += avails[k - 1];
+            let t = (self.rem_work + sum).div_ceil(k as Weight);
+            if k == m || t <= avails[k] {
+                return t;
+            }
+        }
+        unreachable!("the walk returns at k == m")
+    }
+
+    /// Enumerates the surviving children of the current node as
+    /// `(task, processor, start)` triples, applying the sibling and
+    /// start-order prunes and the per-child path bound.
+    fn children(&mut self) -> Vec<(NodeId, ProcId, Weight)> {
+        let inc = self.shared.incumbent.load(Ordering::Relaxed);
+        // Branch highest b-level first so the first dive mimics a
+        // list schedule and tightens the incumbent early.
+        let mut cands: Vec<NodeId> = self.ready.clone();
+        cands.sort_by_key(|v| (std::cmp::Reverse(self.inst.blevel[v.index()]), v.0));
+        let mut seen_classes: u64 = 0;
+        let mut out = Vec::new();
+        for v in cands {
+            let class = self.inst.class_rep[v.index()];
+            if seen_classes & (1u64 << class) != 0 {
+                self.pruned_dominance += 1;
+                continue;
+            }
+            seen_classes |= 1u64 << class;
+            let opened = self.ps.num_procs();
+            let mut placements: Vec<(ProcId, Weight)> = (0..opened)
+                .map(|p| {
+                    let pid = ProcId(p as u32);
+                    (pid, self.ps.est_on(v, pid))
+                })
+                .collect();
+            if self.ps.can_open() {
+                placements.push((ProcId(opened as u32), self.ps.est_new(v)));
+            }
+            // Earliest-start-first gives the child order a greedy bias.
+            placements.sort_by_key(|&(p, st)| (st, p.0));
+            for (p, st) in placements {
+                if st < self.last_start {
+                    self.pruned_dominance += 1;
+                    continue;
+                }
+                if st + self.inst.blevel[v.index()] >= inc {
+                    self.pruned_bound += 1;
+                    continue;
+                }
+                out.push((v, p, st));
+            }
+        }
+        out
+    }
+
+    /// Depth-first search below the current prefix.
+    pub fn dfs(&mut self) {
+        if self.shared.cut.load(Ordering::Relaxed) {
+            return;
+        }
+        let explored = self.shared.nodes.fetch_add(1, Ordering::Relaxed) + 1;
+        if explored > self.shared.node_budget {
+            self.shared.cut.store(true, Ordering::Relaxed);
+            return;
+        }
+        self.ticker = self.ticker.wrapping_add(1);
+        if self.ticker & 0xff == 0 {
+            if let Some(deadline) = self.shared.deadline {
+                if Instant::now() >= deadline {
+                    self.shared.cut.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+        if self.ready.is_empty() {
+            debug_assert_eq!(self.ps.num_placed(), self.inst.g.num_nodes());
+            self.offer();
+            return;
+        }
+        if self.lower_bound() >= self.shared.incumbent.load(Ordering::Relaxed) {
+            self.pruned_bound += 1;
+            return;
+        }
+        for (v, p, st) in self.children() {
+            // The incumbent may have improved while earlier siblings
+            // ran; re-check the cheap path bound before descending.
+            if st + self.inst.blevel[v.index()] >= self.shared.incumbent.load(Ordering::Relaxed) {
+                self.pruned_bound += 1;
+                continue;
+            }
+            self.descend(v, p, st);
+        }
+    }
+
+    /// Places `(v, p, st)`, recurses, and restores every piece of
+    /// worker state (LIFO with the kernel undo token).
+    fn descend(&mut self, v: NodeId, p: ProcId, st: Weight) {
+        let saved = (self.path_lb, self.makespan, self.last_start, self.rem_work);
+        let undo = self.ps.place_tracked(v, p, st);
+        let fin = self.ps.finish_of(v);
+        self.path_lb = self.path_lb.max(fin + self.inst.tail[v.index()]);
+        self.makespan = self.makespan.max(fin);
+        self.last_start = st;
+        self.rem_work -= self.inst.g.node_weight(v);
+        let pos = self
+            .ready
+            .iter()
+            .position(|&x| x == v)
+            .expect("branch task is ready");
+        self.ready.swap_remove(pos);
+        for (s, _) in self.inst.g.succs(v) {
+            self.pending[s.index()] -= 1;
+            if self.pending[s.index()] == 0 {
+                self.ready.push(s);
+            }
+        }
+
+        self.dfs();
+
+        // Restore by value: nested calls swap_remove, so positions
+        // are not stable — scan for the released successors.
+        for (s, _) in self.inst.g.succs(v) {
+            if self.pending[s.index()] == 0 {
+                let pos = self
+                    .ready
+                    .iter()
+                    .position(|&x| x == s)
+                    .expect("released successor still ready");
+                self.ready.swap_remove(pos);
+            }
+            self.pending[s.index()] += 1;
+        }
+        self.ready.push(v);
+        (self.path_lb, self.makespan, self.last_start, self.rem_work) = saved;
+        self.ps.unplace(undo);
+    }
+
+    /// A complete leaf: race the makespan into the atomic incumbent
+    /// and record the assignment under the mutex.
+    fn offer(&mut self) {
+        let mk = self.makespan;
+        let mut cur = self.shared.incumbent.load(Ordering::Relaxed);
+        while mk < cur {
+            match self.shared.incumbent.compare_exchange(
+                cur,
+                mk,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        // Re-check under the lock: another worker may have recorded a
+        // better leaf between the CAS and here.
+        let mut best = self.shared.best.lock().expect("incumbent lock");
+        if mk < best.makespan {
+            best.makespan = mk;
+            best.assignment = Some(self.ps.assignment());
+        }
+    }
+}
+
+/// Breadth-first expansion of the root into at least `target` open
+/// prefixes (complete or pruned prefixes are resolved on the spot).
+/// Each prefix becomes one unit of work for [`par_map_threads`]
+/// (`dagsched_par`); expansion itself counts against the node budget.
+pub(crate) fn expand_frontier<C: CostModel + ?Sized>(
+    inst: &Instance<'_>,
+    shared: &Shared,
+    model: &C,
+    target: usize,
+) -> Vec<Prefix> {
+    let mut frontier: std::collections::VecDeque<Prefix> = std::collections::VecDeque::new();
+    frontier.push_back(Vec::new());
+    while frontier.len() < target {
+        let Some(prefix) = frontier.pop_front() else {
+            break;
+        };
+        if shared.cut.load(Ordering::Relaxed) {
+            frontier.push_front(prefix);
+            break;
+        }
+        let mut w = Worker::new(inst, shared, model);
+        w.apply_prefix(&prefix);
+        let explored = shared.nodes.fetch_add(1, Ordering::Relaxed) + 1;
+        if explored > shared.node_budget {
+            shared.cut.store(true, Ordering::Relaxed);
+            frontier.push_front(prefix);
+            w.flush_counters();
+            break;
+        }
+        if w.ready.is_empty() {
+            w.offer();
+            w.flush_counters();
+            continue;
+        }
+        if w.lower_bound() >= shared.incumbent.load(Ordering::Relaxed) {
+            w.pruned_bound += 1;
+            w.flush_counters();
+            continue;
+        }
+        let children = w.children();
+        w.flush_counters();
+        if children.is_empty() {
+            continue;
+        }
+        for (v, p, st) in children {
+            let mut child = prefix.clone();
+            child.push((v, p, st));
+            frontier.push_back(child);
+        }
+    }
+    frontier.into()
+}
+
+/// Sibling equivalence classes: tasks with the same weight and the
+/// same weighted predecessor/successor lists are interchangeable.
+/// Returns the class index per node; class count is at most `n`
+/// (node count is capped at 64, so a `u64` mask covers every class).
+pub(crate) fn sibling_classes(g: &Dag) -> Vec<u32> {
+    type Signature = (Weight, Vec<(u32, Weight)>, Vec<(u32, Weight)>);
+    let mut classes: Vec<Signature> = Vec::new();
+    let mut rep = Vec::with_capacity(g.num_nodes());
+    for v in g.nodes() {
+        let mut preds: Vec<(u32, Weight)> = g.preds(v).map(|(p, w)| (p.0, w)).collect();
+        preds.sort_unstable();
+        let mut succs: Vec<(u32, Weight)> = g.succs(v).map(|(s, w)| (s.0, w)).collect();
+        succs.sort_unstable();
+        let sig = (g.node_weight(v), preds, succs);
+        match classes.iter().position(|c| *c == sig) {
+            Some(i) => rep.push(i as u32),
+            None => {
+                classes.push(sig);
+                rep.push((classes.len() - 1) as u32);
+            }
+        }
+    }
+    rep
+}
+
+/// The admissible lower bound of the empty prefix — what `solve`
+/// reports when a cutoff leaves the optimum bracketed.
+pub(crate) fn root_lower_bound<C: CostModel + ?Sized>(
+    inst: &Instance<'_>,
+    shared: &Shared,
+    model: &C,
+) -> Weight {
+    Worker::new(inst, shared, model).lower_bound()
+}
+
+/// Runs the search serially to exhaustion (or cutoff).
+pub(crate) fn run_serial<C: CostModel + ?Sized>(inst: &Instance<'_>, shared: &Shared, model: &C) {
+    let mut w = Worker::new(inst, shared, model);
+    w.dfs();
+    w.flush_counters();
+}
+
+/// Runs the search across `threads` workers: splits the root into a
+/// frontier of prefixes and solves each under the shared incumbent.
+pub(crate) fn run_parallel<C: CostModel + ?Sized + Sync>(
+    inst: &Instance<'_>,
+    shared: &Shared,
+    model: &C,
+    threads: usize,
+) {
+    let prefixes = expand_frontier(inst, shared, model, threads * 8);
+    dagsched_par::par_map_threads(&prefixes, threads, |_, prefix| {
+        let mut w = Worker::new(inst, shared, model);
+        w.apply_prefix(prefix);
+        w.dfs();
+        w.flush_counters();
+    });
+}

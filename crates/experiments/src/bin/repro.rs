@@ -8,6 +8,7 @@
 //! repro appendix                # the worked appendix example
 //! repro html                   # self-contained HTML report (tables + SVG charts)
 //! repro bounded / kernels / select / duplication / contention / summary / dump
+//! repro exact                   # gap to proven optimum (exact anchor corpus)
 //!
 //! options:
 //!   --graphs-per-set <N>   graphs per corpus set (default 35 → 2100)
@@ -49,6 +50,12 @@
 //!   --strict               fail the run instead of degrading when any
 //!                          graph is quarantined (needs a checkpoint
 //!                          dir)
+//!   --exact                append the exact-anchor gap table to the
+//!                          `all` report (small companion corpus
+//!                          solved by branch-and-bound)
+//!   --exact-budget <N>     branch-and-bound node budget per anchored
+//!                          graph (default 2000000; serial search, so
+//!                          the table reproduces deterministically)
 //! ```
 
 use dagsched_core::MachineSpec;
@@ -70,7 +77,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("usage: repro [--graphs-per-set N] [--seed N] [--nodes LO..HI] [--machine uniform|bounded:P|linkaware:FILE] [--csv] [--validate] [--time-budget MS] [--trace-out PATH] [--trace-format jsonl|chrome] [--progress MS] [--metrics] [--checkpoint-dir DIR] [--resume DIR] [--strict] (all | table N | figure N | corpus | appendix | html | spread | rewiring | bounded | kernels | select | duplication | contention | summary | dump)");
+            eprintln!("usage: repro [--graphs-per-set N] [--seed N] [--nodes LO..HI] [--machine uniform|bounded:P|linkaware:FILE] [--csv] [--validate] [--time-budget MS] [--trace-out PATH] [--trace-format jsonl|chrome] [--progress MS] [--metrics] [--checkpoint-dir DIR] [--resume DIR] [--strict] [--exact] [--exact-budget N] (all | table N | figure N | corpus | appendix | html | spread | rewiring | bounded | kernels | select | duplication | contention | summary | exact | dump)");
             ExitCode::FAILURE
         }
     }
@@ -85,6 +92,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut trace_chrome = false;
     let mut progress_interval: Option<Duration> = None;
     let mut metrics = false;
+    let mut exact = false;
+    let mut exact_budget: u64 = 2_000_000;
     let mut checkpoint_dir: Option<PathBuf> = None;
     let mut resume = false;
     let mut strict = false;
@@ -146,6 +155,13 @@ fn run(args: &[String]) -> Result<(), String> {
                 progress_interval = Some(Duration::from_millis(ms));
             }
             "--metrics" => metrics = true,
+            "--exact" => exact = true,
+            "--exact-budget" => {
+                exact_budget = next_num(&mut it, "--exact-budget")?;
+                if exact_budget == 0 {
+                    return Err("--exact-budget must be positive".into());
+                }
+            }
             "--checkpoint-dir" => {
                 let dir = it.next().ok_or("--checkpoint-dir needs a directory")?;
                 checkpoint_dir = Some(PathBuf::from(dir));
@@ -242,6 +258,15 @@ fn run(args: &[String]) -> Result<(), String> {
         )
     };
 
+    // The exact anchor study inherits the master seed so `--seed`
+    // moves both corpora together; its own knobs stay separate from
+    // the main corpus size (2100 exact solves would never finish).
+    let anchor_spec = dagsched_experiments::AnchorSpec {
+        seed: spec.seed,
+        node_budget: exact_budget,
+        ..Default::default()
+    };
+
     match command.as_slice() {
         ["all"] => {
             progress.line(&format!(
@@ -263,6 +288,23 @@ fn run(args: &[String]) -> Result<(), String> {
                 // `render()` already appends the metrics section.
                 print!("{}", study.render());
             }
+            if exact {
+                // Markdown in both modes: the gap table's proven vs
+                // bracketed rows do not fit the per-table CSV schema.
+                print!(
+                    "{}",
+                    dagsched_experiments::run_anchor_study(&anchor_spec).render()
+                );
+            }
+            Ok(())
+        }
+        ["exact"] => {
+            progress.line(&format!(
+                "exact anchor study: 5 bands × {} graphs, node budget {}...",
+                anchor_spec.graphs_per_band, anchor_spec.node_budget
+            ));
+            let report = dagsched_experiments::run_anchor_study(&anchor_spec);
+            print!("{}", report.render());
             Ok(())
         }
         ["table", n] => {

@@ -10,6 +10,9 @@
 //! * [`tables`] — Tables 2–11 as aggregations over the run records;
 //! * [`figures`] — Figures 1–6 (the tables as per-heuristic series,
 //!   with a plain-text chart renderer);
+//! * [`optimality`] — exact-anchored "gap to optimal" reporting: a
+//!   small-graph companion corpus solved to proven optimality by
+//!   `dagsched-exact` branch-and-bound (`repro exact`);
 //! * [`checkpoint`] — crash-safe sweeps: journaled checkpoints with
 //!   checksummed JSONL records, resume-after-kill, retry with seeded
 //!   backoff, and poison-graph quarantine;
@@ -37,6 +40,7 @@
 //! repro duplication         # extension: task duplication (DSH)
 //! repro contention          # extension: send-port contention
 //! repro summary             # extension: per-heuristic overview
+//! repro exact               # extension: gap to proven optimum
 //! repro dump                # per-graph records as CSV
 //! repro --graphs-per-set 10 --seed 7 all
 //! ```
@@ -48,6 +52,7 @@ pub mod checkpoint;
 pub mod corpus;
 pub mod extensions;
 pub mod figures;
+pub mod optimality;
 pub mod progress;
 pub mod report;
 pub mod reporter;
@@ -60,6 +65,7 @@ pub use checkpoint::{
     QuarantineRecord, SweepConfig, SweepOutcome,
 };
 pub use corpus::{generate_corpus, CorpusEntry, CorpusSpec, SetKey};
+pub use optimality::{run_anchor_study, AnchorSpec, GraphAnchor, OptimalityReport};
 pub use progress::{Heartbeat, ProgressMeter, ProgressSnapshot, PROGRESS_SCHEMA};
 pub use reporter::Reporter;
 pub use runner::{run_corpus, FaultTally, GraphResult, HeuristicOutcome, RobustnessStats};

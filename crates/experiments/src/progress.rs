@@ -60,17 +60,21 @@ impl ProgressMeter {
     /// A consistent-enough point-in-time snapshot of the tally.
     pub fn snapshot(&self) -> ProgressSnapshot {
         let done = self.done.load(Ordering::Relaxed);
+        let quarantined = self.quarantined.load(Ordering::Relaxed);
         let elapsed = self.started.elapsed();
         let secs = elapsed.as_secs_f64();
         let throughput = if secs > 0.0 { done as f64 / secs } else { 0.0 };
-        let remaining = self.total.saturating_sub(done);
+        // Quarantined graphs will never execute, so they are not part
+        // of the remaining work — otherwise the ETA stays `Some` (and
+        // overestimates) forever on a sweep with poisoned graphs.
+        let remaining = self.total.saturating_sub(done + quarantined);
         let eta_ms = (done > 0 && remaining > 0)
             .then(|| (secs / done as f64 * remaining as f64 * 1e3) as u64);
         ProgressSnapshot {
             done,
             total: self.total,
             replayed: self.replayed,
-            quarantined: self.quarantined.load(Ordering::Relaxed),
+            quarantined,
             elapsed_ms: elapsed.as_millis() as u64,
             graphs_per_sec: throughput,
             eta_ms,
@@ -218,6 +222,39 @@ mod tests {
         meter.graph_done();
         meter.graph_done();
         assert_eq!(meter.snapshot().eta_ms, None);
+    }
+
+    #[test]
+    fn eta_converges_when_graphs_quarantine() {
+        // 5 graphs: 3 executed, 2 quarantined — the sweep is over.
+        let meter = ProgressMeter::new(5, 0);
+        for _ in 0..3 {
+            meter.graph_done();
+        }
+        meter.graph_quarantined();
+        meter.graph_quarantined();
+        let snap = meter.snapshot();
+        assert_eq!((snap.done, snap.quarantined), (3, 2));
+        assert_eq!(
+            snap.eta_ms, None,
+            "quarantined graphs never execute, so nothing remains"
+        );
+
+        // Partially quarantined sweep: only the 1 truly remaining
+        // graph should be projected, not the quarantined ones.
+        let meter = ProgressMeter::new(4, 0);
+        meter.graph_done();
+        meter.graph_quarantined();
+        std::thread::sleep(Duration::from_millis(5));
+        let snap = meter.snapshot();
+        let eta = snap.eta_ms.expect("one graph remains");
+        // remaining == 1 == done, so ETA ≈ elapsed; the pre-fix code
+        // used remaining == 3 and projected at least 3× elapsed.
+        assert!(
+            eta <= snap.elapsed_ms * 2,
+            "eta {eta}ms should project one remaining graph, not three (elapsed {}ms)",
+            snap.elapsed_ms
+        );
     }
 
     #[test]

@@ -105,10 +105,14 @@ impl Histogram {
     /// interpolation inside the bucket holding the target rank.
     ///
     /// A bucket `i` spans `(bounds[i-1], bounds[i]]` (the first starts
-    /// at 0; the overflow bucket ends at the exact observed `max`), so
-    /// the estimate is monotone in `q`, never exceeds `max`, and is
-    /// exact whenever the rank lands in a single-value bucket. Returns
-    /// 0 when empty.
+    /// at 0), so the estimate is monotone in `q`, never exceeds `max`,
+    /// and is exact whenever the rank lands in a single-value bucket.
+    /// A rank landing in the overflow bucket reports the exact
+    /// observed `max`: the bucket has no finite upper edge to
+    /// interpolate against, and interpolating from the last bound
+    /// produced estimates *below* every observation in the bucket
+    /// (degenerating to a zero-width bucket when merges leave
+    /// `bounds.last() >= max`). Returns 0 when empty.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -121,12 +125,13 @@ impl Histogram {
                 below += c;
                 continue;
             }
+            if i == self.bounds.len() {
+                // Overflow bucket: its only trustworthy edge is the
+                // observed max itself.
+                return self.max;
+            }
             let lo = if i == 0 { 0 } else { self.bounds[i - 1] };
-            let hi = if i < self.bounds.len() {
-                self.bounds[i]
-            } else {
-                self.max
-            };
+            let hi = self.bounds[i];
             let frac = (rank - below) as f64 / c as f64;
             let est = lo as f64 + (hi.saturating_sub(lo)) as f64 * frac;
             return (est.round() as u64).min(self.max);
@@ -277,11 +282,87 @@ mod tests {
         }
         assert_eq!(h.p50(), 3);
         assert_eq!(h.p99(), 3);
-        // The overflow bucket interpolates toward the exact max.
+        // The overflow bucket reports the exact max.
         let mut h = Histogram::default();
         h.record(9_000);
         assert_eq!(h.p99(), 9_000);
         // Empty histograms report 0 everywhere.
         assert_eq!(Histogram::default().p95(), 0);
+    }
+
+    #[test]
+    fn overflow_bucket_quantiles_report_the_exact_max() {
+        static BOUNDS: &[u64] = &[10, 20];
+        let mut h = Histogram::new(BOUNDS);
+        for _ in 0..4 {
+            h.record(100);
+        }
+        // Every observation is 100, yet the pre-fix interpolation from
+        // the last bound reported p50 = 60 — a value *no* observation
+        // ever took and 40% below every one of them.
+        assert_eq!(h.p50(), 100);
+        assert_eq!(h.quantile(0.25), 100);
+        assert_eq!(h.quantile(1.0), 100);
+    }
+
+    /// Deterministic SplitMix64 for the property tests below — keeps
+    /// the crate free of dev-only RNG dependencies.
+    fn split_mix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn merge_then_quantile_properties_hold_on_random_histograms() {
+        // Properties, over 200 random shard sets: (1) merging shards
+        // is indistinguishable from recording every value into one
+        // histogram; (2) quantiles of the merged histogram are
+        // monotone in q and bounded by the merged max; (3) any rank
+        // landing in the overflow bucket reports exactly the merged
+        // max, even when only one shard ever overflowed.
+        let mut state = 0x1994_0c99_u64;
+        for case in 0..200 {
+            let mut merged = Histogram::default();
+            let mut whole = Histogram::default();
+            let shards = 1 + split_mix(&mut state) % 4;
+            for _ in 0..shards {
+                let mut shard = Histogram::default();
+                let n = split_mix(&mut state) % 30;
+                for _ in 0..n {
+                    let v = match split_mix(&mut state) % 3 {
+                        0 => split_mix(&mut state) % 8,
+                        1 => split_mix(&mut state) % 1024,
+                        _ => 1025 + split_mix(&mut state) % 100_000,
+                    };
+                    shard.record(v);
+                    whole.record(v);
+                }
+                merged.merge(&shard);
+            }
+            assert_eq!(merged, whole, "case {case}: merge == record-everything");
+            let mut prev = 0;
+            for i in 0..=20 {
+                let q = i as f64 / 20.0;
+                let est = merged.quantile(q);
+                assert_eq!(est, whole.quantile(q), "case {case} q={q}");
+                assert!(est >= prev, "case {case} q={q}: {est} < {prev}");
+                assert!(est <= merged.max(), "case {case} q={q}: {est} > max");
+                prev = est;
+            }
+            let overflow = *merged.bucket_counts().last().unwrap();
+            if overflow > 0 {
+                let below: u64 = merged.bucket_counts()[..merged.bucket_counts().len() - 1]
+                    .iter()
+                    .sum();
+                // The smallest q whose rank reaches the overflow
+                // bucket, and the largest — both must report max.
+                let q_first = (below + 1) as f64 / merged.count() as f64;
+                assert_eq!(merged.quantile(q_first), merged.max(), "case {case}");
+                assert_eq!(merged.quantile(1.0), merged.max(), "case {case}");
+            }
+        }
     }
 }

@@ -47,6 +47,20 @@ impl Admission {
     /// slot is busy. Returns `None` — *without blocking* — when the
     /// queue is already full: the request must be shed.
     pub fn try_admit(&self) -> Option<Permit<'_>> {
+        self.try_admit_hooked(|| {})
+    }
+
+    /// The admission path with a wake hook: `on_wake` runs after every
+    /// condvar wakeup while the caller still occupies a queue slot.
+    /// Tests use it to unwind a waiter at exactly the point the
+    /// pre-guard code leaked its `waiting` slot.
+    fn try_admit_hooked(&self, mut on_wake: impl FnMut()) -> Option<Permit<'_>> {
+        // Declared before the lock guard so that on unwind the mutex
+        // guard drops first and `Unqueue::drop` can safely re-lock.
+        let mut unqueue = Unqueue {
+            gate: self,
+            armed: false,
+        };
         let mut st = self
             .state
             .lock()
@@ -59,14 +73,17 @@ impl Admission {
             return None;
         }
         st.waiting += 1;
+        unqueue.armed = true;
         while st.active >= self.workers {
             st = self
                 .freed
                 .wait(st)
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
+            on_wake();
         }
         st.waiting -= 1;
         st.active += 1;
+        unqueue.armed = false;
         Some(Permit { gate: self })
     }
 
@@ -76,6 +93,43 @@ impl Admission {
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
             .active
+    }
+
+    /// Requests currently parked in the wait queue (for gauges/tests).
+    pub fn waiting(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .waiting
+    }
+}
+
+/// Unwind guard for a queued waiter: if the waiting thread panics
+/// while parked on the condvar (or in any code run while queued), the
+/// queue slot it occupies must be handed back — otherwise `waiting`
+/// stays incremented forever and the queue capacity shrinks
+/// permanently. Disarmed on the normal path, where the slot is
+/// released under the already-held lock.
+struct Unqueue<'a> {
+    gate: &'a Admission,
+    armed: bool,
+}
+
+impl Drop for Unqueue<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut st = self
+            .gate
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        st.waiting -= 1;
+        drop(st);
+        // The wakeup that roused this waiter is consumed; pass it on so
+        // another queued waiter (if any) can claim the freed slot.
+        self.gate.freed.notify_one();
     }
 }
 
@@ -126,6 +180,40 @@ mod tests {
 
         drop(holder);
         assert!(queued.join().unwrap(), "queued request runs after release");
+    }
+
+    #[test]
+    fn a_panicking_queued_waiter_returns_its_queue_slot() {
+        let gate = Arc::new(Admission::new(1, 1));
+        let holder = gate.try_admit().expect("first request takes the slot");
+
+        // A waiter enqueues, then unwinds the moment it is woken —
+        // standing in for a thread that panics during the condvar wait.
+        let panicker = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let _ = gate.try_admit_hooked(|| panic!("injected panic while queued"));
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(gate.waiting(), 1, "waiter is parked in the queue");
+
+        drop(holder); // wakes the waiter, which panics mid-queue
+        assert!(panicker.join().is_err(), "waiter unwound as intended");
+        assert_eq!(gate.waiting(), 0, "unwound waiter gave its slot back");
+
+        // The queue capacity is genuinely usable again: take the
+        // worker slot, then verify a new request queues rather than
+        // shedding. Pre-fix, the leaked slot shed it immediately.
+        let holder = gate.try_admit().expect("slot is free again");
+        let queued = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || gate.try_admit().is_some())
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(gate.waiting(), 1, "fresh waiter fits in the queue");
+        drop(holder);
+        assert!(queued.join().unwrap(), "fresh waiter was admitted");
     }
 
     #[test]

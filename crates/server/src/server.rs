@@ -171,6 +171,12 @@ fn build_registry(chaos: bool) -> HashMap<&'static str, Arc<dyn Scheduler>> {
         let h: Arc<dyn Scheduler> = Arc::from(h);
         registry.insert(h.name(), h);
     }
+    // The exact branch-and-bound anchor is addressable by name but
+    // deliberately not part of `all_heuristics()`: it is a reference
+    // solver, not a competitor, and on graphs past its node cap it
+    // falls back to the best of MCP/HU/HLFET internally.
+    let exact: Arc<dyn Scheduler> = Arc::new(dagsched_exact::ExactScheduler::default());
+    registry.insert(exact.name(), exact);
     if chaos {
         use dagsched_harness::chaos::{InvalidScheduler, PanicScheduler, SleepyScheduler};
         for h in [
@@ -461,7 +467,7 @@ fn handle_schedule(req: &ScheduleRequest, shared: &Shared, trace_id: &str) -> St
     };
     let machine: Arc<dyn Machine> = match parse_machine(&req.machine) {
         Ok(m) => Arc::from(m),
-        Err(e) => return reject(id, code::UNKNOWN_MACHINE, &e),
+        Err(e) => return reject(id, code::UNKNOWN_MACHINE, &e.to_string()),
     };
     let g = match textio::parse(&req.graph) {
         Ok(g) => g,

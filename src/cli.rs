@@ -6,7 +6,9 @@
 //!
 //! options:
 //!   --heuristic <NAME>   CLANS|DSC|MCP|MH|HU|ETF|HLFET|DLS|LC|SARKAR|SERIAL|all
-//!                        (default: all — compares every heuristic)
+//!                        (default: all — compares every heuristic);
+//!                        EXACT names the branch-and-bound anchor,
+//!                        which is never part of `all`
 //!   --machine <KIND>     uniform | clique | ring:<N> | mesh:<R>x<C>
 //!                        | hypercube:<D> | bounded:<P>
 //!                        | linkaware:<FILE>   (default: clique;
@@ -60,6 +62,14 @@
 //!                        needed
 //!   --server-metrics     with --remote: fetch the Prometheus text
 //!                        exposition page; no input graph needed
+//!   --exact              also solve the graph exactly (branch-and-
+//!                        bound, graphs ≤ 20 nodes) and print the
+//!                        proof status plus each heuristic's percent
+//!                        gap to the optimum
+//!   --exact-budget <N>   node budget for the exact search (default
+//!                        5000000; implies --exact); exhausting it
+//!                        degrades the proof to a `[lower bound,
+//!                        incumbent]` bracket
 //! ```
 //!
 //! The logic lives here (library-testable); `src/bin/dagsched.rs` is a
@@ -131,6 +141,12 @@ pub struct CliOptions {
     pub server_stats: bool,
     /// With `remote`: fetch the Prometheus exposition page.
     pub server_metrics: bool,
+    /// Also solve the graph exactly (branch-and-bound) and report
+    /// every heuristic's gap to the proven optimum (or to the
+    /// `[lower bound, incumbent]` bracket when a budget cuts off).
+    pub exact: bool,
+    /// Branch-and-bound node budget for `--exact` (implies it).
+    pub exact_budget: Option<u64>,
     /// Input path (`-` = stdin).
     pub input: String,
 }
@@ -158,6 +174,8 @@ impl Default for CliOptions {
             remote: None,
             server_stats: false,
             server_metrics: false,
+            exact: false,
+            exact_budget: None,
             input: "-".into(),
         }
     }
@@ -257,6 +275,19 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             }
             "--server-stats" => opts.server_stats = true,
             "--server-metrics" => opts.server_metrics = true,
+            "--exact" => opts.exact = true,
+            "--exact-budget" => {
+                let n: u64 = it
+                    .next()
+                    .ok_or("--exact-budget needs a node count")?
+                    .parse()
+                    .map_err(|_| "bad --exact-budget value")?;
+                if n == 0 {
+                    return Err("--exact-budget must be positive".into());
+                }
+                opts.exact_budget = Some(n);
+                opts.exact = true;
+            }
             "--help" | "-h" => return Err("help".into()),
             other if !other.starts_with('-') || other == "-" => {
                 if input.replace(other.to_string()).is_some() {
@@ -277,6 +308,9 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     }
     if (opts.server_stats || opts.server_metrics) && opts.remote.is_none() {
         return Err("--server-stats/--server-metrics need --remote".into());
+    }
+    if opts.exact && opts.remote.is_some() {
+        return Err("--exact runs locally; use `--heuristic EXACT` with --remote".into());
     }
     if opts.remote.is_some()
         && (opts.checkpoint_dir.is_some()
@@ -304,19 +338,25 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
 /// shared with the scheduling server — see
 /// [`crate::core::parse_machine`].
 pub fn parse_machine(spec: &str) -> Result<Box<dyn Machine>, String> {
-    crate::core::parse_machine(spec)
+    crate::core::parse_machine(spec).map_err(|e| e.to_string())
 }
 
-/// Selects the heuristics to run.
+/// Selects the heuristics to run. `EXACT` (the branch-and-bound
+/// anchor) is addressable by name but deliberately not part of
+/// `all`: it is exponential and budgeted, so it only runs when asked
+/// for explicitly.
 pub fn select_heuristics(name: &str) -> Result<Vec<Box<dyn Scheduler>>, String> {
     let all = all_heuristics();
     if name == "all" {
         return Ok(all);
     }
+    if name == "EXACT" {
+        return Ok(vec![Box::new(crate::exact::ExactScheduler::default())]);
+    }
     let selected: Vec<Box<dyn Scheduler>> = all.into_iter().filter(|h| h.name() == name).collect();
     if selected.is_empty() {
         Err(format!(
-            "unknown heuristic {name:?}; known: CLANS DSC MCP MH HU ETF HLFET DLS LC SARKAR SERIAL"
+            "unknown heuristic {name:?}; known: CLANS DSC MCP MH HU ETF HLFET DLS LC SARKAR SERIAL EXACT"
         ))
     } else {
         Ok(selected)
@@ -609,6 +649,8 @@ pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
     let mut chrome = opts.trace_chrome.then(obs::ChromeTrace::new);
     let mut summary = Summary::default();
     let mut incident_count = 0usize;
+    // Heuristic makespans, kept for the `--exact` gap line.
+    let mut ran: Vec<(&'static str, u64)> = Vec::new();
     for h in heuristics {
         let name = h.name();
         if let Some(journal) = &journal {
@@ -626,6 +668,7 @@ pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
                     writeln!(out, "  incident: {inc}").unwrap();
                 }
                 incident_count += saved.incidents.len();
+                ran.push((name, saved.parallel_time));
                 continue;
             }
         }
@@ -695,6 +738,7 @@ pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
             writeln!(out, "  incident: {}", incident.summary()).unwrap();
         }
         incident_count += incidents.len();
+        ran.push((name, m.parallel_time));
         if let Some(journal) = &journal {
             let saved = SavedRun {
                 parallel_time: m.parallel_time,
@@ -718,6 +762,14 @@ pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
         if opts.svg {
             out.push_str(&gantt::render_svg(&s));
         }
+    }
+    if opts.exact {
+        out.push_str(&render_exact_anchor(
+            &g,
+            machine.as_ref(),
+            opts.exact_budget,
+            &ran,
+        ));
     }
     if let Some(sink) = sink {
         // close(), not flush(): a failing final fsync must fail the
@@ -747,8 +799,76 @@ pub fn run_on_text(opts: &CliOptions, text: &str) -> Result<String, String> {
     Ok(out)
 }
 
+/// `--exact`: the branch-and-bound anchor block appended after the
+/// heuristic runs — the exact schedule's metrics, its proof status
+/// (proven optimum vs `[lower bound, incumbent]` bracket), and each
+/// ran heuristic's percent gap to the anchor.
+fn render_exact_anchor(
+    g: &Dag,
+    machine: &dyn Machine,
+    budget: Option<u64>,
+    ran: &[(&'static str, u64)],
+) -> String {
+    use crate::exact::{solve, ExactConfig, ExactError};
+    let cfg = ExactConfig {
+        node_budget: Some(budget.unwrap_or(5_000_000)),
+        ..ExactConfig::default()
+    };
+    let mut out = String::new();
+    match solve(g, machine, &cfg) {
+        Ok(r) => {
+            let m = metrics::measures(g, &r.schedule);
+            writeln!(
+                out,
+                "{:<7} parallel_time={} speedup={:.3} efficiency={:.3} procs={}",
+                "EXACT", m.parallel_time, m.speedup, m.efficiency, m.procs
+            )
+            .unwrap();
+            if r.proven {
+                writeln!(out, "  proven optimal ({} search nodes)", r.nodes_explored).unwrap();
+            } else {
+                writeln!(
+                    out,
+                    "  not proven: optimum in [{}, {}]{} ({} search nodes)",
+                    r.lower_bound,
+                    r.makespan,
+                    if r.cutoff {
+                        ", budget exhausted"
+                    } else {
+                        ", machine processors not interchangeable"
+                    },
+                    r.nodes_explored
+                )
+                .unwrap();
+            }
+            if !ran.is_empty() {
+                let anchor = r.makespan;
+                write!(
+                    out,
+                    "  gap to {}:",
+                    if r.proven { "optimum" } else { "incumbent" }
+                )
+                .unwrap();
+                for (name, mk) in ran {
+                    let gap = if anchor == 0 {
+                        0.0
+                    } else {
+                        (*mk as f64 / anchor as f64 - 1.0).max(0.0) * 100.0
+                    };
+                    write!(out, " {name} {gap:.1}%").unwrap();
+                }
+                out.push('\n');
+            }
+        }
+        Err(e @ ExactError::TooLarge { .. }) => {
+            writeln!(out, "{:<7} skipped: {e}", "EXACT").unwrap();
+        }
+    }
+    out
+}
+
 /// The usage string printed on `--help` or errors.
-pub const USAGE: &str = "usage: dagsched [--heuristic NAME|all] [--machine uniform|clique|ring:N|mesh:RxC|hypercube:D|bounded:P|linkaware:FILE] [--gantt WIDTH] [--analyze] [--svg] [--dot] [--stg W] [--quiet] [--validate] [--time-budget MS] [--trace-out PATH] [--trace-format jsonl|chrome] [--metrics] [--checkpoint-dir DIR | --resume DIR] [--strict] [--replay-quarantine FILE] [--remote ADDR] [--server-stats] [--server-metrics] <graph.pdg | ->";
+pub const USAGE: &str = "usage: dagsched [--heuristic NAME|all] [--machine uniform|clique|ring:N|mesh:RxC|hypercube:D|bounded:P|linkaware:FILE] [--gantt WIDTH] [--analyze] [--svg] [--dot] [--stg W] [--quiet] [--validate] [--time-budget MS] [--trace-out PATH] [--trace-format jsonl|chrome] [--metrics] [--checkpoint-dir DIR | --resume DIR] [--strict] [--replay-quarantine FILE] [--remote ADDR] [--server-stats] [--server-metrics] [--exact] [--exact-budget N] <graph.pdg | ->";
 
 #[cfg(test)]
 mod tests {
@@ -827,6 +947,49 @@ edge 0 2 5
         assert_eq!(select_heuristics("all").unwrap().len(), 11);
         assert_eq!(select_heuristics("CLANS").unwrap().len(), 1);
         assert!(select_heuristics("NOPE").is_err());
+    }
+
+    #[test]
+    fn exact_is_selectable_by_name_but_never_part_of_all() {
+        let exact = select_heuristics("EXACT").unwrap();
+        assert_eq!(exact.len(), 1);
+        assert_eq!(exact[0].name(), "EXACT");
+        assert!(select_heuristics("all")
+            .unwrap()
+            .iter()
+            .all(|h| h.name() != "EXACT"));
+    }
+
+    #[test]
+    fn exact_flag_appends_the_anchor_block() {
+        let o = opts(&["--quiet", "--exact"]);
+        let out = run_on_text(&o, SAMPLE).unwrap();
+        assert!(out.contains("EXACT"), "{out}");
+        assert!(out.contains("proven optimal"), "{out}");
+        assert!(out.contains("gap to optimum:"), "{out}");
+        // Every gap is against a certified optimum, so none may be
+        // negative (the formatter floors at 0.0%, so just sanity-check
+        // the heuristics appear on the gap line).
+        for h in ["CLANS", "SERIAL"] {
+            assert!(out.contains(&format!(" {h} ")), "missing {h} gap: {out}");
+        }
+    }
+
+    #[test]
+    fn exact_budget_implies_exact_and_validates() {
+        let o = opts(&["--exact-budget", "1000"]);
+        assert!(o.exact);
+        assert_eq!(o.exact_budget, Some(1000));
+        let bad: Vec<String> = ["--exact-budget", "0", "-"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_args(&bad).is_err());
+        let conflict: Vec<String> = ["--exact", "--remote", "h:1", "-"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_args(&conflict).is_err());
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   telemetry (compiled out without the default `obs` feature);
 //! * [`core`] — the five heuristics (CLANS, DSC, MCP, MH, HU) plus
 //!   extension schedulers behind the [`core::Scheduler`] trait;
+//! * [`exact`] — exact branch-and-bound makespan optimization for
+//!   small graphs: proven optima (or bracketing lower bounds) that
+//!   anchor the heuristic comparison;
 //! * [`harness`] — fault isolation: panic containment, time budgets,
 //!   oracle-gated fallback chains, incident records;
 //! * [`experiments`] — the 2100-graph corpus and regeneration of
@@ -26,6 +29,7 @@ pub mod cli;
 pub use dagsched_clans as clans;
 pub use dagsched_core as core;
 pub use dagsched_dag as dag;
+pub use dagsched_exact as exact;
 pub use dagsched_experiments as experiments;
 pub use dagsched_gen as gen;
 pub use dagsched_harness as harness;

@@ -1,0 +1,231 @@
+//! Brute-force-vs-branch-and-bound differential suite.
+//!
+//! The exact solver's whole value is its certificate, so it gets the
+//! adversarial treatment: on an exhaustive corpus of small DAG
+//! topologies (every edge set over 4 nodes, two weight profiles), a
+//! deterministically sampled set of 5–8-node graphs, and the torture
+//! corpus filtered to the brute-force range, the branch-and-bound
+//! makespan must be bit-identical to an independent brute-force
+//! enumerator that shares no code with the search — and every
+//! registered heuristic must come in at or above the proven optimum.
+//! Parallel and serial searches must agree, and a starved budget must
+//! still return a valid incumbent with an honest `proven = false`.
+
+use dagsched::core::all_heuristics;
+use dagsched::dag::{Dag, DagBuilder, Weight};
+use dagsched::exact::brute::{optimal_makespan, MAX_BRUTE_NODES};
+use dagsched::exact::{solve, ExactConfig};
+use dagsched::gen::torture_corpus;
+use dagsched::sim::{validate, BoundedClique, Clique, Machine};
+
+fn machines() -> Vec<Box<dyn Machine>> {
+    vec![
+        Box::new(Clique),
+        Box::new(BoundedClique::new(2)),
+        Box::new(BoundedClique::new(3)),
+    ]
+}
+
+/// Deterministic xorshift64 so the sampled corpus needs no RNG crate
+/// and is identical on every run and platform.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Every DAG topology on `n` nodes: one graph per subset of the
+/// upper-triangular edge pairs, with caller-chosen weights.
+fn all_dags(
+    n: usize,
+    node_w: impl Fn(usize) -> Weight,
+    edge_w: impl Fn(usize, usize) -> Weight,
+) -> Vec<Dag> {
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
+        .collect();
+    (0u32..1 << pairs.len())
+        .map(|mask| {
+            let mut b = DagBuilder::new();
+            let ids: Vec<_> = (0..n).map(|i| b.add_node(node_w(i))).collect();
+            for (k, &(i, j)) in pairs.iter().enumerate() {
+                if mask >> k & 1 == 1 {
+                    b.add_edge(ids[i], ids[j], edge_w(i, j)).unwrap();
+                }
+            }
+            b.build().unwrap()
+        })
+        .collect()
+}
+
+/// The lock itself: B&B == brute force bit-for-bit, the schedule is
+/// oracle-valid, the certificate is granted (these machines are all
+/// symmetric and the budget is generous), and no heuristic beats it.
+fn lock(g: &Dag, machine: &dyn Machine, tag: &str) {
+    assert!(
+        g.num_nodes() <= MAX_BRUTE_NODES,
+        "{tag}: out of brute range"
+    );
+    let r = solve(g, machine, &ExactConfig::deterministic(50_000_000)).unwrap();
+    assert!(
+        validate::check(g, machine, &r.schedule).is_empty(),
+        "{tag}: invalid exact schedule"
+    );
+    assert!(r.proven, "{tag}: certificate withheld");
+    assert_eq!(r.lower_bound, r.makespan, "{tag}: proven yet bracketed");
+    assert!(!r.cutoff, "{tag}: budget should be generous");
+    let brute = optimal_makespan(g, machine);
+    assert_eq!(r.makespan, brute, "{tag}: B&B disagrees with brute force");
+    for h in all_heuristics() {
+        let mk = h.schedule(g, machine).makespan();
+        assert!(
+            mk >= r.makespan,
+            "{tag}: {} produced {mk} below the proven optimum {}",
+            h.name(),
+            r.makespan
+        );
+    }
+}
+
+#[test]
+fn every_four_node_topology_locks_to_brute_force() {
+    // 64 topologies x 2 weight profiles x 3 machines. The second
+    // profile inverts the compute/communication balance so both the
+    // "spread out" and "stay serial" regimes are covered, and its
+    // zero-weight first node exercises the zero-work edge cases.
+    let balanced = all_dags(4, |i| (i as Weight + 1) * 10, |i, j| (i + j) as Weight);
+    let comm_heavy = all_dags(4, |i| i as Weight, |i, j| 40 + (i * j) as Weight);
+    for machine in machines() {
+        for (k, g) in balanced.iter().chain(comm_heavy.iter()).enumerate() {
+            lock(
+                g,
+                machine.as_ref(),
+                &format!("topo {k} on {}", machine.name()),
+            );
+        }
+    }
+}
+
+#[test]
+fn sampled_five_to_eight_node_graphs_lock_to_brute_force() {
+    // Edge probability 1/2 keeps the sampled graphs constrained enough
+    // for brute force; the xorshift seed makes the corpus a fixture.
+    let mut rng = Rng(0x1994_0707);
+    for round in 0..12u64 {
+        let n = 5 + (round % 4) as usize;
+        let mut b = DagBuilder::new();
+        let ids: Vec<_> = (0..n)
+            .map(|_| b.add_node(1 + rng.below(20) as Weight))
+            .collect();
+        for i in 0..n {
+            for j in i + 1..n {
+                if rng.below(2) == 0 {
+                    b.add_edge(ids[i], ids[j], rng.below(16) as Weight).unwrap();
+                }
+            }
+        }
+        let g = b.build().unwrap();
+        // Unbounded machines make brute force factorial in the width,
+        // so the 7–8-node rounds stick to the bounded machines.
+        let machines: Vec<Box<dyn Machine>> = if n <= 6 {
+            machines()
+        } else {
+            vec![
+                Box::new(BoundedClique::new(2)),
+                Box::new(BoundedClique::new(3)),
+            ]
+        };
+        for machine in machines {
+            lock(
+                &g,
+                machine.as_ref(),
+                &format!("sample {round} ({n} nodes) on {}", machine.name()),
+            );
+        }
+    }
+}
+
+#[test]
+fn torture_graphs_in_brute_range_lock_to_brute_force() {
+    let mut hit = 0;
+    for case in torture_corpus() {
+        if case.graph.num_nodes() > MAX_BRUTE_NODES {
+            continue;
+        }
+        hit += 1;
+        for machine in machines() {
+            lock(
+                &case.graph,
+                machine.as_ref(),
+                &format!("torture {}", case.name),
+            );
+        }
+    }
+    assert!(hit >= 4, "torture corpus lost its small cases ({hit})");
+}
+
+#[test]
+fn parallel_and_serial_searches_return_the_same_optimum() {
+    let mut rng = Rng(0xdecade);
+    for round in 0..4u64 {
+        let n = 6 + (round % 3) as usize;
+        let mut b = DagBuilder::new();
+        let ids: Vec<_> = (0..n)
+            .map(|_| b.add_node(1 + rng.below(30) as Weight))
+            .collect();
+        for i in 0..n {
+            for j in i + 1..n {
+                if rng.below(3) > 0 {
+                    b.add_edge(ids[i], ids[j], rng.below(10) as Weight).unwrap();
+                }
+            }
+        }
+        let g = b.build().unwrap();
+        let machine = BoundedClique::new(3);
+        let serial = solve(&g, &machine, &ExactConfig::deterministic(50_000_000)).unwrap();
+        let parallel = solve(
+            &g,
+            &machine,
+            &ExactConfig {
+                threads: 4,
+                node_budget: Some(50_000_000),
+                ..ExactConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(serial.proven && parallel.proven, "round {round}");
+        assert_eq!(serial.makespan, parallel.makespan, "round {round}");
+        assert!(validate::check(&g, &machine, &parallel.schedule).is_empty());
+    }
+}
+
+#[test]
+fn a_starved_budget_returns_an_honest_incumbent() {
+    // The coarse fork-join's optimum (spread the middle) sits above
+    // its computation-only root bound, so with one search node the
+    // solver can neither prove nor exhaust: it must hand back the
+    // heuristic seed, bracketed, with `proven = false`.
+    let g = dagsched::core::fixtures::coarse_fork_join();
+    let r = solve(&g, &Clique, &ExactConfig::deterministic(1)).unwrap();
+    assert!(!r.proven);
+    assert!(r.cutoff);
+    assert!(r.lower_bound < r.makespan);
+    assert!(validate::check(&g, &Clique, &r.schedule).is_empty());
+    let best_heuristic = all_heuristics()
+        .iter()
+        .map(|h| h.schedule(&g, &Clique).makespan())
+        .min()
+        .unwrap();
+    assert_eq!(r.makespan, best_heuristic, "incumbent is the seed");
+}

@@ -169,6 +169,43 @@ fn answers_are_bit_identical_to_direct_scheduling_on_miss_and_hit() {
 }
 
 #[test]
+fn the_exact_anchor_is_served_by_name_with_a_proven_optimal_makespan() {
+    let handle = start(ServerConfig::default()).expect("server starts");
+    let addr = handle.local_addr().to_string();
+    let g = textio::parse(SAMPLE).unwrap();
+    let machine = parse_machine("uniform").unwrap();
+    let direct = dagsched::exact::solve(
+        &g,
+        machine.as_ref(),
+        &dagsched::exact::ExactConfig::default(),
+    )
+    .expect("4 nodes is within the exact solver's cap");
+    assert!(direct.proven, "a 4-node uniform instance proves out");
+
+    let j = submit_json(&addr, &schedule_line(SAMPLE, "EXACT", None));
+    assert_eq!(j.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(j.get("scheduled_by").unwrap().as_str(), Some("EXACT"));
+    assert_eq!(j.get("tier").unwrap().as_str(), Some("primary"));
+    assert_eq!(j.get("makespan").unwrap().as_u64(), Some(direct.makespan));
+
+    // The optimum anchors every heuristic the server offers from below.
+    for h in all_heuristics() {
+        let a = submit_json(&addr, &schedule_line(SAMPLE, h.name(), None));
+        assert!(
+            a.get("makespan").unwrap().as_u64().unwrap() >= direct.makespan,
+            "{} beat a proven optimum",
+            h.name()
+        );
+    }
+
+    // EXACT answers ride the same cache machinery as the heuristics.
+    let hit = submit_json(&addr, &schedule_line(SAMPLE, "EXACT", None));
+    assert_eq!(hit.get("cached").unwrap().as_bool(), Some(true));
+    assert_eq!(hit.get("makespan").unwrap().as_u64(), Some(direct.makespan));
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
 fn concurrent_identical_requests_coalesce_onto_one_computation() {
     let handle = start(chaos_config()).expect("server starts");
     let addr = handle.local_addr().to_string();
